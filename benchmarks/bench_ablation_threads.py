@@ -1,0 +1,44 @@
+"""Ablation: thread-count scaling of the machine model.
+
+Not a paper figure, but it validates the cost model behind Figure 6:
+speedup must grow with thread count, saturate against the memory
+ceiling, and never exceed the thread count.
+"""
+
+from conftest import run_once
+from repro.eval.pipeline import build_parallel, build_sequential, kernel_time
+from repro.polybench import get
+from repro.runtime import MachineModel
+
+THREADS = (1, 2, 4, 8, 16, 28)
+
+
+def scaling_curve(name: str):
+    bench = get(name)
+    sequential = build_sequential(bench)
+    parallel, _ = build_parallel(bench)
+    points = []
+    for threads in THREADS:
+        machine = MachineModel(num_threads=threads)
+        t_seq = kernel_time(sequential, machine)
+        t_par = kernel_time(parallel, machine)
+        points.append((threads, t_seq / t_par))
+    return points
+
+
+def test_thread_scaling(benchmark):
+    points = run_once(benchmark, lambda: scaling_curve("gemm"))
+    print()
+    print("gemm speedup vs simulated thread count:")
+    for threads, speedup in points:
+        bar = "#" * int(speedup * 2)
+        print(f"  {threads:3d} threads: {speedup:6.2f}x {bar}")
+    speedups = [s for _, s in points]
+    # Monotone non-decreasing and bounded by the thread count.
+    for (t1, s1), (t2, s2) in zip(points, points[1:]):
+        assert s2 >= s1 * 0.98
+        assert s2 <= t2
+    # Saturation: going 16 -> 28 gains less than 4 -> 8 (memory ceiling).
+    gain_small = speedups[3] / speedups[2]
+    gain_large = speedups[5] / speedups[4]
+    assert gain_large < gain_small

@@ -1,0 +1,24 @@
+"""Figure 8: percentage of variables restored to source names.
+
+Paper: 87.3% average, with the losses caused by optimizations (LICM
+register promotion / code hoisting) that erase debug provenance.
+Reproduction criterion: a high average with per-benchmark variation,
+and the heavily-transformed kernels (adi, floyd-warshall) at the
+bottom of the range for exactly the paper's reason.
+"""
+
+from conftest import run_once
+from repro.eval import figure8_restoration, render_figure8
+
+
+def test_fig8_restoration(benchmark):
+    result = run_once(benchmark, figure8_restoration)
+    print()
+    print(render_figure8(result))
+    assert len(result.rows) == 16
+    assert result.average_percent > 60.0
+    by_name = {r.name: r for r in result.rows}
+    # Clean kernels restore nearly everything...
+    assert by_name["gemm"].percent > 80.0
+    # ...while LICM/CSE-heavy ones lose provenance (paper §5.3.2).
+    assert by_name["adi"].percent < by_name["gemm"].percent

@@ -1,0 +1,33 @@
+"""Figure 9: collaborative parallelization on the seven simple kernels.
+
+Paper: with ~3 LoC of manual change on SPLENDID output, the
+collaboration runs ~2x faster than either the compiler or the
+programmer alone on these benchmarks.  Reproduction criterion:
+collaboration dominates both bars everywhere, and clearly doubles both
+on the loop-distribution cases (atax, bicg) and the
+profitability-gap case (jacobi-1d).
+"""
+
+from conftest import run_once
+from repro.eval import figure9_collaboration, render_figure9
+
+
+def test_fig9_collaboration(benchmark):
+    result = run_once(benchmark, figure9_collaboration)
+    print()
+    print(render_figure9(result))
+    print("collab vs manual (geomean): %.2fx" % result.mean_collab_vs_manual)
+    print("collab vs compiler (geomean): %.2fx"
+          % result.mean_collab_vs_compiler)
+    assert len(result.rows) == 7
+    for row in result.rows:
+        assert row.collaborative >= 0.95 * row.manual_only
+        assert row.collaborative >= 0.95 * row.compiler_only
+        assert row.edit_loc <= 5
+    by_name = {r.name: r for r in result.rows}
+    for name in ("atax", "bicg"):
+        assert by_name[name].collaborative > 2 * by_name[name].manual_only
+        assert by_name[name].collaborative > 2 * by_name[name].compiler_only
+    assert by_name["jacobi-1d-imper"].collaborative > \
+        1.5 * by_name["jacobi-1d-imper"].compiler_only
+    assert result.mean_collab_vs_manual > 2.0

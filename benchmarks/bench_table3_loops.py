@@ -1,0 +1,26 @@
+"""Table 3: loops parallelizable by the programmer vs the compiler.
+
+Paper: across 16 benchmarks, ~60% of compiler-parallelized loops
+overlap what the programmer would have done (manual work eliminated),
+and the other ~40% come for free.  Reproduction criterion: both
+fractions in that neighbourhood, plus the two distribution cases (atax,
+bicg) where the sets are disjoint.
+"""
+
+from conftest import run_once
+from repro.eval import render_table3, table3_loops
+
+
+def test_table3_loops(benchmark):
+    result = run_once(benchmark, table3_loops)
+    print()
+    print(render_table3(result))
+    print("eliminated fraction: %.0f%% (paper: ~60%%)" %
+          (100 * result.eliminated_fraction))
+    assert len(result.rows) == 16
+    totals = result.totals()
+    assert totals.compiler >= 25          # the compiler finds plenty
+    assert 0.4 < result.eliminated_fraction < 0.9
+    by_name = {r.name: r for r in result.rows}
+    assert by_name["atax"].overlap == 0   # distribution cases disjoint
+    assert by_name["bicg"].overlap == 0

@@ -1,0 +1,52 @@
+"""repro — a from-scratch reproduction of SPLENDID (ASPLOS 2023).
+
+SPLENDID decompiles *parallel LLVM-IR* (sequential C, optimized at -O2
+and auto-parallelized by Polly) into portable, natural C/OpenMP source,
+enabling compiler-programmer collaborative parallelization.
+
+This package rebuilds the entire stack in pure Python:
+
+* :mod:`repro.minic`      — a mini-C front end (parser/sema/printer);
+* :mod:`repro.frontend`   — AST -> IR lowering with debug metadata,
+  plus OpenMP lowering (the "any host compiler" used for recompiling
+  decompiled code);
+* :mod:`repro.ir`         — an LLVM-flavored SSA IR;
+* :mod:`repro.analysis`   — dominators, loops, dependence, dataflow;
+* :mod:`repro.passes`     — mem2reg, loop rotation, LICM, CSE, DCE,
+  unrolling, distribution (the -O2 pipeline);
+* :mod:`repro.polly`      — the DOALL auto-parallelizer with runtime
+  alias versioning and ``__kmpc_*`` OpenMP lowering;
+* :mod:`repro.runtime`    — an IR interpreter with a simulated OpenMP
+  runtime and a 28-thread machine cost model;
+* :mod:`repro.decompilers`— Rellic/Ghidra/CBackend-style baselines;
+* :mod:`repro.core`       — SPLENDID itself;
+* :mod:`repro.metrics`    — BLEU-4, LoC, variable-restoration metrics;
+* :mod:`repro.polybench`  — the 16-benchmark PolyBench subset;
+* :mod:`repro.collab`     — programmer edits on decompiled code;
+* :mod:`repro.eval`       — drivers for every table/figure of the paper.
+
+Quickstart::
+
+    from repro import compile_source, optimize_o2, parallelize_module, decompile
+    module = compile_source(C_SOURCE)
+    optimize_o2(module)                  # clang -O2 analogue
+    parallelize_module(module)           # Polly analogue
+    print(decompile(module, "full"))     # SPLENDID
+"""
+
+from .core import Splendid, decompile, decompile_unit
+from .frontend import compile_source, lower_unit
+from .passes import optimize_o1, optimize_o2
+from .polly import parallelize_module
+from .runtime import Interpreter, MachineModel, run_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Splendid", "decompile", "decompile_unit",
+    "compile_source", "lower_unit",
+    "optimize_o1", "optimize_o2",
+    "parallelize_module",
+    "Interpreter", "MachineModel", "run_module",
+    "__version__",
+]

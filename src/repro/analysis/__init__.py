@@ -1,0 +1,29 @@
+"""repro.analysis — CFG, dominance, loops, dependence, and dataflow analyses."""
+
+from .alias import AliasResult, alias, base_object, definitely_no_alias
+from .cfg import (postorder, reachable_blocks, remove_unreachable_blocks,
+                  reverse_postorder, rpo_index, split_edge)
+from .dataflow import DataflowResult, ForwardAnalysis
+from .dependence import (AffineExpr, MemoryAccess, ParallelismReport,
+                         analyze_loop_parallelism, collect_accesses,
+                         match_affine, PURE_MATH_FUNCTIONS)
+from .dominators import DominatorTree
+from .induction import (CountedLoop, analyze_counted_loop,
+                        constant_trip_count, find_induction_phi,
+                        is_loop_invariant)
+from .liveness import Liveness
+from .loops import Loop, LoopInfo
+
+__all__ = [
+    "AliasResult", "alias", "base_object", "definitely_no_alias",
+    "postorder", "reachable_blocks", "remove_unreachable_blocks",
+    "reverse_postorder", "rpo_index", "split_edge",
+    "DataflowResult", "ForwardAnalysis",
+    "AffineExpr", "MemoryAccess", "ParallelismReport",
+    "analyze_loop_parallelism", "collect_accesses", "match_affine",
+    "PURE_MATH_FUNCTIONS",
+    "DominatorTree",
+    "CountedLoop", "analyze_counted_loop", "constant_trip_count",
+    "find_induction_phi", "is_loop_invariant",
+    "Liveness", "Loop", "LoopInfo",
+]

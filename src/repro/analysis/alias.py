@@ -1,0 +1,63 @@
+"""Base-object alias analysis.
+
+Intentionally intra-procedural and simple — exactly the limitation the
+paper's Figure 2 case study turns on: two distinct *allocations* never
+alias, but two pointer *arguments* may, which forces the parallelizer
+to emit a runtime aliasing check with a sequential fallback.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from ..ir.instructions import Alloca, Call, Cast, GetElementPtr, Instruction, Load
+from ..ir.values import Argument, GlobalVariable, Value
+
+
+class AliasResult(Enum):
+    NO_ALIAS = "no"
+    MAY_ALIAS = "may"
+    MUST_ALIAS = "must"
+
+
+def base_object(pointer: Value) -> Value:
+    """Walk GEP/bitcast chains to the underlying allocation site."""
+    current = pointer
+    while True:
+        if isinstance(current, GetElementPtr):
+            current = current.pointer
+        elif isinstance(current, Cast) and current.opcode == "bitcast":
+            current = current.value
+        else:
+            return current
+
+
+def _is_identified_object(value: Value) -> bool:
+    """Objects with a known, private allocation: allocas, globals, malloc."""
+    if isinstance(value, (Alloca, GlobalVariable)):
+        return True
+    if isinstance(value, Call) and value.callee_name in ("malloc", "calloc"):
+        return True
+    return False
+
+
+def alias(a: Value, b: Value) -> AliasResult:
+    """Alias relation between two pointer values."""
+    base_a, base_b = base_object(a), base_object(b)
+    if base_a is base_b:
+        if a is b:
+            return AliasResult.MUST_ALIAS
+        return AliasResult.MAY_ALIAS
+    if _is_identified_object(base_a) and _is_identified_object(base_b):
+        return AliasResult.NO_ALIAS
+    if _is_identified_object(base_a) and isinstance(base_b, Argument):
+        return AliasResult.MAY_ALIAS
+    if _is_identified_object(base_b) and isinstance(base_a, Argument):
+        return AliasResult.MAY_ALIAS
+    # argument vs argument, or anything involving loads of pointers
+    return AliasResult.MAY_ALIAS
+
+
+def definitely_no_alias(a: Value, b: Value) -> bool:
+    return alias(a, b) is AliasResult.NO_ALIAS

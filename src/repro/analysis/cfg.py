@@ -1,0 +1,93 @@
+"""Control-flow graph utilities: traversal orders and reachability."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..ir.block import BasicBlock
+from ..ir.module import Function
+
+
+def reachable_blocks(function: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry, in depth-first discovery order."""
+    if not function.blocks:
+        return []
+    seen: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+    stack = [function.entry]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        order.append(block)
+        stack.extend(reversed(block.successors))
+    return order
+
+
+def postorder(function: Function) -> List[BasicBlock]:
+    result: List[BasicBlock] = []
+    seen: Set[BasicBlock] = set()
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors))]
+        seen.add(block)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                result.append(current)
+                stack.pop()
+
+    if function.blocks:
+        visit(function.entry)
+    return result
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    return list(reversed(postorder(function)))
+
+
+def rpo_index(function: Function) -> Dict[BasicBlock, int]:
+    return {block: i for i, block in enumerate(reverse_postorder(function))}
+
+
+def remove_unreachable_blocks(function: Function) -> int:
+    """Delete blocks not reachable from the entry.  Returns removal count."""
+    live = set(reachable_blocks(function))
+    dead = [b for b in function.blocks if b not in live]
+    for block in dead:
+        for succ in block.successors:
+            for phi in succ.phis():
+                if any(pred is block for _, pred in phi.incoming):
+                    phi.remove_incoming(block)
+        for inst in list(block.instructions):
+            inst.erase()
+    for block in dead:
+        function.remove_block(block)
+    return len(dead)
+
+
+def split_edge(pred: BasicBlock, succ: BasicBlock) -> BasicBlock:
+    """Insert a fresh block on the pred->succ edge; returns the new block."""
+    from ..ir.instructions import Branch
+
+    function = pred.parent
+    middle = BasicBlock(f"{pred.name}.split", function)
+    function.add_block(middle, after=pred)
+    term = pred.terminator
+    for i, op in enumerate(term.operands):
+        if op is succ:
+            term.set_operand(i, middle)
+    middle.append(Branch(succ))
+    for phi in succ.phis():
+        for idx in range(1, len(phi.operands), 2):
+            if phi.operands[idx] is pred:
+                phi.set_operand(idx, middle)
+    return middle

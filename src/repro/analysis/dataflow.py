@@ -1,0 +1,85 @@
+"""A small generic dataflow framework.
+
+SPLENDID's Most-Recent-Variable-Definition analysis (paper Algorithm 1)
+is a forward, instruction-granularity dataflow; the framework here runs
+any such analysis to a fixpoint over the CFG in reverse postorder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import Instruction
+from ..ir.module import Function
+from .cfg import reverse_postorder
+
+State = TypeVar("State")
+
+
+class ForwardAnalysis(Generic[State]):
+    """Forward dataflow at instruction granularity.
+
+    Subclasses define the lattice via :meth:`initial`, :meth:`meet`, and
+    :meth:`transfer`.  ``run`` returns the IN state of every instruction
+    (the state holding immediately *before* the instruction executes) and
+    the OUT state of every block.
+    """
+
+    def initial(self) -> State:
+        raise NotImplementedError
+
+    def boundary(self) -> State:
+        """State at function entry (defaults to :meth:`initial`)."""
+        return self.initial()
+
+    def meet(self, states: List[State]) -> State:
+        raise NotImplementedError
+
+    def transfer(self, inst: Instruction, state: State) -> State:
+        raise NotImplementedError
+
+    def equal(self, a: State, b: State) -> bool:
+        return a == b
+
+    def run(self, function: Function) -> "DataflowResult[State]":
+        order = reverse_postorder(function)
+        block_in: Dict[BasicBlock, State] = {}
+        block_out: Dict[BasicBlock, State] = {}
+        inst_in: Dict[Instruction, State] = {}
+
+        changed = True
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > 10_000:
+                raise RuntimeError("dataflow failed to converge")
+            for block in order:
+                preds = [p for p in block.predecessors if p in block_out]
+                if block is order[0]:
+                    state = self.boundary()
+                    if preds:
+                        state = self.meet([state] + [block_out[p] for p in preds])
+                elif preds:
+                    state = self.meet([block_out[p] for p in preds])
+                else:
+                    state = self.initial()
+                block_in[block] = state
+                for inst in block.instructions:
+                    inst_in[inst] = state
+                    state = self.transfer(inst, state)
+                if block not in block_out or not self.equal(block_out[block], state):
+                    block_out[block] = state
+                    changed = True
+        return DataflowResult(block_in, block_out, inst_in)
+
+
+class DataflowResult(Generic[State]):
+    def __init__(self, block_in, block_out, inst_in):
+        self.block_in: Dict[BasicBlock, State] = block_in
+        self.block_out: Dict[BasicBlock, State] = block_out
+        self.inst_in: Dict[Instruction, State] = inst_in
+
+    def state_before(self, inst: Instruction) -> State:
+        return self.inst_in[inst]

@@ -1,0 +1,307 @@
+"""Affine loop-carried dependence testing (the DOALL legality oracle).
+
+This is the analysis heart of the Polly-style parallelizer: for a
+counted loop (possibly a nest) it classifies every memory access as an
+affine function of the loop's induction variable and of the nested
+loops' induction variables, then runs ZIV/strong-SIV style tests per
+subscript dimension.
+
+Distinct identified allocations never alias; pointer-argument bases that
+cannot be disambiguated statically are reported as *runtime alias
+check* candidates (the paper's Figure 2 versioning mechanism) rather
+than hard rejections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.instructions import (BinaryOp, Call, Cast, DbgValue, GetElementPtr,
+                               Instruction, Load, Phi, Store)
+from ..ir.values import Argument, ConstantInt, Value
+from .alias import AliasResult, alias, base_object
+from .induction import CountedLoop, analyze_counted_loop, is_loop_invariant
+from .loops import Loop
+
+PURE_MATH_FUNCTIONS = frozenset({
+    "exp", "log", "sqrt", "pow", "fabs", "sin", "cos", "tan", "floor",
+    "ceil", "fmax", "fmin",
+})
+
+
+@dataclass
+class AffineExpr:
+    """``iv_coeff*iv + sum(inner[p]*p) + sum(terms[v]*v) + const``.
+
+    ``iv`` is the induction variable of the loop under test; ``inner``
+    holds coefficients of nested loops' induction variables; ``terms``
+    holds loop-invariant symbolic values.
+    """
+
+    iv_coeff: int = 0
+    inner: Dict[Value, int] = field(default_factory=dict)
+    terms: Dict[Value, int] = field(default_factory=dict)
+    const: int = 0
+
+    def _merge(self, a: Dict[Value, int], b: Dict[Value, int],
+               sign: int) -> Dict[Value, int]:
+        merged = dict(a)
+        for value, coeff in b.items():
+            merged[value] = merged.get(value, 0) + sign * coeff
+            if merged[value] == 0:
+                del merged[value]
+        return merged
+
+    def __add__(self, other: "AffineExpr") -> "AffineExpr":
+        return AffineExpr(self.iv_coeff + other.iv_coeff,
+                          self._merge(self.inner, other.inner, 1),
+                          self._merge(self.terms, other.terms, 1),
+                          self.const + other.const)
+
+    def __sub__(self, other: "AffineExpr") -> "AffineExpr":
+        return AffineExpr(self.iv_coeff - other.iv_coeff,
+                          self._merge(self.inner, other.inner, -1),
+                          self._merge(self.terms, other.terms, -1),
+                          self.const - other.const)
+
+    def scaled(self, factor: int) -> "AffineExpr":
+        if factor == 0:
+            return AffineExpr()
+        return AffineExpr(self.iv_coeff * factor,
+                          {v: c * factor for v, c in self.inner.items()},
+                          {v: c * factor for v, c in self.terms.items()},
+                          self.const * factor)
+
+    def symbolic_key(self) -> Tuple:
+        return tuple(sorted((id(v), c) for v, c in self.terms.items()))
+
+    def inner_key(self) -> Tuple:
+        return tuple(sorted((id(v), c) for v, c in self.inner.items()))
+
+    @property
+    def has_inner(self) -> bool:
+        return bool(self.inner)
+
+
+def nested_induction_phis(loop: Loop) -> Set[Phi]:
+    """Induction phis of all counted loops strictly nested in ``loop``."""
+    result: Set[Phi] = set()
+    stack = list(loop.subloops)
+    while stack:
+        sub = stack.pop()
+        counted = analyze_counted_loop(sub)
+        if counted is not None:
+            result.add(counted.phi)
+        stack.extend(sub.subloops)
+    return result
+
+
+def match_affine(value: Value, iv: Value, loop: Loop,
+                 inner_ivs: Optional[Set[Phi]] = None) -> Optional[AffineExpr]:
+    """Express ``value`` as an affine function of ``iv`` (+ inner IVs)."""
+    inner_ivs = inner_ivs if inner_ivs is not None else set()
+    if value is iv:
+        return AffineExpr(iv_coeff=1)
+    if isinstance(value, ConstantInt):
+        return AffineExpr(const=value.value)
+    if value in inner_ivs:
+        return AffineExpr(inner={value: 1})
+    if is_loop_invariant(value, loop):
+        return AffineExpr(terms={value: 1})
+    if isinstance(value, Cast) and value.opcode in ("sext", "zext", "trunc"):
+        return match_affine(value.value, iv, loop, inner_ivs)
+    if isinstance(value, BinaryOp):
+        if value.opcode == "add":
+            lhs = match_affine(value.lhs, iv, loop, inner_ivs)
+            rhs = match_affine(value.rhs, iv, loop, inner_ivs)
+            if lhs is not None and rhs is not None:
+                return lhs + rhs
+        elif value.opcode == "sub":
+            lhs = match_affine(value.lhs, iv, loop, inner_ivs)
+            rhs = match_affine(value.rhs, iv, loop, inner_ivs)
+            if lhs is not None and rhs is not None:
+                return lhs - rhs
+        elif value.opcode == "mul":
+            lhs, rhs = value.lhs, value.rhs
+            if isinstance(rhs, ConstantInt):
+                base = match_affine(lhs, iv, loop, inner_ivs)
+                if base is not None:
+                    return base.scaled(rhs.value)
+            if isinstance(lhs, ConstantInt):
+                base = match_affine(rhs, iv, loop, inner_ivs)
+                if base is not None:
+                    return base.scaled(lhs.value)
+    return None
+
+
+@dataclass
+class MemoryAccess:
+    inst: Instruction           # Load or Store
+    base: Value
+    subscripts: Optional[List[AffineExpr]]  # None => non-affine address
+    is_write: bool
+
+
+@dataclass
+class ParallelismReport:
+    loop: Loop
+    is_parallel: bool
+    needs_alias_checks: List[Tuple[Value, Value]] = field(default_factory=list)
+    reject_reasons: List[str] = field(default_factory=list)
+    accesses: List[MemoryAccess] = field(default_factory=list)
+    reductions: List[object] = field(default_factory=list)
+
+    @property
+    def is_conditionally_parallel(self) -> bool:
+        return self.is_parallel and bool(self.needs_alias_checks)
+
+
+def collect_accesses(counted: CountedLoop) -> Tuple[List[MemoryAccess], List[str]]:
+    loop = counted.loop
+    iv = counted.phi
+    inner_ivs = nested_induction_phis(loop)
+    accesses: List[MemoryAccess] = []
+    problems: List[str] = []
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, (Load, Store)):
+                pointer = inst.pointer
+                base = base_object(pointer)
+                subscripts = _subscripts_of(pointer, iv, loop, inner_ivs)
+                accesses.append(MemoryAccess(
+                    inst, base, subscripts, isinstance(inst, Store)))
+            elif isinstance(inst, Call):
+                name = inst.callee_name
+                if name not in PURE_MATH_FUNCTIONS:
+                    problems.append(f"call to non-pure function '{name}'")
+    return accesses, problems
+
+
+def _subscripts_of(pointer: Value, iv: Value, loop: Loop,
+                   inner_ivs: Set[Phi]) -> Optional[List[AffineExpr]]:
+    """Affine subscript vector for a (possibly chained) GEP address."""
+    subscripts: List[AffineExpr] = []
+    current = pointer
+    while isinstance(current, GetElementPtr):
+        dims = []
+        for index in current.indices:
+            expr = match_affine(index, iv, loop, inner_ivs)
+            if expr is None:
+                return None
+            dims.append(expr)
+        subscripts = dims + subscripts
+        current = current.pointer
+    return subscripts
+
+
+def _dimension_forces_same_iteration(a: AffineExpr, b: AffineExpr) -> bool:
+    """True if subscript equality in this dimension implies both accesses
+    happen in the *same* iteration of the tested loop (iv1 == iv2)."""
+    if a.symbolic_key() != b.symbolic_key():
+        return False  # unknown symbols: cannot force anything
+    if a.has_inner or b.has_inner:
+        return False  # inner IVs add slack; cannot force iv1 == iv2
+    if a.iv_coeff != b.iv_coeff:
+        return False
+    coeff = a.iv_coeff
+    delta = b.const - a.const
+    if coeff == 0:
+        return False
+    # a*iv1 + c == a*iv2 + c'  =>  iv1 - iv2 = delta / coeff.
+    if delta == 0:
+        return True  # forces iv1 == iv2
+    return False
+
+
+def _dimension_never_collides(a: AffineExpr, b: AffineExpr) -> bool:
+    """True if subscript equality is impossible for ANY iteration pair."""
+    if a.symbolic_key() != b.symbolic_key():
+        return False
+    if a.has_inner or b.has_inner:
+        # Inner IVs present: only the trivially-identical case is safe to
+        # call out, and that collides rather than never-collides.
+        return False
+    if a.iv_coeff != b.iv_coeff:
+        return False
+    coeff = a.iv_coeff
+    delta = b.const - a.const
+    if coeff == 0:
+        return delta != 0  # ZIV with distinct constants: never equal
+    return delta % coeff != 0
+
+
+def _pair_has_carried_dependence(a: MemoryAccess, b: MemoryAccess) -> bool:
+    if a.subscripts is None or b.subscripts is None:
+        return True
+    if len(a.subscripts) != len(b.subscripts):
+        return True
+    if not a.subscripts:  # scalar location touched every iteration
+        return True
+    for sa, sb in zip(a.subscripts, b.subscripts):
+        if _dimension_never_collides(sa, sb):
+            return False
+        if _dimension_forces_same_iteration(sa, sb):
+            return False
+    return True
+
+
+def analyze_loop_parallelism(counted: CountedLoop,
+                             allow_reductions: bool = False
+                             ) -> ParallelismReport:
+    """Decide whether the counted loop is DOALL (§3.2's 'no dependence
+    across iterations'), possibly conditional on runtime alias checks.
+
+    With ``allow_reductions`` (the §7 extension), carried dependences
+    that form reassociable reduction chains are tolerated and reported
+    in ``report.reductions`` instead of blocking parallelization.
+    """
+    from .reduction import find_reductions, reduction_instructions
+    loop = counted.loop
+    report = ParallelismReport(loop, is_parallel=True)
+    reduction_members = set()
+    if allow_reductions:
+        report.reductions = find_reductions(counted)
+        reduction_members = reduction_instructions(report.reductions)
+
+    # Loop-carried scalar dependences: any header phi besides the IV.
+    # (Phis of *nested* headers are private to one iteration and fine.)
+    for phi in loop.header_phis():
+        if phi is not counted.phi:
+            report.is_parallel = False
+            report.reject_reasons.append(
+                f"loop-carried scalar dependence through phi %{phi.name or '?'}")
+
+    accesses, problems = collect_accesses(counted)
+    report.accesses = accesses
+    if problems:
+        report.is_parallel = False
+        report.reject_reasons.extend(sorted(set(problems)))
+
+    alias_pairs: Set[Tuple[int, int]] = set()
+    alias_values: List[Tuple[Value, Value]] = []
+    for i, a in enumerate(accesses):
+        for b in accesses[i:]:
+            if not (a.is_write or b.is_write):
+                continue
+            relation = alias(a.base, b.base)
+            if relation is AliasResult.NO_ALIAS:
+                continue
+            if a.base is not b.base:
+                # May-alias between distinct bases: version with a runtime
+                # check instead of giving up (Figure 2).
+                key = tuple(sorted((id(a.base), id(b.base))))
+                if key not in alias_pairs:
+                    alias_pairs.add(key)
+                    alias_values.append((a.base, b.base))
+                continue
+            if a.inst in reduction_members and b.inst in reduction_members:
+                # Both ends of a reassociable reduction chain: legal.
+                continue
+            if _pair_has_carried_dependence(a, b):
+                report.is_parallel = False
+                report.reject_reasons.append(
+                    f"loop-carried dependence between {a.inst.opcode} and "
+                    f"{b.inst.opcode} on base '{getattr(a.base, 'name', '?')}'")
+    report.needs_alias_checks = alias_values if report.is_parallel else []
+    return report

@@ -1,0 +1,155 @@
+"""Dominator tree (Cooper-Harvey-Kennedy iterative algorithm) and frontiers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.block import BasicBlock
+from ..ir.module import Function
+from .cfg import reverse_postorder
+
+
+class DominatorTree:
+    def __init__(self, function: Function):
+        self.function = function
+        self.reachable: List[BasicBlock] = reverse_postorder(function)
+        self._rpo_index: Dict[BasicBlock, int] = {
+            b: i for i, b in enumerate(self.reachable)}
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self.children: Dict[BasicBlock, List[BasicBlock]] = {
+            b: [] for b in self.reachable}
+        self._compute()
+
+    def _compute(self) -> None:
+        if not self.reachable:
+            return
+        entry = self.reachable[0]
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.reachable[1:]:
+                preds = [p for p in block.predecessors if p in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(idom, pred, new_idom)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        self.idom = {b: (None if b is entry else idom.get(b))
+                     for b in self.reachable}
+        for block, parent in self.idom.items():
+            if parent is not None:
+                self.children[parent].append(block)
+
+    def _intersect(self, idom, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        index = self._rpo_index
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexively)."""
+        if a is b:
+            return True
+        runner = self.idom.get(b)
+        while runner is not None:
+            if runner is a:
+                return True
+            runner = self.idom.get(runner)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dominance_frontier(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        frontier: Dict[BasicBlock, Set[BasicBlock]] = {
+            b: set() for b in self.reachable}
+        for block in self.reachable:
+            preds = [p for p in block.predecessors if p in self._rpo_index]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner is not self.idom[block] and runner is not None:
+                    frontier[runner].add(block)
+                    runner = self.idom.get(runner)
+        return frontier
+
+    def dfs_order(self) -> List[BasicBlock]:
+        """Pre-order walk of the dominator tree."""
+        if not self.reachable:
+            return []
+        order: List[BasicBlock] = []
+        stack = [self.reachable[0]]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self.children[block]))
+        return order
+
+
+class PostDominatorTree:
+    """Post-dominators over the reversed CFG with a virtual exit.
+
+    Used by the decompiler structurer to find the join block of an
+    if/else diamond (the immediate post-dominator of the branch block).
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        blocks = list(function.blocks)
+        universe = set(blocks)
+        # Full post-dominator sets via iterative dataflow over the
+        # reversed CFG (O(n^2) but function CFGs here are tiny).
+        pdom: Dict[BasicBlock, Set[BasicBlock]] = {}
+        for block in blocks:
+            pdom[block] = {block} if not block.successors else set(universe)
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                succs = block.successors
+                if not succs:
+                    continue
+                new = set(universe)
+                for succ in succs:
+                    new &= pdom[succ]
+                new.add(block)
+                if new != pdom[block]:
+                    pdom[block] = new
+                    changed = True
+        self.pdom = pdom
+        # Immediate post-dominator: the strict post-dominator closest to
+        # the block — i.e. the one post-dominated by every other strict
+        # post-dominator.
+        self.ipdom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        for block in blocks:
+            strict = pdom[block] - {block}
+            immediate = None
+            for candidate in strict:
+                if all(other is candidate or other in pdom[candidate]
+                       for other in strict):
+                    immediate = candidate
+                    break
+            self.ipdom[block] = immediate
+
+    def immediate(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """Immediate post-dominator (None = the virtual exit)."""
+        value = self.ipdom.get(block)
+        return value if value is not block else None
+
+    def post_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        if a is b:
+            return True
+        runner = self.ipdom.get(b)
+        while runner is not None:
+            if runner is a:
+                return True
+            runner = self.ipdom.get(runner)
+        return False

@@ -1,0 +1,193 @@
+"""Induction-variable and counted-loop analysis.
+
+A *counted loop* has a single integer induction variable ``iv`` that
+starts at a loop-invariant value, advances by a constant step each
+iteration, and controls the single exit through a comparison against a
+loop-invariant bound.  Both the top-test (``for``/``while``) and the
+rotated (``do-while``) shapes are recognized; the rotated shape is what
+Polly-parallelized IR exhibits and what SPLENDID de-transforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import (BinaryOp, CondBranch, ICmp, Instruction, Phi,
+                               SWAPPED_PREDICATE)
+from ..ir.values import Argument, Constant, ConstantInt, Value
+from .loops import Loop
+
+
+@dataclass
+class CountedLoop:
+    """Everything needed to print ``for (iv = start; iv PRED bound; iv += step)``."""
+
+    loop: Loop
+    phi: Phi                       # the induction variable
+    start: Value                   # initial value (from the preheader edge)
+    step: ConstantInt              # constant stride
+    step_inst: BinaryOp            # iv.next = add iv, step
+    bound: Value                   # loop-invariant limit
+    predicate: str                 # normalized: "iv <pred> bound" CONTINUES the loop
+    compare: ICmp                  # the controlling comparison
+    compares_next: bool            # condition tests iv.next rather than iv
+    exiting_block: BasicBlock
+    exit_on_true: bool             # branch goes OUT of the loop when cond is true
+
+    @property
+    def is_rotated(self) -> bool:
+        return self.exiting_block is not self.loop.header
+
+    def continue_predicate(self) -> str:
+        """Predicate P such that the loop continues while ``iv P bound``."""
+        return self.predicate
+
+
+def is_loop_invariant(value: Value, loop: Loop) -> bool:
+    if isinstance(value, (Constant, Argument)):
+        return True
+    if isinstance(value, Instruction):
+        return value.parent not in loop.blocks
+    return True
+
+
+def find_induction_phi(loop: Loop) -> Optional[Phi]:
+    counted = analyze_counted_loop(loop)
+    return counted.phi if counted is not None else None
+
+
+def analyze_counted_loop(loop: Loop) -> CountedLoop:
+    """Return the counted-loop description, or ``None`` if not counted."""
+    latch = loop.latch
+    if latch is None:
+        return None
+    exiting = loop.exiting_blocks
+    if len(exiting) != 1:
+        return None
+    exiting_block = exiting[0]
+    term = exiting_block.terminator
+    if not isinstance(term, CondBranch) or not isinstance(term.condition, ICmp):
+        return None
+    compare: ICmp = term.condition
+    exit_on_true = term.if_true not in loop.blocks
+    if not exit_on_true and term.if_false in loop.blocks:
+        return None  # both targets inside the loop: not an exit test
+
+    preheader_preds = [p for p in loop.header.predecessors
+                       if p not in loop.blocks]
+    if len(preheader_preds) != 1:
+        return None
+    entry_pred = preheader_preds[0]
+
+    for phi in loop.header_phis():
+        if not phi.type.is_integer:
+            continue
+        start = phi.incoming_for(entry_pred)
+        latch_value = phi.incoming_for(latch)
+        if start is None or latch_value is None:
+            continue
+        step_inst, step = _match_step(phi, latch_value, loop)
+        if step_inst is None:
+            continue
+        counted = _match_exit_compare(
+            loop, phi, step_inst, step, start, compare,
+            exiting_block, exit_on_true)
+        if counted is not None:
+            return counted
+    return None
+
+
+def _match_step(phi: Phi, latch_value: Value, loop: Loop):
+    """Match ``latch_value = add/sub phi, C`` (within the loop)."""
+    if not isinstance(latch_value, BinaryOp):
+        return None, None
+    if latch_value.parent not in loop.blocks:
+        return None, None
+    if latch_value.opcode == "add":
+        if latch_value.lhs is phi and isinstance(latch_value.rhs, ConstantInt):
+            return latch_value, latch_value.rhs
+        if latch_value.rhs is phi and isinstance(latch_value.lhs, ConstantInt):
+            return latch_value, latch_value.lhs
+    if latch_value.opcode == "sub":
+        if latch_value.lhs is phi and isinstance(latch_value.rhs, ConstantInt):
+            negated = ConstantInt(latch_value.rhs.type, -latch_value.rhs.value)
+            return latch_value, negated
+    return None, None
+
+
+def _match_exit_compare(loop, phi, step_inst, step, start, compare,
+                        exiting_block, exit_on_true) -> Optional[CountedLoop]:
+    lhs, rhs = compare.lhs, compare.rhs
+    predicate = compare.predicate
+
+    def candidate(iv_side: Value, bound_side: Value, pred: str):
+        # The exit test often compares a widened copy of the IV
+        # (e.g. `icmp sle (sext iv.next), %ub`); look through the casts.
+        from ..ir.instructions import Cast
+        while isinstance(iv_side, Cast) and iv_side.opcode in ("sext",
+                                                               "zext"):
+            iv_side = iv_side.value
+        if iv_side is phi:
+            compares_next = False
+        elif iv_side is step_inst:
+            compares_next = True
+        else:
+            return None
+        if not is_loop_invariant(bound_side, loop):
+            return None
+        # Normalize to a CONTINUE predicate: loop continues while iv P bound.
+        if exit_on_true:
+            from ..ir.instructions import INVERTED_PREDICATE
+            if pred not in INVERTED_PREDICATE:
+                return None
+            pred = INVERTED_PREDICATE[pred]
+        return CountedLoop(
+            loop=loop, phi=phi, start=start, step=step, step_inst=step_inst,
+            bound=bound_side, predicate=pred, compare=compare,
+            compares_next=compares_next, exiting_block=exiting_block,
+            exit_on_true=exit_on_true)
+
+    result = candidate(lhs, rhs, predicate)
+    if result is not None:
+        return result
+    swapped = SWAPPED_PREDICATE.get(predicate)
+    if swapped is not None:
+        return candidate(rhs, lhs, swapped)
+    return None
+
+
+def constant_trip_count(counted: CountedLoop) -> Optional[int]:
+    """Exact trip count when start/bound are constants (top-test semantics)."""
+    if not isinstance(counted.start, ConstantInt):
+        return None
+    if not isinstance(counted.bound, ConstantInt):
+        return None
+    start = counted.start.value
+    bound = counted.bound.value
+    step = counted.step.value
+    if step == 0:
+        return None
+    pred = counted.predicate
+    count = 0
+    iv = start
+    # Direct simulation is fine: PolyBench bounds are small at test sizes,
+    # and this helper is only used on constant-bound loops in tests.
+    limit = 10_000_000
+    while count < limit:
+        if pred == "slt" and not iv < bound:
+            break
+        if pred == "sle" and not iv <= bound:
+            break
+        if pred == "sgt" and not iv > bound:
+            break
+        if pred == "sge" and not iv >= bound:
+            break
+        if pred == "ne" and not iv != bound:
+            break
+        if pred == "eq" and not iv == bound:
+            break
+        count += 1
+        iv += step
+    return count

@@ -1,0 +1,98 @@
+"""Backward liveness analysis over SSA values.
+
+Used by the outliner (live-in computation for parallel regions) and by
+tests validating the variable-renaming conflict rule: two values merged
+into one source variable must never be simultaneously live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import Instruction, Phi
+from ..ir.module import Function
+from ..ir.values import Argument, Value
+from .cfg import postorder
+
+
+def _is_trackable(value: Value) -> bool:
+    return isinstance(value, (Instruction, Argument))
+
+
+class Liveness:
+    """live_in / live_out per block, plus a per-instruction query."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.live_in: Dict[BasicBlock, Set[Value]] = {}
+        self.live_out: Dict[BasicBlock, Set[Value]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        use: Dict[BasicBlock, Set[Value]] = {}
+        defs: Dict[BasicBlock, Set[Value]] = {}
+        phi_uses: Dict[BasicBlock, Set[Value]] = {}  # keyed by PREDECESSOR
+
+        for block in self.function.blocks:
+            upward: Set[Value] = set()
+            defined: Set[Value] = set()
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    # Phi uses occur at the end of the incoming edges.
+                    for value, pred in inst.incoming:
+                        if _is_trackable(value):
+                            phi_uses.setdefault(pred, set()).add(value)
+                else:
+                    for op in inst.operands:
+                        if _is_trackable(op) and op not in defined:
+                            upward.add(op)
+                defined.add(inst)
+            use[block] = upward
+            defs[block] = defined
+
+        blocks = self.function.blocks
+        self.live_in = {b: set() for b in blocks}
+        self.live_out = {b: set() for b in blocks}
+        order = postorder(self.function)
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                out: Set[Value] = set(phi_uses.get(block, ()))
+                for succ in block.successors:
+                    out |= self.live_in[succ]
+                new_in = use[block] | (out - defs[block])
+                if out != self.live_out[block] or new_in != self.live_in[block]:
+                    self.live_out[block] = out
+                    self.live_in[block] = new_in
+                    changed = True
+
+    def live_after(self, inst: Instruction) -> Set[Value]:
+        """Values live immediately after ``inst`` executes."""
+        block = inst.parent
+        live = set(self.live_out[block])
+        index = block.index_of(inst)
+        for later in reversed(block.instructions[index + 1:]):
+            live.discard(later)
+            if isinstance(later, Phi):
+                continue
+            for op in later.operands:
+                if _is_trackable(op):
+                    live.add(op)
+        return live
+
+    def overlap(self, a: Value, b: Value) -> bool:
+        """True if values ``a`` and ``b`` are ever live at the same time.
+
+        Conservative SSA overlap test: b is live right after a's
+        definition, or vice versa (sufficient for conflict detection on
+        values proposed to share one source variable).
+        """
+        if isinstance(a, Instruction) and a.parent is not None:
+            if b in self.live_after(a):
+                return True
+        if isinstance(b, Instruction) and b.parent is not None:
+            if a in self.live_after(b):
+                return True
+        return False

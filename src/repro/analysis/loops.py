@@ -1,0 +1,203 @@
+"""Natural-loop detection and loop-shape queries.
+
+``LoopInfo`` discovers natural loops from dominator-identified back
+edges and arranges them into a forest.  ``Loop`` exposes the structural
+queries the rotation pass, Polly, and SPLENDID's Loop-Rotate
+Detransformer need: header, latch, preheader, exiting/exit blocks, and
+whether the loop is in rotated (do-while) form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import CondBranch, Phi
+from ..ir.module import Function
+from .dominators import DominatorTree
+
+
+class Loop:
+    def __init__(self, header: BasicBlock):
+        self.header = header
+        self.blocks: Set[BasicBlock] = {header}
+        self.parent: Optional["Loop"] = None
+        self.subloops: List["Loop"] = []
+
+    # Structure ------------------------------------------------------------
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    @property
+    def depth(self) -> int:
+        depth, loop = 1, self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    @property
+    def latches(self) -> List[BasicBlock]:
+        return [p for p in self.header.predecessors if p in self.blocks]
+
+    @property
+    def latch(self) -> Optional[BasicBlock]:
+        latches = self.latches
+        return latches[0] if len(latches) == 1 else None
+
+    @property
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header whose only
+        successor is the header."""
+        outside = [p for p in self.header.predecessors if p not in self.blocks]
+        if len(outside) != 1:
+            return None
+        candidate = outside[0]
+        if candidate.successors == [self.header]:
+            return candidate
+        return None
+
+    @property
+    def exiting_blocks(self) -> List[BasicBlock]:
+        result = []
+        for block in self.blocks:
+            if any(s not in self.blocks for s in block.successors):
+                result.append(block)
+        result.sort(key=_block_order_key)
+        return result
+
+    @property
+    def exit_blocks(self) -> List[BasicBlock]:
+        result = []
+        for block in self.exiting_blocks:
+            for succ in block.successors:
+                if succ not in self.blocks and succ not in result:
+                    result.append(succ)
+        return result
+
+    @property
+    def unique_exit(self) -> Optional[BasicBlock]:
+        exits = self.exit_blocks
+        return exits[0] if len(exits) == 1 else None
+
+    # Shape ------------------------------------------------------------------
+
+    @property
+    def is_rotated(self) -> bool:
+        """True when the (unique) latch is also the (unique) exiting block
+        — the do-while shape produced by loop rotation."""
+        latch = self.latch
+        if latch is None:
+            return False
+        exiting = self.exiting_blocks
+        return exiting == [latch] and isinstance(latch.terminator, CondBranch)
+
+    @property
+    def is_top_test(self) -> bool:
+        """True when the header is the only exiting block and the body
+        follows it (while/for shape).  Single-block loops test at the
+        bottom by construction and report as rotated instead."""
+        if self.latch is self.header:
+            return False
+        exiting = self.exiting_blocks
+        return exiting == [self.header] and isinstance(
+            self.header.terminator, CondBranch)
+
+    def header_phis(self) -> List[Phi]:
+        return [i for i in self.header.instructions if isinstance(i, Phi)]
+
+    def blocks_in_layout_order(self) -> List[BasicBlock]:
+        function = self.header.parent
+        return [b for b in function.blocks if b in self.blocks]
+
+    def __repr__(self) -> str:
+        return (f"<Loop header={self.header.name} depth={self.depth} "
+                f"blocks={sorted(b.name for b in self.blocks)}>")
+
+
+def _block_order_key(block: BasicBlock):
+    function = block.parent
+    if function is not None and block in function.blocks:
+        return function.blocks.index(block)
+    return 0
+
+
+class LoopInfo:
+    """Loop forest for one function."""
+
+    def __init__(self, function: Function,
+                 domtree: Optional[DominatorTree] = None):
+        self.function = function
+        self.domtree = domtree or DominatorTree(function)
+        self.top_level: List[Loop] = []
+        self._loop_of_header: Dict[BasicBlock, Loop] = {}
+        self._innermost: Dict[BasicBlock, Loop] = {}
+        self._discover()
+
+    def _discover(self) -> None:
+        # Find back edges: tail -> head where head dominates tail.
+        back_edges: Dict[BasicBlock, List[BasicBlock]] = {}
+        for block in self.domtree.reachable:
+            for succ in block.successors:
+                if self.domtree.dominates(succ, block):
+                    back_edges.setdefault(succ, []).append(block)
+
+        # Build one loop per header, merging all its back edges.
+        loops: List[Loop] = []
+        for header, tails in back_edges.items():
+            loop = Loop(header)
+            worklist = list(tails)
+            while worklist:
+                block = worklist.pop()
+                if block in loop.blocks:
+                    continue
+                loop.blocks.add(block)
+                worklist.extend(p for p in block.predecessors
+                                if p in self.domtree._rpo_index)
+            loops.append(loop)
+            self._loop_of_header[header] = loop
+
+        # Nest loops: a loop is a subloop of the smallest loop strictly
+        # containing its header.
+        loops.sort(key=lambda l: len(l.blocks))
+        for i, inner in enumerate(loops):
+            for outer in loops[i + 1:]:
+                if inner.header in outer.blocks and outer is not inner:
+                    inner.parent = outer
+                    outer.subloops.append(inner)
+                    break
+        self.top_level = [l for l in loops if l.parent is None]
+        self.top_level.sort(key=lambda l: _block_order_key(l.header))
+        for loop in loops:
+            loop.subloops.sort(key=lambda l: _block_order_key(l.header))
+        for loop in loops:
+            for block in loop.blocks:
+                current = self._innermost.get(block)
+                if current is None or len(loop.blocks) < len(current.blocks):
+                    self._innermost[block] = loop
+
+    # Queries --------------------------------------------------------------------
+
+    def loop_for(self, block: BasicBlock) -> Optional[Loop]:
+        """Innermost loop containing ``block``."""
+        return self._innermost.get(block)
+
+    def loop_with_header(self, header: BasicBlock) -> Optional[Loop]:
+        return self._loop_of_header.get(header)
+
+    def all_loops(self) -> List[Loop]:
+        result: List[Loop] = []
+        stack = list(self.top_level)
+        while stack:
+            loop = stack.pop(0)
+            result.append(loop)
+            stack = loop.subloops + stack
+        return result
+
+    def innermost_loops(self) -> List[Loop]:
+        return [l for l in self.all_loops() if not l.subloops]
+
+    def loop_depth(self, block: BasicBlock) -> int:
+        loop = self.loop_for(block)
+        return loop.depth if loop is not None else 0

@@ -1,0 +1,160 @@
+"""Reduction recognition (the paper's §7 'future work' extension).
+
+A *memory reduction* in a loop is the carried chain
+
+    t = load X ; r = t OP e ; store r, X
+
+where X is a loop-invariant address, OP is commutative and associative,
+the load's only consumer is OP, and X is not otherwise touched in the
+loop.  Such a chain is the only legal way a DOALL transform can tolerate
+a carried dependence: iterations may be reordered because OP reassociates.
+
+Scalar reductions (an accumulator phi) are handled by first demoting the
+phi to a stack slot (:mod:`repro.passes.reg2mem`), which turns them into
+memory reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..ir.instructions import (BinaryOp, DbgValue, Instruction, Load, Phi,
+                               Store)
+from ..ir.values import Value
+from .alias import base_object
+from .induction import CountedLoop, is_loop_invariant
+from .loops import Loop
+
+#: Opcodes safe to reassociate across iterations.  Floating-point
+#: addition/multiplication is included the same way -ffast-math /
+#: OpenMP reduction semantics allow it (the paper's OpenMP targets
+#: accept reduction reordering by specification).
+REASSOCIABLE_OPS = frozenset({"add", "mul", "fadd", "fmul"})
+
+REDUCTION_SYMBOL = {"add": "+", "fadd": "+", "mul": "*", "fmul": "*"}
+
+
+@dataclass
+class MemoryReduction:
+    """One recognized reduction chain."""
+
+    load: Load
+    op: BinaryOp
+    store: Store
+    pointer: Value            # the loop-invariant address X
+    opcode: str
+
+    @property
+    def symbol(self) -> str:
+        return REDUCTION_SYMBOL[self.opcode]
+
+
+def _real_users(inst: Instruction) -> List[Instruction]:
+    return [u for u in inst.users if not isinstance(u, DbgValue)]
+
+
+def _same_address(a: Value, b: Value) -> bool:
+    if a is b:
+        return True
+    # CSE usually collapses identical GEPs; identical structure with the
+    # same operands also counts.
+    from ..ir.instructions import GetElementPtr
+    if isinstance(a, GetElementPtr) and isinstance(b, GetElementPtr):
+        return a.pointer is b.pointer and len(a.indices) == len(b.indices) \
+            and all(x is y for x, y in zip(a.indices, b.indices))
+    return False
+
+
+def _collect_chain(loop: Loop, root: Value, opcode: str) -> Optional[list]:
+    """Nodes of the reassociation chain rooted at ``root``: BinaryOps of
+    the same opcode, inside the loop, each used exactly once (by its
+    chain parent / the store).  Returns None on any violation."""
+    if not isinstance(root, BinaryOp) or root.opcode != opcode \
+            or root.parent not in loop.blocks:
+        return None
+    chain = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        chain.append(node)
+        for side in (node.lhs, node.rhs):
+            if isinstance(side, BinaryOp) and side.opcode == opcode \
+                    and side.parent in loop.blocks \
+                    and len(_real_users(side)) == 1:
+                stack.append(side)
+    return chain
+
+
+def _chain_leaves(chain: list) -> list:
+    members = set(chain)
+    leaves = []
+    for node in chain:
+        for side in (node.lhs, node.rhs):
+            if side not in members:
+                leaves.append(side)
+    return leaves
+
+
+def match_memory_reduction(loop: Loop, store: Store) -> Optional[MemoryReduction]:
+    """Try to match ``store`` as the tail of a reduction chain in ``loop``.
+
+    The stored value may be a whole reassociation chain — e.g.
+    ``(old + a) + b`` — as long as exactly one leaf is the load of the
+    same address and the old value does not otherwise escape.
+    """
+    pointer = store.pointer
+    if not is_loop_invariant(pointer, loop) and not (
+            isinstance(pointer, Instruction)
+            and pointer.parent in loop.blocks
+            and all(is_loop_invariant(op, loop) for op in pointer.operands)):
+        return None
+    value = store.value
+    if not isinstance(value, BinaryOp) or value.opcode not in REASSOCIABLE_OPS:
+        return None
+    chain = _collect_chain(loop, value, value.opcode)
+    if chain is None:
+        return None
+    if _real_users(value) != [store]:
+        return None
+
+    loads = [leaf for leaf in _chain_leaves(chain)
+             if isinstance(leaf, Load) and leaf.parent in loop.blocks
+             and _same_address(leaf.pointer, pointer)]
+    if len(loads) != 1:
+        return None
+    load = loads[0]
+    if len(_real_users(load)) != 1:
+        return None  # the old value escapes: not a pure reduction
+
+    # X must not be accessed by anything else in the loop.
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst in (load, store):
+                continue
+            if isinstance(inst, Load) and _same_address(inst.pointer, pointer):
+                return None
+            if isinstance(inst, Store) and _same_address(inst.pointer,
+                                                         pointer):
+                return None
+    return MemoryReduction(load=load, op=value, store=store,
+                           pointer=pointer, opcode=value.opcode)
+
+
+def find_reductions(counted: CountedLoop) -> List[MemoryReduction]:
+    """All reduction chains in the loop (used by legality + pragma gen)."""
+    reductions = []
+    for block in counted.loop.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Store):
+                match = match_memory_reduction(counted.loop, inst)
+                if match is not None:
+                    reductions.append(match)
+    return reductions
+
+
+def reduction_instructions(reductions: List[MemoryReduction]) -> set:
+    members = set()
+    for reduction in reductions:
+        members.update((reduction.load, reduction.op, reduction.store))
+    return members

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the paper's workflow:
+
+* ``compile FILE.c``      — mini-C -> (-O2) IR, printed as textual IR;
+* ``parallelize FILE.c``  — additionally run the Polly-style
+  parallelizer and print the parallel IR;
+* ``decompile FILE``      — decompile a C file (compiled+parallelized
+  first) or a textual-IR file (``.ll``) with the chosen tool/variant;
+* ``run FILE.c``          — execute ``main`` in the interpreter and
+  print the program output plus modeled cycles;
+* ``report``              — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _load_module(path: str, defines, optimize: bool, parallelize: bool,
+                 enable_reductions: bool = False):
+    from .frontend import compile_source
+    from .ir import parse_ir, verify_module
+    from .passes import optimize_o2
+    from .polly import parallelize_module
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith(".ll"):
+        module = parse_ir(text)
+    else:
+        module = compile_source(text, defines, module_name=path)
+        if optimize:
+            optimize_o2(module)
+        if parallelize:
+            parallelize_module(module,
+                               enable_reductions=enable_reductions)
+    verify_module(module)
+    return module
+
+
+def _parse_defines(items: Optional[List[str]]):
+    defines = {}
+    for item in items or []:
+        name, _, value = item.partition("=")
+        defines[name] = value or "1"
+    return defines
+
+
+def cmd_compile(args) -> int:
+    from .ir import print_module
+    module = _load_module(args.file, _parse_defines(args.define),
+                          optimize=not args.O0, parallelize=False)
+    print(print_module(module))
+    return 0
+
+
+def cmd_parallelize(args) -> int:
+    from .ir import print_module
+    module = _load_module(args.file, _parse_defines(args.define),
+                          optimize=True, parallelize=True,
+                          enable_reductions=args.reductions)
+    print(print_module(module))
+    return 0
+
+
+def cmd_decompile(args) -> int:
+    module = _load_module(args.file, _parse_defines(args.define),
+                          optimize=True, parallelize=not args.sequential,
+                          enable_reductions=args.reductions)
+    if args.tool == "splendid":
+        from .core import decompile
+        print(decompile(module, args.variant))
+    else:
+        from .decompilers import cbackend, ghidra, rellic
+        tool = {"rellic": rellic, "ghidra": ghidra,
+                "cbackend": cbackend}[args.tool]
+        print(tool.decompile(module))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .runtime import Interpreter, MachineModel
+    module = _load_module(args.file, _parse_defines(args.define),
+                          optimize=not args.O0,
+                          parallelize=args.parallelize)
+    machine = MachineModel(num_threads=args.threads)
+    result = Interpreter(module, machine).run(args.entry)
+    for line in result.output:
+        print(line)
+    print(f"[exit value: {result.value}; "
+          f"{result.cost.dynamic_instructions} instructions; "
+          f"{result.wall_time:.0f} modeled cycles]", file=sys.stderr)
+    return 0
+
+
+REPORTS = {
+    "table1": ("benchmarks table 1 (feature matrix)", None),
+    "table3": ("loops parallelizable", "table3"),
+    "table4": ("LoC similarity", "table4"),
+    "fig6": ("portability speedups", "fig6"),
+    "fig7": ("BLEU naturalness", "fig7"),
+    "fig8": ("variable restoration", "fig8"),
+    "fig9": ("collaborative parallelization", "fig9"),
+}
+
+
+def cmd_report(args) -> int:
+    from .eval import (figure6_speedups, figure7_bleu, figure8_restoration,
+                       figure9_collaboration, render_figure6, render_figure7,
+                       render_figure8, render_figure9, render_table3,
+                       render_table4, table3_loops, table4_loc)
+    name = args.name
+    benchmarks = args.benchmark or None
+    if name == "fig6":
+        print(render_figure6(figure6_speedups(benchmarks)))
+    elif name == "fig7":
+        print(render_figure7(figure7_bleu(benchmarks)))
+    elif name == "fig8":
+        print(render_figure8(figure8_restoration(benchmarks)))
+    elif name == "fig9":
+        print(render_figure9(figure9_collaboration()))
+    elif name == "table3":
+        print(render_table3(table3_loops(benchmarks)))
+    elif name == "table4":
+        print(render_table4(table4_loc(benchmarks)))
+    else:
+        print(f"unknown report {name!r}; choose from "
+              f"{sorted(k for k in REPORTS if k != 'table1')}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPLENDID reproduction: parallel IR decompilation")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="mini-C source (.c) or textual IR (.ll)")
+        p.add_argument("-D", "--define", action="append", metavar="NAME=VAL",
+                       help="macro definition (repeatable)")
+
+    p_compile = sub.add_parser("compile", help="compile to (optimized) IR")
+    add_common(p_compile)
+    p_compile.add_argument("--O0", action="store_true",
+                           help="skip the -O2 pipeline")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_par = sub.add_parser("parallelize", help="compile + auto-parallelize")
+    add_common(p_par)
+    p_par.add_argument("--reductions", action="store_true",
+                       help="enable the reduction extension")
+    p_par.set_defaults(func=cmd_parallelize)
+
+    p_dec = sub.add_parser("decompile", help="decompile with a chosen tool")
+    add_common(p_dec)
+    p_dec.add_argument("--tool", default="splendid",
+                       choices=("splendid", "rellic", "ghidra", "cbackend"))
+    p_dec.add_argument("--variant", default="full",
+                       choices=("v1", "v2", "portable", "full"),
+                       help="SPLENDID variant (ignored for other tools)")
+    p_dec.add_argument("--sequential", action="store_true",
+                       help="skip the parallelizer (decompile -O2 IR)")
+    p_dec.add_argument("--reductions", action="store_true")
+    p_dec.set_defaults(func=cmd_decompile)
+
+    p_run = sub.add_parser("run", help="execute in the interpreter")
+    add_common(p_run)
+    p_run.add_argument("--entry", default="main")
+    p_run.add_argument("--threads", type=int, default=28)
+    p_run.add_argument("--O0", action="store_true")
+    p_run.add_argument("--parallelize", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_report = sub.add_parser("report", help="regenerate a paper table/figure")
+    p_report.add_argument("name", choices=sorted(
+        k for k in REPORTS if k != "table1"))
+    p_report.add_argument("-b", "--benchmark", action="append",
+                          help="restrict to named benchmarks (repeatable)")
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

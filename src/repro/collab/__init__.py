@@ -1,0 +1,12 @@
+"""repro.collab — collaborative parallelization on decompiled code."""
+
+from .edits import (EditError, all_loops, distribute_loop,
+                    interchange_nest, parallelize_loop,
+                    remove_sequential_fallback, top_level_loops)
+from .session import CollaborationSession, SessionResult
+
+__all__ = [
+    "EditError", "all_loops", "distribute_loop", "interchange_nest", "parallelize_loop",
+    "remove_sequential_fallback", "top_level_loops",
+    "CollaborationSession", "SessionResult",
+]

@@ -1,0 +1,209 @@
+"""Programmer-edit operations on decompiled units (interactive development).
+
+These are the handful of small, source-level changes the paper's
+collaboration case studies perform on SPLENDID output: adding OpenMP
+pragmas to loops the compiler skipped, distributing a loop, swapping a
+perfect nest, and removing a compiler-inserted sequential fallback
+(Figure 2's aliasing-check cleanup).  All operations work on the mini-C
+AST, so an edited unit can be re-printed, re-checked, recompiled, and
+re-run.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, List, Optional
+
+from ..minic import c_ast as ast
+
+
+class EditError(Exception):
+    pass
+
+
+def _function(unit: ast.TranslationUnit, name: str) -> ast.FunctionDef:
+    try:
+        return unit.function(name)
+    except KeyError:
+        raise EditError(f"no function named '{name}'")
+
+
+def top_level_loops(function: ast.FunctionDef) -> List[ast.For]:
+    """For-loops at statement level in the function body (not nested),
+    looking through parallel-region compounds."""
+    loops: List[ast.For] = []
+
+    def scan(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.For):
+            loops.append(stmt)
+        elif isinstance(stmt, ast.Compound):
+            for child in stmt.body:
+                scan(child)
+
+    if function.body is not None:
+        for stmt in function.body.body:
+            scan(stmt)
+    return loops
+
+
+def all_loops(function: ast.FunctionDef) -> List[ast.For]:
+    """Every for-loop in the function, pre-order (outer before inner).
+
+    This is the indexing the edit operations use, so nested loops are
+    addressable too.
+    """
+    loops: List[ast.For] = []
+    if function.body is not None:
+        for stmt in ast.walk_stmts(function.body):
+            if isinstance(stmt, ast.For):
+                loops.append(stmt)
+    return loops
+
+
+def _loop_at(function: ast.FunctionDef, index: int) -> ast.For:
+    loops = all_loops(function)
+    if index >= len(loops):
+        raise EditError(
+            f"'{function.name}' has {len(loops)} loops; "
+            f"index {index} is out of range")
+    return loops[index]
+
+
+def parallelize_loop(unit: ast.TranslationUnit, function: str,
+                     loop_index: int, schedule: str = "static",
+                     nowait: bool = True,
+                     private: tuple = ()) -> ast.TranslationUnit:
+    """Wrap the ``loop_index``-th loop of ``function`` in
+    ``#pragma omp parallel { #pragma omp for ... }`` (a DOALL assertion
+    by the programmer).  Scalars the body writes per-iteration (e.g.
+    inner loop counters declared outside) go in ``private``."""
+    fn = _function(unit, function)
+    target = _loop_at(fn, loop_index)
+    if target.pragmas:
+        raise EditError("loop already carries pragmas")
+
+    region = ast.Compound([target])
+    region.pragmas = [ast.OmpPragma(directive="parallel")]
+    target.pragmas = [ast.OmpPragma(directive="for", schedule=schedule,
+                                    nowait=nowait,
+                                    private=tuple(private))]
+    _replace_stmt(fn.body, target, region)
+    return unit
+
+
+def distribute_loop(unit: ast.TranslationUnit, function: str,
+                    loop_index: int, split_at: int) -> ast.TranslationUnit:
+    """Split one loop into two consecutive loops: statements
+    ``[0:split_at)`` stay in the first, the rest move to a clone."""
+    fn = _function(unit, function)
+    loop = _loop_at(fn, loop_index)
+    body = loop.body
+    if not isinstance(body, ast.Compound):
+        raise EditError("loop body must be a compound to distribute")
+    if not (0 < split_at < len(body.body)):
+        raise EditError(
+            f"split point {split_at} outside (0, {len(body.body)})")
+
+    second = ast.For(copy.deepcopy(loop.init), copy.deepcopy(loop.condition),
+                     copy.deepcopy(loop.step),
+                     ast.Compound(body.body[split_at:]))
+    body.body = body.body[:split_at]
+    _insert_after(fn.body, loop, second)
+    return unit
+
+
+def interchange_nest(unit: ast.TranslationUnit, function: str,
+                     loop_index: int) -> ast.TranslationUnit:
+    """Swap the headers of a perfect 2-deep loop nest (legality is the
+    programmer's assertion)."""
+    fn = _function(unit, function)
+    outer = _loop_at(fn, loop_index)
+    inner = _sole_inner_loop(outer)
+    if inner is None:
+        raise EditError("loop is not a perfect 2-deep nest")
+    outer.init, inner.init = inner.init, outer.init
+    outer.condition, inner.condition = inner.condition, outer.condition
+    outer.step, inner.step = inner.step, outer.step
+    return unit
+
+
+def _sole_inner_loop(outer: ast.For) -> Optional[ast.For]:
+    body = outer.body
+    if isinstance(body, ast.For):
+        return body
+    if isinstance(body, ast.Compound) and len(body.body) == 1 \
+            and isinstance(body.body[0], ast.For):
+        return body.body[0]
+    return None
+
+
+def remove_sequential_fallback(unit: ast.TranslationUnit,
+                               function: str) -> ast.TranslationUnit:
+    """Figure 2 scenario (a): the programmer knows the pointers never
+    alias, so the compiler's runtime aliasing check and its sequential
+    fallback are deleted, keeping only the parallel version."""
+    fn = _function(unit, function)
+
+    def rewrite(stmts: List[ast.Stmt]) -> bool:
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.If) and stmt.else_body is not None \
+                    and _contains_parallel_region(stmt.then_body):
+                replacement = stmt.then_body
+                if isinstance(replacement, ast.Compound) \
+                        and not replacement.pragmas:
+                    stmts[i:i + 1] = list(replacement.body)
+                else:
+                    stmts[i] = replacement
+                return True
+            if isinstance(stmt, ast.Compound) and rewrite(stmt.body):
+                return True
+        return False
+
+    if fn.body is None or not rewrite(fn.body.body):
+        raise EditError(
+            f"'{function}' has no guarded parallel version to simplify")
+    return unit
+
+
+def _contains_parallel_region(stmt: ast.Stmt) -> bool:
+    for node in ast.walk_stmts(stmt):
+        if isinstance(node, ast.Compound) and any(
+                p.directive == "parallel" for p in node.pragmas):
+            return True
+        if isinstance(node, ast.For) and any(
+                "parallel" in p.directive or p.directive == "for"
+                for p in node.pragmas):
+            return True
+    return False
+
+
+def _replace_stmt(root: ast.Compound, old: ast.Stmt, new: ast.Stmt) -> None:
+    for node in ast.walk_stmts(root):
+        if isinstance(node, ast.Compound):
+            for i, child in enumerate(node.body):
+                if child is old:
+                    node.body[i] = new
+                    return
+        elif isinstance(node, (ast.For, ast.While, ast.DoWhile)):
+            if node.body is old:
+                node.body = new
+                return
+        elif isinstance(node, ast.If):
+            if node.then_body is old:
+                node.then_body = new
+                return
+            if node.else_body is old:
+                node.else_body = new
+                return
+    raise EditError("statement not found in function body")
+
+
+def _insert_after(root: ast.Compound, anchor: ast.Stmt,
+                  new: ast.Stmt) -> None:
+    for node in ast.walk_stmts(root):
+        if isinstance(node, ast.Compound):
+            for i, child in enumerate(node.body):
+                if child is anchor:
+                    node.body.insert(i + 1, new)
+                    return
+    raise EditError("anchor statement not found")

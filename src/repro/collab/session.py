@@ -1,0 +1,100 @@
+"""Collaborative-parallelization sessions (the paper's §3.5.1 workflow).
+
+A :class:`CollaborationSession` wraps the full loop: compile + Polly →
+SPLENDID decompile → programmer edits (on the AST) → recompile with the
+mini-C front end → execute and compare both correctness and modeled
+speedup against the compiler-only version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core import Splendid
+from ..frontend import compile_source
+from ..ir.module import Module
+from ..minic import c_ast as ast
+from ..minic.printer import print_unit
+from ..minic.sema import check
+from ..passes import optimize_o2
+from ..polly import parallelize_module
+from ..runtime import Interpreter, MachineModel
+
+
+@dataclass
+class SessionResult:
+    original_output: List[str]
+    edited_output: List[str]
+    compiler_time: float
+    collaborative_time: float
+
+    @property
+    def outputs_match(self) -> bool:
+        return self.original_output == self.edited_output
+
+    @property
+    def speedup_over_compiler(self) -> float:
+        if self.collaborative_time <= 0:
+            return float("inf")
+        return self.compiler_time / self.collaborative_time
+
+
+class CollaborationSession:
+    def __init__(self, source: str, defines: Optional[Dict[str, str]] = None,
+                 kernel_functions: Optional[List[str]] = None,
+                 machine: Optional[MachineModel] = None):
+        self.source = source
+        self.defines = dict(defines or {})
+        self.machine = machine or MachineModel()
+        self.module = compile_source(source, self.defines)
+        optimize_o2(self.module)
+        self.polly = parallelize_module(self.module,
+                                        only_functions=kernel_functions)
+        self.splendid = Splendid(self.module, "full")
+        self.unit = self.splendid.decompile()
+        self._edits: List[str] = []
+
+    # Programmer-facing surface --------------------------------------------------
+
+    def decompiled_text(self) -> str:
+        return print_unit(self.unit)
+
+    def apply(self, edit: Callable[[ast.TranslationUnit], ast.TranslationUnit],
+              description: str = "") -> "CollaborationSession":
+        self.unit = edit(self.unit)
+        self._edits.append(description or getattr(edit, "__name__", "edit"))
+        return self
+
+    @property
+    def edits(self) -> List[str]:
+        return list(self._edits)
+
+    # Evaluation ---------------------------------------------------------------------
+
+    def recompile(self) -> Module:
+        text = print_unit(self.unit)
+        module = compile_source(text, self.defines, "collab")
+        optimize_o2(module)
+        return module
+
+    def evaluate(self, entry: str = "main", kernel: str = "kernel",
+                 init: str = "init") -> SessionResult:
+        original_out = Interpreter(self.module, self.machine).run(entry).output
+        edited = self.recompile()
+        edited_out = Interpreter(edited, self.machine).run(entry).output
+
+        def time_kernel(module: Module) -> float:
+            interp = Interpreter(module, self.machine)
+            if init in module.functions \
+                    and not module.functions[init].is_declaration:
+                interp.run(init)
+            before = interp.wall_time
+            interp.run(kernel)
+            return interp.wall_time - before
+
+        return SessionResult(
+            original_output=original_out,
+            edited_output=edited_out,
+            compiler_time=time_kernel(self.module),
+            collaborative_time=time_kernel(edited))

@@ -1,0 +1,31 @@
+"""repro.core — SPLENDID, the paper's primary contribution.
+
+An LLVM-IR-to-C/OpenMP decompiler producing portable, natural parallel
+source: parallel semantic analysis, parallel-region de-transformation
+with loop-parameter restoration and inlining, pragma generation,
+loop-rotation de-transformation, and debug-metadata-driven variable
+renaming with conflict elimination.
+"""
+
+from .analyzer import (ForkSite, MicrotaskInfo, ParallelAnalysisError,
+                       analyze_microtask, find_fork_sites,
+                       outlined_functions)
+from .detransform import DetransformError, translate_fork_call
+from .pipeline import (Splendid, VARIANTS, decompile, decompile_unit,
+                       options_for)
+from .pragma_gen import pragmas_for_region, parallel_pragma, worksharing_pragma
+from .variables import (MostRecentDefinitions, RestorationStats,
+                        VariableProposal, generate_module_names,
+                        generate_variable_names, propose_variables,
+                        remove_conflicts)
+
+__all__ = [
+    "ForkSite", "MicrotaskInfo", "ParallelAnalysisError",
+    "analyze_microtask", "find_fork_sites", "outlined_functions",
+    "DetransformError", "translate_fork_call",
+    "Splendid", "VARIANTS", "decompile", "decompile_unit", "options_for",
+    "pragmas_for_region", "parallel_pragma", "worksharing_pragma",
+    "MostRecentDefinitions", "RestorationStats", "VariableProposal",
+    "generate_module_names", "generate_variable_names",
+    "propose_variables", "remove_conflicts",
+]

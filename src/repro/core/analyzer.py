@@ -1,0 +1,175 @@
+"""Parallel Semantic Analyzer (§4.1.1).
+
+Collects the OpenMP runtime calls and recovers the structure of each
+outlined parallel region: which function is the microtask, where the
+worksharing init/fini calls are, which stack slots carry the bounds,
+what the original (sequential) bounds were, and which schedule the
+runtime parameters encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.induction import CountedLoop, analyze_counted_loop
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.instructions import (Alloca, Call, Instruction, Load, Store)
+from ..ir.module import Function, Module
+from ..ir.values import Argument, ConstantInt, Value
+from ..polly.runtime_decls import BARRIER, FORK_CALL, STATIC_FINI, STATIC_INIT
+
+
+class ParallelAnalysisError(Exception):
+    pass
+
+
+@dataclass
+class MicrotaskInfo:
+    """Everything the detransformer needs about one outlined region."""
+
+    function: Function
+    init_call: Call
+    fini_call: Call
+    loop: Loop
+    counted: CountedLoop
+    lb_slot: Alloca
+    ub_slot: Alloca
+    lb_source: Value                 # value stored to the slot BEFORE init
+    ub_source: Value                 # (these are the sequential bounds)
+    thread_loads: Dict[Value, Value] = field(default_factory=dict)
+    schedule: str = "static"
+    chunk: Optional[int] = None
+    nowait: bool = True
+
+    @property
+    def shared_params(self) -> List[Argument]:
+        return list(self.function.arguments[4:])
+
+
+@dataclass
+class ForkSite:
+    call: Call
+    microtask: Function
+    lb_arg: Value
+    ub_arg: Value
+    shared_args: List[Value]
+
+
+def find_fork_sites(function: Function) -> List[ForkSite]:
+    sites = []
+    for inst in function.instructions():
+        if isinstance(inst, Call) and inst.callee_name == FORK_CALL:
+            args = inst.args
+            microtask = args[0]
+            if not isinstance(microtask, Function):
+                raise ParallelAnalysisError(
+                    "fork call without a direct microtask reference")
+            sites.append(ForkSite(inst, microtask, args[1], args[2],
+                                  list(args[3:])))
+    return sites
+
+
+def _slot_of(pointer: Value) -> Alloca:
+    if not isinstance(pointer, Alloca):
+        raise ParallelAnalysisError(
+            f"worksharing bound is not a stack slot: {pointer}")
+    return pointer
+
+
+def _stored_before(slot: Alloca, before: Call) -> Value:
+    """The value stored to ``slot`` before the init call — the paper's
+    'loop parameters ... used as arguments for the initialization call'."""
+    block = before.parent
+    init_index = block.index_of(before)
+    stored: Optional[Value] = None
+    for user in slot.users:
+        if isinstance(user, Store) and user.pointer is slot:
+            if user.parent is block and block.index_of(user) < init_index:
+                stored = user.value
+    if stored is None:
+        raise ParallelAnalysisError("no pre-init store of the loop bound")
+    return stored
+
+
+def _loads_after(slot: Alloca, after: Call) -> List[Load]:
+    block = after.parent
+    init_index = block.index_of(after)
+    loads = []
+    for user in slot.users:
+        if isinstance(user, Load) and user.parent is block \
+                and block.index_of(user) > init_index:
+            loads.append(user)
+    return loads
+
+
+def analyze_microtask(microtask: Function) -> MicrotaskInfo:
+    """Recover the parallel-region structure of one outlined function."""
+    init_call: Optional[Call] = None
+    fini_call: Optional[Call] = None
+    saw_barrier = False
+    for inst in microtask.instructions():
+        if isinstance(inst, Call):
+            if inst.callee_name == STATIC_INIT:
+                init_call = inst
+            elif inst.callee_name == STATIC_FINI:
+                fini_call = inst
+            elif inst.callee_name == BARRIER:
+                saw_barrier = True
+    if init_call is None or fini_call is None:
+        raise ParallelAnalysisError(
+            f"@{microtask.name}: missing worksharing init/fini calls")
+
+    sched_arg = init_call.args[2]
+    schedule, chunk = "static", None
+    if isinstance(sched_arg, ConstantInt):
+        if sched_arg.value == 33:
+            schedule = "static"
+            chunk_arg = init_call.args[7]
+            if isinstance(chunk_arg, ConstantInt):
+                chunk = chunk_arg.value
+        elif sched_arg.value == 35:
+            schedule = "dynamic"
+            chunk_arg = init_call.args[7]
+            if isinstance(chunk_arg, ConstantInt) and chunk_arg.value > 1:
+                chunk = chunk_arg.value
+
+    lb_slot = _slot_of(init_call.args[3])
+    ub_slot = _slot_of(init_call.args[4])
+    lb_source = _stored_before(lb_slot, init_call)
+    ub_source = _stored_before(ub_slot, init_call)
+
+    info_loads: Dict[Value, Value] = {}
+    for load in _loads_after(lb_slot, init_call):
+        info_loads[load] = lb_source
+    for load in _loads_after(ub_slot, init_call):
+        info_loads[load] = ub_source
+
+    # The parallelized loop lies between the init and fini calls.
+    loop_info = LoopInfo(microtask)
+    if len(loop_info.top_level) != 1:
+        raise ParallelAnalysisError(
+            f"@{microtask.name}: expected exactly one worksharing loop, "
+            f"found {len(loop_info.top_level)}")
+    loop = loop_info.top_level[0]
+    counted = analyze_counted_loop(loop)
+    if counted is None:
+        raise ParallelAnalysisError(
+            f"@{microtask.name}: worksharing loop is not counted")
+
+    return MicrotaskInfo(
+        function=microtask, init_call=init_call, fini_call=fini_call,
+        loop=loop, counted=counted, lb_slot=lb_slot, ub_slot=ub_slot,
+        lb_source=lb_source, ub_source=ub_source, thread_loads=info_loads,
+        schedule=schedule, chunk=chunk, nowait=not saw_barrier)
+
+
+def outlined_functions(module: Module) -> List[Function]:
+    """Microtasks = functions referenced by fork calls (pattern-matched,
+    not trusted from flags)."""
+    result: List[Function] = []
+    for function in module.defined_functions():
+        for site in find_fork_sites(function):
+            if site.microtask not in result:
+                result.append(site.microtask)
+    return result

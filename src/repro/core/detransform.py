@@ -1,0 +1,229 @@
+"""Parallel Region Detransformer + Loop Inliner (§4.1.2, §3.4).
+
+For each ``__kmpc_fork_call`` site this module:
+
+1. restores the parallelized loop's parameters — the thread-local
+   ``lb``/``ub`` loads are replaced by the *sequential* bounds that were
+   stored to the slots before the init call, which themselves map back
+   to the fork-call arguments in the caller;
+2. removes every parallelization setup instruction (allocas, stores,
+   the init/fini calls, the chunk-nonempty guard) by never emitting
+   them;
+3. inlines the loop into the sequential code region, substituting the
+   fork-call arguments for the outlined function's parameters (this is
+   also how argB inherits the caller name B, §3.4);
+4. wraps the restored loop in the pragmas chosen by the Pragma
+   Generator.
+
+The result is a statement list the decompilation engine splices in
+place of the fork call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..decompilers.engine import FunctionEmitter, _LoopContext
+from ..ir.instructions import Call, Instruction
+from ..ir.values import Value
+from ..minic import c_ast as ast
+from .analyzer import (ForkSite, MicrotaskInfo, ParallelAnalysisError,
+                       analyze_microtask)
+from .pragma_gen import pragmas_for_region
+
+
+class DetransformError(Exception):
+    pass
+
+
+def translate_fork_call(caller: FunctionEmitter, call: Call,
+                        info_cache: Dict[str, MicrotaskInfo]) -> List[ast.Stmt]:
+    """Produce the OpenMP-C statements replacing one fork call."""
+    microtask = call.args[0]
+    info = info_cache.get(microtask.name)
+    if info is None:
+        info = analyze_microtask(microtask)
+        info_cache[microtask.name] = info
+
+    # --- Loop Inliner: params <- fork-call arguments (in caller exprs).
+    overrides: Dict[Value, ast.Expr] = {}
+    lb_expr = caller.expr(call.args[1])
+    ub_expr = caller.expr(call.args[2])
+    overrides[microtask.arguments[2]] = lb_expr
+    overrides[microtask.arguments[3]] = ub_expr
+    for param, arg in zip(info.shared_params, call.args[3:]):
+        overrides[param] = caller.expr(arg)
+
+    # --- Loop Parameter Restoration: thread-local bound loads map back
+    # to the sequential bounds (which are the lb/ub params, substituted
+    # above to the caller expressions).
+    for load, source in info.thread_loads.items():
+        target = overrides.get(source)
+        if target is None:
+            target = lb_expr if source is info.lb_source else ub_expr
+        overrides[load] = target
+
+    # Width adjustments of the restored bounds (trunc/sext of the loads)
+    # carry the same restored expression.
+    from ..ir.instructions import Cast
+    for inst in info.function.instructions():
+        if isinstance(inst, Cast) and inst.opcode in ("sext", "zext",
+                                                      "trunc") \
+                and inst.value in overrides:
+            overrides[inst] = overrides[inst.value]
+
+    child = FunctionEmitter(info.function, caller.options, caller.module_ctx,
+                            expr_overrides=overrides, names=caller.names)
+
+    # Use the child's own Loop object (its LoopInfo re-discovers the
+    # forest): identity matters for the emitter's "is this my own
+    # header?" checks.
+    counted = child._counted_plan.get(info.loop.header)
+    if counted is None:
+        raise DetransformError(
+            f"@{info.function.name}: worksharing loop is not "
+            "for-constructible")
+
+    ctx = _LoopContext(counted.loop, counted.loop.unique_exit, None)
+
+    # Non-IV header phis (e.g. rotation's merge phis over hoisted header
+    # computations) receive their loop-entry value from the microtask's
+    # entry block, which is never emitted; synthesize the initializing
+    # assignments explicitly.
+    loop = counted.loop
+    entry_preds = [p for p in loop.header.predecessors
+                   if p not in loop.blocks]
+    init_stmts: List[ast.Stmt] = []
+    if len(entry_preds) == 1:
+        for phi in loop.header_phis():
+            if phi is counted.phi or phi in child.skip:
+                continue
+            incoming = phi.incoming_for(entry_preds[0])
+            if incoming is None:
+                continue
+            name = child.declare_top(phi)
+            init_stmts.append(ast.ExprStmt(ast.Assign(
+                "=", ast.Ident(name), child.expr(incoming))))
+
+    for_stmt = child.emit_for_loop(counted, ctx)
+    if not isinstance(for_stmt, ast.For):
+        raise DetransformError("expected a for loop from the detransformer")
+
+    # The induction variable's earliest definition is inside the parallel
+    # region, so declare it in the for-init: that makes it private without
+    # a `private` clause (§4.1.3's clause minimization).
+    iv_name: Optional[str] = None
+    if isinstance(for_stmt.init, ast.ExprStmt) \
+            and isinstance(for_stmt.init.expr, ast.Assign) \
+            and isinstance(for_stmt.init.expr.target, ast.Ident):
+        assign = for_stmt.init.expr
+        iv_name = assign.target.name
+        iv_decl = child.top_decls.get(iv_name)
+        if iv_decl is not None:
+            for_stmt.init = ast.Declaration(iv_decl.ctype, iv_name,
+                                            init=assign.value)
+
+    # Other hoisted declarations from the region (temporaries, privates)
+    # surface inside the parallel region, keeping them private.
+    region_decls = [decl for name, decl in child.top_decls.items()
+                    if name != iv_name and name not in caller.top_decls]
+
+    # --- Pragma Generation.
+    region_pragma, loop_pragma = pragmas_for_region(info)
+
+    # Reduction clauses (§7 extension): reassociable chains in the
+    # worksharing loop decompile to `reduction(op: var)`, named with the
+    # same expressions the emitted body uses.
+    from ..analysis.reduction import find_reductions
+    from ..minic.printer import format_expr
+    reductions = find_reductions(counted)
+    if reductions:
+        symbols = {r.symbol for r in reductions}
+        if len(symbols) == 1:
+            import re
+            names = []
+            for reduction in reductions:
+                target = child.lvalue(reduction.store.pointer)
+                rendered = format_expr(target)
+                if rendered not in names:
+                    names.append(rendered)
+            # OpenMP reduction list items must be variables; reductions
+            # into non-identifier lvalues (e.g. *q_idx inside an outer
+            # loop) stay clause-less — the accumulation is still exact in
+            # this repo's runtime, which shares the target by reference.
+            if all(re.fullmatch(r"[A-Za-z_]\w*", n) for n in names):
+                loop_pragma.reduction = (symbols.pop(), tuple(names))
+
+    for_stmt.pragmas = [loop_pragma]
+    region = ast.Compound(region_decls + init_stmts + [for_stmt])
+    region.pragmas = [region_pragma]
+    _restore_scoped_names(caller, child, region, iv_name, region_decls)
+    return [region]
+
+
+def _restore_scoped_names(caller: FunctionEmitter, child: FunctionEmitter,
+                          region: ast.Compound, iv_name: Optional[str],
+                          region_decls) -> None:
+    """Undo allocator uniquification for region-scoped variables.
+
+    Each parallel region declares its induction variable and temporaries
+    in its own scope, so `i1`/`j2`-style names (uniquified because other
+    regions' variables took `i`/`j` in the shared allocator) can safely
+    revert to their source names — unless that name already appears in
+    the region with another meaning.
+    """
+    scoped = {decl.name for decl in region_decls}
+    if iv_name is not None:
+        scoped.add(iv_name)
+
+    desired: Dict[str, str] = {}
+    for value, current in child.names.assigned.items():
+        if current not in scoped:
+            continue
+        source = caller.module_ctx.source_names.get(value)
+        if not source:
+            continue
+        from ..decompilers.naming import sanitize_identifier
+        target = sanitize_identifier(source)
+        if target != current:
+            desired.setdefault(current, target)
+
+    if not desired:
+        return
+
+    # Names already visible in the region (any identifier not being
+    # renamed) must not be captured.
+    used = set()
+    for expr in ast.walk_exprs(region):
+        if isinstance(expr, ast.Ident):
+            used.add(expr.name)
+    for stmt in ast.walk_stmts(region):
+        if isinstance(stmt, ast.Declaration):
+            used.add(stmt.name)
+
+    renames: Dict[str, str] = {}
+    for current, target in desired.items():
+        if target in used or target in renames.values():
+            continue
+        renames[current] = target
+
+    if not renames:
+        return
+    for expr in ast.walk_exprs(region):
+        if isinstance(expr, ast.Ident) and expr.name in renames:
+            expr.name = renames[expr.name]
+    for stmt in ast.walk_stmts(region):
+        if isinstance(stmt, ast.Declaration) and stmt.name in renames:
+            stmt.name = renames[stmt.name]
+        if isinstance(stmt, ast.For) and isinstance(stmt.init,
+                                                    ast.Declaration) \
+                and stmt.init.name in renames:
+            stmt.init.name = renames[stmt.init.name]
+        if isinstance(stmt, ast.For) and stmt.pragmas:
+            for pragma in stmt.pragmas:
+                if pragma.reduction is not None:
+                    op, names = pragma.reduction
+                    pragma.reduction = (op, tuple(
+                        renames.get(n, n) for n in names))
+                pragma.private = tuple(
+                    renames.get(n, n) for n in pragma.private)

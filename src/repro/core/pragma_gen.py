@@ -1,0 +1,35 @@
+"""Pragma Generator (§4.1.3).
+
+Maps runtime-call patterns to OpenMP pragmas, choosing the most
+performing legal translation: a static-init/fini pair with no barrier
+becomes ``#pragma omp for schedule(static) nowait`` (the paper's
+example of preferring the no-implicit-barrier form).  Clause use is
+minimized: values first defined inside the region are declared inside
+it, which makes them private without a ``private`` clause.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..minic.c_ast import OmpPragma
+from .analyzer import MicrotaskInfo
+
+
+def parallel_pragma(info: MicrotaskInfo,
+                    private: Tuple[str, ...] = ()) -> OmpPragma:
+    return OmpPragma(directive="parallel", private=private)
+
+
+def worksharing_pragma(info: MicrotaskInfo) -> OmpPragma:
+    pragma = OmpPragma(directive="for")
+    pragma.schedule = info.schedule
+    if info.chunk is not None and info.chunk > 1:
+        pragma.chunk = info.chunk
+    pragma.nowait = info.nowait
+    return pragma
+
+
+def pragmas_for_region(info: MicrotaskInfo) -> Tuple[OmpPragma, OmpPragma]:
+    """(region pragma, loop pragma) for one fork site."""
+    return parallel_pragma(info), worksharing_pragma(info)

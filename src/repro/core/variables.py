@@ -1,0 +1,197 @@
+"""SPLENDID variable generation (§4.3, Algorithms 1 and 2).
+
+Three stages:
+
+1. **Variable Proposer / Metadata Interpreter** — build the proposed
+   instruction→source-variable map from ``llvm.dbg.value`` intrinsics,
+   and combine the incoming values of phi instructions with the phi
+   itself (SSA de-transformation of names).
+2. **Most Recent Variable Definitions** (Algorithm 1) — a forward
+   dataflow computing, before every instruction, which IR value is the
+   most recent definition of each source variable.
+3. **Conflicting Definition Removal** (Algorithm 2) — at every use of a
+   proposed mapping, verify the used definition is the most recent one;
+   otherwise the conflicting mapping is dropped, because renaming two
+   simultaneously-live values to one C variable would change semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.dataflow import ForwardAnalysis
+from ..ir.instructions import DbgValue, Instruction, Phi
+from ..ir.module import Function, Module
+from ..ir.values import Argument, Constant, Value
+
+# Sentinel for "multiple definitions reach here" in the dataflow lattice.
+_CONFLICT = object()
+
+
+@dataclass
+class VariableProposal:
+    """Proposed value -> source-variable-name mappings for one function."""
+
+    mapping: Dict[Value, str] = field(default_factory=dict)
+    # Definition events: (instruction position of dbg, value, variable).
+    events: List[Tuple[Instruction, Value, str]] = field(default_factory=list)
+
+    def variable_of(self, value: Value) -> Optional[str]:
+        return self.mapping.get(value)
+
+
+def propose_variables(function: Function) -> VariableProposal:
+    """Stage 1: Metadata Interpreter + phi combination."""
+    proposal = VariableProposal()
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, DbgValue):
+                value = inst.value
+                name = inst.variable.name
+                if isinstance(value, Constant):
+                    continue
+                proposal.events.append((inst, value, name))
+                proposal.mapping.setdefault(value, name)
+
+    # Combine phi incoming values with the phi's own variable: they were
+    # one source variable before SSA split them.
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for phi in block.phis():
+                name = proposal.mapping.get(phi)
+                if name is None:
+                    # Inherit from any incoming value that has a name.
+                    for value, _ in phi.incoming:
+                        inherited = proposal.mapping.get(value)
+                        if inherited is not None:
+                            proposal.mapping[phi] = inherited
+                            changed = True
+                            break
+                    continue
+                for value, _ in phi.incoming:
+                    if isinstance(value, Constant) or value is phi:
+                        continue
+                    if value not in proposal.mapping:
+                        proposal.mapping[value] = name
+                        changed = True
+    return proposal
+
+
+class MostRecentDefinitions(ForwardAnalysis):
+    """Algorithm 1: forward dataflow of most-recent variable definitions.
+
+    The state maps variable name -> the IR value that most recently
+    became that variable (or the conflict sentinel when paths disagree).
+    """
+
+    def __init__(self, proposal: VariableProposal):
+        self.proposal = proposal
+
+    def initial(self):
+        return {}
+
+    def meet(self, states):
+        merged: Dict[str, object] = {}
+        for state in states:
+            for var, value in state.items():
+                if var not in merged:
+                    merged[var] = value
+                elif merged[var] is not value:
+                    merged[var] = _CONFLICT
+        return merged
+
+    def transfer(self, inst: Instruction, state):
+        new_def: Optional[Tuple[str, Value]] = None
+        if isinstance(inst, DbgValue):
+            name = inst.variable.name
+            if not isinstance(inst.value, Constant):
+                new_def = (name, inst.value)
+        elif isinstance(inst, Phi):
+            name = self.proposal.mapping.get(inst)
+            if name is not None:
+                new_def = (name, inst)
+        if new_def is None:
+            return state
+        updated = dict(state)
+        updated[new_def[0]] = new_def[1]  # GEN kills the old definition
+        return updated
+
+
+def remove_conflicts(function: Function,
+                     proposal: VariableProposal) -> Dict[Value, str]:
+    """Algorithm 2: validate proposed mappings at every use."""
+    analysis = MostRecentDefinitions(proposal)
+    result = analysis.run(function)
+    mapping = dict(proposal.mapping)
+
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, DbgValue):
+                continue
+            state = result.state_before(inst)
+            operands = inst.operands
+            if isinstance(inst, Phi):
+                # Phi uses happen at the end of the incoming edges where
+                # per-edge states differ; the merge itself is the phi's
+                # definition, so skip (combination already applied).
+                continue
+            for op in operands:
+                var = mapping.get(op)
+                if var is None:
+                    continue
+                recent = state.get(var)
+                if recent is _CONFLICT:
+                    mapping.pop(op, None)
+                elif recent is not None and recent is not op:
+                    # The used definition is not the most recent one: the
+                    # two values' lifetimes overlap.  Per §4.3.2 (and the
+                    # Figure 5 walk-through) SPLENDID arbitrarily removes
+                    # the MOST RECENT mapping, keeping the one in use.
+                    if mapping.get(recent) == var:
+                        mapping.pop(recent, None)
+    return mapping
+
+
+def generate_variable_names(function: Function) -> Dict[Value, str]:
+    """Full per-function variable generation (stages 1-3)."""
+    proposal = propose_variables(function)
+    return remove_conflicts(function, proposal)
+
+
+def generate_module_names(module: Module) -> Dict[Value, str]:
+    """Variable names for every defined function in a module.
+
+    Argument names are recovered from their debug intrinsics too, which
+    is how outlined-region parameters inherit caller names after
+    SPLENDID's Parallel Code Inlining substitutes fork-call arguments.
+    """
+    names: Dict[Value, str] = {}
+    for function in module.defined_functions():
+        names.update(generate_variable_names(function))
+    return names
+
+
+def generate_module_groups(module: Module) -> Dict[Value, object]:
+    """Sharing groups: values proved (per function) to be the same source
+    variable get one group key, so the emitter gives them ONE C variable
+    instead of uniquified copies — the SSA de-transformation itself."""
+    groups: Dict[Value, object] = {}
+    for function in module.defined_functions():
+        for value, name in generate_variable_names(function).items():
+            groups[value] = (function.name, name)
+    return groups
+
+
+@dataclass
+class RestorationStats:
+    """Data behind Figure 8: how many emitted variables kept source names."""
+
+    total: int = 0
+    restored: int = 0
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.restored / self.total if self.total else 0.0

@@ -1,0 +1,18 @@
+"""repro.decompilers — baseline decompilers and the shared engine.
+
+SPLENDID itself (the paper's contribution) lives in :mod:`repro.core`
+and reuses this engine with its full option set plus the explicit
+parallelism translator and variable generator.
+"""
+
+from . import cbackend, ghidra, rellic
+from .engine import (CallTranslator, DecompileError, DecompilerOptions,
+                     FunctionEmitter, ModuleDecompiler, ctype_of)
+from .naming import NameAllocator, sanitize_identifier
+
+__all__ = [
+    "cbackend", "ghidra", "rellic",
+    "CallTranslator", "DecompileError", "DecompilerOptions",
+    "FunctionEmitter", "ModuleDecompiler", "ctype_of",
+    "NameAllocator", "sanitize_identifier",
+]

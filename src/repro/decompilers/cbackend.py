@@ -1,0 +1,36 @@
+"""LLVM C Backend baseline: near 1:1 IR-to-C with goto control flow.
+
+Matches the paper's description of [14]: "close to a one-to-one
+translation from IR instructions to C statements where IR branch
+instructions translate to C goto statements", register-derived names,
+no pragma/parallelism support (Table 1 row "LLVM CBackend").
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from .engine import DecompilerOptions, ModuleDecompiler
+
+OPTIONS = DecompilerOptions(
+    name="cbackend",
+    structure_cfg=False,
+    construct_for_loops=False,
+    detransform_rotation=False,
+    explicit_parallelism=False,
+    rename_variables=False,
+    naming_style="tmp",
+    elide_widening_casts=False,
+    byte_level_addressing=False,
+    strip_debug_names=False,
+    increment_style="verbose",
+    inline_expressions=False,
+)
+
+
+def decompile(module: Module) -> str:
+    """Decompile a module to C text in LLVM-CBackend style."""
+    return ModuleDecompiler(module, OPTIONS).decompile_text()
+
+
+def decompile_unit(module: Module):
+    return ModuleDecompiler(module, OPTIONS).decompile()

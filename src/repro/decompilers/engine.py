@@ -1,0 +1,1056 @@
+"""The decompilation engine shared by every back end.
+
+One engine, parameterized by :class:`DecompilerOptions`, implements the
+capability matrix of the paper's Table 1: CFG structuring (if/else,
+do-while), for-loop construction, loop-rotation de-transformation
+(guard-check elimination), SSA de-transformation (phi -> mutable
+variable), naming styles, and — via a hook installed by SPLENDID —
+explicit parallelism translation of ``__kmpc_*`` regions.  The baseline
+back ends (:mod:`cbackend`, :mod:`rellic`, :mod:`ghidra`) are thin
+option presets over this engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..analysis.dominators import PostDominatorTree
+from ..analysis.induction import CountedLoop, analyze_counted_loop
+from ..analysis.loops import Loop, LoopInfo
+from ..ir import types as ir_ty
+from ..ir.block import BasicBlock
+from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast,
+                               CondBranch, DbgValue, FCmp, GetElementPtr,
+                               ICmp, Instruction, Load, Phi, Ret, Select,
+                               Store, Unreachable)
+from ..ir.module import Function, Module
+from ..ir.values import (Argument, Constant, ConstantFloat, ConstantInt,
+                         ConstantPointerNull, GlobalVariable, UndefValue,
+                         Value)
+from ..minic import c_ast as ast
+from .naming import NameAllocator, sanitize_identifier
+
+
+@dataclass
+class DecompilerOptions:
+    """Capability switches (one row of the paper's Table 1)."""
+
+    name: str = "generic"
+    structure_cfg: bool = True
+    construct_for_loops: bool = False
+    detransform_rotation: bool = False   # guard-check elimination
+    explicit_parallelism: bool = False   # handled by an installed hook
+    rename_variables: bool = False
+    naming_style: str = "val"
+    elide_widening_casts: bool = False
+    byte_level_addressing: bool = False
+    strip_debug_names: bool = False      # binary-level input: arg names lost
+    increment_style: str = "compact"     # 'compact' (i++) | 'verbose' (i = i + 1)
+    # Rellic/Ghidra/CBackend emit (close to) one C statement per IR
+    # instruction; SPLENDID rebuilds compound expressions.
+    inline_expressions: bool = True
+    # Recompute LICM-hoisted address chains at their use sites so loads
+    # and stores print as array subscripts (A[i][j]) instead of pointer
+    # temporaries (*A_idx).
+    rematerialize_addresses: bool = False
+
+
+# Map IR binops to C operators.
+_BINOP_C = {
+    "add": "+", "fadd": "+", "sub": "-", "fsub": "-",
+    "mul": "*", "fmul": "*", "sdiv": "/", "udiv": "/", "fdiv": "/",
+    "srem": "%", "urem": "%", "and": "&", "or": "|", "xor": "^",
+    "shl": "<<", "ashr": ">>", "lshr": ">>",
+}
+_CMP_C = {
+    "eq": "==", "ne": "!=", "slt": "<", "sle": "<=", "sgt": ">", "sge": ">=",
+    "ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
+    "oeq": "==", "one": "!=", "olt": "<", "ole": "<=", "ogt": ">", "oge": ">=",
+    "ueq": "==", "une": "!=",
+}
+
+
+def ctype_of(vtype: ir_ty.Type, i64_spelling: str = "long") -> ast.CType:
+    if vtype.is_void:
+        return ast.VOID
+    if vtype.is_float:
+        return ast.DOUBLE
+    if vtype.is_integer:
+        if vtype.bits == 64:
+            return ast.CInt(i64_spelling)
+        return ast.INT
+    if vtype.is_pointer:
+        return ast.CPointer(ctype_of(vtype.pointee, i64_spelling))
+    if vtype.is_array:
+        return ast.CArray(ctype_of(vtype.element, i64_spelling), vtype.count)
+    raise TypeError(f"cannot map type {vtype} to C")
+
+
+class DecompileError(Exception):
+    pass
+
+
+@dataclass
+class _LoopContext:
+    loop: Loop
+    exit_block: Optional[BasicBlock]
+    parent: Optional["_LoopContext"] = None
+
+
+# A hook invoked for every call instruction; may consume it and return
+# replacement statements (SPLENDID's explicit-parallelism translator).
+CallTranslator = Callable[["FunctionEmitter", Call], Optional[List[ast.Stmt]]]
+
+
+class ModuleDecompiler:
+    def __init__(self, module: Module, options: DecompilerOptions,
+                 call_translator: Optional[CallTranslator] = None,
+                 source_names: Optional[Dict[Value, str]] = None,
+                 source_groups: Optional[Dict[Value, object]] = None,
+                 skip_functions: Optional[Set[str]] = None):
+        self.module = module
+        self.options = options
+        self.call_translator = call_translator
+        self.source_names = source_names or {}
+        self.source_groups = source_groups or {}
+        self.group_sizes: Dict[object, int] = {}
+        for group in self.source_groups.values():
+            self.group_sizes[group] = self.group_sizes.get(group, 0) + 1
+        self.skip_functions = skip_functions or set()
+        self.emitters: List["FunctionEmitter"] = []
+
+    def decompile(self) -> ast.TranslationUnit:
+        self.emitters = []
+        unit = ast.TranslationUnit()
+        for var in self.module.globals.values():
+            unit.globals.append(_global_decl(var))
+        for function in self.module.functions.values():
+            if function.name in self.skip_functions:
+                continue
+            if function.is_declaration:
+                if function.name.startswith("llvm."):
+                    continue
+                if function.name.startswith("__kmpc_") \
+                        and self.options.explicit_parallelism:
+                    continue  # consumed into pragmas
+                unit.functions.append(_declaration_ast(function))
+                continue
+            emitter = FunctionEmitter(function, self.options, self)
+            try:
+                definition = emitter.emit()
+            except DecompileError:
+                # Structuring failed (multi-exit or irreducible loop):
+                # fall back to goto-based emission for this function,
+                # like real decompilers do.
+                fallback = replace(self.options, structure_cfg=False)
+                emitter = FunctionEmitter(function, fallback, self)
+                definition = emitter.emit()
+            self.emitters.append(emitter)
+            unit.functions.append(definition)
+        return unit
+
+    def decompile_text(self) -> str:
+        from ..minic.printer import print_unit
+        return print_unit(self.decompile())
+
+
+def _global_decl(var: GlobalVariable) -> ast.Declaration:
+    vtype = var.value_type
+    dims: List[int] = []
+    while vtype.is_array:
+        dims.append(vtype.count)
+        vtype = vtype.element
+    return ast.Declaration(ctype_of(vtype), sanitize_identifier(var.name),
+                           array_dims=tuple(dims))
+
+
+def _declaration_ast(function: Function) -> ast.FunctionDef:
+    params = [ast.Param(ctype_of(a.type), sanitize_identifier(a.name or f"arg{i}"))
+              for i, a in enumerate(function.arguments)]
+    return ast.FunctionDef(ctype_of(function.return_type),
+                           sanitize_identifier(function.name), params, None,
+                           is_vararg=function.function_type.is_vararg)
+
+
+class FunctionEmitter:
+    """Emits one IR function as a mini-C :class:`FunctionDef`."""
+
+    def __init__(self, function: Function, options: DecompilerOptions,
+                 module_ctx: ModuleDecompiler,
+                 expr_overrides: Optional[Dict[Value, ast.Expr]] = None,
+                 names: Optional[NameAllocator] = None):
+        self.function = function
+        self.options = options
+        self.module_ctx = module_ctx
+        self.loop_info = LoopInfo(function)
+        self.postdom = PostDominatorTree(function)
+        self.names = names or NameAllocator(
+            options.naming_style, module_ctx.source_names,
+            module_ctx.source_groups)
+        self.expr_overrides: Dict[Value, ast.Expr] = dict(expr_overrides or {})
+        self.skip: Set[Instruction] = set()
+        self.top_decls: Dict[str, ast.Declaration] = {}
+        self._positions: Dict[Instruction, Tuple[BasicBlock, int]] = {}
+        self._inline: Set[Instruction] = set()
+        self._cross_block: Set[Instruction] = set()
+        self._emitted_assign: Set[Instruction] = set()
+        self._counted_plan: Dict[BasicBlock, CountedLoop] = {}
+        self._reserve_names()
+        self._index_positions()
+        self._plan_placement()
+        self._plan_for_loops()
+
+    def _plan_for_loops(self) -> None:
+        if not self.options.construct_for_loops:
+            return
+        for loop in self.loop_info.all_loops():
+            if not loop.is_rotated:
+                continue
+            counted = analyze_counted_loop(loop)
+            if counted is not None and self._for_constructible(counted):
+                self._counted_plan[loop.header] = counted
+                self._mark_for_consumed(counted)
+                self._fold_iv_merge_phis(counted)
+
+    def _fold_iv_merge_phis(self, counted: CountedLoop) -> None:
+        """Rotation leaves merge phis over header computations of the IV
+        (e.g. a CSE'd ``sext iv``): ``phi [cast(start), pre], [cast(iv'),
+        latch]`` is identically ``cast(iv)`` at body position, so emit it
+        as the IV expression instead of a mutable variable."""
+        loop = counted.loop
+        latch = loop.latch
+        for phi in loop.header_phis():
+            if phi is counted.phi or phi in self.skip:
+                continue
+            incoming = dict((block, value) for value, block in phi.incoming)
+            if latch not in incoming or len(incoming) != 2:
+                continue
+            latch_value = incoming.pop(latch)
+            entry_value = next(iter(incoming.values()))
+            if _strip_int_casts(latch_value) is not counted.step_inst:
+                continue
+            if not _equivalent_values(_strip_int_casts(entry_value),
+                                      counted.start):
+                continue
+            iv_name = self.name_of(counted.phi)
+            if self.options.elide_widening_casts \
+                    or phi.type == counted.phi.type:
+                self.expr_overrides[phi] = ast.Ident(iv_name)
+            else:
+                self.expr_overrides[phi] = ast.CastExpr(
+                    self.ctype(phi.type), ast.Ident(iv_name))
+            self.skip.add(phi)
+
+    # ----- Planning -------------------------------------------------------------
+
+    def _reserve_names(self) -> None:
+        for var in self.function.parent.globals.values() \
+                if self.function.parent else []:
+            self.names.reserve(sanitize_identifier(var.name))
+
+    def _index_positions(self) -> None:
+        for block in self.function.blocks:
+            for i, inst in enumerate(block.instructions):
+                self._positions[inst] = (block, i)
+
+    def _real_users(self, inst: Instruction) -> List[Instruction]:
+        return [u for u in inst.users if not isinstance(u, DbgValue)]
+
+    def _barrier_between(self, def_inst: Instruction,
+                         use_inst: Instruction) -> bool:
+        block, start = self._positions[def_inst]
+        _, end = self._positions[use_inst]
+        for inst in block.instructions[start + 1:end]:
+            if isinstance(inst, (Store, Call)):
+                return True
+        return False
+
+    def _plan_placement(self) -> None:
+        """Decide, per value: inline into its single user, or declare."""
+        if not self.options.inline_expressions:
+            # Statement-per-instruction mode: GEPs still fold into their
+            # load/store (address modes), everything else gets a variable.
+            for block in self.function.blocks:
+                for inst in block.instructions:
+                    if inst.type.is_void or isinstance(inst, (Phi, Alloca)):
+                        continue
+                    users = self._real_users(inst)
+                    if not users:
+                        continue
+                    if isinstance(inst, GetElementPtr) and len(users) == 1 \
+                            and isinstance(users[0], (Load, Store)) \
+                            and users[0] in self._positions \
+                            and self._positions[users[0]][0] is \
+                            self._positions[inst][0]:
+                        self._inline.add(inst)
+                        continue
+                    if any(isinstance(u, Phi)
+                           or u not in self._positions
+                           or self._positions[u][0]
+                           is not self._positions[inst][0]
+                           for u in users):
+                        self._cross_block.add(inst)
+            for block in self.function.blocks:
+                for phi in block.phis():
+                    self._cross_block.add(phi)
+            # Loop-controlling comparisons: a do-while's condition prints
+            # outside the body's braces, so a body-local declaration would
+            # be out of scope — hoist it; a while's condition must be a
+            # pure expression — inline it.
+            for loop in self.loop_info.all_loops():
+                exiting = loop.exiting_blocks
+                if len(exiting) != 1:
+                    continue
+                term = exiting[0].terminator
+                if isinstance(term, CondBranch) \
+                        and isinstance(term.condition, Instruction):
+                    condition = term.condition
+                    if loop.is_top_test:
+                        self._inline.add(condition)
+                        self._cross_block.discard(condition)
+                    else:
+                        self._inline.discard(condition)
+                        self._cross_block.add(condition)
+            return
+        for block in self.function.blocks:
+            for inst in block.instructions:
+                if inst.type.is_void or isinstance(inst, (Phi, Alloca)):
+                    continue
+                users = self._real_users(inst)
+                if not users:
+                    continue
+                if any(isinstance(u, Phi)
+                       or u not in self._positions
+                       or self._positions[u][0] is not block
+                       for u in users):
+                    # Used across blocks (or by a phi): needs a hoisted
+                    # variable so every structured scope can see it.
+                    self._cross_block.add(inst)
+                    continue
+                if len(users) != 1:
+                    continue  # declared locally in its own block
+                user = users[0]
+                if isinstance(inst, (Load, Call)) \
+                        and self._barrier_between(inst, user):
+                    continue
+                self._inline.add(inst)
+        # Phis always live in hoisted variables (SSA de-transformation).
+        for block in self.function.blocks:
+            for phi in block.phis():
+                self._cross_block.add(phi)
+
+    # ----- Types / names ---------------------------------------------------------
+
+    def ctype(self, vtype: ir_ty.Type) -> ast.CType:
+        spelling = "uint64_t" if self.options.name.startswith("splendid") \
+            else "long"
+        return ctype_of(vtype, spelling)
+
+    def name_of(self, value: Value) -> str:
+        return self.names.name_for(value)
+
+    # ----- Expressions -----------------------------------------------------------
+
+    def _is_transparent_cast(self, value: Value) -> bool:
+        """Widening casts SPLENDID elides entirely, even when multi-use,
+        as long as reading the operand's C variable at any use site gives
+        the value the cast saw (operand is immutable there: a constant,
+        an argument, a same-block value, or a loop IV the cast observes
+        within one iteration)."""
+        if not self.options.elide_widening_casts:
+            return False
+        if not (isinstance(value, Cast) and value.opcode in ("sext", "zext")):
+            return False
+        inner = value.value
+        if isinstance(inner, (Constant, Argument, GlobalVariable)):
+            return True
+        if isinstance(inner, Instruction):
+            if inner in self._counted_plan_ivs():
+                return True
+            if inner.parent is value.parent and not isinstance(inner, Phi):
+                return True
+        return False
+
+    def _counted_plan_ivs(self):
+        return {c.phi for c in self._counted_plan.values()}
+
+    def _remat_ok(self, inst: Instruction, depth: int = 0) -> bool:
+        """True when a hoisted address chain can be recomputed at its use
+        sites: every leaf reads a value whose C variable is stable there
+        (constants, arguments, globals, loop IVs, or single-assignment
+        temporaries that no name-sharing group mutates)."""
+        if not self.options.rematerialize_addresses or depth > 12:
+            return False
+        if not isinstance(inst, (GetElementPtr, Cast, BinaryOp)):
+            return False
+        if isinstance(inst, BinaryOp) and inst.opcode in (
+                "sdiv", "srem", "udiv", "urem"):
+            return False
+        for op in inst.operands:
+            if isinstance(op, (Constant, Argument, GlobalVariable)):
+                continue
+            if isinstance(op, Instruction):
+                if op in self._counted_plan_ivs():
+                    continue
+                if op in self.expr_overrides:
+                    continue
+                if isinstance(op, Phi):
+                    return False
+                if self._remat_ok(op, depth + 1):
+                    continue
+                group = self.module_ctx.source_groups.get(op)
+                if group is not None \
+                        and self.module_ctx.group_sizes.get(group, 0) > 1:
+                    return False  # its C variable is reassigned
+                continue  # single-assignment temporary: stable
+            return False
+        return True
+
+    def _gep_prints_inline(self, gep: GetElementPtr) -> bool:
+        return gep in self._inline or self._remat_ok(gep)
+
+    def expr(self, value: Value) -> ast.Expr:
+        if value in self.expr_overrides:
+            return self.expr_overrides[value]
+        if self._is_transparent_cast(value):
+            return self.expr(value.value)
+        if isinstance(value, ConstantInt):
+            return ast.IntLit(value.value)
+        if isinstance(value, ConstantFloat):
+            return ast.FloatLit(value.value)
+        if isinstance(value, UndefValue):
+            return ast.IntLit(0)
+        if isinstance(value, ConstantPointerNull):
+            return ast.IntLit(0)
+        if isinstance(value, GlobalVariable):
+            return ast.Ident(sanitize_identifier(value.name))
+        if isinstance(value, Function):
+            return ast.Ident(sanitize_identifier(value.name))
+        if isinstance(value, Argument):
+            return ast.Ident(self.name_of(value))
+        if isinstance(value, Instruction):
+            if value in self._inline and value not in self._emitted_assign:
+                return self.build_expr(value)
+            if isinstance(value, GetElementPtr) and self._remat_ok(value):
+                return self.build_expr(value)
+            return ast.Ident(self.name_of(value))
+        raise DecompileError(f"cannot form expression for {value!r}")
+
+    def build_expr(self, inst: Instruction) -> ast.Expr:
+        if isinstance(inst, BinaryOp):
+            lhs, rhs = inst.lhs, inst.rhs
+            if inst.opcode in ("sub", "fsub") and _is_zero(lhs):
+                return ast.Unary("-", self.expr(rhs))
+            if inst.opcode == "xor" and _is_all_ones(rhs):
+                return ast.Unary("~", self.expr(lhs))
+            return ast.Binary(_BINOP_C[inst.opcode], self.expr(lhs),
+                              self.expr(rhs))
+        if isinstance(inst, (ICmp, FCmp)):
+            return ast.Binary(_CMP_C[inst.predicate], self.expr(inst.lhs),
+                              self.expr(inst.rhs))
+        if isinstance(inst, Load):
+            return self.lvalue(inst.pointer)
+        if isinstance(inst, GetElementPtr):
+            return self.address_of(inst)
+        if isinstance(inst, Cast):
+            return self.cast_expr(inst)
+        if isinstance(inst, Select):
+            return ast.Conditional(self.condition_expr(inst.condition),
+                                   self.expr(inst.if_true),
+                                   self.expr(inst.if_false))
+        if isinstance(inst, Call):
+            return ast.CallExpr(sanitize_identifier(inst.callee_name),
+                                [self.expr(a) for a in inst.args])
+        if isinstance(inst, Phi):
+            return ast.Ident(self.name_of(inst))
+        raise DecompileError(f"cannot inline instruction {inst}")
+
+    def cast_expr(self, inst: Cast) -> ast.Expr:
+        inner = self.expr(inst.value)
+        if inst.opcode in ("sext", "zext"):
+            if self.options.elide_widening_casts:
+                return inner
+            return ast.CastExpr(self.ctype(inst.type), inner)
+        if inst.opcode in ("trunc", "fptosi", "sitofp", "bitcast",
+                           "ptrtoint", "inttoptr"):
+            return ast.CastExpr(self.ctype(inst.type), inner)
+        raise DecompileError(f"unknown cast {inst.opcode}")
+
+    def condition_expr(self, value: Value) -> ast.Expr:
+        return self.expr(value)
+
+    def lvalue(self, pointer: Value) -> ast.Expr:
+        """C lvalue for a load/store address."""
+        if isinstance(pointer, GetElementPtr) \
+                and self._gep_prints_inline(pointer):
+            return self.address_to_lvalue(pointer)
+        if isinstance(pointer, Alloca):
+            return ast.Ident(self.declare_top(
+                pointer, self.ctype(pointer.allocated_type)))
+        if isinstance(pointer, GlobalVariable):
+            if pointer.value_type.is_array:
+                raise DecompileError("direct load of array global")
+            return ast.Ident(sanitize_identifier(pointer.name))
+        inner = self.expr(pointer)
+        if isinstance(inner, ast.Unary) and inner.op == "&":
+            return inner.operand  # *&x -> x
+        return ast.Unary("*", inner)
+
+    def address_to_lvalue(self, gep: GetElementPtr) -> ast.Expr:
+        if self.options.byte_level_addressing:
+            return self._byte_lvalue(gep)
+        base_expr, indices = self._collect_subscripts(gep)
+        result = base_expr
+        for index in indices:
+            result = ast.Index(result, index)
+        return result
+
+    def _collect_subscripts(self, gep: GetElementPtr):
+        chains: List[GetElementPtr] = []
+        current: Value = gep
+        while isinstance(current, GetElementPtr) and \
+                (current is gep or self._gep_prints_inline(current)):
+            chains.append(current)
+            current = current.pointer
+        base_expr = self.expr(current)
+        indices: List[ast.Expr] = []
+        for link in reversed(chains):
+            link_indices = link.indices
+            pointee = link.pointer.type.pointee
+            first = link_indices[0]
+            if not (isinstance(first, ConstantInt) and first.value == 0
+                    and len(link_indices) > 1 and pointee.is_array):
+                indices.append(self.expr(first))
+            for idx in link_indices[1:]:
+                indices.append(self.expr(idx))
+        return base_expr, indices
+
+    def _byte_lvalue(self, gep: GetElementPtr) -> ast.Expr:
+        """Ghidra-flavored address arithmetic: *(double *)((long)A + i * 8)."""
+        pointee = gep.pointer.type.pointee
+        base = self.expr(gep.pointer)
+        total: Optional[ast.Expr] = None
+        current = pointee
+        for i, index in enumerate(gep.indices):
+            if i > 0:
+                current = ir_ty.element_type(current)
+            size = ir_ty.sizeof(current)
+            term = self.expr(index)
+            if not (isinstance(index, ConstantInt) and index.value == 0):
+                scaled = ast.Binary("*", term, ast.IntLit(size))
+                total = scaled if total is None else ast.Binary("+", total,
+                                                                scaled)
+        address = ast.CastExpr(ast.CInt("long"), base)
+        if total is not None:
+            address = ast.Binary("+", address, total)
+        result_type = self.ctype(gep.type)
+        return ast.Unary("*", ast.CastExpr(result_type, address))
+
+    def address_of(self, gep: GetElementPtr) -> ast.Expr:
+        """Expression for a GEP used as a pointer value (not deref'd)."""
+        lvalue = self.address_to_lvalue(gep)
+        if isinstance(lvalue, ast.Index) and not gep.type.pointee.is_array:
+            # &A[i] prints naturally as A + i for 1-d addressing.
+            return ast.Binary("+", lvalue.base, lvalue.index)
+        return ast.Unary("&", lvalue)
+
+    # ----- Declarations ---------------------------------------------------------
+
+    def declare_top(self, value: Value, ctype: Optional[ast.CType] = None) -> str:
+        name = self.name_of(value)
+        if name not in self.top_decls:
+            self.top_decls[name] = ast.Declaration(
+                ctype or self.ctype(value.type), name)
+        return name
+
+    # ----- Statements -----------------------------------------------------------
+
+    def emit(self) -> ast.FunctionDef:
+        params = []
+        for arg in self.function.arguments:
+            if self.options.strip_debug_names:
+                param_name = self.name_of(arg)
+            else:
+                param_name = self.names._unique(
+                    sanitize_identifier(arg.name or "arg"))
+                self.names.assigned[arg] = param_name
+            params.append(ast.Param(self.ctype(arg.type), param_name))
+
+        if self.options.structure_cfg:
+            body_stmts = self.emit_region(self.function.entry, None, None)
+        else:
+            body_stmts = self.emit_goto_body()
+        decls = [self.top_decls[name] for name in self.top_decls]
+        body = ast.Compound(decls + body_stmts)
+        return ast.FunctionDef(self.ctype(self.function.return_type),
+                               sanitize_identifier(self.function.name),
+                               params, body)
+
+    # --- Straight-line statements of one block.
+
+    def emit_block_stmts(self, block: BasicBlock) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        for inst in block.instructions:
+            if inst.is_terminator or isinstance(inst, (Phi, DbgValue)):
+                continue
+            if inst in self.skip:
+                continue
+            if isinstance(inst, Alloca):
+                # Stack slots surviving mem2reg hold arrays or are
+                # runtime-call out-params; give them a variable.
+                self.declare_top(inst, self.ctype(inst.allocated_type))
+                self.expr_overrides[inst] = ast.Unary(
+                    "&", ast.Ident(self.name_of(inst)))
+                continue
+            if isinstance(inst, Store):
+                stmts.append(ast.ExprStmt(ast.Assign(
+                    "=", self.lvalue(inst.pointer), self.expr(inst.value))))
+                continue
+            if isinstance(inst, Call):
+                translated = None
+                if self.module_ctx.call_translator is not None:
+                    translated = self.module_ctx.call_translator(self, inst)
+                if translated is not None:
+                    stmts.extend(translated)
+                    continue
+                if inst.type.is_void or not self._real_users(inst):
+                    stmts.append(ast.ExprStmt(self.build_expr(inst)))
+                    continue
+            if inst.type.is_void:
+                continue
+            if inst in self._inline or self._is_transparent_cast(inst):
+                continue
+            if isinstance(inst, GetElementPtr) and self._remat_ok(inst):
+                continue  # recomputed at each use site
+            if not self._real_users(inst):
+                continue
+            stmts.append(self._define_value(inst))
+        stmts.extend(self._phi_edge_assigns(block))
+        return stmts
+
+    def _define_value(self, inst: Instruction) -> ast.Stmt:
+        init = self.build_expr(inst)
+        if inst in self._cross_block:
+            name = self.declare_top(inst)
+            self._emitted_assign.add(inst)
+            return ast.ExprStmt(ast.Assign("=", ast.Ident(name), init))
+        name = self.name_of(inst)
+        return ast.Declaration(self.ctype(inst.type), name, init)
+
+    def _phi_edge_assigns(self, block: BasicBlock) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        for succ in block.successors:
+            for phi in succ.phis():
+                if phi in self.skip:
+                    continue
+                incoming = phi.incoming_for(block)
+                if incoming is None or incoming is phi:
+                    continue
+                name = self.declare_top(phi)
+                value_expr = self.expr(incoming)
+                if isinstance(value_expr, ast.Ident) \
+                        and value_expr.name == name:
+                    continue  # x = x after name sharing: drop
+                stmts.append(ast.ExprStmt(ast.Assign(
+                    "=", ast.Ident(name), value_expr)))
+        return stmts
+
+    # --- Structured emission.
+
+    def emit_region(self, start: Optional[BasicBlock],
+                    stop: Optional[BasicBlock],
+                    loop_ctx: Optional[_LoopContext]) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        current = start
+        guard_limit = 0
+        while current is not None and current is not stop:
+            guard_limit += 1
+            if guard_limit > 10_000:
+                raise DecompileError("structurer failed to make progress")
+            inner = self.loop_info.loop_with_header(current)
+            if inner is not None and (loop_ctx is None
+                                      or inner is not loop_ctx.loop):
+                loop_stmts, continue_at = self.emit_loop(inner, loop_ctx)
+                stmts.extend(loop_stmts)
+                current = continue_at
+                continue
+
+            # Guarded rotated loop -> for loop with the guard removed.
+            if self.options.detransform_rotation:
+                match = self._match_guarded_loop(current)
+                if match is not None:
+                    pre_stmts, for_stmt, continue_at = match
+                    stmts.extend(pre_stmts)
+                    stmts.append(for_stmt)
+                    current = continue_at
+                    continue
+
+            block_stmts = self.emit_block_stmts(current)
+            term = current.terminator
+            if isinstance(term, Ret):
+                stmts.extend(block_stmts)
+                if term.value is not None:
+                    stmts.append(ast.Return(self.expr(term.value)))
+                elif stop is None and _is_last_return(self.function, current):
+                    pass  # implicit return at end of void function
+                else:
+                    stmts.append(ast.Return())
+                return stmts
+            if isinstance(term, Unreachable):
+                stmts.extend(block_stmts)
+                return stmts
+            if isinstance(term, CondBranch):
+                stmts.extend(block_stmts)
+                join = self._join_of(current, stop, loop_ctx)
+                then_stmts = self._branch_arm(term.if_true, join, loop_ctx)
+                else_stmts = self._branch_arm(term.if_false, join, loop_ctx)
+                condition = self.condition_expr(term.condition)
+                if not then_stmts and else_stmts:
+                    condition = _negate(condition)
+                    then_stmts, else_stmts = else_stmts, []
+                stmts.append(ast.If(
+                    condition, ast.Compound(then_stmts),
+                    ast.Compound(else_stmts) if else_stmts else None))
+                current = join
+                continue
+            if isinstance(term, Branch):
+                stmts.extend(block_stmts)
+                jump = self._loop_jump(term.target, loop_ctx, current)
+                if jump is not None:
+                    stmts.append(jump)
+                    return stmts
+                current = term.target
+                continue
+            raise DecompileError(f"unhandled terminator {term}")
+        return stmts
+
+    def _branch_arm(self, target: BasicBlock, join: Optional[BasicBlock],
+                    loop_ctx: Optional[_LoopContext]) -> List[ast.Stmt]:
+        jump = self._loop_jump(target, loop_ctx, None)
+        if jump is not None and target is not join:
+            return [jump]
+        if target is join:
+            return []
+        return self.emit_region(target, join, loop_ctx)
+
+    def _loop_jump(self, target: BasicBlock,
+                   loop_ctx: Optional[_LoopContext],
+                   source: Optional[BasicBlock]) -> Optional[ast.Stmt]:
+        ctx = loop_ctx
+        while ctx is not None:
+            if target is ctx.exit_block:
+                if ctx is not loop_ctx:
+                    raise DecompileError(
+                        "break out of a non-innermost loop needs goto")
+                return ast.Break()
+            if target is ctx.loop.header and ctx is loop_ctx and (
+                    source is None or source is not ctx.loop.latch):
+                return ast.Continue()
+            ctx = ctx.parent
+        return None
+
+    def _join_of(self, block: BasicBlock, stop: Optional[BasicBlock],
+                 loop_ctx: Optional[_LoopContext]) -> Optional[BasicBlock]:
+        join = self.postdom.immediate(block)
+        if join is None:
+            return stop
+        if loop_ctx is not None and join not in loop_ctx.loop.blocks:
+            if join is not loop_ctx.exit_block:
+                return join
+        return join
+
+    # --- Loops.
+
+    def emit_loop(self, loop: Loop, parent_ctx: Optional[_LoopContext]
+                  ) -> Tuple[List[ast.Stmt], Optional[BasicBlock]]:
+        exit_block = loop.unique_exit
+        ctx = _LoopContext(loop, exit_block, parent_ctx)
+
+        planned = self._counted_plan.get(loop.header)
+        if planned is not None:
+            return [self.emit_for_loop(planned, ctx)], exit_block
+
+        if loop.is_rotated:
+            return [self.emit_do_while(loop, ctx)], exit_block
+
+        if loop.is_top_test and self._simple_top_test(loop):
+            stmts = [self.emit_while(loop, ctx)]
+            # The header is the exiting block but its statements are never
+            # emitted as a block; exit-edge phi assignments (LCSSA values)
+            # land right after the loop, where the header's final values
+            # are visible in the loop variables.
+            if exit_block is not None:
+                for phi in exit_block.phis():
+                    if phi in self.skip:
+                        continue
+                    incoming = phi.incoming_for(loop.header)
+                    if incoming is None or incoming is phi:
+                        continue
+                    name = self.declare_top(phi)
+                    stmts.append(ast.ExprStmt(ast.Assign(
+                        "=", ast.Ident(name), self.expr(incoming))))
+            return stmts, exit_block
+
+        raise DecompileError(
+            f"cannot structure loop at {loop.header.name} "
+            f"(irreducible or multi-exit)")
+
+    def _for_constructible(self, counted: CountedLoop) -> bool:
+        return counted.compares_next
+
+    def _step_consumable(self, counted: CountedLoop) -> bool:
+        """True when the increment has no uses beyond the IV machinery
+        (then it is folded into the for-step; otherwise it stays a
+        visible `iv + step` value the body computes)."""
+        for user in self._real_users(counted.step_inst):
+            if user is counted.phi or user is counted.compare:
+                continue
+            if isinstance(user, Cast) and user.opcode in ("sext", "zext") \
+                    and all(u is counted.compare
+                            for u in self._real_users(user)):
+                continue
+            return False
+        return True
+
+    def _mark_for_consumed(self, counted: CountedLoop) -> str:
+        """Reserve the IV variable and consume the IV machinery (phi,
+        compare, the cast feeding the compare, and — when nothing else
+        reads it — the increment)."""
+        iv_name = self.declare_top(counted.phi)
+        self.skip.add(counted.phi)
+        self.skip.add(counted.compare)
+        self.expr_overrides[counted.phi] = ast.Ident(iv_name)
+        self.skip.add(counted.step_inst)
+        for operand in counted.compare.operands:
+            if isinstance(operand, Cast) \
+                    and operand.opcode in ("sext", "zext") \
+                    and operand.value is counted.step_inst:
+                if all(u is counted.compare
+                       for u in self._real_users(operand)):
+                    self.skip.add(operand)
+        if self._step_consumable(counted):
+            self.expr_overrides[counted.step_inst] = ast.Ident(iv_name)
+        else:
+            # The increment doubles as a body value (CSE merged it with an
+            # `iv + step` subscript).  Inline it as the expression — the IV
+            # variable holds the pre-increment value at every body use, and
+            # past the loop it holds the first failing value, so `iv + step`
+            # reads correctly everywhere the SSA value was legal.
+            step = counted.step.value
+            if step >= 0:
+                expr = ast.Binary("+", ast.Ident(iv_name), ast.IntLit(step))
+            else:
+                expr = ast.Binary("-", ast.Ident(iv_name), ast.IntLit(-step))
+            self.expr_overrides[counted.step_inst] = expr
+        return iv_name
+
+    def emit_for_loop(self, counted: CountedLoop,
+                      ctx: _LoopContext) -> ast.Stmt:
+        loop = counted.loop
+        iv_name = self._mark_for_consumed(counted)
+
+        init = ast.ExprStmt(ast.Assign("=", ast.Ident(iv_name),
+                                       self.expr(counted.start)))
+        bound_expr = self.expr(counted.bound)
+        condition = ast.Binary(_CMP_C[counted.predicate],
+                               ast.Ident(iv_name), bound_expr)
+        step_value = counted.step.value
+        if self.options.increment_style == "compact" and step_value in (1, -1):
+            step = ast.Unary("++" if step_value == 1 else "--",
+                             ast.Ident(iv_name), postfix=True)
+        elif step_value >= 0:
+            step = ast.Assign("=", ast.Ident(iv_name),
+                              ast.Binary("+", ast.Ident(iv_name),
+                                         ast.IntLit(step_value)))
+        else:
+            step = ast.Assign("=", ast.Ident(iv_name),
+                              ast.Binary("-", ast.Ident(iv_name),
+                                         ast.IntLit(-step_value)))
+        body = self._loop_body_stmts(loop, ctx)
+        return ast.For(init, condition, step, ast.Compound(body))
+
+    def emit_do_while(self, loop: Loop, ctx: _LoopContext) -> ast.Stmt:
+        latch = loop.latch
+        term: CondBranch = latch.terminator
+        body = self._loop_body_stmts(loop, ctx)
+        condition = self.condition_expr(term.condition)
+        if term.if_true not in loop.blocks:
+            condition = _negate(condition)
+        return ast.DoWhile(ast.Compound(body), condition)
+
+    def _simple_top_test(self, loop: Loop) -> bool:
+        header = loop.header
+        for inst in header.instructions:
+            if isinstance(inst, (Phi, DbgValue, ICmp, FCmp)) \
+                    or inst.is_terminator:
+                continue
+            return False
+        return True
+
+    def emit_while(self, loop: Loop, ctx: _LoopContext) -> ast.Stmt:
+        header = loop.header
+        term: CondBranch = header.terminator
+        condition = self.condition_expr(term.condition)
+        body_entry = term.if_true if term.if_true in loop.blocks \
+            else term.if_false
+        if term.if_true not in loop.blocks:
+            condition = _negate(condition)
+        body = self.emit_region(body_entry, header, ctx)
+        # The back-edge sources owe phi updates; emit_region handles them
+        # when it reaches the latch (its successors include the header).
+        body = body + self._phi_edge_assigns_for_while(loop)
+        return ast.While(condition, ast.Compound(body))
+
+    def _phi_edge_assigns_for_while(self, loop: Loop) -> List[ast.Stmt]:
+        return []  # handled by per-block emission
+
+    def _loop_body_stmts(self, loop: Loop,
+                         ctx: _LoopContext) -> List[ast.Stmt]:
+        header, latch = loop.header, loop.latch
+        if header is latch:
+            return self.emit_block_stmts(header)
+        body = self.emit_region(header, latch, ctx)
+        body += self.emit_block_stmts(latch)
+        return body
+
+    # --- Guarded-loop matching (Loop-Rotate Detransformer, §4.2).
+
+    def _match_guarded_loop(self, block: BasicBlock):
+        term = block.terminator
+        if not isinstance(term, CondBranch) or not isinstance(
+                term.condition, ICmp):
+            return None
+        for target, other in ((term.if_true, term.if_false),
+                              (term.if_false, term.if_true)):
+            counted = self._counted_plan.get(target)
+            if counted is None:
+                continue
+            loop = counted.loop
+            if loop.unique_exit is not other:
+                continue
+            if not self._guard_equivalent(term, target, counted):
+                continue
+            # The guard is redundant (§4.2): drop it and emit the for-loop.
+            self.skip.add(term.condition)
+            pre = self.emit_block_stmts(block)
+            ctx = _LoopContext(loop, other, None)
+            for_stmt = self.emit_for_loop(counted, ctx)
+            for_stmt = self._postprocess_for(for_stmt)
+            return pre, for_stmt, other
+        return None
+
+    def _postprocess_for(self, stmt: ast.Stmt) -> ast.Stmt:
+        return stmt
+
+    def _guard_equivalent(self, term: CondBranch, loop_target: BasicBlock,
+                          counted: CountedLoop) -> bool:
+        """Prove the preheader guard equals the for-loop's initial test
+        ``start PRED bound`` (paper §4.2's equivalence check)."""
+        guard: ICmp = term.condition
+        enter_on_true = term.if_true is loop_target
+        predicate = guard.predicate
+        if not enter_on_true:
+            from ..ir.instructions import INVERTED_PREDICATE
+            predicate = INVERTED_PREDICATE[predicate]
+        lhs, rhs = guard.lhs, guard.rhs
+        if predicate == counted.predicate:
+            return (_equivalent_values(lhs, counted.start)
+                    and _equivalent_values(rhs, counted.bound))
+        from ..ir.instructions import SWAPPED_PREDICATE
+        if SWAPPED_PREDICATE.get(predicate) == counted.predicate:
+            return (_equivalent_values(rhs, counted.start)
+                    and _equivalent_values(lhs, counted.bound))
+        return False
+
+    # --- Goto-mode emission (LLVM CBackend style).
+
+    def emit_goto_body(self) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        blocks = self.function.blocks
+        multi = len(blocks) > 1
+        for index, block in enumerate(blocks):
+            if multi:
+                stmts.append(ast.Label(_label(block)))
+            stmts.extend(self.emit_block_stmts(block))
+            term = block.terminator
+            if isinstance(term, Ret):
+                if term.value is not None:
+                    stmts.append(ast.Return(self.expr(term.value)))
+                elif index != len(blocks) - 1:
+                    stmts.append(ast.Return())
+            elif isinstance(term, CondBranch):
+                stmts.append(ast.If(
+                    self.condition_expr(term.condition),
+                    ast.Compound([ast.Goto(_label(term.if_true))]),
+                    ast.Compound([ast.Goto(_label(term.if_false))])))
+            elif isinstance(term, Branch):
+                if index + 1 >= len(blocks) \
+                        or blocks[index + 1] is not term.target:
+                    stmts.append(ast.Goto(_label(term.target)))
+            elif isinstance(term, Unreachable):
+                pass
+        return stmts
+
+
+def _label(block: BasicBlock) -> str:
+    return sanitize_identifier(f"bb_{block.name}")
+
+
+def _is_zero(value: Value) -> bool:
+    return isinstance(value, ConstantInt) and value.value == 0
+
+
+def _is_all_ones(value: Value) -> bool:
+    return isinstance(value, ConstantInt) and value.value == -1
+
+
+def _negate(expr: ast.Expr) -> ast.Expr:
+    from ..minic.printer import _PRECEDENCE
+    if isinstance(expr, ast.Binary):
+        flips = {"==": "!=", "!=": "==", "<": ">=", ">": "<=",
+                 "<=": ">", ">=": "<"}
+        if expr.op in flips:
+            return ast.Binary(flips[expr.op], expr.lhs, expr.rhs)
+    if isinstance(expr, ast.Unary) and expr.op == "!":
+        return expr.operand
+    return ast.Unary("!", expr)
+
+
+def _is_last_return(function: Function, block: BasicBlock) -> bool:
+    return function.blocks and function.blocks[-1] is block
+
+
+def _strip_int_casts(value: Value) -> Value:
+    while isinstance(value, Cast) and value.opcode in ("sext", "zext",
+                                                       "trunc"):
+        value = value.value
+    return value
+
+
+def _equivalent_values(a: Value, b: Value, depth: int = 0) -> bool:
+    """Structural equivalence of two IR expressions (guard-proof helper).
+
+    Width-changing integer casts are looked through: loop bounds are
+    proven in-range by construction, so ``trunc(x) == x`` for the values
+    the guard compares (the same pragmatic proof SPLENDID applies).
+    """
+    a, b = _strip_int_casts(a), _strip_int_casts(b)
+    if a is b:
+        return True
+    if depth > 8:
+        return False
+    if isinstance(a, ConstantInt) and isinstance(b, ConstantInt):
+        return a.value == b.value
+    if isinstance(a, ConstantFloat) and isinstance(b, ConstantFloat):
+        return a.value == b.value
+    if isinstance(a, Instruction) and isinstance(b, Instruction):
+        if a.opcode != b.opcode or len(a.operands) != len(b.operands):
+            return False
+        if isinstance(a, (ICmp, FCmp)) and a.predicate != b.predicate:
+            return False
+        if isinstance(a, (Load, Call, Phi, Alloca)):
+            return False  # not pure / context-dependent
+        return all(_equivalent_values(x, y, depth + 1)
+                   for x, y in zip(a.operands, b.operands))
+    return False

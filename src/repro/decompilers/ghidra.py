@@ -1,0 +1,38 @@
+"""Ghidra-style baseline decompiler.
+
+Simulates decompiling the *binary* (not the IR): all source-level names
+are considered stripped (parameters become ``param_1``, locals become
+``iVar``/``dVar``/``lVar``), addresses are printed as byte-level
+arithmetic through casts (``*(double *)((long)A + i * 8)``), and —
+matching Table 1 — Ghidra *does* reconstruct for-loops and de-transform
+loop rotation, but keeps runtime calls and has no pragma support.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from .engine import DecompilerOptions, ModuleDecompiler
+
+OPTIONS = DecompilerOptions(
+    name="ghidra",
+    structure_cfg=True,
+    construct_for_loops=True,
+    detransform_rotation=True,
+    explicit_parallelism=False,
+    rename_variables=False,
+    naming_style="local",
+    elide_widening_casts=False,
+    byte_level_addressing=True,
+    strip_debug_names=True,
+    increment_style="verbose",
+    inline_expressions=False,
+)
+
+
+def decompile(module: Module) -> str:
+    """Decompile a module to C text in Ghidra style."""
+    return ModuleDecompiler(module, OPTIONS).decompile_text()
+
+
+def decompile_unit(module: Module):
+    return ModuleDecompiler(module, OPTIONS).decompile()

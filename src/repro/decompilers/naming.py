@@ -1,0 +1,129 @@
+"""Variable-name allocation styles for the decompiler back ends.
+
+Each baseline names values the way the real tool does:
+
+* ``val``   — Rellic: ``val8``, ``val10``, phis become ``phi11``.
+* ``local`` — Ghidra: ``iVar1``/``dVar2``/``lVar3`` by type, parameters
+  ``param_1``...; all source names are considered stripped (binary input).
+* ``tmp``   — LLVM CBackend: ``tmp__1``, ``tmp__2``...
+* ``source``— SPLENDID: names come from the variable-generation map
+  (debug metadata, Algorithms 1-2); unmapped values fall back to their
+  virtual-register name, which is "unique and somewhat meaningful"
+  (paper §4.3.2), e.g. ``indvar``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Dict, Optional, Set
+
+from ..ir import types as ir_ty
+from ..ir.instructions import Phi
+from ..ir.values import Argument, Value
+
+_IDENT_RE = re.compile(r"[^0-9a-zA-Z_]")
+
+C_KEYWORDS = frozenset({
+    "auto", "break", "case", "char", "const", "continue", "default", "do",
+    "double", "else", "enum", "extern", "float", "for", "goto", "if",
+    "inline", "int", "long", "register", "restrict", "return", "short",
+    "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+    "unsigned", "void", "volatile", "while",
+})
+
+
+def sanitize_identifier(name: str) -> str:
+    clean = _IDENT_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = f"_{clean}"
+    if clean in C_KEYWORDS:
+        clean = f"{clean}_"
+    return clean
+
+
+class NameAllocator:
+    def __init__(self, style: str,
+                 source_names: Optional[Dict[Value, str]] = None,
+                 source_groups: Optional[Dict[Value, object]] = None):
+        self.style = style
+        self.source_names = source_names or {}
+        # Values in the same group provably share one source variable
+        # (Algorithm 2 removed every conflicting mapping), so they SHARE
+        # one C name — this is the SSA de-transformation the paper
+        # describes, not a collision to uniquify away.
+        self.source_groups = source_groups or {}
+        self._group_names: Dict[object, str] = {}
+        self.taken: Set[str] = set()
+        self.assigned: Dict[Value, str] = {}
+        # origin[value]: 'source' (restored from debug metadata),
+        # 'register' (virtual-register fallback), or 'synthetic'.
+        self.origin: Dict[Value, str] = {}
+        self._counter = itertools.count(1)
+
+    def reserve(self, name: str) -> None:
+        self.taken.add(name)
+
+    def _unique(self, candidate: str) -> str:
+        if candidate not in self.taken:
+            self.taken.add(candidate)
+            return candidate
+        suffix = 1
+        while f"{candidate}{suffix}" in self.taken:
+            suffix += 1
+        final = f"{candidate}{suffix}"
+        self.taken.add(final)
+        return final
+
+    def name_for(self, value: Value) -> str:
+        if value in self.assigned:
+            return self.assigned[value]
+        group = self.source_groups.get(value) \
+            if self.style == "source" else None
+        if group is not None and group in self._group_names:
+            name = self._group_names[group]
+            self.origin[value] = "source"
+        else:
+            name = self._unique(self._candidate(value))
+            if group is not None:
+                self._group_names[group] = name
+        self.assigned[value] = name
+        return name
+
+    def _candidate(self, value: Value) -> str:
+        index = next(self._counter)
+        if self.style == "val":
+            if isinstance(value, Phi):
+                return f"phi{index}"
+            if isinstance(value, Argument):
+                return sanitize_identifier(value.name) or f"arg{index}"
+            return f"val{index}"
+        if self.style == "local":
+            if isinstance(value, Argument):
+                return f"param_{value.index + 1}"
+            vtype = value.type
+            if vtype.is_float:
+                return f"dVar{index}"
+            if vtype.is_pointer:
+                return f"pdVar{index}"
+            if vtype.is_integer and vtype.bits == 64:
+                return f"lVar{index}"
+            return f"iVar{index}"
+        if self.style == "tmp":
+            if isinstance(value, Argument):
+                return sanitize_identifier(value.name) or f"arg{index}"
+            return f"tmp__{index}"
+        if self.style == "source":
+            mapped = self.source_names.get(value)
+            if mapped:
+                self.origin[value] = "source"
+                return sanitize_identifier(mapped)
+            if isinstance(value, Argument) and value.name:
+                # Parameter names survive in the symbol table.
+                self.origin[value] = "source"
+                return sanitize_identifier(value.name)
+            self.origin[value] = "register"
+            if value.name:
+                return sanitize_identifier(value.name)
+            return f"v{index}"
+        raise ValueError(f"unknown naming style {self.style!r}")

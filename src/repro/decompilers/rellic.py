@@ -1,0 +1,39 @@
+"""Rellic-style baseline decompiler.
+
+Reproduces the observable output style of Rellic [63, 64] on parallel
+LLVM-IR, per the paper's Figure 1 and Table 1: structured control flow
+(if/else and do-while — no for-loop construction, no loop-rotation
+de-transformation), parallel runtime calls exposed verbatim
+(``__kmpc_fork_call`` and friends appear in the C output, making it
+non-portable), SSA collapsed through ``val<N>``/``phi<N>`` variables,
+and no source-variable renaming.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from .engine import DecompilerOptions, ModuleDecompiler
+
+OPTIONS = DecompilerOptions(
+    name="rellic",
+    structure_cfg=True,
+    construct_for_loops=False,
+    detransform_rotation=False,
+    explicit_parallelism=False,
+    rename_variables=False,
+    naming_style="val",
+    elide_widening_casts=False,
+    byte_level_addressing=False,
+    strip_debug_names=False,
+    increment_style="verbose",
+    inline_expressions=False,
+)
+
+
+def decompile(module: Module) -> str:
+    """Decompile a module to C text in Rellic style."""
+    return ModuleDecompiler(module, OPTIONS).decompile_text()
+
+
+def decompile_unit(module: Module):
+    return ModuleDecompiler(module, OPTIONS).decompile()

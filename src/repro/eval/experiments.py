@@ -1,0 +1,276 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver returns plain dataclasses so tests can assert on shapes and
+the benchmark harness can print paper-style rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..metrics import bleu_score, count_loc, parallel_representation_loc
+from ..polybench import Benchmark, all_benchmarks, collab_benchmarks
+from ..runtime import MachineModel
+from .pipeline import (artifacts_for, build_openmp, build_sequential,
+                       kernel_time, speedups_for)
+
+
+def _suite(benchmarks: Optional[List[str]] = None) -> List[Benchmark]:
+    suite = all_benchmarks()
+    if benchmarks is not None:
+        suite = [b for b in suite if b.name in benchmarks]
+    return suite
+
+
+def geomean(values: List[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: portability speedups
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Figure6:
+    rows: List[object]
+
+    @property
+    def geomean_polly(self) -> float:
+        return geomean([r.polly for r in self.rows])
+
+    @property
+    def geomean_clang(self) -> float:
+        return geomean([r.splendid_clang for r in self.rows])
+
+    @property
+    def geomean_gcc(self) -> float:
+        return geomean([r.splendid_gcc for r in self.rows])
+
+
+def figure6_speedups(benchmarks: Optional[List[str]] = None,
+                     machine: Optional[MachineModel] = None) -> Figure6:
+    rows = [speedups_for(b, machine) for b in _suite(benchmarks)]
+    return Figure6(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: BLEU scores
+# ---------------------------------------------------------------------------
+
+TOOLS = ("rellic", "ghidra", "splendid-v1", "splendid-portable", "splendid")
+
+
+@dataclass
+class BleuRow:
+    name: str
+    scores: Dict[str, float]        # tool -> BLEU in [0, 1]
+
+
+@dataclass
+class Figure7:
+    rows: List[BleuRow]
+
+    def average(self, tool: str) -> float:
+        return sum(r.scores[tool] for r in self.rows) / len(self.rows)
+
+    def improvement_over(self, tool: str, baseline: str) -> float:
+        base = self.average(baseline)
+        return self.average(tool) / base if base else float("inf")
+
+
+def figure7_bleu(benchmarks: Optional[List[str]] = None) -> Figure7:
+    rows = []
+    for bench in _suite(benchmarks):
+        art = artifacts_for(bench)
+        scores = {tool: bleu_score(art.decompiled[tool],
+                                   bench.reference_source)
+                  for tool in TOOLS}
+        rows.append(BleuRow(bench.name, scores))
+    return Figure7(rows)
+
+
+# ---------------------------------------------------------------------------
+# Table 4: LoC similarity
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LocRow:
+    name: str
+    ghidra: int
+    rellic: int
+    splendid: int
+    reference: int
+    par_ghidra: int
+    par_rellic: int
+    par_splendid: int
+
+
+@dataclass
+class Table4:
+    rows: List[LocRow]
+
+    def total(self, column: str) -> int:
+        return sum(getattr(r, column) for r in self.rows)
+
+
+def table4_loc(benchmarks: Optional[List[str]] = None) -> Table4:
+    rows = []
+    for bench in _suite(benchmarks):
+        art = artifacts_for(bench)
+        rows.append(LocRow(
+            name=bench.name,
+            ghidra=count_loc(art.decompiled["ghidra"]),
+            rellic=count_loc(art.decompiled["rellic"]),
+            splendid=count_loc(art.decompiled["splendid"]),
+            reference=count_loc(bench.reference_source),
+            par_ghidra=parallel_representation_loc(art.decompiled["ghidra"]),
+            par_rellic=parallel_representation_loc(art.decompiled["rellic"]),
+            par_splendid=parallel_representation_loc(
+                art.decompiled["splendid"]),
+        ))
+    return Table4(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: variable-name restoration
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RestorationRow:
+    name: str
+    total: int
+    restored: int
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.restored / self.total if self.total else 0.0
+
+
+@dataclass
+class Figure8:
+    rows: List[RestorationRow]
+
+    @property
+    def average_percent(self) -> float:
+        return sum(r.percent for r in self.rows) / len(self.rows)
+
+
+def figure8_restoration(benchmarks: Optional[List[str]] = None) -> Figure8:
+    rows = []
+    for bench in _suite(benchmarks):
+        art = artifacts_for(bench)
+        stats = art.splendid.restoration_stats()
+        rows.append(RestorationRow(bench.name, stats.total, stats.restored))
+    return Figure8(rows)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: loops parallelizable (compiler vs programmer)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table3Row:
+    name: str
+    programmer: int
+    compiler: int
+
+    @property
+    def overlap(self) -> int:
+        # For the two distribution cases (atax, bicg) the programmer's
+        # loops are disjoint from the compiler's; elsewhere the
+        # programmer's choices are a subset of the compiler's.
+        if self.name in ("atax", "bicg"):
+            return 0
+        return min(self.programmer, self.compiler)
+
+    @property
+    def total(self) -> int:
+        return self.programmer + self.compiler - self.overlap
+
+    @property
+    def eliminated_manual(self) -> int:
+        return self.overlap
+
+
+@dataclass
+class Table3:
+    rows: List[Table3Row]
+
+    def totals(self) -> Table3Row:
+        row = Table3Row("Total",
+                        sum(r.programmer for r in self.rows),
+                        sum(r.compiler for r in self.rows))
+        return row
+
+    @property
+    def eliminated_fraction(self) -> float:
+        """Fraction of compiler-parallelized loops the programmer would
+        also have parallelized (the paper's 60%)."""
+        compiler = sum(r.compiler for r in self.rows)
+        overlap = sum(r.overlap for r in self.rows)
+        return overlap / compiler if compiler else 0.0
+
+
+def table3_loops(benchmarks: Optional[List[str]] = None) -> Table3:
+    rows = []
+    for bench in _suite(benchmarks):
+        art = artifacts_for(bench)
+        compiler = len(art.polly.parallel_loops)
+        rows.append(Table3Row(bench.name, bench.programmer_parallelized,
+                              compiler))
+    return Table3(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: collaborative parallelization
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CollabRow:
+    name: str
+    manual_only: float
+    compiler_only: float
+    collaborative: float
+    edit_loc: int
+
+
+@dataclass
+class Figure9:
+    rows: List[CollabRow]
+
+    @property
+    def mean_collab_vs_manual(self) -> float:
+        return geomean([r.collaborative / r.manual_only for r in self.rows
+                        if r.manual_only > 0])
+
+    @property
+    def mean_collab_vs_compiler(self) -> float:
+        return geomean([r.collaborative / r.compiler_only for r in self.rows
+                        if r.compiler_only > 0])
+
+
+def figure9_collaboration(machine: Optional[MachineModel] = None) -> Figure9:
+    machine = machine or MachineModel()
+    rows = []
+    for bench in collab_benchmarks():
+        art = artifacts_for(bench)
+        t_seq = kernel_time(build_sequential(bench), machine)
+        t_compiler = kernel_time(art.parallel, machine)
+        t_manual = kernel_time(
+            build_openmp(bench.manual_source, bench.defines,
+                         name=f"{bench.name}.manual"), machine)
+        t_collab = kernel_time(
+            build_openmp(bench.collab_source, bench.defines,
+                         name=f"{bench.name}.collab"), machine)
+        rows.append(CollabRow(
+            name=bench.name,
+            manual_only=t_seq / t_manual,
+            compiler_only=t_seq / t_compiler,
+            collaborative=t_seq / t_collab,
+            edit_loc=bench.collab_edit_loc))
+    return Figure9(rows)

@@ -1,0 +1,152 @@
+"""End-to-end build/run helpers for the experiment harness.
+
+Every experiment starts from one of these artifacts:
+
+* the *sequential module*: mini-C -> IR -> -O2;
+* the *parallel module*: sequential module -> Polly-style parallelizer
+  (this is the decompilation input everywhere in the paper);
+* a *recompiled module*: decompiled C/OpenMP text -> mini-C front end
+  (OpenMP lowering) -> -O2 (the 'any host compiler' leg of Figure 6).
+
+Timing isolates the kernel: ``init`` runs first, then ``kernel``, and
+the modeled wall-cycle delta between the two is the kernel time.
+Results are memoized per benchmark because several experiments share
+the same artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..frontend import compile_source
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..passes import optimize_o2
+from ..polly import PollyResult, parallelize_module
+from ..polybench import Benchmark
+from ..runtime import Interpreter, MachineModel, compiler_factor
+from ..core import Splendid
+
+
+class BuildError(Exception):
+    pass
+
+
+def compile_c(source: str, defines: Optional[Dict[str, str]] = None,
+              optimize: bool = True, name: str = "module") -> Module:
+    """mini-C text -> (optionally -O2) IR module."""
+    module = compile_source(source, defines, name)
+    if optimize:
+        optimize_o2(module)
+    verify_module(module)
+    return module
+
+
+def build_sequential(bench: Benchmark) -> Module:
+    return compile_c(bench.sequential_source, bench.defines,
+                     name=f"{bench.name}.seq")
+
+
+def build_parallel(bench: Benchmark) -> Tuple[Module, PollyResult]:
+    module = compile_c(bench.sequential_source, bench.defines,
+                       name=f"{bench.name}.polly")
+    result = parallelize_module(module,
+                                only_functions=list(bench.kernel_functions))
+    return module, result
+
+
+def build_openmp(source: str, defines: Optional[Dict[str, str]] = None,
+                 name: str = "omp") -> Module:
+    """Compile OpenMP-annotated mini-C (pragmas lowered to __kmpc_*)."""
+    return compile_c(source, defines, name=name)
+
+
+def kernel_time(module: Module, machine: Optional[MachineModel] = None,
+                kernel: str = "kernel", init: str = "init") -> float:
+    """Modeled wall cycles of one kernel invocation (after init)."""
+    interp = Interpreter(module, machine)
+    if init in module.functions and not module.functions[init].is_declaration:
+        interp.run(init)
+    before = interp.wall_time
+    interp.run(kernel)
+    return interp.wall_time - before
+
+
+def program_output(module: Module,
+                   machine: Optional[MachineModel] = None) -> List[str]:
+    return Interpreter(module, machine).run("main").output
+
+
+@dataclass
+class BenchmarkArtifacts:
+    benchmark: Benchmark
+    sequential: Module
+    parallel: Module
+    polly: PollyResult
+    decompiled: Dict[str, str]           # variant/tool name -> C text
+    splendid: Splendid                   # the 'full' instance (for stats)
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+
+_CACHE: Dict[str, BenchmarkArtifacts] = {}
+
+
+def artifacts_for(bench: Benchmark, refresh: bool = False) -> BenchmarkArtifacts:
+    """Build (or fetch cached) modules and decompilations for a benchmark."""
+    if not refresh and bench.name in _CACHE:
+        return _CACHE[bench.name]
+    from ..decompilers import ghidra, rellic
+    sequential = build_sequential(bench)
+    parallel, polly = build_parallel(bench)
+    splendid_full = Splendid(parallel, "full")
+    decompiled = {
+        "rellic": rellic.decompile(parallel),
+        "ghidra": ghidra.decompile(parallel),
+        "splendid-v1": Splendid(parallel, "v1").decompile_text(),
+        "splendid-portable": Splendid(parallel, "portable").decompile_text(),
+        "splendid": splendid_full.decompile_text(),
+    }
+    artifacts = BenchmarkArtifacts(bench, sequential, parallel, polly,
+                                   decompiled, splendid_full)
+    _CACHE[bench.name] = artifacts
+    return artifacts
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+@dataclass
+class SpeedupRow:
+    """One benchmark's row of Figure 6."""
+
+    name: str
+    polly: float
+    splendid_clang: float
+    splendid_gcc: float
+    sequential_time: float
+
+
+def speedups_for(bench: Benchmark,
+                 machine: Optional[MachineModel] = None) -> SpeedupRow:
+    machine = machine or MachineModel()
+    art = artifacts_for(bench)
+    t_seq = kernel_time(build_sequential(bench), machine)
+    t_polly = kernel_time(art.parallel, machine)
+
+    recompiled = build_openmp(art.decompiled["splendid"], bench.defines,
+                              name=f"{bench.name}.recompiled")
+    t_recompiled = kernel_time(recompiled, machine)
+    t_clang = t_recompiled * compiler_factor("clang", bench.name)
+    t_gcc = t_recompiled * compiler_factor("gcc", bench.name)
+
+    return SpeedupRow(
+        name=bench.name,
+        polly=t_seq / t_polly,
+        splendid_clang=t_seq / t_clang,
+        splendid_gcc=t_seq / t_gcc,
+        sequential_time=t_seq)

@@ -1,0 +1,112 @@
+"""Plain-text rendering of experiment results in paper-style layouts."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .experiments import Figure6, Figure7, Figure8, Figure9, Table3, Table4
+
+
+def _table(header: Sequence[str], rows: List[Sequence[object]],
+           title: str = "") -> str:
+    columns = [list(map(str, col)) for col in
+               zip(header, *[[_fmt(c) for c in row] for row in rows])]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_figure6(result: Figure6) -> str:
+    rows = [(r.name, r.polly, r.splendid_clang, r.splendid_gcc)
+            for r in result.rows]
+    rows.append(("geomean", result.geomean_polly, result.geomean_clang,
+                 result.geomean_gcc))
+    return _table(
+        ("benchmark", "Polly", "SPLENDID->Clang", "SPLENDID->GCC"), rows,
+        "Figure 6: speedup over sequential (28 simulated threads)")
+
+
+def render_figure7(result: Figure7) -> str:
+    rows = [(r.name,
+             f"{r.scores['rellic']:.4f}", f"{r.scores['ghidra']:.4f}",
+             f"{r.scores['splendid-v1']:.4f}",
+             f"{r.scores['splendid-portable']:.4f}",
+             f"{r.scores['splendid']:.4f}")
+            for r in result.rows]
+    rows.append(("average",
+                 f"{result.average('rellic'):.4f}",
+                 f"{result.average('ghidra'):.4f}",
+                 f"{result.average('splendid-v1'):.4f}",
+                 f"{result.average('splendid-portable'):.4f}",
+                 f"{result.average('splendid'):.4f}"))
+    return _table(
+        ("benchmark", "Rellic", "Ghidra", "SPLENDID-v1", "Portable", "Full"),
+        rows, "Figure 7: BLEU-4 vs reference OpenMP code (0..1)")
+
+
+def render_table4(result: Table4) -> str:
+    rows = []
+    for r in result.rows:
+        ref = r.reference or 1
+        rows.append((r.name,
+                     f"{r.ghidra} ({r.ghidra / ref:.1f}x)",
+                     f"{r.rellic} ({r.rellic / ref:.1f}x)",
+                     f"{r.splendid} ({r.splendid / ref:.1f}x)",
+                     r.reference,
+                     r.par_ghidra, r.par_rellic, r.par_splendid))
+    total_ref = result.total("reference") or 1
+    rows.append(("Total",
+                 f"{result.total('ghidra')} "
+                 f"({result.total('ghidra') / total_ref:.1f}x)",
+                 f"{result.total('rellic')} "
+                 f"({result.total('rellic') / total_ref:.1f}x)",
+                 f"{result.total('splendid')} "
+                 f"({result.total('splendid') / total_ref:.1f}x)",
+                 result.total("reference"),
+                 result.total("par_ghidra"), result.total("par_rellic"),
+                 result.total("par_splendid")))
+    return _table(
+        ("benchmark", "Ghidra", "Rellic", "SPLENDID", "Ref",
+         "par(G)", "par(R)", "par(S)"), rows,
+        "Table 4: LoC vs reference, and parallel-representation LoC")
+
+
+def render_figure8(result: Figure8) -> str:
+    rows = [(r.name, r.restored, r.total, f"{r.percent:.1f}%")
+            for r in result.rows]
+    rows.append(("average", "", "", f"{result.average_percent:.1f}%"))
+    return _table(("benchmark", "restored", "total", "percent"), rows,
+                  "Figure 8: variables restored to source names")
+
+
+def render_table3(result: Table3) -> str:
+    rows = [(r.name, r.programmer, r.compiler, r.total, r.eliminated_manual)
+            for r in result.rows]
+    totals = result.totals()
+    rows.append(("Total", totals.programmer, totals.compiler,
+                 sum(r.total for r in result.rows),
+                 sum(r.eliminated_manual for r in result.rows)))
+    return _table(
+        ("benchmark", "programmer", "compiler", "total", "eliminated"),
+        rows, "Table 3: parallelizable loops")
+
+
+def render_figure9(result: Figure9) -> str:
+    rows = [(r.name, r.manual_only, r.compiler_only, r.collaborative,
+             r.edit_loc) for r in result.rows]
+    return _table(
+        ("benchmark", "manual", "compiler", "collab", "edit LoC"), rows,
+        "Figure 9: collaborative parallelization speedups")

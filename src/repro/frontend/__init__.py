@@ -1,0 +1,6 @@
+"""repro.frontend — mini-C AST to IR lowering (clang -O0 analogue)."""
+
+from .codegen import Codegen, CodegenError, compile_source, lower_type, lower_unit
+
+__all__ = ["Codegen", "CodegenError", "compile_source", "lower_type",
+           "lower_unit"]

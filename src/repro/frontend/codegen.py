@@ -1,0 +1,656 @@
+"""Lowering mini-C ASTs to repro IR (clang -O0 style).
+
+Every local variable and parameter gets a stack slot (``alloca``) tagged
+with a :class:`DILocalVariable`; reads load it, writes store it.  The
+mem2reg pass later promotes these slots to SSA values and materializes
+``llvm.dbg.value`` intrinsics — exactly the metadata trail SPLENDID's
+variable renamer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import types as ir_ty
+from ..ir.block import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.instructions import Alloca, Instruction
+from ..ir.metadata import DILocalVariable
+from ..ir.module import Function, Module
+from ..ir.values import (Argument, ConstantFloat, ConstantInt, GlobalVariable,
+                         Value, const_bool, const_float, const_int)
+from ..minic import c_ast as ast
+from ..minic.sema import BUILTIN_SIGNATURES, Sema
+
+
+class CodegenError(Exception):
+    pass
+
+
+def lower_type(ctype: ast.CType) -> ir_ty.Type:
+    if isinstance(ctype, ast.CVoid):
+        return ir_ty.VOID
+    if isinstance(ctype, ast.CInt):
+        return ir_ty.I64 if ctype.bits == 64 else ir_ty.I32
+    if isinstance(ctype, ast.CDouble):
+        return ir_ty.DOUBLE
+    if isinstance(ctype, ast.CPointer):
+        return ir_ty.pointer(lower_type(ctype.pointee))
+    if isinstance(ctype, ast.CArray):
+        if ctype.size is None:
+            # Unsized arrays only appear behind pointers; decay to pointer.
+            return ir_ty.pointer(lower_type(ctype.element))
+        return ir_ty.array(lower_type(ctype.element), ctype.size)
+    raise CodegenError(f"cannot lower type {ctype!r}")
+
+
+def _decl_ctype(decl: ast.Declaration) -> ast.CType:
+    ctype = decl.ctype
+    for dim in reversed(decl.array_dims):
+        ctype = ast.CArray(ctype, dim if dim >= 0 else None)
+    return ctype
+
+
+class _LoopContext:
+    def __init__(self, break_block: BasicBlock, continue_block: BasicBlock):
+        self.break_block = break_block
+        self.continue_block = continue_block
+
+
+class FunctionLowering:
+    """Lowers one function definition."""
+
+    def __init__(self, module: Module, unit_cg: "Codegen",
+                 fn_ast: ast.FunctionDef):
+        self.module = module
+        self.unit_cg = unit_cg
+        self.fn_ast = fn_ast
+        self.function: Optional[Function] = None
+        self.builder = IRBuilder()
+        self.locals: Dict[str, Tuple[Value, ast.CType]] = {}
+        self.scopes: List[List[str]] = []
+        self.loop_stack: List[_LoopContext] = []
+        self.block_counter = 0
+
+    # Block helpers ----------------------------------------------------------
+
+    def new_block(self, hint: str) -> BasicBlock:
+        self.block_counter += 1
+        return self.function.append_block(f"{hint}{self.block_counter}")
+
+    def _terminated(self) -> bool:
+        block = self.builder.block
+        return block is not None and block.terminator is not None
+
+    # Entry ---------------------------------------------------------------------
+
+    def run(self) -> Function:
+        ftype = ir_ty.function(
+            lower_type(self.fn_ast.return_type),
+            [lower_type(p.ctype) for p in self.fn_ast.params])
+        existing = self.module.functions.get(self.fn_ast.name)
+        if existing is not None and existing.is_declaration \
+                and existing.function_type == ftype:
+            # A prior prototype: fill in the body behind the same object
+            # so existing call sites keep resolving.
+            self.function = existing
+            for arg, param in zip(existing.arguments, self.fn_ast.params):
+                arg.name = param.name
+        else:
+            self.function = Function(
+                self.fn_ast.name, ftype, [p.name for p in self.fn_ast.params])
+            self.module.add_function(self.function)
+        entry = self.function.append_block("entry")
+        self.builder.position_at_end(entry)
+
+        self.scopes.append([])
+        for param, arg in zip(self.fn_ast.params, self.function.arguments):
+            slot = self.builder.alloca(arg.type, f"{param.name}.addr")
+            slot.debug_variable = DILocalVariable(
+                param.name, arg_index=arg.index, scope=self.fn_ast.name)
+            self.builder.store(arg, slot)
+            self._declare(param.name, slot, param.ctype)
+
+        self.lower_stmt(self.fn_ast.body)
+
+        if not self._terminated():
+            if self.function.return_type.is_void:
+                self.builder.ret()
+            else:
+                self.builder.ret(_zero_of(self.function.return_type))
+        self.function.assign_names()
+        return self.function
+
+    # Scopes ------------------------------------------------------------------------
+
+    def _declare(self, name: str, slot: Value, ctype: ast.CType) -> None:
+        # C block scoping with shadowing is handled by saving/restoring in
+        # lower_stmt(Compound); redeclaration in the same scope is a sema
+        # error before we ever get here.
+        self.locals[name] = (slot, ctype)
+        self.scopes[-1].append(name)
+
+    def _lookup(self, name: str) -> Tuple[Value, ast.CType]:
+        if name in self.locals:
+            return self.locals[name]
+        if name in self.unit_cg.global_slots:
+            return self.unit_cg.global_slots[name]
+        raise CodegenError(f"unknown identifier '{name}'")
+
+    # Statements ----------------------------------------------------------------------
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if self._terminated() and not isinstance(stmt, ast.Compound):
+            # Unreachable code after return/break: drop it, like clang -O0
+            # does after trivial CFG cleanup.
+            return
+        if isinstance(stmt, ast.Compound):
+            if any(p.directive == "parallel" for p in stmt.pragmas):
+                from .omp_lowering import lower_parallel_region
+                lower_parallel_region(self, stmt)
+                return
+            if stmt.transparent:
+                for child in stmt.body:
+                    self.lower_stmt(child)
+                return
+            saved = dict(self.locals)
+            self.scopes.append([])
+            for child in stmt.body:
+                self.lower_stmt(child)
+            self.scopes.pop()
+            self.locals = saved
+        elif isinstance(stmt, ast.Declaration):
+            self._lower_declaration(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.For):
+            if any("for" in p.directive or p.directive == "parallel"
+                   for p in stmt.pragmas):
+                from .omp_lowering import lower_worksharing_loop
+                lower_worksharing_loop(self, stmt)
+            else:
+                self._lower_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.lower_expr(stmt.value)
+                value = self._convert(value, self.function.return_type)
+                self.builder.ret(value)
+            else:
+                self.builder.ret()
+            self.builder.position_at_end(self.new_block("dead"))
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise CodegenError("'break' outside of a loop")
+            self.builder.br(self.loop_stack[-1].break_block)
+            self.builder.position_at_end(self.new_block("dead"))
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise CodegenError("'continue' outside of a loop")
+            self.builder.br(self.loop_stack[-1].continue_block)
+            self.builder.position_at_end(self.new_block("dead"))
+        elif isinstance(stmt, ast.PragmaStmt):
+            # Source-level pragmas (e.g. omp barrier in reference code) are
+            # lowered by the OpenMP lowering driver, not here.
+            pass
+        else:
+            raise CodegenError(f"cannot lower statement {type(stmt).__name__}")
+
+    def _lower_declaration(self, decl: ast.Declaration) -> None:
+        ctype = _decl_ctype(decl)
+        ir_type = lower_type(ctype)
+        slot = self.builder.alloca(ir_type, decl.name)
+        slot.debug_variable = DILocalVariable(decl.name, scope=self.fn_ast.name)
+        self._declare(decl.name, slot, ctype)
+        if decl.init is not None:
+            value = self.lower_expr(decl.init)
+            value = self._convert(value, ir_type)
+            self.builder.store(value, slot)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        condition = self._lower_condition(stmt.condition)
+        then_block = self.new_block("if.then")
+        end_block = self.new_block("if.end")
+        else_block = self.new_block("if.else") if stmt.else_body else end_block
+        self.builder.cond_br(condition, then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        self.lower_stmt(stmt.then_body)
+        if not self._terminated():
+            self.builder.br(end_block)
+
+        if stmt.else_body is not None:
+            self.builder.position_at_end(else_block)
+            self.lower_stmt(stmt.else_body)
+            if not self._terminated():
+                self.builder.br(end_block)
+
+        self.builder.position_at_end(end_block)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        saved = dict(self.locals)
+        self.scopes.append([])
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        cond_block = self.new_block("for.cond")
+        body_block = self.new_block("for.body")
+        inc_block = self.new_block("for.inc")
+        end_block = self.new_block("for.end")
+        self.builder.br(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        if stmt.condition is not None:
+            condition = self._lower_condition(stmt.condition)
+            self.builder.cond_br(condition, body_block, end_block)
+        else:
+            self.builder.br(body_block)
+
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append(_LoopContext(end_block, inc_block))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self._terminated():
+            self.builder.br(inc_block)
+
+        self.builder.position_at_end(inc_block)
+        if stmt.step is not None:
+            self.lower_expr(stmt.step)
+        self.builder.br(cond_block)
+
+        self.builder.position_at_end(end_block)
+        self.scopes.pop()
+        self.locals = saved
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        cond_block = self.new_block("while.cond")
+        body_block = self.new_block("while.body")
+        end_block = self.new_block("while.end")
+        self.builder.br(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        condition = self._lower_condition(stmt.condition)
+        self.builder.cond_br(condition, body_block, end_block)
+
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append(_LoopContext(end_block, cond_block))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self._terminated():
+            self.builder.br(cond_block)
+
+        self.builder.position_at_end(end_block)
+
+    def _lower_do_while(self, stmt: ast.DoWhile) -> None:
+        body_block = self.new_block("do.body")
+        cond_block = self.new_block("do.cond")
+        end_block = self.new_block("do.end")
+        self.builder.br(body_block)
+
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append(_LoopContext(end_block, cond_block))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self._terminated():
+            self.builder.br(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        condition = self._lower_condition(stmt.condition)
+        self.builder.cond_br(condition, body_block, end_block)
+
+        self.builder.position_at_end(end_block)
+
+    # Expressions ----------------------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLit):
+            vtype = ir_ty.I32 if -(2**31) <= expr.value < 2**31 else ir_ty.I64
+            return const_int(expr.value, vtype)
+        if isinstance(expr, ast.FloatLit):
+            return const_float(expr.value)
+        if isinstance(expr, ast.Ident):
+            slot, ctype = self._lookup(expr.name)
+            if isinstance(ctype, ast.CArray):
+                return slot  # array decays to pointer-to-array storage
+            return self.builder.load(slot, expr.name)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._lower_conditional(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr)
+        if isinstance(expr, ast.Index):
+            address = self.lower_address(expr)
+            if address.type.pointee.is_array:
+                return address  # partial indexing decays to a row pointer
+            return self.builder.load(address)
+        if isinstance(expr, ast.CastExpr):
+            value = self.lower_expr(expr.operand)
+            return self._convert(value, lower_type(expr.ctype))
+        if isinstance(expr, ast.SizeofExpr):
+            return const_int(ir_ty.sizeof(lower_type(expr.ctype)), ir_ty.I64)
+        if isinstance(expr, ast.Comma):
+            result: Optional[Value] = None
+            for part in expr.parts:
+                result = self.lower_expr(part)
+            return result
+        if isinstance(expr, ast.StrLit):
+            raise CodegenError("string literals are not supported in kernels")
+        raise CodegenError(f"cannot lower expression {type(expr).__name__}")
+
+    def lower_address(self, expr: ast.Expr) -> Value:
+        """Address of an lvalue expression."""
+        if isinstance(expr, ast.Ident):
+            slot, _ = self._lookup(expr.name)
+            return slot
+        if isinstance(expr, ast.Index):
+            # Collect the full subscript chain: A[i][j] -> base A, [i, j].
+            indices: List[ast.Expr] = []
+            base = expr
+            while isinstance(base, ast.Index):
+                indices.insert(0, base.index)
+                base = base.base
+            if not isinstance(base, ast.Ident):
+                raise CodegenError("unsupported array base expression")
+            slot, ctype = self._lookup(base.name)
+            index_values = [self._to_i64(self.lower_expr(i)) for i in indices]
+            if isinstance(ctype, ast.CArray):
+                # Local/global array: slot is [N x ...]*; prepend 0.
+                return self.builder.gep(
+                    slot, [const_int(0, ir_ty.I64), *index_values],
+                    f"{base.name}.idx")
+            pointer = self.builder.load(slot, base.name)
+            first, rest = index_values[0], index_values[1:]
+            return self.builder.gep(pointer, [first, *rest], f"{base.name}.idx")
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self.lower_expr(expr.operand)
+        raise CodegenError(f"expression is not addressable: {expr}")
+
+    def _lower_unary(self, expr: ast.Unary) -> Value:
+        if expr.op in ("++", "--"):
+            address = self.lower_address(expr.operand)
+            old = self.builder.load(address)
+            one = (const_float(1.0) if old.type.is_float
+                   else const_int(1, old.type))
+            opcode = ("fadd" if old.type.is_float else "add") \
+                if expr.op == "++" else ("fsub" if old.type.is_float else "sub")
+            new = self.builder.binop(opcode, old, one)
+            self.builder.store(new, address)
+            self._emit_dbg_for_slot(address, new)
+            return old if expr.postfix else new
+        if expr.op == "-":
+            value = self.lower_expr(expr.operand)
+            if value.type.is_float:
+                return self.builder.fsub(const_float(0.0), value)
+            return self.builder.sub(const_int(0, value.type), value)
+        if expr.op == "!":
+            value = self.lower_expr(expr.operand)
+            condition = self._truthy(value)
+            result = self.builder.icmp("eq", condition, const_bool(False))
+            return self.builder.cast("zext", result, ir_ty.I32)
+        if expr.op == "~":
+            value = self.lower_expr(expr.operand)
+            return self.builder.binop(
+                "xor", value, const_int(-1, value.type))
+        if expr.op == "*":
+            address = self.lower_expr(expr.operand)
+            return self.builder.load(address)
+        if expr.op == "&":
+            return self.lower_address(expr.operand)
+        raise CodegenError(f"cannot lower unary '{expr.op}'")
+
+    def _lower_binary(self, expr: ast.Binary) -> Value:
+        if expr.op in ("&&", "||"):
+            return self._lower_logical(expr)
+        lhs = self.lower_expr(expr.lhs)
+        rhs = self.lower_expr(expr.rhs)
+        if expr.op in ("==", "!=", "<", ">", "<=", ">="):
+            lhs, rhs = self._unify(lhs, rhs)
+            predicate = {"==": "eq", "!=": "ne", "<": "slt", ">": "sgt",
+                         "<=": "sle", ">=": "sge"}[expr.op]
+            if lhs.type.is_float:
+                predicate = {"eq": "oeq", "ne": "one", "slt": "olt",
+                             "sgt": "ogt", "sle": "ole", "sge": "oge"}[predicate]
+                cmp = self.builder.fcmp(predicate, lhs, rhs)
+            else:
+                cmp = self.builder.icmp(predicate, lhs, rhs)
+            return cmp
+        if lhs.type.is_pointer or rhs.type.is_pointer:
+            # Pointer arithmetic: ptr + int  /  ptr - int.
+            pointer, offset = (lhs, rhs) if lhs.type.is_pointer else (rhs, lhs)
+            if pointer.type.pointee.is_array:
+                # Array decays to a pointer to its first element.
+                zero = const_int(0, ir_ty.I64)
+                pointer = self.builder.gep(pointer, [zero, zero])
+            offset = self._to_i64(offset)
+            if expr.op == "-":
+                offset = self.builder.sub(const_int(0, ir_ty.I64), offset)
+            elif expr.op != "+":
+                raise CodegenError(f"invalid pointer arithmetic '{expr.op}'")
+            return self.builder.gep(pointer, [offset])
+        lhs, rhs = self._unify(lhs, rhs)
+        if lhs.type.is_float:
+            opcode = {"+": "fadd", "-": "fsub", "*": "fmul",
+                      "/": "fdiv"}.get(expr.op)
+        else:
+            opcode = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv",
+                      "%": "srem", "&": "and", "|": "or", "^": "xor",
+                      "<<": "shl", ">>": "ashr"}.get(expr.op)
+        if opcode is None:
+            raise CodegenError(f"cannot lower binary '{expr.op}'")
+        return self.builder.binop(opcode, lhs, rhs)
+
+    def _lower_logical(self, expr: ast.Binary) -> Value:
+        lhs_cond = self._lower_condition(expr.lhs)
+        lhs_block = self.builder.block
+        rhs_block = self.new_block("land.rhs" if expr.op == "&&" else "lor.rhs")
+        end_block = self.new_block("land.end" if expr.op == "&&" else "lor.end")
+        if expr.op == "&&":
+            self.builder.cond_br(lhs_cond, rhs_block, end_block)
+        else:
+            self.builder.cond_br(lhs_cond, end_block, rhs_block)
+        self.builder.position_at_end(rhs_block)
+        rhs_cond = self._lower_condition(expr.rhs)
+        rhs_end = self.builder.block
+        self.builder.br(end_block)
+        self.builder.position_at_end(end_block)
+        phi = self.builder.phi(ir_ty.I1)
+        phi.add_incoming(const_bool(expr.op == "||"), lhs_block)
+        phi.add_incoming(rhs_cond, rhs_end)
+        return phi
+
+    def _lower_conditional(self, expr: ast.Conditional) -> Value:
+        condition = self._lower_condition(expr.condition)
+        true_block = self.new_block("cond.true")
+        false_block = self.new_block("cond.false")
+        end_block = self.new_block("cond.end")
+        self.builder.cond_br(condition, true_block, false_block)
+
+        self.builder.position_at_end(true_block)
+        true_value = self.lower_expr(expr.if_true)
+        true_end = self.builder.block
+        self.builder.br(end_block)
+
+        self.builder.position_at_end(false_block)
+        false_value = self.lower_expr(expr.if_false)
+        if true_value.type != false_value.type:
+            false_value = self._convert(false_value, true_value.type)
+        false_end = self.builder.block
+        self.builder.br(end_block)
+
+        self.builder.position_at_end(end_block)
+        phi = self.builder.phi(true_value.type)
+        phi.add_incoming(true_value, true_end)
+        phi.add_incoming(false_value, false_end)
+        return phi
+
+    def _lower_assign(self, expr: ast.Assign) -> Value:
+        address = self.lower_address(expr.target)
+        target_type = address.type.pointee
+        if expr.op == "=":
+            value = self.lower_expr(expr.value)
+            value = self._convert(value, target_type)
+        else:
+            old = self.builder.load(address)
+            rhs = self.lower_expr(expr.value)
+            old2, rhs = self._unify(old, rhs)
+            base_op = expr.op[0]
+            if old2.type.is_float:
+                opcode = {"+": "fadd", "-": "fsub", "*": "fmul",
+                          "/": "fdiv"}[base_op]
+            else:
+                opcode = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv",
+                          "%": "srem"}[base_op]
+            value = self.builder.binop(opcode, old2, rhs)
+            value = self._convert(value, target_type)
+        self.builder.store(value, address)
+        self._emit_dbg_for_slot(address, value)
+        return value
+
+    def _lower_call(self, expr: ast.CallExpr) -> Value:
+        callee = self.unit_cg.resolve_callee(expr.callee, expr.args, self)
+        arg_values = []
+        param_types = callee.function_type.params
+        for i, arg in enumerate(expr.args):
+            value = self.lower_expr(arg)
+            if i < len(param_types):
+                value = self._convert(value, param_types[i])
+            arg_values.append(value)
+        name = "" if callee.return_type.is_void else f"call.{expr.callee}"
+        return self.builder.call(callee, arg_values, name)
+
+    # Conversions ---------------------------------------------------------------------
+
+    def _truthy(self, value: Value) -> Value:
+        if value.type == ir_ty.I1:
+            return value
+        if value.type.is_float:
+            return self.builder.fcmp("one", value, const_float(0.0))
+        if value.type.is_integer:
+            return self.builder.icmp("ne", value, const_int(0, value.type))
+        raise CodegenError(f"cannot branch on type {value.type}")
+
+    def _lower_condition(self, expr: ast.Expr) -> Value:
+        return self._truthy(self.lower_expr(expr))
+
+    def _to_i64(self, value: Value) -> Value:
+        return self._convert(value, ir_ty.I64)
+
+    def _convert(self, value: Value, target: ir_ty.Type) -> Value:
+        source = value.type
+        if source == target:
+            return value
+        if isinstance(value, ConstantInt) and target.is_integer:
+            return const_int(value.value, target)
+        if isinstance(value, ConstantInt) and target.is_float:
+            return const_float(float(value.value))
+        if source.is_integer and target.is_integer:
+            if source.bits < target.bits:
+                return self.builder.sext(value, target)
+            return self.builder.trunc(value, target)
+        if source.is_integer and target.is_float:
+            return self.builder.sitofp(value, target)
+        if source.is_float and target.is_integer:
+            return self.builder.fptosi(value, target)
+        if source.is_pointer and target.is_pointer:
+            return self.builder.cast("bitcast", value, target)
+        raise CodegenError(f"cannot convert {source} to {target}")
+
+    def _unify(self, lhs: Value, rhs: Value) -> Tuple[Value, Value]:
+        if lhs.type == rhs.type:
+            return lhs, rhs
+        if lhs.type.is_float or rhs.type.is_float:
+            return (self._convert(lhs, ir_ty.DOUBLE),
+                    self._convert(rhs, ir_ty.DOUBLE))
+        if lhs.type.is_integer and rhs.type.is_integer:
+            if lhs.type == ir_ty.I1:
+                lhs = self.builder.cast("zext", lhs, rhs.type)
+                return lhs, rhs
+            if rhs.type == ir_ty.I1:
+                rhs = self.builder.cast("zext", rhs, lhs.type)
+                return lhs, rhs
+            target = lhs.type if lhs.type.bits >= rhs.type.bits else rhs.type
+            return self._convert(lhs, target), self._convert(rhs, target)
+        if lhs.type.is_pointer:
+            return lhs, rhs
+        raise CodegenError(f"cannot unify {lhs.type} and {rhs.type}")
+
+    def _emit_dbg_for_slot(self, address: Value, value: Value) -> None:
+        """No-op at -O0: dbg.value intrinsics appear when mem2reg promotes
+        the slot.  Kept as an explicit hook so the contract is visible."""
+
+
+def _zero_of(vtype: ir_ty.Type) -> Value:
+    if vtype.is_float:
+        return const_float(0.0)
+    if vtype.is_integer:
+        return const_int(0, vtype)
+    raise CodegenError(f"no zero value for {vtype}")
+
+
+class Codegen:
+    """Lowers a checked translation unit to an IR module."""
+
+    def __init__(self, unit: ast.TranslationUnit, sema: Optional[Sema] = None,
+                 module_name: str = "module"):
+        self.unit = unit
+        self.sema = sema
+        self.module = Module(module_name)
+        self.global_slots: Dict[str, Tuple[Value, ast.CType]] = {}
+
+    def run(self) -> Module:
+        for decl in self.unit.globals:
+            ctype = _decl_ctype(decl)
+            var = GlobalVariable(lower_type(ctype), decl.name)
+            self.module.add_global(var)
+            self.global_slots[decl.name] = (var, ctype)
+        for fn_ast in self.unit.functions:
+            if fn_ast.is_declaration:
+                self._declare_function(fn_ast)
+        for fn_ast in self.unit.functions:
+            if not fn_ast.is_declaration:
+                FunctionLowering(self.module, self, fn_ast).run()
+        return self.module
+
+    def _declare_function(self, fn_ast: ast.FunctionDef) -> Function:
+        ftype = ir_ty.function(
+            lower_type(fn_ast.return_type),
+            [lower_type(p.ctype) for p in fn_ast.params])
+        return self.module.get_or_declare(fn_ast.name, ftype)
+
+    def resolve_callee(self, name: str, args: List[ast.Expr],
+                       lowering: FunctionLowering) -> Function:
+        if name in self.module.functions:
+            return self.module.functions[name]
+        if name in BUILTIN_SIGNATURES:
+            return_ctype, param_ctypes = BUILTIN_SIGNATURES[name]
+            if param_ctypes is None:
+                param_ctypes = tuple(ast.DOUBLE for _ in args)
+            ftype = ir_ty.function(
+                lower_type(return_ctype),
+                [lower_type(p) for p in param_ctypes])
+            return self.module.get_or_declare(name, ftype)
+        raise CodegenError(f"call to unknown function '{name}'")
+
+
+def lower_unit(unit: ast.TranslationUnit,
+               module_name: str = "module") -> Module:
+    """Type-check and lower a translation unit to IR."""
+    from ..minic.sema import check
+    sema = check(unit)
+    return Codegen(unit, sema, module_name).run()
+
+
+def compile_source(source: str, defines: Optional[Dict[str, str]] = None,
+                   module_name: str = "module") -> Module:
+    """Parse, check, and lower mini-C source text."""
+    from ..minic.parser import parse
+    return lower_unit(parse(source, defines), module_name)

@@ -1,0 +1,417 @@
+"""OpenMP lowering for the mini-C front end (the 'any host compiler' half).
+
+The paper's portability claim is that SPLENDID's output recompiles with
+any OpenMP compiler (GCC/libgomp, Clang/libomp).  This module is our
+host compiler's OpenMP support: it lowers ``#pragma omp parallel`` /
+``omp for`` regions to the same ``__kmpc_*`` runtime protocol the
+Polly-style parallelizer emits, which the interpreter's simulated
+runtime then executes with the fork/join time model.
+
+Supported shapes (the subset SPLENDID emits plus reference-code usage):
+
+* ``#pragma omp parallel { #pragma omp for ... for(...){} ... }`` —
+  one fork per worksharing loop in the region;
+* ``#pragma omp parallel for ...`` directly on a loop;
+* ``schedule(static[, chunk])``, ``nowait``, ``private(...)`` clauses;
+* canonical loop forms ``for (iv = e0; iv REL e1; iv += C)`` with
+  constant step (including ``iv++``/``iv--``/``iv = iv + C``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import types as ir_ty
+from ..ir.builder import IRBuilder
+from ..ir.metadata import DILocalVariable
+from ..ir.module import Function
+from ..ir.values import Value, const_int
+from ..minic import c_ast as ast
+from ..polly.runtime_decls import (declare_fork_call, declare_static_fini,
+                                   declare_static_init)
+
+_region_ids = itertools.count()
+
+
+class OmpLoweringError(Exception):
+    pass
+
+
+class CanonicalLoop:
+    """Decomposed ``for (iv = start; iv REL bound; iv += step)``."""
+
+    def __init__(self, iv_name: str, declares_iv: bool,
+                 iv_ctype: Optional[ast.CType], start: ast.Expr,
+                 relation: str, bound: ast.Expr, step: int, body: ast.Stmt):
+        self.iv_name = iv_name
+        self.declares_iv = declares_iv
+        self.iv_ctype = iv_ctype
+        self.start = start
+        self.relation = relation
+        self.bound = bound
+        self.step = step
+        self.body = body
+
+
+def canonicalize_for(stmt: ast.For) -> CanonicalLoop:
+    """Check OpenMP's canonical-loop-form rules and decompose the loop."""
+    # init
+    declares_iv, iv_ctype = False, None
+    if isinstance(stmt.init, ast.Declaration):
+        iv_name = stmt.init.name
+        start = stmt.init.init
+        declares_iv, iv_ctype = True, stmt.init.ctype
+        if start is None:
+            raise OmpLoweringError("canonical loop needs an initialized IV")
+    elif isinstance(stmt.init, ast.ExprStmt) \
+            and isinstance(stmt.init.expr, ast.Assign) \
+            and stmt.init.expr.op == "=" \
+            and isinstance(stmt.init.expr.target, ast.Ident):
+        iv_name = stmt.init.expr.target.name
+        start = stmt.init.expr.value
+    else:
+        raise OmpLoweringError("omp for requires 'iv = start' initialization")
+
+    # condition
+    condition = stmt.condition
+    if not (isinstance(condition, ast.Binary)
+            and condition.op in ("<", "<=", ">", ">=")):
+        raise OmpLoweringError("omp for requires a relational loop test")
+    if isinstance(condition.lhs, ast.Ident) and condition.lhs.name == iv_name:
+        relation, bound = condition.op, condition.rhs
+    elif isinstance(condition.rhs, ast.Ident) \
+            and condition.rhs.name == iv_name:
+        swap = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        relation, bound = swap[condition.op], condition.lhs
+    else:
+        raise OmpLoweringError("loop test must compare the induction variable")
+
+    # step
+    step = _match_step(stmt.step, iv_name)
+    if step is None:
+        raise OmpLoweringError("omp for requires a constant-step increment")
+    if step > 0 and relation in (">", ">="):
+        raise OmpLoweringError("increment sign contradicts the loop test")
+    if step < 0 and relation in ("<", "<="):
+        raise OmpLoweringError("decrement sign contradicts the loop test")
+
+    return CanonicalLoop(iv_name, declares_iv, iv_ctype, start, relation,
+                         bound, step, stmt.body)
+
+
+def _match_step(step: Optional[ast.Expr], iv_name: str) -> Optional[int]:
+    if step is None:
+        return None
+    if isinstance(step, ast.Unary) and step.op in ("++", "--") \
+            and isinstance(step.operand, ast.Ident) \
+            and step.operand.name == iv_name:
+        return 1 if step.op == "++" else -1
+    if isinstance(step, ast.Assign) and isinstance(step.target, ast.Ident) \
+            and step.target.name == iv_name:
+        if step.op == "+=" and isinstance(step.value, ast.IntLit):
+            return step.value.value
+        if step.op == "-=" and isinstance(step.value, ast.IntLit):
+            return -step.value.value
+        if step.op == "=" and isinstance(step.value, ast.Binary) \
+                and isinstance(step.value.lhs, ast.Ident) \
+                and step.value.lhs.name == iv_name \
+                and isinstance(step.value.rhs, ast.IntLit):
+            if step.value.op == "+":
+                return step.value.rhs.value
+            if step.value.op == "-":
+                return -step.value.rhs.value
+    return None
+
+
+def _free_identifiers(node, bound_names) -> List[str]:
+    """Identifiers referenced under ``node`` that are not locally bound."""
+    free: List[str] = []
+    bound = set(bound_names)
+
+    def visit_stmt(stmt, scope):
+        if isinstance(stmt, ast.Compound):
+            inner = set(scope)
+            for child in stmt.body:
+                visit_stmt(child, inner)
+                if isinstance(child, ast.Declaration):
+                    inner.add(child.name)
+        elif isinstance(stmt, ast.Declaration):
+            if stmt.init is not None:
+                visit_expr(stmt.init, scope)
+            scope.add(stmt.name)
+        elif isinstance(stmt, ast.ExprStmt):
+            visit_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            visit_expr(stmt.condition, scope)
+            visit_stmt(stmt.then_body, set(scope))
+            if stmt.else_body is not None:
+                visit_stmt(stmt.else_body, set(scope))
+        elif isinstance(stmt, ast.For):
+            inner = set(scope)
+            if stmt.init is not None:
+                visit_stmt(stmt.init, inner)
+            if stmt.condition is not None:
+                visit_expr(stmt.condition, inner)
+            if stmt.step is not None:
+                visit_expr(stmt.step, inner)
+            visit_stmt(stmt.body, inner)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            visit_expr(stmt.condition, scope)
+            visit_stmt(stmt.body, set(scope))
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            visit_expr(stmt.value, scope)
+
+    def visit_expr(expr, scope):
+        for node_ in ast.walk_exprs(expr):
+            if isinstance(node_, ast.Ident) and node_.name not in scope \
+                    and node_.name not in free:
+                free.append(node_.name)
+
+    if isinstance(node, ast.Stmt):
+        visit_stmt(node, bound)
+    else:
+        visit_expr(node, bound)
+    return free
+
+
+def _assigned_identifiers(body: ast.Stmt) -> set:
+    """Names assigned (or ++/--'d) anywhere in a statement subtree."""
+    assigned = set()
+    for expr in ast.walk_exprs(body):
+        target = None
+        if isinstance(expr, ast.Assign):
+            target = expr.target
+        elif isinstance(expr, ast.Unary) and expr.op in ("++", "--"):
+            target = expr.operand
+        if isinstance(target, ast.Ident):
+            assigned.add(target.name)
+    return assigned
+
+
+def lower_parallel_region(lowering, region: ast.Compound) -> None:
+    """Lower ``#pragma omp parallel { ... }``: each worksharing loop in
+    the region forks; declarations become per-thread privates; other
+    statements are rejected (sequential code in a parallel region would
+    run once per thread — SPLENDID never emits that, and reference code
+    doesn't use it)."""
+    privates: List[ast.Declaration] = []
+    for stmt in region.body:
+        if isinstance(stmt, ast.Declaration):
+            privates.append(stmt)
+        elif isinstance(stmt, ast.Compound) and stmt.transparent and all(
+                isinstance(s, ast.Declaration) for s in stmt.body):
+            privates.extend(stmt.body)
+        elif isinstance(stmt, ast.For):
+            lower_worksharing_loop(lowering, stmt, privates)
+        elif isinstance(stmt, ast.PragmaStmt) \
+                and stmt.pragma.directive == "barrier":
+            continue  # fork joins already synchronize in the model
+        elif isinstance(stmt, ast.Compound) and not stmt.body:
+            continue
+        else:
+            raise OmpLoweringError(
+                "only worksharing for-loops and private declarations are "
+                "supported inside '#pragma omp parallel'")
+
+
+def lower_worksharing_loop(lowering, stmt: ast.For,
+                           privates: Optional[List[ast.Declaration]] = None
+                           ) -> None:
+    """Lower one pragma-annotated for loop to fork + microtask."""
+    pragma = None
+    for candidate in stmt.pragmas:
+        if "for" in candidate.directive:
+            pragma = candidate
+    loop = canonicalize_for(stmt)
+    builder: IRBuilder = lowering.builder
+    module = lowering.module
+
+    # Sequential bounds in the caller.
+    start64 = lowering._convert(lowering.lower_expr(loop.start), ir_ty.I64)
+    bound64 = lowering._convert(lowering.lower_expr(loop.bound), ir_ty.I64)
+    if loop.relation == "<":
+        ub64 = builder.sub(bound64, const_int(1), "omp.ub")
+    elif loop.relation == "<=":
+        ub64 = bound64
+    elif loop.relation == ">":
+        ub64 = builder.add(bound64, const_int(1), "omp.lb.last")
+    else:
+        ub64 = bound64
+
+    # Shared values: free identifiers of the body/bound, resolved in the
+    # enclosing scope (globals resolve directly inside the microtask).
+    privates = privates or []
+    private = set(pragma.private) if pragma is not None else set()
+    private |= {decl.name for decl in privates}
+    reduction_names = set()
+    if pragma is not None and pragma.reduction is not None:
+        reduction_names = set(pragma.reduction[1])
+    bound_names = {loop.iv_name} | private
+    shared_names: List[str] = []
+    for name in _free_identifiers(loop.body, bound_names):
+        if name in lowering.locals and name not in shared_names:
+            shared_names.append(name)
+
+    # Scalars written in the region must be reduction (or private): a
+    # by-value copy would silently drop the updates.
+    written = _assigned_identifiers(loop.body)
+    for name in shared_names:
+        _, ctype = lowering.locals[name]
+        if name in written and name not in reduction_names \
+                and not isinstance(ctype, (ast.CPointer, ast.CArray)):
+            raise OmpLoweringError(
+                f"shared scalar '{name}' is written inside the parallel "
+                f"region; declare it private or in a reduction clause")
+
+    shared_values: List[Value] = []
+    shared_info: List[Tuple[str, object, ir_ty.Type, bool]] = []
+    for name in shared_names:
+        slot, ctype = lowering.locals[name]
+        if isinstance(ctype, ast.CArray):
+            raise OmpLoweringError(
+                f"sharing local array '{name}' across a parallel region is "
+                "not supported; use a global or a pointer")
+        if name in reduction_names:
+            # Reduction variables are shared by reference: every thread
+            # accumulates into the caller's slot (exact under the
+            # runtime's sequential thread emulation).
+            shared_values.append(slot)
+            shared_info.append((name, ctype, slot.type, True))
+        else:
+            value = builder.load(slot, name)
+            shared_values.append(value)
+            shared_info.append((name, ctype, value.type, False))
+
+    microtask = _build_microtask(lowering, loop, pragma, shared_info,
+                                 privates)
+
+    fork = declare_fork_call(module, microtask, len(shared_values))
+    builder.call(fork, [microtask, start64, ub64, *shared_values])
+
+
+def _build_microtask(lowering, loop: CanonicalLoop, pragma,
+                     shared_info, privates=None) -> Function:
+    from .codegen import FunctionLowering, lower_type
+
+    module = lowering.module
+    caller_name = lowering.function.name
+    name = f"{caller_name}.omp_outlined.{next(_region_ids)}"
+    param_types = [ir_ty.I32, ir_ty.I32, ir_ty.I64, ir_ty.I64]
+    param_names = ["tid", "ntid", "lb", "ub"]
+    for shared_name, _, ir_type, _by_ref in shared_info:
+        param_types.append(ir_type)
+        param_names.append(shared_name)
+    microtask = Function(name, ir_ty.function(ir_ty.VOID, param_types),
+                         param_names)
+    microtask.is_outlined_parallel_region = True
+    module.add_function(microtask)
+
+    sub = FunctionLowering.__new__(FunctionLowering)
+    sub.module = module
+    sub.unit_cg = lowering.unit_cg
+    sub.fn_ast = lowering.fn_ast
+    sub.function = microtask
+    sub.builder = IRBuilder()
+    sub.locals = {}
+    sub.scopes = [[]]
+    sub.loop_stack = []
+    sub.block_counter = 0
+
+    entry = microtask.append_block("entry")
+    sub.builder.position_at_end(entry)
+    tid, ntid, lb_param, ub_param = microtask.arguments[:4]
+
+    # Shared parameters become local slots, with debug metadata so the
+    # decompiler round trip keeps their names.  By-reference shareds
+    # (reduction variables) bind directly to the incoming pointer.
+    for (shared_name, ctype, _, by_ref), arg in zip(shared_info,
+                                                    microtask.arguments[4:]):
+        if by_ref:
+            sub._declare(shared_name, arg, ctype)
+            continue
+        slot = sub.builder.alloca(arg.type, f"{shared_name}.addr")
+        slot.debug_variable = DILocalVariable(shared_name, scope=name)
+        sub.builder.store(arg, slot)
+        sub._declare(shared_name, slot, ctype)
+
+    # Per-thread privates declared in the enclosing parallel region (plus
+    # anything named in a private(...) clause that is visible outside).
+    for decl in (privates or []):
+        sub.lower_stmt(ast.Declaration(decl.ctype, decl.name, None,
+                                       decl.array_dims))
+    if pragma is not None:
+        for pname in pragma.private:
+            if pname not in sub.locals and pname in lowering.locals:
+                _, pctype = lowering.locals[pname]
+                sub.lower_stmt(ast.Declaration(pctype, pname))
+
+    # Worksharing protocol.
+    lb_slot = sub.builder.alloca(ir_ty.I64, "lb.addr")
+    ub_slot = sub.builder.alloca(ir_ty.I64, "ub.addr")
+    stride_slot = sub.builder.alloca(ir_ty.I64, "stride.addr")
+    sub.builder.store(lb_param, lb_slot)
+    sub.builder.store(ub_param, ub_slot)
+    sub.builder.store(const_int(loop.step, ir_ty.I64), stride_slot)
+    schedtype = 34
+    chunk = 1
+    if pragma is not None and pragma.schedule == "static" \
+            and pragma.chunk is not None:
+        schedtype, chunk = 33, pragma.chunk
+    elif pragma is not None and pragma.schedule == "dynamic":
+        schedtype = 35
+        chunk = pragma.chunk if pragma.chunk is not None else 1
+    init_fn = declare_static_init(module)
+    sub.builder.call(init_fn, [tid, ntid, const_int(schedtype, ir_ty.I32),
+                               lb_slot, ub_slot, stride_slot,
+                               const_int(loop.step, ir_ty.I64),
+                               const_int(chunk, ir_ty.I64)])
+    my_lb = sub.builder.load(lb_slot, "mylb")
+    my_ub = sub.builder.load(ub_slot, "myub")
+
+    # The induction variable, thread-local.
+    iv_ctype = loop.iv_ctype
+    if iv_ctype is None:
+        resolved = lowering.locals.get(loop.iv_name)
+        iv_ctype = resolved[1] if resolved is not None else ast.LONG
+    iv_ir_type = lower_type(iv_ctype)
+    iv_slot = sub.builder.alloca(iv_ir_type, loop.iv_name)
+    iv_slot.debug_variable = DILocalVariable(loop.iv_name, scope=name)
+    sub._declare(loop.iv_name, iv_slot, iv_ctype)
+    init_value = my_lb if iv_ir_type == ir_ty.I64 \
+        else sub.builder.trunc(my_lb, iv_ir_type)
+    sub.builder.store(init_value, iv_slot)
+
+    cond_block = sub.new_block("omp.cond")
+    body_block = sub.new_block("omp.body")
+    inc_block = sub.new_block("omp.inc")
+    finish = sub.new_block("omp.finish")
+    sub.builder.br(cond_block)
+
+    sub.builder.position_at_end(cond_block)
+    iv = sub.builder.load(iv_slot, loop.iv_name)
+    iv64 = iv if iv.type == ir_ty.I64 else sub.builder.sext(iv, ir_ty.I64)
+    predicate = "sle" if loop.step > 0 else "sge"
+    keep_going = sub.builder.icmp(predicate, iv64, my_ub)
+    sub.builder.cond_br(keep_going, body_block, finish)
+
+    sub.builder.position_at_end(body_block)
+    sub.lower_stmt(loop.body)
+    if not sub._terminated():
+        sub.builder.br(inc_block)
+
+    sub.builder.position_at_end(inc_block)
+    iv = sub.builder.load(iv_slot, loop.iv_name)
+    if loop.step >= 0:
+        nxt = sub.builder.add(iv, const_int(loop.step, iv.type))
+    else:
+        nxt = sub.builder.sub(iv, const_int(-loop.step, iv.type))
+    sub.builder.store(nxt, iv_slot)
+    sub.builder.br(cond_block)
+
+    sub.builder.position_at_end(finish)
+    fini = declare_static_fini(module)
+    sub.builder.call(fini, [tid])
+    sub.builder.ret()
+    microtask.assign_names()
+    return microtask

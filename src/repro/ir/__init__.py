@@ -1,0 +1,39 @@
+"""repro.ir — an LLVM-flavored SSA intermediate representation.
+
+The IR substrate all other subsystems build on: the mini-C front end
+lowers to it, the optimizer and the Polly-style parallelizer transform
+it, the interpreter executes it, and the decompilers consume it.
+"""
+
+from . import types
+from .block import BasicBlock
+from .builder import IRBuilder
+from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, CondBranch,
+                           DbgValue, FCmp, GetElementPtr, ICmp, Instruction,
+                           Load, Phi, Ret, Select, Store, Unreachable,
+                           INT_BINOPS, FLOAT_BINOPS, ICMP_PREDICATES,
+                           FCMP_PREDICATES, INVERTED_PREDICATE,
+                           SWAPPED_PREDICATE, is_parallel_runtime_call)
+from .metadata import DILocalVariable
+from .module import Function, Module
+from .parser import IRParseError, parse_ir
+from .printer import format_instruction, format_value, print_function, print_module
+from .values import (Argument, Constant, ConstantFloat, ConstantInt,
+                     ConstantPointerNull, GlobalVariable, UndefValue, User,
+                     Value, const_bool, const_float, const_int, is_const_int)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "types", "BasicBlock", "IRBuilder", "Alloca", "BinaryOp", "Branch",
+    "Call", "Cast", "CondBranch", "DbgValue", "FCmp", "GetElementPtr",
+    "ICmp", "Instruction", "Load", "Phi", "Ret", "Select", "Store",
+    "Unreachable", "INT_BINOPS", "FLOAT_BINOPS", "ICMP_PREDICATES",
+    "FCMP_PREDICATES", "INVERTED_PREDICATE", "SWAPPED_PREDICATE",
+    "is_parallel_runtime_call", "DILocalVariable", "Function", "Module",
+    "format_instruction", "format_value", "print_function", "print_module",
+    "IRParseError", "parse_ir",
+    "Argument", "Constant", "ConstantFloat", "ConstantInt",
+    "ConstantPointerNull", "GlobalVariable", "UndefValue", "User", "Value",
+    "const_bool", "const_float", "const_int", "is_const_int",
+    "VerificationError", "verify_function", "verify_module",
+]

@@ -1,0 +1,93 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from . import types as ty
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .instructions import Instruction
+    from .module import Function
+
+
+class BasicBlock(Value):
+    """A node in the control-flow graph.
+
+    Blocks are label-typed values so branch instructions can use them as
+    operands, which keeps predecessor queries a plain use-set walk.
+    """
+
+    def __init__(self, name: str = "", parent: Optional["Function"] = None):
+        super().__init__(ty.LABEL, name)
+        self.parent = parent
+        self.instructions: List["Instruction"] = []
+
+    # Structure --------------------------------------------------------------
+
+    def append(self, inst: "Instruction") -> "Instruction":
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: "Instruction") -> "Instruction":
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_before(self, anchor: "Instruction",
+                      inst: "Instruction") -> "Instruction":
+        return self.insert(self.instructions.index(anchor), inst)
+
+    def remove(self, inst: "Instruction") -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    def index_of(self, inst: "Instruction") -> int:
+        return self.instructions.index(inst)
+
+    def __iter__(self) -> Iterator["Instruction"]:
+        return iter(list(self.instructions))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # CFG --------------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional["Instruction"]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return [op for op in term.operands if isinstance(op, BasicBlock)]
+
+    @property
+    def predecessors(self) -> List["BasicBlock"]:
+        preds = []
+        for user in self._uses:
+            inst = user
+            if getattr(inst, "is_terminator", False) and inst.parent is not None:
+                if self in inst.operands and inst.parent not in preds:
+                    preds.append(inst.parent)
+        preds.sort(key=lambda b: (b.parent.blocks.index(b)
+                                  if b.parent and b in b.parent.blocks else 0))
+        return preds
+
+    def phis(self) -> List["Instruction"]:
+        return [i for i in self.instructions if i.opcode == "phi"]
+
+    def first_non_phi_index(self) -> int:
+        for i, inst in enumerate(self.instructions):
+            if inst.opcode != "phi":
+                return i
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        return f"%{self.name}" if self.name else "%<block>"

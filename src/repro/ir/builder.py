@@ -1,0 +1,131 @@
+"""IRBuilder: positional construction helper used by the front end and passes."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from . import types as ty
+from .block import BasicBlock
+from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, CondBranch,
+                           DbgValue, FCmp, GetElementPtr, ICmp, Instruction,
+                           Load, Phi, Ret, Select, Store, Unreachable)
+from .metadata import DILocalVariable
+from .values import Value
+
+
+class IRBuilder:
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+        self._insert_index: Optional[int] = None  # None => append
+
+    # Positioning ---------------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+        self._insert_index = None
+
+    def position_before(self, inst: Instruction) -> None:
+        self.block = inst.parent
+        self._insert_index = self.block.index_of(inst)
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("builder has no insertion block")
+        if self._insert_index is None:
+            self.block.append(inst)
+        else:
+            self.block.insert(self._insert_index, inst)
+            self._insert_index += 1
+        return inst
+
+    # Instruction helpers ---------------------------------------------------------
+
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(BinaryOp(opcode, lhs, rhs, name))
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs, rhs, name=""):
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs, rhs, name=""):
+        return self.binop("srem", lhs, rhs, name)
+
+    def fadd(self, lhs, rhs, name=""):
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs, rhs, name=""):
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs, rhs, name=""):
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs, rhs, name=""):
+        return self.binop("fdiv", lhs, rhs, name)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(ICmp(predicate, lhs, rhs, name))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(FCmp(predicate, lhs, rhs, name))
+
+    def alloca(self, allocated_type: ty.Type, name: str = "") -> Alloca:
+        return self._emit(Alloca(allocated_type, name))
+
+    def load(self, pointer: Value, name: str = "") -> Value:
+        return self._emit(Load(pointer, name))
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        return self._emit(Store(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[Value], name: str = "") -> Value:
+        return self._emit(GetElementPtr(pointer, indices, name))
+
+    def cast(self, opcode: str, value: Value, dest_type: ty.Type,
+             name: str = "") -> Value:
+        return self._emit(Cast(opcode, value, dest_type, name))
+
+    def sext(self, value, dest_type, name=""):
+        return self.cast("sext", value, dest_type, name)
+
+    def trunc(self, value, dest_type, name=""):
+        return self.cast("trunc", value, dest_type, name)
+
+    def sitofp(self, value, dest_type=ty.DOUBLE, name=""):
+        return self.cast("sitofp", value, dest_type, name)
+
+    def fptosi(self, value, dest_type, name=""):
+        return self.cast("fptosi", value, dest_type, name)
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Branch(target))
+
+    def cond_br(self, condition: Value, if_true: BasicBlock,
+                if_false: BasicBlock) -> Instruction:
+        return self._emit(CondBranch(condition, if_true, if_false))
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._emit(Ret(value))
+
+    def unreachable(self) -> Instruction:
+        return self._emit(Unreachable())
+
+    def phi(self, vtype: ty.Type, name: str = "") -> Phi:
+        return self._emit(Phi(vtype, name))
+
+    def select(self, condition: Value, if_true: Value, if_false: Value,
+               name: str = "") -> Value:
+        return self._emit(Select(condition, if_true, if_false, name))
+
+    def call(self, callee: Value, args: Sequence[Value], name: str = "") -> Value:
+        return self._emit(Call(callee, args, name))
+
+    def dbg_value(self, value: Value, variable: DILocalVariable) -> Instruction:
+        return self._emit(DbgValue(value, variable))

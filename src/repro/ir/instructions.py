@@ -1,0 +1,405 @@
+"""Instruction set of the repro IR.
+
+The instruction vocabulary covers what PolyBench kernels and the OpenMP
+runtime lowering need: integer/float arithmetic, comparisons, memory
+(alloca/load/store/GEP), control flow (br/ret/unreachable), phi, select,
+casts, calls, and ``llvm.dbg.value``-style debug intrinsics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import types as ty
+from .block import BasicBlock
+from .metadata import DILocalVariable
+from .values import User, Value
+
+
+class Instruction(User):
+    """Base class.  ``opcode`` is a stable lowercase mnemonic."""
+
+    opcode: str = "<abstract>"
+    is_terminator: bool = False
+
+    def __init__(self, vtype: ty.Type, operands: Iterable[Value] = (),
+                 name: str = ""):
+        super().__init__(vtype, operands, name)
+        self.parent: Optional[BasicBlock] = None
+        # Source-level debug variable attached by the front end (may be None).
+        self.debug_variable: Optional[DILocalVariable] = None
+
+    # Graph surgery ----------------------------------------------------------
+
+    def erase(self) -> None:
+        """Unlink from the parent block and drop operand uses."""
+        if self.parent is not None:
+            self.parent.remove(self)
+        self.drop_operands()
+
+    @property
+    def function(self):
+        return self.parent.parent if self.parent is not None else None
+
+    def clone(self) -> "Instruction":
+        """Shallow clone: same operands, detached from any block."""
+        new = object.__new__(type(self))
+        Instruction.__init__(new, self.type, [], self.name)
+        for op in self.operands:
+            new.add_operand(op)
+        for attr, value in self.__dict__.items():
+            if attr not in ("operands", "parent", "_uses", "type", "name",
+                            "debug_variable"):
+                setattr(new, attr, value)
+        new.debug_variable = self.debug_variable
+        return new
+
+    def __str__(self) -> str:
+        from .printer import format_instruction
+        return format_instruction(self)
+
+
+# Arithmetic -----------------------------------------------------------------
+
+INT_BINOPS = ("add", "sub", "mul", "sdiv", "srem", "udiv", "urem",
+              "and", "or", "xor", "shl", "ashr", "lshr")
+FLOAT_BINOPS = ("fadd", "fsub", "fmul", "fdiv", "frem")
+COMMUTATIVE_OPS = frozenset({"add", "mul", "and", "or", "xor", "fadd", "fmul"})
+
+
+class BinaryOp(Instruction):
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in INT_BINOPS and opcode not in FLOAT_BINOPS:
+            raise ValueError(f"unknown binary opcode {opcode!r}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def is_commutative(self) -> bool:
+        return self.opcode in COMMUTATIVE_OPS
+
+
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge",
+                   "ult", "ule", "ugt", "uge")
+FCMP_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge",
+                   "ueq", "une", "ult", "ule", "ugt", "uge")
+
+SWAPPED_PREDICATE = {
+    "eq": "eq", "ne": "ne",
+    "slt": "sgt", "sle": "sge", "sgt": "slt", "sge": "sle",
+    "ult": "ugt", "ule": "uge", "ugt": "ult", "uge": "ule",
+}
+INVERTED_PREDICATE = {
+    "eq": "ne", "ne": "eq",
+    "slt": "sge", "sle": "sgt", "sgt": "sle", "sge": "slt",
+    "ult": "uge", "ule": "ugt", "ugt": "ule", "uge": "ult",
+}
+
+
+class ICmp(Instruction):
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate {predicate!r}")
+        super().__init__(ty.I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class FCmp(Instruction):
+    opcode = "fcmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in FCMP_PREDICATES:
+            raise ValueError(f"unknown fcmp predicate {predicate!r}")
+        super().__init__(ty.I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+# Memory ----------------------------------------------------------------------
+
+class Alloca(Instruction):
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: ty.Type, name: str = ""):
+        super().__init__(ty.pointer(allocated_type), [], name)
+        self.allocated_type = allocated_type
+
+
+class Load(Instruction):
+    opcode = "load"
+
+    def __init__(self, pointer: Value, name: str = ""):
+        if not pointer.type.is_pointer:
+            raise TypeError(f"load requires a pointer operand, got {pointer.type}")
+        super().__init__(pointer.type.pointee, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value):
+        if not pointer.type.is_pointer:
+            raise TypeError(f"store requires a pointer operand, got {pointer.type}")
+        super().__init__(ty.VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic over arrays/pointers (a strict LLVM GEP subset).
+
+    The first index steps over the pointee as in LLVM; subsequent indices
+    drill into array types.
+    """
+
+    opcode = "getelementptr"
+
+    def __init__(self, pointer: Value, indices: Sequence[Value], name: str = ""):
+        result = pointer.type
+        if not result.is_pointer:
+            raise TypeError(f"gep requires a pointer operand, got {result}")
+        current = result.pointee
+        for idx in list(indices)[1:]:
+            current = ty.element_type(current)
+        super().__init__(ty.pointer(current), [pointer, *indices], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+
+# Casts -------------------------------------------------------------------------
+
+CAST_OPS = ("sext", "zext", "trunc", "sitofp", "fptosi", "bitcast",
+            "ptrtoint", "inttoptr")
+
+
+class Cast(Instruction):
+    def __init__(self, opcode: str, value: Value, dest_type: ty.Type,
+                 name: str = ""):
+        if opcode not in CAST_OPS:
+            raise ValueError(f"unknown cast opcode {opcode!r}")
+        super().__init__(dest_type, [value], name)
+        self.opcode = opcode
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+# Control flow -------------------------------------------------------------------
+
+class Branch(Instruction):
+    opcode = "br"
+    is_terminator = True
+
+    def __init__(self, target: BasicBlock):
+        super().__init__(ty.VOID, [target])
+
+    @property
+    def target(self) -> BasicBlock:
+        return self.operands[0]
+
+    @property
+    def is_conditional(self) -> bool:
+        return False
+
+
+class CondBranch(Instruction):
+    opcode = "br"
+    is_terminator = True
+
+    def __init__(self, condition: Value, if_true: BasicBlock,
+                 if_false: BasicBlock):
+        super().__init__(ty.VOID, [condition, if_true, if_false])
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def if_true(self) -> BasicBlock:
+        return self.operands[1]
+
+    @property
+    def if_false(self) -> BasicBlock:
+        return self.operands[2]
+
+    @property
+    def is_conditional(self) -> bool:
+        return True
+
+
+class Ret(Instruction):
+    opcode = "ret"
+    is_terminator = True
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(ty.VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class Unreachable(Instruction):
+    opcode = "unreachable"
+    is_terminator = True
+
+    def __init__(self):
+        super().__init__(ty.VOID, [])
+
+
+class Phi(Instruction):
+    """SSA phi.  Operands are stored as interleaved [value, block] pairs."""
+
+    opcode = "phi"
+
+    def __init__(self, vtype: ty.Type, name: str = ""):
+        super().__init__(vtype, [], name)
+
+    def add_incoming(self, value: Value, block: BasicBlock) -> None:
+        self.add_operand(value)
+        self.add_operand(block)
+
+    @property
+    def incoming(self) -> List[Tuple[Value, BasicBlock]]:
+        pairs = []
+        for i in range(0, len(self.operands), 2):
+            pairs.append((self.operands[i], self.operands[i + 1]))
+        return pairs
+
+    def incoming_for(self, block: BasicBlock) -> Optional[Value]:
+        for value, pred in self.incoming:
+            if pred is block:
+                return value
+        return None
+
+    def set_incoming_for(self, block: BasicBlock, value: Value) -> None:
+        for i in range(1, len(self.operands), 2):
+            if self.operands[i] is block:
+                self.set_operand(i - 1, value)
+                return
+        raise KeyError(f"no incoming edge from {block}")
+
+    def remove_incoming(self, block: BasicBlock) -> None:
+        for i in range(1, len(self.operands), 2):
+            if self.operands[i] is block:
+                for idx in sorted((i - 1, i), reverse=True):
+                    old = self.operands.pop(idx)
+                    if old not in self.operands:
+                        old._uses.discard(self)
+                return
+        raise KeyError(f"no incoming edge from {block}")
+
+
+class Select(Instruction):
+    opcode = "select"
+
+    def __init__(self, condition: Value, if_true: Value, if_false: Value,
+                 name: str = ""):
+        super().__init__(if_true.type, [condition, if_true, if_false], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def if_true(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def if_false(self) -> Value:
+        return self.operands[2]
+
+
+class Call(Instruction):
+    opcode = "call"
+
+    def __init__(self, callee: Value, args: Sequence[Value], name: str = ""):
+        callee_type = callee.type
+        if callee_type.is_pointer:
+            callee_type = callee_type.pointee
+        if not callee_type.is_function:
+            raise TypeError(f"call requires a function callee, got {callee.type}")
+        super().__init__(callee_type.return_type, [callee, *args], name)
+
+    @property
+    def callee(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands[1:]
+
+    @property
+    def callee_name(self) -> str:
+        return getattr(self.callee, "name", "")
+
+
+class DbgValue(Instruction):
+    """``call void @llvm.dbg.value(metadata <v>, metadata !var)``.
+
+    Modeled as a first-class instruction so debug metadata survives pass
+    pipelines explicitly rather than via side tables.
+    """
+
+    opcode = "dbg.value"
+
+    def __init__(self, value: Value, variable: DILocalVariable):
+        super().__init__(ty.VOID, [value])
+        self.variable = variable
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+def binop_result_type(opcode: str, lhs: Value) -> ty.Type:
+    return lhs.type
+
+
+def is_parallel_runtime_call(inst: Instruction,
+                             prefixes: Tuple[str, ...] = ("__kmpc_",)) -> bool:
+    """True for calls into the (simulated) LLVM OpenMP runtime."""
+    return (isinstance(inst, Call)
+            and any(inst.callee_name.startswith(p) for p in prefixes))

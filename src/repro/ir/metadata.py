@@ -1,0 +1,42 @@
+"""Debug metadata: the ``DILocalVariable`` subset SPLENDID relies on.
+
+The paper's Metadata Interpreter (§4.3.1) consumes ``llvm.dbg.value``
+intrinsics whose metadata names the source variable.  We model exactly
+that: a local-variable descriptor with a name, an optional argument
+index, and the enclosing function's name.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+_ids = itertools.count(30)  # cosmetic: matches the "!30" flavor of the paper
+
+
+class DILocalVariable:
+    """Descriptor tying IR values back to a named source variable."""
+
+    def __init__(self, name: str, arg_index: Optional[int] = None,
+                 scope: str = "", metadata_id: Optional[int] = None):
+        self.name = name
+        self.arg_index = arg_index
+        self.scope = scope
+        # Ids are cosmetic ("!30"); the parser passes the one it read so
+        # printed modules round-trip byte-for-byte.
+        self.metadata_id = metadata_id if metadata_id is not None \
+            else next(_ids)
+
+    def __str__(self) -> str:
+        return f"!{self.metadata_id}"
+
+    def describe(self) -> str:
+        parts = [f'name: "{self.name}"']
+        if self.arg_index is not None:
+            parts.append(f"arg: {self.arg_index}")
+        if self.scope:
+            parts.append(f'scope: "{self.scope}"')
+        return f"!{self.metadata_id} = !DILocalVariable({', '.join(parts)})"
+
+    def __repr__(self) -> str:
+        return f"<DILocalVariable {self.name} {self}>"

@@ -1,0 +1,158 @@
+"""Functions and modules."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from . import types as ty
+from .block import BasicBlock
+from .instructions import Instruction
+from .values import Argument, GlobalVariable, Value
+
+
+class Function(Value):
+    """A function: ordered basic blocks plus formal arguments.
+
+    A function with no blocks is a *declaration* (e.g. the ``__kmpc_*``
+    runtime entry points, or ``exp``/``sqrt`` math externs).
+    """
+
+    def __init__(self, name: str, ftype: ty.FunctionType,
+                 arg_names: Optional[Sequence[str]] = None):
+        super().__init__(ty.pointer(ftype), name)
+        self.function_type = ftype
+        self.blocks: List[BasicBlock] = []
+        self.arguments: List[Argument] = []
+        self.parent: Optional["Module"] = None
+        # Marks outlined OpenMP parallel regions (set by the parallelizer).
+        self.is_outlined_parallel_region = False
+        names = list(arg_names) if arg_names is not None else []
+        for i, param_type in enumerate(ftype.params):
+            arg_name = names[i] if i < len(names) else f"arg{i}"
+            arg = Argument(param_type, arg_name, self)
+            arg.index = i
+            self.arguments.append(arg)
+
+    # Declaration/definition --------------------------------------------------
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def return_type(self) -> ty.Type:
+        return self.function_type.return_type
+
+    # Blocks -------------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def append_block(self, name: str = "") -> BasicBlock:
+        block = BasicBlock(name, self)
+        self.blocks.append(block)
+        return block
+
+    def add_block(self, block: BasicBlock,
+                  after: Optional[BasicBlock] = None) -> BasicBlock:
+        block.parent = self
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from list(block.instructions)
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+    # Naming --------------------------------------------------------------------
+
+    def assign_names(self) -> None:
+        """Give every unnamed value/block a unique name; uniquify duplicates."""
+        taken = set()
+        counter = itertools.count()
+
+        def claim(name: str) -> str:
+            if name and name not in taken:
+                taken.add(name)
+                return name
+            base = name or ""
+            suffix = 1
+            while True:
+                candidate = f"{base}.{suffix}" if base else f"v{next(counter)}"
+                if candidate not in taken:
+                    taken.add(candidate)
+                    return candidate
+                suffix += 1
+
+        def fresh(prefix: str) -> str:
+            while True:
+                candidate = f"{prefix}{next(counter)}"
+                if candidate not in taken:
+                    taken.add(candidate)
+                    return candidate
+
+        for arg in self.arguments:
+            arg.name = claim(arg.name)
+        for block in self.blocks:
+            block.name = claim(block.name) if block.name else fresh("bb")
+            for inst in block.instructions:
+                if inst.type.is_void:
+                    continue
+                inst.name = claim(inst.name) if inst.name else fresh("v")
+
+
+class Module:
+    """Top-level container of functions and globals."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        function.parent = self
+        self.functions[function.name] = function
+        return function
+
+    def get_function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def get_or_declare(self, name: str, ftype: ty.FunctionType) -> Function:
+        if name in self.functions:
+            return self.functions[name]
+        return self.add_function(Function(name, ftype))
+
+    def remove_function(self, name: str) -> None:
+        function = self.functions.pop(name)
+        function.parent = None
+
+    def add_global(self, var: GlobalVariable) -> GlobalVariable:
+        if var.name in self.globals:
+            raise ValueError(f"duplicate global {var.name!r}")
+        self.globals[var.name] = var
+        return var
+
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(list(self.functions.values()))
+
+    def __str__(self) -> str:
+        from .printer import print_module
+        return print_module(self)

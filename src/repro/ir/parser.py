@@ -1,0 +1,506 @@
+"""Textual IR parser: reads the assembly `repro.ir.printer` emits.
+
+Supports the full instruction vocabulary of the printer, including
+``llvm.dbg.value`` intrinsics with their ``!DILocalVariable`` metadata
+table, so modules round-trip: ``parse_ir(print_module(m))`` reproduces
+an equivalent module.  This gives the repo an on-disk ``.ll``-style
+interchange format (e.g. to hand-edit parallel IR and feed it back to
+SPLENDID).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import types as ir_ty
+from .block import BasicBlock
+from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, CondBranch,
+                           DbgValue, FCmp, GetElementPtr, ICmp, Load, Phi,
+                           Ret, Select, Store, Unreachable, CAST_OPS,
+                           FCMP_PREDICATES, FLOAT_BINOPS, ICMP_PREDICATES,
+                           INT_BINOPS)
+from .metadata import DILocalVariable
+from .module import Function, Module
+from .values import (ConstantFloat, ConstantInt, ConstantPointerNull,
+                     GlobalVariable, UndefValue, Value)
+
+
+class IRParseError(Exception):
+    def __init__(self, message: str, line_no: int = 0, line: str = ""):
+        location = f" (line {line_no}: {line.strip()})" if line_no else ""
+        super().__init__(f"{message}{location}")
+
+
+_TOKEN_RE = re.compile(r"""
+    ![A-Za-z0-9.]+
+  | @[\w.$-]+
+  | %[\w.$-]+
+  | -?\d+\.\d*(?:[eE][+-]?\d+)?
+  | -?\d+[eE][+-]?\d+
+  | -?\d+
+  | [\w.]+
+  | [()\[\]{},*=]
+""", re.VERBOSE)
+
+
+def _tokenize_line(line: str) -> List[str]:
+    line = line.split(";", 1)[0]
+    return _TOKEN_RE.findall(line)
+
+
+class _LineParser:
+    """Token cursor over one instruction line."""
+
+    def __init__(self, tokens: List[str], line_no: int, raw: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.line_no = line_no
+        self.raw = raw
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else ""
+
+    def next(self) -> str:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise IRParseError(f"expected {token!r}, got {got!r}",
+                               self.line_no, self.raw)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+class IRParser:
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.module = Module()
+        self.metadata: Dict[str, DILocalVariable] = {}
+        # Per-function state.
+        self.values: Dict[str, Value] = {}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.pending: List[Tuple] = []   # operand fixups
+
+    # ------------------------------------------------------------------ types
+
+    def parse_type(self, cursor: _LineParser) -> ir_ty.Type:
+        base = self._parse_base_type(cursor)
+        while cursor.peek() == "*":
+            cursor.next()
+            base = ir_ty.pointer(base)
+        return base
+
+    def _parse_base_type(self, cursor: _LineParser) -> ir_ty.Type:
+        token = cursor.next()
+        if token == "void":
+            return ir_ty.VOID
+        if token == "double":
+            return ir_ty.DOUBLE
+        if token.startswith("i") and token[1:].isdigit():
+            return ir_ty.IntType(int(token[1:]))
+        if token == "[":
+            count = int(cursor.next())
+            cursor.expect("x")
+            element = self.parse_type(cursor)
+            cursor.expect("]")
+            return ir_ty.array(element, count)
+        raise IRParseError(f"unknown type token {token!r}",
+                           cursor.line_no, cursor.raw)
+
+    # ---------------------------------------------------------------- operands
+
+    def parse_value(self, cursor: _LineParser, vtype: ir_ty.Type) -> Value:
+        token = cursor.next()
+        if token.startswith("%"):
+            return self._local(token[1:], vtype)
+        if token.startswith("@"):
+            return self._global(token[1:], cursor)
+        if token == "true":
+            return ConstantInt(ir_ty.I1, 1)
+        if token == "false":
+            return ConstantInt(ir_ty.I1, 0)
+        if token == "undef":
+            return UndefValue(vtype)
+        if token == "null":
+            return ConstantPointerNull(vtype)
+        if re.fullmatch(r"-?\d+", token):
+            if vtype.is_float:
+                return ConstantFloat(float(token))
+            if not vtype.is_integer:
+                raise IRParseError(
+                    f"integer constant for non-integer type {vtype}",
+                    cursor.line_no, cursor.raw)
+            return ConstantInt(vtype, int(token))
+        if re.fullmatch(r"-?\d+(\.\d*)?([eE][+-]?\d+)?", token):
+            return ConstantFloat(float(token))
+        raise IRParseError(f"cannot parse operand {token!r}",
+                           cursor.line_no, cursor.raw)
+
+    def parse_typed_value(self, cursor: _LineParser) -> Tuple[ir_ty.Type, Value]:
+        vtype = self.parse_type(cursor)
+        return vtype, self.parse_value(cursor, vtype)
+
+    def _local(self, name: str, vtype: ir_ty.Type) -> Value:
+        if name in self.values:
+            return self.values[name]
+        # Forward reference: create a placeholder fixed up at the end.
+        placeholder = Value(vtype, name)
+        self.values[name] = placeholder
+        return placeholder
+
+    def _global(self, name: str, cursor: _LineParser) -> Value:
+        if name in self.module.globals:
+            return self.module.globals[name]
+        if name in self.module.functions:
+            return self.module.functions[name]
+        raise IRParseError(f"unknown global @{name}",
+                           cursor.line_no, cursor.raw)
+
+    def _block(self, name: str, function: Function) -> BasicBlock:
+        if name not in self.blocks:
+            self.blocks[name] = BasicBlock(name, function)
+        return self.blocks[name]
+
+    # ----------------------------------------------------------------- driver
+
+    def parse(self) -> Module:
+        # First pass: register every function signature so call sites can
+        # reference functions defined or declared later in the file.
+        for line_no, raw in enumerate(self.lines, start=1):
+            line = raw.strip()
+            if line.startswith("define"):
+                name, ftype, _ = self._parse_signature(
+                    line[len("define"):], line_no)
+                self.module.get_or_declare(name, ftype)
+            elif line.startswith("declare"):
+                self._parse_declaration(line, line_no)
+        index = 0
+        while index < len(self.lines):
+            line = self.lines[index].strip()
+            if not line or line.startswith(";"):
+                index += 1
+                continue
+            if line.startswith("@"):
+                self._parse_global(line, index + 1)
+                index += 1
+                continue
+            if line.startswith("declare"):
+                self._parse_declaration(line, index + 1)
+                index += 1
+                continue
+            if line.startswith("define"):
+                index = self._parse_function(index)
+                continue
+            if line.startswith("!"):
+                self._parse_metadata(line, index + 1)
+                index += 1
+                continue
+            raise IRParseError(f"unexpected line {line!r}", index + 1, line)
+        self._resolve_pending()
+        return self.module
+
+    def _parse_global(self, line: str, line_no: int) -> None:
+        match = re.match(r"@([\w.$-]+)\s*=\s*global\s+(.*)", line)
+        if not match:
+            raise IRParseError("malformed global", line_no, line)
+        name, rest = match.group(1), match.group(2)
+        cursor = _LineParser(_tokenize_line(rest), line_no, line)
+        vtype = self.parse_type(cursor)
+        self.module.add_global(GlobalVariable(vtype, name))
+
+    def _parse_signature(self, text: str, line_no: int):
+        match = re.match(r"\s*(.+?)\s*@([\w.$-]+)\s*\((.*)\)\s*\{?\s*$", text)
+        if not match:
+            raise IRParseError("malformed function header", line_no, text)
+        ret_text, name, params_text = match.groups()
+        ret_cursor = _LineParser(_tokenize_line(ret_text), line_no, text)
+        return_type = self.parse_type(ret_cursor)
+        param_types: List[ir_ty.Type] = []
+        param_names: List[str] = []
+        params_text = params_text.strip()
+        if params_text and params_text != "...":
+            for chunk in self._split_params(params_text):
+                cursor = _LineParser(_tokenize_line(chunk), line_no, text)
+                param_types.append(self.parse_type(cursor))
+                if cursor.peek().startswith("%"):
+                    param_names.append(cursor.next()[1:])
+                else:
+                    param_names.append(f"arg{len(param_names)}")
+        is_vararg = params_text == "..."
+        ftype = ir_ty.function(return_type, param_types, is_vararg)
+        return name, ftype, param_names
+
+    @staticmethod
+    def _split_params(text: str) -> List[str]:
+        parts, depth, current = [], 0, []
+        for char in text:
+            if char == "," and depth == 0:
+                parts.append("".join(current))
+                current = []
+                continue
+            if char in "([":
+                depth += 1
+            elif char in ")]":
+                depth -= 1
+            current.append(char)
+        if current:
+            parts.append("".join(current))
+        return parts
+
+    def _parse_declaration(self, line: str, line_no: int) -> None:
+        name, ftype, _ = self._parse_signature(line[len("declare"):], line_no)
+        self.module.get_or_declare(name, ftype)
+
+    def _parse_function(self, start: int) -> int:
+        header = self.lines[start].strip()
+        name, ftype, param_names = self._parse_signature(
+            header[len("define"):], start + 1)
+        existing = self.module.functions.get(name)
+        if existing is not None and existing.is_declaration:
+            # Registered in the signature pre-pass (or declared earlier):
+            # fill in the same object so prior call sites stay wired.
+            function = existing
+            for arg, arg_name in zip(function.arguments, param_names):
+                arg.name = arg_name
+        else:
+            function = Function(name, ftype, param_names)
+            self.module.add_function(function)
+
+        self.values = {arg.name: arg for arg in function.arguments}
+        self.blocks = {}
+        self.pending = []
+
+        current: Optional[BasicBlock] = None
+        index = start + 1
+        while index < len(self.lines):
+            raw = self.lines[index]
+            line = raw.strip()
+            index += 1
+            if not line or line.startswith(";"):
+                continue
+            if line == "}":
+                break
+            label = re.match(r"^([\w.$-]+):", line)
+            if label:
+                current = self._block(label.group(1), function)
+                if current not in function.blocks:
+                    function.add_block(current)
+                continue
+            if current is None:
+                raise IRParseError("instruction before any label",
+                                   index, raw)
+            self._parse_instruction(line, index, current, function)
+        self._resolve_pending()
+        return index
+
+    # ------------------------------------------------------------ instructions
+
+    def _parse_instruction(self, line: str, line_no: int,
+                           block: BasicBlock, function: Function) -> None:
+        name = ""
+        body = line
+        assign = re.match(r"%([\w.$-]+)\s*=\s*(.*)", line)
+        if assign:
+            name, body = assign.group(1), assign.group(2)
+        cursor = _LineParser(_tokenize_line(body), line_no, line)
+        opcode = cursor.next()
+
+        inst = self._dispatch(opcode, cursor, block, function, line, line_no)
+        if inst is None:
+            return
+        block.append(inst)
+        if name:
+            inst.name = name
+            placeholder = self.values.get(name)
+            if placeholder is not None and placeholder is not inst:
+                placeholder.replace_all_uses_with(inst)
+            self.values[name] = inst
+
+    def _dispatch(self, opcode, cursor, block, function, line, line_no):
+        if opcode in INT_BINOPS or opcode in FLOAT_BINOPS:
+            vtype = self.parse_type(cursor)
+            lhs = self.parse_value(cursor, vtype)
+            cursor.expect(",")
+            rhs = self.parse_value(cursor, vtype)
+            return BinaryOp(opcode, lhs, rhs)
+        if opcode in ("icmp", "fcmp"):
+            predicate = cursor.next()
+            vtype = self.parse_type(cursor)
+            lhs = self.parse_value(cursor, vtype)
+            cursor.expect(",")
+            rhs = self.parse_value(cursor, vtype)
+            if opcode == "icmp":
+                return ICmp(predicate, lhs, rhs)
+            return FCmp(predicate, lhs, rhs)
+        if opcode == "alloca":
+            return Alloca(self.parse_type(cursor))
+        if opcode == "load":
+            self.parse_type(cursor)      # result type (redundant)
+            cursor.expect(",")
+            _, pointer = self.parse_typed_value(cursor)
+            return Load(pointer)
+        if opcode == "store":
+            _, value = self.parse_typed_value(cursor)
+            cursor.expect(",")
+            _, pointer = self.parse_typed_value(cursor)
+            return Store(value, pointer)
+        if opcode == "getelementptr":
+            self.parse_type(cursor)      # pointee type (redundant)
+            cursor.expect(",")
+            _, pointer = self.parse_typed_value(cursor)
+            indices = []
+            while cursor.peek() == ",":
+                cursor.next()
+                _, index = self.parse_typed_value(cursor)
+                indices.append(index)
+            return GetElementPtr(pointer, indices)
+        if opcode in CAST_OPS:
+            _, value = self.parse_typed_value(cursor)
+            cursor.expect("to")
+            dest = self.parse_type(cursor)
+            return Cast(opcode, value, dest)
+        if opcode == "br":
+            if cursor.peek() == "label":
+                cursor.next()
+                target = self._block(cursor.next()[1:], function)
+                return Branch(target)
+            self.parse_type(cursor)  # i1
+            condition = self.parse_value(cursor, ir_ty.I1)
+            cursor.expect(",")
+            cursor.expect("label")
+            if_true = self._block(cursor.next()[1:], function)
+            cursor.expect(",")
+            cursor.expect("label")
+            if_false = self._block(cursor.next()[1:], function)
+            return CondBranch(condition, if_true, if_false)
+        if opcode == "ret":
+            if cursor.peek() == "void":
+                return Ret()
+            _, value = self.parse_typed_value(cursor)
+            return Ret(value)
+        if opcode == "unreachable":
+            return Unreachable()
+        if opcode == "phi":
+            vtype = self.parse_type(cursor)
+            phi = Phi(vtype)
+            while cursor.peek() == "[" or cursor.peek() == ",":
+                if cursor.peek() == ",":
+                    cursor.next()
+                cursor.expect("[")
+                value = self.parse_value(cursor, vtype)
+                cursor.expect(",")
+                pred = self._block(cursor.next()[1:], function)
+                cursor.expect("]")
+                phi.add_incoming(value, pred)
+            return phi
+        if opcode == "select":
+            self.parse_type(cursor)
+            condition = self.parse_value(cursor, ir_ty.I1)
+            cursor.expect(",")
+            _, if_true = self.parse_typed_value(cursor)
+            cursor.expect(",")
+            _, if_false = self.parse_typed_value(cursor)
+            return Select(condition, if_true, if_false)
+        if opcode == "call":
+            return self._parse_call(cursor, line, line_no)
+        raise IRParseError(f"unknown opcode {opcode!r}", line_no, line)
+
+    def _parse_call(self, cursor: _LineParser, line: str, line_no: int):
+        # dbg.value intrinsic?
+        if "llvm.dbg.value" in line:
+            match = re.search(
+                r"metadata\s+(.+?),\s*metadata\s+(![A-Za-z0-9.]+)", line)
+            if not match:
+                raise IRParseError("malformed dbg.value", line_no, line)
+            value_cursor = _LineParser(_tokenize_line(match.group(1)),
+                                       line_no, line)
+            _, value = self.parse_typed_value(value_cursor)
+            variable = self.metadata.get(match.group(2))
+            if variable is None:
+                key = match.group(2)[1:]
+                meta_id = int(key) if key.isdigit() else None
+                variable = DILocalVariable(f"meta{key}",
+                                           metadata_id=meta_id)
+                self.metadata[match.group(2)] = variable
+            return DbgValue(value, variable)
+        self.parse_type(cursor)  # return type
+        # Skip an optional function-pointer type like `void (i32, ...)*`.
+        if cursor.peek() == "(":
+            depth = 0
+            while True:
+                token = cursor.next()
+                if token == "(":
+                    depth += 1
+                elif token == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+            if cursor.peek() == "*":
+                cursor.next()
+        callee_token = cursor.next()
+        if not callee_token.startswith("@"):
+            raise IRParseError(f"expected callee, got {callee_token!r}",
+                               line_no, line)
+        callee = self._global(callee_token[1:], cursor)
+        cursor.expect("(")
+        args = []
+        while cursor.peek() != ")" and not cursor.at_end():
+            if cursor.peek() == ",":
+                cursor.next()
+                continue
+            if cursor.peek(0) == "void" and cursor.peek(1) == "(":
+                # Function-pointer argument: `void (...)* @name`.
+                depth = 0
+                self.parse_type(cursor)   # consume `void`
+                while True:
+                    token = cursor.next()
+                    if token == "(":
+                        depth += 1
+                    elif token == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                if cursor.peek() == "*":
+                    cursor.next()
+                fn_token = cursor.next()
+                args.append(self._global(fn_token[1:], cursor))
+                continue
+            _, value = self.parse_typed_value(cursor)
+            args.append(value)
+        return Call(callee, args)
+
+    # -------------------------------------------------------------- metadata
+
+    def _parse_metadata(self, line: str, line_no: int) -> None:
+        match = re.match(
+            r'(![A-Za-z0-9.]+)\s*=\s*!DILocalVariable\(name:\s*"([^"]+)"'
+            r'(?:,\s*arg:\s*(\d+))?(?:,\s*scope:\s*"([^"]*)")?\)', line)
+        if not match:
+            return  # other metadata kinds are ignored
+        key, name, arg, scope = match.groups()
+        existing = self.metadata.get(key)
+        if existing is not None:
+            existing.name = name
+            existing.arg_index = int(arg) if arg else None
+            existing.scope = scope or ""
+        else:
+            raw = key[1:]
+            self.metadata[key] = DILocalVariable(
+                name, int(arg) if arg else None, scope or "",
+                metadata_id=int(raw) if raw.isdigit() else None)
+
+    def _resolve_pending(self) -> None:
+        for name, value in self.values.items():
+            if type(value) is Value and value.is_used():
+                raise IRParseError(f"undefined value %{name}")
+
+
+def parse_ir(text: str) -> Module:
+    """Parse textual IR (as emitted by :func:`repro.ir.print_module`)."""
+    return IRParser(text).parse()

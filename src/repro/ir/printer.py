@@ -1,0 +1,123 @@
+"""Textual IR printer producing LLVM-flavored assembly."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import BasicBlock
+from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, CondBranch,
+                           DbgValue, FCmp, GetElementPtr, ICmp, Instruction,
+                           Load, Phi, Ret, Select, Store, Unreachable)
+from .module import Function, Module
+from .values import (Argument, ConstantFloat, ConstantInt,
+                     ConstantPointerNull, GlobalVariable, UndefValue, Value)
+
+
+def format_value(value: Value, with_type: bool = False) -> str:
+    if isinstance(value, ConstantInt):
+        if value.type.bits == 1:
+            text = "true" if value.value else "false"
+        else:
+            text = str(value.value)
+    elif isinstance(value, ConstantFloat):
+        text = repr(value.value)
+    elif isinstance(value, UndefValue):
+        text = "undef"
+    elif isinstance(value, ConstantPointerNull):
+        text = "null"
+    elif isinstance(value, (GlobalVariable, Function)):
+        text = f"@{value.name}"
+    elif isinstance(value, BasicBlock):
+        text = f"%{value.name or '<block>'}"
+    else:
+        text = f"%{value.name or '<unnamed>'}"
+    if with_type:
+        return f"{value.type} {text}"
+    return text
+
+
+def format_instruction(inst: Instruction) -> str:
+    def v(x, t=False):
+        return format_value(x, with_type=t)
+
+    lhs = f"%{inst.name} = " if inst.name and not inst.type.is_void else ""
+    if isinstance(inst, BinaryOp):
+        return (f"{lhs}{inst.opcode} {inst.type} "
+                f"{v(inst.lhs)}, {v(inst.rhs)}")
+    if isinstance(inst, ICmp):
+        return (f"{lhs}icmp {inst.predicate} {inst.lhs.type} "
+                f"{v(inst.lhs)}, {v(inst.rhs)}")
+    if isinstance(inst, FCmp):
+        return (f"{lhs}fcmp {inst.predicate} {inst.lhs.type} "
+                f"{v(inst.lhs)}, {v(inst.rhs)}")
+    if isinstance(inst, Alloca):
+        return f"{lhs}alloca {inst.allocated_type}"
+    if isinstance(inst, Load):
+        return f"{lhs}load {inst.type}, {v(inst.pointer, True)}"
+    if isinstance(inst, Store):
+        return f"store {v(inst.value, True)}, {v(inst.pointer, True)}"
+    if isinstance(inst, GetElementPtr):
+        parts = ", ".join(v(i, True) for i in inst.indices)
+        return (f"{lhs}getelementptr {inst.pointer.type.pointee}, "
+                f"{v(inst.pointer, True)}, {parts}")
+    if isinstance(inst, Cast):
+        return f"{lhs}{inst.opcode} {v(inst.value, True)} to {inst.type}"
+    if isinstance(inst, CondBranch):
+        return (f"br i1 {v(inst.condition)}, label {v(inst.if_true)}, "
+                f"label {v(inst.if_false)}")
+    if isinstance(inst, Branch):
+        return f"br label {v(inst.target)}"
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {v(inst.value, True)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(f"[ {v(val)}, {v(blk)} ]"
+                          for val, blk in inst.incoming)
+        return f"{lhs}phi {inst.type} {pairs}"
+    if isinstance(inst, Select):
+        return (f"{lhs}select i1 {v(inst.condition)}, "
+                f"{v(inst.if_true, True)}, {v(inst.if_false, True)}")
+    if isinstance(inst, DbgValue):
+        return (f"call void @llvm.dbg.value(metadata {v(inst.value, True)}, "
+                f"metadata {inst.variable})")
+    if isinstance(inst, Call):
+        args = ", ".join(v(a, True) for a in inst.args)
+        return f"{lhs}call {inst.type} {v(inst.callee)}({args})"
+    return f"{lhs}{inst.opcode} <?>"
+
+
+def print_function(function: Function) -> str:
+    function.assign_names()
+    params = ", ".join(f"{a.type} %{a.name}" for a in function.arguments)
+    header = f"{function.return_type} @{function.name}({params})"
+    if function.is_declaration:
+        return f"declare {header}"
+    lines: List[str] = [f"define {header} {{"]
+    for block in function.blocks:
+        preds = ", ".join(f"%{p.name}" for p in block.predecessors)
+        suffix = f"  ; preds: {preds}" if preds else ""
+        lines.append(f"{block.name}:{suffix}")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    chunks: List[str] = [f"; ModuleID = '{module.name}'"]
+    for var in module.globals.values():
+        init = f" {var.initializer}" if var.initializer is not None else " zeroinitializer"
+        chunks.append(f"@{var.name} = global {var.value_type}{init}")
+    metadata_lines = []
+    seen_meta = set()
+    for function in module.functions.values():
+        chunks.append(print_function(function))
+        for inst in ([] if function.is_declaration else function.instructions()):
+            if isinstance(inst, DbgValue) and inst.variable not in seen_meta:
+                seen_meta.add(inst.variable)
+                metadata_lines.append(inst.variable.describe())
+    chunks.extend(metadata_lines)
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,199 @@
+"""Type system for the repro IR.
+
+The type lattice mirrors the subset of LLVM types that the PolyBench
+front-end needs: void, booleans, fixed-width integers, double-precision
+floats, pointers, sized arrays, and function types.  Types are immutable
+value objects; common scalars are exposed as module-level singletons.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, type(self)) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> Tuple:
+        return ()
+
+    # Convenience predicates -------------------------------------------------
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_integer or self.is_float
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """An integer type of a fixed bit width (i1, i8, i32, i64...)."""
+
+    def __init__(self, bits: int):
+        if bits <= 0:
+            raise ValueError(f"integer width must be positive, got {bits}")
+        self.bits = bits
+
+    def _key(self) -> Tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap a Python integer into this type's two's-complement range."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if value > self.max_value:
+            value -= 1 << self.bits
+        return value
+
+
+class FloatType(Type):
+    """IEEE double (the only float width PolyBench kernels use)."""
+
+    def __str__(self) -> str:
+        return "double"
+
+
+class PointerType(Type):
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def _key(self) -> Tuple:
+        return (self.pointee,)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError(f"array length must be non-negative, got {count}")
+        self.element = element
+        self.count = count
+
+    def _key(self) -> Tuple:
+        return (self.element, self.count)
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+class FunctionType(Type):
+    def __init__(self, return_type: Type, params: Sequence[Type],
+                 is_vararg: bool = False):
+        self.return_type = return_type
+        self.params = tuple(params)
+        self.is_vararg = is_vararg
+
+    def _key(self) -> Tuple:
+        return (self.return_type, self.params, self.is_vararg)
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        if self.is_vararg:
+            parts.append("...")
+        return f"{self.return_type} ({', '.join(parts)})"
+
+
+class LabelType(Type):
+    def __str__(self) -> str:
+        return "label"
+
+
+class MetadataType(Type):
+    def __str__(self) -> str:
+        return "metadata"
+
+
+# Singletons --------------------------------------------------------------
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I32 = IntType(32)
+I64 = IntType(64)
+DOUBLE = FloatType()
+LABEL = LabelType()
+METADATA = MetadataType()
+
+
+def pointer(pointee: Type) -> PointerType:
+    return PointerType(pointee)
+
+
+def array(element: Type, count: int) -> ArrayType:
+    return ArrayType(element, count)
+
+
+def function(return_type: Type, params: Sequence[Type],
+             is_vararg: bool = False) -> FunctionType:
+    return FunctionType(return_type, params, is_vararg)
+
+
+def element_type(ty: Type) -> Type:
+    """The type obtained by dereferencing a pointer or indexing an array."""
+    if isinstance(ty, PointerType):
+        return ty.pointee
+    if isinstance(ty, ArrayType):
+        return ty.element
+    raise TypeError(f"type {ty} has no element type")
+
+
+def sizeof(ty: Type) -> int:
+    """Byte size of a type, used by the interpreter's flat memory model."""
+    if isinstance(ty, IntType):
+        return max(1, ty.bits // 8)
+    if isinstance(ty, FloatType):
+        return 8
+    if isinstance(ty, PointerType):
+        return 8
+    if isinstance(ty, ArrayType):
+        return ty.count * sizeof(ty.element)
+    raise TypeError(f"type {ty} has no size")

@@ -1,0 +1,185 @@
+"""Core value hierarchy with SSA use-def tracking.
+
+Every operand edge in the IR is tracked so that passes can ask "who uses
+this value?" (``value.users``) and rewrite the graph with
+``replace_all_uses_with``.  This mirrors LLVM's ``Value``/``User`` design
+in a lightweight Pythonic form: users hold their operands in a plain list
+and register/unregister themselves in the operand's use set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set, TYPE_CHECKING
+
+from . import types as ty
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .module import Function
+
+
+class Value:
+    """Anything that can appear as an operand."""
+
+    def __init__(self, vtype: ty.Type, name: str = ""):
+        self.type = vtype
+        self.name = name
+        self._uses: Set["User"] = set()
+
+    # Use tracking ---------------------------------------------------------
+
+    @property
+    def users(self) -> Set["User"]:
+        return set(self._uses)
+
+    @property
+    def num_uses(self) -> int:
+        return sum(u.operands.count(self) for u in self._uses)
+
+    def is_used(self) -> bool:
+        return bool(self._uses)
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        if new is self:
+            return
+        for user in list(self._uses):
+            user.replace_uses_of_with(self, new)
+
+    def __str__(self) -> str:
+        return f"%{self.name}" if self.name else "%<unnamed>"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+class User(Value):
+    """A value that references other values as operands."""
+
+    def __init__(self, vtype: ty.Type, operands: Iterable[Value] = (),
+                 name: str = ""):
+        super().__init__(vtype, name)
+        self.operands: List[Value] = []
+        for op in operands:
+            self.add_operand(op)
+
+    def add_operand(self, op: Value) -> None:
+        if not isinstance(op, Value):
+            raise TypeError(f"operand must be a Value, got {op!r}")
+        self.operands.append(op)
+        op._uses.add(self)
+
+    def set_operand(self, index: int, op: Value) -> None:
+        old = self.operands[index]
+        self.operands[index] = op
+        if old not in self.operands:
+            old._uses.discard(self)
+        op._uses.add(self)
+
+    def drop_operands(self) -> None:
+        for op in set(self.operands):
+            op._uses.discard(self)
+        self.operands.clear()
+
+    def replace_uses_of_with(self, old: Value, new: Value) -> None:
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                new._uses.add(self)
+        old._uses.discard(self)
+
+
+class Constant(Value):
+    """Base class for compile-time constants."""
+
+
+class ConstantInt(Constant):
+    def __init__(self, vtype: ty.IntType, value: int):
+        super().__init__(vtype)
+        self.value = vtype.wrap(int(value))
+
+    def __str__(self) -> str:
+        if self.type == ty.I1:
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ConstantInt) and other.type == self.type
+                and other.value == self.value)
+
+    def __hash__(self) -> int:
+        return hash(("ConstantInt", self.type, self.value))
+
+
+class ConstantFloat(Constant):
+    def __init__(self, value: float):
+        super().__init__(ty.DOUBLE)
+        self.value = float(value)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantFloat) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("ConstantFloat", self.value))
+
+
+class UndefValue(Constant):
+    def __str__(self) -> str:
+        return "undef"
+
+
+class ConstantPointerNull(Constant):
+    def __init__(self, vtype: ty.PointerType):
+        super().__init__(vtype)
+
+    def __str__(self) -> str:
+        return "null"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, vtype: ty.Type, name: str,
+                 function: Optional["Function"] = None):
+        super().__init__(vtype, name)
+        self.function = function
+        # Index is assigned when attached to a function.
+        self.index: int = -1
+
+
+class GlobalVariable(Constant):
+    """A module-level variable; its value is a pointer to storage."""
+
+    def __init__(self, value_type: ty.Type, name: str,
+                 initializer: Optional[Constant] = None):
+        super().__init__(ty.pointer(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+# Constant helpers ----------------------------------------------------------
+
+def const_int(value: int, vtype: ty.IntType = ty.I64) -> ConstantInt:
+    return ConstantInt(vtype, value)
+
+
+def const_bool(value: bool) -> ConstantInt:
+    return ConstantInt(ty.I1, 1 if value else 0)
+
+
+def const_float(value: float) -> ConstantFloat:
+    return ConstantFloat(value)
+
+
+def is_const_int(value: Value, equal_to: Optional[int] = None) -> bool:
+    if not isinstance(value, ConstantInt):
+        return False
+    return equal_to is None or value.value == equal_to
+
+
+def all_values(values: Iterable[Value]) -> Iterator[Value]:
+    return iter(values)

@@ -1,0 +1,129 @@
+"""IR verifier: structural and SSA well-formedness checks.
+
+Raises :class:`VerificationError` describing the first problem found.
+Passes call :func:`verify_module` after mutating the IR; tests use it as
+the ground truth for "this transformation produced legal IR".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import BasicBlock
+from .instructions import Instruction, Phi
+from .module import Function, Module
+from .values import Argument, Constant, Value
+
+
+class VerificationError(Exception):
+    pass
+
+
+def verify_module(module: Module) -> None:
+    for function in module.defined_functions():
+        verify_function(function)
+
+
+def verify_function(function: Function) -> None:
+    if not function.blocks:
+        return
+    _check_structure(function)
+    _check_phis(function)
+    _check_dominance(function)
+
+
+def _check_structure(function: Function) -> None:
+    for block in function.blocks:
+        if block.parent is not function:
+            raise VerificationError(
+                f"{function}: block {block} has wrong parent")
+        if not block.instructions:
+            raise VerificationError(f"{function}: empty block {block}")
+        if block.terminator is None:
+            raise VerificationError(
+                f"{function}: block {block} lacks a terminator")
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                raise VerificationError(
+                    f"{function}: terminator {inst} in the middle of {block}")
+        for inst in block.instructions:
+            if inst.parent is not block:
+                raise VerificationError(
+                    f"{function}: instruction {inst} has wrong parent")
+        for succ in block.successors:
+            if succ.parent is not function:
+                raise VerificationError(
+                    f"{function}: edge {block}->{succ} leaves the function")
+
+
+def _check_phis(function: Function) -> None:
+    for block in function.blocks:
+        preds = block.predecessors
+        seen_non_phi = False
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    raise VerificationError(
+                        f"{function}: phi {inst} after non-phi in {block}")
+                incoming_blocks = [b for _, b in inst.incoming]
+                if set(incoming_blocks) != set(preds):
+                    raise VerificationError(
+                        f"{function}: phi {inst} in {block} has incoming "
+                        f"{[b.name for b in incoming_blocks]} but predecessors "
+                        f"{[b.name for b in preds]}")
+                if len(incoming_blocks) != len(set(incoming_blocks)):
+                    raise VerificationError(
+                        f"{function}: phi {inst} has duplicate incoming edges")
+            else:
+                seen_non_phi = True
+
+
+def _check_dominance(function: Function) -> None:
+    from ..analysis.dominators import DominatorTree
+    domtree = DominatorTree(function)
+    reachable = set(domtree.reachable)
+    positions = {}
+    for block in function.blocks:
+        for i, inst in enumerate(block.instructions):
+            positions[inst] = (block, i)
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                for value, pred in inst.incoming:
+                    _check_operand_dominates(
+                        function, domtree, positions, value, pred,
+                        len(pred.instructions), inst)
+            else:
+                _, index = positions[inst]
+                for op in inst.operands:
+                    if isinstance(op, BasicBlock):
+                        continue
+                    _check_operand_dominates(
+                        function, domtree, positions, op, block, index, inst)
+
+
+def _check_operand_dominates(function, domtree, positions, value: Value,
+                             use_block: BasicBlock, use_index: int,
+                             user: Instruction) -> None:
+    if isinstance(value, (Constant, Argument)):
+        return
+    if isinstance(value, Function):
+        return
+    if not isinstance(value, Instruction):
+        raise VerificationError(
+            f"{function}: operand {value!r} of {user} is not an instruction, "
+            "constant, or argument")
+    if value not in positions:
+        raise VerificationError(
+            f"{function}: operand {value} of {user} is detached from the IR")
+    def_block, def_index = positions[value]
+    if def_block is use_block:
+        if def_index >= use_index:
+            raise VerificationError(
+                f"{function}: {value} used by {user} before its definition")
+    elif not domtree.dominates(def_block, use_block):
+        raise VerificationError(
+            f"{function}: definition of {value} in {def_block} does not "
+            f"dominate its use {user} in {use_block}")

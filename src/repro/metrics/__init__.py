@@ -1,0 +1,12 @@
+"""repro.metrics — naturalness metrics: BLEU-4, LoC, variable restoration."""
+
+from .bleu import BleuReport, bleu, bleu_score, bleu_tokens, modified_precision, ngrams
+from .loc import count_loc, parallel_representation_loc
+from .tokenize_c import tokenize_c
+
+__all__ = [
+    "BleuReport", "bleu", "bleu_score", "bleu_tokens",
+    "modified_precision", "ngrams",
+    "count_loc", "parallel_representation_loc",
+    "tokenize_c",
+]

@@ -1,0 +1,82 @@
+"""Lines-of-code metrics (paper Table 4).
+
+``count_loc`` counts non-blank source lines.  ``parallel_representation_loc``
+counts the lines a reader must wade through to understand how
+parallelism is expressed: for SPLENDID that is a handful of pragma
+lines (plus region braces); for the baselines it is entire outlined
+microtask functions full of runtime setup plus the fork-call lines.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_FUNC_HEADER_RE = re.compile(r"^\s*\w[\w\s*\[\]]*\b(\w+)\s*\([^;]*\)\s*\{")
+
+
+def count_loc(source: str) -> int:
+    return sum(1 for line in source.splitlines() if line.strip())
+
+
+def _function_line_spans(source: str) -> List[tuple]:
+    """(name, start, end) line spans of top-level function definitions."""
+    lines = source.splitlines()
+    spans = []
+    index = 0
+    while index < len(lines):
+        match = _FUNC_HEADER_RE.match(lines[index])
+        if match and "=" not in lines[index].split("(")[0]:
+            name = match.group(1)
+            depth = lines[index].count("{") - lines[index].count("}")
+            start = index
+            index += 1
+            while index < len(lines) and depth > 0:
+                depth += lines[index].count("{") - lines[index].count("}")
+                index += 1
+            spans.append((name, start, index))
+        else:
+            index += 1
+    return spans
+
+
+def parallel_representation_loc(source: str) -> int:
+    """Lines spent on expressing parallelism.
+
+    * every line of an outlined microtask function (``omp_outlined`` in
+      the name) — runtime setup the reader must decode;
+    * every line mentioning a ``__kmpc_`` runtime call (fork sites);
+    * every ``#pragma omp`` line plus the braces of the parallel region
+      compound that follows a ``parallel`` pragma.
+    """
+    lines = source.splitlines()
+    counted = [False] * len(lines)
+
+    for name, start, end in _function_line_spans(source):
+        if "omp_outlined" in name:
+            for i in range(start, end):
+                if lines[i].strip():
+                    counted[i] = True
+
+    for i, line in enumerate(lines):
+        text = line.strip()
+        if not text:
+            continue
+        if "__kmpc_" in text:
+            counted[i] = True
+        if text.startswith("#pragma omp"):
+            counted[i] = True
+            if "parallel" in text and "for" not in text:
+                # Count the braces of the region compound.
+                j = i + 1
+                if j < len(lines) and lines[j].strip() == "{":
+                    counted[j] = True
+                    depth = 1
+                    k = j + 1
+                    while k < len(lines) and depth > 0:
+                        depth += lines[k].count("{") - lines[k].count("}")
+                        if depth == 0:
+                            counted[k] = True
+                        k += 1
+
+    return sum(1 for flag in counted if flag)

@@ -1,0 +1,36 @@
+"""Tokenizer for naturalness metrics.
+
+BLEU for formal languages operates on lexer token sequences (Appendix
+A: "a phrase is a sequence of tokens as detected by the language
+lexer").  This standalone regex tokenizer accepts any C-ish text the
+decompilers emit (including goto labels, casts, and ``#pragma`` lines,
+whose words are tokenized individually so pragma similarity counts).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"""
+    [A-Za-z_][A-Za-z0-9_]*            # identifier / keyword
+  | 0[xX][0-9a-fA-F]+                 # hex literal
+  | \d+\.\d*(?:[eE][+-]?\d+)?[fF]?    # float
+  | \.\d+(?:[eE][+-]?\d+)?[fF]?
+  | \d+(?:[eE][+-]?\d+)[fF]?
+  | \d+[uUlL]*                        # int
+  | "(?:[^"\\]|\\.)*"                 # string
+  | '(?:[^'\\]|\\.)'                  # char
+  | <<=|>>=|\.\.\.
+  | ==|!=|<=|>=|&&|\|\||<<|>>|\+\+|--|\+=|-=|\*=|/=|%=|&=|\|=|\^=|->
+  | \#
+  | [-+*/%=<>!&|^~?:;,.()\[\]{}]
+""", re.VERBOSE)
+
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+def tokenize_c(text: str) -> List[str]:
+    """Lex C source text into a flat token sequence (comments dropped)."""
+    text = _COMMENT_RE.sub(" ", text)
+    return _TOKEN_RE.findall(text)

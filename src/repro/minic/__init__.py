@@ -1,0 +1,25 @@
+"""repro.minic — a mini-C front end (lexer, parser, sema, printer, pragmas).
+
+Serves double duty: it parses the PolyBench sources into an AST for
+lowering to IR, and it re-parses decompiler output — which is how the
+repo proves SPLENDID-generated OpenMP/C is *recompilable* (portable).
+"""
+
+from . import c_ast
+from .c_ast import (CArray, CDouble, CInt, CPointer, CType, CVoid,
+                    FunctionDef, OmpPragma, Param, TranslationUnit)
+from .lexer import LexError, Lexer, tokenize
+from .parser import ParseError, Parser, parse, parse_function
+from .pragmas import PragmaError, parse_omp_pragma, parse_pragmas
+from .printer import format_expr, format_type, print_function, print_stmt, print_unit
+from .sema import BUILTIN_SIGNATURES, Scope, Sema, SemaError, check
+
+__all__ = [
+    "c_ast", "CArray", "CDouble", "CInt", "CPointer", "CType", "CVoid",
+    "FunctionDef", "OmpPragma", "Param", "TranslationUnit",
+    "LexError", "Lexer", "tokenize",
+    "ParseError", "Parser", "parse", "parse_function",
+    "PragmaError", "parse_omp_pragma", "parse_pragmas",
+    "format_expr", "format_type", "print_function", "print_stmt", "print_unit",
+    "BUILTIN_SIGNATURES", "Scope", "Sema", "SemaError", "check",
+]

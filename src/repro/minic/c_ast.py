@@ -1,0 +1,397 @@
+"""Abstract syntax tree for mini-C.
+
+The same AST serves two roles: it is what the parser produces from
+source text, and it is what every decompiler back end *emits* before
+printing.  That shared representation is what lets SPLENDID's output be
+recompiled by the same front end (the paper's portability claim, tested
+end-to-end in this repo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+class CType:
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items(),
+                                                       key=lambda kv: kv[0],
+                                                       ))))
+
+    def __repr__(self):
+        from .printer import format_type
+        return format_type(self)
+
+
+@dataclass(frozen=True)
+class CVoid(CType):
+    def __repr__(self):
+        return "void"
+
+
+@dataclass(frozen=True)
+class CInt(CType):
+    """An integer type; ``spelling`` preserves the source spelling."""
+    spelling: str = "int"
+
+    @property
+    def bits(self) -> int:
+        if self.spelling in ("long", "uint64_t", "int64_t", "size_t",
+                             "unsigned long"):
+            return 64
+        return 32
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self.spelling.startswith(("unsigned", "uint", "size_t"))
+
+
+@dataclass(frozen=True)
+class CDouble(CType):
+    spelling: str = "double"
+
+
+@dataclass(frozen=True)
+class CPointer(CType):
+    pointee: CType
+    restrict: bool = False
+
+
+@dataclass(frozen=True)
+class CArray(CType):
+    element: CType
+    size: Optional[int]  # None for unsized (parameter) arrays
+
+
+INT = CInt("int")
+LONG = CInt("long")
+UINT64 = CInt("uint64_t")
+DOUBLE = CDouble()
+VOID = CVoid()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    def __str__(self):
+        from .printer import format_expr
+        return format_expr(self)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    suffix: str = ""
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    text: Optional[str] = None  # preserve source spelling when available
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str          # '-', '!', '~', '&', '*', '++', '--'
+    operand: Expr
+    postfix: bool = False  # for ++/--
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str          # '=', '+=', '-=', '*=', '/=', '%='
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str
+    args: List[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class CastExpr(Expr):
+    ctype: CType
+    operand: Expr
+
+
+@dataclass
+class SizeofExpr(Expr):
+    ctype: CType
+
+
+@dataclass
+class Comma(Expr):
+    parts: List[Expr]
+
+
+# ---------------------------------------------------------------------------
+# OpenMP pragmas
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OmpPragma:
+    """A parsed ``#pragma omp ...`` directive."""
+
+    directive: str                       # 'parallel' | 'for' | 'parallel for' | 'barrier'
+    schedule: Optional[str] = None       # 'static' | 'dynamic' | ...
+    chunk: Optional[int] = None
+    nowait: bool = False
+    private: Tuple[str, ...] = ()
+    reduction: Optional[Tuple[str, Tuple[str, ...]]] = None  # (op, vars)
+    num_threads: Optional[int] = None
+
+    def render(self) -> str:
+        parts = [f"#pragma omp {self.directive}"]
+        if self.schedule:
+            chunk = f", {self.chunk}" if self.chunk is not None else ""
+            parts.append(f"schedule({self.schedule}{chunk})")
+        if self.nowait:
+            parts.append("nowait")
+        if self.private:
+            parts.append(f"private({', '.join(self.private)})")
+        if self.reduction is not None:
+            op, names = self.reduction
+            parts.append(f"reduction({op}: {', '.join(names)})")
+        if self.num_threads is not None:
+            parts.append(f"num_threads({self.num_threads})")
+        return " ".join(parts)
+
+    def __str__(self):
+        return self.render()
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    def __str__(self):
+        from .printer import print_stmt
+        return print_stmt(self)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Declaration(Stmt):
+    ctype: CType
+    name: str
+    init: Optional[Expr] = None
+    array_dims: Tuple[int, ...] = ()
+
+
+@dataclass
+class Compound(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+    # Pragmas that apply to the whole block (e.g. `#pragma omp parallel {...}`)
+    pragmas: List[OmpPragma] = field(default_factory=list)
+    # A transparent compound groups statements (e.g. `int i, j;`) without
+    # introducing a scope or braces.
+    transparent: bool = False
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_body: Stmt
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]        # ExprStmt or Declaration
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+    pragmas: List[OmpPragma] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    condition: Expr
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Goto(Stmt):
+    label: str
+
+
+@dataclass
+class Label(Stmt):
+    name: str
+
+
+@dataclass
+class PragmaStmt(Stmt):
+    """A standalone pragma (e.g. `#pragma omp barrier`)."""
+    pragma: OmpPragma
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FunctionDef:
+    return_type: CType
+    name: str
+    params: List[Param]
+    body: Optional[Compound]  # None for declarations
+    is_vararg: bool = False
+
+    @property
+    def is_declaration(self) -> bool:
+        return self.body is None
+
+    def __str__(self):
+        from .printer import print_function
+        return print_function(self)
+
+
+@dataclass
+class TranslationUnit:
+    functions: List[FunctionDef] = field(default_factory=list)
+    globals: List[Declaration] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    def __str__(self):
+        from .printer import print_unit
+        return print_unit(self)
+
+
+def walk_stmts(stmt: Stmt):
+    """Yield every statement in a subtree, pre-order."""
+    yield stmt
+    if isinstance(stmt, Compound):
+        for child in stmt.body:
+            yield from walk_stmts(child)
+    elif isinstance(stmt, If):
+        yield from walk_stmts(stmt.then_body)
+        if stmt.else_body is not None:
+            yield from walk_stmts(stmt.else_body)
+    elif isinstance(stmt, For):
+        if stmt.init is not None:
+            yield from walk_stmts(stmt.init)
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, (While, DoWhile)):
+        yield from walk_stmts(stmt.body)
+
+
+def walk_exprs(node):
+    """Yield every expression under a statement or expression, pre-order."""
+    if isinstance(node, Expr):
+        yield node
+        children = []
+        if isinstance(node, Unary):
+            children = [node.operand]
+        elif isinstance(node, Binary):
+            children = [node.lhs, node.rhs]
+        elif isinstance(node, Assign):
+            children = [node.target, node.value]
+        elif isinstance(node, Conditional):
+            children = [node.condition, node.if_true, node.if_false]
+        elif isinstance(node, CallExpr):
+            children = list(node.args)
+        elif isinstance(node, Index):
+            children = [node.base, node.index]
+        elif isinstance(node, CastExpr):
+            children = [node.operand]
+        elif isinstance(node, Comma):
+            children = list(node.parts)
+        for child in children:
+            yield from walk_exprs(child)
+    elif isinstance(node, Stmt):
+        for stmt in walk_stmts(node):
+            exprs = []
+            if isinstance(stmt, ExprStmt):
+                exprs = [stmt.expr]
+            elif isinstance(stmt, Declaration) and stmt.init is not None:
+                exprs = [stmt.init]
+            elif isinstance(stmt, If):
+                exprs = [stmt.condition]
+            elif isinstance(stmt, For):
+                exprs = [e for e in (stmt.condition, stmt.step) if e is not None]
+            elif isinstance(stmt, (While, DoWhile)):
+                exprs = [stmt.condition]
+            elif isinstance(stmt, Return) and stmt.value is not None:
+                exprs = [stmt.value]
+            for expr in exprs:
+                yield from walk_exprs(expr)

@@ -1,0 +1,217 @@
+"""Hand-written lexer for mini-C.
+
+Handles the C token vocabulary PolyBench sources need, plus two
+preprocessor conveniences: object-like ``#define NAME value`` macros
+(substituted during lexing, like ``-DN=4000``) and ``#pragma`` lines,
+which are emitted as single pragma tokens so the parser can attach
+OpenMP annotations to the following statement.  ``#include`` lines are
+ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .tokens import KEYWORDS, OPERATORS, Token
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class Lexer:
+    def __init__(self, source: str, defines: Optional[Dict[str, str]] = None):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.defines: Dict[str, str] = dict(defines or {})
+
+    # Character helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        """Next character, or "\\0" past the end.
+
+        The sentinel (rather than "") matters: ``"" in "abc"`` is True in
+        Python, which would turn character-class loops into infinite loops
+        at end of input.
+        """
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else "\0"
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+            else:
+                return
+
+    # Tokenization ------------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                break
+            token = self._next_token()
+            if token is not None:
+                tokens.append(token)
+        tokens.append(Token("eof", "", self.line, self.column))
+        return tokens
+
+    def _next_token(self) -> Optional[Token]:
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if ch == "#":
+            return self._lex_directive(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, line, column)
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_directive(self, line: int, column: int) -> Optional[Token]:
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+        text = self.source[start:self.pos].strip()
+        body = text[1:].strip()
+        if body.startswith("pragma"):
+            return Token("pragma", body[len("pragma"):].strip(), line, column)
+        if body.startswith("define"):
+            parts = body[len("define"):].strip().split(None, 1)
+            if len(parts) == 2 and "(" not in parts[0]:
+                self.defines[parts[0]] = parts[1].strip()
+            elif len(parts) == 1:
+                self.defines[parts[0]] = "1"
+            return None
+        if body.startswith(("include", "ifdef", "ifndef", "endif", "if ",
+                            "else", "undef")):
+            return None
+        raise LexError(f"unsupported directive {text!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        if text in self.defines:
+            return self._substitute_macro(text, line, column)
+        if text in KEYWORDS:
+            return Token("keyword", text, line, column)
+        return Token("ident", text, line, column)
+
+    def _substitute_macro(self, name: str, line: int, column: int) -> Token:
+        replacement = self.defines[name]
+        sub = Lexer(replacement, {})
+        sub_tokens = sub.tokenize()[:-1]  # drop EOF
+        if len(sub_tokens) != 1:
+            raise LexError(
+                f"macro {name!r} must expand to a single token "
+                f"(got {len(sub_tokens)})", line, column)
+        token = sub_tokens[0]
+        return Token(token.kind, token.text, line, column, token.value)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            return Token("int", text, line, column, int(text, 16))
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (self._peek(1).isdigit()
+                                     or (self._peek(1) in "+-"
+                                         and self._peek(2).isdigit())):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.pos]
+        while self._peek() in "uUlLfF":  # integer/float suffixes
+            suffix = self._advance()
+            if suffix in "fF":
+                is_float = True
+        if is_float:
+            return Token("float", text, line, column, float(text))
+        return Token("int", text, line, column, int(text))
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", line, column)
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escape = self._advance()
+                chars.append({"n": "\n", "t": "\t", "0": "\0",
+                              "\\": "\\", '"': '"'}.get(escape, escape))
+            else:
+                chars.append(self._advance())
+        text = "".join(chars)
+        return Token("string", text, line, column, text)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        self._advance()
+        ch = self._advance()
+        if ch == "\\":
+            escape = self._advance()
+            ch = {"n": "\n", "t": "\t", "0": "\0"}.get(escape, escape)
+        if self.pos >= len(self.source) or self._peek() != "'":
+            raise LexError("unterminated character literal", line, column)
+        self._advance()
+        return Token("int", f"'{ch}'", line, column, ord(ch))
+
+
+def tokenize(source: str, defines: Optional[Dict[str, str]] = None) -> List[Token]:
+    return Lexer(source, defines).tokenize()

@@ -1,0 +1,507 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import c_ast as ast
+from .lexer import tokenize
+from .pragmas import parse_omp_pragma
+from .tokens import Token
+
+_TYPE_KEYWORDS = frozenset({
+    "void", "int", "long", "double", "float", "char", "unsigned", "signed",
+    "uint64_t", "int64_t", "uint32_t", "int32_t", "size_t",
+})
+_QUALIFIERS = frozenset({"const", "static", "extern", "inline", "restrict"})
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=")
+_BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, source: str, defines: Optional[Dict[str, str]] = None):
+        self.tokens = tokenize(source, defines)
+        self.pos = 0
+
+    # Token helpers -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect_op(self, text: str) -> Token:
+        if not self.current.is_op(text):
+            raise ParseError(f"expected {text!r}", self.current)
+        return self.advance()
+
+    def accept_op(self, text: str) -> bool:
+        if self.current.is_op(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        if self.current.kind != "ident":
+            raise ParseError("expected identifier", self.current)
+        return self.advance().text
+
+    # Entry point ---------------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.current.kind != "eof":
+            if self.current.kind == "pragma":
+                # File-scope pragmas (e.g. `#pragma scop`) are ignored.
+                self.advance()
+                continue
+            self._parse_top_level(unit)
+        return unit
+
+    def _parse_top_level(self, unit: ast.TranslationUnit) -> None:
+        base = self._parse_type_specifiers()
+        ctype, name = self._parse_declarator(base)
+        if self.current.is_op("("):
+            unit.functions.append(self._parse_function(ctype, name))
+            return
+        decl = self._finish_variable(ctype, name)
+        unit.globals.append(decl)
+        while self.accept_op(","):
+            ctype2, name2 = self._parse_declarator(base)
+            unit.globals.append(self._finish_variable(ctype2, name2))
+        self.expect_op(";")
+
+    def _finish_variable(self, ctype: ast.CType, name: str) -> ast.Declaration:
+        ctype, dims = self._parse_array_suffix(ctype)
+        init = None
+        if self.accept_op("="):
+            init = self._parse_assignment()
+        return ast.Declaration(ctype, name, init, dims)
+
+    # Types ------------------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        token = self.current
+        return token.kind == "keyword" and (token.text in _TYPE_KEYWORDS
+                                            or token.text in _QUALIFIERS)
+
+    def _parse_type_specifiers(self) -> ast.CType:
+        words: List[str] = []
+        while (self.current.kind == "keyword"
+               and (self.current.text in _TYPE_KEYWORDS
+                    or self.current.text in _QUALIFIERS)):
+            word = self.advance().text
+            if word not in _QUALIFIERS:
+                words.append(word)
+        if not words:
+            raise ParseError("expected type", self.current)
+        spelling = " ".join(words)
+        if spelling == "void":
+            return ast.VOID
+        if "double" in words or "float" in words:
+            return ast.DOUBLE
+        return ast.CInt(spelling)
+
+    def _parse_declarator(self, base: ast.CType,
+                          require_name: bool = True) -> Tuple[ast.CType, str]:
+        ctype = base
+        while self.current.is_op("*"):
+            self.advance()
+            restrict = False
+            while self.current.is_keyword("restrict", "const"):
+                if self.advance().text == "restrict":
+                    restrict = True
+            ctype = ast.CPointer(ctype, restrict)
+        if not require_name and self.current.kind != "ident":
+            return ctype, ""
+        name = self.expect_ident()
+        return ctype, name
+
+    def _parse_array_suffix(self, ctype: ast.CType) -> Tuple[ast.CType, Tuple[int, ...]]:
+        dims: List[int] = []
+        while self.current.is_op("["):
+            self.advance()
+            if self.current.is_op("]"):
+                self.advance()
+                dims.append(-1)  # unsized
+                continue
+            size = self._parse_constant_expression()
+            self.expect_op("]")
+            dims.append(size)
+        return ctype, tuple(d for d in dims)
+
+    def _parse_constant_expression(self) -> int:
+        expr = self._parse_conditional()
+        value = _const_eval(expr)
+        if value is None:
+            raise ParseError("expected constant expression", self.current)
+        return value
+
+    # Functions ------------------------------------------------------------------------
+
+    def _parse_function(self, return_type: ast.CType, name: str) -> ast.FunctionDef:
+        self.expect_op("(")
+        params: List[ast.Param] = []
+        is_vararg = False
+        if not self.current.is_op(")"):
+            if self.current.is_keyword("void") and self.peek(1).is_op(")"):
+                self.advance()
+            elif self.current.is_op("..."):
+                self.advance()
+                is_vararg = True
+            else:
+                params.append(self._parse_param())
+                while self.accept_op(","):
+                    if self.current.is_op("..."):
+                        self.advance()
+                        is_vararg = True
+                        break
+                    params.append(self._parse_param())
+        self.expect_op(")")
+        if self.accept_op(";"):
+            return ast.FunctionDef(return_type, name, params, None,
+                                   is_vararg)
+        body = self._parse_compound()
+        return ast.FunctionDef(return_type, name, params, body, is_vararg)
+
+    def _parse_param(self) -> ast.Param:
+        base = self._parse_type_specifiers()
+        ctype, name = self._parse_declarator(base, require_name=False)
+        if not name:
+            name = f"arg{len(getattr(self, '_anon_params', []))}"
+            self._anon_params = getattr(self, "_anon_params", []) + [name]
+        ctype, dims = self._parse_array_suffix(ctype)
+        # `double A[N][M]` as a parameter decays to `double (*A)[M]` —
+        # modeled as pointer-to-array; a 1D `double A[N]` decays to `double*`.
+        if dims:
+            inner = ctype
+            for dim in reversed(dims[1:]):
+                inner = ast.CArray(inner, dim if dim >= 0 else None)
+            ctype = ast.CPointer(inner)
+        return ast.Param(ctype, name)
+
+    # Statements -----------------------------------------------------------------------
+
+    def _parse_compound(self) -> ast.Compound:
+        self.expect_op("{")
+        block = ast.Compound()
+        while not self.current.is_op("}"):
+            if self.current.kind == "eof":
+                raise ParseError("unterminated block", self.current)
+            block.body.append(self._parse_statement())
+        self.expect_op("}")
+        return block
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+
+        if token.kind == "pragma":
+            pragmas: List[ast.OmpPragma] = []
+            while self.current.kind == "pragma":
+                pragma = parse_omp_pragma(self.advance().text)
+                if pragma is not None:
+                    pragmas.append(pragma)
+            if not pragmas:
+                return self._parse_statement()
+            if pragmas[-1].directive in ("barrier",):
+                return ast.PragmaStmt(pragmas[-1])
+            stmt = self._parse_statement()
+            if isinstance(stmt, ast.For):
+                stmt.pragmas = pragmas + stmt.pragmas
+            elif isinstance(stmt, ast.Compound):
+                stmt.pragmas = pragmas + stmt.pragmas
+            else:
+                wrapper = ast.Compound([stmt])
+                wrapper.pragmas = pragmas
+                return wrapper
+            return stmt
+
+        if token.is_op("{"):
+            return self._parse_compound()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("do"):
+            return self._parse_do_while()
+        if token.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.current.is_op(";"):
+                value = self._parse_expression()
+            self.expect_op(";")
+            return ast.Return(value)
+        if token.is_keyword("break"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Break()
+        if token.is_keyword("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Continue()
+        if self._at_type():
+            return self._parse_declaration_statement()
+        if token.is_op(";"):
+            self.advance()
+            return ast.Compound()
+        if token.kind == "ident" and token.text == "goto":
+            self.advance()
+            label = self.expect_ident()
+            self.expect_op(";")
+            return ast.Goto(label)
+        if token.kind == "ident" and self.peek(1).is_op(":"):
+            name = self.advance().text
+            self.advance()  # ':'
+            return ast.Label(name)
+        expr = self._parse_expression()
+        self.expect_op(";")
+        return ast.ExprStmt(expr)
+
+    def _parse_declaration_statement(self) -> ast.Stmt:
+        base = self._parse_type_specifiers()
+        decls: List[ast.Stmt] = []
+        while True:
+            ctype, name = self._parse_declarator(base)
+            decls.append(self._finish_variable(ctype, name))
+            if not self.accept_op(","):
+                break
+        self.expect_op(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Compound(decls, transparent=True)
+
+    def _parse_if(self) -> ast.If:
+        self.advance()
+        self.expect_op("(")
+        condition = self._parse_expression()
+        self.expect_op(")")
+        then_body = self._parse_statement()
+        else_body = None
+        if self.current.is_keyword("else"):
+            self.advance()
+            else_body = self._parse_statement()
+        return ast.If(condition, then_body, else_body)
+
+    def _parse_for(self) -> ast.For:
+        self.advance()
+        self.expect_op("(")
+        init: Optional[ast.Stmt] = None
+        if not self.current.is_op(";"):
+            if self._at_type():
+                base = self._parse_type_specifiers()
+                ctype, name = self._parse_declarator(base)
+                init = self._finish_variable(ctype, name)
+            else:
+                init = ast.ExprStmt(self._parse_expression())
+        self.expect_op(";")
+        condition = None
+        if not self.current.is_op(";"):
+            condition = self._parse_expression()
+        self.expect_op(";")
+        step = None
+        if not self.current.is_op(")"):
+            step = self._parse_expression()
+        self.expect_op(")")
+        body = self._parse_statement()
+        return ast.For(init, condition, step, body)
+
+    def _parse_while(self) -> ast.While:
+        self.advance()
+        self.expect_op("(")
+        condition = self._parse_expression()
+        self.expect_op(")")
+        return ast.While(condition, self._parse_statement())
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        self.advance()
+        body = self._parse_statement()
+        if not self.current.is_keyword("while"):
+            raise ParseError("expected 'while' after do-body", self.current)
+        self.advance()
+        self.expect_op("(")
+        condition = self._parse_expression()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.DoWhile(body, condition)
+
+    # Expressions -----------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment()
+        if self.current.is_op(","):
+            parts = [expr]
+            while self.accept_op(","):
+                parts.append(self._parse_assignment())
+            return ast.Comma(parts)
+        return expr
+
+    def _parse_assignment(self) -> ast.Expr:
+        target = self._parse_conditional()
+        for op in _ASSIGN_OPS:
+            if self.current.is_op(op):
+                self.advance()
+                value = self._parse_assignment()
+                return ast.Assign(op, target, value)
+        return target
+
+    def _parse_conditional(self) -> ast.Expr:
+        condition = self._parse_binary(0)
+        if self.accept_op("?"):
+            if_true = self._parse_expression()
+            self.expect_op(":")
+            if_false = self._parse_conditional()
+            return ast.Conditional(condition, if_true, if_false)
+        return condition
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        lhs = self._parse_binary(level + 1)
+        while self.current.kind == "op" and self.current.text in ops:
+            op = self.advance().text
+            rhs = self._parse_binary(level + 1)
+            lhs = ast.Binary(op, lhs, rhs)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "+", "!", "~", "*", "&"):
+            self.advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.Unary(token.text, operand)
+        if token.is_op("++") or token.is_op("--"):
+            self.advance()
+            return ast.Unary(token.text, self._parse_unary())
+        if token.is_op("(") and self._looks_like_cast():
+            self.advance()
+            base = self._parse_type_specifiers()
+            ctype = base
+            while self.accept_op("*"):
+                ctype = ast.CPointer(ctype)
+            self.expect_op(")")
+            return ast.CastExpr(ctype, self._parse_unary())
+        if token.is_keyword("sizeof"):
+            self.advance()
+            self.expect_op("(")
+            base = self._parse_type_specifiers()
+            ctype = base
+            while self.accept_op("*"):
+                ctype = ast.CPointer(ctype)
+            self.expect_op(")")
+            return ast.SizeofExpr(ctype)
+        return self._parse_postfix()
+
+    def _looks_like_cast(self) -> bool:
+        token = self.peek(1)
+        return token.kind == "keyword" and token.text in _TYPE_KEYWORDS
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.current.is_op("["):
+                self.advance()
+                index = self._parse_expression()
+                self.expect_op("]")
+                expr = ast.Index(expr, index)
+            elif self.current.is_op("(") and isinstance(expr, ast.Ident):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.current.is_op(")"):
+                    args.append(self._parse_assignment())
+                    while self.accept_op(","):
+                        args.append(self._parse_assignment())
+                self.expect_op(")")
+                expr = ast.CallExpr(expr.name, args)
+            elif self.current.is_op("++") or self.current.is_op("--"):
+                op = self.advance().text
+                expr = ast.Unary(op, expr, postfix=True)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(int(token.value))
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLit(float(token.value), text=token.text)
+        if token.kind == "string":
+            self.advance()
+            return ast.StrLit(str(token.value))
+        if token.kind == "ident":
+            self.advance()
+            return ast.Ident(token.text)
+        if token.is_op("("):
+            self.advance()
+            expr = self._parse_expression()
+            self.expect_op(")")
+            return expr
+        raise ParseError("expected expression", token)
+
+
+def _const_eval(expr: ast.Expr) -> Optional[int]:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _const_eval(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, ast.Binary):
+        lhs, rhs = _const_eval(expr.lhs), _const_eval(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        ops = {"+": lambda: lhs + rhs, "-": lambda: lhs - rhs,
+               "*": lambda: lhs * rhs, "/": lambda: lhs // rhs if rhs else None,
+               "%": lambda: lhs % rhs if rhs else None,
+               "<<": lambda: lhs << rhs, ">>": lambda: lhs >> rhs}
+        if expr.op in ops:
+            return ops[expr.op]()
+    return None
+
+
+def parse(source: str, defines: Optional[Dict[str, str]] = None) -> ast.TranslationUnit:
+    """Parse mini-C source text into a translation unit."""
+    return Parser(source, defines).parse_unit()
+
+
+def parse_function(source: str, name: Optional[str] = None,
+                   defines: Optional[Dict[str, str]] = None) -> ast.FunctionDef:
+    unit = parse(source, defines)
+    if name is not None:
+        return unit.function(name)
+    defined = [f for f in unit.functions if not f.is_declaration]
+    if not defined:
+        raise ValueError("no function definitions in source")
+    return defined[0]

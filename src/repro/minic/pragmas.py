@@ -1,0 +1,80 @@
+"""Parsing of ``#pragma omp`` directive text into :class:`OmpPragma`.
+
+Covers the OpenMP subset the paper's prototype supports (§7): parallel,
+for, nowait, private, barrier, static scheduling — plus reduction and
+dynamic scheduling, which the paper lists as future work and which this
+reproduction implements as extensions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .c_ast import OmpPragma
+
+
+class PragmaError(Exception):
+    pass
+
+
+_CLAUSE_RE = re.compile(r"([a-z_]+)\s*(?:\(([^)]*)\))?")
+
+
+def parse_omp_pragma(text: str) -> Optional[OmpPragma]:
+    """Parse the body of a ``#pragma`` line.  Non-OpenMP pragmas -> None."""
+    text = text.strip()
+    if text.startswith("pragma"):
+        text = text[len("pragma"):].strip()
+    if not text.startswith("omp"):
+        return None
+    rest = text[len("omp"):].strip()
+
+    directive, rest = _take_directive(rest)
+    pragma = OmpPragma(directive=directive)
+    for name, arg in _CLAUSE_RE.findall(rest):
+        _apply_clause(pragma, name, arg)
+    return pragma
+
+
+def _take_directive(rest: str) -> Tuple[str, str]:
+    for directive in ("parallel for", "parallel", "for", "barrier",
+                      "critical", "single", "master"):
+        if rest == directive or rest.startswith(directive + " "):
+            return directive, rest[len(directive):].strip()
+    raise PragmaError(f"unsupported OpenMP directive: 'omp {rest}'")
+
+
+def _apply_clause(pragma: OmpPragma, name: str, arg: str) -> None:
+    arg = arg.strip()
+    if name == "schedule":
+        parts = [p.strip() for p in arg.split(",")]
+        if parts[0] not in ("static", "dynamic", "guided", "auto", "runtime"):
+            raise PragmaError(f"unknown schedule kind {parts[0]!r}")
+        pragma.schedule = parts[0]
+        if len(parts) > 1 and parts[1]:
+            pragma.chunk = int(parts[1])
+    elif name == "nowait":
+        pragma.nowait = True
+    elif name == "private":
+        pragma.private = tuple(v.strip() for v in arg.split(",") if v.strip())
+    elif name == "reduction":
+        op, _, names = arg.partition(":")
+        variables = tuple(v.strip() for v in names.split(",") if v.strip())
+        pragma.reduction = (op.strip(), variables)
+    elif name == "num_threads":
+        pragma.num_threads = int(arg)
+    elif name in ("shared", "firstprivate", "default", "collapse"):
+        # Accepted and ignored: legal OpenMP the model doesn't act on.
+        pass
+    else:
+        raise PragmaError(f"unsupported OpenMP clause {name!r}")
+
+
+def parse_pragmas(texts: List[str]) -> List[OmpPragma]:
+    pragmas = []
+    for text in texts:
+        pragma = parse_omp_pragma(text)
+        if pragma is not None:
+            pragmas.append(pragma)
+    return pragmas

@@ -1,0 +1,295 @@
+"""C source printer: mini-C AST -> text.
+
+Precedence-aware so emitted code carries only necessary parentheses;
+this matters because BLEU compares token sequences against hand-written
+reference code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import c_ast as ast
+
+_PRECEDENCE = {
+    ",": 1,
+    "=": 2, "+=": 2, "-=": 2, "*=": 2, "/=": 2, "%=": 2,
+    "?:": 3,
+    "||": 4,
+    "&&": 5,
+    "|": 6,
+    "^": 7,
+    "&": 8,
+    "==": 9, "!=": 9,
+    "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "<<": 11, ">>": 11,
+    "+": 12, "-": 12,
+    "*": 13, "/": 13, "%": 13,
+}
+_UNARY_PRECEDENCE = 14
+_POSTFIX_PRECEDENCE = 15
+
+
+def format_type(ctype: ast.CType) -> str:
+    if isinstance(ctype, ast.CVoid):
+        return "void"
+    if isinstance(ctype, ast.CInt):
+        return ctype.spelling
+    if isinstance(ctype, ast.CDouble):
+        return ctype.spelling
+    if isinstance(ctype, ast.CPointer):
+        restrict = " restrict" if ctype.restrict else ""
+        if isinstance(ctype.pointee, ast.CArray):
+            return _declarator(ctype.pointee, "(*)")
+        inner = format_type(ctype.pointee)
+        return f"{inner}*{restrict}"
+    if isinstance(ctype, ast.CArray):
+        size = str(ctype.size) if ctype.size is not None else ""
+        return f"{format_type(ctype.element)}[{size}]"
+    raise TypeError(f"unknown type {ctype!r}")
+
+
+def _declarator(ctype: ast.CType, name: str) -> str:
+    """Render a declaration of `name` with C's inside-out declarator syntax."""
+    if isinstance(ctype, ast.CPointer) and isinstance(ctype.pointee, ast.CArray):
+        restrict = " restrict " if ctype.restrict else ""
+        return _declarator(ctype.pointee, f"(*{restrict.strip()}{name})")
+    suffix = ""
+    base = ctype
+    while isinstance(base, ast.CArray):
+        size = str(base.size) if base.size is not None else ""
+        suffix += f"[{size}]"
+        base = base.element
+    prefix = format_type(base)
+    return f"{prefix} {name}{suffix}"
+
+
+def _float_text(lit: ast.FloatLit) -> str:
+    if lit.text is not None:
+        return lit.text
+    text = repr(lit.value)
+    if "." not in text and "e" not in text and "inf" not in text:
+        text += ".0"
+    return text
+
+
+def format_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    text, prec = _format(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _format(expr: ast.Expr):
+    if isinstance(expr, ast.IntLit):
+        return f"{expr.value}{expr.suffix}", _POSTFIX_PRECEDENCE
+    if isinstance(expr, ast.FloatLit):
+        return _float_text(expr), _POSTFIX_PRECEDENCE
+    if isinstance(expr, ast.StrLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n")
+        return f'"{escaped}"', _POSTFIX_PRECEDENCE
+    if isinstance(expr, ast.Ident):
+        return expr.name, _POSTFIX_PRECEDENCE
+    if isinstance(expr, ast.Unary):
+        if expr.postfix:
+            inner = format_expr(expr.operand, _POSTFIX_PRECEDENCE)
+            return f"{inner}{expr.op}", _POSTFIX_PRECEDENCE
+        inner = format_expr(expr.operand, _UNARY_PRECEDENCE)
+        # `- -a` must not fuse into `--a` (and likewise `+ +a`, `- --a`).
+        space = " " if inner.startswith(expr.op[0]) else ""
+        return f"{expr.op}{space}{inner}", _UNARY_PRECEDENCE
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        lhs = format_expr(expr.lhs, prec)
+        # Left-associative: right operand needs one higher precedence.
+        rhs = format_expr(expr.rhs, prec + 1)
+        return f"{lhs} {expr.op} {rhs}", prec
+    if isinstance(expr, ast.Assign):
+        prec = _PRECEDENCE[expr.op]
+        target = format_expr(expr.target, prec + 1)
+        value = format_expr(expr.value, prec)  # right-associative
+        return f"{target} {expr.op} {value}", prec
+    if isinstance(expr, ast.Conditional):
+        prec = _PRECEDENCE["?:"]
+        cond = format_expr(expr.condition, prec + 1)
+        if_true = format_expr(expr.if_true, 0)
+        if_false = format_expr(expr.if_false, prec)
+        return f"{cond} ? {if_true} : {if_false}", prec
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(format_expr(a, _PRECEDENCE[","] + 1) for a in expr.args)
+        return f"{expr.callee}({args})", _POSTFIX_PRECEDENCE
+    if isinstance(expr, ast.Index):
+        base = format_expr(expr.base, _POSTFIX_PRECEDENCE)
+        return f"{base}[{format_expr(expr.index)}]", _POSTFIX_PRECEDENCE
+    if isinstance(expr, ast.CastExpr):
+        inner = format_expr(expr.operand, _UNARY_PRECEDENCE)
+        return f"({format_type(expr.ctype)}){inner}", _UNARY_PRECEDENCE
+    if isinstance(expr, ast.SizeofExpr):
+        return f"sizeof({format_type(expr.ctype)})", _UNARY_PRECEDENCE
+    if isinstance(expr, ast.Comma):
+        text = ", ".join(format_expr(p, _PRECEDENCE[","] + 1)
+                         for p in expr.parts)
+        return text, _PRECEDENCE[","]
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+class _Writer:
+    def __init__(self, indent_width: int = 2):
+        self.lines: List[str] = []
+        self.indent = 0
+        self.indent_width = indent_width
+
+    def line(self, text: str = "") -> None:
+        pad = " " * (self.indent * self.indent_width) if text else ""
+        self.lines.append(f"{pad}{text}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _emit_stmt(writer: _Writer, stmt: ast.Stmt) -> None:
+    if isinstance(stmt, ast.ExprStmt):
+        writer.line(f"{format_expr(stmt.expr)};")
+    elif isinstance(stmt, ast.Declaration):
+        ctype = stmt.ctype
+        for dim in reversed(stmt.array_dims):
+            ctype = ast.CArray(ctype, dim)
+        decl = _declarator(ctype, stmt.name)
+        if stmt.init is not None:
+            writer.line(f"{decl} = {format_expr(stmt.init, 3)};")
+        else:
+            writer.line(f"{decl};")
+    elif isinstance(stmt, ast.Compound):
+        for pragma in stmt.pragmas:
+            writer.line(pragma.render())
+        if stmt.transparent and not stmt.pragmas:
+            for child in stmt.body:
+                _emit_stmt(writer, child)
+            return
+        writer.line("{")
+        writer.indent += 1
+        for child in stmt.body:
+            _emit_stmt(writer, child)
+        writer.indent -= 1
+        writer.line("}")
+    elif isinstance(stmt, ast.If):
+        writer.line(f"if ({format_expr(stmt.condition)}) {{")
+        writer.indent += 1
+        _emit_body(writer, stmt.then_body)
+        writer.indent -= 1
+        if stmt.else_body is not None:
+            if isinstance(stmt.else_body, ast.If):
+                # else-if chain: print the nested if on the `else` line.
+                sub = _Writer(writer.indent_width)
+                _emit_stmt(sub, stmt.else_body)
+                nested = sub.lines
+                writer.line(f"}} else {nested[0]}")
+                pad = " " * (writer.indent * writer.indent_width)
+                for line in nested[1:]:
+                    writer.lines.append(f"{pad}{line}" if line else line)
+                return
+            writer.line("} else {")
+            writer.indent += 1
+            _emit_body(writer, stmt.else_body)
+            writer.indent -= 1
+            writer.line("}")
+        else:
+            writer.line("}")
+    elif isinstance(stmt, ast.For):
+        for pragma in stmt.pragmas:
+            writer.line(pragma.render())
+        init = ""
+        if isinstance(stmt.init, ast.ExprStmt):
+            init = format_expr(stmt.init.expr)
+        elif isinstance(stmt.init, ast.Declaration):
+            sub = _Writer()
+            _emit_stmt(sub, stmt.init)
+            init = sub.lines[0].rstrip(";")
+        condition = format_expr(stmt.condition) if stmt.condition else ""
+        step = format_expr(stmt.step) if stmt.step else ""
+        writer.line(f"for ({init}; {condition}; {step}) {{")
+        writer.indent += 1
+        _emit_body(writer, stmt.body)
+        writer.indent -= 1
+        writer.line("}")
+    elif isinstance(stmt, ast.While):
+        writer.line(f"while ({format_expr(stmt.condition)}) {{")
+        writer.indent += 1
+        _emit_body(writer, stmt.body)
+        writer.indent -= 1
+        writer.line("}")
+    elif isinstance(stmt, ast.DoWhile):
+        writer.line("do {")
+        writer.indent += 1
+        _emit_body(writer, stmt.body)
+        writer.indent -= 1
+        writer.line(f"}} while ({format_expr(stmt.condition)});")
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            writer.line("return;")
+        else:
+            writer.line(f"return {format_expr(stmt.value)};")
+    elif isinstance(stmt, ast.Break):
+        writer.line("break;")
+    elif isinstance(stmt, ast.Continue):
+        writer.line("continue;")
+    elif isinstance(stmt, ast.Goto):
+        writer.line(f"goto {stmt.label};")
+    elif isinstance(stmt, ast.Label):
+        writer.lines.append(f"{stmt.name}:")
+    elif isinstance(stmt, ast.PragmaStmt):
+        writer.line(stmt.pragma.render())
+    else:
+        raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _emit_body(writer: _Writer, stmt: ast.Stmt) -> None:
+    """Emit a loop/if body without duplicating braces for compounds."""
+    if isinstance(stmt, ast.Compound) and not stmt.pragmas:
+        for child in stmt.body:
+            _emit_stmt(writer, child)
+    else:
+        _emit_stmt(writer, stmt)
+
+
+def print_stmt(stmt: ast.Stmt, indent_width: int = 2) -> str:
+    writer = _Writer(indent_width)
+    _emit_stmt(writer, stmt)
+    return writer.text()
+
+
+def _param_declarator(param: ast.Param) -> str:
+    # Array parameters print in the natural `double A[][16]` style, which
+    # round-trips through the parser (unlike `double (*A)[16]`).
+    ctype = param.ctype
+    if isinstance(ctype, ast.CPointer) and isinstance(ctype.pointee, ast.CArray):
+        return _declarator(ctype.pointee, f"{param.name}[]")
+    return _declarator(ctype, param.name)
+
+
+def print_function(function: ast.FunctionDef, indent_width: int = 2) -> str:
+    parts = [_param_declarator(p) for p in function.params]
+    if function.is_vararg:
+        parts.append("...")
+    params = ", ".join(parts)
+    header = f"{format_type(function.return_type)} {function.name}({params})"
+    if function.body is None:
+        return f"{header};"
+    writer = _Writer(indent_width)
+    writer.line(f"{header} {{")
+    writer.indent += 1
+    for stmt in function.body.body:
+        _emit_stmt(writer, stmt)
+    writer.indent -= 1
+    writer.line("}")
+    return writer.text()
+
+
+def print_unit(unit: ast.TranslationUnit, indent_width: int = 2) -> str:
+    chunks: List[str] = []
+    for decl in unit.globals:
+        chunks.append(print_stmt(decl, indent_width))
+    for function in unit.functions:
+        chunks.append(print_function(function, indent_width))
+    return "\n\n".join(chunks) + "\n"

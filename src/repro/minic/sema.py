@@ -1,0 +1,263 @@
+"""Semantic analysis: scopes, identifier resolution, and type checking.
+
+The checker validates a translation unit before lowering and computes
+expression types; the front end (``repro.frontend``) reuses the same
+type rules so lowered IR types agree with the source program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from . import c_ast as ast
+
+# Known external functions (the mini libc/libm surface PolyBench needs).
+BUILTIN_SIGNATURES: Dict[str, tuple] = {
+    "exp": (ast.DOUBLE, (ast.DOUBLE,)),
+    "log": (ast.DOUBLE, (ast.DOUBLE,)),
+    "sqrt": (ast.DOUBLE, (ast.DOUBLE,)),
+    "pow": (ast.DOUBLE, (ast.DOUBLE, ast.DOUBLE)),
+    "fabs": (ast.DOUBLE, (ast.DOUBLE,)),
+    "sin": (ast.DOUBLE, (ast.DOUBLE,)),
+    "cos": (ast.DOUBLE, (ast.DOUBLE,)),
+    "floor": (ast.DOUBLE, (ast.DOUBLE,)),
+    "ceil": (ast.DOUBLE, (ast.DOUBLE,)),
+    "fmax": (ast.DOUBLE, (ast.DOUBLE, ast.DOUBLE)),
+    "fmin": (ast.DOUBLE, (ast.DOUBLE, ast.DOUBLE)),
+    "malloc": (ast.CPointer(ast.DOUBLE), (ast.LONG,)),
+    "free": (ast.VOID, (ast.CPointer(ast.DOUBLE),)),
+    "printf": (ast.INT, None),   # vararg
+    "print_double": (ast.VOID, (ast.DOUBLE,)),
+    "print_int": (ast.VOID, (ast.LONG,)),
+    "omp_get_thread_num": (ast.INT, ()),
+    "omp_get_num_threads": (ast.INT, ()),
+}
+
+
+class SemaError(Exception):
+    pass
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, ast.CType] = {}
+
+    def declare(self, name: str, ctype: ast.CType) -> None:
+        if name in self.names:
+            raise SemaError(f"redeclaration of '{name}'")
+        self.names[name] = ctype
+
+    def lookup(self, name: str) -> Optional[ast.CType]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def _decl_type(decl: ast.Declaration) -> ast.CType:
+    ctype = decl.ctype
+    for dim in reversed(decl.array_dims):
+        ctype = ast.CArray(ctype, dim if dim >= 0 else None)
+    return ctype
+
+
+class Sema:
+    """Type checker for a translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.functions: Dict[str, ast.FunctionDef] = {}
+        self.globals = Scope()
+        self.errors: List[str] = []
+
+    # Entry point ---------------------------------------------------------------
+
+    def check(self) -> None:
+        for decl in self.unit.globals:
+            self.globals.declare(decl.name, _decl_type(decl))
+        for function in self.unit.functions:
+            if function.name in self.functions and not function.is_declaration:
+                previous = self.functions[function.name]
+                if not previous.is_declaration:
+                    raise SemaError(f"redefinition of '{function.name}'")
+            self.functions[function.name] = function
+        for function in self.unit.functions:
+            if not function.is_declaration:
+                self._check_function(function)
+
+    def _check_function(self, function: ast.FunctionDef) -> None:
+        scope = Scope(self.globals)
+        for param in function.params:
+            scope.declare(param.name, param.ctype)
+        self._check_stmt(function.body, scope, function)
+
+    # Statements --------------------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope,
+                    function: ast.FunctionDef) -> None:
+        if isinstance(stmt, ast.Compound):
+            inner = scope if stmt.transparent else Scope(scope)
+            for child in stmt.body:
+                self._check_stmt(child, inner, function)
+        elif isinstance(stmt, ast.Declaration):
+            if stmt.init is not None:
+                self.expr_type(stmt.init, scope)
+            scope.declare(stmt.name, _decl_type(stmt))
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expr_type(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self.expr_type(stmt.condition, scope)
+            self._check_stmt(stmt.then_body, Scope(scope), function)
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body, Scope(scope), function)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner, function)
+            if stmt.condition is not None:
+                self.expr_type(stmt.condition, inner)
+            if stmt.step is not None:
+                self.expr_type(stmt.step, inner)
+            self._check_stmt(stmt.body, Scope(inner), function)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self.expr_type(stmt.condition, scope)
+            self._check_stmt(stmt.body, Scope(scope), function)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if isinstance(function.return_type, ast.CVoid):
+                    raise SemaError(
+                        f"'{function.name}': return with a value in void function")
+                self.expr_type(stmt.value, scope)
+            elif not isinstance(function.return_type, ast.CVoid):
+                raise SemaError(
+                    f"'{function.name}': return without a value")
+        elif isinstance(stmt, (ast.Break, ast.Continue, ast.Goto, ast.Label,
+                               ast.PragmaStmt)):
+            pass
+        else:
+            raise SemaError(f"unsupported statement {type(stmt).__name__}")
+
+    # Expressions -------------------------------------------------------------------
+
+    def expr_type(self, expr: ast.Expr, scope: Scope) -> ast.CType:
+        if isinstance(expr, ast.IntLit):
+            return ast.INT if -(2**31) <= expr.value < 2**31 else ast.LONG
+        if isinstance(expr, ast.FloatLit):
+            return ast.DOUBLE
+        if isinstance(expr, ast.StrLit):
+            return ast.CPointer(ast.CInt("char"))
+        if isinstance(expr, ast.Ident):
+            ctype = scope.lookup(expr.name)
+            if ctype is None:
+                if expr.name in self.functions:
+                    # A function designator (e.g. a microtask passed to
+                    # __kmpc_fork_call in baseline decompiler output).
+                    return ast.CPointer(ast.CVoid())
+                raise SemaError(f"use of undeclared identifier '{expr.name}'")
+            return ctype
+        if isinstance(expr, ast.Unary):
+            inner = self.expr_type(expr.operand, scope)
+            if expr.op in ("++", "--"):
+                self._require_lvalue(expr.operand)
+                return inner
+            if expr.op == "!":
+                return ast.INT
+            if expr.op == "*":
+                if isinstance(inner, ast.CPointer):
+                    return inner.pointee
+                if isinstance(inner, ast.CArray):
+                    return inner.element
+                raise SemaError("dereference of non-pointer")
+            if expr.op == "&":
+                return ast.CPointer(inner)
+            return inner
+        if isinstance(expr, ast.Binary):
+            lhs = self.expr_type(expr.lhs, scope)
+            rhs = self.expr_type(expr.rhs, scope)
+            if expr.op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+                return ast.INT
+            return self._usual_arithmetic(lhs, rhs, expr.op)
+        if isinstance(expr, ast.Assign):
+            self._require_lvalue(expr.target)
+            self.expr_type(expr.value, scope)
+            return self.expr_type(expr.target, scope)
+        if isinstance(expr, ast.Conditional):
+            self.expr_type(expr.condition, scope)
+            if_true = self.expr_type(expr.if_true, scope)
+            self.expr_type(expr.if_false, scope)
+            return if_true
+        if isinstance(expr, ast.CallExpr):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            base = self.expr_type(expr.base, scope)
+            index = self.expr_type(expr.index, scope)
+            if isinstance(index, (ast.CDouble,)):
+                raise SemaError("array subscript is not an integer")
+            if isinstance(base, ast.CPointer):
+                return base.pointee
+            if isinstance(base, ast.CArray):
+                return base.element
+            raise SemaError("subscripted value is not an array or pointer")
+        if isinstance(expr, ast.CastExpr):
+            self.expr_type(expr.operand, scope)
+            return expr.ctype
+        if isinstance(expr, ast.SizeofExpr):
+            return ast.LONG
+        if isinstance(expr, ast.Comma):
+            result = ast.INT
+            for part in expr.parts:
+                result = self.expr_type(part, scope)
+            return result
+        raise SemaError(f"unsupported expression {type(expr).__name__}")
+
+    def _check_call(self, expr: ast.CallExpr, scope: Scope) -> ast.CType:
+        if expr.callee in self.functions:
+            function = self.functions[expr.callee]
+            if not function.is_vararg \
+                    and len(expr.args) != len(function.params):
+                raise SemaError(
+                    f"call to '{expr.callee}' with {len(expr.args)} args, "
+                    f"expected {len(function.params)}")
+            for arg in expr.args:
+                self.expr_type(arg, scope)
+            return function.return_type
+        if expr.callee in BUILTIN_SIGNATURES:
+            return_type, params = BUILTIN_SIGNATURES[expr.callee]
+            if params is not None and len(expr.args) != len(params):
+                raise SemaError(
+                    f"call to '{expr.callee}' with {len(expr.args)} args, "
+                    f"expected {len(params)}")
+            for arg in expr.args:
+                self.expr_type(arg, scope)
+            return return_type
+        raise SemaError(f"call to undeclared function '{expr.callee}'")
+
+    def _usual_arithmetic(self, lhs: ast.CType, rhs: ast.CType,
+                          op: str) -> ast.CType:
+        if isinstance(lhs, (ast.CPointer, ast.CArray)):
+            return lhs
+        if isinstance(rhs, (ast.CPointer, ast.CArray)):
+            return rhs
+        if isinstance(lhs, ast.CDouble) or isinstance(rhs, ast.CDouble):
+            if op in ("%", "<<", ">>", "&", "|", "^"):
+                raise SemaError(f"invalid operands to '{op}' (have double)")
+            return ast.DOUBLE
+        if isinstance(lhs, ast.CInt) and isinstance(rhs, ast.CInt):
+            return lhs if lhs.bits >= rhs.bits else rhs
+        return lhs
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.Ident, ast.Index)):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise SemaError(f"expression is not assignable: {expr}")
+
+
+def check(unit: ast.TranslationUnit) -> Sema:
+    sema = Sema(unit)
+    sema.check()
+    return sema

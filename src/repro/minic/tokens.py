@@ -1,0 +1,40 @@
+"""Token definitions for the mini-C language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+KEYWORDS = frozenset({
+    "void", "int", "long", "double", "float", "char", "unsigned", "signed",
+    "uint64_t", "int64_t", "uint32_t", "int32_t", "size_t",
+    "for", "while", "do", "if", "else", "return", "break", "continue",
+    "static", "const", "restrict", "sizeof", "struct", "extern", "inline",
+})
+
+# Multi-character operators, longest first so the lexer can greedy-match.
+OPERATORS = (
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+)
+
+
+@dataclass
+class Token:
+    kind: str          # 'ident' | 'keyword' | 'int' | 'float' | 'string' | 'op' | 'pragma' | 'eof'
+    text: str
+    line: int
+    column: int
+    value: Optional[object] = None  # parsed numeric/string payload
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind == "op" and self.text in texts
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.text in names

@@ -1,0 +1,15 @@
+"""repro.passes — the optimizer (mem2reg, cleanup, LICM, loop rotation...)."""
+
+from . import (const_fold, cse, dce, licm, loop_distribute,
+               loop_rotate, loop_unroll, mem2reg, simplify_cfg)
+from .inline import InlineError, inline_all_calls_to, inline_call
+from .pass_manager import PassManager, PassRecord
+from .pipeline import o1_pipeline, o2_pipeline, optimize_o1, optimize_o2
+
+__all__ = [
+    "const_fold", "cse", "dce", "licm", "loop_distribute",
+    "loop_rotate", "loop_unroll", "mem2reg", "simplify_cfg",
+    "InlineError", "inline_all_calls_to", "inline_call",
+    "PassManager", "PassRecord",
+    "o1_pipeline", "o2_pipeline", "optimize_o1", "optimize_o2",
+]

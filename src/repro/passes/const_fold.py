@@ -1,0 +1,169 @@
+"""Constant folding and peephole simplification (instcombine-lite).
+
+Folds constant arithmetic/comparisons/casts and applies algebraic
+identities (x+0, x*1, x*0, ...).  Runs to a local fixpoint per function.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import types as ir_ty
+from ..ir.instructions import BinaryOp, Cast, ICmp, FCmp, Instruction, Select
+from ..ir.module import Function, Module
+from ..ir.values import (ConstantFloat, ConstantInt, Value, const_bool,
+                         const_float, const_int)
+
+
+def _fold_int_binop(opcode: str, a: int, b: int,
+                    vtype: ir_ty.IntType) -> Optional[int]:
+    if opcode == "add":
+        return a + b
+    if opcode == "sub":
+        return a - b
+    if opcode == "mul":
+        return a * b
+    if opcode == "sdiv":
+        if b == 0:
+            return None
+        return int(a / b)  # C truncating division
+    if opcode == "srem":
+        if b == 0:
+            return None
+        return a - int(a / b) * b
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return a << (b % vtype.bits)
+    if opcode == "ashr":
+        return a >> (b % vtype.bits)
+    return None
+
+
+def _fold_float_binop(opcode: str, a: float, b: float) -> Optional[float]:
+    try:
+        if opcode == "fadd":
+            return a + b
+        if opcode == "fsub":
+            return a - b
+        if opcode == "fmul":
+            return a * b
+        if opcode == "fdiv":
+            return a / b if b != 0.0 else None
+    except OverflowError:
+        return None
+    return None
+
+
+_ICMP = {
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b, "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b, "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: (a % (1 << 64)) < (b % (1 << 64)),
+    "ule": lambda a, b: (a % (1 << 64)) <= (b % (1 << 64)),
+    "ugt": lambda a, b: (a % (1 << 64)) > (b % (1 << 64)),
+    "uge": lambda a, b: (a % (1 << 64)) >= (b % (1 << 64)),
+}
+
+_FCMP = {
+    "oeq": lambda a, b: a == b, "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b, "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
+}
+
+
+def _simplify(inst: Instruction) -> Optional[Value]:
+    """Return a replacement value, or None."""
+    if isinstance(inst, BinaryOp):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+            folded = _fold_int_binop(inst.opcode, lhs.value, rhs.value,
+                                     inst.type)
+            if folded is not None:
+                return const_int(folded, inst.type)
+        if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+            folded = _fold_float_binop(inst.opcode, lhs.value, rhs.value)
+            if folded is not None:
+                return const_float(folded)
+        # Canonicalize constants to the right for commutative ops.
+        if inst.is_commutative and isinstance(lhs, (ConstantInt, ConstantFloat)) \
+                and not isinstance(rhs, (ConstantInt, ConstantFloat)):
+            inst.set_operand(0, rhs)
+            inst.set_operand(1, lhs)
+            lhs, rhs = inst.lhs, inst.rhs
+        # Algebraic identities.
+        if isinstance(rhs, ConstantInt):
+            if rhs.value == 0 and inst.opcode in ("add", "sub", "or", "xor",
+                                                  "shl", "ashr"):
+                return lhs
+            if rhs.value == 1 and inst.opcode in ("mul", "sdiv"):
+                return lhs
+            if rhs.value == 0 and inst.opcode == "mul":
+                return const_int(0, inst.type)
+        if isinstance(rhs, ConstantFloat):
+            if rhs.value == 1.0 and inst.opcode in ("fmul", "fdiv"):
+                return lhs
+        if inst.opcode == "sub" and lhs is rhs:
+            return const_int(0, inst.type)
+        if inst.opcode == "xor" and lhs is rhs:
+            return const_int(0, inst.type)
+    elif isinstance(inst, ICmp):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+            return const_bool(_ICMP[inst.predicate](lhs.value, rhs.value))
+        if lhs is rhs:
+            return const_bool(inst.predicate in ("eq", "sle", "sge", "ule",
+                                                 "uge"))
+    elif isinstance(inst, FCmp):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat) \
+                and inst.predicate in _FCMP:
+            return const_bool(_FCMP[inst.predicate](lhs.value, rhs.value))
+    elif isinstance(inst, Cast):
+        value = inst.value
+        if isinstance(value, ConstantInt):
+            if inst.opcode in ("sext", "trunc"):
+                return const_int(value.value, inst.type)
+            if inst.opcode == "zext":
+                raw = value.value % (1 << value.type.bits)
+                return const_int(raw, inst.type)
+            if inst.opcode == "sitofp":
+                return const_float(float(value.value))
+        if isinstance(value, ConstantFloat) and inst.opcode == "fptosi":
+            return const_int(int(value.value), inst.type)
+        if isinstance(value, Cast) and value.opcode == inst.opcode == "sext":
+            # sext(sext(x)) -> sext(x)
+            from ..ir.instructions import Cast as _Cast
+            merged = _Cast("sext", value.value, inst.type, inst.name)
+            inst.parent.insert_before(inst, merged)
+            return merged
+    elif isinstance(inst, Select):
+        if isinstance(inst.condition, ConstantInt):
+            return inst.if_true if inst.condition.value else inst.if_false
+        if inst.if_true is inst.if_false:
+            return inst.if_true
+    return None
+
+
+def run_function(function: Function) -> int:
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                replacement = _simplify(inst)
+                if replacement is not None and replacement is not inst:
+                    inst.replace_all_uses_with(replacement)
+                    inst.erase()
+                    folded += 1
+                    changed = True
+    return folded
+
+
+def run(module: Module) -> int:
+    return sum(run_function(f) for f in module.defined_functions())

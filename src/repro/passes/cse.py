@@ -1,0 +1,80 @@
+"""Common subexpression elimination (EarlyCSE-style).
+
+Dominator-tree scoped value numbering over pure instructions: an
+instruction identical (opcode, operands, predicate) to one already
+available on the dominating path is replaced by it.  Keeps the IR — and
+therefore the decompiled output — free of the duplicate ``sext``/GEP
+chains the -O0 front end produces for every subscript.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..analysis.dominators import DominatorTree
+from ..ir.instructions import (BinaryOp, Cast, FCmp, GetElementPtr, ICmp,
+                               Instruction, Select)
+from ..ir.module import Function, Module
+
+
+def _operand_key(op):
+    from ..ir.values import ConstantFloat, ConstantInt
+    if isinstance(op, ConstantInt):
+        return ("ci", op.type.bits, op.value)
+    if isinstance(op, ConstantFloat):
+        return ("cf", op.value)
+    return ("v", id(op))
+
+
+def _key(inst: Instruction):
+    operands = tuple(_operand_key(op) for op in inst.operands)
+    if isinstance(inst, (ICmp, FCmp)):
+        return (inst.opcode, inst.predicate, operands)
+    if isinstance(inst, BinaryOp) and inst.is_commutative:
+        return (inst.opcode, tuple(sorted(operands)), inst.type)
+    return (inst.opcode, operands, inst.type)
+
+
+def _eligible(inst: Instruction) -> bool:
+    if isinstance(inst, (Cast, GetElementPtr, ICmp, FCmp, Select)):
+        return True
+    if isinstance(inst, BinaryOp):
+        return inst.opcode not in ("sdiv", "srem", "udiv", "urem")
+    return False
+
+
+def run_function(function: Function) -> int:
+    if function.is_declaration:
+        return 0
+    domtree = DominatorTree(function)
+    removed = 0
+    scopes: List[Dict[Tuple, Instruction]] = [{}]
+    available: Dict[Tuple, Instruction] = {}
+
+    def visit(block) -> None:
+        nonlocal removed
+        added: List[Tuple] = []
+        for inst in list(block.instructions):
+            if not _eligible(inst):
+                continue
+            key = _key(inst)
+            existing = available.get(key)
+            if existing is not None:
+                inst.replace_all_uses_with(existing)
+                inst.erase()
+                removed += 1
+            else:
+                available[key] = inst
+                added.append(key)
+        for child in domtree.children.get(block, ()):
+            visit(child)
+        for key in added:
+            del available[key]
+
+    if function.blocks:
+        visit(function.entry)
+    return removed
+
+
+def run(module: Module) -> int:
+    return sum(run_function(f) for f in module.defined_functions())

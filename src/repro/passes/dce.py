@@ -1,0 +1,103 @@
+"""Dead code elimination for side-effect-free instructions.
+
+``llvm.dbg.value`` intrinsics do not keep values alive (matching LLVM):
+a value used only by debug intrinsics is dead, and its intrinsics are
+deleted with it.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dependence import PURE_MATH_FUNCTIONS
+from ..ir.instructions import Call, DbgValue, Instruction, Store
+from ..ir.module import Function, Module
+
+
+def has_side_effects(inst: Instruction) -> bool:
+    if inst.is_terminator or isinstance(inst, Store):
+        return True
+    if isinstance(inst, DbgValue):
+        return False
+    if isinstance(inst, Call):
+        return inst.callee_name not in PURE_MATH_FUNCTIONS
+    return False
+
+
+def _only_debug_uses(inst: Instruction) -> bool:
+    return all(isinstance(user, DbgValue) for user in inst.users)
+
+
+def run_function(function: Function) -> int:
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for inst in reversed(list(block.instructions)):
+                if has_side_effects(inst):
+                    continue
+                if isinstance(inst, DbgValue):
+                    continue
+                if inst.is_used() and not _only_debug_uses(inst):
+                    continue
+                for dbg in list(inst.users):
+                    dbg.erase()
+                inst.erase()
+                removed += 1
+                changed = True
+        removed_webs = _remove_dead_phi_webs(function)
+        if removed_webs:
+            removed += removed_webs
+            changed = True
+    return removed
+
+
+def _remove_dead_phi_webs(function: Function) -> int:
+    """Delete phi cycles whose only external observers are debug
+    intrinsics.
+
+    mem2reg keeps a variable's last value rotating through loop phis even
+    when nothing but ``llvm.dbg.value`` reads it (e.g. an inner loop
+    counter observed at the outer level).  Plain DCE cannot remove the
+    phis because they use each other; here we collect the closed web and
+    drop it whole.
+    """
+    from ..ir.instructions import Phi
+
+    all_phis = [inst for block in function.blocks for inst in block.phis()]
+    removed = 0
+    visited = set()
+    for root in all_phis:
+        if root in visited or root.parent is None:
+            continue
+        web = {root}
+        frontier = [root]
+        dead = True
+        while frontier and dead:
+            phi = frontier.pop()
+            for user in phi.users:
+                if isinstance(user, DbgValue):
+                    continue
+                if isinstance(user, Phi):
+                    if user not in web:
+                        web.add(user)
+                        frontier.append(user)
+                else:
+                    dead = False
+                    break
+        visited |= web
+        if not dead:
+            continue
+        for phi in web:
+            for dbg in [u for u in phi.users if isinstance(u, DbgValue)]:
+                dbg.erase()
+        for phi in web:
+            phi.drop_operands()
+        for phi in web:
+            if phi.parent is not None:
+                phi.parent.remove(phi)
+            removed += 1
+    return removed
+
+
+def run(module: Module) -> int:
+    return sum(run_function(f) for f in module.defined_functions())

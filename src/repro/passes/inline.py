@@ -1,0 +1,120 @@
+"""Function inlining utility.
+
+Used in two places: the O2 pipeline (inlining small helpers) and — more
+importantly for the paper — SPLENDID's Parallel Code Inliner, which
+substitutes fork-call arguments for outlined-function parameters when
+folding the parallel region back into its caller (§4.1.2, §3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import (Branch, Call, DbgValue, Instruction, Phi, Ret)
+from ..ir.module import Function, Module
+from ..ir.values import Argument, Value
+
+
+class InlineError(Exception):
+    pass
+
+
+def inline_call(call: Call) -> List[BasicBlock]:
+    """Inline ``call``'s callee at the call site.
+
+    Returns the list of blocks cloned into the caller.  The callee is
+    left untouched (it is cloned, not moved).
+    """
+    callee = call.callee
+    if not isinstance(callee, Function) or callee.is_declaration:
+        raise InlineError(f"cannot inline call to {callee}")
+    caller_block = call.parent
+    caller = caller_block.parent
+    function: Function = callee
+
+    # Split the caller block at the call site.
+    split_index = caller_block.index_of(call)
+    continuation = BasicBlock(f"{caller_block.name}.cont", caller)
+    caller.add_block(continuation, after=caller_block)
+    for inst in list(caller_block.instructions[split_index + 1:]):
+        caller_block.remove(inst)
+        continuation.append(inst)
+    # Successor phis must now name the continuation block.
+    for succ in continuation.successors:
+        for phi in succ.phis():
+            for i in range(1, len(phi.operands), 2):
+                if phi.operands[i] is caller_block:
+                    phi.set_operand(i, continuation)
+
+    # Clone callee blocks.
+    value_map: Dict[Value, Value] = {}
+    for arg, actual in zip(function.arguments, call.args):
+        value_map[arg] = actual
+    cloned_blocks: List[BasicBlock] = []
+    for block in function.blocks:
+        clone = BasicBlock(f"{function.name}.{block.name}", caller)
+        caller.add_block(clone)
+        value_map[block] = clone
+        cloned_blocks.append(clone)
+
+    return_values: List[tuple] = []  # (value, block)
+    for block in function.blocks:
+        clone: BasicBlock = value_map[block]
+        for inst in block.instructions:
+            if isinstance(inst, Ret):
+                if inst.value is not None:
+                    return_values.append((inst.value, clone))
+                else:
+                    return_values.append((None, clone))
+                clone.append(Branch(continuation))
+                continue
+            copy = inst.clone()
+            value_map[inst] = copy
+            clone.append(copy)
+    # Remap operands in cloned instructions.
+    for block in cloned_blocks:
+        for inst in block.instructions:
+            for i, op in enumerate(inst.operands):
+                if op in value_map:
+                    inst.set_operand(i, value_map[op])
+
+    # Wire the call site into the entry clone.
+    caller_block.append(Branch(value_map[function.entry]))
+
+    # Replace the call's value with the (merged) return value.
+    if not call.type.is_void and return_values:
+        live = [(value_map.get(v, v), b) for v, b in return_values
+                if v is not None]
+        if len(live) == 1:
+            call.replace_all_uses_with(live[0][0])
+        elif live:
+            phi = Phi(call.type, f"{function.name}.ret")
+            continuation.insert(0, phi)
+            for value, block in live:
+                phi.add_incoming(value, block)
+            call.replace_all_uses_with(phi)
+    call.erase()
+    # Reorder: keep continuation after the cloned body for readability.
+    caller.blocks.remove(continuation)
+    caller.blocks.append(continuation)
+    return cloned_blocks
+
+
+def inline_all_calls_to(module: Module, name: str) -> int:
+    """Inline every call to ``name`` and drop the (now unused) function."""
+    function = module.functions.get(name)
+    if function is None or function.is_declaration:
+        return 0
+    count = 0
+    for caller in list(module.defined_functions()):
+        if caller is function:
+            continue
+        for block in list(caller.blocks):
+            for inst in list(block.instructions):
+                if isinstance(inst, Call) and inst.callee is function:
+                    inline_call(inst)
+                    count += 1
+    if count and not function.is_used():
+        module.remove_function(name)
+    return count

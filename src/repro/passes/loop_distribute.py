@@ -1,0 +1,148 @@
+"""Loop distribution (fission) — for the paper's Figure 3 case study.
+
+Splits a single-block rotated counted loop into two consecutive loops,
+moving a caller-selected suffix of its body statements into the second.
+Legality is checked structurally: no SSA value may flow between the two
+halves (other than the induction variable), which covers the
+independent-statement fissions Figure 3 demonstrates.  Memory
+dependences are the caller's responsibility (the optimizer invokes this
+only on independent statement groups).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Set
+
+from ..analysis.induction import analyze_counted_loop
+from ..analysis.loops import Loop
+from ..ir.block import BasicBlock
+from ..ir.instructions import (Branch, Cast, CondBranch, DbgValue,
+                               Instruction, Phi, Store)
+from ..ir.module import Function
+from ..ir.values import Value
+
+
+class DistributeError(Exception):
+    pass
+
+
+def distribute_loop(loop: Loop,
+                    move_to_second: Callable[[Instruction], bool]) -> Loop:
+    """Fission ``loop``; ``move_to_second`` selects the store statements
+    (and their backward slices) that move to the new loop.  Returns the
+    second loop's header block wrapped in a fresh Loop-like structure is
+    not needed; callers re-run LoopInfo."""
+    if loop.header is not loop.latch:
+        raise DistributeError("only single-block loops can be distributed")
+    counted = analyze_counted_loop(loop)
+    if counted is None or not counted.compares_next:
+        raise DistributeError("loop is not counted")
+    if any(phi is not counted.phi for phi in loop.header_phis()):
+        raise DistributeError("loop carries scalar state across iterations")
+
+    block = loop.header
+    function = block.parent
+    preheader = [p for p in block.predecessors if p not in loop.blocks]
+    if len(preheader) != 1:
+        raise DistributeError("no unique preheader")
+    preheader = preheader[0]
+    exit_block = loop.unique_exit
+    if exit_block is None:
+        raise DistributeError("no unique exit")
+
+    machinery = {counted.phi, counted.step_inst, counted.compare,
+                 block.terminator}
+    for inst in block.instructions:
+        if isinstance(inst, Cast) and inst.value is counted.step_inst:
+            machinery.add(inst)
+
+    # Seed from the selected stores; close over their backward slices.
+    # Pure slice instructions are CLONED into the second loop (they may
+    # be shared with the kept half, e.g. CSE'd address computations);
+    # only the stores themselves move.
+    moved_stores: List[Store] = [
+        inst for inst in block.instructions
+        if isinstance(inst, Store) and move_to_second(inst)]
+    if not moved_stores:
+        raise DistributeError("selector matched no stores")
+    slice_set: Set[Instruction] = set()
+    worklist: List[Instruction] = list(moved_stores)
+    while worklist:
+        inst = worklist.pop()
+        if inst in slice_set or inst in machinery:
+            continue
+        slice_set.add(inst)
+        for op in inst.operands:
+            if isinstance(op, Instruction) and op.parent is block \
+                    and op not in machinery:
+                worklist.append(op)
+    moved = slice_set
+
+    # Build the second loop: preheader2 sits between the loop exit edge
+    # and the old exit block.
+    second = BasicBlock(f"{block.name}.dist", function)
+    function.add_block(second, after=block)
+
+    # Redirect the first loop's exit edge to the second loop... which
+    # starts immediately (guard is inherited: both halves share the trip
+    # space, and the first loop only exits after completing all trips).
+    term: CondBranch = block.terminator
+    for i, op in enumerate(term.operands):
+        if op is exit_block:
+            term.set_operand(i, second)
+
+    # Second loop IV.
+    iv2 = Phi(counted.phi.type, counted.phi.name)
+    iv2.debug_variable = counted.phi.debug_variable
+    second.append(iv2)
+    mapping: Dict[Value, Value] = {counted.phi: iv2}
+
+    for inst in list(block.instructions):
+        if inst in moved:
+            clone = inst.clone()
+            mapping[inst] = clone
+            for i, op in enumerate(clone.operands):
+                if op in mapping:
+                    clone.set_operand(i, mapping[op])
+            second.append(clone)
+    # The stores leave the first loop; pure slice values stay behind and
+    # die there if nothing else uses them (local cleanup below).
+    for store in moved_stores:
+        store.erase()
+    for inst in reversed([i for i in block.instructions if i in moved]):
+        if isinstance(inst, Store):
+            continue
+        users = [u for u in inst.users if not isinstance(u, DbgValue)]
+        if not users:
+            for dbg in [u for u in inst.users if isinstance(u, DbgValue)]:
+                dbg.erase()
+            inst.erase()
+    # Clone the IV machinery (increment, compare, compare-feeding casts).
+    step2 = counted.step_inst.clone()
+    step2.name = f"{step2.name}.d" if step2.name else ""
+    for i, op in enumerate(step2.operands):
+        if op in mapping:
+            step2.set_operand(i, mapping[op])
+    second.append(step2)
+    mapping[counted.step_inst] = step2
+    compare2 = counted.compare.clone()
+    compare2.name = f"{compare2.name}.d" if compare2.name else ""
+    for i, op in enumerate(list(compare2.operands)):
+        if op is counted.step_inst:
+            compare2.set_operand(i, step2)
+        elif isinstance(op, Cast) and op.value is counted.step_inst:
+            cast2 = op.clone()
+            cast2.set_operand(0, step2)
+            second.append(cast2)
+            compare2.set_operand(i, cast2)
+        elif op in mapping:
+            compare2.set_operand(i, mapping[op])
+    second.append(compare2)
+    if term.if_true in loop.blocks:
+        second.append(CondBranch(compare2, second, exit_block))
+    else:
+        second.append(CondBranch(compare2, exit_block, second))
+
+    iv2.add_incoming(counted.start, block)
+    iv2.add_incoming(step2, second)
+    return loop

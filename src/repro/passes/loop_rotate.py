@@ -1,0 +1,264 @@
+"""Loop rotation: convert top-test (for/while) loops into do-while form.
+
+This reproduces LLVM's ``-loop-rotate`` normalization, which is what
+makes decompiled loops come out as do-while + guard (paper §2.2): the
+exit test moves to the bottom of the loop, and a *guard* copy of the
+test is placed in the preheader so a loop whose condition is initially
+false is skipped entirely.
+
+Mechanically, for a loop with header H (phis + test), body entry B,
+latch L, preheader P, and exit E:
+
+* P gets copies of H's non-phi instructions with phi operands replaced
+  by their initial values, ending in ``br guard ? B : E``.
+* H keeps its instructions but they now compute with the *latch* values
+  (end-of-iteration state); H becomes the new latch and sole exiting
+  block, branching back to B or out to E.
+* B becomes the new header: it receives phis merging the initial values
+  (from P) with the recomputed values (from H).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.block import BasicBlock
+from ..ir.instructions import (Branch, CondBranch, DbgValue, Instruction, Phi)
+from ..ir.module import Function, Module
+from ..ir.values import UndefValue, Value
+
+
+class RotationError(Exception):
+    pass
+
+
+def _ensure_preheader(loop: Loop) -> Optional[BasicBlock]:
+    preheader = loop.preheader
+    if preheader is not None:
+        return preheader
+    outside = [p for p in loop.header.predecessors if p not in loop.blocks]
+    if len(outside) != 1:
+        return None
+    from ..analysis.cfg import split_edge
+    return split_edge(outside[0], loop.header)
+
+
+def can_rotate(loop: Loop) -> bool:
+    header = loop.header
+    if loop.is_rotated:
+        return False
+    term = header.terminator
+    if not isinstance(term, CondBranch):
+        return False
+    if loop.exiting_blocks != [header]:
+        return False
+    if loop.latch is None:
+        return False
+    body_entry = (term.if_true if term.if_true in loop.blocks
+                  else term.if_false)
+    exit_block = (term.if_false if body_entry is term.if_true
+                  else term.if_true)
+    if body_entry is header or exit_block in loop.blocks:
+        return False
+    if body_entry.phis():
+        return False  # body entry had >1 predecessor: unexpected shape
+    if any(p is not header for p in exit_block.predecessors):
+        return False  # keep the exit-merge logic simple
+    header_phis = [i for i in header.instructions if isinstance(i, Phi)]
+    for phi in header_phis:
+        # Inter-phi dependences (value swaps) would need cycle-aware
+        # rewiring; such loops are left unrotated.
+        if any(v in header_phis for v, _ in phi.incoming):
+            return False
+    for inst in header.instructions:
+        if isinstance(inst, (Phi, DbgValue)) or inst.is_terminator:
+            continue
+        from .dce import has_side_effects
+        if has_side_effects(inst):
+            return False
+    return True
+
+
+def rotate_loop(loop: Loop) -> bool:
+    """Rotate one loop.  Returns True on success."""
+    if not can_rotate(loop):
+        return False
+    preheader = _ensure_preheader(loop)
+    if preheader is None:
+        return False
+    header = loop.header
+    latch = loop.latch
+    term: CondBranch = header.terminator
+    body_entry = term.if_true if term.if_true in loop.blocks else term.if_false
+    exit_block = term.if_false if body_entry is term.if_true else term.if_true
+
+    header_phis = [i for i in header.instructions if isinstance(i, Phi)]
+    header_insts = [i for i in header.instructions
+                    if not isinstance(i, Phi) and not i.is_terminator]
+
+    initial: Dict[Value, Value] = {
+        phi: phi.incoming_for(preheader) for phi in header_phis}
+    latch_value: Dict[Phi, Value] = {
+        phi: phi.incoming_for(latch) for phi in header_phis}
+
+    # --- Guard: copy header instructions into the preheader, substituting
+    # initial phi values.
+    guard_map: Dict[Instruction, Instruction] = {}
+    insertion = preheader.index_of(preheader.terminator)
+    for inst in header_insts:
+        if isinstance(inst, DbgValue):
+            continue
+        copy = inst.clone()
+        if copy.name:
+            copy.name = f"{copy.name}.guard"
+        for i, op in enumerate(copy.operands):
+            replacement = initial.get(op) or guard_map.get(op)
+            if replacement is not None:
+                copy.set_operand(i, replacement)
+        preheader.insert(insertion, copy)
+        insertion += 1
+        guard_map[inst] = copy
+
+    guard_cond = guard_map.get(term.condition,
+                               initial.get(term.condition, term.condition))
+    preheader.terminator.erase()
+    if term.if_true is body_entry:
+        preheader.append(CondBranch(guard_cond, body_entry, exit_block))
+    else:
+        preheader.append(CondBranch(guard_cond, exit_block, body_entry))
+
+    # --- New header phis in the body entry.
+    new_phis: Dict[Phi, Phi] = {}
+    for phi in header_phis:
+        new_phi = Phi(phi.type, phi.name)
+        new_phi.debug_variable = phi.debug_variable
+        body_entry.insert(0, new_phi)
+        new_phis[phi] = new_phi
+
+    def resolved_latch(phi: Phi) -> Value:
+        value = latch_value[phi]
+        return new_phis[phi] if value is phi else value
+
+    # Out-of-loop scalar uses observe the loop's final value: merge the
+    # guard-skip (initial) and loop-exit (latch) values in E, once per phi.
+    exit_merge: Dict[Phi, Phi] = {}
+
+    def lcssa_merge(phi: Phi) -> Phi:
+        if phi not in exit_merge:
+            merge = Phi(phi.type, f"{phi.name}.lcssa" if phi.name else "")
+            exit_block.insert(0, merge)
+            merge.add_incoming(initial[phi], preheader)
+            merge.add_incoming(resolved_latch(phi), header)
+            exit_merge[phi] = merge
+        return exit_merge[phi]
+
+    # --- Redirect uses of the old header phis.
+    for phi in header_phis:
+        for user in list(phi.users):
+            if user is phi or user in new_phis.values():
+                continue
+            if isinstance(user, Phi) and user not in exit_merge.values():
+                for i in range(0, len(user.operands), 2):
+                    if user.operands[i] is not phi:
+                        continue
+                    pred = user.operands[i + 1]
+                    if pred is header:
+                        user.set_operand(i, resolved_latch(phi))
+                    elif pred in loop.blocks:
+                        user.set_operand(i, new_phis[phi])
+                    elif pred is preheader:
+                        user.set_operand(i, initial[phi])
+                    else:
+                        # Edge from some other out-of-loop block: the value
+                        # must have left the loop through E.
+                        user.set_operand(i, lcssa_merge(phi))
+                continue
+            if user in exit_merge.values():
+                continue
+            if user.parent is header:
+                user.replace_uses_of_with(phi, resolved_latch(phi))
+            elif user.parent in loop.blocks:
+                user.replace_uses_of_with(phi, new_phis[phi])
+            elif user.parent is preheader:
+                user.replace_uses_of_with(phi, initial[phi])
+            else:
+                user.replace_uses_of_with(phi, lcssa_merge(phi))
+
+    # --- Wire the new phis.
+    for phi in header_phis:
+        new_phi = new_phis[phi]
+        new_phi.add_incoming(initial[phi], preheader)
+        new_phi.add_incoming(resolved_latch(phi), header)
+        if new_phi.debug_variable is not None:
+            body_entry.insert(body_entry.first_non_phi_index(),
+                              DbgValue(new_phi, new_phi.debug_variable))
+
+    # --- Non-phi header instructions used elsewhere need merges too.
+    for inst in header_insts:
+        if isinstance(inst, DbgValue):
+            continue
+        inside_users = [u for u in inst.users
+                        if u.parent in loop.blocks and u.parent is not header
+                        and u not in new_phis.values()]
+        outside_users = [u for u in inst.users
+                         if u.parent not in loop.blocks
+                         and u.parent is not preheader
+                         and u is not guard_map.get(inst)
+                         and u not in guard_map.values()]
+        if inside_users:
+            merge = Phi(inst.type, f"{inst.name}.rot" if inst.name else "")
+            body_entry.insert(0, merge)
+            merge.add_incoming(guard_map[inst], preheader)
+            merge.add_incoming(inst, header)
+            for user in inside_users:
+                user.replace_uses_of_with(inst, merge)
+        for user in outside_users:
+            merge = Phi(inst.type, f"{inst.name}.lcssa" if inst.name else "")
+            exit_block.insert(0, merge)
+            merge.add_incoming(guard_map[inst], preheader)
+            merge.add_incoming(inst, header)
+            user.replace_uses_of_with(inst, merge)
+
+    # --- Drop the old header phis (every use was redirected).
+    for phi in header_phis:
+        phi.drop_operands()
+        phi.erase()
+
+    # --- Existing phis in the exit block gain the guard-false edge.
+    for phi in exit_block.phis():
+        if phi.incoming_for(preheader) is not None:
+            continue
+        value = phi.incoming_for(header)
+        from_pre = initial.get(value, None)
+        if from_pre is None:
+            from_pre = guard_map.get(value, value)
+        if isinstance(from_pre, Instruction) and from_pre.parent in loop.blocks:
+            from_pre = UndefValue(phi.type)
+        phi.add_incoming(from_pre, preheader)
+    return True
+
+
+def rotate_function(function: Function) -> int:
+    """Rotate every rotatable loop in the function; returns count."""
+    if function.is_declaration:
+        return 0
+    rotated = 0
+    progress = True
+    failed_headers = set()
+    while progress:
+        progress = False
+        info = LoopInfo(function)
+        for loop in info.all_loops():
+            if loop.header in failed_headers:
+                continue
+            if rotate_loop(loop):
+                rotated += 1
+                progress = True
+                break
+            failed_headers.add(loop.header)
+    return rotated
+
+
+def run(module: Module) -> int:
+    return sum(rotate_function(f) for f in module.defined_functions())

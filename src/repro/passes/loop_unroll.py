@@ -1,0 +1,105 @@
+"""Loop unrolling (for the paper's Figure 3 case study).
+
+Unrolls single-block rotated counted loops by a constant factor when
+the trip count is a known multiple of the factor.  SPLENDID
+deliberately does NOT de-transform unrolling (§3.5.2): the unrolled
+body stays visible in the decompiled output so a performance engineer
+can read off the unroll factor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.induction import analyze_counted_loop, constant_trip_count
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.builder import IRBuilder
+from ..ir.instructions import DbgValue, Instruction, Phi
+from ..ir.module import Function, Module
+from ..ir.values import ConstantInt, Value, const_int
+
+
+class UnrollError(Exception):
+    pass
+
+
+def can_unroll(loop: Loop, factor: int) -> bool:
+    if factor < 2:
+        return False
+    if loop.header is not loop.latch:
+        return False  # single-block loops only
+    counted = analyze_counted_loop(loop)
+    if counted is None or not counted.compares_next:
+        return False
+    if counted.step.value not in (1, -1):
+        return False
+    trips = constant_trip_count(counted)
+    if trips is None or trips % factor != 0:
+        return False
+    for phi in loop.header_phis():
+        if phi is not counted.phi:
+            return False  # no cross-iteration scalars
+    return True
+
+
+def unroll_loop(loop: Loop, factor: int) -> bool:
+    """Unroll in place.  Returns True on success."""
+    if not can_unroll(loop, factor):
+        return False
+    counted = analyze_counted_loop(loop)
+    block = loop.header
+    iv = counted.phi
+    step = counted.step.value
+    body: List[Instruction] = [
+        inst for inst in block.instructions
+        if not isinstance(inst, (Phi, DbgValue))
+        and inst is not counted.step_inst and inst is not counted.compare
+        and not inst.is_terminator
+        and not _feeds_only_compare(inst, counted)]
+
+    insert_anchor = counted.step_inst
+    builder = IRBuilder()
+    for k in range(1, factor):
+        builder.position_before(insert_anchor)
+        offset = builder.add(iv, const_int(k * step, iv.type))
+        mapping: Dict[Value, Value] = {iv: offset}
+        for inst in body:
+            clone = inst.clone()
+            if clone.name:
+                clone.name = f"{clone.name}.u{k}"
+            for i, op in enumerate(clone.operands):
+                if op in mapping:
+                    clone.set_operand(i, mapping[op])
+            builder._emit(clone)
+            mapping[inst] = clone
+
+    # The increment advances by factor*step now.
+    for i, op in enumerate(counted.step_inst.operands):
+        if isinstance(op, ConstantInt) and op.value == step:
+            counted.step_inst.set_operand(
+                i, const_int(factor * step, op.type))
+            break
+    return True
+
+
+def _feeds_only_compare(inst: Instruction, counted) -> bool:
+    from ..ir.instructions import Cast
+    if isinstance(inst, Cast) and inst.value is counted.step_inst:
+        return all(u is counted.compare for u in inst.users
+                   if not isinstance(u, DbgValue))
+    return False
+
+
+def unroll_innermost(function: Function, factor: int = 4) -> int:
+    """Unroll every eligible innermost loop; returns the count."""
+    count = 0
+    info = LoopInfo(function)
+    for loop in info.innermost_loops():
+        if unroll_loop(loop, factor):
+            count += 1
+    return count
+
+
+def run(module: Module, factor: int = 4) -> int:
+    return sum(unroll_innermost(f, factor)
+               for f in module.defined_functions())

@@ -1,0 +1,172 @@
+"""mem2reg: promote stack slots to SSA values (pruned-SSA construction).
+
+Besides the classic promotion (phi insertion at iterated dominance
+frontiers + dominator-tree renaming), this pass materializes the debug
+trail SPLENDID depends on: every promoted store and every inserted phi
+for a slot tagged with a :class:`DILocalVariable` is replaced/followed
+by an ``llvm.dbg.value`` intrinsic mapping the SSA value back to the
+source variable.  This mirrors LLVM's behavior and reproduces the
+many-values-per-variable (and conflicting-lifetime) situations of the
+paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..analysis.dominators import DominatorTree
+from ..ir.block import BasicBlock
+from ..ir.instructions import Alloca, DbgValue, Instruction, Load, Phi, Store
+from ..ir.module import Function, Module
+from ..ir.values import UndefValue, Value
+
+
+def is_promotable(alloca: Alloca) -> bool:
+    """A slot is promotable when it holds a scalar and every use is a
+    direct load or store of the slot itself."""
+    if not alloca.allocated_type.is_scalar and not alloca.allocated_type.is_pointer:
+        return False
+    for user in alloca.users:
+        if isinstance(user, Load) and user.pointer is alloca:
+            continue
+        if isinstance(user, Store) and user.pointer is alloca \
+                and user.value is not alloca:
+            continue
+        return False
+    return True
+
+
+class _AllocaPromotion:
+    def __init__(self, alloca: Alloca):
+        self.alloca = alloca
+        self.phis: Set[Phi] = set()
+        self.stack: List[Value] = []
+
+    def current(self) -> Value:
+        if self.stack:
+            return self.stack[-1]
+        return UndefValue(self.alloca.allocated_type)
+
+
+def promote_function(function: Function) -> int:
+    """Promote all promotable allocas in ``function``; returns the count."""
+    if function.is_declaration:
+        return 0
+    allocas = [inst for inst in function.instructions()
+               if isinstance(inst, Alloca) and is_promotable(inst)]
+    if not allocas:
+        return 0
+
+    domtree = DominatorTree(function)
+    frontier = domtree.dominance_frontier()
+    promotions: Dict[Alloca, _AllocaPromotion] = {}
+    phi_owner: Dict[Phi, _AllocaPromotion] = {}
+
+    # Phase 1: place phis at iterated dominance frontiers of def blocks.
+    reachable = set(domtree.reachable)
+    for alloca in allocas:
+        promo = _AllocaPromotion(alloca)
+        promotions[alloca] = promo
+        def_blocks = {user.parent for user in alloca.users
+                      if isinstance(user, Store) and user.parent in reachable}
+        worklist = list(def_blocks)
+        placed: Set[BasicBlock] = set()
+        while worklist:
+            block = worklist.pop()
+            for df_block in frontier.get(block, ()):
+                if df_block in placed:
+                    continue
+                placed.add(df_block)
+                phi = Phi(alloca.allocated_type, alloca.name or "")
+                df_block.insert(0, phi)
+                phi.debug_variable = alloca.debug_variable
+                promo.phis.add(phi)
+                phi_owner[phi] = promo
+                worklist.append(df_block)
+
+    # Phase 2: rename along the dominator tree.
+    to_erase: List[Instruction] = []
+
+    def visit(block: BasicBlock) -> None:
+        pushed: List[_AllocaPromotion] = []
+        for inst in list(block.instructions):
+            if isinstance(inst, Phi) and inst in phi_owner:
+                promo = phi_owner[inst]
+                promo.stack.append(inst)
+                pushed.append(promo)
+                _emit_dbg(block, inst, inst, after=True)
+            elif isinstance(inst, Load) and inst.pointer in promotions:
+                promo = promotions[inst.pointer]
+                inst.replace_all_uses_with(promo.current())
+                to_erase.append(inst)
+            elif isinstance(inst, Store) and inst.pointer in promotions:
+                promo = promotions[inst.pointer]
+                promo.stack.append(inst.value)
+                pushed.append(promo)
+                if promo.alloca.debug_variable is not None:
+                    dbg = DbgValue(inst.value, promo.alloca.debug_variable)
+                    block.insert_before(inst, dbg)
+                to_erase.append(inst)
+        for succ in block.successors:
+            for phi in succ.phis():
+                if phi in phi_owner:
+                    phi.add_incoming(phi_owner[phi].current(), block)
+        for child in domtree.children.get(block, ()):
+            visit(child)
+        for promo in reversed(pushed):
+            promo.stack.pop()
+
+    visit(function.entry)
+
+    for inst in to_erase:
+        inst.erase()
+    for alloca in allocas:
+        # Loads/stores in unreachable blocks still reference the slot.
+        for user in list(alloca.users):
+            if isinstance(user, Load):
+                user.replace_all_uses_with(UndefValue(user.type))
+            user.erase()
+        alloca.erase()
+
+    _prune_trivial_phis(function, set(phi_owner))
+    return len(allocas)
+
+
+def _emit_dbg(block: BasicBlock, anchor: Instruction, value: Value,
+              after: bool = False) -> None:
+    phi = anchor
+    if getattr(phi, "debug_variable", None) is None:
+        return
+    index = block.index_of(anchor)
+    if after:
+        index = block.first_non_phi_index()
+    block.insert(index, DbgValue(value, phi.debug_variable))
+
+
+def _prune_trivial_phis(function: Function, candidates: Set[Phi]) -> None:
+    """Remove phis whose incoming values are all identical (or self)."""
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for phi in list(block.phis()):
+                values = {v for v, _ in phi.incoming if v is not phi}
+                if len(values) == 1:
+                    replacement = values.pop()
+                    phi.replace_all_uses_with(replacement)
+                    # Keep the debug trail alive for the merged value.
+                    phi.erase()
+                    changed = True
+                elif len(values) == 0 and phi.incoming:
+                    from ..ir.values import UndefValue as _Undef
+                    phi.replace_all_uses_with(_Undef(phi.type))
+                    phi.erase()
+                    changed = True
+
+
+def run(module: Module) -> int:
+    """Run mem2reg on every defined function; returns promoted slots."""
+    total = 0
+    for function in module.defined_functions():
+        total += promote_function(function)
+    return total

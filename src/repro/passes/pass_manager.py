@@ -1,0 +1,49 @@
+"""A tiny pass manager with verification between passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+
+PassFn = Callable[[Module], object]
+
+
+@dataclass
+class PassRecord:
+    name: str
+    result: object
+
+
+class PassManager:
+    """Runs a sequence of module passes, optionally verifying after each.
+
+    >>> pm = PassManager(verify_each=True)
+    >>> pm.add("mem2reg", mem2reg.run)      # doctest: +SKIP
+    >>> pm.run(module)                      # doctest: +SKIP
+    """
+
+    def __init__(self, verify_each: bool = True):
+        self.verify_each = verify_each
+        self._passes: List[tuple] = []
+        self.history: List[PassRecord] = []
+
+    def add(self, name: str, fn: PassFn) -> "PassManager":
+        self._passes.append((name, fn))
+        return self
+
+    def run(self, module: Module) -> List[PassRecord]:
+        self.history = []
+        for name, fn in self._passes:
+            result = fn(module)
+            if self.verify_each:
+                try:
+                    verify_module(module)
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    raise RuntimeError(
+                        f"IR verification failed after pass '{name}': {exc}"
+                    ) from exc
+            self.history.append(PassRecord(name, result))
+        return self.history

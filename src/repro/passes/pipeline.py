@@ -1,0 +1,53 @@
+"""Canned optimization pipelines mirroring clang -O0/-O1/-O2.
+
+The -O2 pipeline is what the paper feeds Polly: mem2reg (SSA), CFG
+cleanup, constant folding, LICM, and crucially loop rotation — which is
+what turns every counted loop into the do-while + guard shape SPLENDID
+later de-transforms.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from . import const_fold, cse, dce, licm, loop_rotate, mem2reg, simplify_cfg
+from .pass_manager import PassManager
+
+
+def o1_pipeline(verify_each: bool = True) -> PassManager:
+    pm = PassManager(verify_each=verify_each)
+    pm.add("mem2reg", mem2reg.run)
+    pm.add("simplify-cfg", simplify_cfg.run)
+    pm.add("const-fold", const_fold.run)
+    pm.add("dce", dce.run)
+    return pm
+
+
+def o2_pipeline(verify_each: bool = True) -> PassManager:
+    pm = PassManager(verify_each=verify_each)
+    pm.add("mem2reg", mem2reg.run)
+    pm.add("simplify-cfg", simplify_cfg.run)
+    pm.add("const-fold", const_fold.run)
+    pm.add("cse", cse.run)
+    pm.add("dce", dce.run)
+    pm.add("licm", licm.run)
+    pm.add("const-fold-2", const_fold.run)
+    pm.add("cse-2", cse.run)
+    pm.add("dce-2", dce.run)
+    pm.add("loop-rotate", loop_rotate.run)
+    pm.add("simplify-cfg-2", simplify_cfg.run)
+    pm.add("const-fold-3", const_fold.run)
+    pm.add("cse-3", cse.run)
+    pm.add("dce-3", dce.run)
+    pm.add("simplify-cfg-3", simplify_cfg.run)
+    pm.add("dce-4", dce.run)
+    return pm
+
+
+def optimize_o1(module: Module, verify_each: bool = True) -> Module:
+    o1_pipeline(verify_each).run(module)
+    return module
+
+
+def optimize_o2(module: Module, verify_each: bool = True) -> Module:
+    o2_pipeline(verify_each).run(module)
+    return module

@@ -1,0 +1,150 @@
+"""Selective phi demotion (reg2mem for one accumulator).
+
+Used by the reduction extension: a scalar accumulator phi is demoted to
+a stack slot so the loop carries its state through memory, turning a
+scalar reduction into a *memory* reduction the parallelizer's reduction
+recognizer (:mod:`repro.analysis.reduction`) can accept and the OpenMP
+lowering can share by reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.loops import Loop
+from ..ir.builder import IRBuilder
+from ..ir.instructions import Alloca, DbgValue, Instruction, Phi
+from ..ir.values import Value
+
+
+class DemoteError(Exception):
+    pass
+
+
+def demote_loop_phi(loop: Loop, phi: Phi) -> Alloca:
+    """Demote a loop-header phi to a stack slot.
+
+    The slot is allocated in the function's entry block, initialized in
+    the preheader with the phi's initial value, reloaded at the top of
+    each iteration, stored at the latch, and reloaded after the loop for
+    any outside users.  Returns the slot.
+    """
+    function = loop.header.parent
+    header = loop.header
+    latch = loop.latch
+    if latch is None:
+        raise DemoteError("loop has no unique latch")
+    outside = [p for p in header.predecessors if p not in loop.blocks]
+    if len(outside) != 1:
+        raise DemoteError("loop has no unique preheader")
+    preheader = outside[0]
+    initial = phi.incoming_for(preheader)
+    latch_value = phi.incoming_for(latch)
+    if initial is None or latch_value is None:
+        raise DemoteError("phi is not a simple two-edge loop phi")
+
+    builder = IRBuilder()
+    entry = function.entry
+    slot = Alloca(phi.type, f"{phi.name}.red" if phi.name else "red")
+    slot.debug_variable = phi.debug_variable
+    entry.insert(0, slot)
+
+    # Initialize before entering the loop.
+    builder.position_before(preheader.terminator)
+    builder.store(initial, slot)
+
+    # Reload at the top of each iteration.
+    builder.position_before(
+        header.instructions[header.first_non_phi_index()])
+    current = builder.load(slot, phi.name or "red")
+
+    # Store the updated value at the end of the iteration.
+    builder.position_before(latch.terminator)
+    builder.store(latch_value, slot)
+
+    # Outside users read the final value from the slot.
+    exit_loads = {}
+    for user in list(phi.users):
+        if user is current:
+            continue
+        if isinstance(user, DbgValue):
+            user.replace_uses_of_with(phi, current)
+            continue
+        if isinstance(user, Instruction) and user.parent in loop.blocks:
+            user.replace_uses_of_with(phi, current)
+        elif isinstance(user, Instruction):
+            block = user.parent
+            if block not in exit_loads:
+                builder.position_before(
+                    block.instructions[block.first_non_phi_index()]
+                    if not isinstance(user, Phi) else block.instructions[0])
+                if isinstance(user, Phi):
+                    # Load at the end of each incoming edge instead.
+                    for i in range(1, len(user.operands), 2):
+                        if user.operands[i - 1] is phi:
+                            pred = user.operands[i]
+                            builder.position_before(pred.terminator)
+                            load = builder.load(slot, "red.out")
+                            user.set_operand(i - 1, load)
+                    continue
+                exit_loads[block] = builder.load(slot, "red.out")
+            user.replace_uses_of_with(phi, exit_loads[block])
+
+    phi.erase()
+
+    # The update value may also escape directly (rotation's LCSSA phis
+    # reference it).  Out-of-loop observers read the slot instead: it
+    # holds the latch value on loop exits and the initial value on
+    # guard-skip paths.
+    for user in list(latch_value.users):
+        if isinstance(user, DbgValue):
+            continue
+        if isinstance(user, Instruction) and user.parent is not None \
+                and user.parent not in loop.blocks:
+            if isinstance(user, Phi):
+                for i in range(1, len(user.operands), 2):
+                    if user.operands[i - 1] is latch_value:
+                        pred = user.operands[i]
+                        builder.position_before(pred.terminator)
+                        load = builder.load(slot, "red.out")
+                        user.set_operand(i - 1, load)
+            else:
+                block = user.parent
+                builder.position_before(
+                    block.instructions[block.first_non_phi_index()])
+                load = builder.load(slot, "red.out")
+                user.replace_uses_of_with(latch_value, load)
+    return slot
+
+
+def find_accumulator_phi(loop: Loop, iv_phi: Phi) -> Optional[Phi]:
+    """The single non-IV header phi whose recurrence is a reassociable
+    binop on itself — the scalar-reduction shape."""
+    from ..analysis.reduction import REASSOCIABLE_OPS
+    from ..ir.instructions import BinaryOp
+
+    candidates = [p for p in loop.header_phis() if p is not iv_phi]
+    if len(candidates) != 1:
+        return None
+    phi = candidates[0]
+    latch = loop.latch
+    if latch is None:
+        return None
+    update = phi.incoming_for(latch)
+    if not isinstance(update, BinaryOp) \
+            or update.opcode not in REASSOCIABLE_OPS:
+        return None
+    from ..analysis.reduction import _chain_leaves, _collect_chain
+    chain = _collect_chain(loop, update, update.opcode)
+    if chain is None:
+        return None
+    leaves = _chain_leaves(chain)
+    if leaves.count(phi) != 1:
+        return None
+    chain_set = set(chain)
+    for user in phi.users:
+        if isinstance(user, DbgValue) or user in chain_set or user is phi:
+            continue
+        if isinstance(user, Instruction) and user.parent in loop.blocks:
+            return None  # accumulator read mid-iteration: not a reduction
+    return phi

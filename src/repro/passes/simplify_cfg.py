@@ -1,0 +1,141 @@
+"""CFG simplification: fold constant branches, merge straight-line chains,
+remove empty forwarding blocks and unreachable code."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.cfg import remove_unreachable_blocks
+from ..ir.block import BasicBlock
+from ..ir.instructions import Branch, CondBranch, Instruction, Phi
+from ..ir.module import Function, Module
+from ..ir.values import ConstantInt
+
+
+def _fold_constant_branches(function: Function) -> bool:
+    changed = False
+    for block in function.blocks:
+        term = block.terminator
+        if isinstance(term, CondBranch) and isinstance(term.condition, ConstantInt):
+            taken = term.if_true if term.condition.value else term.if_false
+            dead = term.if_false if term.condition.value else term.if_true
+            if dead is not taken:
+                for phi in dead.phis():
+                    if any(p is block for _, p in phi.incoming):
+                        phi.remove_incoming(block)
+            term.erase()
+            block.append(Branch(taken))
+            changed = True
+        elif isinstance(term, CondBranch) and term.if_true is term.if_false:
+            target = term.if_true
+            term.erase()
+            block.append(Branch(target))
+            changed = True
+    return changed
+
+
+def _merge_blocks(function: Function) -> bool:
+    """Merge B into A when A's only successor is B and B's only
+    predecessor is A."""
+    changed = False
+    for block in list(function.blocks):
+        term = block.terminator
+        if not isinstance(term, Branch) or isinstance(term, CondBranch):
+            continue
+        succ = term.target
+        if succ is block or succ is function.entry:
+            continue
+        if succ.predecessors != [block]:
+            continue
+        if succ.phis():
+            for phi in list(succ.phis()):
+                value = phi.incoming_for(block)
+                phi.replace_all_uses_with(value)
+                phi.erase()
+        term.erase()
+        for inst in list(succ.instructions):
+            succ.remove(inst)
+            block.append(inst)
+        # Successor phi edges now come from `block`.
+        for next_block in block.successors:
+            for phi in next_block.phis():
+                for i in range(1, len(phi.operands), 2):
+                    if phi.operands[i] is succ:
+                        phi.set_operand(i, block)
+        succ.replace_all_uses_with(block)
+        function.remove_block(succ)
+        changed = True
+    return changed
+
+
+def _remove_forwarding_blocks(function: Function) -> bool:
+    """Remove blocks containing only `br label X` when safe."""
+    changed = False
+    for block in list(function.blocks):
+        if block is function.entry or len(block.instructions) != 1:
+            continue
+        term = block.terminator
+        if not isinstance(term, Branch) or isinstance(term, CondBranch):
+            continue
+        target = term.target
+        if target is block:
+            continue
+        preds = block.predecessors
+        # Unsafe when the target has phis and a predecessor already
+        # branches to the target (would need distinct incoming values).
+        if target.phis():
+            target_preds = set(target.predecessors)
+            if any(p in target_preds for p in preds):
+                continue
+            for phi in target.phis():
+                value = phi.incoming_for(block)
+                phi.remove_incoming(block)
+                for pred in preds:
+                    phi.add_incoming(value, pred)
+        for pred in preds:
+            pred_term = pred.terminator
+            for i, op in enumerate(pred_term.operands):
+                if op is block:
+                    pred_term.set_operand(i, target)
+        term.erase()
+        function.remove_block(block)
+        changed = True
+    return changed
+
+
+def _prune_single_incoming_phis(function: Function) -> bool:
+    """Replace `phi [v, pred]` (one edge) with v directly."""
+    changed = False
+    for block in function.blocks:
+        for phi in list(block.phis()):
+            incoming = phi.incoming
+            if len(incoming) == 1:
+                value = incoming[0][0]
+                phi.replace_all_uses_with(value)
+                phi.erase()
+                changed = True
+    return changed
+
+
+def simplify_function(function: Function) -> bool:
+    if function.is_declaration:
+        return False
+    changed_any = False
+    while True:
+        changed = False
+        changed |= _fold_constant_branches(function)
+        changed |= bool(remove_unreachable_blocks(function))
+        changed |= _prune_single_incoming_phis(function)
+        changed |= _remove_forwarding_blocks(function)
+        changed |= _merge_blocks(function)
+        if not changed:
+            break
+        changed_any = True
+    return changed_any
+
+
+def run(module: Module) -> bool:
+    changed = False
+    for function in module.defined_functions():
+        changed |= simplify_function(function)
+    return changed

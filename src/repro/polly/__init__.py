@@ -1,0 +1,20 @@
+"""repro.polly — Polly-style automatic parallelizer (DOALL + OpenMP lowering)."""
+
+from .outline import OutlineError, OutlinedLoop, collect_live_ins, outline_parallel_loop
+from .parallelizer import (LoopOutcome, PollyResult, analyze_function_loops,
+                           parallelize_function, parallelize_module,
+                           try_parallelize_loop)
+from .runtime_decls import (BARRIER, FORK_CALL, RUNTIME_FUNCTIONS,
+                            STATIC_FINI, STATIC_INIT, declare_barrier,
+                            declare_fork_call, declare_static_fini,
+                            declare_static_init)
+from .versioning import build_noalias_check
+
+__all__ = [
+    "OutlineError", "OutlinedLoop", "collect_live_ins", "outline_parallel_loop",
+    "LoopOutcome", "PollyResult", "analyze_function_loops",
+    "parallelize_function", "parallelize_module", "try_parallelize_loop",
+    "BARRIER", "FORK_CALL", "RUNTIME_FUNCTIONS", "STATIC_FINI", "STATIC_INIT",
+    "declare_barrier", "declare_fork_call", "declare_static_fini",
+    "declare_static_init", "build_noalias_check",
+]

@@ -1,0 +1,266 @@
+"""Outlining of parallel loops into OpenMP microtasks.
+
+Given a rotated counted DOALL loop, this module builds the *outlined
+parallel region* exactly the way LLVM's OpenMP lowering does (and the
+way the paper's Figure 1 IR shows):
+
+``caller``::
+
+    ...preheader...
+    %lb/%ub = <original sequential bounds, i64>
+    call void @__kmpc_fork_call(@<fn>.<loop>.omp_outlined, %lb, %ub, <shareds>)
+    br label %exit
+
+``microtask``::
+
+    entry:
+      %lb.addr / %ub.addr / %stride.addr = alloca i64     ; + stores
+      call @__kmpc_for_static_init_8(tid, ntid, 34, %lb.addr, %ub.addr,
+                                     %stride.addr, step, 1)
+      %mylb = load %lb.addr ; %myub = load %ub.addr
+      %guard = icmp sle %mylb, %myub                       ; guard check
+      br %guard, label %loop, label %finish
+    loop: ...cloned rotated loop, bounds rewritten to mylb/myub...
+    finish:
+      call @__kmpc_for_static_fini(tid)
+      ret void
+
+SPLENDID's Parallel Region Detransformer later reverses every one of
+these steps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.induction import CountedLoop
+from ..analysis.loops import Loop
+from ..ir import types as ir_ty
+from ..ir.block import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.instructions import (Alloca, Branch, Call, Cast, CondBranch,
+                               DbgValue, ICmp, Instruction, Phi, Ret, Store)
+from ..ir.module import Function, Module
+from ..ir.values import (Argument, Constant, ConstantInt, GlobalVariable,
+                         Value, const_int)
+from .runtime_decls import (declare_fork_call, declare_static_fini,
+                            declare_static_init)
+
+_outline_ids = itertools.count()
+
+
+class OutlineError(Exception):
+    pass
+
+
+@dataclass
+class OutlinedLoop:
+    """Record of one parallelized loop (consumed by reports and tests)."""
+
+    caller: Function
+    microtask: Function
+    fork_call: Call
+    header_name: str
+    schedule: str = "static"
+    nowait: bool = True
+    step: int = 1
+
+
+def _is_live_in_candidate(value: Value) -> bool:
+    if isinstance(value, (Constant, GlobalVariable)):
+        return False
+    if isinstance(value, (BasicBlock, Function)):
+        return False
+    return isinstance(value, (Instruction, Argument))
+
+
+def collect_live_ins(counted: CountedLoop) -> List[Value]:
+    """Out-of-loop values the loop body reads, in deterministic order.
+
+    The IV's initial value and the loop bound are excluded when their only
+    in-loop uses are the ones the outliner rewrites (phi init / exit test).
+    """
+    loop = counted.loop
+    live: List[Value] = []
+    seen = set()
+    for block in loop.blocks_in_layout_order():
+        for inst in block.instructions:
+            if isinstance(inst, DbgValue):
+                continue
+            for i, op in enumerate(inst.operands):
+                if not _is_live_in_candidate(op):
+                    continue
+                if isinstance(op, Instruction) and op.parent in loop.blocks:
+                    continue
+                if inst is counted.phi and op is counted.start:
+                    continue
+                if inst is counted.compare and op is counted.bound:
+                    continue
+                if id(op) not in seen:
+                    seen.add(id(op))
+                    live.append(op)
+    return live
+
+
+def _inclusive_bound(builder: IRBuilder, counted: CountedLoop,
+                     bound64: Value) -> Value:
+    """Inclusive i64 upper (or lower, for negative steps) iteration bound."""
+    predicate = counted.predicate
+    if predicate == "slt":
+        return builder.sub(bound64, const_int(1), "polly.ub")
+    if predicate == "sle":
+        return bound64
+    if predicate == "sgt":
+        return builder.add(bound64, const_int(1), "polly.lb.last")
+    if predicate == "sge":
+        return bound64
+    raise OutlineError(f"unsupported continue predicate {predicate!r}")
+
+
+def _to_i64(builder: IRBuilder, value: Value) -> Value:
+    if isinstance(value, ConstantInt):
+        return const_int(value.value, ir_ty.I64)
+    if value.type == ir_ty.I64:
+        return value
+    return builder.sext(value, ir_ty.I64)
+
+
+def outline_parallel_loop(module: Module, counted: CountedLoop,
+                          insert_builder: IRBuilder) -> Tuple[Function, Call]:
+    """Create the microtask and emit the fork call via ``insert_builder``
+    (positioned where the loop used to run).  The original loop blocks are
+    NOT removed here — the caller-side rewrite owns that."""
+    loop = counted.loop
+    caller = loop.header.parent
+    if not counted.compares_next:
+        raise OutlineError("exit test does not check the incremented IV")
+    step = counted.step.value
+    if step == 0:
+        raise OutlineError("zero step")
+
+    live_ins = collect_live_ins(counted)
+
+    # --- Caller side: sequential bounds + fork call. ---
+    lb64 = _to_i64(insert_builder, counted.start)
+    if isinstance(counted.bound, ConstantInt):
+        bound64 = const_int(counted.bound.value, ir_ty.I64)
+    else:
+        bound64 = _to_i64(insert_builder, counted.bound)
+    ub64 = _inclusive_bound(insert_builder, counted, bound64)
+
+    # --- Microtask skeleton. ---
+    outline_id = next(_outline_ids)
+    name = f"{caller.name}.omp_outlined.{outline_id}"
+    param_types = [ir_ty.I32, ir_ty.I32, ir_ty.I64, ir_ty.I64]
+    param_names = ["tid", "ntid", "lb", "ub"]
+    for value in live_ins:
+        param_types.append(value.type)
+        param_names.append(getattr(value, "name", "") or "shared")
+    microtask = Function(name, ir_ty.function(ir_ty.VOID, param_types),
+                         param_names)
+    microtask.is_outlined_parallel_region = True
+    module.add_function(microtask)
+
+    tid, ntid, lb_param, ub_param = microtask.arguments[:4]
+    live_params = dict(zip(map(id, live_ins), microtask.arguments[4:]))
+
+    entry = microtask.append_block("entry")
+    finish = BasicBlock("runtime.finish", microtask)
+    builder = IRBuilder(entry)
+    lb_slot = builder.alloca(ir_ty.I64, "lb.addr")
+    ub_slot = builder.alloca(ir_ty.I64, "ub.addr")
+    stride_slot = builder.alloca(ir_ty.I64, "stride.addr")
+    builder.store(lb_param, lb_slot)
+    builder.store(ub_param, ub_slot)
+    builder.store(const_int(step, ir_ty.I64), stride_slot)
+    init_fn = declare_static_init(module)
+    builder.call(init_fn, [tid, ntid, const_int(34, ir_ty.I32),
+                           lb_slot, ub_slot, stride_slot,
+                           const_int(step, ir_ty.I64),
+                           const_int(1, ir_ty.I64)])
+    my_lb = builder.load(lb_slot, "mylb")
+    my_ub = builder.load(ub_slot, "myub")
+    guard_pred = "sle" if step > 0 else "sge"
+    guard = builder.icmp(guard_pred, my_lb, my_ub, "chunk.nonempty")
+
+    # --- Clone the loop blocks into the microtask. ---
+    value_map: Dict[int, Value] = {id(v): p for v, p in
+                                   zip(live_ins, microtask.arguments[4:])}
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    loop_blocks = loop.blocks_in_layout_order()
+    for block in loop_blocks:
+        clone = BasicBlock(block.name, microtask)
+        microtask.add_block(clone)
+        block_map[block] = clone
+        value_map[id(block)] = clone
+    microtask.add_block(finish)
+
+    cloned_of: Dict[int, Instruction] = {}
+    for block in loop_blocks:
+        clone_block = block_map[block]
+        for inst in block.instructions:
+            if isinstance(inst, DbgValue):
+                # Keep only debug intrinsics whose value lives in the loop
+                # or is a live-in; others have no counterpart here.
+                op = inst.value
+                keep = (isinstance(op, Instruction) and op.parent in loop.blocks) \
+                    or id(op) in value_map or isinstance(op, Constant)
+                if not keep:
+                    continue
+            copy = inst.clone()
+            cloned_of[id(inst)] = copy
+            value_map[id(inst)] = copy
+            clone_block.append(copy)
+    for block in loop_blocks:
+        for inst in block_map[block].instructions:
+            for i, op in enumerate(inst.operands):
+                mapped = value_map.get(id(op))
+                if mapped is not None:
+                    inst.set_operand(i, mapped)
+
+    # --- Rewrite the IV initial value (thread-local lower bound). ---
+    iv_clone: Phi = cloned_of[id(counted.phi)]
+    init_value: Value = my_lb
+    if counted.phi.type != ir_ty.I64:
+        init_value = builder.trunc(my_lb, counted.phi.type, "mylb.trunc")
+    for i in range(1, len(iv_clone.operands), 2):
+        if iv_clone.operands[i] not in block_map.values():
+            # This is the edge that used to come from the preheader.
+            iv_clone.set_operand(i - 1, init_value)
+            iv_clone.set_operand(i, entry)
+
+    builder.cond_br(guard, block_map[loop.header], finish)
+
+    # --- Rewrite the exit test against the thread-local upper bound. ---
+    old_cmp: ICmp = cloned_of[id(counted.compare)]
+    latch_clone = block_map[counted.exiting_block]
+    tested_clone = cloned_of.get(id(counted.step_inst), None)
+    if tested_clone is None:
+        raise OutlineError("incremented IV missing from clone")
+    cmp_builder = IRBuilder()
+    cmp_builder.position_before(old_cmp)
+    tested64 = tested_clone
+    if tested_clone.type != ir_ty.I64:
+        tested64 = cmp_builder.sext(tested_clone, ir_ty.I64)
+    continue_pred = "sle" if step > 0 else "sge"
+    new_cmp = cmp_builder.icmp(continue_pred, tested64, my_ub, "omp.cont")
+    old_term = latch_clone.terminator
+    old_term.erase()
+    latch_clone.append(CondBranch(new_cmp, block_map[loop.header], finish))
+    if not old_cmp.is_used():
+        old_cmp.erase()
+
+    # --- Finish block. ---
+    fini_builder = IRBuilder(finish)
+    fini_fn = declare_static_fini(module)
+    fini_builder.call(fini_fn, [tid])
+    fini_builder.ret()
+    microtask.assign_names()
+
+    # --- Fork call in the caller. ---
+    fork_fn = declare_fork_call(module, microtask, len(live_ins))
+    fork_call = insert_builder.call(
+        fork_fn, [microtask, lb64, ub64, *live_ins])
+    return microtask, fork_call

@@ -1,0 +1,335 @@
+"""The Polly-style auto-parallelizer driver.
+
+Walks each function's loop forest outermost-first, checks DOALL
+legality with the affine dependence analysis, and lowers parallel loops
+to the simulated OpenMP runtime protocol (fork + static worksharing).
+Loops whose only obstruction is possible pointer aliasing are versioned
+with a runtime check (Figure 2).  The result object records, per loop,
+whether and why (not) it was parallelized — the raw data behind the
+paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..analysis.dependence import ParallelismReport, analyze_loop_parallelism
+from ..analysis.induction import CountedLoop, analyze_counted_loop
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.block import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.instructions import Branch, CondBranch, DbgValue, Instruction
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_module
+from ..passes import const_fold, dce, simplify_cfg
+from .outline import OutlineError, outline_parallel_loop
+from .versioning import build_noalias_check
+
+
+@dataclass
+class LoopOutcome:
+    function: str
+    header: str
+    depth: int
+    parallelized: bool
+    conditional: bool = False           # guarded by a runtime alias check
+    microtask: Optional[str] = None
+    reasons: List[str] = field(default_factory=list)
+    reductions: int = 0                 # reassociable chains tolerated
+
+
+@dataclass
+class PollyResult:
+    outcomes: List[LoopOutcome] = field(default_factory=list)
+
+    @property
+    def parallel_loops(self) -> List[LoopOutcome]:
+        return [o for o in self.outcomes if o.parallelized]
+
+    def outcome_for(self, header: str) -> Optional[LoopOutcome]:
+        for outcome in self.outcomes:
+            if outcome.header == header:
+                return outcome
+        return None
+
+
+class _RejectLoop(Exception):
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+#: Minimum estimated compute cycles per iteration for parallelization to
+#: be considered profitable.  Like production Polly, tiny-body loops
+#: (copy loops, vector adds) are left sequential: fork/barrier overhead
+#: would dominate.  These are exactly the loops a *programmer* may still
+#: choose to parallelize with machine knowledge — the Figure 9 gap.
+MIN_PROFITABLE_COST = 10.0
+
+
+def estimated_iteration_cost(loop: Loop) -> float:
+    """Rough compute cycles per iteration of the loop body."""
+    from ..runtime.machine import COMPUTE_COST, DEFAULT_COST, MATH_CALL_COST
+    from ..ir.instructions import Call, DbgValue
+    total = 0.0
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, DbgValue):
+                continue
+            if isinstance(inst, Call) and inst.callee_name in MATH_CALL_COST:
+                total += MATH_CALL_COST[inst.callee_name]
+                continue
+            total += COMPUTE_COST.get(inst.opcode, DEFAULT_COST)
+            if inst.opcode in ("load", "store"):
+                total += 2.0  # partial memory-latency credit
+    return total
+
+
+def _structural_check(loop: Loop, counted: Optional[CountedLoop],
+                      min_profitable_cost: float = MIN_PROFITABLE_COST
+                      ) -> CountedLoop:
+    if counted is None:
+        raise _RejectLoop("not a counted loop")
+    if not loop.subloops:
+        cost = estimated_iteration_cost(loop)
+        if cost < min_profitable_cost:
+            raise _RejectLoop(
+                f"unprofitable: ~{cost:.1f} cycles/iteration below the "
+                f"{min_profitable_cost:.0f}-cycle threshold")
+    if not loop.is_rotated:
+        raise _RejectLoop("loop is not in rotated (do-while) form")
+    if not counted.compares_next:
+        raise _RejectLoop("exit test does not check the incremented IV")
+    if counted.predicate not in ("slt", "sle", "sgt", "sge"):
+        raise _RejectLoop(f"unsupported predicate {counted.predicate}")
+    exit_block = loop.unique_exit
+    if exit_block is None:
+        raise _RejectLoop("loop has multiple exit blocks")
+    if exit_block.phis():
+        raise _RejectLoop("exit block carries phis (loop values live-out)")
+    for block in loop.blocks:
+        for inst in block.instructions:
+            for user in inst.users:
+                if isinstance(user, DbgValue):
+                    continue
+                if user.parent is not None and user.parent not in loop.blocks:
+                    raise _RejectLoop(
+                        f"value %{inst.name or '?'} is used outside the loop")
+    preheader = [p for p in loop.header.predecessors if p not in loop.blocks]
+    if len(preheader) != 1:
+        raise _RejectLoop("no unique preheader")
+    return counted
+
+
+def _caller_exit(loop: Loop) -> BasicBlock:
+    return loop.unique_exit
+
+
+def _erase_loop_blocks(loop: Loop) -> None:
+    function = loop.header.parent
+    # Debug intrinsics elsewhere may observe loop values; like LLVM, drop
+    # the intrinsics rather than let them block (or dangle after) the
+    # transform.
+    for block in loop.blocks:
+        for inst in block.instructions:
+            for user in list(inst.users):
+                if isinstance(user, DbgValue) \
+                        and user.parent not in loop.blocks:
+                    user.erase()
+    for block in loop.blocks:
+        for inst in list(block.instructions):
+            inst.drop_operands()
+    for block in loop.blocks:
+        for inst in list(block.instructions):
+            block.remove(inst)
+        function.remove_block(block)
+
+
+def _parallelize_unconditional(module: Module, loop: Loop,
+                               counted: CountedLoop) -> str:
+    preheader = [p for p in loop.header.predecessors
+                 if p not in loop.blocks][0]
+    exit_block = _caller_exit(loop)
+    builder = IRBuilder()
+    builder.position_before(preheader.terminator)
+    microtask, fork = outline_parallel_loop(module, counted, builder)
+    preheader.terminator.erase()
+    preheader.append(Branch(exit_block))
+    _erase_loop_blocks(loop)
+    return microtask.name
+
+
+def _parallelize_versioned(module: Module, loop: Loop, counted: CountedLoop,
+                           report: ParallelismReport) -> str:
+    function = loop.header.parent
+    preheader = [p for p in loop.header.predecessors
+                 if p not in loop.blocks][0]
+    exit_block = _caller_exit(loop)
+
+    par_block = BasicBlock("polly.par", function)
+    seq_block = BasicBlock("polly.seq", function)
+    function.add_block(par_block, after=preheader)
+    function.add_block(seq_block, after=par_block)
+
+    # Parallel version: bounds + fork + jump to the exit.
+    par_builder = IRBuilder(par_block)
+    microtask, fork = outline_parallel_loop(module, counted, par_builder)
+    par_block.append(Branch(exit_block))
+
+    # The ub64 computed by the outliner sits in par_block, but the alias
+    # check needs a bound too — recompute it in the preheader.
+    check_builder = IRBuilder()
+    check_builder.position_before(preheader.terminator)
+    from .outline import _inclusive_bound, _to_i64
+    from ..ir.values import ConstantInt, const_int
+    from ..ir import types as ir_ty
+    if isinstance(counted.bound, ConstantInt):
+        bound64 = const_int(counted.bound.value, ir_ty.I64)
+    else:
+        bound64 = _to_i64(check_builder, counted.bound)
+    ub64 = _inclusive_bound(check_builder, counted, bound64)
+    noalias = build_noalias_check(check_builder, report, counted, ub64)
+
+    # Sequential fallback: the original guard + loop, moved behind the check.
+    old_term = preheader.terminator
+    preheader.remove(old_term)
+    seq_block.append(old_term)
+    preheader.append(CondBranch(noalias, par_block, seq_block))
+    for phi in loop.header.phis():
+        for i in range(1, len(phi.operands), 2):
+            if phi.operands[i] is preheader:
+                phi.set_operand(i, seq_block)
+    return microtask.name
+
+
+def try_parallelize_loop(module: Module, loop: Loop,
+                         min_profitable_cost: float = MIN_PROFITABLE_COST,
+                         enable_reductions: bool = False) -> LoopOutcome:
+    function = loop.header.parent
+    outcome = LoopOutcome(function.name, loop.header.name, loop.depth,
+                          parallelized=False)
+    if enable_reductions:
+        _demote_scalar_reduction(loop)
+    try:
+        counted = _structural_check(loop, analyze_counted_loop(loop),
+                                    min_profitable_cost)
+    except _RejectLoop as reject:
+        outcome.reasons.append(reject.reason)
+        return outcome
+    report = analyze_loop_parallelism(counted,
+                                      allow_reductions=enable_reductions)
+    outcome.reductions = len(report.reductions)
+    if not report.is_parallel:
+        outcome.reasons.extend(report.reject_reasons)
+        return outcome
+    try:
+        if report.needs_alias_checks:
+            microtask = _parallelize_versioned(module, loop, counted, report)
+            outcome.conditional = True
+        else:
+            microtask = _parallelize_unconditional(module, loop, counted)
+    except OutlineError as error:
+        outcome.reasons.append(str(error))
+        return outcome
+    outcome.parallelized = True
+    outcome.microtask = microtask
+    return outcome
+
+
+def analyze_function_loops(function: Function,
+                           min_profitable_cost: float = MIN_PROFITABLE_COST
+                           ) -> List[LoopOutcome]:
+    """Analysis-only view: legality of every loop, without transforming."""
+    outcomes = []
+    info = LoopInfo(function)
+    for loop in info.all_loops():
+        outcome = LoopOutcome(function.name, loop.header.name, loop.depth,
+                              parallelized=False)
+        try:
+            counted = _structural_check(loop, analyze_counted_loop(loop),
+                                        min_profitable_cost)
+            report = analyze_loop_parallelism(counted)
+            if report.is_parallel:
+                outcome.parallelized = True
+                outcome.conditional = bool(report.needs_alias_checks)
+            else:
+                outcome.reasons.extend(report.reject_reasons)
+        except _RejectLoop as reject:
+            outcome.reasons.append(reject.reason)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def _demote_scalar_reduction(loop: Loop) -> None:
+    """Turn a single scalar accumulator phi into a memory reduction so
+    the reduction-aware legality test can accept the loop (§7
+    extension)."""
+    from ..passes.reg2mem import DemoteError, demote_loop_phi, \
+        find_accumulator_phi
+    counted = analyze_counted_loop(loop)
+    if counted is None:
+        return
+    accumulator = find_accumulator_phi(loop, counted.phi)
+    if accumulator is None:
+        return
+    try:
+        demote_loop_phi(loop, accumulator)
+    except DemoteError:
+        pass
+
+
+def parallelize_function(module: Module, function: Function,
+                         result: PollyResult,
+                         min_profitable_cost: float = MIN_PROFITABLE_COST,
+                         enable_reductions: bool = False) -> None:
+    attempted = set()
+    while True:
+        info = LoopInfo(function)
+        candidate = _next_candidate(info.top_level, attempted)
+        if candidate is None:
+            return
+        attempted.add(candidate.header)
+        outcome = try_parallelize_loop(module, candidate,
+                                       min_profitable_cost,
+                                       enable_reductions)
+        result.outcomes.append(outcome)
+
+
+def _next_candidate(loops: List[Loop], attempted) -> Optional[Loop]:
+    """Outermost-first: descend into a loop's children only when the loop
+    itself was already attempted and not transformed."""
+    for loop in loops:
+        if loop.header not in attempted:
+            return loop
+        child = _next_candidate(loop.subloops, attempted)
+        if child is not None:
+            return child
+    return None
+
+
+def parallelize_module(module: Module, verify: bool = True,
+                       only_functions: Optional[List[str]] = None,
+                       min_profitable_cost: float = MIN_PROFITABLE_COST,
+                       enable_reductions: bool = False) -> PollyResult:
+    """Run the parallelizer on every (or selected) defined function.
+
+    ``enable_reductions`` turns on the §7 extension: scalar accumulator
+    phis are demoted to shared slots and reassociable reduction chains
+    are tolerated by the legality test (and later decompiled by SPLENDID
+    as ``reduction(...)`` clauses).
+    """
+    result = PollyResult()
+    for function in list(module.defined_functions()):
+        if function.is_outlined_parallel_region:
+            continue
+        if only_functions is not None and function.name not in only_functions:
+            continue
+        parallelize_function(module, function, result, min_profitable_cost,
+                             enable_reductions)
+    const_fold.run(module)
+    simplify_cfg.run(module)
+    dce.run(module)
+    if verify:
+        verify_module(module)
+    return result

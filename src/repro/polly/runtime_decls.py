@@ -1,0 +1,39 @@
+"""Declarations of the (simulated) LLVM/OpenMP runtime entry points."""
+
+from __future__ import annotations
+
+from ..ir import types as ir_ty
+from ..ir.module import Function, Module
+
+FORK_CALL = "__kmpc_fork_call"
+STATIC_INIT = "__kmpc_for_static_init_8"
+STATIC_FINI = "__kmpc_for_static_fini"
+BARRIER = "__kmpc_barrier"
+
+RUNTIME_FUNCTIONS = (FORK_CALL, STATIC_INIT, STATIC_FINI, BARRIER)
+
+
+def declare_fork_call(module: Module, microtask: Function,
+                      num_shared: int) -> Function:
+    # Variadic: the first argument is the outlined microtask, the rest are
+    # the sequential loop bounds and the shared values.
+    ftype = ir_ty.function(ir_ty.VOID, [], is_vararg=True)
+    return module.get_or_declare(FORK_CALL, ftype)
+
+
+def declare_static_init(module: Module) -> Function:
+    ftype = ir_ty.function(ir_ty.VOID, [
+        ir_ty.I32, ir_ty.I32, ir_ty.I32,
+        ir_ty.pointer(ir_ty.I64), ir_ty.pointer(ir_ty.I64),
+        ir_ty.pointer(ir_ty.I64), ir_ty.I64, ir_ty.I64])
+    return module.get_or_declare(STATIC_INIT, ftype)
+
+
+def declare_static_fini(module: Module) -> Function:
+    ftype = ir_ty.function(ir_ty.VOID, [ir_ty.I32])
+    return module.get_or_declare(STATIC_FINI, ftype)
+
+
+def declare_barrier(module: Module) -> Function:
+    ftype = ir_ty.function(ir_ty.VOID, [ir_ty.I32])
+    return module.get_or_declare(BARRIER, ftype)

@@ -1,0 +1,7 @@
+"""repro.polybench — the 16-benchmark PolyBench subset of the paper."""
+
+from .suite import (Benchmark, all_benchmarks, collab_benchmarks, get,
+                    names, register)
+
+__all__ = ["Benchmark", "all_benchmarks", "collab_benchmarks", "get",
+           "names", "register"]

@@ -1,0 +1,1104 @@
+"""PolyBench linear-algebra kernels (sequential + OpenMP reference).
+
+Sources follow PolyBench/C 3.2 kernel structure; array sizes come in
+through ``#define``-style macros supplied per benchmark (miniaturized
+datasets — see DESIGN.md).  Reference versions place pragmas on exactly
+the loops the Polly-style parallelizer handles, per §5.1.2.
+"""
+
+from __future__ import annotations
+
+from .suite import Benchmark, register
+
+# ---------------------------------------------------------------------------
+# gemm: C = alpha*A*B + beta*C
+# ---------------------------------------------------------------------------
+
+_GEMM_DECLS = """
+double A[NI][NK];
+double B[NK][NJ];
+double C[NI][NJ];
+
+void init() {
+  int i, j;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NK; j++)
+      A[i][j] = (double)(i * j % 7) / 7.0;
+  for (i = 0; i < NK; i++)
+    for (j = 0; j < NJ; j++)
+      B[i][j] = (double)(i * j % 5) / 5.0;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++)
+      C[i][j] = (double)(i * j % 3) / 3.0;
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++)
+      s = s + C[i][j] * (double)(i % 4 + 1);
+  print_double(s);
+  return 0;
+}
+"""
+
+_GEMM_KERNEL_SEQ = """
+void kernel() {
+  int i, j, k;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++) {
+      C[i][j] = C[i][j] * 1.2;
+      for (k = 0; k < NK; k++)
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+    }
+  }
+}
+"""
+
+_GEMM_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NI; i++) {
+      for (int j = 0; j < NJ; j++) {
+        C[i][j] = C[i][j] * 1.2;
+        for (int k = 0; k < NK; k++)
+          C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+"""
+
+register(Benchmark(
+    name="gemm",
+    sequential_source=_GEMM_KERNEL_SEQ + _GEMM_DECLS,
+    reference_source=_GEMM_KERNEL_REF + _GEMM_DECLS,
+    defines={"NI": "20", "NJ": "20", "NK": "20"},
+    programmer_parallelized=1,
+))
+
+# ---------------------------------------------------------------------------
+# 2mm: tmp = alpha*A*B ; D = tmp*C + beta*D
+# ---------------------------------------------------------------------------
+
+_2MM_DECLS = """
+double A[NI][NK];
+double B[NK][NJ];
+double C[NJ][NL];
+double D[NI][NL];
+double tmp[NI][NJ];
+
+void init() {
+  int i, j;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NK; j++)
+      A[i][j] = (double)(i * j % 9) / 9.0;
+  for (i = 0; i < NK; i++)
+    for (j = 0; j < NJ; j++)
+      B[i][j] = (double)(i * (j + 1) % 7) / 7.0;
+  for (i = 0; i < NJ; i++)
+    for (j = 0; j < NL; j++)
+      C[i][j] = (double)((i + 3) * j % 11) / 11.0;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++)
+      D[i][j] = (double)(i * (j + 2) % 13) / 13.0;
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++)
+      s = s + D[i][j] * (double)(j % 5 + 1);
+  print_double(s);
+  return 0;
+}
+"""
+
+_2MM_KERNEL_SEQ = """
+void kernel() {
+  int i, j, k;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < NK; k++)
+        tmp[i][j] = tmp[i][j] + 1.5 * A[i][k] * B[k][j];
+    }
+  }
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NL; j++) {
+      D[i][j] = D[i][j] * 1.2;
+      for (k = 0; k < NJ; k++)
+        D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+    }
+  }
+}
+"""
+
+_2MM_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NI; i++) {
+      for (int j = 0; j < NJ; j++) {
+        tmp[i][j] = 0.0;
+        for (int k = 0; k < NK; k++)
+          tmp[i][j] = tmp[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NI; i++) {
+      for (int j = 0; j < NL; j++) {
+        D[i][j] = D[i][j] * 1.2;
+        for (int k = 0; k < NJ; k++)
+          D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+      }
+    }
+  }
+}
+"""
+
+register(Benchmark(
+    name="2mm",
+    sequential_source=_2MM_KERNEL_SEQ + _2MM_DECLS,
+    reference_source=_2MM_KERNEL_REF + _2MM_DECLS,
+    defines={"NI": "16", "NJ": "16", "NK": "16", "NL": "16"},
+    programmer_parallelized=2,
+))
+
+# ---------------------------------------------------------------------------
+# 3mm: E = A*B ; F = C*D ; G = E*F
+# ---------------------------------------------------------------------------
+
+_3MM_DECLS = """
+double A[NI][NK];
+double B[NK][NJ];
+double C[NJ][NM];
+double D[NM][NL];
+double E[NI][NJ];
+double F[NJ][NL];
+double G[NI][NL];
+
+void init() {
+  int i, j;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NK; j++)
+      A[i][j] = (double)(i * j % 5) / 5.0;
+  for (i = 0; i < NK; i++)
+    for (j = 0; j < NJ; j++)
+      B[i][j] = (double)(i * (j + 1) % 7) / 7.0;
+  for (i = 0; i < NJ; i++)
+    for (j = 0; j < NM; j++)
+      C[i][j] = (double)((i + 1) * j % 9) / 9.0;
+  for (i = 0; i < NM; i++)
+    for (j = 0; j < NL; j++)
+      D[i][j] = (double)(i * (j + 3) % 11) / 11.0;
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++)
+      s = s + G[i][j] * (double)(i % 3 + 1);
+  print_double(s);
+  return 0;
+}
+"""
+
+_3MM_KERNEL_SEQ = """
+void kernel() {
+  int i, j, k;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      E[i][j] = 0.0;
+      for (k = 0; k < NK; k++)
+        E[i][j] = E[i][j] + A[i][k] * B[k][j];
+    }
+  for (i = 0; i < NJ; i++)
+    for (j = 0; j < NL; j++) {
+      F[i][j] = 0.0;
+      for (k = 0; k < NM; k++)
+        F[i][j] = F[i][j] + C[i][k] * D[k][j];
+    }
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++) {
+      G[i][j] = 0.0;
+      for (k = 0; k < NJ; k++)
+        G[i][j] = G[i][j] + E[i][k] * F[k][j];
+    }
+}
+"""
+
+_3MM_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NI; i++)
+      for (int j = 0; j < NJ; j++) {
+        E[i][j] = 0.0;
+        for (int k = 0; k < NK; k++)
+          E[i][j] = E[i][j] + A[i][k] * B[k][j];
+      }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NJ; i++)
+      for (int j = 0; j < NL; j++) {
+        F[i][j] = 0.0;
+        for (int k = 0; k < NM; k++)
+          F[i][j] = F[i][j] + C[i][k] * D[k][j];
+      }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NI; i++)
+      for (int j = 0; j < NL; j++) {
+        G[i][j] = 0.0;
+        for (int k = 0; k < NJ; k++)
+          G[i][j] = G[i][j] + E[i][k] * F[k][j];
+      }
+  }
+}
+"""
+
+register(Benchmark(
+    name="3mm",
+    sequential_source=_3MM_KERNEL_SEQ + _3MM_DECLS,
+    reference_source=_3MM_KERNEL_REF + _3MM_DECLS,
+    defines={"NI": "14", "NJ": "14", "NK": "14", "NL": "14", "NM": "14"},
+    programmer_parallelized=3,
+))
+
+# ---------------------------------------------------------------------------
+# atax: y = A' * (A * x)
+# ---------------------------------------------------------------------------
+
+_ATAX_DECLS = """
+double A[NX][NY];
+double x[NY];
+double y[NY];
+double tmp[NX];
+
+void init() {
+  int i, j;
+  for (i = 0; i < NY; i++) {
+    x[i] = 1.0 + (double)i / (double)NY;
+    y[i] = 0.0;
+  }
+  for (i = 0; i < NX; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < NY; j++)
+      A[i][j] = (double)(i * (j + 1) % 17) / 17.0;
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double s = 0.0;
+  for (i = 0; i < NY; i++)
+    s = s + y[i] * (double)(i % 7 + 1);
+  print_double(s);
+  return 0;
+}
+"""
+
+_ATAX_KERNEL_SEQ = """
+void kernel() {
+  int i, j;
+  for (i = 0; i < NX; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < NY; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (j = 0; j < NY; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+}
+"""
+
+# Polly can only parallelize the inner update of y (the outer loop
+# carries a scatter dependence on y; the tmp accumulation is a
+# reduction).
+_ATAX_KERNEL_REF = """
+void kernel() {
+  int i;
+  for (i = 0; i < NX; i++) {
+    tmp[i] = 0.0;
+    for (int j = 0; j < NY; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int j = 0; j < NY; j++)
+        y[j] = y[j] + A[i][j] * tmp[i];
+    }
+  }
+}
+"""
+
+# The Cavazos-lab manual version distributes the nest and parallelizes
+# the tmp computation over rows.
+_ATAX_KERNEL_MANUAL = """
+void kernel() {
+  int i, j;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NX; i++) {
+      tmp[i] = 0.0;
+      for (int j = 0; j < NY; j++)
+        tmp[i] = tmp[i] + A[i][j] * x[j];
+    }
+  }
+  for (i = 0; i < NX; i++)
+    for (j = 0; j < NY; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+}
+"""
+
+_ATAX_KERNEL_COLLAB = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NX; i++) {
+      tmp[i] = 0.0;
+      for (int j = 0; j < NY; j++)
+        tmp[i] = tmp[i] + A[i][j] * x[j];
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int j = 0; j < NY; j++)
+      for (int i = 0; i < NX; i++)
+        y[j] = y[j] + A[i][j] * tmp[i];
+  }
+}
+"""
+
+register(Benchmark(
+    name="atax",
+    sequential_source=_ATAX_KERNEL_SEQ + _ATAX_DECLS,
+    reference_source=_ATAX_KERNEL_REF + _ATAX_DECLS,
+    manual_source=_ATAX_KERNEL_MANUAL + _ATAX_DECLS,
+    collab_source=_ATAX_KERNEL_COLLAB + _ATAX_DECLS,
+    defines={"NX": "64", "NY": "64"},
+    programmer_parallelized=1,
+    is_collab_case=True,
+    collab_edit_loc=3,
+))
+
+# ---------------------------------------------------------------------------
+# bicg: s = A' * r ; q = A * p
+# ---------------------------------------------------------------------------
+
+_BICG_DECLS = """
+double A[NX][NY];
+double r[NX];
+double s[NY];
+double p[NY];
+double q[NX];
+
+void init() {
+  int i, j;
+  for (i = 0; i < NY; i++) {
+    p[i] = (double)(i % 11) / 11.0;
+    s[i] = 0.0;
+  }
+  for (i = 0; i < NX; i++) {
+    r[i] = (double)(i % 13) / 13.0;
+    q[i] = 0.0;
+    for (j = 0; j < NY; j++)
+      A[i][j] = (double)(i * (j + 2) % 19) / 19.0;
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < NY; i++)
+    acc = acc + s[i];
+  for (i = 0; i < NX; i++)
+    acc = acc + q[i] * 2.0;
+  print_double(acc);
+  return 0;
+}
+"""
+
+_BICG_KERNEL_SEQ = """
+void kernel() {
+  int i, j;
+  for (i = 0; i < NX; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < NY; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+"""
+
+# Polly finds no parallel loop in the fused nest (outer: s scatter;
+# inner: q reduction); the reference therefore carries no pragmas.
+_BICG_KERNEL_REF = _BICG_KERNEL_SEQ
+
+# Manual version (Cavazos style): distribute, parallelize the q part.
+_BICG_KERNEL_MANUAL = """
+void kernel() {
+  int i, j;
+  for (i = 0; i < NX; i++)
+    for (j = 0; j < NY; j++)
+      s[j] = s[j] + r[i] * A[i][j];
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NX; i++) {
+      q[i] = 0.0;
+      for (int j = 0; j < NY; j++)
+        q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+"""
+
+_BICG_KERNEL_COLLAB = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int j = 0; j < NY; j++)
+      for (int i = 0; i < NX; i++)
+        s[j] = s[j] + r[i] * A[i][j];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < NX; i++) {
+      q[i] = 0.0;
+      for (int j = 0; j < NY; j++)
+        q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+"""
+
+register(Benchmark(
+    name="bicg",
+    sequential_source=_BICG_KERNEL_SEQ + _BICG_DECLS,
+    reference_source=_BICG_KERNEL_REF + _BICG_DECLS,
+    manual_source=_BICG_KERNEL_MANUAL + _BICG_DECLS,
+    collab_source=_BICG_KERNEL_COLLAB + _BICG_DECLS,
+    defines={"NX": "64", "NY": "64"},
+    programmer_parallelized=1,
+    is_collab_case=True,
+    collab_edit_loc=4,
+))
+
+# ---------------------------------------------------------------------------
+# doitgen: sum[r][q][p] = sum_s A[r][q][s] * C4[s][p]
+# ---------------------------------------------------------------------------
+
+_DOITGEN_DECLS = """
+double A[NR][NQ][NP];
+double C4[NP][NP];
+double sum[NR][NQ][NP];
+
+void init() {
+  int r, q, p;
+  for (r = 0; r < NR; r++)
+    for (q = 0; q < NQ; q++)
+      for (p = 0; p < NP; p++)
+        A[r][q][p] = (double)((r * q + p) % 7) / 7.0;
+  for (r = 0; r < NP; r++)
+    for (q = 0; q < NP; q++)
+      C4[r][q] = (double)(r * q % 13) / 13.0;
+}
+
+int main() {
+  init();
+  kernel();
+  int r, q, p;
+  double acc = 0.0;
+  for (r = 0; r < NR; r++)
+    for (q = 0; q < NQ; q++)
+      for (p = 0; p < NP; p++)
+        acc = acc + A[r][q][p];
+  print_double(acc);
+  return 0;
+}
+"""
+
+_DOITGEN_KERNEL_SEQ = """
+void kernel() {
+  int r, q, p, s;
+  for (r = 0; r < NR; r++) {
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NP; p++) {
+        sum[r][q][p] = 0.0;
+        for (s = 0; s < NP; s++)
+          sum[r][q][p] = sum[r][q][p] + A[r][q][s] * C4[s][p];
+      }
+      for (p = 0; p < NP; p++)
+        A[r][q][p] = sum[r][q][p];
+    }
+  }
+}
+"""
+
+_DOITGEN_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int r = 0; r < NR; r++) {
+      for (int q = 0; q < NQ; q++) {
+        for (int p = 0; p < NP; p++) {
+          sum[r][q][p] = 0.0;
+          for (int s = 0; s < NP; s++)
+            sum[r][q][p] = sum[r][q][p] + A[r][q][s] * C4[s][p];
+        }
+        for (int p = 0; p < NP; p++)
+          A[r][q][p] = sum[r][q][p];
+      }
+    }
+  }
+}
+"""
+
+register(Benchmark(
+    name="doitgen",
+    sequential_source=_DOITGEN_KERNEL_SEQ + _DOITGEN_DECLS,
+    reference_source=_DOITGEN_KERNEL_REF + _DOITGEN_DECLS,
+    defines={"NR": "10", "NQ": "10", "NP": "10"},
+    programmer_parallelized=1,
+))
+
+# ---------------------------------------------------------------------------
+# gemver: A_hat = A + u1 v1' + u2 v2' ; x = beta A' y + z ; w = alpha A x
+# ---------------------------------------------------------------------------
+
+_GEMVER_DECLS = """
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    u1[i] = (double)i / (double)N;
+    u2[i] = (double)(i + 1) / (double)N / 2.0;
+    v1[i] = (double)(i + 4) / (double)N / 4.0;
+    v2[i] = (double)(i + 2) / (double)N / 6.0;
+    y[i] = (double)(i + 3) / (double)N / 8.0;
+    z[i] = (double)(i + 5) / (double)N / 9.0;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)(i * j % 7) / 7.0;
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < N; i++)
+    acc = acc + w[i] * (double)(i % 5 + 1);
+  print_double(acc);
+  return 0;
+}
+"""
+
+_GEMVER_KERNEL_SEQ = """
+void kernel() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x[i] = x[i] + 1.2 * A[j][i] * y[j];
+  for (i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      w[i] = w[i] + 1.5 * A[i][j] * x[j];
+}
+"""
+
+_GEMVER_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        x[i] = x[i] + 1.2 * A[j][i] * y[j];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      x[i] = x[i] + z[i];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        w[i] = w[i] + 1.5 * A[i][j] * x[j];
+  }
+}
+"""
+
+# Manual version: the programmer parallelized the rank-2 update and the
+# final matvec but left the transposed matvec and vector add alone.
+_GEMVER_KERNEL_MANUAL = """
+void kernel() {
+  int i, j;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x[i] = x[i] + 1.2 * A[j][i] * y[j];
+  for (i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        w[i] = w[i] + 1.5 * A[i][j] * x[j];
+  }
+}
+"""
+
+_GEMVER_KERNEL_COLLAB = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        x[i] = x[i] + 1.2 * A[j][i] * y[j];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      x[i] = x[i] + z[i];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        w[i] = w[i] + 1.5 * A[i][j] * x[j];
+  }
+}
+"""
+
+register(Benchmark(
+    name="gemver",
+    sequential_source=_GEMVER_KERNEL_SEQ + _GEMVER_DECLS,
+    reference_source=_GEMVER_KERNEL_REF + _GEMVER_DECLS,
+    manual_source=_GEMVER_KERNEL_MANUAL + _GEMVER_DECLS,
+    collab_source=_GEMVER_KERNEL_COLLAB + _GEMVER_DECLS,
+    defines={"N": "48"},
+    programmer_parallelized=2,
+    is_collab_case=True,
+    collab_edit_loc=2,
+))
+
+# ---------------------------------------------------------------------------
+# gesummv: y = alpha*A*x + beta*B*x
+# ---------------------------------------------------------------------------
+
+_GESUMMV_DECLS = """
+double A[N][N];
+double B[N][N];
+double tmp[N];
+double x[N];
+double y[N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x[i] = (double)(i % 9) / 9.0;
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)(i * j % 7) / 7.0;
+      B[i][j] = (double)(i * j % 11) / 11.0;
+    }
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < N; i++)
+    acc = acc + y[i] * (double)(i % 3 + 1);
+  print_double(acc);
+  return 0;
+}
+"""
+
+_GESUMMV_KERNEL_SEQ = """
+void kernel() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+  }
+}
+"""
+
+_GESUMMV_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++) {
+      tmp[i] = 0.0;
+      y[i] = 0.0;
+      for (int j = 0; j < N; j++) {
+        tmp[i] = A[i][j] * x[j] + tmp[i];
+        y[i] = B[i][j] * x[j] + y[i];
+      }
+      y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+    }
+  }
+}
+"""
+
+# Manual version: the programmer parallelized the inner products per row
+# but kept a sequential final combine (a common conservative pattern).
+_GESUMMV_KERNEL_MANUAL = """
+void kernel() {
+  int i;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++) {
+      tmp[i] = 0.0;
+      y[i] = 0.0;
+      for (int j = 0; j < N; j++)
+        tmp[i] = A[i][j] * x[j] + tmp[i];
+    }
+  }
+  for (i = 0; i < N; i++) {
+    int j;
+    for (j = 0; j < N; j++)
+      y[i] = B[i][j] * x[j] + y[i];
+    y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+  }
+}
+"""
+
+register(Benchmark(
+    name="gesummv",
+    sequential_source=_GESUMMV_KERNEL_SEQ + _GESUMMV_DECLS,
+    reference_source=_GESUMMV_KERNEL_REF + _GESUMMV_DECLS,
+    manual_source=_GESUMMV_KERNEL_MANUAL + _GESUMMV_DECLS,
+    collab_source=_GESUMMV_KERNEL_REF + _GESUMMV_DECLS,
+    defines={"N": "48"},
+    programmer_parallelized=1,
+    is_collab_case=True,
+    collab_edit_loc=2,
+))
+
+# ---------------------------------------------------------------------------
+# mvt: x1 += A*y1 ; x2 += A'*y2
+# ---------------------------------------------------------------------------
+
+_MVT_DECLS = """
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x1[i] = (double)(i % 7) / 7.0;
+    x2[i] = (double)(i % 13) / 13.0;
+    y1[i] = (double)(i % 5) / 5.0;
+    y2[i] = (double)(i % 3) / 3.0;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)(i * j % 17) / 17.0;
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < N; i++)
+    acc = acc + x1[i] + x2[i] * 2.0;
+  print_double(acc);
+  return 0;
+}
+"""
+
+_MVT_KERNEL_SEQ = """
+void kernel() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+}
+"""
+
+_MVT_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        x1[i] = x1[i] + A[i][j] * y1[j];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        x2[i] = x2[i] + A[j][i] * y2[j];
+  }
+}
+"""
+
+# Manual version: only the first matvec was parallelized (the transposed
+# one was left sequential over cache worries).
+_MVT_KERNEL_MANUAL = """
+void kernel() {
+  int i, j;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        x1[i] = x1[i] + A[i][j] * y1[j];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+}
+"""
+
+register(Benchmark(
+    name="mvt",
+    sequential_source=_MVT_KERNEL_SEQ + _MVT_DECLS,
+    reference_source=_MVT_KERNEL_REF + _MVT_DECLS,
+    manual_source=_MVT_KERNEL_MANUAL + _MVT_DECLS,
+    collab_source=_MVT_KERNEL_REF + _MVT_DECLS,
+    defines={"N": "48"},
+    programmer_parallelized=1,
+    is_collab_case=True,
+    collab_edit_loc=2,
+))
+
+# ---------------------------------------------------------------------------
+# syrk: C = alpha*A*A' + beta*C
+# ---------------------------------------------------------------------------
+
+_SYRK_DECLS = """
+double A[N][M];
+double C[N][N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++)
+      A[i][j] = (double)(i * j % 9) / 9.0;
+    for (j = 0; j < N; j++)
+      C[i][j] = (double)(i * j % 5) / 5.0;
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double acc = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      acc = acc + C[i][j];
+  print_double(acc);
+  return 0;
+}
+"""
+
+_SYRK_KERNEL_SEQ = """
+void kernel() {
+  int i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      C[i][j] = C[i][j] * 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < M; k++)
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * A[j][k];
+}
+"""
+
+_SYRK_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        C[i][j] = C[i][j] * 1.2;
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        for (int k = 0; k < M; k++)
+          C[i][j] = C[i][j] + 1.5 * A[i][k] * A[j][k];
+  }
+}
+"""
+
+register(Benchmark(
+    name="syrk",
+    sequential_source=_SYRK_KERNEL_SEQ + _SYRK_DECLS,
+    reference_source=_SYRK_KERNEL_REF + _SYRK_DECLS,
+    defines={"N": "16", "M": "16"},
+    programmer_parallelized=1,
+))
+
+# ---------------------------------------------------------------------------
+# syr2k: C = alpha*A*B' + alpha*B*A' + beta*C
+# ---------------------------------------------------------------------------
+
+_SYR2K_DECLS = """
+double A[N][M];
+double B[N][M];
+double C[N][N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      A[i][j] = (double)(i * j % 9) / 9.0;
+      B[i][j] = (double)(i * j % 7) / 7.0;
+    }
+    for (j = 0; j < N; j++)
+      C[i][j] = (double)(i * j % 5) / 5.0;
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double acc = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      acc = acc + C[i][j] * (double)(i % 2 + 1);
+  print_double(acc);
+  return 0;
+}
+"""
+
+_SYR2K_KERNEL_SEQ = """
+void kernel() {
+  int i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      C[i][j] = C[i][j] * 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < M; k++)
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[j][k] + 1.5 * B[i][k] * A[j][k];
+}
+"""
+
+_SYR2K_KERNEL_REF = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        C[i][j] = C[i][j] * 1.2;
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        for (int k = 0; k < M; k++)
+          C[i][j] = C[i][j] + 1.5 * A[i][k] * B[j][k] + 1.5 * B[i][k] * A[j][k];
+  }
+}
+"""
+
+register(Benchmark(
+    name="syr2k",
+    sequential_source=_SYR2K_KERNEL_SEQ + _SYR2K_DECLS,
+    reference_source=_SYR2K_KERNEL_REF + _SYR2K_DECLS,
+    defines={"N": "14", "M": "14"},
+    programmer_parallelized=1,
+))

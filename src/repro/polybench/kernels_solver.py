@@ -1,0 +1,57 @@
+"""PolyBench graph/solver kernels: floyd-warshall."""
+
+from __future__ import annotations
+
+from .suite import Benchmark, register
+
+_FW_DECLS = """
+double path[N][N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      path[i][j] = (double)((i * j) % 7 + 1) + ((i + j) % 13 == 0 ? 2.0 : 0.0);
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s = s + path[i][j];
+  print_double(s);
+  return 0;
+}
+"""
+
+_FW_KERNEL_SEQ = """
+void kernel() {
+  int i, j, k;
+  for (k = 0; k < N; k++)
+    for (i = 0; i < N; i++)
+      for (j = 0; j < N; j++)
+        path[i][j] = path[i][j] < path[i][k] + path[k][j]
+            ? path[i][j]
+            : path[i][k] + path[k][j];
+}
+"""
+
+# Static dependence analysis cannot prove the i (or j) loop parallel:
+# iteration i == k writes the row every other iteration reads, so Polly
+# (exact or conservative) finds a dependence and the reference carries
+# no pragmas.  (The programmer, knowing the i == k update is a no-op,
+# parallelizes the i loop manually — that knowledge gap is exactly the
+# paper's collaboration motivation, though floyd-warshall is not one of
+# the seven Figure-9 cases.)
+_FW_KERNEL_REF = _FW_KERNEL_SEQ
+
+register(Benchmark(
+    name="floyd-warshall",
+    sequential_source=_FW_KERNEL_SEQ + _FW_DECLS,
+    reference_source=_FW_KERNEL_REF + _FW_DECLS,
+    defines={"N": "18"},
+    programmer_parallelized=1,
+))

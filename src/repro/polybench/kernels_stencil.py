@@ -1,0 +1,426 @@
+"""PolyBench stencil kernels: jacobi-1d/2d-imper, fdtd-2d, adi."""
+
+from __future__ import annotations
+
+from .suite import Benchmark, register
+
+# ---------------------------------------------------------------------------
+# jacobi-1d-imper
+# ---------------------------------------------------------------------------
+
+_J1D_DECLS = """
+double A[N];
+double B[N];
+
+void init() {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = ((double)i + 2.0) / (double)N;
+    B[i] = ((double)i + 3.0) / (double)N;
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    s = s + A[i] * (double)(i % 3 + 1);
+  print_double(s);
+  return 0;
+}
+"""
+
+_J1D_KERNEL_SEQ = """
+void kernel() {
+  int t, i, j;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (j = 1; j < N - 1; j++)
+      A[j] = B[j];
+  }
+}
+"""
+
+_J1D_KERNEL_REF = """
+void kernel() {
+  int t, j;
+  for (t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 1; i < N - 1; i++)
+        B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    }
+    for (j = 1; j < N - 1; j++)
+      A[j] = B[j];
+  }
+}
+"""
+
+# Collaboration: the programmer knows the copy-back sweep is worth
+# parallelizing on this machine even though the compiler's profitability
+# heuristic skipped it.
+_J1D_KERNEL_COLLAB = """
+void kernel() {
+  int t;
+  for (t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 1; i < N - 1; i++)
+        B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int j = 1; j < N - 1; j++)
+        A[j] = B[j];
+    }
+  }
+}
+"""
+
+# Manual version: the programmer parallelized the stencil sweep but left
+# the copy-back loop sequential.
+_J1D_KERNEL_MANUAL = """
+void kernel() {
+  int t, j;
+  for (t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 1; i < N - 1; i++)
+        B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    }
+    for (j = 1; j < N - 1; j++)
+      A[j] = B[j];
+  }
+}
+"""
+
+register(Benchmark(
+    name="jacobi-1d-imper",
+    sequential_source=_J1D_KERNEL_SEQ + _J1D_DECLS,
+    reference_source=_J1D_KERNEL_REF + _J1D_DECLS,
+    manual_source=_J1D_KERNEL_MANUAL + _J1D_DECLS,
+    collab_source=_J1D_KERNEL_COLLAB + _J1D_DECLS,
+    defines={"N": "400", "TSTEPS": "6"},
+    programmer_parallelized=1,
+    is_collab_case=True,
+    collab_edit_loc=4,
+))
+
+# ---------------------------------------------------------------------------
+# jacobi-2d-imper
+# ---------------------------------------------------------------------------
+
+_J2D_DECLS = """
+double A[N][N];
+double B[N][N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((double)i * (double)(j + 2) + 2.0) / (double)N;
+      B[i][j] = ((double)i * (double)(j + 3) + 3.0) / (double)N;
+    }
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s = s + A[i][j];
+  print_double(s);
+  return 0;
+}
+"""
+
+_J2D_KERNEL_SEQ = """
+void kernel() {
+  int t, i, j;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i][j] = B[i][j];
+  }
+}
+"""
+
+_J2D_KERNEL_REF = """
+void kernel() {
+  int t;
+  for (t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 1; i < N - 1; i++)
+        for (int j = 1; j < N - 1; j++)
+          B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 1; i < N - 1; i++)
+        for (int j = 1; j < N - 1; j++)
+          A[i][j] = B[i][j];
+    }
+  }
+}
+"""
+
+# Manual version: stencil parallelized, copy-back left sequential.
+_J2D_KERNEL_MANUAL = """
+void kernel() {
+  int t, i, j;
+  for (t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 1; i < N - 1; i++)
+        for (int j = 1; j < N - 1; j++)
+          B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+    }
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i][j] = B[i][j];
+  }
+}
+"""
+
+register(Benchmark(
+    name="jacobi-2d-imper",
+    sequential_source=_J2D_KERNEL_SEQ + _J2D_DECLS,
+    reference_source=_J2D_KERNEL_REF + _J2D_DECLS,
+    manual_source=_J2D_KERNEL_MANUAL + _J2D_DECLS,
+    collab_source=_J2D_KERNEL_REF + _J2D_DECLS,
+    defines={"N": "26", "TSTEPS": "4"},
+    programmer_parallelized=1,
+    is_collab_case=True,
+    collab_edit_loc=4,
+))
+
+# ---------------------------------------------------------------------------
+# fdtd-2d
+# ---------------------------------------------------------------------------
+
+_FDTD_DECLS = """
+double ex[NX][NY];
+double ey[NX][NY];
+double hz[NX][NY];
+double fict[TMAX];
+
+void init() {
+  int i, j;
+  for (i = 0; i < TMAX; i++)
+    fict[i] = (double)i;
+  for (i = 0; i < NX; i++)
+    for (j = 0; j < NY; j++) {
+      ex[i][j] = ((double)i * (double)(j + 1)) / (double)NX;
+      ey[i][j] = ((double)i * (double)(j + 2)) / (double)NY;
+      hz[i][j] = ((double)i * (double)(j + 3)) / (double)NX;
+    }
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < NX; i++)
+    for (j = 0; j < NY; j++)
+      s = s + hz[i][j] + ex[i][j] - ey[i][j];
+  print_double(s);
+  return 0;
+}
+"""
+
+_FDTD_KERNEL_SEQ = """
+void kernel() {
+  int t, i, j;
+  for (t = 0; t < TMAX; t++) {
+    for (j = 0; j < NY; j++)
+      ey[0][j] = fict[t];
+    for (i = 1; i < NX; i++)
+      for (j = 0; j < NY; j++)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    for (i = 0; i < NX; i++)
+      for (j = 1; j < NY; j++)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    for (i = 0; i < NX - 1; i++)
+      for (j = 0; j < NY - 1; j++)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+  }
+}
+"""
+
+_FDTD_KERNEL_REF = """
+void kernel() {
+  int t, j;
+  for (t = 0; t < TMAX; t++) {
+    for (j = 0; j < NY; j++)
+      ey[0][j] = fict[t];
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 1; i < NX; i++)
+        for (int j = 0; j < NY; j++)
+          ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 0; i < NX; i++)
+        for (int j = 1; j < NY; j++)
+          ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i = 0; i < NX - 1; i++)
+        for (int j = 0; j < NY - 1; j++)
+          hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+    }
+  }
+}
+"""
+
+register(Benchmark(
+    name="fdtd-2d",
+    sequential_source=_FDTD_KERNEL_SEQ + _FDTD_DECLS,
+    reference_source=_FDTD_KERNEL_REF + _FDTD_DECLS,
+    defines={"NX": "24", "NY": "24", "TMAX": "4"},
+    programmer_parallelized=3,
+))
+
+# ---------------------------------------------------------------------------
+# adi (alternating direction implicit)
+# ---------------------------------------------------------------------------
+
+_ADI_DECLS = """
+double X[N][N];
+double A[N][N];
+double B[N][N];
+
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      X[i][j] = ((double)i * (double)(j + 1) + 1.0) / (double)N;
+      A[i][j] = ((double)(i + 1) * (double)(j + 2) + 2.0) / (double)N;
+      B[i][j] = 2.0 + ((double)(i + 3) * (double)(j + 3) + 3.0) / (double)N;
+    }
+}
+
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s = s + X[i][j];
+  print_double(s);
+  return 0;
+}
+"""
+
+_ADI_KERNEL_SEQ = """
+void kernel() {
+  int t, i1, i2;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i1 = 0; i1 < N; i1++)
+      for (i2 = 1; i2 < N; i2++) {
+        X[i1][i2] = X[i1][i2] - X[i1][i2 - 1] * A[i1][i2] / B[i1][i2 - 1];
+        B[i1][i2] = B[i1][i2] - A[i1][i2] * A[i1][i2] / B[i1][i2 - 1];
+      }
+    for (i1 = 0; i1 < N; i1++)
+      X[i1][N - 1] = X[i1][N - 1] / B[i1][N - 1];
+    for (i1 = 0; i1 < N; i1++)
+      for (i2 = 0; i2 < N - 2; i2++)
+        X[i1][N - i2 - 2] = (X[i1][N - 2 - i2] - X[i1][N - 2 - i2 - 1] * A[i1][N - i2 - 3]) / B[i1][N - 3 - i2];
+    for (i1 = 1; i1 < N; i1++)
+      for (i2 = 0; i2 < N; i2++) {
+        X[i1][i2] = X[i1][i2] - X[i1 - 1][i2] * A[i1][i2] / B[i1 - 1][i2];
+        B[i1][i2] = B[i1][i2] - A[i1][i2] * A[i1][i2] / B[i1 - 1][i2];
+      }
+    for (i2 = 0; i2 < N; i2++)
+      X[N - 1][i2] = X[N - 1][i2] / B[N - 1][i2];
+    for (i1 = 0; i1 < N - 2; i1++)
+      for (i2 = 0; i2 < N; i2++)
+        X[N - 2 - i1][i2] = (X[N - 2 - i1][i2] - X[N - i1 - 3][i2] * A[N - 3 - i1][i2]) / B[N - 2 - i1][i2];
+  }
+}
+"""
+
+_ADI_KERNEL_REF = """
+void kernel() {
+  int t, i1;
+  for (t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i1 = 0; i1 < N; i1++)
+        for (int i2 = 1; i2 < N; i2++) {
+          X[i1][i2] = X[i1][i2] - X[i1][i2 - 1] * A[i1][i2] / B[i1][i2 - 1];
+          B[i1][i2] = B[i1][i2] - A[i1][i2] * A[i1][i2] / B[i1][i2 - 1];
+        }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i1 = 0; i1 < N; i1++)
+        X[i1][N - 1] = X[i1][N - 1] / B[i1][N - 1];
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i1 = 0; i1 < N; i1++)
+        for (int i2 = 0; i2 < N - 2; i2++)
+          X[i1][N - i2 - 2] = (X[i1][N - 2 - i2] - X[i1][N - 2 - i2 - 1] * A[i1][N - i2 - 3]) / B[i1][N - 3 - i2];
+    }
+    for (i1 = 1; i1 < N; i1++) {
+      #pragma omp parallel
+      {
+        #pragma omp for schedule(static) nowait
+        for (int i2 = 0; i2 < N; i2++) {
+          X[i1][i2] = X[i1][i2] - X[i1 - 1][i2] * A[i1][i2] / B[i1 - 1][i2];
+          B[i1][i2] = B[i1][i2] - A[i1][i2] * A[i1][i2] / B[i1 - 1][i2];
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int i2 = 0; i2 < N; i2++)
+        X[N - 1][i2] = X[N - 1][i2] / B[N - 1][i2];
+    }
+    for (i1 = 0; i1 < N - 2; i1++) {
+      #pragma omp parallel
+      {
+        #pragma omp for schedule(static) nowait
+        for (int i2 = 0; i2 < N; i2++)
+          X[N - 2 - i1][i2] = (X[N - 2 - i1][i2] - X[N - i1 - 3][i2] * A[N - 3 - i1][i2]) / B[N - 2 - i1][i2];
+      }
+    }
+  }
+}
+"""
+
+register(Benchmark(
+    name="adi",
+    sequential_source=_ADI_KERNEL_SEQ + _ADI_DECLS,
+    reference_source=_ADI_KERNEL_REF + _ADI_DECLS,
+    defines={"N": "18", "TSTEPS": "2"},
+    programmer_parallelized=2,
+))

@@ -1,0 +1,72 @@
+"""The PolyBench benchmark registry (the paper's 16-benchmark subset).
+
+Each :class:`Benchmark` carries the sequential mini-C source, the
+hand-written OpenMP *reference* source (pragmas placed where Polly
+parallelizes, per §5.1.2), dataset-size defines (miniaturized so the
+IR interpreter finishes in seconds), and bookkeeping for Table 3 /
+Figure 9 (the programmer-parallelized loop counts and, for the seven
+collaboration benchmarks, a manually-parallelized variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Benchmark:
+    name: str
+    sequential_source: str
+    reference_source: str
+    defines: Dict[str, str]
+    kernel_functions: List[str] = field(default_factory=lambda: ["kernel"])
+    # Table 3 bookkeeping (programmer column reconstructed from the
+    # Cavazos-lab PolyBench OpenMP versions; see DESIGN.md).
+    programmer_parallelized: int = 0
+    manual_source: Optional[str] = None        # Fig 9 manual-only variant
+    collab_source: Optional[str] = None        # Fig 9 SPLENDID + manual edits
+    collab_edit_loc: int = 0                   # Fig 9 bar annotations
+    is_collab_case: bool = False
+
+    def __repr__(self) -> str:
+        return f"<Benchmark {self.name}>"
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    if benchmark.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark {benchmark.name!r}")
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def get(name: str) -> Benchmark:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def names() -> List[str]:
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def all_benchmarks() -> List[Benchmark]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def collab_benchmarks() -> List[Benchmark]:
+    return [b for b in all_benchmarks() if b.is_collab_case]
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if not _loaded:
+        from . import kernels_linalg, kernels_solver, kernels_stencil  # noqa: F401
+        _loaded = True

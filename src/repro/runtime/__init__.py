@@ -1,0 +1,17 @@
+"""repro.runtime — IR interpreter, simulated OpenMP runtime, cost model."""
+
+from .interp import (ExecutionResult, Interpreter, InterpreterError,
+                     StepLimitExceeded, run_module)
+from .machine import (COMPUTE_COST, CostAccumulator, MachineModel,
+                      compiler_factor)
+from .memory import NULL, Buffer, Pointer, TrapError
+from .omp import (KMP_SCH_DYNAMIC_CHUNKED, KMP_SCH_STATIC,
+                  KMP_SCH_STATIC_CHUNKED, install_omp_runtime)
+
+__all__ = [
+    "ExecutionResult", "Interpreter", "InterpreterError", "StepLimitExceeded",
+    "run_module", "COMPUTE_COST", "CostAccumulator", "MachineModel",
+    "compiler_factor", "NULL", "Buffer", "Pointer", "TrapError",
+    "KMP_SCH_DYNAMIC_CHUNKED", "KMP_SCH_STATIC", "KMP_SCH_STATIC_CHUNKED",
+    "install_omp_runtime",
+]

@@ -1,0 +1,425 @@
+"""IR interpreter with an analytic performance model.
+
+Executes repro IR directly.  Serves three roles:
+
+1. *Correctness oracle* — every transformation (mem2reg, rotation,
+   parallelization, decompile→recompile round trips) is validated by
+   comparing program output before and after.
+2. *Performance substrate* — stands in for the paper's 28-core Xeon:
+   each dynamic instruction charges compute/memory cycles, and OpenMP
+   runtime calls (``__kmpc_*``) are simulated with a fork/join time
+   model (see :mod:`repro.runtime.machine`).
+3. *Semantics reference* for the OpenMP runtime protocol emitted by the
+   Polly-style parallelizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir import types as ir_ty
+from ..ir.block import BasicBlock
+from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast,
+                               CondBranch, DbgValue, FCmp, GetElementPtr,
+                               ICmp, Instruction, Load, Phi, Ret, Select,
+                               Store, Unreachable)
+from ..ir.module import Function, Module
+from ..ir.values import (Argument, ConstantFloat, ConstantInt,
+                         ConstantPointerNull, GlobalVariable, UndefValue,
+                         Value)
+from .machine import CostAccumulator, MachineModel
+from .memory import NULL, Buffer, Pointer, TrapError
+
+
+class InterpreterError(Exception):
+    pass
+
+
+class StepLimitExceeded(InterpreterError):
+    pass
+
+
+@dataclass
+class ExecutionResult:
+    value: object
+    output: List[str]
+    cost: CostAccumulator
+    wall_time: float
+
+    @property
+    def output_text(self) -> str:
+        return "\n".join(self.output)
+
+
+_ICMP_FN = {
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b, "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b, "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: (a % (1 << 64)) < (b % (1 << 64)),
+    "ule": lambda a, b: (a % (1 << 64)) <= (b % (1 << 64)),
+    "ugt": lambda a, b: (a % (1 << 64)) > (b % (1 << 64)),
+    "uge": lambda a, b: (a % (1 << 64)) >= (b % (1 << 64)),
+}
+
+_FCMP_FN = {
+    "oeq": lambda a, b: a == b, "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b, "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
+    "ueq": lambda a, b: a == b, "une": lambda a, b: a != b,
+    "ult": lambda a, b: a < b, "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b, "uge": lambda a, b: a >= b,
+}
+
+_MATH_FN: Dict[str, Callable] = {
+    "exp": math.exp, "log": math.log, "sqrt": math.sqrt, "pow": math.pow,
+    "fabs": abs, "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "floor": math.floor, "ceil": math.ceil, "fmax": max, "fmin": min,
+}
+
+ExternalHandler = Callable[["Interpreter", Call, List[object]], object]
+
+
+class Interpreter:
+    def __init__(self, module: Module, machine: Optional[MachineModel] = None,
+                 max_steps: int = 200_000_000):
+        self.module = module
+        self.machine = machine or MachineModel()
+        self.max_steps = max_steps
+        self.cost = CostAccumulator()
+        self.wall_time = 0.0
+        self.output: List[str] = []
+        self.globals: Dict[GlobalVariable, Pointer] = {}
+        self.externals: Dict[str, ExternalHandler] = {}
+        self._fork_depth = 0
+        self._current_tid = 0
+        self._current_nthreads = 1
+        self._install_default_externals()
+        for var in module.globals.values():
+            buffer = Buffer(ir_ty.sizeof(var.value_type), var.name)
+            self.globals[var] = Pointer(buffer, 0)
+        from .omp import install_omp_runtime
+        install_omp_runtime(self)
+
+    # External function registry ------------------------------------------------
+
+    def register_external(self, name: str, handler: ExternalHandler) -> None:
+        self.externals[name] = handler
+
+    def _install_default_externals(self) -> None:
+        for name, fn in _MATH_FN.items():
+            def make(f):
+                return lambda interp, call, args: float(f(*args))
+            self.register_external(name, make(fn))
+        self.register_external("malloc", self._malloc)
+        self.register_external("calloc", self._calloc)
+        self.register_external("free", self._free)
+        self.register_external("print_double", self._print_double)
+        self.register_external("print_int", self._print_int)
+        self.register_external("printf", self._printf)
+
+    def _malloc(self, interp, call, args):
+        return Pointer(Buffer(int(args[0]), "malloc"), 0)
+
+    def _calloc(self, interp, call, args):
+        return Pointer(Buffer(int(args[0]) * int(args[1]), "calloc"), 0)
+
+    def _free(self, interp, call, args):
+        pointer: Pointer = args[0]
+        if pointer.buffer is not None:
+            pointer.buffer.freed = True
+        return None
+
+    def _print_double(self, interp, call, args):
+        self.output.append(f"{args[0]:.6f}")
+        return None
+
+    def _print_int(self, interp, call, args):
+        self.output.append(str(int(args[0])))
+        return None
+
+    def _printf(self, interp, call, args):
+        self.output.append(" ".join(str(a) for a in args))
+        return 0
+
+    # Cost --------------------------------------------------------------------------
+
+    def charge(self, opcode: str, callee: str = "") -> None:
+        self.cost.charge(opcode, callee)
+        if self.cost.dynamic_instructions > self.max_steps:
+            raise StepLimitExceeded(
+                f"exceeded {self.max_steps} dynamic instructions")
+        if self._fork_depth == 0:
+            from .machine import (COMPUTE_COST, DEFAULT_COST, MATH_CALL_COST,
+                                  MEMORY_CYCLES_PER_ACCESS)
+            if opcode == "call" and callee in MATH_CALL_COST:
+                self.wall_time += MATH_CALL_COST[callee]
+            else:
+                self.wall_time += COMPUTE_COST.get(opcode, DEFAULT_COST)
+                if opcode in ("load", "store"):
+                    self.wall_time += MEMORY_CYCLES_PER_ACCESS
+
+    # Entry points ----------------------------------------------------------------
+
+    def run(self, entry: str = "main",
+            args: Sequence[object] = ()) -> ExecutionResult:
+        function = self.module.get_function(entry)
+        value = self.call_function(function, list(args))
+        return ExecutionResult(value, list(self.output),
+                               self.cost.snapshot(), self.wall_time)
+
+    def call_function(self, function: Function, args: List[object]) -> object:
+        if function.is_declaration:
+            raise InterpreterError(
+                f"call to undefined function @{function.name}")
+        if len(args) != len(function.arguments):
+            raise InterpreterError(
+                f"@{function.name} expects {len(function.arguments)} args, "
+                f"got {len(args)}")
+        frame: Dict[Value, object] = {}
+        for formal, actual in zip(function.arguments, args):
+            frame[formal] = actual
+
+        block = function.entry
+        prev: Optional[BasicBlock] = None
+        while True:
+            # Phis evaluate atomically against the incoming edge.
+            phis = []
+            index = 0
+            instructions = block.instructions
+            while index < len(instructions) and isinstance(
+                    instructions[index], Phi):
+                phi: Phi = instructions[index]
+                incoming = phi.incoming_for(prev)
+                if incoming is None:
+                    raise InterpreterError(
+                        f"phi {phi} has no incoming value from "
+                        f"{prev.name if prev else '<entry>'}")
+                phis.append((phi, self.value_of(frame, incoming)))
+                self.charge("phi")
+                index += 1
+            for phi, value in phis:
+                frame[phi] = value
+
+            next_block: Optional[BasicBlock] = None
+            for inst in instructions[index:]:
+                result = self._execute(frame, inst)
+                if isinstance(inst, Ret):
+                    return result
+                if isinstance(result, BasicBlock):
+                    next_block = result
+                    break
+                if not inst.type.is_void:
+                    frame[inst] = result
+            if next_block is None:
+                raise InterpreterError(
+                    f"block {block.name} fell through without a terminator")
+            prev, block = block, next_block
+
+    # Values -------------------------------------------------------------------------
+
+    def value_of(self, frame: Dict[Value, object], value: Value) -> object:
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, ConstantPointerNull):
+            return NULL
+        if isinstance(value, UndefValue):
+            if value.type.is_float:
+                return 0.0
+            if value.type.is_pointer:
+                return NULL
+            return 0
+        if isinstance(value, GlobalVariable):
+            return self.globals[value]
+        if isinstance(value, Function):
+            return value
+        if value in frame:
+            return frame[value]
+        raise InterpreterError(f"use of undefined value {value}")
+
+    # Instruction dispatch --------------------------------------------------------------
+
+    def _execute(self, frame: Dict[Value, object], inst: Instruction):
+        opcode = inst.opcode
+        if isinstance(inst, DbgValue):
+            self.charge("dbg.value")
+            return None
+        if isinstance(inst, BinaryOp):
+            self.charge(opcode)
+            return self._binop(inst, frame)
+        if isinstance(inst, ICmp):
+            self.charge("icmp")
+            a = self.value_of(frame, inst.lhs)
+            b = self.value_of(frame, inst.rhs)
+            if isinstance(a, Pointer) or isinstance(b, Pointer):
+                return 1 if self._pointer_compare(inst.predicate, a, b) else 0
+            return 1 if _ICMP_FN[inst.predicate](a, b) else 0
+        if isinstance(inst, FCmp):
+            self.charge("fcmp")
+            a = self.value_of(frame, inst.lhs)
+            b = self.value_of(frame, inst.rhs)
+            return 1 if _FCMP_FN[inst.predicate](a, b) else 0
+        if isinstance(inst, Alloca):
+            self.charge("alloca")
+            buffer = Buffer(ir_ty.sizeof(inst.allocated_type),
+                            inst.name or "alloca")
+            return Pointer(buffer, 0)
+        if isinstance(inst, Load):
+            self.charge("load")
+            pointer: Pointer = self.value_of(frame, inst.pointer)
+            if pointer.is_null:
+                raise TrapError("load from null pointer")
+            return pointer.buffer.load(pointer.offset, inst.type)
+        if isinstance(inst, Store):
+            self.charge("store")
+            pointer = self.value_of(frame, inst.pointer)
+            if pointer.is_null:
+                raise TrapError("store to null pointer")
+            pointer.buffer.store(pointer.offset,
+                                 self.value_of(frame, inst.value),
+                                 inst.value.type)
+            return None
+        if isinstance(inst, GetElementPtr):
+            self.charge("getelementptr")
+            return self._gep(inst, frame)
+        if isinstance(inst, Cast):
+            self.charge(opcode)
+            return self._cast(inst, frame)
+        if isinstance(inst, CondBranch):
+            self.charge("br")
+            condition = self.value_of(frame, inst.condition)
+            return inst.if_true if condition else inst.if_false
+        if isinstance(inst, Branch):
+            self.charge("br")
+            return inst.target
+        if isinstance(inst, Ret):
+            self.charge("ret")
+            if inst.value is not None:
+                return self.value_of(frame, inst.value)
+            return None
+        if isinstance(inst, Select):
+            self.charge("select")
+            condition = self.value_of(frame, inst.condition)
+            return self.value_of(frame,
+                                 inst.if_true if condition else inst.if_false)
+        if isinstance(inst, Phi):
+            raise InterpreterError("phi reached instruction dispatch")
+        if isinstance(inst, Call):
+            return self._call(inst, frame)
+        if isinstance(inst, Unreachable):
+            raise TrapError("executed 'unreachable'")
+        raise InterpreterError(f"cannot interpret opcode {opcode!r}")
+
+    def _binop(self, inst: BinaryOp, frame) -> object:
+        a = self.value_of(frame, inst.lhs)
+        b = self.value_of(frame, inst.rhs)
+        op = inst.opcode
+        if op.startswith("f"):
+            if op == "fadd":
+                return a + b
+            if op == "fsub":
+                return a - b
+            if op == "fmul":
+                return a * b
+            if op == "fdiv":
+                if b == 0.0:
+                    return math.inf if a > 0 else (-math.inf if a < 0
+                                                   else math.nan)
+                return a / b
+            if op == "frem":
+                return math.fmod(a, b)
+        vtype: ir_ty.IntType = inst.type
+        if op == "add":
+            return vtype.wrap(a + b)
+        if op == "sub":
+            return vtype.wrap(a - b)
+        if op == "mul":
+            return vtype.wrap(a * b)
+        if op == "sdiv":
+            if b == 0:
+                raise TrapError("integer division by zero")
+            return vtype.wrap(int(a / b))
+        if op == "srem":
+            if b == 0:
+                raise TrapError("integer remainder by zero")
+            return vtype.wrap(a - int(a / b) * b)
+        if op in ("udiv", "urem"):
+            if b == 0:
+                raise TrapError("integer division by zero")
+            ua, ub = a % (1 << vtype.bits), b % (1 << vtype.bits)
+            return vtype.wrap(ua // ub if op == "udiv" else ua % ub)
+        if op == "and":
+            return vtype.wrap(a & b)
+        if op == "or":
+            return vtype.wrap(a | b)
+        if op == "xor":
+            return vtype.wrap(a ^ b)
+        if op == "shl":
+            return vtype.wrap(a << (b % vtype.bits))
+        if op == "ashr":
+            return vtype.wrap(a >> (b % vtype.bits))
+        if op == "lshr":
+            return vtype.wrap((a % (1 << vtype.bits)) >> (b % vtype.bits))
+        raise InterpreterError(f"unknown binop {op}")
+
+    def _pointer_compare(self, predicate: str, a, b) -> bool:
+        def key(p):
+            if isinstance(p, Pointer):
+                return ((p.buffer.id if p.buffer else 0), p.offset)
+            return (0, int(p))
+        ka, kb = key(a), key(b)
+        return {
+            "eq": ka == kb, "ne": ka != kb,
+            "slt": ka < kb, "sle": ka <= kb, "sgt": ka > kb, "sge": ka >= kb,
+            "ult": ka < kb, "ule": ka <= kb, "ugt": ka > kb, "uge": ka >= kb,
+        }[predicate]
+
+    def _gep(self, inst: GetElementPtr, frame) -> Pointer:
+        pointer: Pointer = self.value_of(frame, inst.pointer)
+        current = inst.pointer.type.pointee
+        indices = [self.value_of(frame, i) for i in inst.indices]
+        offset = pointer.offset + int(indices[0]) * ir_ty.sizeof(current)
+        for idx in indices[1:]:
+            current = ir_ty.element_type(current)
+            offset += int(idx) * ir_ty.sizeof(current)
+        return Pointer(pointer.buffer, offset)
+
+    def _cast(self, inst: Cast, frame) -> object:
+        value = self.value_of(frame, inst.value)
+        op = inst.opcode
+        if op == "sext":
+            return value
+        if op == "zext":
+            source: ir_ty.IntType = inst.value.type
+            return value % (1 << source.bits)
+        if op == "trunc":
+            return inst.type.wrap(int(value))
+        if op == "sitofp":
+            return float(value)
+        if op == "fptosi":
+            return inst.type.wrap(int(value))
+        if op in ("bitcast", "inttoptr", "ptrtoint"):
+            return value
+        raise InterpreterError(f"unknown cast {op}")
+
+    def _call(self, inst: Call, frame) -> object:
+        callee = inst.callee
+        args = [self.value_of(frame, a) for a in inst.args]
+        name = getattr(callee, "name", "")
+        self.charge("call", name)
+        if isinstance(callee, Function) and not callee.is_declaration:
+            return self.call_function(callee, args)
+        if name in self.externals:
+            return self.externals[name](self, inst, args)
+        raise InterpreterError(f"call to unknown external '{name}'")
+
+
+def run_module(module: Module, entry: str = "main",
+               args: Sequence[object] = (),
+               machine: Optional[MachineModel] = None,
+               max_steps: int = 200_000_000) -> ExecutionResult:
+    """Convenience wrapper: interpret ``entry`` in a fresh interpreter."""
+    return Interpreter(module, machine, max_steps).run(entry, args)

@@ -1,0 +1,79 @@
+"""Runtime memory model: byte-addressed buffers and fat pointers.
+
+Each allocation (alloca, global, malloc) owns one :class:`Buffer`; a
+pointer is a (buffer, byte-offset) pair.  Scalar cells live in a dict
+keyed by byte offset — reads of uninitialized memory default to zero,
+matching the zero-initialized arrays PolyBench setup code relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir import types as ir_ty
+
+_buffer_ids = itertools.count(1)
+
+
+class TrapError(Exception):
+    """Runtime fault: bad pointer arithmetic, use-after-free, div by zero."""
+
+
+class Buffer:
+    def __init__(self, size: int, label: str = ""):
+        self.id = next(_buffer_ids)
+        self.size = size
+        self.label = label
+        self.cells: Dict[int, object] = {}
+        self.freed = False
+
+    def check(self, offset: int, size: int) -> None:
+        if self.freed:
+            raise TrapError(f"use after free of buffer '{self.label}'")
+        if offset < 0 or offset + size > self.size:
+            raise TrapError(
+                f"out-of-bounds access at offset {offset} (+{size}) in "
+                f"buffer '{self.label}' of size {self.size}")
+
+    def load(self, offset: int, vtype: ir_ty.Type):
+        size = ir_ty.sizeof(vtype)
+        self.check(offset, size)
+        value = self.cells.get(offset)
+        if value is None:
+            if vtype.is_float:
+                return 0.0
+            if vtype.is_pointer:
+                return NULL
+            return 0
+        return value
+
+    def store(self, offset: int, value, vtype: ir_ty.Type) -> None:
+        size = ir_ty.sizeof(vtype)
+        self.check(offset, size)
+        self.cells[offset] = value
+
+    def __repr__(self) -> str:
+        return f"<Buffer #{self.id} '{self.label}' {self.size}B>"
+
+
+@dataclass(frozen=True)
+class Pointer:
+    buffer: Optional[Buffer]
+    offset: int = 0
+
+    def add(self, delta: int) -> "Pointer":
+        return Pointer(self.buffer, self.offset + delta)
+
+    @property
+    def is_null(self) -> bool:
+        return self.buffer is None
+
+    def __repr__(self) -> str:
+        if self.is_null:
+            return "<null>"
+        return f"<ptr #{self.buffer.id}+{self.offset}>"
+
+
+NULL = Pointer(None, 0)

@@ -1,0 +1,148 @@
+"""Simulated LLVM/OpenMP runtime (the ``__kmpc_*`` entry points).
+
+The Polly-style parallelizer lowers parallel loops to the same runtime
+protocol the LLVM OpenMP runtime (libomp) uses; this module implements
+that protocol inside the interpreter:
+
+* ``__kmpc_fork_call(microtask, shared...)`` — runs the outlined
+  *microtask* once per simulated thread.  The real API passes an ident
+  struct and variadic shareds; we pass the outlined function first and
+  the shared values directly (documented substitution — the *pattern*
+  SPLENDID matches on is identical: fork call → outlined region).
+* ``__kmpc_for_static_init_8(tid, nthreads, schedtype, plb, pub,
+  pstride, incr, chunk)`` — rewrites the lb/ub slots with this thread's
+  chunk of the iteration space (inclusive upper bound, like libomp).
+* ``__kmpc_for_static_fini(tid)`` — end of worksharing region.
+* ``__kmpc_barrier(tid)`` — charges barrier latency.
+
+Timing: each thread's work is interpreted serially while the fork
+handler records per-thread compute and total memory cycles; the modeled
+wall time for the region is ``max(compute) + memory/mem_parallelism +
+fork overhead`` (see :class:`repro.runtime.machine.MachineModel`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.module import Function
+from .memory import Pointer, TrapError
+
+# libomp schedule kinds (subset).
+KMP_SCH_STATIC_CHUNKED = 33
+KMP_SCH_STATIC = 34
+KMP_SCH_DYNAMIC_CHUNKED = 35
+
+#: Modeled cycles per dynamic-schedule chunk request.
+DYNAMIC_DISPATCH_COST = 25.0
+
+
+def install_omp_runtime(interp) -> None:
+    interp.register_external("__kmpc_fork_call", _fork_call)
+    interp.register_external("__kmpc_for_static_init_8", _for_static_init_8)
+    interp.register_external("__kmpc_for_static_fini", _for_static_fini)
+    interp.register_external("__kmpc_barrier", _barrier)
+    interp.register_external("omp_get_thread_num", _get_thread_num)
+    interp.register_external("omp_get_num_threads", _get_num_threads)
+
+
+def _fork_call(interp, call, args):
+    microtask = args[0]
+    if not isinstance(microtask, Function):
+        raise TrapError("__kmpc_fork_call: first argument must be a function")
+    shared = list(args[1:])
+    nthreads = interp.machine.num_threads
+
+    interp._fork_depth += 1
+    interp._current_nthreads = nthreads
+    thread_compute: List[float] = []
+    memory_total = 0.0
+    try:
+        for tid in range(nthreads):
+            interp._current_tid = tid
+            snapshot = interp.cost.snapshot()
+            interp.call_function(microtask, [tid, nthreads, *shared])
+            delta = interp.cost.delta_since(snapshot)
+            thread_compute.append(delta.compute)
+            memory_total += delta.memory
+    finally:
+        interp._fork_depth -= 1
+        interp._current_tid = 0
+    if interp._fork_depth == 0:
+        interp.wall_time += interp.machine.parallel_region_time(
+            thread_compute, memory_total)
+    return None
+
+
+def _for_static_init_8(interp, call, args):
+    tid, nthreads, schedtype = int(args[0]), int(args[1]), int(args[2])
+    plb: Pointer = args[3]
+    pub: Pointer = args[4]
+    pstride: Pointer = args[5]
+    incr = int(args[6])
+    chunk = int(args[7])
+    from ..ir import types as ir_ty
+
+    lb = int(plb.buffer.load(plb.offset, ir_ty.I64))
+    ub = int(pub.buffer.load(pub.offset, ir_ty.I64))
+    if incr == 0:
+        raise TrapError("__kmpc_for_static_init_8: zero increment")
+
+    # Trip count with inclusive bounds.
+    if incr > 0:
+        total = max(0, (ub - lb) // incr + 1)
+    else:
+        total = max(0, (lb - ub) // (-incr) + 1)
+
+    # Every schedule kind is modeled as one contiguous block per thread.
+    # (Real libomp interleaves chunked/dynamic schedules via strides and
+    # dispatch loops; with threads emulated sequentially, any exact
+    # partition of the iteration space is observationally equivalent, and
+    # the microtasks this repo generates iterate [my_lb, my_ub] directly.
+    # Dynamic scheduling differs only in its modeled cost: each chunk a
+    # thread would have requested charges a dispatch fee below.)
+    per = (total + nthreads - 1) // nthreads if total else 0
+    my_lb = lb + tid * per * incr
+    my_ub = my_lb + (per - 1) * incr
+    stride = total * incr if total else incr
+    if incr > 0:
+        my_ub = min(my_ub, ub)
+    else:
+        my_ub = max(my_ub, ub)
+    if tid * per >= total:
+        # No work for this thread: empty range.
+        my_lb, my_ub = lb + total * incr, lb + total * incr - incr
+
+    plb.buffer.store(plb.offset, my_lb, ir_ty.I64)
+    pub.buffer.store(pub.offset, my_ub, ir_ty.I64)
+    pstride.buffer.store(pstride.offset, stride, ir_ty.I64)
+
+    if schedtype == KMP_SCH_DYNAMIC_CHUNKED:
+        # Dynamic dispatch cost: one queue round-trip per chunk the
+        # thread would have pulled.  Charged as this thread's compute so
+        # it flows into the fork handler's max-over-threads timing.
+        my_trips = max(0, per if tid * per < total else 0)
+        chunk_size = max(1, chunk)
+        dispatches = (my_trips + chunk_size - 1) // chunk_size
+        interp.cost.compute += dispatches * DYNAMIC_DISPATCH_COST
+    return None
+
+
+def _for_static_fini(interp, call, args):
+    return None
+
+
+def _barrier(interp, call, args):
+    if interp._fork_depth == 0:
+        interp.wall_time += interp.machine.barrier_overhead
+    return None
+
+
+def _get_thread_num(interp, call, args):
+    return getattr(interp, "_current_tid", 0)
+
+
+def _get_num_threads(interp, call, args):
+    if interp._fork_depth > 0:
+        return getattr(interp, "_current_nthreads", 1)
+    return 1

@@ -1,0 +1,109 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.verifier import verify_module
+from repro.passes import optimize_o2
+from repro.polly import parallelize_module
+from repro.runtime import Interpreter, MachineModel, run_module
+
+
+def compile_o0(source, defines=None):
+    module = compile_source(source, defines)
+    verify_module(module)
+    return module
+
+
+def compile_o2(source, defines=None):
+    module = compile_source(source, defines)
+    optimize_o2(module)
+    verify_module(module)
+    return module
+
+
+def compile_parallel(source, defines=None, only=None):
+    module = compile_o2(source, defines)
+    result = parallelize_module(module, only_functions=only)
+    verify_module(module)
+    return module, result
+
+
+def run_main(module, machine=None):
+    return Interpreter(module, machine).run("main").output
+
+
+STENCIL_SOURCE = """
+#define N 64
+double A[N];
+double B[N];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = (double)(i % 9) / 9.0; B[i] = 0.0; }
+}
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+}
+int main() {
+  init();
+  kernel();
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + B[i] * (double)(i % 3 + 1);
+  print_double(s);
+  return 0;
+}
+"""
+
+MATMUL_SOURCE = """
+#define N 10
+double A[N][N];
+double B[N][N];
+double C[N][N];
+void init() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)(i * j % 5) / 5.0;
+      B[i][j] = (double)(i + j % 7) / 7.0;
+      C[i][j] = 0.0;
+    }
+}
+void kernel() {
+  int i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++)
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+}
+int main() {
+  init();
+  kernel();
+  int i, j;
+  double s = 0.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      s = s + C[i][j];
+  print_double(s);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def stencil_parallel():
+    return compile_parallel(STENCIL_SOURCE, only=["kernel"])
+
+
+@pytest.fixture(scope="session")
+def matmul_parallel():
+    return compile_parallel(MATMUL_SOURCE, only=["kernel"])
+
+
+@pytest.fixture
+def machine():
+    return MachineModel()

@@ -1,0 +1,261 @@
+"""Tests for CFG, dominator, loop, induction, and liveness analyses."""
+
+import pytest
+
+from conftest import compile_o0, compile_o2
+from repro.analysis.cfg import (postorder, reachable_blocks,
+                                remove_unreachable_blocks, reverse_postorder,
+                                split_edge)
+from repro.analysis.dominators import DominatorTree, PostDominatorTree
+from repro.analysis.induction import analyze_counted_loop, constant_trip_count
+from repro.analysis.liveness import Liveness
+from repro.analysis.loops import LoopInfo
+
+
+DIAMOND = """
+void f(int a, double *p) {
+  if (a > 0) { p[0] = 1.0; } else { p[1] = 2.0; }
+  p[2] = 3.0;
+}
+"""
+
+NESTED_LOOPS = """
+void f(int n, double *p) {
+  int i, j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      p[i * n + j] = 0.0;
+}
+"""
+
+
+def blocks_by_name(fn):
+    return {b.name: b for b in fn.blocks}
+
+
+class TestCfg:
+    def test_reachable_includes_all_connected(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        assert set(reachable_blocks(fn)) == set(fn.blocks)
+
+    def test_rpo_starts_at_entry(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        assert reverse_postorder(fn)[0] is fn.entry
+
+    def test_postorder_ends_at_entry(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        assert postorder(fn)[-1] is fn.entry
+
+    def test_rpo_visits_defs_before_uses_in_diamond(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        order = reverse_postorder(fn)
+        names = [b.name for b in order]
+        assert names.index("entry") < names.index("if.then1")
+        assert names.index("if.then1") < names.index("if.end2")
+
+    def test_split_edge(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        entry = fn.entry
+        succ = entry.successors[0]
+        middle = split_edge(entry, succ)
+        assert middle in entry.successors
+        assert succ in middle.successors
+
+    def test_remove_unreachable(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        dead = fn.append_block("island")
+        from repro.ir.instructions import Ret
+        dead.append(Ret())
+        assert remove_unreachable_blocks(fn) == 1
+        assert dead not in fn.blocks
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        domtree = DominatorTree(fn)
+        for block in fn.blocks:
+            assert domtree.dominates(fn.entry, block)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        by_name = blocks_by_name(fn)
+        domtree = DominatorTree(fn)
+        assert not domtree.dominates(by_name["if.then1"], by_name["if.end2"])
+        assert domtree.dominates(fn.entry, by_name["if.end2"])
+
+    def test_idom_of_join_is_branch(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        by_name = blocks_by_name(fn)
+        domtree = DominatorTree(fn)
+        assert domtree.idom[by_name["if.end2"]] is fn.entry
+
+    def test_dominance_frontier_of_arm_is_join(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        by_name = blocks_by_name(fn)
+        frontier = DominatorTree(fn).dominance_frontier()
+        assert by_name["if.end2"] in frontier[by_name["if.then1"]]
+
+    def test_loop_header_in_own_frontier(self):
+        fn = compile_o0(NESTED_LOOPS).get_function("f")
+        by_name = blocks_by_name(fn)
+        frontier = DominatorTree(fn).dominance_frontier()
+        header = by_name["for.cond1"]
+        assert header in frontier[header]
+
+
+class TestPostDominators:
+    def test_join_postdominates_arms(self):
+        fn = compile_o0(DIAMOND).get_function("f")
+        by_name = blocks_by_name(fn)
+        pdt = PostDominatorTree(fn)
+        assert pdt.immediate(fn.entry) is by_name["if.end2"]
+        assert pdt.immediate(by_name["if.then1"]) is by_name["if.end2"]
+
+    def test_immediate_is_nearest(self):
+        # Regression: ipdom must be the closest strict post-dominator,
+        # not the function exit.
+        fn = compile_o2("""
+double A[8];
+void f(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (i % 2 == 0) A[i] = 1.0; else A[i] = 2.0;
+    A[0] = A[0] + 1.0;
+  }
+}""").get_function("f")
+        pdt = PostDominatorTree(fn)
+        for block in fn.blocks:
+            term = block.terminator
+            from repro.ir.instructions import CondBranch
+            if isinstance(term, CondBranch) \
+                    and term.if_true in block.parent.blocks:
+                join = pdt.immediate(block)
+                assert join is not None
+
+
+class TestLoops:
+    def test_nest_structure(self):
+        fn = compile_o0(NESTED_LOOPS).get_function("f")
+        info = LoopInfo(fn)
+        assert len(info.top_level) == 1
+        outer = info.top_level[0]
+        assert len(outer.subloops) == 1
+        inner = outer.subloops[0]
+        assert inner.depth == 2 and outer.depth == 1
+        assert inner.blocks < outer.blocks
+
+    def test_innermost_loops(self):
+        fn = compile_o0(NESTED_LOOPS).get_function("f")
+        info = LoopInfo(fn)
+        assert len(info.innermost_loops()) == 1
+
+    def test_o0_loops_are_top_test(self):
+        fn = compile_o0(NESTED_LOOPS).get_function("f")
+        for loop in LoopInfo(fn).all_loops():
+            assert loop.is_top_test and not loop.is_rotated
+
+    def test_o2_loops_are_rotated(self):
+        fn = compile_o2(NESTED_LOOPS).get_function("f")
+        for loop in LoopInfo(fn).all_loops():
+            assert loop.is_rotated and not loop.is_top_test
+
+    def test_preheader_exists_after_o2(self):
+        fn = compile_o2(NESTED_LOOPS).get_function("f")
+        info = LoopInfo(fn)
+        # Inner loop's preheader may be the guard block; at minimum each
+        # loop has a unique out-of-loop predecessor.
+        for loop in info.all_loops():
+            outside = [p for p in loop.header.predecessors
+                       if p not in loop.blocks]
+            assert len(outside) == 1
+
+    def test_loop_for_block(self):
+        fn = compile_o0(NESTED_LOOPS).get_function("f")
+        info = LoopInfo(fn)
+        inner = info.innermost_loops()[0]
+        assert info.loop_for(inner.header) is inner
+
+
+class TestInduction:
+    def test_counted_loop_constant_bounds(self):
+        fn = compile_o2("""
+double A[100];
+void f() { int i; for (i = 2; i < 90; i++) A[i] = 1.0; }
+""").get_function("f")
+        loop = LoopInfo(fn).all_loops()[0]
+        counted = analyze_counted_loop(loop)
+        assert counted is not None
+        assert counted.start.value == 2
+        assert counted.bound.value == 90
+        assert counted.step.value == 1
+        assert counted.predicate == "slt"
+        assert counted.compares_next
+        assert constant_trip_count(counted) == 88
+
+    def test_counted_loop_symbolic_bound(self):
+        fn = compile_o2("""
+void f(double *A, int n) { int i; for (i = 0; i < n; i++) A[i] = 1.0; }
+""").get_function("f")
+        loop = LoopInfo(fn).all_loops()[0]
+        counted = analyze_counted_loop(loop)
+        assert counted is not None
+        assert constant_trip_count(counted) is None
+
+    def test_downward_loop(self):
+        fn = compile_o2("""
+double A[50];
+void f() { int i; for (i = 49; i >= 0; i--) A[i] = 1.0; }
+""").get_function("f")
+        counted = analyze_counted_loop(LoopInfo(fn).all_loops()[0])
+        assert counted is not None
+        assert counted.step.value == -1
+        assert counted.predicate == "sge"
+        assert constant_trip_count(counted) == 50
+
+    def test_non_counted_loop(self):
+        fn = compile_o2("""
+void f(double *A, int n) {
+  int i = 0;
+  while (A[i] < 10.0) i = i * 2 + 1;
+}
+""").get_function("f")
+        loops = LoopInfo(fn).all_loops()
+        assert loops
+        assert analyze_counted_loop(loops[0]) is None
+
+    def test_step_two(self):
+        fn = compile_o2("""
+double A[64];
+void f() { int i; for (i = 0; i < 64; i += 2) A[i] = 1.0; }
+""").get_function("f")
+        counted = analyze_counted_loop(LoopInfo(fn).all_loops()[0])
+        assert counted.step.value == 2
+        assert constant_trip_count(counted) == 32
+
+
+class TestLiveness:
+    def test_argument_live_through_loop(self):
+        fn = compile_o2(NESTED_LOOPS).get_function("f")
+        liveness = Liveness(fn)
+        pointer = fn.arguments[1]
+        # The array pointer is live into every loop block.
+        info = LoopInfo(fn)
+        inner = info.innermost_loops()[0]
+        assert pointer in liveness.live_in[inner.header]
+
+    def test_overlap_of_disjoint_values(self):
+        fn = compile_o2("""
+void f(double *p) {
+  double a = p[0] + 1.0;
+  p[1] = a;
+  double b = p[2] + 2.0;
+  p[3] = b;
+}
+""").get_function("f")
+        from repro.ir.instructions import BinaryOp
+        adds = [i for i in fn.instructions() if isinstance(i, BinaryOp)
+                and i.opcode == "fadd"]
+        assert len(adds) == 2
+        liveness = Liveness(fn)
+        assert not liveness.overlap(adds[0], adds[1])

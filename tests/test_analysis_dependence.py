@@ -1,0 +1,199 @@
+"""Tests for the affine dependence analysis and alias analysis."""
+
+import pytest
+
+from conftest import compile_o2
+from repro.analysis.alias import AliasResult, alias, base_object
+from repro.analysis.dependence import (analyze_loop_parallelism,
+                                       match_affine, nested_induction_phis)
+from repro.analysis.induction import analyze_counted_loop
+from repro.analysis.loops import LoopInfo
+
+
+def outer_report(source, defines=None, function="f"):
+    fn = compile_o2(source, defines).get_function(function)
+    loop = LoopInfo(fn).top_level[0]
+    counted = analyze_counted_loop(loop)
+    assert counted is not None
+    return analyze_loop_parallelism(counted)
+
+
+class TestDoall:
+    def test_independent_writes_are_parallel(self):
+        report = outer_report("""
+double A[64]; double B[64];
+void f() { int i; for (i = 0; i < 64; i++) A[i] = B[i] + 1.0; }""")
+        assert report.is_parallel and not report.needs_alias_checks
+
+    def test_stencil_read_write_same_array_blocks(self):
+        report = outer_report("""
+double A[64];
+void f() { int i; for (i = 1; i < 63; i++) A[i] = A[i-1] + 1.0; }""")
+        assert not report.is_parallel
+
+    def test_stencil_distinct_arrays_is_parallel(self):
+        report = outer_report("""
+double A[64]; double B[64];
+void f() { int i; for (i = 1; i < 63; i++) B[i] = A[i-1] + A[i+1]; }""")
+        assert report.is_parallel
+
+    def test_scalar_reduction_blocks(self):
+        report = outer_report("""
+double A[64]; double s;
+void f() { int i; double t = 0.0;
+  for (i = 0; i < 64; i++) t = t + A[i];
+  s = t; }""")
+        assert not report.is_parallel
+        assert any("scalar dependence" in r for r in report.reject_reasons)
+
+    def test_memory_reduction_blocks(self):
+        report = outer_report("""
+double A[64]; double s[1];
+void f() { int i; for (i = 0; i < 64; i++) s[0] = s[0] + A[i]; }""")
+        assert not report.is_parallel
+
+    def test_outer_loop_of_row_parallel_nest(self):
+        report = outer_report("""
+double A[16][16]; double B[16][16];
+void f() { int i, j;
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++)
+      A[i][j] = B[i][j] * 2.0; }""")
+        assert report.is_parallel
+
+    def test_matmul_outer_is_parallel(self):
+        report = outer_report("""
+double A[8][8]; double B[8][8]; double C[8][8];
+void f() { int i, j, k;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      for (k = 0; k < 8; k++)
+        C[i][j] = C[i][j] + A[i][k] * B[k][j]; }""")
+        assert report.is_parallel
+
+    def test_column_scatter_blocks_outer(self):
+        # y[j] written for every i: classic atax shape.
+        report = outer_report("""
+double A[8][8]; double y[8];
+void f() { int i, j;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      y[j] = y[j] + A[i][j]; }""")
+        assert not report.is_parallel
+
+    def test_shifted_write_read_blocks(self):
+        report = outer_report("""
+double A[64];
+void f() { int i; for (i = 0; i < 63; i++) A[i+1] = A[i] * 2.0; }""")
+        assert not report.is_parallel
+
+    def test_strided_disjoint_accesses_parallel(self):
+        # A[2i] written, A[2i+1] read: never collide.
+        report = outer_report("""
+double A[128];
+void f() { int i; for (i = 0; i < 63; i++) A[2*i] = A[2*i+1]; }""")
+        assert report.is_parallel
+
+    def test_impure_call_blocks(self):
+        report = outer_report("""
+double g(double x);
+double A[16];
+double g(double x) { return x + 1.0; }
+void f() { int i; for (i = 0; i < 16; i++) A[i] = g(A[i]); }""")
+        assert not report.is_parallel
+        assert any("non-pure" in r for r in report.reject_reasons)
+
+    def test_pure_math_call_allowed(self):
+        report = outer_report("""
+double A[16];
+void f() { int i; for (i = 0; i < 16; i++) A[i] = sqrt(A[i]); }""")
+        assert report.is_parallel
+
+    def test_pointer_args_need_runtime_check(self):
+        report = outer_report("""
+void f(double *A, double *B) {
+  int i; for (i = 0; i < 64; i++) A[i] = B[i] + 1.0; }""")
+        assert report.is_parallel
+        assert report.needs_alias_checks
+        assert report.is_conditionally_parallel
+
+    def test_floyd_warshall_row_read_blocks(self):
+        # path[i][j] written while path[k][j] read, k symbolic.
+        report = outer_report("""
+double P[8][8];
+void f(int k) { int i, j;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      P[i][j] = P[i][j] + P[k][j]; }""")
+        assert not report.is_parallel
+
+
+class TestAffineMatcher:
+    def test_shapes(self):
+        fn = compile_o2("""
+double A[64];
+void f(int n) { int i; for (i = 0; i < 60; i++) A[3*i + 2] = 1.0; }
+""").get_function("f")
+        loop = LoopInfo(fn).top_level[0]
+        counted = analyze_counted_loop(loop)
+        report = analyze_loop_parallelism(counted)
+        access = report.accesses[0]
+        assert access.subscripts is not None
+        last = access.subscripts[-1]
+        assert last.iv_coeff == 3 and last.const == 2
+
+    def test_symbolic_offset(self):
+        fn = compile_o2("""
+double A[64];
+void f(int base) { int i;
+  for (i = 0; i < 16; i++) A[base + i] = 1.0; }
+""").get_function("f")
+        loop = LoopInfo(fn).top_level[0]
+        counted = analyze_counted_loop(loop)
+        report = analyze_loop_parallelism(counted)
+        subs = report.accesses[0].subscripts[-1]
+        assert subs.iv_coeff == 1 and len(subs.terms) == 1
+
+    def test_nested_iv_detected(self):
+        fn = compile_o2("""
+double A[16][16];
+void f() { int i, j;
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++)
+      A[i][j] = 0.0; }
+""").get_function("f")
+        outer = LoopInfo(fn).top_level[0]
+        assert len(nested_induction_phis(outer)) == 1
+
+
+class TestAlias:
+    def test_distinct_globals_never_alias(self):
+        fn = compile_o2("""
+double A[8]; double B[8];
+void f() { A[0] = B[0]; }""").get_function("f")
+        from repro.ir.instructions import Load, Store
+        load = next(i for i in fn.instructions() if isinstance(i, Load))
+        store = next(i for i in fn.instructions() if isinstance(i, Store))
+        assert alias(base_object(load.pointer),
+                     base_object(store.pointer)) is AliasResult.NO_ALIAS
+
+    def test_same_base_may_alias(self):
+        fn = compile_o2("""
+double A[8];
+void f(int i, int j) { A[i] = A[j]; }""").get_function("f")
+        from repro.ir.instructions import Load, Store
+        load = next(i for i in fn.instructions() if isinstance(i, Load))
+        store = next(i for i in fn.instructions() if isinstance(i, Store))
+        assert alias(load.pointer, store.pointer) is AliasResult.MAY_ALIAS
+
+    def test_arguments_may_alias(self):
+        fn = compile_o2("""
+void f(double *A, double *B) { A[0] = B[0]; }""").get_function("f")
+        a, b = fn.arguments
+        assert alias(a, b) is AliasResult.MAY_ALIAS
+
+    def test_value_must_alias_itself(self):
+        fn = compile_o2("""
+void f(double *A) { A[0] = 1.0; }""").get_function("f")
+        a = fn.arguments[0]
+        assert alias(a, a) is AliasResult.MUST_ALIAS

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+#define N 200
+double A[N];
+double B[N];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = (double)(i % 11); B[i] = 0.0; }
+}
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+}
+int main() {
+  init(); kernel();
+  int i; double s = 0.0;
+  for (i = 0; i < N; i++) s = s + B[i];
+  print_double(s);
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCompile:
+    def test_compile_prints_ir(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "define void @kernel()" in out
+        assert "phi i32" in out  # -O2 ran (SSA form)
+
+    def test_compile_O0(self, source_file, capsys):
+        assert main(["compile", source_file, "--O0"]) == 0
+        out = capsys.readouterr().out
+        assert "alloca i32" in out
+
+    def test_defines_flag(self, tmp_path, capsys):
+        path = tmp_path / "d.c"
+        path.write_text("double A[K];\nint main() "
+                        "{ print_int(K); return 0; }")
+        assert main(["compile", str(path), "-D", "K=7", "--O0"]) == 0
+        assert "[7 x double]" in capsys.readouterr().out
+
+
+class TestParallelizeAndDecompile:
+    def test_parallelize_emits_runtime_calls(self, source_file, capsys):
+        assert main(["parallelize", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "__kmpc_fork_call" in out
+
+    def test_decompile_default_splendid(self, source_file, capsys):
+        assert main(["decompile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp parallel" in out
+        assert "__kmpc" not in out
+
+    def test_decompile_rellic(self, source_file, capsys):
+        assert main(["decompile", source_file, "--tool", "rellic"]) == 0
+        out = capsys.readouterr().out
+        assert "__kmpc_fork_call" in out
+
+    def test_decompile_variant_v1(self, source_file, capsys):
+        assert main(["decompile", source_file, "--variant", "v1"]) == 0
+        out = capsys.readouterr().out
+        assert "__kmpc_fork_call" in out and "#pragma" not in out
+
+    def test_decompile_sequential(self, source_file, capsys):
+        assert main(["decompile", source_file, "--sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma" not in out and "for (" in out
+
+    def test_ll_round_trip(self, source_file, tmp_path, capsys):
+        assert main(["parallelize", source_file]) == 0
+        ir_text = capsys.readouterr().out
+        ll_path = tmp_path / "demo.ll"
+        ll_path.write_text(ir_text)
+        assert main(["decompile", str(ll_path)]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp parallel" in out
+
+
+class TestRun:
+    def test_run_prints_output(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() != ""
+        assert "modeled cycles" in captured.err
+
+    def test_run_parallelized_same_output(self, source_file, capsys):
+        main(["run", source_file])
+        sequential = capsys.readouterr().out
+        main(["run", source_file, "--parallelize"])
+        parallel = capsys.readouterr().out
+        assert sequential == parallel
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/never.c"]) == 1
+
+
+class TestReport:
+    def test_report_table3_subset(self, capsys):
+        assert main(["report", "table3", "-b", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out and "compiler" in out
+
+    def test_report_fig7_subset(self, capsys):
+        assert main(["report", "fig7", "-b", "gemm"]) == 0
+        assert "SPLENDID" in capsys.readouterr().out

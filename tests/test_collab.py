@@ -1,0 +1,174 @@
+"""Tests for the collaboration package (edits + sessions)."""
+
+import pytest
+
+from repro.collab import (CollaborationSession, EditError, distribute_loop,
+                          interchange_nest, parallelize_loop,
+                          remove_sequential_fallback, top_level_loops)
+from repro.minic import c_ast as ast
+from repro.minic.parser import parse
+from repro.minic.printer import print_unit
+from repro.minic.sema import check
+
+PLAIN = """
+double A[32];
+double B[32];
+void kernel() {
+  int i;
+  for (i = 0; i < 32; i++) {
+    A[i] = (double)i;
+    B[i] = A[i];
+  }
+}
+"""
+
+NEST = """
+double A[8][8];
+double y[8];
+double x[8];
+void kernel() {
+  int i, j;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      y[j] = y[j] + A[i][j] * x[i];
+}
+"""
+
+
+class TestEdits:
+    def test_top_level_loops_found(self):
+        unit = parse(PLAIN)
+        assert len(top_level_loops(unit.function("kernel"))) == 1
+
+    def test_parallelize_loop_adds_pragmas(self):
+        unit = parse(PLAIN)
+        parallelize_loop(unit, "kernel", 0)
+        text = print_unit(unit)
+        assert "#pragma omp parallel" in text
+        assert "#pragma omp for schedule(static) nowait" in text
+        check(parse(text))  # still legal C
+
+    def test_parallelize_out_of_range(self):
+        unit = parse(PLAIN)
+        with pytest.raises(EditError, match="out of range"):
+            parallelize_loop(unit, "kernel", 3)
+
+    def test_parallelize_already_annotated_rejected(self):
+        unit = parse(PLAIN)
+        parallelize_loop(unit, "kernel", 0)
+        with pytest.raises(EditError):
+            parallelize_loop(unit, "kernel", 0)
+
+    def test_distribute_splits_statements(self):
+        unit = parse(PLAIN)
+        distribute_loop(unit, "kernel", 0, split_at=1)
+        fn = unit.function("kernel")
+        loops = top_level_loops(fn)
+        assert len(loops) == 2
+        text = print_unit(unit)
+        check(parse(text))
+
+    def test_distribute_invalid_split(self):
+        unit = parse(PLAIN)
+        with pytest.raises(EditError):
+            distribute_loop(unit, "kernel", 0, split_at=0)
+
+    def test_interchange_swaps_headers(self):
+        unit = parse(NEST)
+        interchange_nest(unit, "kernel", 0)
+        text = print_unit(unit)
+        # After interchange the outer loop runs over j.
+        outer = text.split("for (")[1]
+        assert outer.startswith("j = 0")
+        check(parse(text))
+
+    def test_interchange_requires_perfect_nest(self):
+        unit = parse(PLAIN)
+        with pytest.raises(EditError, match="perfect"):
+            interchange_nest(unit, "kernel", 0)
+
+    def test_missing_function(self):
+        unit = parse(PLAIN)
+        with pytest.raises(EditError, match="no function"):
+            parallelize_loop(unit, "nope", 0)
+
+
+class TestRemoveFallback:
+    SOURCE = """
+#define N 300
+void kernel(double *A, double *B) {
+  int i;
+  for (i = 0; i < N - 1; i++)
+    A[i+1] = B[i] * 2.0;
+}
+int main() {
+  double *A = (double*) malloc(300 * sizeof(double));
+  double *B = (double*) malloc(300 * sizeof(double));
+  int i;
+  for (i = 0; i < 300; i++) { A[i] = 0.0; B[i] = (double)i; }
+  kernel(A, B);
+  print_double(A[7]);
+  return 0;
+}
+"""
+
+    def test_removes_alias_guard(self):
+        from repro.core import Splendid
+        from repro.frontend import compile_source
+        from repro.passes import optimize_o2
+        from repro.polly import parallelize_module
+        module = compile_source(self.SOURCE)
+        optimize_o2(module)
+        parallelize_module(module, only_functions=["kernel"])
+        unit = Splendid(module, "full").decompile()
+        before = print_unit(unit)
+        assert "else" in before.split("int main")[0]
+        remove_sequential_fallback(unit, "kernel")
+        after = print_unit(unit)
+        kernel_text = after.split("int main")[0]
+        assert "else" not in kernel_text
+        assert "#pragma omp parallel" in kernel_text
+
+    def test_errors_without_guarded_region(self):
+        unit = parse(PLAIN)
+        with pytest.raises(EditError):
+            remove_sequential_fallback(unit, "kernel")
+
+
+class TestSession:
+    def test_full_collaboration_loop(self):
+        source = """
+#define N 128
+double A[N];
+double B[N];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = (double)(i % 9); B[i] = 0.0; }
+}
+void kernel() {
+  int i;
+  for (i = 0; i < N; i++)
+    B[i] = A[i];
+}
+int main() {
+  init();
+  kernel();
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + B[i];
+  print_double(s);
+  return 0;
+}
+"""
+        session = CollaborationSession(source, kernel_functions=["kernel"])
+        # The tiny copy body is unprofitable for the compiler; the
+        # programmer parallelizes it by hand on the decompiled source.
+        assert "#pragma" not in session.decompiled_text().split("int main")[0]
+        session.apply(
+            lambda unit: __import__("repro.collab", fromlist=["collab"])
+            .parallelize_loop(unit, "kernel", 0),
+            "parallelize copy loop")
+        result = session.evaluate()
+        assert result.outputs_match
+        assert result.collaborative_time < result.compiler_time
+        assert session.edits == ["parallelize copy loop"]

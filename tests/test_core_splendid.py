@@ -1,0 +1,181 @@
+"""Tests for SPLENDID: variants, detransformation, pragma generation."""
+
+import pytest
+
+from conftest import (MATMUL_SOURCE, STENCIL_SOURCE, compile_o0, compile_o2,
+                      compile_parallel, run_main)
+from repro.core import Splendid, decompile, options_for
+from repro.core.analyzer import find_fork_sites, outlined_functions
+from repro.core.pragma_gen import pragmas_for_region
+from repro.core.analyzer import analyze_microtask
+from repro.minic.parser import parse
+from repro.minic.sema import check
+
+
+class TestVariants:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            options_for("vmax")
+
+    def test_v1_keeps_runtime_calls(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = decompile(module, "v1")
+        assert "__kmpc_fork_call" in text
+        assert "#pragma" not in text
+
+    def test_v1_constructs_for_loops(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = decompile(module, "v1")
+        assert "for (" in text.split("omp_outlined")[-1]
+
+    def test_portable_emits_pragmas(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = decompile(module, "portable")
+        assert "#pragma omp parallel" in text
+        assert "#pragma omp for schedule(static) nowait" in text
+        assert "__kmpc" not in text
+
+    def test_portable_consumes_microtasks(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = decompile(module, "portable")
+        assert "omp_outlined" not in text
+
+    def test_full_restores_names(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = decompile(module, "full")
+        kernel = text.split("void kernel")[1]
+        assert "for (int i = 1;" in kernel
+        assert "A[i - 1]" in kernel and "B[i]" in kernel
+
+    def test_v2_alias(self, stencil_parallel):
+        module, _ = stencil_parallel
+        assert decompile(module, "v2") == decompile(module, "portable")
+
+    def test_full_output_is_checkable_c(self, stencil_parallel):
+        module, _ = stencil_parallel
+        check(parse(decompile(module, "full")))
+
+
+class TestDetransformation:
+    def test_bounds_restored_to_sequential(self, stencil_parallel):
+        # Stencil: i from 1 to N-2 inclusive (N == 64).
+        module, _ = stencil_parallel
+        text = decompile(module, "full")
+        assert "i = 1; i <= 62" in text
+
+    def test_iv_declared_inside_region(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = decompile(module, "full")
+        assert "for (int i = 1;" in text
+
+    def test_no_setup_instructions_leak(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = decompile(module, "full")
+        for marker in ("lb.addr", "mylb", "myub", "chunk", "tid", "ntid"):
+            assert marker not in text
+
+    def test_matmul_nest_structure(self, matmul_parallel):
+        module, _ = matmul_parallel
+        text = decompile(module, "full")
+        kernel = text.split("void kernel")[1].split("int main")[0]
+        assert kernel.count("for (") == 3
+        assert kernel.count("#pragma omp for") == 1
+
+    def test_inner_sequential_loops_keep_shape(self, matmul_parallel):
+        # LICM hoisted the C[i][j] address out of the k loop; the emitter
+        # rematerializes the pure address chain at its use sites, so the
+        # body reads as natural subscripts again.
+        module, _ = matmul_parallel
+        text = decompile(module, "full")
+        assert "C[i][j] = C[i][j] + A[i][k] * B[k][j]" in text
+        assert "C_idx" not in text
+
+    def test_shared_arrays_named_through_inlining(self, matmul_parallel):
+        # Globals resolve directly; names must be source names.
+        module, _ = matmul_parallel
+        text = decompile(module, "full")
+        for name in ("A", "B", "C"):
+            assert f"{name}[" in text
+
+
+class TestPragmaGeneration:
+    def test_static_nowait_selected(self, stencil_parallel):
+        module, _ = stencil_parallel
+        site = find_fork_sites(module.get_function("kernel"))[0]
+        info = analyze_microtask(site.microtask)
+        region, loop = pragmas_for_region(info)
+        assert region.directive == "parallel"
+        assert loop.directive == "for"
+        assert loop.schedule == "static"
+        assert loop.nowait
+
+    def test_no_private_clause_needed(self, stencil_parallel):
+        # Clause minimization: IV declared inside => no private clause.
+        module, _ = stencil_parallel
+        text = decompile(module, "full")
+        assert "private(" not in text
+
+
+class TestAnalyzer:
+    def test_outlined_functions_pattern_matched(self, stencil_parallel):
+        module, _ = stencil_parallel
+        outlined = outlined_functions(module)
+        assert len(outlined) == 1
+        assert outlined[0].is_outlined_parallel_region
+
+    def test_fork_sites_in_caller_only(self, stencil_parallel):
+        module, _ = stencil_parallel
+        assert find_fork_sites(module.get_function("init")) == []
+        assert len(find_fork_sites(module.get_function("kernel"))) == 1
+
+
+class TestGuardElimination:
+    def test_sequential_guarded_loop_becomes_plain_for(self):
+        # A symbolic-bound sequential loop: rotation adds a guard, the
+        # Loop-Rotate Detransformer must prove it away.
+        module = compile_o2("""
+double A[64];
+void f(int n) {
+  int i;
+  for (i = 0; i < n; i++) A[i] = 1.0;
+}""")
+        text = decompile(module, "full")
+        assert "for (i = 0; i < n; i++)" in text
+        assert "if (" not in text  # guard proven equivalent and removed
+
+    def test_unprovable_guard_kept(self):
+        # Make the guard differ from the loop's initial test: manual IR
+        # surgery replaces the guard comparison bound.
+        module = compile_o2("""
+double A[64];
+void f(int n) {
+  int i;
+  for (i = 0; i < n; i++) A[i] = 1.0;
+}""")
+        fn = module.get_function("f")
+        from repro.ir.instructions import ICmp
+        from repro.ir.values import const_int
+        # Find the guard icmp (in the entry block) and perturb it.
+        entry = fn.entry
+        for inst in entry.instructions:
+            if isinstance(inst, ICmp):
+                inst.set_operand(0, const_int(1, inst.lhs.type))
+        text = decompile(module, "full")
+        assert "if (" in text  # guard no longer provably redundant
+
+    def test_do_while_semantics_preserved_by_for_construction(self):
+        source = """
+double A[50];
+int main() {
+  int i, n = 7;
+  for (i = 2; i < n; i++) A[i] = (double)i;
+  double s = 0.0;
+  for (i = 0; i < 50; i++) s = s + A[i];
+  print_double(s);
+  return 0;
+}"""
+        module = compile_o2(source)
+        reference = run_main(module)
+        from repro.frontend import compile_source
+        recompiled = compile_source(decompile(module, "full"))
+        assert run_main(recompiled) == reference

@@ -1,0 +1,143 @@
+"""Tests for SPLENDID's variable generation (Algorithms 1 and 2)."""
+
+import pytest
+
+from conftest import compile_o2
+from repro.core.variables import (MostRecentDefinitions, generate_module_names,
+                                  generate_variable_names, propose_variables,
+                                  remove_conflicts)
+from repro.ir import types as ir_ty
+from repro.ir.builder import IRBuilder
+from repro.ir.metadata import DILocalVariable
+from repro.ir.module import Function, Module
+from repro.ir.values import const_int
+
+
+def build_figure5_function(module=None):
+    """The paper's Figure 5 program: three values proposed for `var`,
+    %1 and %2 conflicting, %3 clean."""
+    module = module or Module("fig5")
+    consume = module.get_or_declare(
+        "func", ir_ty.function(ir_ty.VOID, [ir_ty.I32]))
+    fn = Function("example", ir_ty.function(ir_ty.VOID, []))
+    module.add_function(fn)
+    builder = IRBuilder(fn.append_block("entry"))
+    var = DILocalVariable("var")
+    v1 = builder.add(const_int(1, ir_ty.I32), const_int(0, ir_ty.I32), "v1")
+    builder.dbg_value(v1, var)
+    builder.call(consume, [v1])
+    v2 = builder.add(const_int(2, ir_ty.I32), const_int(0, ir_ty.I32), "v2")
+    builder.dbg_value(v2, var)
+    builder.call(consume, [v1])  # uses %1 AFTER %2's definition: conflict
+    v3 = builder.add(const_int(3, ir_ty.I32), const_int(0, ir_ty.I32), "v3")
+    builder.dbg_value(v3, var)
+    builder.call(consume, [v3])
+    builder.ret()
+    return fn, (v1, v2, v3)
+
+
+class TestProposer:
+    def test_extracts_all_dbg_mappings(self):
+        fn, (v1, v2, v3) = build_figure5_function()
+        proposal = propose_variables(fn)
+        assert proposal.mapping == {v1: "var", v2: "var", v3: "var"}
+
+    def test_phi_combination(self):
+        module = compile_o2("""
+double out[1];
+void f(int a) { double r;
+  if (a > 2) r = 10.0; else r = 20.0;
+  out[0] = r;
+}""")
+        fn = module.get_function("f")
+        proposal = propose_variables(fn)
+        from repro.ir.instructions import Phi
+        phis = [i for i in fn.instructions() if isinstance(i, Phi)]
+        assert phis
+        named = [proposal.mapping.get(p) for p in phis]
+        assert "r" in named
+
+
+class TestAlgorithm1:
+    def test_most_recent_definition_tracking(self):
+        fn, (v1, v2, v3) = build_figure5_function()
+        proposal = propose_variables(fn)
+        result = MostRecentDefinitions(proposal).run(fn)
+        from repro.ir.instructions import Call
+        calls = [i for i in fn.instructions() if isinstance(i, Call)
+                 and i.callee_name == "func"]
+        # At the first call, the most recent def of var is %1; at the
+        # second, %2; at the third, %3.
+        assert result.state_before(calls[0])["var"] is v1
+        assert result.state_before(calls[1])["var"] is v2
+        assert result.state_before(calls[2])["var"] is v3
+
+
+class TestAlgorithm2:
+    def test_figure5_conflict_resolution(self):
+        fn, (v1, v2, v3) = build_figure5_function()
+        mapping = generate_variable_names(fn)
+        # Per Figure 5: %1 and %3 keep `var`; the conflicting most recent
+        # mapping (%2) is dropped.
+        assert mapping.get(v1) == "var"
+        assert mapping.get(v3) == "var"
+        assert v2 not in mapping
+
+    def test_no_conflict_keeps_everything(self):
+        module = Module("clean")
+        consume = module.get_or_declare(
+            "func", ir_ty.function(ir_ty.VOID, [ir_ty.I32]))
+        fn = Function("f", ir_ty.function(ir_ty.VOID, []))
+        module.add_function(fn)
+        builder = IRBuilder(fn.append_block("entry"))
+        var = DILocalVariable("x")
+        v1 = builder.add(const_int(1, ir_ty.I32), const_int(0, ir_ty.I32))
+        builder.dbg_value(v1, var)
+        builder.call(consume, [v1])
+        v2 = builder.add(const_int(2, ir_ty.I32), const_int(0, ir_ty.I32))
+        builder.dbg_value(v2, var)
+        builder.call(consume, [v2])
+        builder.ret()
+        mapping = generate_variable_names(fn)
+        assert mapping.get(v1) == "x" and mapping.get(v2) == "x"
+
+    def test_renaming_never_merges_live_values(self):
+        """Safety invariant: two values sharing one name never overlap."""
+        from repro.analysis.liveness import Liveness
+        from collections import defaultdict
+        module = compile_o2("""
+double A[32];
+int main() {
+  int i; double s = 0.0;
+  for (i = 0; i < 32; i++) { A[i] = (double)i; s = s + A[i]; }
+  print_double(s);
+  return 0;
+}""")
+        for fn in module.defined_functions():
+            mapping = generate_variable_names(fn)
+            liveness = Liveness(fn)
+            groups = defaultdict(list)
+            for value, name in mapping.items():
+                from repro.ir.instructions import Instruction
+                if isinstance(value, Instruction) and value.parent:
+                    groups[name].append(value)
+            for name, values in groups.items():
+                for i, a in enumerate(values):
+                    for b in values[i + 1:]:
+                        assert not liveness.overlap(a, b), \
+                            f"{name}: {a} and {b} overlap"
+
+
+class TestModuleNames:
+    def test_iv_names_restored_in_polybench_style_kernel(self):
+        module = compile_o2("""
+double A[16][16];
+void f() {
+  int row, col;
+  for (row = 0; row < 16; row++)
+    for (col = 0; col < 16; col++)
+      A[row][col] = 1.0;
+}""")
+        names = generate_module_names(module)
+        assert "row" in names.values()
+        assert "col" in names.values()

@@ -1,0 +1,186 @@
+"""White-box tests for decompilation-engine mechanisms added on top of
+the basic structuring: transparent casts, IV-merge folding, name
+sharing, step inlining, and fallbacks."""
+
+import pytest
+
+from conftest import compile_o2, run_main
+from repro.core import decompile
+from repro.decompilers import rellic
+from repro.frontend import compile_source
+from repro.minic.parser import parse
+from repro.minic.sema import check
+from repro.passes import optimize_o2
+
+
+def roundtrip_output(source, defines=None):
+    module = compile_o2(source, defines)
+    reference = run_main(module)
+    text = decompile(module, "full")
+    recompiled = compile_source(text, defines)
+    optimize_o2(recompiled)
+    assert run_main(recompiled) == reference
+    return text
+
+
+class TestTransparentCasts:
+    def test_no_widening_casts_in_subscripts(self):
+        text = roundtrip_output("""
+double A[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) A[i] = (double)i;
+  print_double(A[63]);
+  return 0;
+}""")
+        assert "(long)" not in text and "(uint64_t)" not in text
+
+    def test_value_changing_casts_kept(self):
+        text = roundtrip_output("""
+int truncate(double d) { return (int)d * 2; }
+int main() {
+  print_int(truncate(3.7));
+  return 0;
+}""")
+        assert "(int)d" in text  # fptosi is value-changing: never elided
+
+
+class TestNameSharing:
+    def test_accumulator_collapses_to_one_variable(self):
+        text = roundtrip_output("""
+double B[40];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 40; i++) s = s + B[i];
+  print_double(s);
+  return 0;
+}""")
+        main_part = text.split("int main")[1]
+        assert "s = s + B[i]" in main_part
+        assert "s1" not in main_part
+        assert main_part.count("double s;") == 1
+
+    def test_no_self_copies(self):
+        text = roundtrip_output("""
+double B[40];
+int main() {
+  int i;
+  double s = 1.0;
+  for (i = 0; i < 40; i++) s = s * 1.5 + B[i];
+  print_double(s);
+  return 0;
+}""")
+        assert "s = s;" not in text
+
+    def test_distinct_variables_stay_distinct(self):
+        text = roundtrip_output("""
+int main() {
+  int x = 3;
+  int y = 4;
+  print_int(x + y);
+  return 0;
+}""")
+        # Constant-folded or not, x and y must never merge into one name
+        # carrying the wrong value: verified by the round-trip output.
+        assert text
+
+
+class TestStepInlining:
+    def test_shared_increment_prints_as_iv_plus_one(self):
+        text = roundtrip_output("""
+double A[100];
+double B[100];
+int main() {
+  int i;
+  for (i = 0; i < 99; i++) B[i] = A[i + 1];
+  print_double(B[0]);
+  return 0;
+}""")
+        assert "A[i + 1]" in text
+        assert "i++" in text
+
+
+class TestGuardBehaviour:
+    def test_constant_bound_loop_has_no_guard(self):
+        text = roundtrip_output("""
+double A[16];
+int main() {
+  int i;
+  for (i = 0; i < 16; i++) A[i] = 1.0;
+  print_double(A[3]);
+  return 0;
+}""")
+        assert "if (" not in text
+
+    def test_symbolic_bound_guard_removed_when_equivalent(self):
+        text = roundtrip_output("""
+double A[64];
+void fill(int n) {
+  int i;
+  for (i = 0; i < n; i++) A[i] = 2.0;
+}
+int main() { fill(10); print_double(A[9]); return 0; }""")
+        fill = text.split("void fill")[1].split("int main")[0]
+        assert "if (" not in fill
+        assert "for (i = 0; i < n; i++)" in fill
+
+
+class TestFallbacks:
+    def test_goto_fallback_is_recompilable_semantically(self):
+        source = """
+double A[32];
+int main() {
+  int i = 0;
+  while (A[i] < 5.0 && i < 31) {
+    A[i + 1] = A[i] + 1.0;
+    i = i + 1;
+  }
+  print_int(i);
+  return 0;
+}"""
+        module = compile_o2(source)
+        reference = run_main(module)
+        text = decompile(module, "full")
+        assert "goto" in text  # multi-exit loop fell back
+        check(parse(text))
+
+    def test_fallback_is_per_function(self):
+        # One awkward function must not force gotos everywhere.
+        source = """
+double A[32];
+void weird(int n) {
+  int i = 0;
+  while (A[i] < 5.0 && i < n) i = i + 1;
+  A[0] = (double)i;
+}
+void clean() {
+  int i;
+  for (i = 0; i < 32; i++) A[i] = 1.0;
+}
+int main() { clean(); weird(4); print_double(A[0]); return 0; }"""
+        module = compile_o2(source)
+        text = decompile(module, "full")
+        clean_part = text.split("void clean")[1].split("int main")[0]
+        assert "goto" not in clean_part
+        assert "for (" in clean_part
+
+
+class TestBaselineScoping:
+    def test_do_while_condition_in_scope(self, stencil_parallel):
+        # Regression: the exit compare used to be declared inside the
+        # do-while body but referenced in its condition.
+        module, _ = stencil_parallel
+        check(parse(rellic.decompile(module)))
+
+    def test_runtime_declarations_emitted_for_baselines(self,
+                                                        stencil_parallel):
+        module, _ = stencil_parallel
+        text = rellic.decompile(module)
+        assert "void __kmpc_for_static_fini(int" in text
+        assert "__kmpc_fork_call" in text
+
+    def test_splendid_omits_runtime_declarations(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = decompile(module, "full")
+        assert "__kmpc" not in text

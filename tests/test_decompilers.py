@@ -1,0 +1,167 @@
+"""Tests for the decompilation engine and the baseline back ends."""
+
+import pytest
+
+from conftest import STENCIL_SOURCE, compile_o2, compile_parallel
+from repro.decompilers import cbackend, ghidra, rellic
+from repro.minic.parser import parse
+from repro.minic.sema import check
+
+
+class TestRellic:
+    def test_exposes_runtime_calls(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = rellic.decompile(module)
+        assert "__kmpc_fork_call" in text
+        assert "__kmpc_for_static_init_8" in text
+        assert "__kmpc_for_static_fini" in text
+
+    def test_emits_do_while_not_for(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = rellic.decompile(module)
+        kernel_part = text.split("omp_outlined")[-1]
+        assert "do {" in kernel_part
+        assert "while (" in kernel_part
+
+    def test_no_pragmas(self, stencil_parallel):
+        module, _ = stencil_parallel
+        assert "#pragma" not in rellic.decompile(module)
+
+    def test_register_style_names(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = rellic.decompile(module)
+        assert "val" in text and "phi" in text
+
+    def test_guard_check_remains(self, stencil_parallel):
+        # Rellic does not de-transform loop rotation: guard + do-while.
+        module, _ = stencil_parallel
+        text = rellic.decompile(module)
+        outlined = text.split("omp_outlined")[-1]
+        assert "if (" in outlined
+
+    def test_output_is_parseable_c(self, stencil_parallel):
+        # Rellic output is syntactic C (just not portable/linkable OpenMP).
+        module, _ = stencil_parallel
+        unit = parse(rellic.decompile(module))
+        assert unit.functions
+
+
+class TestGhidra:
+    def test_constructs_for_loops(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = ghidra.decompile(module)
+        assert "for (" in text.split("omp_outlined")[-1]
+
+    def test_byte_level_addressing(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = ghidra.decompile(module)
+        assert "*(double*)((long)" in text
+
+    def test_names_stripped(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = ghidra.decompile(module)
+        assert "param_1" in text
+        # Source-level parameter names must not appear on the microtask.
+        outlined = text.split("omp_outlined")[-1].split("{")[0]
+        assert "tid" not in outlined
+
+    def test_local_variable_style(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = ghidra.decompile(module)
+        assert "iVar" in text or "lVar" in text
+
+
+class TestCBackend:
+    def test_goto_based_output(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = cbackend.decompile(module)
+        assert "goto" in text
+        assert "do {" not in text and "for (" not in text
+
+    def test_labels_emitted(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = cbackend.decompile(module)
+        assert "bb_" in text
+
+    def test_one_statement_per_instruction_style(self, stencil_parallel):
+        module, _ = stencil_parallel
+        text = cbackend.decompile(module)
+        assert "tmp__" in text
+
+
+class TestStructuring:
+    def test_if_else(self):
+        module = compile_o2("""
+double A[4];
+void f(int a) {
+  if (a > 0) A[0] = 1.0;
+  else A[1] = 2.0;
+  A[2] = 3.0;
+}""")
+        text = rellic.decompile(module)
+        assert "if (" in text and "} else {" in text
+
+    def test_nested_loops_structured(self):
+        module = compile_o2("""
+double A[6][6];
+void f() {
+  int i, j;
+  for (i = 0; i < 6; i++)
+    for (j = 0; j < 6; j++)
+      A[i][j] = 1.0;
+}""")
+        text = ghidra.decompile(module)
+        assert text.count("for (") == 2
+
+    def test_while_loop_with_nontrivial_condition(self):
+        # Short-circuit conditions create multi-exit loops; the engine
+        # falls back to goto-based emission for such functions.
+        module = compile_o2("""
+void f(double *A, int n) {
+  int i = 0;
+  while (A[i] < 10.0 && i < n) i = i + 1;
+  A[0] = (double)i;
+}""")
+        text = rellic.decompile(module)
+        assert "goto" in text
+        check(parse(text))  # fallback output must still be legal C
+
+    def test_ternary_becomes_if(self):
+        module = compile_o2("""
+double A[8];
+void f(int i, double x) { A[i] = x > 0.0 ? x : -x; }""")
+        text = rellic.decompile(module)
+        assert "if (" in text
+
+    def test_deep_nest(self):
+        module = compile_o2("""
+double A[4][4][4];
+void f() {
+  int i, j, k;
+  for (i = 0; i < 4; i++)
+    for (j = 0; j < 4; j++)
+      for (k = 0; k < 4; k++)
+        A[i][j][k] = (double)(i + j + k);
+}""")
+        text = ghidra.decompile(module)
+        assert text.count("for (") == 3
+
+
+class TestBaselinesSideBySide:
+    def test_all_emit_same_module_without_error(self, matmul_parallel):
+        module, _ = matmul_parallel
+        for tool in (rellic, ghidra, cbackend):
+            text = tool.decompile(module)
+            assert "kernel" in text
+            assert len(text.splitlines()) > 10
+
+    def test_loc_ordering(self, matmul_parallel):
+        """Rellic (stmt-per-instr, do-while) > Ghidra (for loops) >
+        SPLENDID (compound expressions)."""
+        from repro.core import decompile as splendid_decompile
+        from repro.metrics import count_loc
+        module, _ = matmul_parallel
+        rellic_loc = count_loc(rellic.decompile(module))
+        ghidra_loc = count_loc(ghidra.decompile(module))
+        splendid_loc = count_loc(splendid_decompile(module, "full"))
+        assert splendid_loc < ghidra_loc <= rellic_loc

@@ -1,0 +1,125 @@
+"""Tests for the experiment harness on a fast benchmark subset."""
+
+import pytest
+
+from repro.eval import (figure6_speedups, figure7_bleu, figure8_restoration,
+                        figure9_collaboration, geomean, render_figure6,
+                        render_figure7, render_figure8, render_figure9,
+                        render_table3, render_table4, table3_loops,
+                        table4_loc)
+
+SUBSET = ["gemm", "atax", "jacobi-1d-imper"]
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([4.0, 1.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0, 1.0]) == pytest.approx(2.0)
+
+
+class TestFigure6:
+    def test_speedups_positive_and_portable(self):
+        result = figure6_speedups(SUBSET)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row.polly > 0
+            # Portability: the recompiled code's speedup tracks Polly's
+            # within the modeled compiler variation.
+            assert row.splendid_clang == pytest.approx(row.polly, rel=0.15)
+            assert row.splendid_gcc == pytest.approx(row.polly, rel=0.15)
+
+    def test_parallel_kernels_actually_speed_up(self):
+        result = figure6_speedups(["gemm"])
+        assert result.rows[0].polly > 5.0
+
+    def test_render(self):
+        text = render_figure6(figure6_speedups(SUBSET))
+        assert "geomean" in text and "gemm" in text
+
+
+class TestFigure7:
+    def test_variant_ordering(self):
+        result = figure7_bleu(SUBSET)
+        for row in result.rows:
+            assert row.scores["splendid"] > row.scores["splendid-portable"] \
+                > row.scores["splendid-v1"] > 0
+            assert row.scores["splendid"] > 2 * row.scores["ghidra"]
+            assert row.scores["splendid"] > 2 * row.scores["rellic"]
+
+    def test_improvement_factors(self):
+        result = figure7_bleu(SUBSET)
+        assert result.improvement_over("splendid", "ghidra") > 3.0
+
+    def test_render(self):
+        assert "average" in render_figure7(figure7_bleu(SUBSET))
+
+
+class TestTable4:
+    def test_splendid_closest_to_reference(self):
+        result = table4_loc(SUBSET)
+        for row in result.rows:
+            assert row.splendid < row.ghidra
+            assert row.splendid < row.rellic
+            assert row.splendid >= row.reference
+
+    def test_parallel_representation_tiny_for_splendid(self):
+        result = table4_loc(SUBSET)
+        for row in result.rows:
+            if row.par_rellic:  # benchmark has parallel loops
+                assert row.par_splendid * 3 <= row.par_rellic
+                assert row.par_splendid * 3 <= row.par_ghidra
+
+    def test_render(self):
+        assert "Total" in render_table4(table4_loc(SUBSET))
+
+
+class TestFigure8:
+    def test_majority_of_names_restored(self):
+        result = figure8_restoration(SUBSET)
+        assert result.average_percent > 60.0
+        for row in result.rows:
+            assert 0 < row.restored <= row.total
+
+    def test_render(self):
+        assert "%" in render_figure8(figure8_restoration(SUBSET))
+
+
+class TestTable3:
+    def test_structure(self):
+        result = table3_loops(SUBSET)
+        for row in result.rows:
+            assert row.total >= max(row.programmer, row.compiler)
+            assert row.eliminated_manual <= min(row.programmer, row.compiler)
+
+    def test_atax_distribution_case_has_no_overlap(self):
+        result = table3_loops(["atax"])
+        assert result.rows[0].overlap == 0
+        assert result.rows[0].total == \
+            result.rows[0].programmer + result.rows[0].compiler
+
+    def test_render(self):
+        assert "Total" in render_table3(table3_loops(SUBSET))
+
+
+@pytest.mark.slow
+class TestFigure9:
+    def test_collaboration_dominates(self):
+        result = figure9_collaboration()
+        assert len(result.rows) == 7
+        for row in result.rows:
+            assert row.collaborative >= 0.95 * row.manual_only
+            assert row.collaborative >= 0.95 * row.compiler_only
+        # On the distribution cases collaboration clearly beats both.
+        by_name = {r.name: r for r in result.rows}
+        for name in ("atax", "bicg"):
+            row = by_name[name]
+            assert row.collaborative > 2 * row.manual_only
+            assert row.collaborative > 2 * row.compiler_only
+
+    def test_render(self):
+        assert "collab" in render_figure9(figure9_collaboration())

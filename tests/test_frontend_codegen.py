@@ -1,0 +1,283 @@
+"""Tests for AST -> IR lowering, validated by executing the IR."""
+
+import pytest
+
+from conftest import compile_o0, compile_o2, run_main
+from repro.frontend.codegen import CodegenError, compile_source
+from repro.ir.instructions import Alloca, DbgValue
+from repro.runtime import run_module
+
+
+def run_source(source, defines=None, entry="main"):
+    return run_module(compile_o0(source, defines), entry).output
+
+
+class TestScalarLowering:
+    def test_int_arithmetic(self):
+        out = run_source("""
+int main() { int a = 7, b = 3;
+  print_int(a + b); print_int(a - b); print_int(a * b);
+  print_int(a / b); print_int(a % b);
+  return 0; }""")
+        assert out == ["10", "4", "21", "2", "1"]
+
+    def test_c_division_truncates_toward_zero(self):
+        out = run_source("""
+int main() { int a = -7, b = 2;
+  print_int(a / b); print_int(a % b); return 0; }""")
+        assert out == ["-3", "-1"]
+
+    def test_double_arithmetic(self):
+        out = run_source("""
+int main() { double x = 1.5, y = 0.25;
+  print_double(x + y); print_double(x * y); print_double(x / y);
+  return 0; }""")
+        assert out == ["1.750000", "0.375000", "6.000000"]
+
+    def test_mixed_int_double_promotion(self):
+        out = run_source(
+            "int main() { int i = 3; double d = 0.5; "
+            "print_double(i + d); return 0; }")
+        assert out == ["3.500000"]
+
+    def test_casts(self):
+        out = run_source("""
+int main() { double d = 3.9; int i = (int)d;
+  print_int(i); print_double((double)(i * 2)); return 0; }""")
+        assert out == ["3", "6.000000"]
+
+    def test_increment_decrement(self):
+        out = run_source("""
+int main() { int i = 5;
+  print_int(i++); print_int(i); print_int(++i); print_int(--i);
+  return 0; }""")
+        assert out == ["5", "6", "7", "6"]
+
+    def test_compound_assignment(self):
+        out = run_source("""
+int main() { int a = 10; a += 5; a -= 3; a *= 2; a /= 4;
+  print_int(a); return 0; }""")
+        assert out == ["6"]
+
+    def test_bitwise_ops(self):
+        out = run_source("""
+int main() { int a = 12, b = 10;
+  print_int(a & b); print_int(a | b); print_int(a ^ b);
+  print_int(a << 2); print_int(a >> 1); print_int(~a);
+  return 0; }""")
+        assert out == ["8", "14", "6", "48", "6", "-13"]
+
+    def test_unary_not(self):
+        out = run_source(
+            "int main() { print_int(!0); print_int(!7); return 0; }")
+        assert out == ["1", "0"]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        out = run_source("""
+int main() { int a = 4;
+  if (a > 3) print_int(1); else print_int(0);
+  if (a > 9) print_int(1); else print_int(0);
+  return 0; }""")
+        assert out == ["1", "0"]
+
+    def test_short_circuit_and(self):
+        out = run_source("""
+double A[1];
+int main() { int i = 5;
+  if (i > 0 && A[0] == 0.0) print_int(1);
+  if (i < 0 && 1 / 0) print_int(99);
+  return 0; }""")
+        # The 1/0 must never evaluate: short circuit.
+        assert out == ["1"]
+
+    def test_short_circuit_or(self):
+        out = run_source("""
+int main() { int i = 5;
+  if (i > 0 || 1 / 0) print_int(1);
+  return 0; }""")
+        assert out == ["1"]
+
+    def test_ternary(self):
+        out = run_source("""
+int main() { int a = 3;
+  print_int(a > 2 ? 10 : 20);
+  print_int(a > 5 ? 10 : 20);
+  return 0; }""")
+        assert out == ["10", "20"]
+
+    def test_while_and_do_while(self):
+        out = run_source("""
+int main() { int i = 0, s = 0;
+  while (i < 5) { s += i; i++; }
+  print_int(s);
+  do { s += 100; } while (0);
+  print_int(s);
+  return 0; }""")
+        assert out == ["10", "110"]
+
+    def test_break_continue(self):
+        out = run_source("""
+int main() { int i, s = 0;
+  for (i = 0; i < 10; i++) {
+    if (i == 7) break;
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  print_int(s);
+  return 0; }""")
+        assert out == ["9"]  # 1 + 3 + 5
+
+    def test_nested_loops(self):
+        out = run_source("""
+int main() { int i, j, s = 0;
+  for (i = 0; i < 4; i++)
+    for (j = 0; j <= i; j++)
+      s += 1;
+  print_int(s);
+  return 0; }""")
+        assert out == ["10"]
+
+    def test_early_return(self):
+        out = run_source("""
+int f(int x) { if (x > 0) return 1; return -1; }
+int main() { print_int(f(5)); print_int(f(-5)); return 0; }""")
+        assert out == ["1", "-1"]
+
+
+class TestMemory:
+    def test_global_arrays_zero_initialized(self):
+        out = run_source("""
+double A[4];
+int main() { print_double(A[2]); return 0; }""")
+        assert out == ["0.000000"]
+
+    def test_2d_array_indexing(self):
+        out = run_source("""
+double A[3][4];
+int main() { int i, j;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 4; j++)
+      A[i][j] = (double)(i * 10 + j);
+  print_double(A[2][3]);
+  print_double(A[0][1]);
+  return 0; }""")
+        assert out == ["23.000000", "1.000000"]
+
+    def test_local_array(self):
+        out = run_source("""
+int main() { double v[4]; int i;
+  for (i = 0; i < 4; i++) v[i] = (double)i * 2.0;
+  print_double(v[3]);
+  return 0; }""")
+        assert out == ["6.000000"]
+
+    def test_pointer_parameters(self):
+        out = run_source("""
+void setit(double *p, double v) { p[0] = v; }
+double A[2];
+int main() { setit(A, 9.5); print_double(A[0]); return 0; }""")
+        assert out == ["9.500000"]
+
+    def test_pointer_arithmetic(self):
+        out = run_source("""
+double A[4];
+int main() { double *p = A + 1; p[0] = 5.0;
+  print_double(A[1]); return 0; }""")
+        assert out == ["5.000000"]
+
+    def test_malloc_free(self):
+        out = run_source("""
+int main() {
+  double *p = (double*) malloc(8 * sizeof(double));
+  p[7] = 2.5;
+  print_double(p[7]);
+  free(p);
+  return 0; }""")
+        assert out == ["2.500000"]
+
+    def test_address_of_scalar(self):
+        out = run_source("""
+void bump(double *p) { *p = *p + 1.0; }
+int main() { double x = 1.0; bump(&x); print_double(x); return 0; }""")
+        assert out == ["2.000000"]
+
+
+class TestCallsAndBuiltins:
+    def test_math_builtins(self):
+        out = run_source("""
+int main() { print_double(sqrt(16.0)); print_double(fabs(-2.5));
+  print_double(pow(2.0, 10.0)); return 0; }""")
+        assert out == ["4.000000", "2.500000", "1024.000000"]
+
+    def test_recursion(self):
+        out = run_source("""
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main() { print_int(fact(6)); return 0; }""")
+        assert out == ["720"]
+
+    def test_void_function(self):
+        out = run_source("""
+double acc;
+void add(double v) { acc = acc + v; }
+int main() { add(1.5); add(2.5); print_double(acc); return 0; }""")
+        assert out == ["4.000000"]
+
+
+class TestDebugMetadata:
+    def test_param_allocas_carry_debug_vars(self):
+        module = compile_o0("void f(double *A, int n) { n = n; }")
+        fn = module.get_function("f")
+        tagged = [inst.debug_variable.name for inst in fn.instructions()
+                  if isinstance(inst, Alloca) and inst.debug_variable]
+        assert set(tagged) == {"A", "n"}
+
+    def test_mem2reg_materializes_dbg_values(self):
+        module = compile_o2("void f(int n) { int i; for (i = 0; i < n; i++) ; }")
+        fn = module.get_function("f")
+        names = {inst.variable.name for inst in fn.instructions()
+                 if isinstance(inst, DbgValue)}
+        assert "i" in names
+
+
+class TestErrors:
+    def test_break_outside_loop(self):
+        with pytest.raises(CodegenError):
+            compile_source("void f() { break; }")
+
+    def test_string_in_kernel_rejected(self):
+        with pytest.raises(CodegenError):
+            compile_source('void f(double *p) { p[0] = 1.0; printf("x"); }')
+
+
+class TestO2Equivalence:
+    SOURCES = [
+        """
+double A[32]; double B[32];
+int main() { int i;
+  for (i = 0; i < 32; i++) A[i] = (double)(i % 5);
+  for (i = 1; i < 31; i++) B[i] = (A[i-1] + A[i+1]) / 2.0;
+  double s = 0.0;
+  for (i = 0; i < 32; i++) s += B[i];
+  print_double(s);
+  return 0; }""",
+        """
+int main() { int i, s = 0;
+  for (i = 0; i < 100; i++) { if (i % 3 == 0) s += i; else s -= 1; }
+  print_int(s);
+  return 0; }""",
+        """
+double M[6][6];
+int main() { int i, j, k; double t = 0.0;
+  for (i = 0; i < 6; i++)
+    for (j = 0; j < 6; j++)
+      M[i][j] = (double)(i - j);
+  for (k = 0; k < 6; k++) t += M[k][5 - k];
+  print_double(t);
+  return 0; }""",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_o0_matches_o2(self, source):
+        assert run_main(compile_o0(source)) == run_main(compile_o2(source))

@@ -1,0 +1,176 @@
+"""Tests for the front end's OpenMP lowering (recompilation support)."""
+
+import pytest
+
+from conftest import compile_o0, compile_o2, run_main
+from repro.frontend.omp_lowering import OmpLoweringError, canonicalize_for
+from repro.minic.parser import parse_function
+from repro.polly.runtime_decls import FORK_CALL, STATIC_INIT
+from repro.runtime import Interpreter, MachineModel
+
+
+PARALLEL_SOURCE = """
+#define N 200
+double A[N];
+double B[N];
+int main() {
+  int i;
+  for (i = 0; i < N; i++) A[i] = (double)(i % 7);
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int j = 1; j < N - 1; j++)
+      B[j] = (A[j-1] + A[j] + A[j+1]) / 3.0;
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + B[i];
+  print_double(s);
+  return 0;
+}
+"""
+
+
+class TestCanonicalForm:
+    def loop(self, text):
+        fn = parse_function(f"void f(int n) {{ {text} }}")
+        return fn.body.body[0]
+
+    def test_basic(self):
+        loop = canonicalize_for(self.loop("for (int i = 0; i < n; i++) ;"))
+        assert loop.iv_name == "i" and loop.step == 1
+        assert loop.relation == "<"
+
+    def test_reversed_condition(self):
+        loop = canonicalize_for(self.loop("for (int i = 0; n > i; i++) ;"))
+        assert loop.relation == "<"
+
+    def test_downward(self):
+        loop = canonicalize_for(
+            self.loop("for (int i = n; i >= 0; i--) ;"))
+        assert loop.step == -1 and loop.relation == ">="
+
+    def test_explicit_step(self):
+        loop = canonicalize_for(
+            self.loop("for (int i = 0; i < n; i = i + 4) ;"))
+        assert loop.step == 4
+
+    def test_compound_step(self):
+        loop = canonicalize_for(
+            self.loop("for (int i = 0; i < n; i += 2) ;"))
+        assert loop.step == 2
+
+    def test_rejects_noncanonical_test(self):
+        with pytest.raises(OmpLoweringError):
+            canonicalize_for(self.loop("for (int i = 0; i != n; i++) ;"))
+
+    def test_rejects_wrong_direction(self):
+        with pytest.raises(OmpLoweringError):
+            canonicalize_for(self.loop("for (int i = 0; i < n; i--) ;"))
+
+    def test_rejects_nonconstant_step(self):
+        with pytest.raises(OmpLoweringError):
+            canonicalize_for(self.loop("for (int i = 0; i < n; i += n) ;"))
+
+
+class TestLowering:
+    def test_emits_runtime_protocol(self):
+        module = compile_o0(PARALLEL_SOURCE)
+        names = set(module.functions)
+        assert FORK_CALL in names and STATIC_INIT in names
+        outlined = [f for f in module.defined_functions()
+                    if f.is_outlined_parallel_region]
+        assert len(outlined) == 1
+
+    def test_parallel_matches_sequential_semantics(self):
+        sequential = PARALLEL_SOURCE.replace("#pragma omp parallel", "") \
+            .replace("#pragma omp for schedule(static) nowait", "")
+        assert run_main(compile_o0(PARALLEL_SOURCE)) == \
+            run_main(compile_o0(sequential))
+
+    def test_parallel_is_faster_in_the_model(self):
+        machine = MachineModel()
+        par = Interpreter(compile_o2(PARALLEL_SOURCE), machine).run("main")
+        sequential = PARALLEL_SOURCE.replace("#pragma omp parallel", "") \
+            .replace("#pragma omp for schedule(static) nowait", "")
+        seq = Interpreter(compile_o2(sequential), machine).run("main")
+        assert par.output == seq.output
+        assert par.wall_time < seq.wall_time
+
+    def test_combined_parallel_for(self):
+        source = PARALLEL_SOURCE.replace(
+            "#pragma omp parallel\n  {\n    #pragma omp for schedule(static) nowait",
+            "{\n    #pragma omp parallel for schedule(static)")
+        module = compile_o0(source)
+        assert run_main(module) == run_main(compile_o0(PARALLEL_SOURCE))
+
+    def test_private_declarations_in_region(self):
+        source = """
+#define N 40
+double A[N][N];
+int main() {
+  #pragma omp parallel
+  {
+    int j;
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      for (j = 0; j < N; j++)
+        A[i][j] = (double)(i + j);
+  }
+  print_double(A[3][5]);
+  return 0;
+}
+"""
+        assert run_main(compile_o0(source)) == ["8.000000"]
+
+    def test_shared_scalars_passed_by_value(self):
+        source = """
+#define N 50
+double A[N];
+void kernel(int lo, int hi, double scale) {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = lo; i < hi; i++)
+      A[i] = scale * (double)i;
+  }
+}
+int main() { kernel(2, 48, 0.5); print_double(A[10]); return 0; }
+"""
+        assert run_main(compile_o0(source)) == ["5.000000"]
+
+    def test_downward_parallel_loop(self):
+        source = """
+#define N 30
+double A[N];
+int main() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = N - 1; i >= 0; i--)
+      A[i] = (double)i;
+  }
+  print_double(A[29] + A[0]);
+  return 0;
+}
+"""
+        assert run_main(compile_o0(source)) == ["29.000000"]
+
+    def test_static_chunked_schedule(self):
+        source = PARALLEL_SOURCE.replace("schedule(static)",
+                                         "schedule(static, 4)")
+        assert run_main(compile_o0(source)) == \
+            run_main(compile_o0(PARALLEL_SOURCE))
+
+    def test_sequential_statement_in_region_rejected(self):
+        source = """
+double A[4];
+int main() {
+  #pragma omp parallel
+  {
+    A[0] = 1.0;
+  }
+  return 0;
+}
+"""
+        with pytest.raises(OmpLoweringError):
+            compile_o0(source)

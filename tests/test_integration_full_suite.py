@@ -1,0 +1,58 @@
+"""Full-suite integration: every PolyBench benchmark through the whole
+pipeline with semantic checks at each boundary.
+
+This is the repo's end-to-end safety net (the per-figure benchmarks
+under ``benchmarks/`` share the same artifact cache, so the marginal
+cost of running this in CI is small).
+"""
+
+import pytest
+
+from repro.eval import artifacts_for, build_openmp, program_output
+from repro.metrics import bleu_score, count_loc
+from repro.minic.parser import parse
+from repro.minic.sema import check
+from repro.polybench import all_benchmarks
+
+ALL = [b.name for b in all_benchmarks()]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestFullSuite:
+    def test_parallelization_is_semantics_preserving(self, name):
+        from repro.polybench import get
+        art = artifacts_for(get(name))
+        assert program_output(art.sequential) == program_output(art.parallel)
+
+    def test_splendid_output_recompiles_and_matches(self, name):
+        from repro.polybench import get
+        bench = get(name)
+        art = artifacts_for(bench)
+        recompiled = build_openmp(art.decompiled["splendid"], bench.defines,
+                                  name=f"{name}.rt")
+        assert program_output(recompiled) == program_output(art.sequential)
+
+    def test_all_decompilers_produce_checkable_c(self, name):
+        from repro.polybench import get
+        bench = get(name)
+        art = artifacts_for(bench)
+        for tool in ("rellic", "ghidra", "splendid-v1",
+                     "splendid-portable", "splendid"):
+            check(parse(art.decompiled[tool]))
+
+    def test_naturalness_ordering(self, name):
+        from repro.polybench import get
+        bench = get(name)
+        art = artifacts_for(bench)
+        full = bleu_score(art.decompiled["splendid"], bench.reference_source)
+        for baseline in ("rellic", "ghidra"):
+            assert full > bleu_score(art.decompiled[baseline],
+                                     bench.reference_source)
+
+    def test_loc_ordering(self, name):
+        from repro.polybench import get
+        bench = get(name)
+        art = artifacts_for(bench)
+        splendid = count_loc(art.decompiled["splendid"])
+        assert splendid < count_loc(art.decompiled["rellic"])
+        assert splendid < count_loc(art.decompiled["ghidra"])

@@ -1,0 +1,252 @@
+"""Unit tests for values, instructions, blocks, functions, use-def."""
+
+import pytest
+
+from repro.ir import types as ty
+from repro.ir.block import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast,
+                                   CondBranch, ICmp, Load, Phi, Ret, Store)
+from repro.ir.metadata import DILocalVariable
+from repro.ir.module import Function, Module
+from repro.ir.values import (Argument, ConstantFloat, ConstantInt,
+                             UndefValue, const_bool, const_float, const_int)
+
+
+def make_function(name="f", params=(), ret=ty.VOID):
+    return Function(name, ty.function(ret, list(params)))
+
+
+class TestConstants:
+    def test_int_wraps_at_construction(self):
+        c = ConstantInt(ty.I32, 2 ** 31)
+        assert c.value == -(2 ** 31)
+
+    def test_int_equality_by_value_and_type(self):
+        assert const_int(3, ty.I32) == const_int(3, ty.I32)
+        assert const_int(3, ty.I32) != const_int(3, ty.I64)
+        assert const_int(3) != const_int(4)
+
+    def test_bool_rendering(self):
+        assert str(const_bool(True)) == "true"
+        assert str(const_bool(False)) == "false"
+
+    def test_float(self):
+        c = const_float(2.5)
+        assert c.value == 2.5 and c.type == ty.DOUBLE
+
+    def test_undef(self):
+        assert str(UndefValue(ty.I32)) == "undef"
+
+
+class TestUseDef:
+    def test_operands_register_uses(self):
+        a, b = const_int(1), const_int(2)
+        add = BinaryOp("add", a, b)
+        assert add in a.users and add in b.users
+
+    def test_replace_all_uses_with(self):
+        a = const_int(1)
+        add = BinaryOp("add", a, a)
+        b = const_int(9)
+        a.replace_all_uses_with(b)
+        assert add.lhs is b and add.rhs is b
+        assert not a.is_used()
+
+    def test_erase_drops_uses(self):
+        a = const_int(1)
+        add = BinaryOp("add", a, a)
+        add.erase()
+        assert not a.is_used()
+
+    def test_set_operand_updates_uses(self):
+        a, b, c = const_int(1), const_int(2), const_int(3)
+        add = BinaryOp("add", a, b)
+        add.set_operand(0, c)
+        assert add.lhs is c
+        assert add not in a.users
+
+    def test_num_uses_counts_duplicates(self):
+        a = const_int(5)
+        add = BinaryOp("add", a, a)
+        assert a.num_uses == 2
+
+
+class TestInstructions:
+    def test_binop_rejects_bad_opcode(self):
+        with pytest.raises(ValueError):
+            BinaryOp("frobnicate", const_int(1), const_int(2))
+
+    def test_icmp_type_is_i1(self):
+        cmp = ICmp("slt", const_int(1), const_int(2))
+        assert cmp.type == ty.I1
+
+    def test_icmp_rejects_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmp("lt", const_int(1), const_int(2))
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(const_int(0))
+
+    def test_alloca_yields_pointer(self):
+        slot = Alloca(ty.DOUBLE)
+        assert slot.type == ty.pointer(ty.DOUBLE)
+
+    def test_store_is_void(self):
+        slot = Alloca(ty.I32)
+        st = Store(const_int(1, ty.I32), slot)
+        assert st.type.is_void
+
+    def test_commutativity(self):
+        assert BinaryOp("add", const_int(1), const_int(2)).is_commutative
+        assert not BinaryOp("sub", const_int(1), const_int(2)).is_commutative
+
+    def test_clone_is_detached_and_shares_operands(self):
+        a = const_int(1)
+        add = BinaryOp("add", a, a)
+        clone = add.clone()
+        assert clone is not add
+        assert clone.parent is None
+        assert clone.lhs is a
+        assert clone.opcode == "add"
+
+    def test_cast_clone_preserves_opcode(self):
+        c = Cast("sext", const_int(1, ty.I32), ty.I64)
+        assert c.clone().opcode == "sext"
+
+
+class TestPhi:
+    def test_incoming_management(self):
+        fn = make_function()
+        b1, b2 = fn.append_block("a"), fn.append_block("b")
+        phi = Phi(ty.I32)
+        phi.add_incoming(const_int(1, ty.I32), b1)
+        phi.add_incoming(const_int(2, ty.I32), b2)
+        assert len(phi.incoming) == 2
+        assert phi.incoming_for(b1).value == 1
+
+    def test_remove_incoming(self):
+        fn = make_function()
+        b1, b2 = fn.append_block("a"), fn.append_block("b")
+        phi = Phi(ty.I32)
+        phi.add_incoming(const_int(1, ty.I32), b1)
+        phi.add_incoming(const_int(2, ty.I32), b2)
+        phi.remove_incoming(b1)
+        assert len(phi.incoming) == 1
+        assert phi.incoming_for(b1) is None
+
+    def test_set_incoming_for(self):
+        fn = make_function()
+        b1 = fn.append_block("a")
+        phi = Phi(ty.I32)
+        phi.add_incoming(const_int(1, ty.I32), b1)
+        phi.set_incoming_for(b1, const_int(7, ty.I32))
+        assert phi.incoming_for(b1).value == 7
+
+    def test_remove_missing_edge_raises(self):
+        fn = make_function()
+        b1 = fn.append_block("a")
+        phi = Phi(ty.I32)
+        with pytest.raises(KeyError):
+            phi.remove_incoming(b1)
+
+
+class TestBlocksAndCfg:
+    def test_successors_of_cond_branch(self):
+        fn = make_function()
+        entry, then, other = (fn.append_block(n)
+                              for n in ("entry", "then", "other"))
+        entry.append(CondBranch(const_bool(True), then, other))
+        assert entry.successors == [then, other]
+
+    def test_predecessors(self):
+        fn = make_function()
+        entry, target = fn.append_block("e"), fn.append_block("t")
+        entry.append(Branch(target))
+        assert target.predecessors == [entry]
+
+    def test_terminator_detection(self):
+        fn = make_function()
+        block = fn.append_block("b")
+        assert block.terminator is None
+        block.append(Ret())
+        assert block.terminator is not None
+
+    def test_insert_before(self):
+        fn = make_function()
+        block = fn.append_block("b")
+        ret = block.append(Ret())
+        add = BinaryOp("add", const_int(1), const_int(2))
+        block.insert_before(ret, add)
+        assert block.instructions[0] is add
+
+    def test_first_non_phi_index(self):
+        fn = make_function()
+        block = fn.append_block("b")
+        block.append(Phi(ty.I32))
+        block.append(Ret())
+        assert block.first_non_phi_index() == 1
+
+
+class TestFunctionAndModule:
+    def test_declaration_detection(self):
+        fn = make_function()
+        assert fn.is_declaration
+        fn.append_block("entry")
+        assert not fn.is_declaration
+
+    def test_arguments_named_and_indexed(self):
+        fn = Function("g", ty.function(ty.VOID, [ty.I32, ty.DOUBLE]),
+                      ["n", "x"])
+        assert [a.name for a in fn.arguments] == ["n", "x"]
+        assert [a.index for a in fn.arguments] == [0, 1]
+
+    def test_module_duplicate_function_rejected(self):
+        module = Module()
+        module.add_function(make_function("f"))
+        with pytest.raises(ValueError):
+            module.add_function(make_function("f"))
+
+    def test_get_or_declare_idempotent(self):
+        module = Module()
+        f1 = module.get_or_declare("ext", ty.function(ty.VOID, []))
+        f2 = module.get_or_declare("ext", ty.function(ty.VOID, []))
+        assert f1 is f2
+
+    def test_assign_names_uniquifies(self):
+        fn = make_function()
+        block = fn.append_block("entry")
+        a = block.append(BinaryOp("add", const_int(1), const_int(2), "x"))
+        b = block.append(BinaryOp("add", const_int(3), const_int(4), "x"))
+        block.append(Ret())
+        fn.assign_names()
+        assert a.name != b.name
+
+    def test_instructions_iterator(self):
+        fn = make_function()
+        b1, b2 = fn.append_block("a"), fn.append_block("b")
+        b1.append(Branch(b2))
+        b2.append(Ret())
+        assert len(list(fn.instructions())) == 2
+
+
+class TestBuilder:
+    def test_builder_positions(self):
+        fn = make_function()
+        block = fn.append_block("entry")
+        builder = IRBuilder(block)
+        v = builder.add(const_int(1), const_int(2))
+        builder.ret()
+        builder.position_before(block.terminator)
+        w = builder.mul(v, const_int(3))
+        assert block.instructions == [v, w, block.terminator]
+
+    def test_builder_emits_dbg(self):
+        fn = make_function()
+        block = fn.append_block("entry")
+        builder = IRBuilder(block)
+        v = builder.add(const_int(1), const_int(2))
+        dbg = builder.dbg_value(v, DILocalVariable("x"))
+        assert dbg.value is v
+        assert dbg.variable.name == "x"

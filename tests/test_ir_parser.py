@@ -1,0 +1,166 @@
+"""Tests for the textual IR parser (round trips and error handling)."""
+
+import pytest
+
+from conftest import (MATMUL_SOURCE, STENCIL_SOURCE, compile_o0, compile_o2,
+                      compile_parallel, run_main)
+from repro.ir import parse_ir, print_module, verify_module
+from repro.ir.parser import IRParseError
+
+
+def roundtrip(module):
+    text = print_module(module)
+    parsed = parse_ir(text)
+    verify_module(parsed)
+    return parsed, text
+
+
+class TestRoundTrip:
+    def test_simple_function(self):
+        module = compile_o0("""
+double g(double x) { return x * 2.0 + 1.0; }
+int main() { print_double(g(3.0)); return 0; }""")
+        parsed, _ = roundtrip(module)
+        assert run_main(parsed) == run_main(module)
+
+    def test_control_flow(self):
+        module = compile_o2("""
+int main() {
+  int i, s = 0;
+  for (i = 0; i < 20; i++) {
+    if (i % 3 == 0) s += i; else s -= 1;
+  }
+  print_int(s);
+  return 0;
+}""")
+        parsed, _ = roundtrip(module)
+        assert run_main(parsed) == run_main(module)
+
+    def test_arrays_and_globals(self):
+        module = compile_o2("""
+double A[8][4];
+int main() {
+  int i, j;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 4; j++)
+      A[i][j] = (double)(i * 4 + j);
+  print_double(A[7][3]);
+  return 0;
+}""")
+        parsed, _ = roundtrip(module)
+        assert run_main(parsed) == run_main(module)
+
+    def test_parallel_module_with_fork_protocol(self, stencil_parallel):
+        module, _ = stencil_parallel
+        parsed, _ = roundtrip(module)
+        assert run_main(parsed) == run_main(module)
+        assert "__kmpc_fork_call" in parsed.functions
+
+    def test_textual_fixpoint(self, stencil_parallel):
+        """print(parse(print(m))) == print(parse(print(parse(...))))"""
+        module, _ = stencil_parallel
+        parsed, text = roundtrip(module)
+        text2 = print_module(parsed)
+        assert print_module(parse_ir(text2)) == text2
+
+    def test_debug_metadata_preserved(self, stencil_parallel):
+        module, _ = stencil_parallel
+        parsed, text = roundtrip(module)
+        from repro.ir import DbgValue
+        names = {i.variable.name
+                 for f in parsed.defined_functions()
+                 for i in f.instructions() if isinstance(i, DbgValue)}
+        assert "i" in names
+
+    def test_splendid_identical_on_parsed_ir(self, matmul_parallel):
+        from repro.core import decompile
+        module, _ = matmul_parallel
+        parsed, _ = roundtrip(module)
+        assert decompile(parsed, "full") == decompile(module, "full")
+
+    def test_math_declarations(self):
+        module = compile_o0("""
+int main() { print_double(sqrt(2.0) * exp(1.0)); return 0; }""")
+        parsed, _ = roundtrip(module)
+        assert run_main(parsed) == run_main(module)
+
+
+class TestHandWrittenIR:
+    def test_minimal_module(self):
+        module = parse_ir("""
+define i32 @f(i32 %x) {
+entry:
+  %y = add i32 %x, 5
+  ret i32 %y
+}
+""")
+        verify_module(module)
+        from repro.runtime import Interpreter
+        assert Interpreter(module).run("f", [37]) .value == 42
+
+    def test_phi_and_branches(self):
+        module = parse_ir("""
+define i32 @abs(i32 %x) {
+entry:
+  %neg = icmp slt i32 %x, 0
+  br i1 %neg, label %flip, label %done
+flip:
+  %minus = sub i32 0, %x
+  br label %done
+done:
+  %r = phi i32 [ %x, %entry ], [ %minus, %flip ]
+  ret i32 %r
+}
+""")
+        verify_module(module)
+        from repro.runtime import Interpreter
+        assert Interpreter(module).run("abs", [-7]).value == 7
+        assert Interpreter(module).run("abs", [9]).value == 9
+
+    def test_forward_reference_within_block_rejected(self):
+        # %y used before defined anywhere.
+        with pytest.raises(IRParseError, match="undefined value"):
+            parse_ir("""
+define i32 @f() {
+entry:
+  %x = add i32 %y, 1
+  ret i32 %x
+}
+""")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRParseError, match="unknown opcode"):
+            parse_ir("""
+define void @f() {
+entry:
+  frobnicate i32 1
+  ret void
+}
+""")
+
+    def test_unknown_global(self):
+        with pytest.raises(IRParseError, match="unknown global"):
+            parse_ir("""
+define void @f() {
+entry:
+  call void @missing()
+  ret void
+}
+""")
+
+    def test_call_forward_defined_function(self):
+        module = parse_ir("""
+define i32 @caller() {
+entry:
+  %r = call i32 @callee(i32 20)
+  ret i32 %r
+}
+
+define i32 @callee(i32 %x) {
+entry:
+  %d = mul i32 %x, 2
+  ret i32 %d
+}
+""")
+        from repro.runtime import Interpreter
+        assert Interpreter(module).run("caller").value == 40

@@ -1,0 +1,142 @@
+"""Tests for the textual IR printer and the verifier."""
+
+import pytest
+
+from repro.ir import types as ty
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import BinaryOp, Branch, Phi, Ret
+from repro.ir.module import Function, Module
+from repro.ir.printer import format_instruction, print_function, print_module
+from repro.ir.values import const_float, const_int
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+
+def simple_function():
+    fn = Function("f", ty.function(ty.I32, [ty.I32]), ["n"])
+    entry = fn.append_block("entry")
+    builder = IRBuilder(entry)
+    v = builder.add(fn.arguments[0], const_int(1, ty.I32), "v")
+    builder.ret(v)
+    return fn
+
+
+class TestPrinter:
+    def test_function_header(self):
+        text = print_function(simple_function())
+        assert "define i32 @f(i32 %n)" in text
+
+    def test_instruction_formats(self):
+        fn = simple_function()
+        text = print_function(fn)
+        assert "%v = add i32 %n, 1" in text
+        assert "ret i32 %v" in text
+
+    def test_declaration(self):
+        module = Module()
+        module.get_or_declare("ext", ty.function(ty.VOID, [ty.DOUBLE]))
+        assert "declare void @ext(double" in print_module(module)
+
+    def test_float_constants_roundtrippable(self):
+        inst = BinaryOp("fadd", const_float(1.5), const_float(0.25))
+        assert "1.5" in format_instruction(inst)
+
+    def test_phi_format(self):
+        fn = Function("g", ty.function(ty.VOID, []))
+        a, b, merge = (fn.append_block(n) for n in ("a", "b", "m"))
+        a.append(Branch(merge))
+        b.append(Branch(merge))
+        phi = Phi(ty.I32, "p")
+        merge.insert(0, phi)
+        phi.add_incoming(const_int(1, ty.I32), a)
+        phi.add_incoming(const_int(2, ty.I32), b)
+        merge.append(Ret())
+        text = print_function(fn)
+        assert "%p = phi i32 [ 1, %a ], [ 2, %b ]" in text
+
+    def test_module_prints_globals(self):
+        from repro.ir.values import GlobalVariable
+        module = Module()
+        module.add_global(GlobalVariable(ty.array(ty.DOUBLE, 4), "A"))
+        assert "@A = global [4 x double]" in print_module(module)
+
+
+class TestVerifier:
+    def test_accepts_valid_function(self):
+        verify_function(simple_function())
+
+    def test_missing_terminator(self):
+        fn = Function("f", ty.function(ty.VOID, []))
+        block = fn.append_block("entry")
+        block.append(BinaryOp("add", const_int(1), const_int(2)))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_terminator_in_middle(self):
+        fn = Function("f", ty.function(ty.VOID, []))
+        block = fn.append_block("entry")
+        block.append(Ret())
+        block.append(Ret())
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_use_before_def_same_block(self):
+        fn = Function("f", ty.function(ty.VOID, []))
+        block = fn.append_block("entry")
+        a = BinaryOp("add", const_int(1), const_int(2))
+        b = BinaryOp("add", a, const_int(3))
+        block.append(b)
+        block.append(a)
+        block.append(Ret())
+        with pytest.raises(VerificationError, match="before its definition"):
+            verify_function(fn)
+
+    def test_use_not_dominating(self):
+        fn = Function("f", ty.function(ty.VOID, []))
+        entry = fn.append_block("entry")
+        left = fn.append_block("left")
+        right = fn.append_block("right")
+        from repro.ir.instructions import CondBranch
+        from repro.ir.values import const_bool
+        entry.append(CondBranch(const_bool(True), left, right))
+        defined = left.append(BinaryOp("add", const_int(1), const_int(2)))
+        left.append(Ret())
+        right.append(BinaryOp("add", defined, const_int(3)))
+        right.append(Ret())
+        with pytest.raises(VerificationError, match="does not dominate"):
+            verify_function(fn)
+
+    def test_phi_incoming_mismatch(self):
+        fn = Function("f", ty.function(ty.VOID, []))
+        a, merge = fn.append_block("a"), fn.append_block("m")
+        a.append(Branch(merge))
+        phi = Phi(ty.I32)
+        merge.insert(0, phi)  # no incoming edges at all
+        merge.append(Ret())
+        with pytest.raises(VerificationError, match="phi"):
+            verify_function(fn)
+
+    def test_phi_after_non_phi(self):
+        fn = Function("f", ty.function(ty.VOID, []))
+        a, merge = fn.append_block("a"), fn.append_block("m")
+        a.append(Branch(merge))
+        merge.append(BinaryOp("add", const_int(1), const_int(2)))
+        phi = Phi(ty.I32)
+        merge.append(phi)
+        phi.add_incoming(const_int(1, ty.I32), a)
+        merge.append(Ret())
+        with pytest.raises(VerificationError, match="after non-phi"):
+            verify_function(fn)
+
+    def test_detached_operand(self):
+        fn = Function("f", ty.function(ty.VOID, []))
+        block = fn.append_block("entry")
+        ghost = BinaryOp("add", const_int(1), const_int(2))  # never inserted
+        block.append(BinaryOp("add", ghost, const_int(3)))
+        block.append(Ret())
+        with pytest.raises(VerificationError, match="detached"):
+            verify_function(fn)
+
+    def test_declarations_skipped(self):
+        module = Module()
+        module.get_or_declare("ext", ty.function(ty.VOID, []))
+        verify_module(module)  # should not raise

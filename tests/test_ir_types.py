@@ -1,0 +1,119 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import types as ty
+
+
+class TestScalars:
+    def test_int_widths(self):
+        assert ty.I1.bits == 1
+        assert ty.I32.bits == 32
+        assert ty.I64.bits == 64
+
+    def test_int_str(self):
+        assert str(ty.I32) == "i32"
+        assert str(ty.IntType(17)) == "i17"
+
+    def test_double_str(self):
+        assert str(ty.DOUBLE) == "double"
+
+    def test_void(self):
+        assert ty.VOID.is_void
+        assert not ty.VOID.is_scalar
+
+    def test_equality_is_structural(self):
+        assert ty.IntType(32) == ty.I32
+        assert ty.IntType(32) is not ty.I32
+        assert ty.IntType(16) != ty.I32
+        assert ty.I32 != ty.DOUBLE
+
+    def test_hashable(self):
+        mapping = {ty.I32: "int", ty.DOUBLE: "double"}
+        assert mapping[ty.IntType(32)] == "int"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ty.IntType(0)
+
+    def test_predicates(self):
+        assert ty.I32.is_integer and ty.I32.is_scalar
+        assert ty.DOUBLE.is_float and ty.DOUBLE.is_scalar
+        assert not ty.DOUBLE.is_integer
+
+
+class TestIntRange:
+    def test_i32_bounds(self):
+        assert ty.I32.min_value == -(2 ** 31)
+        assert ty.I32.max_value == 2 ** 31 - 1
+
+    def test_wrap_positive_overflow(self):
+        assert ty.I32.wrap(2 ** 31) == -(2 ** 31)
+
+    def test_wrap_negative_overflow(self):
+        assert ty.I32.wrap(-(2 ** 31) - 1) == 2 ** 31 - 1
+
+    def test_wrap_identity_in_range(self):
+        for value in (0, 1, -1, 12345, ty.I32.max_value, ty.I32.min_value):
+            assert ty.I32.wrap(value) == value
+
+    def test_wrap_i1(self):
+        assert ty.I1.wrap(1) == -1  # two's complement single bit
+        assert ty.I1.wrap(0) == 0
+        assert ty.I1.wrap(2) == 0
+
+
+class TestCompositeTypes:
+    def test_pointer(self):
+        p = ty.pointer(ty.DOUBLE)
+        assert p.is_pointer and p.pointee == ty.DOUBLE
+        assert str(p) == "double*"
+
+    def test_nested_pointer(self):
+        pp = ty.pointer(ty.pointer(ty.I32))
+        assert str(pp) == "i32**"
+
+    def test_array(self):
+        a = ty.array(ty.DOUBLE, 8)
+        assert a.is_array and a.count == 8
+        assert str(a) == "[8 x double]"
+
+    def test_2d_array(self):
+        a = ty.array(ty.array(ty.DOUBLE, 4), 3)
+        assert str(a) == "[3 x [4 x double]]"
+        assert ty.element_type(a) == ty.array(ty.DOUBLE, 4)
+
+    def test_negative_array_length_rejected(self):
+        with pytest.raises(ValueError):
+            ty.array(ty.I32, -1)
+
+    def test_function_type(self):
+        f = ty.function(ty.VOID, [ty.I32, ty.pointer(ty.DOUBLE)])
+        assert f.is_function
+        assert f.return_type == ty.VOID
+        assert len(f.params) == 2
+        assert str(f) == "void (i32, double*)"
+
+    def test_vararg_function(self):
+        f = ty.function(ty.VOID, [], is_vararg=True)
+        assert "..." in str(f)
+
+    def test_element_type_errors_on_scalar(self):
+        with pytest.raises(TypeError):
+            ty.element_type(ty.I32)
+
+
+class TestSizeof:
+    def test_scalars(self):
+        assert ty.sizeof(ty.I32) == 4
+        assert ty.sizeof(ty.I64) == 8
+        assert ty.sizeof(ty.DOUBLE) == 8
+        assert ty.sizeof(ty.pointer(ty.I32)) == 8
+
+    def test_arrays(self):
+        assert ty.sizeof(ty.array(ty.DOUBLE, 10)) == 80
+        assert ty.sizeof(ty.array(ty.array(ty.I32, 4), 3)) == 48
+
+    def test_sizeof_void_fails(self):
+        with pytest.raises(TypeError):
+            ty.sizeof(ty.VOID)

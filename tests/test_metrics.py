@@ -1,0 +1,153 @@
+"""Tests for the naturalness metrics: tokenizer, BLEU, LoC."""
+
+import math
+
+import pytest
+
+from repro.metrics import (bleu, bleu_score, bleu_tokens, count_loc,
+                           modified_precision, ngrams,
+                           parallel_representation_loc, tokenize_c)
+
+
+class TestTokenizer:
+    def test_basic_statement(self):
+        assert tokenize_c("a = b + 1;") == ["a", "=", "b", "+", "1", ";"]
+
+    def test_multichar_operators(self):
+        assert tokenize_c("a <= b && c++") == \
+            ["a", "<=", "b", "&&", "c", "++"]
+
+    def test_floats(self):
+        assert tokenize_c("x = 3.14e-2;") == ["x", "=", "3.14e-2", ";"]
+
+    def test_comments_stripped(self):
+        assert tokenize_c("a; // note\n/* block */ b;") == ["a", ";", "b", ";"]
+
+    def test_pragma_words_tokenized(self):
+        tokens = tokenize_c("#pragma omp for schedule(static) nowait")
+        assert "pragma" in tokens and "omp" in tokens and "nowait" in tokens
+
+    def test_strings_kept_whole(self):
+        assert tokenize_c('printf("a b c");')[2] == '"a b c"'
+
+    def test_array_subscript(self):
+        assert tokenize_c("A[i][j]") == ["A", "[", "i", "]", "[", "j", "]"]
+
+
+class TestNgrams:
+    def test_counts(self):
+        grams = ngrams(["a", "b", "a", "b"], 2)
+        assert grams[("a", "b")] == 2
+        assert grams[("b", "a")] == 1
+
+    def test_order_longer_than_sequence(self):
+        assert not ngrams(["a"], 2)
+
+    def test_modified_precision_clipping(self):
+        # Candidate repeats a token more often than the reference has it.
+        matches, total = modified_precision(
+            ["the", "the", "the"], ["the", "cat"], 1)
+        assert matches == 1 and total == 3
+
+
+class TestBleu:
+    def test_identity_scores_one(self):
+        text = "for (i = 0; i < n; i++) A[i] = B[i];"
+        assert bleu_score(text, text) == pytest.approx(1.0)
+
+    def test_score_in_unit_interval(self):
+        pairs = [
+            ("a = 1;", "b = 2;"),
+            ("for (i = 0; i < n; i++) ;", "while (1) ;"),
+            ("", "a = 1;"),
+        ]
+        for cand, ref in pairs:
+            assert 0.0 <= bleu_score(cand, ref) <= 1.0
+
+    def test_disjoint_texts_score_near_zero(self):
+        score = bleu_score("alpha beta gamma delta",
+                           "zz yy xx ww vv uu")
+        assert score < 0.01
+
+    def test_brevity_penalty_applied(self):
+        reference = "a b c d e f g h i j k l"
+        short = "a b c"
+        report = bleu(short, reference)
+        assert report.brevity_penalty < 1.0
+        assert report.brevity_penalty == pytest.approx(
+            math.exp(1 - 12 / 3))
+
+    def test_no_penalty_for_longer_candidate(self):
+        reference = "a b c"
+        longer = "a b c d e f"
+        assert bleu(longer, reference).brevity_penalty == 1.0
+
+    def test_more_similar_scores_higher(self):
+        reference = "for (i = 0; i < n; i++) B[i] = A[i] + 1.0;"
+        close = "for (j = 0; j < n; j++) B[j] = A[j] + 1.0;"
+        far = "do { tmp1 = tmp2; } while (val3 < val4);"
+        assert bleu_score(close, reference) > bleu_score(far, reference)
+
+    def test_word_matching_beats_nothing_but_structure_matters_more(self):
+        # Appendix A's point: 1-gram-only matches score below a candidate
+        # sharing long n-grams.
+        reference = "B[i] = (A[i-1] + A[i] + A[i+1]) / 3;"
+        shuffled = "3 / ) ] 1 + i [ A + ] i [ A ( = ] i [ B ;"
+        verbatim_body = "B[i] = (A[i-1] + A[i] + A[i+1]) / 3;"
+        assert bleu_score(verbatim_body, reference) > \
+            bleu_score(shuffled, reference)
+
+    def test_smoothing_gives_tiny_nonzero(self):
+        report = bleu("x y z w", "x q r s", smooth=True)
+        assert 0 < report.score < 0.5
+
+    def test_no_smoothing_gives_zero(self):
+        report = bleu("x y z w", "x q r s", smooth=False)
+        assert report.score == 0.0
+
+    def test_precisions_have_four_orders(self):
+        report = bleu("a b c d e", "a b c d e")
+        assert len(report.precisions) == 4
+        assert all(p == 1.0 for p in report.precisions)
+
+
+class TestLoc:
+    SAMPLE = """
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < 8; i++) {
+      A[i] = 0.0;
+    }
+  }
+}
+
+void kernel_omp_outlined_0(int tid) {
+  __kmpc_for_static_init_8(tid, 0, 34, 0, 0, 0, 1, 1);
+  __kmpc_for_static_fini(tid);
+}
+"""
+
+    def test_count_loc_skips_blanks(self):
+        assert count_loc("a;\n\n\nb;\n") == 2
+
+    def test_parallel_representation_counts_pragmas_and_braces(self):
+        text = """
+#pragma omp parallel
+{
+  #pragma omp for schedule(static) nowait
+  for (int i = 0; i < 8; i++) {
+    A[i] = 0.0;
+  }
+}
+"""
+        # two pragmas + region braces = 4
+        assert parallel_representation_loc(text) == 4
+
+    def test_parallel_representation_counts_outlined_functions(self):
+        assert parallel_representation_loc(self.SAMPLE) >= 7
+
+    def test_plain_code_scores_zero(self):
+        assert parallel_representation_loc(
+            "void f() {\n  a = 1;\n}\n") == 0

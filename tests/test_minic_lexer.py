@@ -1,0 +1,108 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.minic.lexer import LexError, tokenize
+
+
+def kinds(source, **kw):
+    return [(t.kind, t.text) for t in tokenize(source, **kw)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo") == [("keyword", "int"), ("ident", "foo")]
+
+    def test_underscored_identifier(self):
+        assert kinds("_a_b1")[0] == ("ident", "_a_b1")
+
+    def test_operators_longest_match(self):
+        assert [t for _, t in kinds("a<<=b")] == ["a", "<<=", "b"]
+        assert [t for _, t in kinds("i++ + ++j")] == ["i", "++", "+", "++", "j"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+        assert tokens[2].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+
+class TestNumbers:
+    def test_int(self):
+        t = tokenize("42")[0]
+        assert t.kind == "int" and t.value == 42
+
+    def test_hex(self):
+        assert tokenize("0xFF")[0].value == 255
+
+    def test_float_forms(self):
+        assert tokenize("1.5")[0].value == 1.5
+        assert tokenize("0.33333")[0].value == 0.33333
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_suffixes(self):
+        assert tokenize("10L")[0].kind == "int"
+        assert tokenize("1.0f")[0].kind == "float"
+        assert tokenize("3f")[0].kind == "float"
+
+    def test_number_at_eof_terminates(self):
+        # Regression: "" in "uUlLfF" is True; the lexer must not spin.
+        assert tokenize("7")[0].value == 7
+
+    def test_member_access_not_float(self):
+        texts = [t.text for t in tokenize("a.b")[:-1]]
+        assert texts == ["a", ".", "b"]
+
+
+class TestCommentsAndStrings:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_string_literal(self):
+        t = tokenize('"hi\\n"')[0]
+        assert t.kind == "string" and t.value == "hi\n"
+
+    def test_char_literal(self):
+        assert tokenize("'A'")[0].value == 65
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+
+class TestPreprocessor:
+    def test_define_substitution(self):
+        tokens = tokenize("#define N 40\nint a[N];")
+        values = [t.value for t in tokens if t.kind == "int"]
+        assert values == [40]
+
+    def test_define_via_parameter(self):
+        tokens = tokenize("a[N]", defines={"N": "16"})
+        assert any(t.kind == "int" and t.value == 16 for t in tokens)
+
+    def test_pragma_token(self):
+        tokens = tokenize("#pragma omp parallel\nx;")
+        assert tokens[0].kind == "pragma"
+        assert tokens[0].text == "omp parallel"
+
+    def test_include_ignored(self):
+        assert kinds("#include <stdio.h>\nx") == [("ident", "x")]
+
+    def test_flag_define(self):
+        tokens = tokenize("#define FLAG\nFLAG")
+        assert tokens[0].kind == "int" and tokens[0].value == 1
+
+    def test_multi_token_macro_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#define N 1 + 2\nN")

@@ -1,0 +1,191 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.minic import c_ast as ast
+from repro.minic.parser import ParseError, parse, parse_function
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("double x;")
+        assert unit.globals[0].name == "x"
+        assert isinstance(unit.globals[0].ctype, ast.CDouble)
+
+    def test_global_2d_array(self):
+        unit = parse("double A[4][8];")
+        assert unit.globals[0].array_dims == (4, 8)
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, b, c;")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+
+    def test_local_with_init(self):
+        fn = parse_function("void f() { int x = 3 + 4; }")
+        decl = fn.body.body[0]
+        assert isinstance(decl, ast.Declaration) and decl.name == "x"
+        assert isinstance(decl.init, ast.Binary)
+
+    def test_pointer_params(self):
+        fn = parse_function("void f(double *A, double * restrict B) {}")
+        assert isinstance(fn.params[0].ctype, ast.CPointer)
+        assert fn.params[1].ctype.restrict
+
+    def test_array_param_decays(self):
+        fn = parse_function("void f(double A[10][20]) {}")
+        ctype = fn.params[0].ctype
+        assert isinstance(ctype, ast.CPointer)
+        assert isinstance(ctype.pointee, ast.CArray)
+        assert ctype.pointee.size == 20
+
+    def test_function_declaration(self):
+        unit = parse("double exp(double x);")
+        assert unit.functions[0].is_declaration
+
+    def test_void_param_list(self):
+        fn = parse_function("void f(void) {}")
+        assert fn.params == []
+
+
+class TestStatements:
+    def test_if_else(self):
+        fn = parse_function("void f(int a) { if (a) a = 1; else a = 2; }")
+        stmt = fn.body.body[0]
+        assert isinstance(stmt, ast.If) and stmt.else_body is not None
+
+    def test_else_if_chain(self):
+        fn = parse_function(
+            "void f(int a) { if (a) a = 1; else if (a > 2) a = 2; }")
+        assert isinstance(fn.body.body[0].else_body, ast.If)
+
+    def test_for_with_decl_init(self):
+        fn = parse_function("void f() { for (int i = 0; i < 4; i++) ; }")
+        loop = fn.body.body[0]
+        assert isinstance(loop.init, ast.Declaration)
+        assert isinstance(loop.step, ast.Unary) and loop.step.postfix
+
+    def test_for_empty_clauses(self):
+        fn = parse_function("void f() { for (;;) break; }")
+        loop = fn.body.body[0]
+        assert loop.init is None and loop.condition is None
+
+    def test_while_and_do_while(self):
+        fn = parse_function(
+            "void f(int n) { while (n) n = n - 1; do n++; while (n < 3); }")
+        assert isinstance(fn.body.body[0], ast.While)
+        assert isinstance(fn.body.body[1], ast.DoWhile)
+
+    def test_break_continue_return(self):
+        fn = parse_function(
+            "int f() { for (;;) { if (1) break; continue; } return 2; }")
+        assert isinstance(fn.body.body[-1], ast.Return)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x = 1 }")
+
+
+class TestExpressions:
+    def expr(self, text):
+        fn = parse_function(f"void f(int a, int b, int c) {{ x = {text}; }}"
+                            .replace("x =", "a ="))
+        return fn.body.body[0].expr.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert e.op == "+" and e.rhs.op == "*"
+
+    def test_left_associativity(self):
+        e = self.expr("a - b - c")
+        assert e.op == "-" and e.lhs.op == "-"
+
+    def test_parentheses(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*" and e.lhs.op == "+"
+
+    def test_comparison_and_logic(self):
+        e = self.expr("a < b && b < c")
+        assert e.op == "&&"
+
+    def test_ternary(self):
+        e = self.expr("a ? b : c")
+        assert isinstance(e, ast.Conditional)
+
+    def test_ternary_right_associative(self):
+        e = self.expr("a ? b : b ? c : a")
+        assert isinstance(e.if_false, ast.Conditional)
+
+    def test_assignment_right_associative(self):
+        fn = parse_function("void f(int a, int b) { a = b = 1; }")
+        e = fn.body.body[0].expr
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assign(self):
+        fn = parse_function("void f(int a) { a += 2; }")
+        assert fn.body.body[0].expr.op == "+="
+
+    def test_multidim_index(self):
+        fn = parse_function(
+            "double A[2][2]; void f(int i, int j) { A[i][j] = 0.0; }",
+            name="f")
+        target = fn.body.body[0].expr.target
+        assert isinstance(target, ast.Index)
+        assert isinstance(target.base, ast.Index)
+
+    def test_call_with_args(self):
+        fn = parse_function("double exp(double); void f(double x) "
+                            "{ x = exp(x + 1.0); }", name="f")
+        value = fn.body.body[0].expr.value
+        assert isinstance(value, ast.CallExpr) and value.callee == "exp"
+
+    def test_cast(self):
+        fn = parse_function("void f(int i, double d) { d = (double)i; }")
+        assert isinstance(fn.body.body[0].expr.value, ast.CastExpr)
+
+    def test_sizeof(self):
+        fn = parse_function("void f(long n) { n = sizeof(double); }")
+        assert isinstance(fn.body.body[0].expr.value, ast.SizeofExpr)
+
+    def test_unary_minus_and_not(self):
+        e = self.expr("-a + !b")
+        assert e.lhs.op == "-" and e.rhs.op == "!"
+
+    def test_address_and_deref(self):
+        fn = parse_function("void f(double *p, double v) { *p = v; }")
+        target = fn.body.body[0].expr.target
+        assert isinstance(target, ast.Unary) and target.op == "*"
+
+
+class TestPragmas:
+    def test_pragma_attaches_to_for(self):
+        fn = parse_function("""
+void f() {
+  #pragma omp parallel for schedule(static) nowait
+  for (int i = 0; i < 4; i++) ;
+}""")
+        loop = fn.body.body[0]
+        assert loop.pragmas and loop.pragmas[0].directive == "parallel for"
+        assert loop.pragmas[0].nowait
+
+    def test_pragma_attaches_to_compound(self):
+        fn = parse_function("""
+void f() {
+  #pragma omp parallel
+  {
+    #pragma omp for
+    for (int i = 0; i < 4; i++) ;
+  }
+}""")
+        region = fn.body.body[0]
+        assert isinstance(region, ast.Compound)
+        assert region.pragmas[0].directive == "parallel"
+        assert region.body[0].pragmas[0].directive == "for"
+
+    def test_non_omp_pragma_ignored(self):
+        fn = parse_function("""
+void f() {
+  #pragma scop
+  for (int i = 0; i < 4; i++) ;
+}""")
+        assert isinstance(fn.body.body[0], ast.For)
+        assert not fn.body.body[0].pragmas

@@ -1,0 +1,124 @@
+"""Tests for the C printer (round-trip stability) and semantic analysis."""
+
+import pytest
+
+from repro.minic import c_ast as ast
+from repro.minic.parser import parse
+from repro.minic.printer import format_expr, print_unit
+from repro.minic.sema import SemaError, check
+
+
+ROUNDTRIP_SOURCES = [
+    "double x;\nvoid f() { x = 1.5; }",
+    "void f(int n) { int i; for (i = 0; i < n; i++) { i += 2; } }",
+    "void f(int a) { if (a > 0) { a = 1; } else { a = 2; } }",
+    "void f(int a) { while (a) { a = a - 1; } }",
+    "void f(int a) { do { a = a - 1; } while (a); }",
+    "double A[3][4];\nvoid f(int i, int j) { A[i][j] = A[j][i] + 1.0; }",
+    "void f(double* A, double* restrict B) { A[0] = B[1]; }",
+    "double g(double x);\nvoid f(double x) { x = g(x * 2.0); }",
+    """void f() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < 8; i++) {
+      i = i;
+    }
+  }
+}""",
+]
+
+
+class TestPrinterRoundTrip:
+    @pytest.mark.parametrize("source", ROUNDTRIP_SOURCES)
+    def test_print_parse_print_stable(self, source):
+        unit1 = parse(source)
+        text1 = print_unit(unit1)
+        unit2 = parse(text1)
+        text2 = print_unit(unit2)
+        assert text1 == text2
+
+    def test_minimal_parentheses(self):
+        expr = parse("void f(int a, int b) { a = a + b * 2; }") \
+            .functions[0].body.body[0].expr
+        assert format_expr(expr) == "a = a + b * 2"
+
+    def test_required_parentheses(self):
+        expr = parse("void f(int a, int b) { a = (a + b) * 2; }") \
+            .functions[0].body.body[0].expr
+        assert format_expr(expr) == "a = (a + b) * 2"
+
+    def test_nested_unary(self):
+        expr = parse("void f(int a) { a = - -a; }") \
+            .functions[0].body.body[0].expr
+        assert format_expr(expr) == "a = - -a"
+
+    def test_pragma_rendering(self):
+        pragma = ast.OmpPragma(directive="for", schedule="static",
+                               nowait=True, private=("i", "j"))
+        assert pragma.render() == \
+            "#pragma omp for schedule(static) nowait private(i, j)"
+
+    def test_array_param_prints_recompilable(self):
+        text = print_unit(parse("void f(double A[8][8]) { A[0][0] = 1.0; }"))
+        assert "double A[][8]" in text
+        parse(text)  # must re-parse
+
+
+class TestSema:
+    def check_ok(self, source):
+        check(parse(source))
+
+    def check_fails(self, source, match=None):
+        with pytest.raises(SemaError, match=match):
+            check(parse(source))
+
+    def test_accepts_valid_program(self):
+        self.check_ok("double A[4];\nvoid f(int n) "
+                      "{ int i; for (i = 0; i < n; i++) A[i] = 0.0; }")
+
+    def test_undeclared_identifier(self):
+        self.check_fails("void f() { x = 1; }", "undeclared identifier")
+
+    def test_shadowing_allowed_in_inner_scope(self):
+        self.check_ok("void f(int x) { { int x; x = 1; } x = 2; }")
+
+    def test_redeclaration_same_scope(self):
+        self.check_fails("void f() { int x; int x; }", "redeclaration")
+
+    def test_call_arity(self):
+        self.check_fails("double exp(double x);\nvoid f() "
+                         "{ double y = exp(1.0, 2.0); }", "2 args")
+
+    def test_unknown_function(self):
+        self.check_fails("void f() { frob(); }", "undeclared function")
+
+    def test_return_value_in_void(self):
+        self.check_fails("void f() { return 3; }", "void function")
+
+    def test_missing_return_value(self):
+        self.check_fails("int f() { return; }", "without a value")
+
+    def test_subscript_non_array(self):
+        self.check_fails("void f(int x) { x[0] = 1; }", "not an array")
+
+    def test_float_subscript(self):
+        self.check_fails("double A[4];\nvoid f(double d) { A[d] = 0.0; }",
+                         "not an integer")
+
+    def test_modulo_on_double(self):
+        self.check_fails("void f(double d) { d = d % 2.0; }",
+                         "invalid operands")
+
+    def test_assign_to_rvalue(self):
+        self.check_fails("void f(int a) { a + 1 = 2; }", "not assignable")
+
+    def test_scoped_for_induction(self):
+        self.check_ok("void f() { for (int i = 0; i < 3; i++) ; }")
+
+    def test_for_decl_not_visible_after(self):
+        self.check_fails(
+            "void f() { for (int i = 0; i < 3; i++) ; i = 1; }")
+
+    def test_builtin_signatures_available(self):
+        self.check_ok("void f(double x) { x = sqrt(fabs(x)); }")

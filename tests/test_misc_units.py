@@ -1,0 +1,183 @@
+"""Miscellaneous unit tests: naming styles, pass manager, versioning
+extents, goto printing, omp query builtins, reporting edge cases."""
+
+import pytest
+
+from conftest import compile_o0, compile_o2, compile_parallel, run_main
+from repro.decompilers.naming import NameAllocator, sanitize_identifier
+from repro.ir import types as ir_ty
+from repro.ir.instructions import BinaryOp, Phi
+from repro.ir.values import Argument, const_int
+from repro.minic.parser import parse
+from repro.minic.printer import print_unit
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_identifier("kernel.omp_outlined.0") == \
+            "kernel_omp_outlined_0"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_identifier("2mm") == "_2mm"
+
+    def test_keyword_suffixed(self):
+        assert sanitize_identifier("for") == "for_"
+
+    def test_empty(self):
+        assert sanitize_identifier("") == "_"
+
+
+class TestNamingStyles:
+    def value(self, name=""):
+        return BinaryOp("add", const_int(1, ir_ty.I32),
+                        const_int(2, ir_ty.I32), name)
+
+    def test_val_style(self):
+        allocator = NameAllocator("val")
+        assert allocator.name_for(self.value()).startswith("val")
+        phi = Phi(ir_ty.I32)
+        assert allocator.name_for(phi).startswith("phi")
+
+    def test_local_style_by_type(self):
+        allocator = NameAllocator("local")
+        assert allocator.name_for(self.value()).startswith("iVar")
+        fadd = BinaryOp("fadd", __import__("repro.ir.values",
+                        fromlist=["const_float"]).const_float(1.0),
+                        __import__("repro.ir.values",
+                        fromlist=["const_float"]).const_float(2.0))
+        assert allocator.name_for(fadd).startswith("dVar")
+
+    def test_local_style_params(self):
+        allocator = NameAllocator("local")
+        arg = Argument(ir_ty.I32, "n")
+        arg.index = 2
+        assert allocator.name_for(arg) == "param_3"
+
+    def test_source_style_fallback_keeps_register_name(self):
+        allocator = NameAllocator("source")
+        value = self.value("indvar")
+        assert allocator.name_for(value) == "indvar"
+        assert allocator.origin[value] == "register"
+
+    def test_source_style_restores_mapped_name(self):
+        value = self.value("v9")
+        allocator = NameAllocator("source", {value: "row"})
+        assert allocator.name_for(value) == "row"
+        assert allocator.origin[value] == "source"
+
+    def test_group_sharing(self):
+        a, b = self.value("v1"), self.value("v2")
+        allocator = NameAllocator("source", {a: "s", b: "s"},
+                                  {a: ("f", "s"), b: ("f", "s")})
+        assert allocator.name_for(a) == "s"
+        assert allocator.name_for(b) == "s"
+
+    def test_distinct_groups_uniquified(self):
+        a, b = self.value("v1"), self.value("v2")
+        allocator = NameAllocator("source", {a: "s", b: "s"},
+                                  {a: ("f", "s"), b: ("g", "s")})
+        assert allocator.name_for(a) == "s"
+        assert allocator.name_for(b) != "s"
+
+    def test_stability(self):
+        allocator = NameAllocator("val")
+        value = self.value()
+        assert allocator.name_for(value) == allocator.name_for(value)
+
+
+class TestPassManagerVerification:
+    def test_broken_pass_caught(self):
+        from repro.passes import PassManager
+        module = compile_o0("int main() { return 0; }")
+
+        def breaker(mod):
+            main = mod.get_function("main")
+            main.entry.instructions[-1].erase()  # drop the ret
+
+        pm = PassManager(verify_each=True)
+        pm.add("breaker", breaker)
+        with pytest.raises(RuntimeError, match="breaker"):
+            pm.run(module)
+
+    def test_verification_can_be_disabled(self):
+        from repro.passes import PassManager
+        module = compile_o0("int main() { return 0; }")
+        pm = PassManager(verify_each=False)
+        pm.add("noop", lambda mod: None)
+        assert pm.run(module)[0].name == "noop"
+
+
+class TestGotoPrinting:
+    def test_goto_round_trip(self):
+        source = """
+void f(int a) {
+start:
+  a = a - 1;
+  if (a > 0) {
+    goto start;
+  }
+}
+"""
+        unit = parse(source)
+        text = print_unit(unit)
+        assert "goto start;" in text and "start:" in text
+        assert print_unit(parse(text)) == text
+
+
+class TestOmpQueryBuiltins:
+    def test_outside_parallel(self):
+        assert run_main(compile_o0("""
+int main() { print_int(omp_get_num_threads()); return 0; }""")) == ["1"]
+
+    def test_inside_parallel_region(self):
+        out = run_main(compile_o0("""
+double A[64];
+int main() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < 64; i++)
+      A[i] = (double)omp_get_num_threads();
+  }
+  print_double(A[0]);
+  return 0;
+}"""))
+        assert out == ["28.000000"]
+
+
+class TestVersioningExtent:
+    def test_extent_covers_max_offset(self):
+        # A[i+3] accessed: the emitted range check must extend past +3.
+        module, result = compile_parallel("""
+#define N 100
+void kernel(double *A, double *B) {
+  int i;
+  for (i = 0; i < N - 3; i++)
+    A[i+3] = B[i];
+}
+int main() {
+  double *A = (double*) malloc(100 * sizeof(double));
+  double *B = (double*) malloc(100 * sizeof(double));
+  kernel(A, B);
+  print_double(A[3]);
+  return 0;
+}""", only=["kernel"])
+        assert result.parallel_loops and result.parallel_loops[0].conditional
+        from repro.core import decompile
+        text = decompile(module, "full")
+        # ub = 96 inclusive; extent must be >= 96 + 3 + 1 = 100.
+        assert "A + 100" in text or "100 <= " in text.replace("A + ", "")
+
+
+class TestRenderingEdgeCases:
+    def test_tables_render_with_single_benchmark(self):
+        from repro.eval import render_table3, render_table4, table3_loops, \
+            table4_loc
+        assert "gemm" in render_table3(table3_loops(["gemm"]))
+        assert "gemm" in render_table4(table4_loc(["gemm"]))
+
+    def test_figure6_geomeans_positive(self):
+        from repro.eval import figure6_speedups
+        result = figure6_speedups(["gemm"])
+        assert result.geomean_polly > 0
+        assert result.geomean_clang > 0

@@ -1,0 +1,311 @@
+"""Tests for individual optimizer passes."""
+
+import pytest
+
+from conftest import compile_o0, run_main
+from repro.frontend import compile_source
+from repro.ir.instructions import (Alloca, BinaryOp, DbgValue, Load, Phi,
+                                   Store)
+from repro.ir.verifier import verify_module
+from repro.passes import (const_fold, cse, dce, licm, mem2reg, simplify_cfg)
+from repro.passes.loop_rotate import rotate_function
+from repro.analysis.loops import LoopInfo
+
+
+def lowered(source, defines=None):
+    module = compile_source(source, defines)
+    verify_module(module)
+    return module
+
+
+COUNT_LOOP = """
+double A[32];
+int main() {
+  int i;
+  for (i = 0; i < 32; i++) A[i] = (double)i * 0.5;
+  print_double(A[31]);
+  return 0;
+}
+"""
+
+
+class TestMem2Reg:
+    def test_promotes_scalar_allocas(self):
+        module = lowered(COUNT_LOOP)
+        promoted = mem2reg.run(module)
+        verify_module(module)
+        assert promoted > 0
+        main = module.get_function("main")
+        scalars = [i for i in main.instructions() if isinstance(i, Alloca)
+                   and i.allocated_type.is_scalar]
+        assert not scalars
+
+    def test_array_allocas_survive(self):
+        module = lowered("""
+int main() { double v[4]; v[0] = 1.0; print_double(v[0]); return 0; }""")
+        mem2reg.run(module)
+        main = module.get_function("main")
+        assert any(isinstance(i, Alloca) for i in main.instructions())
+
+    def test_inserts_phi_at_loop_header(self):
+        module = lowered(COUNT_LOOP)
+        mem2reg.run(module)
+        main = module.get_function("main")
+        phis = [i for i in main.instructions() if isinstance(i, Phi)]
+        assert phis
+
+    def test_emits_debug_intrinsics(self):
+        module = lowered(COUNT_LOOP)
+        mem2reg.run(module)
+        main = module.get_function("main")
+        dbg_names = {i.variable.name for i in main.instructions()
+                     if isinstance(i, DbgValue)}
+        assert "i" in dbg_names
+
+    def test_preserves_semantics(self):
+        reference = run_main(lowered(COUNT_LOOP))
+        module = lowered(COUNT_LOOP)
+        mem2reg.run(module)
+        assert run_main(module) == reference
+
+    def test_if_else_merge_phi(self):
+        source = """
+int main() { int a = 3; int r;
+  if (a > 2) r = 10; else r = 20;
+  print_int(r);
+  return 0; }"""
+        module = lowered(source)
+        mem2reg.run(module)
+        verify_module(module)
+        assert run_main(module) == ["10"]
+
+
+class TestSimplifyCfg:
+    def test_folds_constant_branch(self):
+        source = "int main() { if (1) print_int(1); else print_int(2); return 0; }"
+        module = lowered(source)
+        mem2reg.run(module)
+        const_fold.run(module)
+        simplify_cfg.run(module)
+        verify_module(module)
+        main = module.get_function("main")
+        from repro.ir.instructions import CondBranch
+        assert not any(isinstance(i, CondBranch) for i in main.instructions())
+        assert run_main(module) == ["1"]
+
+    def test_merges_straightline_blocks(self):
+        module = lowered("int main() { print_int(1); return 0; }")
+        before = len(module.get_function("main").blocks)
+        simplify_cfg.run(module)
+        after = len(module.get_function("main").blocks)
+        assert after <= before
+
+
+class TestConstFold:
+    def fold_of(self, expr_text):
+        module = lowered(f"int main() {{ print_int({expr_text}); return 0; }}")
+        mem2reg.run(module)
+        const_fold.run(module)
+        return run_main(module)
+
+    def test_arith(self):
+        assert self.fold_of("2 + 3 * 4") == ["14"]
+
+    def test_division_truncation(self):
+        assert self.fold_of("-7 / 2") == ["-3"]
+
+    def test_comparison(self):
+        assert self.fold_of("3 < 4 ? 1 : 0") == ["1"]
+
+    def test_identities_erase_instructions(self):
+        module = lowered("""
+int main(){ int x = 5; print_int(x + 0); print_int(x * 1); return 0; }""")
+        mem2reg.run(module)
+        folded = const_fold.run(module)
+        assert folded > 0
+        assert run_main(module) == ["5", "5"]
+
+
+class TestCse:
+    def test_removes_duplicate_pure_ops(self):
+        module = lowered("""
+double A[8]; double B[8];
+void f(int i) { A[i] = 1.0; B[i] = 2.0; }
+int main() { f(3); print_double(A[3] + B[3]); return 0; }""")
+        mem2reg.run(module)
+        removed = cse.run(module)
+        verify_module(module)
+        assert removed > 0  # the duplicate sexts of i
+        assert run_main(module) == ["3.000000"]
+
+    def test_does_not_merge_across_branches(self):
+        module = lowered("""
+int main() { int a = 3; int r;
+  if (a > 0) r = a * 2; else r = a * 2;
+  print_int(r); return 0; }""")
+        mem2reg.run(module)
+        cse.run(module)
+        verify_module(module)
+        assert run_main(module) == ["6"]
+
+    def test_commutative_matching(self):
+        module = lowered("""
+int main() { int a = 3, b = 4;
+  print_int(a + b); print_int(b + a); return 0; }""")
+        mem2reg.run(module)
+        removed = cse.run(module)
+        assert removed >= 1
+        assert run_main(module) == ["7", "7"]
+
+
+class TestDce:
+    def test_removes_dead_arithmetic(self):
+        module = lowered("""
+int main() { int dead = 3 * 4 + 5; print_int(1); return 0; }""")
+        mem2reg.run(module)
+        removed = dce.run(module)
+        assert removed > 0
+        assert run_main(module) == ["1"]
+
+    def test_keeps_stores_and_calls(self):
+        module = lowered("""
+double A[2];
+int main() { A[0] = 5.0; print_double(A[0]); return 0; }""")
+        mem2reg.run(module)
+        dce.run(module)
+        assert run_main(module) == ["5.000000"]
+
+    def test_debug_only_values_removed(self):
+        # A value whose only users are dbg.value intrinsics is dead.
+        module = lowered("""
+int main() { int unused = 42; print_int(7); return 0; }""")
+        mem2reg.run(module)
+        dce.run(module)
+        main = module.get_function("main")
+        assert not any(isinstance(i, BinaryOp) for i in main.instructions())
+
+    def test_dead_phi_web_removed(self):
+        # Inner counter observed only by debug intrinsics at the outer
+        # level must not survive as a rotating phi web.
+        module = lowered("""
+double A[8][8];
+int main() { int i, j;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      A[i][j] = 1.0;
+  print_double(A[7][7]);
+  return 0; }""")
+        from repro.passes import optimize_o2
+        optimize_o2(module)
+        main = module.get_function("main")
+        info = LoopInfo(main)
+        outer = info.top_level[0]
+        # Outer header carries exactly one phi: its own IV.
+        assert len(outer.header_phis()) == 1
+
+
+class TestLicm:
+    def test_hoists_invariant_computation(self):
+        module = lowered("""
+double A[32];
+void f(int n) {
+  int i;
+  for (i = 0; i < 32; i++)
+    A[i] = (double)(n * n);
+}
+int main() { f(3); print_double(A[5]); return 0; }""")
+        mem2reg.run(module)
+        simplify_cfg.run(module)
+        hoisted = licm.run(module)
+        verify_module(module)
+        assert hoisted > 0
+        assert run_main(module) == ["9.000000"]
+
+    def test_division_not_hoisted_speculatively(self):
+        module = lowered("""
+int main() {
+  int i, s = 0, d = 0;
+  for (i = 0; i < 4; i++) {
+    if (d != 0) s += 100 / d;
+  }
+  print_int(s);
+  return 0;
+}""")
+        mem2reg.run(module)
+        simplify_cfg.run(module)
+        licm.run(module)
+        # 100/d with d==0 must not execute: would trap in the interpreter.
+        assert run_main(module) == ["0"]
+
+
+class TestLoopRotate:
+    def test_rotation_produces_do_while_shape(self):
+        module = lowered(COUNT_LOOP)
+        mem2reg.run(module)
+        simplify_cfg.run(module)
+        rotated = rotate_function(module.get_function("main"))
+        verify_module(module)
+        assert rotated == 1
+        info = LoopInfo(module.get_function("main"))
+        assert all(l.is_rotated for l in info.all_loops())
+
+    def test_rotation_preserves_semantics(self):
+        reference = run_main(lowered(COUNT_LOOP))
+        module = lowered(COUNT_LOOP)
+        mem2reg.run(module)
+        simplify_cfg.run(module)
+        rotate_function(module.get_function("main"))
+        assert run_main(module) == reference
+
+    def test_zero_trip_loop_guarded(self):
+        source = """
+double A[4];
+int main() {
+  int i, n = 0;
+  for (i = 0; i < n; i++) A[i] = 9.0;
+  print_double(A[0]);
+  return 0;
+}"""
+        reference = run_main(lowered(source))
+        module = lowered(source)
+        mem2reg.run(module)
+        simplify_cfg.run(module)
+        rotate_function(module.get_function("main"))
+        verify_module(module)
+        assert run_main(module) == reference == ["0.000000"]
+
+    def test_live_out_value_gets_lcssa(self):
+        source = """
+int main() {
+  int i, s = 0;
+  for (i = 0; i < 10; i++) s = s + i;
+  print_int(s);
+  return 0;
+}"""
+        reference = run_main(lowered(source))
+        module = lowered(source)
+        mem2reg.run(module)
+        simplify_cfg.run(module)
+        rotate_function(module.get_function("main"))
+        verify_module(module)
+        assert run_main(module) == reference == ["45"]
+
+    def test_nested_rotation(self):
+        source = """
+double A[6][6];
+int main() {
+  int i, j; double s = 0.0;
+  for (i = 0; i < 6; i++)
+    for (j = 0; j < 6; j++)
+      s = s + (double)(i * j);
+  print_double(s);
+  return 0;
+}"""
+        reference = run_main(lowered(source))
+        module = lowered(source)
+        mem2reg.run(module)
+        simplify_cfg.run(module)
+        count = rotate_function(module.get_function("main"))
+        verify_module(module)
+        assert count == 2
+        assert run_main(module) == reference

@@ -1,0 +1,189 @@
+"""Tests for unrolling, distribution, inlining, and the O2 pipeline."""
+
+import pytest
+
+from conftest import compile_o0, compile_o2, run_main
+from repro.analysis.alias import base_object
+from repro.analysis.loops import LoopInfo
+from repro.frontend import compile_source
+from repro.ir.verifier import verify_module
+from repro.passes import inline_all_calls_to, optimize_o2
+from repro.passes.loop_distribute import DistributeError, distribute_loop
+from repro.passes.loop_unroll import can_unroll, unroll_innermost
+
+VEC_ADD = """
+#define N 256
+double A[N]; double B[N]; double C[N];
+void kernel() {
+  int i;
+  for (i = 0; i < N; i++) A[i] = B[i] + C[i];
+}
+int main() {
+  int i;
+  for (i = 0; i < N; i++) { B[i] = (double)(i % 11); C[i] = (double)(i % 7); }
+  kernel();
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + A[i];
+  print_double(s);
+  return 0;
+}
+"""
+
+TWO_STORE_NEST = """
+#define N 24
+double A[N][N]; double B[N][N];
+void kernel() {
+  int i, j;
+  for (i = 1; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)(i + j);
+      B[i][j] = (double)(i * j) - A[i][j];
+    }
+}
+int main() {
+  kernel();
+  double s = 0.0; int i, j;
+  for (i = 0; i < N; i++) for (j = 0; j < N; j++) s += A[i][j] + B[i][j];
+  print_double(s);
+  return 0;
+}
+"""
+
+
+class TestUnroll:
+    def test_unroll_by_4_preserves_semantics(self):
+        reference = run_main(compile_o2(VEC_ADD))
+        module = compile_o2(VEC_ADD)
+        count = unroll_innermost(module.get_function("kernel"), 4)
+        verify_module(module)
+        assert count == 1
+        assert run_main(module) == reference
+
+    def test_unroll_by_8(self):
+        reference = run_main(compile_o2(VEC_ADD))
+        module = compile_o2(VEC_ADD)
+        assert unroll_innermost(module.get_function("kernel"), 8) == 1
+        assert run_main(module) == reference
+
+    def test_non_dividing_factor_rejected(self):
+        module = compile_o2(VEC_ADD)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).innermost_loops()[0]
+        assert not can_unroll(loop, 7)  # 256 % 7 != 0
+
+    def test_reduction_loop_rejected(self):
+        module = compile_o2("""
+double A[16];
+void f(double *out) {
+  int i; double s = 0.0;
+  for (i = 0; i < 16; i++) s = s + A[i];
+  out[0] = s;
+}""")
+        loop = LoopInfo(module.get_function("f")).innermost_loops()[0]
+        assert not can_unroll(loop, 4)
+
+    def test_body_replicated(self):
+        module = compile_o2(VEC_ADD)
+        kernel = module.get_function("kernel")
+        before = sum(len(b.instructions) for b in kernel.blocks)
+        unroll_innermost(kernel, 4)
+        after = sum(len(b.instructions) for b in kernel.blocks)
+        assert after > 2 * before
+
+
+class TestDistribute:
+    def selector(self, store):
+        return getattr(base_object(store.pointer), "name", "") == "B"
+
+    def test_distribution_preserves_semantics(self):
+        reference = run_main(compile_o2(TWO_STORE_NEST))
+        module = compile_o2(TWO_STORE_NEST)
+        kernel = module.get_function("kernel")
+        inner = LoopInfo(kernel).innermost_loops()[0]
+        distribute_loop(inner, self.selector)
+        verify_module(module)
+        assert run_main(module) == reference
+
+    def test_creates_second_loop(self):
+        module = compile_o2(TWO_STORE_NEST)
+        kernel = module.get_function("kernel")
+        before = len(LoopInfo(kernel).all_loops())
+        inner = LoopInfo(kernel).innermost_loops()[0]
+        distribute_loop(inner, self.selector)
+        after = len(LoopInfo(kernel).all_loops())
+        assert after == before + 1
+
+    def test_rejects_empty_selection(self):
+        module = compile_o2(TWO_STORE_NEST)
+        inner = LoopInfo(module.get_function("kernel")).innermost_loops()[0]
+        with pytest.raises(DistributeError, match="no stores"):
+            distribute_loop(inner, lambda st: False)
+
+    def test_rejects_reduction_loop(self):
+        module = compile_o2("""
+double A[16]; double out[1];
+void f() {
+  int i; double s = 0.0;
+  for (i = 0; i < 16; i++) s = s + A[i];
+  out[0] = s;
+}""")
+        loop = LoopInfo(module.get_function("f")).innermost_loops()[0]
+        with pytest.raises(DistributeError):
+            distribute_loop(loop, lambda st: True)
+
+
+class TestInliner:
+    def test_inline_simple_call(self):
+        source = """
+double scale(double x) { return x * 3.0; }
+int main() { print_double(scale(2.0)); return 0; }
+"""
+        reference = run_main(compile_o0(source))
+        module = compile_source(source)
+        count = inline_all_calls_to(module, "scale")
+        verify_module(module)
+        assert count == 1
+        assert "scale" not in module.functions
+        assert run_main(module) == reference
+
+    def test_inline_with_control_flow(self):
+        source = """
+int pick(int a) { if (a > 0) return 1; return -1; }
+int main() { print_int(pick(5) + pick(-5)); return 0; }
+"""
+        reference = run_main(compile_o0(source))
+        module = compile_source(source)
+        assert inline_all_calls_to(module, "pick") == 2
+        verify_module(module)
+        assert run_main(module) == reference
+
+    def test_inline_void_function(self):
+        source = """
+double A[2];
+void setit(double v) { A[0] = v; }
+int main() { setit(4.5); print_double(A[0]); return 0; }
+"""
+        module = compile_source(source)
+        inline_all_calls_to(module, "setit")
+        verify_module(module)
+        assert run_main(module) == ["4.500000"]
+
+
+class TestO2Pipeline:
+    @pytest.mark.parametrize("source", [VEC_ADD, TWO_STORE_NEST])
+    def test_o2_preserves_output_and_shrinks_work(self, source):
+        o0 = compile_o0(source)
+        o2 = compile_o2(source)
+        from repro.runtime import run_module
+        r0 = run_module(o0)
+        r2 = run_module(o2)
+        assert r0.output == r2.output
+        assert r2.cost.dynamic_instructions < r0.cost.dynamic_instructions
+
+    def test_pipeline_reports_history(self):
+        from repro.passes import o2_pipeline
+        module = compile_source(VEC_ADD)
+        pm = o2_pipeline()
+        history = pm.run(module)
+        names = [record.name for record in history]
+        assert "mem2reg" in names and "loop-rotate" in names

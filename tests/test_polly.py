@@ -1,0 +1,188 @@
+"""Tests for the Polly-style parallelizer (outlining, protocol, versioning)."""
+
+import pytest
+
+from conftest import (MATMUL_SOURCE, STENCIL_SOURCE, compile_o2,
+                      compile_parallel, run_main)
+from repro.core.analyzer import analyze_microtask, find_fork_sites
+from repro.ir.instructions import Alloca, Call, Store
+from repro.polly import parallelize_module
+from repro.polly.parallelizer import estimated_iteration_cost
+from repro.polly.runtime_decls import FORK_CALL, STATIC_FINI, STATIC_INIT
+from repro.runtime import Interpreter, MachineModel
+
+
+class TestDriver:
+    def test_stencil_parallelized(self, stencil_parallel):
+        module, result = stencil_parallel
+        assert len(result.parallel_loops) == 1
+        assert result.parallel_loops[0].function == "kernel"
+
+    def test_matmul_outer_parallelized(self, matmul_parallel):
+        module, result = matmul_parallel
+        par = result.parallel_loops
+        assert len(par) == 1 and par[0].depth == 1
+
+    def test_outcomes_record_reasons(self):
+        module, result = compile_parallel("""
+double A[32]; double s[1];
+void kernel() {
+  int i;
+  for (i = 0; i < 32; i++) s[0] = s[0] + A[i];
+}
+int main() { kernel(); print_double(s[0]); return 0; }
+""", only=["kernel"])
+        assert not result.parallel_loops
+        assert result.outcomes[0].reasons
+
+    def test_only_functions_filter(self):
+        module, result = compile_parallel(STENCIL_SOURCE, only=["init"])
+        assert all(o.function == "init" for o in result.outcomes)
+
+    def test_semantics_preserved(self, stencil_parallel):
+        module, _ = stencil_parallel
+        sequential = compile_o2(STENCIL_SOURCE)
+        assert run_main(module) == run_main(sequential)
+
+    def test_matmul_semantics_preserved(self, matmul_parallel):
+        module, _ = matmul_parallel
+        assert run_main(module) == run_main(compile_o2(MATMUL_SOURCE))
+
+    def test_descends_into_inner_on_outer_failure(self):
+        # atax shape: outer blocked by scatter, inner y-loop DOALL.
+        module, result = compile_parallel("""
+double A[24][24]; double y[24]; double x[24];
+void kernel() {
+  int i, j;
+  for (i = 0; i < 24; i++)
+    for (j = 0; j < 24; j++)
+      y[j] = y[j] + A[i][j] * x[i];
+}
+int main() { kernel(); print_double(y[3]); return 0; }
+""", only=["kernel"])
+        par = result.parallel_loops
+        assert len(par) == 1 and par[0].depth == 2
+
+    def test_profitability_skips_tiny_bodies(self):
+        module, result = compile_parallel("""
+double A[512]; double B[512];
+void kernel() {
+  int i;
+  for (i = 0; i < 512; i++) A[i] = B[i];
+}
+int main() { kernel(); print_double(A[0]); return 0; }
+""", only=["kernel"])
+        assert not result.parallel_loops
+        assert any("unprofitable" in r
+                   for o in result.outcomes for r in o.reasons)
+
+    def test_profitability_threshold_configurable(self):
+        module = compile_o2("""
+double A[512]; double B[512];
+void kernel() {
+  int i;
+  for (i = 0; i < 512; i++) A[i] = B[i];
+}
+int main() { kernel(); print_double(A[0]); return 0; }
+""")
+        result = parallelize_module(module, only_functions=["kernel"],
+                                    min_profitable_cost=0.0)
+        assert len(result.parallel_loops) == 1
+
+
+class TestProtocol:
+    def test_fork_site_shape(self, stencil_parallel):
+        module, _ = stencil_parallel
+        sites = find_fork_sites(module.get_function("kernel"))
+        assert len(sites) == 1
+        site = sites[0]
+        assert site.microtask.is_outlined_parallel_region
+        assert site.lb_arg is not None and site.ub_arg is not None
+
+    def test_microtask_protocol(self, stencil_parallel):
+        module, _ = stencil_parallel
+        site = find_fork_sites(module.get_function("kernel"))[0]
+        info = analyze_microtask(site.microtask)
+        assert info.schedule == "static"
+        assert info.nowait
+        assert isinstance(info.lb_slot, Alloca)
+        # The sequential bounds are the lb/ub parameters.
+        assert info.lb_source is site.microtask.arguments[2]
+        assert info.ub_source is site.microtask.arguments[3]
+
+    def test_microtask_loop_bounds_are_thread_local(self, stencil_parallel):
+        module, _ = stencil_parallel
+        site = find_fork_sites(module.get_function("kernel"))[0]
+        info = analyze_microtask(site.microtask)
+        assert info.thread_loads  # loads of my_lb / my_ub
+
+    def test_runtime_declarations_exist(self, stencil_parallel):
+        module, _ = stencil_parallel
+        for name in (FORK_CALL, STATIC_INIT, STATIC_FINI):
+            assert name in module.functions
+
+    def test_fork_runs_every_thread(self, stencil_parallel):
+        module, _ = stencil_parallel
+        machine = MachineModel(num_threads=7)
+        interp = Interpreter(module, machine)
+        interp.run("init")
+        interp.run("kernel")
+        # Wall time advanced by at least the fork overhead.
+        assert interp.wall_time >= machine.fork_overhead
+
+
+class TestVersioning:
+    SOURCE = """
+#define N 400
+void kernel(double *A, double *B) {
+  int i;
+  for (i = 0; i < N - 1; i++)
+    A[i+1] = 2.0 * B[i];
+}
+int main() {
+  double *A = (double*) malloc(400 * sizeof(double));
+  double *B = (double*) malloc(400 * sizeof(double));
+  int i;
+  for (i = 0; i < 400; i++) { A[i] = 0.0; B[i] = (double)i; }
+  kernel(A, B);
+  print_double(A[100]);
+  kernel(A, A);
+  print_double(A[100]);
+  return 0;
+}
+"""
+
+    def test_conditionally_parallelized(self):
+        module, result = compile_parallel(self.SOURCE, only=["kernel"])
+        par = result.parallel_loops
+        assert len(par) == 1 and par[0].conditional
+
+    def test_both_paths_execute_correctly(self):
+        sequential = compile_o2(self.SOURCE)
+        module, _ = compile_parallel(self.SOURCE, only=["kernel"])
+        # kernel(A, B) takes the parallel path; kernel(A, A) must fall
+        # back to the sequential version — outputs must match exactly.
+        assert run_main(module) == run_main(sequential)
+
+    def test_speedup_only_on_noalias_path(self):
+        module, _ = compile_parallel(self.SOURCE, only=["kernel"])
+        machine = MachineModel()
+        run = Interpreter(module, machine).run("main")
+        assert run.output  # executed both calls without trapping
+
+
+class TestProfitabilityEstimate:
+    def test_cost_scales_with_body(self):
+        small = compile_o2("""
+double A[64]; double B[64];
+void f() { int i; for (i = 0; i < 64; i++) A[i] = B[i]; }""")
+        big = compile_o2("""
+double A[64]; double B[64];
+void f() { int i; for (i = 0; i < 64; i++)
+  A[i] = B[i] * 3.0 + B[i] / 2.0 + sqrt(B[i]); }""")
+        from repro.analysis.loops import LoopInfo
+        small_cost = estimated_iteration_cost(
+            LoopInfo(small.get_function("f")).all_loops()[0])
+        big_cost = estimated_iteration_cost(
+            LoopInfo(big.get_function("f")).all_loops()[0])
+        assert big_cost > 2 * small_cost

@@ -1,0 +1,121 @@
+"""Tests for the PolyBench registry and a sampled end-to-end validation."""
+
+import pytest
+
+from repro.minic.parser import parse
+from repro.minic.sema import check
+from repro.polybench import all_benchmarks, collab_benchmarks, get, names
+
+EXPECTED = {
+    "2mm", "3mm", "adi", "atax", "bicg", "doitgen", "fdtd-2d",
+    "floyd-warshall", "gemm", "gemver", "gesummv", "jacobi-1d-imper",
+    "jacobi-2d-imper", "mvt", "syr2k", "syrk",
+}
+
+
+class TestRegistry:
+    def test_sixteen_benchmarks(self):
+        assert set(names()) == EXPECTED
+        assert len(all_benchmarks()) == 16
+
+    def test_seven_collaboration_cases(self):
+        collab = {b.name for b in collab_benchmarks()}
+        assert collab == {"atax", "bicg", "gemver", "gesummv", "mvt",
+                          "jacobi-1d-imper", "jacobi-2d-imper"}
+
+    def test_collab_cases_have_sources(self):
+        for bench in collab_benchmarks():
+            assert bench.manual_source
+            assert bench.collab_source
+            assert bench.collab_edit_loc > 0
+
+    def test_every_benchmark_has_programmer_count(self):
+        for bench in all_benchmarks():
+            assert bench.programmer_parallelized >= 1
+
+    def test_lookup(self):
+        assert get("gemm").name == "gemm"
+        with pytest.raises(KeyError):
+            get("nonexistent")
+
+
+class TestSourcesWellFormed:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_sequential_source_checks(self, name):
+        bench = get(name)
+        check(parse(bench.sequential_source, bench.defines))
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_reference_source_checks(self, name):
+        bench = get(name)
+        check(parse(bench.reference_source, bench.defines))
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_structure_conventions(self, name):
+        bench = get(name)
+        unit = parse(bench.sequential_source, bench.defines)
+        defined = {f.name for f in unit.functions if not f.is_declaration}
+        assert {"kernel", "init", "main"} <= defined
+
+    def test_manual_sources_check(self):
+        for bench in collab_benchmarks():
+            check(parse(bench.manual_source, bench.defines))
+            check(parse(bench.collab_source, bench.defines))
+
+
+SAMPLE = ["gemm", "atax", "jacobi-1d-imper", "adi"]
+
+
+class TestReferenceConsistency:
+    """§5.1.2: reference pragmas sit exactly where Polly parallelizes."""
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_region_counts_match_polly(self, name):
+        from repro.eval import artifacts_for
+        bench = get(name)
+        art = artifacts_for(bench)
+        assert bench.reference_source.count("#pragma omp parallel") == \
+            len(art.polly.parallel_loops)
+
+
+class TestSampledEndToEnd:
+    """A fast representative slice of the full-suite validation the
+    benchmark harness performs on all 16 kernels."""
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_parallelization_preserves_output(self, name):
+        from repro.eval import artifacts_for, program_output
+        art = artifacts_for(get(name))
+        assert program_output(art.sequential) == program_output(art.parallel)
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_splendid_output_recompiles_and_matches(self, name):
+        from repro.eval import artifacts_for, build_openmp, program_output
+        bench = get(name)
+        art = artifacts_for(bench)
+        recompiled = build_openmp(art.decompiled["splendid"], bench.defines)
+        assert program_output(recompiled) == program_output(art.sequential)
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_splendid_beats_baselines_on_bleu(self, name):
+        from repro.eval import artifacts_for
+        from repro.metrics import bleu_score
+        bench = get(name)
+        art = artifacts_for(bench)
+        splendid = bleu_score(art.decompiled["splendid"],
+                              bench.reference_source)
+        for baseline in ("rellic", "ghidra"):
+            assert splendid > 2 * bleu_score(art.decompiled[baseline],
+                                             bench.reference_source)
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_variant_bleu_is_monotone(self, name):
+        from repro.eval import artifacts_for
+        from repro.metrics import bleu_score
+        bench = get(name)
+        art = artifacts_for(bench)
+        v1 = bleu_score(art.decompiled["splendid-v1"], bench.reference_source)
+        portable = bleu_score(art.decompiled["splendid-portable"],
+                              bench.reference_source)
+        full = bleu_score(art.decompiled["splendid"], bench.reference_source)
+        assert v1 < portable < full

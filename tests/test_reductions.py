@@ -1,0 +1,228 @@
+"""Tests for the reduction extension (paper §7 future work)."""
+
+import pytest
+
+from conftest import compile_o0, compile_o2, run_main
+from repro.analysis.loops import LoopInfo
+from repro.analysis.induction import analyze_counted_loop
+from repro.analysis.reduction import find_reductions, match_memory_reduction
+from repro.core import decompile
+from repro.frontend import compile_source
+from repro.frontend.omp_lowering import OmpLoweringError
+from repro.ir.verifier import verify_module
+from repro.passes import optimize_o2
+from repro.passes.reg2mem import demote_loop_phi, find_accumulator_phi
+from repro.polly import parallelize_module
+from repro.runtime import run_module
+
+SUM_SOURCE = """
+#define N 512
+double A[N];
+int main() {
+  int i;
+  for (i = 0; i < N; i++) A[i] = (double)(i % 23) / 23.0;
+  double sum = 0.0;
+  for (i = 0; i < N; i++)
+    sum = sum + A[i] * A[i] + 1.0;
+  print_double(sum);
+  return 0;
+}
+"""
+
+MEMORY_RED_SOURCE = """
+#define N 256
+double A[N];
+double total[1];
+void kernel() {
+  int i;
+  for (i = 0; i < N; i++)
+    total[0] = total[0] + A[i];
+}
+int main() {
+  int i;
+  for (i = 0; i < N; i++) A[i] = (double)(i % 7);
+  kernel();
+  print_double(total[0]);
+  return 0;
+}
+"""
+
+
+class TestDetection:
+    def test_memory_reduction_recognized(self):
+        module = compile_o2(MEMORY_RED_SOURCE)
+        loop = LoopInfo(module.get_function("kernel")).all_loops()[0]
+        counted = analyze_counted_loop(loop)
+        reductions = find_reductions(counted)
+        assert len(reductions) == 1
+        assert reductions[0].symbol == "+"
+
+    def test_product_reduction_recognized(self):
+        module = compile_o2("""
+double A[16]; double p[1];
+void kernel() {
+  int i;
+  for (i = 0; i < 16; i++) p[0] = p[0] * A[i];
+}""")
+        loop = LoopInfo(module.get_function("kernel")).all_loops()[0]
+        reductions = find_reductions(analyze_counted_loop(loop))
+        assert len(reductions) == 1 and reductions[0].symbol == "*"
+
+    def test_escaping_old_value_rejected(self):
+        # The pre-update value is stored elsewhere: not a pure reduction.
+        module = compile_o2("""
+double A[16]; double t[1]; double trace[16];
+void kernel() {
+  int i;
+  for (i = 0; i < 16; i++) {
+    trace[i] = t[0];
+    t[0] = t[0] + A[i];
+  }
+}""")
+        loop = LoopInfo(module.get_function("kernel")).all_loops()[0]
+        assert find_reductions(analyze_counted_loop(loop)) == []
+
+    def test_subtraction_not_reassociable(self):
+        module = compile_o2("""
+double A[16]; double t[1];
+void kernel() {
+  int i;
+  for (i = 0; i < 16; i++) t[0] = t[0] - A[i];
+}""")
+        loop = LoopInfo(module.get_function("kernel")).all_loops()[0]
+        assert find_reductions(analyze_counted_loop(loop)) == []
+
+    def test_accumulator_phi_found(self):
+        module = compile_o2("""
+double A[32]; double out[1];
+void kernel() {
+  int i; double s = 0.0;
+  for (i = 0; i < 32; i++) s = s + A[i];
+  out[0] = s;
+}""")
+        loop = LoopInfo(module.get_function("kernel")).all_loops()[0]
+        counted = analyze_counted_loop(loop)
+        assert find_accumulator_phi(loop, counted.phi) is not None
+
+    def test_mid_iteration_read_rejected(self):
+        module = compile_o2("""
+double A[32]; double out[1]; double snap[32];
+void kernel() {
+  int i; double s = 0.0;
+  for (i = 0; i < 32; i++) { snap[i] = s; s = s + A[i]; }
+  out[0] = s;
+}""")
+        loop = LoopInfo(module.get_function("kernel")).all_loops()[0]
+        counted = analyze_counted_loop(loop)
+        assert find_accumulator_phi(loop, counted.phi) is None
+
+
+class TestDemotion:
+    def test_demotion_preserves_semantics(self):
+        reference = run_main(compile_o2(SUM_SOURCE))
+        module = compile_o2(SUM_SOURCE)
+        main = module.get_function("main")
+        for loop in LoopInfo(main).all_loops():
+            counted = analyze_counted_loop(loop)
+            if counted is None:
+                continue
+            phi = find_accumulator_phi(loop, counted.phi)
+            if phi is not None:
+                demote_loop_phi(loop, phi)
+        verify_module(module)
+        assert run_main(module) == reference
+
+
+class TestParallelization:
+    def test_disabled_by_default(self):
+        module = compile_o2(MEMORY_RED_SOURCE)
+        result = parallelize_module(module, only_functions=["kernel"])
+        assert not result.parallel_loops  # paper-faithful default
+
+    def test_memory_reduction_parallelized(self):
+        reference = run_main(compile_o2(MEMORY_RED_SOURCE))
+        module = compile_o2(MEMORY_RED_SOURCE)
+        result = parallelize_module(module, only_functions=["kernel"],
+                                    enable_reductions=True)
+        assert len(result.parallel_loops) == 1
+        assert result.parallel_loops[0].reductions == 1
+        verify_module(module)
+        assert run_main(module) == reference
+
+    def test_scalar_reduction_parallelized_via_demotion(self):
+        reference = run_main(compile_o2(SUM_SOURCE))
+        module = compile_o2(SUM_SOURCE)
+        result = parallelize_module(module, enable_reductions=True)
+        reduction_loops = [o for o in result.parallel_loops if o.reductions]
+        assert reduction_loops
+        assert run_main(module) == reference
+
+    def test_bicg_q_part_needs_more_than_reductions(self):
+        # Even with reductions, bicg's fused nest stays sequential (the
+        # outer scatter is not a reduction); this guards against
+        # over-acceptance.
+        from repro.polybench import get
+        from repro.eval.pipeline import compile_c
+        bench = get("bicg")
+        module = compile_c(bench.sequential_source, bench.defines)
+        result = parallelize_module(module, only_functions=["kernel"],
+                                    enable_reductions=True)
+        # The inner loop's q accumulation IS a reduction; with the
+        # extension the inner loop becomes parallel.
+        assert any(o.parallelized for o in result.outcomes)
+
+
+class TestDecompilation:
+    def test_reduction_clause_emitted(self):
+        module = compile_o2(SUM_SOURCE)
+        parallelize_module(module, enable_reductions=True)
+        text = decompile(module, "full")
+        assert "reduction(+:" in text
+
+    def test_round_trip_with_reduction_clause(self):
+        reference = run_main(compile_o2(SUM_SOURCE))
+        module = compile_o2(SUM_SOURCE)
+        parallelize_module(module, enable_reductions=True)
+        text = decompile(module, "full")
+        recompiled = compile_source(text)
+        optimize_o2(recompiled)
+        assert run_main(recompiled) == reference
+
+
+class TestRecompileSafety:
+    def test_written_shared_scalar_rejected_without_clause(self):
+        source = """
+double A[32];
+int main() {
+  double s = 0.0;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < 32; i++)
+      s = s + A[i];
+  }
+  print_double(s);
+  return 0;
+}
+"""
+        with pytest.raises(OmpLoweringError, match="reduction"):
+            compile_source(source)
+
+    def test_reduction_clause_makes_it_legal(self):
+        source = """
+double A[32];
+int main() {
+  int i;
+  for (i = 0; i < 32; i++) A[i] = (double)i;
+  double s = 0.0;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait reduction(+: s)
+    for (int j = 0; j < 32; j++)
+      s = s + A[j];
+  }
+  print_double(s);
+  return 0;
+}
+"""
+        assert run_main(compile_o0(source)) == ["496.000000"]

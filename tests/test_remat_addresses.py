@@ -1,0 +1,101 @@
+"""Tests for address rematerialization (de-LICM of subscript chains)."""
+
+import pytest
+
+from conftest import compile_o2, compile_parallel, run_main
+from repro.core import decompile
+from repro.decompilers import rellic
+from repro.frontend import compile_source
+from repro.passes import optimize_o2
+
+MATMUL = """
+double A[12][12];
+double B[12][12];
+double C[12][12];
+void kernel() {
+  int i, j, k;
+  for (i = 0; i < 12; i++)
+    for (j = 0; j < 12; j++)
+      for (k = 0; k < 12; k++)
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+}
+int main() {
+  int i, j;
+  for (i = 0; i < 12; i++)
+    for (j = 0; j < 12; j++) { A[i][j] = (double)(i + j); B[i][j] = 1.0; C[i][j] = 0.0; }
+  kernel();
+  print_double(C[3][4]);
+  return 0;
+}
+"""
+
+
+def splendid_text(source, only=None):
+    module, _ = compile_parallel(source, only=only)
+    reference = run_main(module)
+    text = decompile(module, "full")
+    recompiled = compile_source(text)
+    assert run_main(recompiled) == reference
+    return text
+
+
+class TestRematerialization:
+    def test_hoisted_subscripts_restored(self):
+        text = splendid_text(MATMUL, only=["kernel"])
+        assert "C[i][j] = C[i][j] + A[i][k] * B[k][j]" in text
+        assert "_idx" not in text
+
+    def test_baselines_keep_pointer_temporaries(self):
+        module, _ = compile_parallel(MATMUL, only=["kernel"])
+        text = rellic.decompile(module)
+        # Rellic's statement-per-instruction style keeps the hoisted
+        # address as a variable.
+        assert "double*" in text
+
+    def test_remat_respects_mutable_leaf_guard(self):
+        # An address chain over an accumulating (name-shared) value must
+        # NOT be recomputed at later use sites.  The round trip is the
+        # oracle: if the guard failed, the output would diverge.
+        source = """
+double A[64];
+double out[4];
+int main() {
+  int base = 0;
+  int i;
+  for (i = 0; i < 4; i++) {
+    base = base + i;
+    out[i] = A[base];
+  }
+  print_double(out[3]);
+  print_int(base);
+  return 0;
+}
+"""
+        module = compile_o2(source)
+        reference = run_main(module)
+        text = decompile(module, "full")
+        recompiled = compile_source(text)
+        optimize_o2(recompiled)
+        assert run_main(recompiled) == reference
+
+    def test_1d_hoisted_pointer_restored(self):
+        source = """
+double q[32];
+double A[32][32];
+double p[32];
+void kernel() {
+  int i, j;
+  for (i = 0; i < 32; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < 32; j++)
+      q[i] = q[i] + A[i][j] * p[j];
+  }
+}
+int main() {
+  kernel();
+  print_double(q[0]);
+  return 0;
+}
+"""
+        text = splendid_text(source, only=["kernel"])
+        assert "q[i] = q[i] + A[i][j] * p[j]" in text

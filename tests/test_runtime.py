@@ -1,0 +1,216 @@
+"""Tests for the interpreter, memory model, OpenMP runtime, and machine."""
+
+import math
+
+import pytest
+
+from conftest import compile_o0, compile_o2
+from repro.ir import types as ir_ty
+from repro.runtime import (Buffer, CostAccumulator, Interpreter, MachineModel,
+                           Pointer, StepLimitExceeded, TrapError,
+                           compiler_factor, run_module)
+from repro.runtime.omp import _for_static_init_8
+
+
+class TestMemoryModel:
+    def test_zero_initialized_reads(self):
+        buffer = Buffer(16, "t")
+        assert buffer.load(0, ir_ty.DOUBLE) == 0.0
+        assert buffer.load(8, ir_ty.I64) == 0
+
+    def test_store_load(self):
+        buffer = Buffer(16, "t")
+        buffer.store(8, 2.5, ir_ty.DOUBLE)
+        assert buffer.load(8, ir_ty.DOUBLE) == 2.5
+
+    def test_out_of_bounds(self):
+        buffer = Buffer(16, "t")
+        with pytest.raises(TrapError, match="out-of-bounds"):
+            buffer.load(16, ir_ty.DOUBLE)
+
+    def test_use_after_free(self):
+        buffer = Buffer(16, "t")
+        buffer.freed = True
+        with pytest.raises(TrapError, match="use after free"):
+            buffer.load(0, ir_ty.DOUBLE)
+
+    def test_pointer_add(self):
+        buffer = Buffer(64, "t")
+        p = Pointer(buffer, 8).add(16)
+        assert p.offset == 24 and p.buffer is buffer
+
+
+class TestInterpreter:
+    def test_runs_main(self):
+        result = run_module(compile_o0(
+            "int main() { print_int(41 + 1); return 0; }"))
+        assert result.output == ["42"] and result.value == 0
+
+    def test_division_by_zero_traps(self):
+        module = compile_o0("""
+int main() { int z = 0; print_int(5 / z); return 0; }""")
+        with pytest.raises(TrapError):
+            run_module(module)
+
+    def test_float_division_by_zero_is_inf(self):
+        result = run_module(compile_o0("""
+int main() { double z = 0.0; print_double(1.0 / z >= 1.0 ? 1.0 : 0.0);
+  return 0; }"""))
+        assert result.output == ["1.000000"]
+
+    def test_integer_wraparound(self):
+        result = run_module(compile_o0("""
+int main() { int big = 2147483647; print_int(big + 1); return 0; }"""))
+        assert result.output == ["-2147483648"]
+
+    def test_step_limit(self):
+        module = compile_o0("""
+int main() { int i; for (i = 0; i < 100000; i++) ; return 0; }""")
+        with pytest.raises(StepLimitExceeded):
+            run_module(module, max_steps=1000)
+
+    def test_cost_accumulates(self):
+        result = run_module(compile_o0(
+            "int main() { print_int(1 + 2); return 0; }"))
+        assert result.cost.dynamic_instructions > 0
+        assert result.cost.compute > 0
+
+    def test_output_order_is_program_order(self):
+        result = run_module(compile_o0("""
+int main() { int i; for (i = 0; i < 3; i++) print_int(i); return 0; }"""))
+        assert result.output == ["0", "1", "2"]
+
+    def test_math_externals(self):
+        result = run_module(compile_o0("""
+int main() { print_double(exp(0.0)); print_double(cos(0.0)); return 0; }"""))
+        assert result.output == ["1.000000", "1.000000"]
+
+
+class TestStaticScheduling:
+    class FakeInterp:
+        pass
+
+    def chunk(self, tid, nthreads, lb, ub, incr=1):
+        lb_buf = Buffer(8, "lb")
+        ub_buf = Buffer(8, "ub")
+        stride_buf = Buffer(8, "st")
+        lb_buf.store(0, lb, ir_ty.I64)
+        ub_buf.store(0, ub, ir_ty.I64)
+        _for_static_init_8(None, None, [tid, nthreads, 34,
+                                        Pointer(lb_buf, 0), Pointer(ub_buf, 0),
+                                        Pointer(stride_buf, 0), incr, 1])
+        return (lb_buf.load(0, ir_ty.I64), ub_buf.load(0, ir_ty.I64))
+
+    def test_partition_covers_exactly(self):
+        lb, ub, threads = 0, 99, 7
+        covered = []
+        for tid in range(threads):
+            my_lb, my_ub = self.chunk(tid, threads, lb, ub)
+            covered.extend(range(my_lb, my_ub + 1))
+        assert sorted(covered) == list(range(100))
+
+    def test_empty_iteration_space(self):
+        my_lb, my_ub = self.chunk(0, 4, 5, 4)  # lb > ub: zero trips
+        assert my_lb > my_ub
+
+    def test_more_threads_than_iterations(self):
+        covered = []
+        for tid in range(28):
+            my_lb, my_ub = self.chunk(tid, 28, 0, 9)
+            covered.extend(range(my_lb, my_ub + 1))
+        assert sorted(covered) == list(range(10))
+
+    def test_negative_increment(self):
+        covered = []
+        for tid in range(4):
+            my_lb, my_ub = self.chunk(tid, 4, 15, 0, incr=-1)
+            covered.extend(range(my_lb, my_ub - 1, -1))
+        assert sorted(covered) == list(range(16))
+
+    def test_zero_increment_traps(self):
+        with pytest.raises(TrapError):
+            self.chunk(0, 4, 0, 9, incr=0)
+
+
+class TestMachineModel:
+    def test_parallel_region_time_components(self):
+        machine = MachineModel(num_threads=4, fork_overhead=100,
+                               barrier_overhead=10, memory_parallelism=2)
+        time = machine.parallel_region_time([50, 60, 40, 55], 200)
+        assert time == 60 + 100 + 100 + 10
+
+    def test_speedup_bounded_by_threads(self):
+        machine = MachineModel()
+        compute = [1000.0] * machine.num_threads
+        t_par = machine.parallel_region_time(compute, 0.0)
+        t_seq = 1000.0 * machine.num_threads
+        assert t_seq / t_par <= machine.num_threads
+
+    def test_compiler_factor_deterministic_and_bounded(self):
+        for compiler in ("clang", "gcc"):
+            for kernel in ("gemm", "mvt", "adi"):
+                factor = compiler_factor(compiler, kernel)
+                assert factor == compiler_factor(compiler, kernel)
+                assert 0.92 <= factor <= 1.08
+
+    def test_polly_factor_is_identity(self):
+        assert compiler_factor("polly", "gemm") == 1.0
+
+    def test_cost_accumulator_delta(self):
+        acc = CostAccumulator()
+        acc.charge("fadd")
+        snap = acc.snapshot()
+        acc.charge("load")
+        delta = acc.delta_since(snap)
+        assert delta.dynamic_instructions == 1
+        assert delta.memory > 0
+
+
+class TestParallelExecutionModel:
+    def test_parallel_wall_time_less_than_serial(self):
+        source = """
+#define N 600
+double A[N]; double B[N];
+int main() {
+  int i;
+  for (i = 0; i < N; i++) B[i] = (double)(i % 13);
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int j = 0; j < N; j++)
+      A[j] = B[j] * 2.0 + B[j] / 3.0 + sqrt(B[j]);
+  }
+  print_double(A[100]);
+  return 0;
+}
+"""
+        parallel = Interpreter(compile_o2(source)).run("main")
+        serial_source = source.replace("#pragma omp parallel", "") \
+            .replace("#pragma omp for schedule(static) nowait", "")
+        serial = Interpreter(compile_o2(serial_source)).run("main")
+        assert parallel.output == serial.output
+        assert parallel.wall_time < serial.wall_time
+        # Total work is the same or larger (fork overhead), never smaller.
+        assert parallel.cost.dynamic_instructions >= \
+            serial.cost.dynamic_instructions
+
+    def test_num_threads_affects_time(self):
+        module_src = """
+#define N 900
+double A[N];
+int main() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      A[i] = (double)i * 3.0 + (double)(i % 7);
+  }
+  print_double(A[1]);
+  return 0;
+}
+"""
+        t4 = Interpreter(compile_o2(module_src),
+                         MachineModel(num_threads=4)).run("main").wall_time
+        t28 = Interpreter(compile_o2(module_src),
+                          MachineModel(num_threads=28)).run("main").wall_time
+        assert t28 < t4

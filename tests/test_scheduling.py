@@ -1,0 +1,77 @@
+"""Tests for the dynamic-scheduling extension (paper §7 future work)."""
+
+import pytest
+
+from conftest import compile_o0, compile_o2, run_main
+from repro.core import decompile
+from repro.frontend import compile_source
+from repro.passes import optimize_o2
+from repro.runtime import run_module
+
+DYNAMIC_SOURCE = """
+#define N 300
+double A[N];
+double B[N];
+int main() {
+  int i;
+  for (i = 0; i < N; i++) A[i] = (double)(i % 9);
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(dynamic, 8) nowait
+    for (int j = 1; j < N - 1; j++)
+      B[j] = (A[j-1] + A[j] + A[j+1]) / 3.0;
+  }
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + B[i];
+  print_double(s);
+  return 0;
+}
+"""
+
+
+def _variant(schedule: str) -> str:
+    return DYNAMIC_SOURCE.replace("schedule(dynamic, 8)", schedule)
+
+
+class TestDynamicLowering:
+    def test_lowered_with_schedtype_35(self):
+        module = compile_o0(DYNAMIC_SOURCE)
+        from repro.ir import print_module
+        text = print_module(module)
+        assert "i32 35" in text
+
+    def test_same_output_as_static(self):
+        dynamic = run_main(compile_o0(DYNAMIC_SOURCE))
+        static = run_main(compile_o0(_variant("schedule(static)")))
+        assert dynamic == static
+
+    def test_dynamic_charges_dispatch_overhead(self):
+        dynamic = run_module(compile_o2(DYNAMIC_SOURCE))
+        static = run_module(compile_o2(_variant("schedule(static)")))
+        assert dynamic.output == static.output
+        assert dynamic.wall_time > static.wall_time
+
+    def test_smaller_chunks_cost_more(self):
+        chunky = run_module(compile_o2(DYNAMIC_SOURCE))
+        fine = run_module(compile_o2(_variant("schedule(dynamic, 1)")))
+        assert fine.wall_time > chunky.wall_time
+
+
+class TestDynamicDecompilation:
+    def test_splendid_regenerates_dynamic_clause(self):
+        module = compile_o2(DYNAMIC_SOURCE)
+        text = decompile(module, "full")
+        assert "schedule(dynamic, 8)" in text
+
+    def test_dynamic_without_chunk(self):
+        module = compile_o2(_variant("schedule(dynamic)"))
+        text = decompile(module, "full")
+        assert "schedule(dynamic)" in text
+
+    def test_round_trip(self):
+        reference = run_main(compile_o2(DYNAMIC_SOURCE))
+        module = compile_o2(DYNAMIC_SOURCE)
+        text = decompile(module, "full")
+        recompiled = compile_source(text)
+        optimize_o2(recompiled)
+        assert run_main(recompiled) == reference

@@ -1,0 +1,54 @@
+"""Linter overhead: verifying every pragma must be nearly free.
+
+``repro decompile --verify-pragmas`` runs both linter sides (the IR
+checker over the parallelized module and the source checker over the
+emitted unit) on top of the normal pipeline.  Reproduction criterion:
+across the full 16-kernel PolyBench suite the added lint time stays
+under ~10% of the decompilation pipeline it verifies — and SPLENDID's
+own output carries zero lint errors, kernel by kernel.
+"""
+
+import time
+
+from conftest import run_once
+from repro.core import Splendid
+from repro.eval.pipeline import build_parallel
+from repro.lint import lint_parallel_module, lint_translation_unit
+from repro.polybench import all_benchmarks
+
+
+def _measure():
+    rows = []
+    for bench in all_benchmarks():
+        t0 = time.perf_counter()
+        parallel, _ = build_parallel(bench)
+        unit = Splendid(parallel, "full").decompile()
+        t1 = time.perf_counter()
+        report = lint_parallel_module(parallel)
+        report.extend(lint_translation_unit(unit))
+        t2 = time.perf_counter()
+        rows.append((bench.name, t1 - t0, t2 - t1, report))
+    return rows
+
+
+def test_lint_overhead(benchmark):
+    rows = run_once(benchmark, _measure)
+    print()
+    print(f"{'kernel':<18} {'pipeline':>10} {'lint':>10} "
+          f"{'overhead':>9}  errors")
+    total_pipe = total_lint = 0.0
+    for name, pipe, lint, report in rows:
+        total_pipe += pipe
+        total_lint += lint
+        print(f"{name:<18} {pipe * 1e3:>8.1f}ms {lint * 1e3:>8.1f}ms "
+              f"{lint / pipe:>8.1%}  {report.error_rule_ids()}")
+    ratio = total_lint / total_pipe
+    print(f"{'TOTAL':<18} {total_pipe * 1e3:>8.1f}ms "
+          f"{total_lint * 1e3:>8.1f}ms {ratio:>8.1%}")
+
+    assert len(rows) == 16
+    # SPLENDID's own output is lint-clean on every kernel.
+    for name, _, _, report in rows:
+        assert report.ok, (name, [d.render() for d in report.errors])
+    # Verification costs a sliver of the pipeline it verifies.
+    assert ratio < 0.10

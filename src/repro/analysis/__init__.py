@@ -13,6 +13,9 @@ from .induction import (CountedLoop, analyze_counted_loop,
                         is_loop_invariant)
 from .liveness import Liveness
 from .loops import Loop, LoopInfo
+from .races import (RaceFinding, access_location_is_invariant,
+                    find_loop_races, nowait_unsafe_loads, pair_verdict,
+                    private_audit)
 
 __all__ = [
     "AliasResult", "alias", "base_object", "definitely_no_alias",
@@ -26,4 +29,6 @@ __all__ = [
     "CountedLoop", "analyze_counted_loop", "constant_trip_count",
     "find_induction_phi", "is_loop_invariant",
     "Liveness", "Loop", "LoopInfo",
+    "RaceFinding", "access_location_is_invariant", "find_loop_races",
+    "nowait_unsafe_loads", "pair_verdict", "private_audit",
 ]

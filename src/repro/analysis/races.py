@@ -1,0 +1,318 @@
+"""Cross-iteration race detection over parallelized worksharing loops.
+
+This is the analysis core of the OpenMP legality linter
+(:mod:`repro.lint`): where :mod:`repro.analysis.dependence` answers the
+parallelizer's yes/no question ("may any pair of accesses carry a
+dependence?"), this module *classifies* every conflicting pair so a
+diagnostic can say what is wrong and how to fix it:
+
+* a shared write whose subscript provably collides with another access
+  in a different iteration is a **race**;
+* a loop-invariant location written every iteration without a matching
+  reassociable chain needed a ``private`` (overwrite) or ``reduction``
+  (read-modify-write) clause;
+* pairs the affine tests cannot decide are reported as *possible*
+  dependences, and distinct may-aliasing bases as runtime-check
+  candidates — both warnings, not errors, mirroring the paper's
+  Figure 2 versioning contract.
+
+The same per-dimension verdicts back the AST-side linter in
+:mod:`repro.lint.source_check`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import Call, Instruction, Load, Phi, Store
+from ..ir.values import Value
+from .alias import AliasResult, alias
+from .dependence import AffineExpr, MemoryAccess, collect_accesses
+from .induction import CountedLoop
+from .liveness import Liveness
+from .loops import Loop
+
+#: Pair verdict lattice, benign-first: ``never`` (no iteration pair
+#: collides), ``same-iter`` (collisions are loop-independent),
+#: ``unknown`` (the affine tests cannot decide), ``definite`` (some
+#: cross-iteration pair provably collides).
+PAIR_VERDICTS = ("never", "same-iter", "unknown", "definite")
+
+
+@dataclass
+class RaceFinding:
+    """One legality problem (or suspicion) on a worksharing loop."""
+
+    kind: str                       # 'race' | 'missing-private' | 'may-alias'
+                                    # | 'may-depend' | 'non-affine'
+                                    # | 'unknown-call' | 'carried-scalar'
+    base: Optional[Value]           # the underlying allocation, if any
+    write: Optional[Instruction]    # offending write (or phi)
+    other: Optional[Instruction]    # conflicting partner access
+    detail: str = ""
+
+
+def _dimension_verdict(a: AffineExpr, b: AffineExpr) -> str:
+    """Classify one subscript dimension of an access pair."""
+    if a.symbolic_key() != b.symbolic_key():
+        return "unknown"
+    if a.inner_key() != b.inner_key():
+        return "unknown"
+    if a.iv_coeff != b.iv_coeff:
+        return "unknown"
+    coeff = a.iv_coeff
+    delta = b.const - a.const
+    if a.has_inner:
+        # Identical inner-IV terms: the dimension sweeps the same values
+        # in every iteration of the tested loop, so equal expressions
+        # collide across iterations; any other shape is undecided.
+        return "definite" if coeff == 0 and delta == 0 else "unknown"
+    if coeff == 0:
+        return "never" if delta != 0 else "definite"
+    if delta == 0:
+        return "same-iter"
+    if delta % coeff != 0:
+        return "never"
+    return "definite"
+
+
+def pair_verdict(a: MemoryAccess, b: MemoryAccess) -> str:
+    """Overall verdict for two same-base accesses.
+
+    One ``never`` dimension rules out any collision; one ``same-iter``
+    dimension pins every collision to a single iteration (benign for a
+    worksharing loop); an ``unknown`` dimension taints the pair; only a
+    pair whose every dimension definitely collides across iterations is
+    a proven race.
+    """
+    if a.subscripts is None or b.subscripts is None:
+        return "unknown"
+    if len(a.subscripts) != len(b.subscripts):
+        return "unknown"
+    if not a.subscripts:
+        return "definite"  # scalar location touched every iteration
+    verdicts = [_dimension_verdict(sa, sb)
+                for sa, sb in zip(a.subscripts, b.subscripts)]
+    if "never" in verdicts:
+        return "never"
+    if "same-iter" in verdicts:
+        return "same-iter"
+    if "unknown" in verdicts:
+        return "unknown"
+    return "definite"
+
+
+def access_location_is_invariant(access: MemoryAccess) -> bool:
+    """True when the access touches one fixed location every iteration."""
+    if access.subscripts is None:
+        return False
+    return all(s.iv_coeff == 0 and not s.has_inner
+               for s in access.subscripts)
+
+
+def _base_name(base: Optional[Value]) -> str:
+    return getattr(base, "name", None) or "?"
+
+
+_CAST_OPCODES = ("sext", "zext", "trunc", "bitcast")
+
+
+def _strip_casts(value: Value) -> Value:
+    while isinstance(value, Instruction) and value.opcode in _CAST_OPCODES:
+        value = value.operands[0]
+    return value
+
+
+def _is_iv_shadow(phi: Phi, counted: CountedLoop) -> bool:
+    """True when ``phi`` is a width-converted image of the loop's IV.
+
+    Loop rotation and widening leave congruent secondary phis (e.g. the
+    i64 shadow of an i32 counter): each incoming value is, modulo
+    casts, the IV's incoming value from the same block.  Those carry no
+    cross-iteration state and must not be reported as races.
+    """
+    iv_incoming = {id(block): value for value, block in counted.phi.incoming}
+    for value, block in phi.incoming:
+        iv_value = iv_incoming.get(id(block))
+        if iv_value is None:
+            return False
+        if _strip_casts(value) is not _strip_casts(iv_value):
+            return False
+    return True
+
+
+def find_loop_races(counted: CountedLoop,
+                    allow_reductions: bool = True) -> List[RaceFinding]:
+    """All legality findings for one worksharing loop.
+
+    Accesses belonging to a recognized reassociable reduction chain are
+    legal under a matching ``reduction`` clause and skipped; everything
+    the pragma generator's clause minimization cannot justify is
+    reported.
+    """
+    from .reduction import find_reductions, reduction_instructions
+    loop = counted.loop
+    findings: List[RaceFinding] = []
+    reduction_members = set()
+    if allow_reductions:
+        reduction_members = reduction_instructions(find_reductions(counted))
+
+    # Loop-carried scalar dependences: any header phi besides the IV
+    # (or a cast-congruent shadow of it).
+    for phi in loop.header_phis():
+        if phi is not counted.phi and not _is_iv_shadow(phi, counted):
+            findings.append(RaceFinding(
+                "race", phi, phi, None,
+                f"loop-carried scalar dependence through phi "
+                f"%{phi.name or '?'}"))
+
+    accesses, problems = collect_accesses(counted)
+    for problem in sorted(set(problems)):
+        findings.append(RaceFinding(
+            "unknown-call", None, None, None,
+            f"{problem}: the callee may touch shared state"))
+
+    # Aggregate pair verdicts per base so each shared variable yields a
+    # single, classified finding rather than one per access pair.
+    definite: Dict[int, Tuple[MemoryAccess, MemoryAccess]] = {}
+    definite_has_load: Dict[int, bool] = {}
+    definite_all_invariant: Dict[int, bool] = {}
+    suspicious: Dict[int, Tuple[MemoryAccess, MemoryAccess]] = {}
+    alias_pairs: Dict[Tuple[int, int], Tuple[Value, Value]] = {}
+
+    for i, a in enumerate(accesses):
+        for b in accesses[i:]:
+            if not (a.is_write or b.is_write):
+                continue
+            if a.inst in reduction_members and b.inst in reduction_members:
+                continue
+            relation = alias(a.base, b.base)
+            if relation is AliasResult.NO_ALIAS:
+                continue
+            if a.base is not b.base:
+                key = tuple(sorted((id(a.base), id(b.base))))
+                alias_pairs.setdefault(key, (a.base, b.base))
+                continue
+            verdict = pair_verdict(a, b)
+            if verdict in ("never", "same-iter"):
+                continue
+            write, other = (a, b) if a.is_write else (b, a)
+            if verdict == "definite":
+                key = id(write.base)
+                definite.setdefault(key, (write, other))
+                definite_has_load[key] = definite_has_load.get(key, False) \
+                    or not (a.is_write and b.is_write)
+                definite_all_invariant[key] = \
+                    definite_all_invariant.get(key, True) \
+                    and access_location_is_invariant(write) \
+                    and access_location_is_invariant(other)
+            else:
+                suspicious.setdefault(id(write.base), (write, other))
+
+    for key, (write, other) in definite.items():
+        name = _base_name(write.base)
+        if definite_all_invariant[key]:
+            if definite_has_load[key]:
+                findings.append(RaceFinding(
+                    "race", write.base, write.inst, other.inst,
+                    f"'{name}' is read-modified-written every iteration "
+                    f"and the update chain is not a recognized reduction"))
+            else:
+                findings.append(RaceFinding(
+                    "missing-private", write.base, write.inst, other.inst,
+                    f"'{name}' is overwritten at one location every "
+                    f"iteration but is not privatized"))
+        else:
+            findings.append(RaceFinding(
+                "race", write.base, write.inst, other.inst,
+                f"cross-iteration conflict between {write.inst.opcode} and "
+                f"{other.inst.opcode} on '{name}'"))
+
+    for key, (write, other) in suspicious.items():
+        if key in definite:
+            continue
+        kind = "non-affine" if (write.subscripts is None
+                                or other.subscripts is None) else "may-depend"
+        findings.append(RaceFinding(
+            kind, write.base, write.inst, other.inst,
+            f"accesses to '{_base_name(write.base)}' cannot be proven "
+            f"iteration-disjoint"))
+
+    for base_a, base_b in alias_pairs.values():
+        findings.append(RaceFinding(
+            "may-alias", base_a, None, None,
+            f"bases '{_base_name(base_a)}' and '{_base_name(base_b)}' may "
+            f"alias; disjointness needs a runtime check"))
+    return findings
+
+
+def nowait_unsafe_loads(loop: Loop) -> List[Load]:
+    """Loads after ``loop`` that defeat dropping its implicit barrier.
+
+    Walks the CFG from the loop's exits, stopping at ``__kmpc_barrier``
+    calls, and reports every load that may alias a store inside the
+    loop: with ``nowait``, a thread can reach that load while another
+    thread is still writing the corresponding iteration.
+    """
+    # Lazy import: repro.analysis must stay importable without touching
+    # the polly package (which itself imports these analyses).
+    from ..polly.runtime_decls import BARRIER
+
+    stores = [inst for block in loop.blocks for inst in block.instructions
+              if isinstance(inst, Store)]
+    if not stores:
+        return []
+    unsafe: List[Load] = []
+    seen = set()
+    work = deque(loop.exit_blocks)
+    while work:
+        block = work.popleft()
+        if block in seen or block in loop.blocks:
+            continue
+        seen.add(block)
+        hit_barrier = False
+        for inst in block.instructions:
+            if isinstance(inst, Call) and inst.callee_name == BARRIER:
+                hit_barrier = True
+                break
+            if isinstance(inst, Load):
+                if any(alias(inst.pointer, store.pointer)
+                       is not AliasResult.NO_ALIAS for store in stores):
+                    unsafe.append(inst)
+        if not hit_barrier:
+            work.extend(block.successors)
+    return unsafe
+
+
+def private_audit(counted: CountedLoop,
+                  liveness: Optional[Liveness] = None) -> List[RaceFinding]:
+    """Audit the clause-minimization invariant on a worksharing loop.
+
+    SPLENDID privatizes by *placement*: a value is private exactly when
+    its definition lands inside the region (§4.1.3).  That is sound only
+    if every SSA value live into the loop header is loop-invariant
+    (firstprivate by copy) — anything else is a carried scalar the
+    emitted pragma would silently share.
+    """
+    from .induction import is_loop_invariant
+    loop = counted.loop
+    function = loop.header.parent
+    liveness = liveness or Liveness(function)
+    findings: List[RaceFinding] = []
+    for value in sorted(liveness.live_in.get(loop.header, ()),
+                        key=lambda v: getattr(v, "name", None) or ""):
+        if value is counted.phi:
+            continue
+        if is_loop_invariant(value, loop):
+            continue
+        if isinstance(value, Phi) and value.parent is loop.header:
+            continue  # already reported as a carried scalar race
+        findings.append(RaceFinding(
+            "carried-scalar", value,
+            value if isinstance(value, Instruction) else None, None,
+            f"%{getattr(value, 'name', None) or '?'} is live into the loop "
+            f"header but defined inside the loop"))
+    return findings

@@ -7,6 +7,10 @@ Commands mirror the paper's workflow:
   parallelizer and print the parallel IR;
 * ``decompile FILE``      — decompile a C file (compiled+parallelized
   first) or a textual-IR file (``.ll``) with the chosen tool/variant;
+* ``lint FILE``           — verify OpenMP pragma legality: a ``.ll``
+  module or plain C file runs the full pipeline and lints both the
+  parallel IR and the decompiled output; a C file that already carries
+  ``#pragma omp`` is parsed and linted as-is;
 * ``run FILE.c``          — execute ``main`` in the interpreter and
   print the program output plus modeled cycles;
 * ``report``              — regenerate one of the paper's tables/figures.
@@ -67,10 +71,21 @@ def cmd_parallelize(args) -> int:
 
 
 def cmd_decompile(args) -> int:
+    if args.verify_pragmas and args.tool != "splendid":
+        print("error: --verify-pragmas only applies to --tool splendid",
+              file=sys.stderr)
+        return 2
     module = _load_module(args.file, _parse_defines(args.define),
                           optimize=True, parallelize=not args.sequential,
                           enable_reductions=args.reductions)
     if args.tool == "splendid":
+        if args.verify_pragmas:
+            from .core import decompile_checked
+            from .lint import render_text
+            result = decompile_checked(module, args.variant)
+            print(result.text)
+            print(render_text(result.diagnostics), file=sys.stderr)
+            return 0 if result.ok else 3
         from .core import decompile
         print(decompile(module, args.variant))
     else:
@@ -79,6 +94,40 @@ def cmd_decompile(args) -> int:
                 "cbackend": cbackend}[args.tool]
         print(tool.decompile(module))
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .lint import render_json, render_text
+    with open(args.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+
+    if not args.file.endswith(".ll") and "#pragma omp" in text:
+        # Already-annotated C (hand-written OpenMP, or SPLENDID output
+        # fed back): parse and lint the pragmas as written.
+        from .lint import lint_translation_unit
+        from .minic import parse
+        unit = parse(text, _parse_defines(args.define))
+        report = lint_translation_unit(unit)
+    else:
+        # Run the pipeline and verify what it produces, both in IR form
+        # and (for parallel variants) in the decompiled source.
+        from .core import Splendid
+        if args.file.endswith(".ll"):
+            from .ir import parse_ir
+            module = parse_ir(text)
+        else:
+            from .frontend import compile_source
+            from .passes import optimize_o2
+            from .polly import parallelize_module
+            module = compile_source(text, _parse_defines(args.define),
+                                    module_name=args.file)
+            optimize_o2(module)
+            parallelize_module(module, enable_reductions=args.reductions)
+        report = Splendid(module, args.variant).decompile_checked() \
+            .diagnostics
+
+    print(render_json(report) if args.json else render_text(report))
+    return 0 if report.ok else 1
 
 
 def cmd_run(args) -> int:
@@ -167,7 +216,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--sequential", action="store_true",
                        help="skip the parallelizer (decompile -O2 IR)")
     p_dec.add_argument("--reductions", action="store_true")
+    p_dec.add_argument("--verify-pragmas", action="store_true",
+                       help="lint every emitted pragma; report to stderr "
+                            "and exit 3 on errors")
     p_dec.set_defaults(func=cmd_decompile)
+
+    p_lint = sub.add_parser(
+        "lint", help="verify OpenMP pragma legality (see repro.lint)")
+    add_common(p_lint)
+    p_lint.add_argument("--variant", default="full",
+                        choices=("v1", "v2", "portable", "full"),
+                        help="SPLENDID variant used for pipeline linting")
+    p_lint.add_argument("--reductions", action="store_true",
+                        help="enable the reduction extension when the "
+                             "pipeline runs")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_run = sub.add_parser("run", help="execute in the interpreter")
     add_common(p_run)

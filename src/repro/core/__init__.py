@@ -11,8 +11,8 @@ from .analyzer import (ForkSite, MicrotaskInfo, ParallelAnalysisError,
                        analyze_microtask, find_fork_sites,
                        outlined_functions)
 from .detransform import DetransformError, translate_fork_call
-from .pipeline import (Splendid, VARIANTS, decompile, decompile_unit,
-                       options_for)
+from .pipeline import (DecompilationResult, Splendid, VARIANTS, decompile,
+                       decompile_checked, decompile_unit, options_for)
 from .pragma_gen import pragmas_for_region, parallel_pragma, worksharing_pragma
 from .variables import (MostRecentDefinitions, RestorationStats,
                         VariableProposal, generate_module_names,
@@ -23,7 +23,8 @@ __all__ = [
     "ForkSite", "MicrotaskInfo", "ParallelAnalysisError",
     "analyze_microtask", "find_fork_sites", "outlined_functions",
     "DetransformError", "translate_fork_call",
-    "Splendid", "VARIANTS", "decompile", "decompile_unit", "options_for",
+    "DecompilationResult", "Splendid", "VARIANTS", "decompile",
+    "decompile_checked", "decompile_unit", "options_for",
     "pragmas_for_region", "parallel_pragma", "worksharing_pragma",
     "MostRecentDefinitions", "RestorationStats", "VariableProposal",
     "generate_module_names", "generate_variable_names",

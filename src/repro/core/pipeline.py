@@ -98,6 +98,22 @@ class Splendid:
     def decompile_text(self) -> str:
         return self.decompiler.decompile_text()
 
+    def decompile_checked(self) -> "DecompilationResult":
+        """Decompile and lint: every emitted pragma is re-proven.
+
+        The IR-side linter verifies the parallelized module the pragmas
+        are derived from; the AST-side linter then re-checks the emitted
+        unit itself (for variants that translate parallelism).  Both
+        reports are merged onto the result.
+        """
+        from ..lint import lint_parallel_module, lint_translation_unit
+        from ..minic.printer import print_unit
+        report = lint_parallel_module(self.module)
+        unit = self.decompile()
+        if self.options.explicit_parallelism:
+            report.extend(lint_translation_unit(unit))
+        return DecompilationResult(print_unit(unit), unit, report)
+
     def restoration_stats(self):
         """Fraction of emitted variables restored to source names (Fig 8).
 
@@ -113,6 +129,19 @@ class Splendid:
         return stats
 
 
+@dataclass
+class DecompilationResult:
+    """Decompiled output plus the legality diagnostics attached to it."""
+
+    text: str
+    unit: ast.TranslationUnit
+    diagnostics: "LintReport"
+
+    @property
+    def ok(self) -> bool:
+        return self.diagnostics.ok
+
+
 def decompile(module: Module, variant: str = "full") -> str:
     """Decompile a parallel IR module to C/OpenMP source text."""
     return Splendid(module, variant).decompile_text()
@@ -120,3 +149,9 @@ def decompile(module: Module, variant: str = "full") -> str:
 
 def decompile_unit(module: Module, variant: str = "full") -> ast.TranslationUnit:
     return Splendid(module, variant).decompile()
+
+
+def decompile_checked(module: Module,
+                      variant: str = "full") -> DecompilationResult:
+    """Decompile with pragma verification (see `Splendid.decompile_checked`)."""
+    return Splendid(module, variant).decompile_checked()

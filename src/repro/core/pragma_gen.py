@@ -24,7 +24,10 @@ def parallel_pragma(info: MicrotaskInfo,
 def worksharing_pragma(info: MicrotaskInfo) -> OmpPragma:
     pragma = OmpPragma(directive="for")
     pragma.schedule = info.schedule
-    if info.chunk is not None and info.chunk > 1:
+    # Emit the chunk whenever the runtime init call carried one: an
+    # explicit schedule(static, 1) is not the same schedule as
+    # schedule(static), so chunk == 1 must survive the round trip.
+    if info.chunk is not None:
         pragma.chunk = info.chunk
     pragma.nowait = info.nowait
     return pragma

@@ -7,10 +7,11 @@ the ground truth for "this transformation produced legal IR".
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import List
 
 from .block import BasicBlock
-from .instructions import Instruction, Phi
+from .instructions import Call, Instruction, Phi
 from .module import Function, Module
 from .values import Argument, Constant, Value
 
@@ -22,6 +23,7 @@ class VerificationError(Exception):
 def verify_module(module: Module) -> None:
     for function in module.defined_functions():
         verify_function(function)
+    verify_kmpc_protocol(module)
 
 
 def verify_function(function: Function) -> None:
@@ -66,14 +68,22 @@ def _check_phis(function: Function) -> None:
                     raise VerificationError(
                         f"{function}: phi {inst} after non-phi in {block}")
                 incoming_blocks = [b for _, b in inst.incoming]
-                if set(incoming_blocks) != set(preds):
-                    raise VerificationError(
-                        f"{function}: phi {inst} in {block} has incoming "
-                        f"{[b.name for b in incoming_blocks]} but predecessors "
-                        f"{[b.name for b in preds]}")
                 if len(incoming_blocks) != len(set(incoming_blocks)):
                     raise VerificationError(
-                        f"{function}: phi {inst} has duplicate incoming edges")
+                        f"function '{function.name}', block "
+                        f"'{block.name}': phi {inst} has duplicate "
+                        f"incoming edges")
+                # Multiset comparison: the incoming list must name each
+                # actual predecessor exactly once — a stale entry left by
+                # an edge rewrite and a missing entry both fail here.
+                if Counter(map(id, incoming_blocks)) != Counter(map(id,
+                                                                   preds)):
+                    raise VerificationError(
+                        f"function '{function.name}', block "
+                        f"'{block.name}': phi {inst} has incoming blocks "
+                        f"{[b.name for b in incoming_blocks]} but the "
+                        f"block's predecessors are "
+                        f"{[b.name for b in preds]}")
             else:
                 seen_non_phi = True
 
@@ -127,3 +137,74 @@ def _check_operand_dominates(function, domtree, positions, value: Value,
         raise VerificationError(
             f"{function}: definition of {value} in {def_block} does not "
             f"dominate its use {user} in {use_block}")
+
+
+def verify_kmpc_protocol(module: Module) -> None:
+    """Validate the ``__kmpc_*`` runtime-call protocol of ``module``.
+
+    The fork/worksharing contract both lowerings emit (and the
+    decompiler's analyzer assumes):
+
+    * ``__kmpc_fork_call(microtask, lb, ub, shared...)`` passes a
+      defined function whose signature is
+      ``(i32 tid, i32 ntid, i64 lb, i64 ub, shared-types...)`` — one
+      more parameter than the fork supplies arguments, because the
+      runtime prepends the thread ids;
+    * every ``__kmpc_for_static_init_8`` in a function is paired with a
+      ``__kmpc_for_static_fini``.
+    """
+    # Lazy import: repro.ir must stay importable without pulling in the
+    # polly package (whose passes import this verifier).
+    from ..polly.runtime_decls import FORK_CALL, STATIC_FINI, STATIC_INIT
+    from . import types as ir_ty
+
+    for function in module.defined_functions():
+        inits = finis = 0
+        for inst in function.instructions():
+            if not isinstance(inst, Call):
+                continue
+            callee = inst.callee_name
+            if callee == STATIC_INIT:
+                inits += 1
+            elif callee == STATIC_FINI:
+                finis += 1
+            elif callee == FORK_CALL:
+                _check_fork_call(function, inst, ir_ty)
+        if inits != finis:
+            raise VerificationError(
+                f"function '{function.name}': {inits} call(s) to "
+                f"{STATIC_INIT} but {finis} to {STATIC_FINI}; worksharing "
+                f"init/fini must pair up")
+
+
+def _check_fork_call(function: Function, call: Call, ir_ty) -> None:
+    from ..polly.runtime_decls import FORK_CALL
+    where = f"function '{function.name}': {FORK_CALL}"
+    if not call.args:
+        raise VerificationError(f"{where} has no microtask argument")
+    microtask = call.args[0]
+    if not isinstance(microtask, Function):
+        raise VerificationError(
+            f"{where} first argument {microtask} is not a function")
+    params = microtask.function_type.params
+    if len(params) < 4:
+        raise VerificationError(
+            f"{where}: microtask @{microtask.name} has {len(params)} "
+            f"parameter(s); expected at least (tid, ntid, lb, ub)")
+    expected_lead = (ir_ty.I32, ir_ty.I32, ir_ty.I64, ir_ty.I64)
+    if tuple(params[:4]) != expected_lead:
+        raise VerificationError(
+            f"{where}: microtask @{microtask.name} leading parameters are "
+            f"({', '.join(map(str, params[:4]))}); expected "
+            f"(i32, i32, i64, i64)")
+    if len(call.args) != len(params) - 1:
+        raise VerificationError(
+            f"{where} passes {len(call.args) - 1} argument(s) after the "
+            f"microtask but @{microtask.name} expects "
+            f"{len(params) - 2} bound and shared parameter(s)")
+    for i, (arg, param) in enumerate(zip(call.args[1:], params[2:]),
+                                     start=1):
+        if arg.type != param:
+            raise VerificationError(
+                f"{where} argument {i} has type {arg.type} but microtask "
+                f"@{microtask.name} parameter expects {param}")

@@ -1,0 +1,22 @@
+"""repro.lint — OpenMP legality linter for SPLENDID's decompiled output.
+
+Two entry points share one diagnostic vocabulary:
+
+* :func:`lint_parallel_module` verifies a *parallelized IR module*
+  (Polly-outlined ``__kmpc_fork_call`` microtasks) — every pragma the
+  decompiler will emit is re-proven from the IR;
+* :func:`lint_translation_unit` verifies a *mini-C AST* carrying
+  ``#pragma omp`` annotations — either SPLENDID's own output fed back
+  through the parser, or hand-written OpenMP.
+"""
+
+from .diagnostics import RULES, Diagnostic, LintReport, Rule, Severity
+from .ir_check import lint_parallel_module
+from .reporting import render_json, render_text
+from .source_check import lint_translation_unit
+
+__all__ = [
+    "RULES", "Diagnostic", "LintReport", "Rule", "Severity",
+    "lint_parallel_module", "lint_translation_unit",
+    "render_json", "render_text",
+]

@@ -1,0 +1,136 @@
+"""Structured diagnostics for the OpenMP legality linter.
+
+Every check in :mod:`repro.lint` reports through this model so the text
+renderer, the JSON renderer, the CLI exit code, and the tests all agree
+on one vocabulary.  The rule catalog is the contract documented in
+``docs/ARCHITECTURE.md`` — rule ids are stable strings that tests assert
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    severity: Severity
+    summary: str
+
+
+#: The diagnostic rule catalog.  Errors mean "this pragma is illegal as
+#: emitted"; warnings mean "legality rests on something the linter
+#: cannot prove" (runtime alias checks, non-affine subscripts).
+RULES: Dict[str, Rule] = {rule.id: rule for rule in (
+    Rule("race", Severity.ERROR,
+         "cross-iteration data race on a shared access"),
+    Rule("missing-private", Severity.ERROR,
+         "variable written in the region without privatization"),
+    Rule("illegal-nowait", Severity.ERROR,
+         "nowait drops a barrier that later reads depend on"),
+    Rule("bad-reduction", Severity.ERROR,
+         "reduction clause does not match the loop's update chain"),
+    Rule("pragma-fidelity", Severity.ERROR,
+         "emitted pragma disagrees with the runtime-call protocol"),
+    Rule("kmpc-protocol", Severity.ERROR,
+         "malformed __kmpc_* runtime call protocol"),
+    Rule("may-depend", Severity.WARNING,
+         "possible cross-iteration dependence (affine tests inconclusive)"),
+    Rule("non-affine", Severity.WARNING,
+         "non-affine access defeats the dependence tests"),
+    Rule("may-alias", Severity.WARNING,
+         "distinct bases may alias; needs a runtime disjointness check"),
+    Rule("unknown-call", Severity.WARNING,
+         "call with unknown side effects inside a parallel loop"),
+    Rule("region-shared-write", Severity.WARNING,
+         "statement outside the worksharing loop writes a shared variable"),
+    Rule("not-canonical", Severity.WARNING,
+         "worksharing loop shape is not analyzable"),
+)}
+
+
+@dataclass
+class Diagnostic:
+    """One finding: where, what rule, and how to fix it."""
+
+    rule: str
+    function: str
+    location: str                  # loop header / source construct
+    message: str
+    hint: Optional[str] = None
+    severity: Severity = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.severity is None:
+            self.severity = RULES[self.rule].severity
+
+    def to_dict(self) -> dict:
+        data = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "function": self.function,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.hint:
+            data["hint"] = self.hint
+        return data
+
+    def render(self) -> str:
+        text = (f"{self.severity.value}[{self.rule}] {self.function}: "
+                f"{self.location}: {self.message}")
+        if self.hint:
+            text += f"\n    fix-it: {self.hint}"
+        return text
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics with summary queries."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings allowed)."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def rule_ids(self) -> List[str]:
+        seen: List[str] = []
+        for diagnostic in self.diagnostics:
+            if diagnostic.rule not in seen:
+                seen.append(diagnostic.rule)
+        return seen
+
+    def error_rule_ids(self) -> List[str]:
+        seen: List[str] = []
+        for diagnostic in self.errors:
+            if diagnostic.rule not in seen:
+                seen.append(diagnostic.rule)
+        return seen

@@ -1,0 +1,154 @@
+"""IR-side pragma verification over Polly-outlined microtasks.
+
+For every ``__kmpc_fork_call`` site the linter re-derives what the
+Pragma Generator will claim about the region (schedule, chunk, nowait,
+reduction clauses) and independently re-proves it from the microtask's
+IR: race freedom of the worksharing loop, privatization of every
+carried scalar, legality of dropping the implicit barrier, and
+reduction-chain backing for any reduction clause.  The decompiler is
+not trusted — both directions run from scratch on the IR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.races import (RaceFinding, find_loop_races,
+                              nowait_unsafe_loads, private_audit)
+from ..ir.module import Function, Module
+from .diagnostics import Diagnostic, LintReport
+
+#: RaceFinding.kind -> diagnostic rule id (severities come from the
+#: catalog in diagnostics.py).
+_KIND_TO_RULE = {
+    "race": "race",
+    "carried-scalar": "race",
+    "missing-private": "missing-private",
+    "may-depend": "may-depend",
+    "non-affine": "non-affine",
+    "may-alias": "may-alias",
+    "unknown-call": "unknown-call",
+}
+
+_KIND_HINTS = {
+    "race": "the loop is not DOALL as parallelized; restructure the loop "
+            "or add a reduction clause for read-modify-write chains",
+    "missing-private": "add the variable to a private clause or declare "
+                       "it inside the parallel region",
+    "may-alias": "keep the runtime disjointness check that guards this "
+                 "region (Figure 2 versioning)",
+}
+
+
+def lint_parallel_module(module: Module) -> LintReport:
+    """Verify every outlined parallel region of ``module``."""
+    from ..core.analyzer import (ParallelAnalysisError, analyze_microtask,
+                                 find_fork_sites)
+    report = LintReport()
+    _check_runtime_protocol(module, report)
+
+    microtasks: List[Function] = []
+    for function in module.defined_functions():
+        try:
+            sites = find_fork_sites(function)
+        except ParallelAnalysisError as error:
+            report.add(Diagnostic("kmpc-protocol", function.name,
+                                  "fork site", str(error)))
+            continue
+        for site in sites:
+            if site.microtask not in microtasks:
+                microtasks.append(site.microtask)
+
+    for microtask in microtasks:
+        _lint_microtask(microtask, report)
+    return report
+
+
+def _lint_microtask(microtask: Function, report: LintReport) -> None:
+    from ..core.analyzer import ParallelAnalysisError, analyze_microtask
+    from ..core.pragma_gen import worksharing_pragma
+    try:
+        info = analyze_microtask(microtask)
+    except ParallelAnalysisError as error:
+        # Not the outliner's shape (e.g. front-end-lowered microtasks
+        # before -O2): nothing to verify statically, but say so.
+        report.add(Diagnostic("not-canonical", microtask.name,
+                              "parallel region", str(error)))
+        return
+
+    location = f"worksharing loop at %{info.loop.header.name}"
+
+    for finding in find_loop_races(info.counted, allow_reductions=True):
+        _report_finding(report, microtask.name, location, finding)
+    for finding in private_audit(info.counted):
+        _report_finding(report, microtask.name, location, finding)
+
+    # nowait legality: the pragma generator drops the implicit barrier
+    # whenever the runtime protocol carried no __kmpc_barrier; prove no
+    # post-loop read depends on the loop's stores before the next one.
+    if info.nowait:
+        unsafe = nowait_unsafe_loads(info.loop)
+        if unsafe:
+            names = sorted({getattr(load.pointer, "name", None) or "?"
+                            for load in unsafe})
+            report.add(Diagnostic(
+                "illegal-nowait", microtask.name, location,
+                f"nowait is illegal: {len(unsafe)} load(s) after the loop "
+                f"(of {', '.join(names)}) may read its stores before the "
+                f"next barrier",
+                hint="restore the implicit barrier (drop nowait)"))
+
+    _check_reduction_clause(info, location, report)
+
+    # Pragma fidelity: what the generator will emit must agree with what
+    # the runtime calls encode.
+    pragma = worksharing_pragma(info)
+    if pragma.schedule != info.schedule:
+        report.add(Diagnostic(
+            "pragma-fidelity", microtask.name, location,
+            f"pragma says schedule({pragma.schedule}) but the init call "
+            f"encodes {info.schedule}"))
+    if info.chunk is not None and pragma.chunk != info.chunk:
+        report.add(Diagnostic(
+            "pragma-fidelity", microtask.name, location,
+            f"runtime init call carries chunk {info.chunk} but the pragma "
+            f"would emit chunk {pragma.chunk}",
+            hint="emit the chunk whenever the init call carried one"))
+    if pragma.nowait != info.nowait:
+        report.add(Diagnostic(
+            "pragma-fidelity", microtask.name, location,
+            f"pragma nowait={pragma.nowait} disagrees with the runtime "
+            f"protocol (barrier {'absent' if info.nowait else 'present'})"))
+
+
+def _report_finding(report: LintReport, function: str, location: str,
+                    finding: RaceFinding) -> None:
+    rule = _KIND_TO_RULE.get(finding.kind, "may-depend")
+    report.add(Diagnostic(rule, function, location, finding.detail,
+                          hint=_KIND_HINTS.get(finding.kind)))
+
+
+def _check_reduction_clause(info, location: str, report: LintReport) -> None:
+    """Validate the reduction clauses the decompiler would emit against
+    the chains :mod:`repro.analysis.reduction` actually recognizes."""
+    from ..analysis.reduction import (REASSOCIABLE_OPS, REDUCTION_SYMBOL,
+                                      find_reductions)
+    for reduction in find_reductions(info.counted):
+        if reduction.opcode not in REASSOCIABLE_OPS \
+                or reduction.opcode not in REDUCTION_SYMBOL:
+            report.add(Diagnostic(
+                "bad-reduction", info.function.name, location,
+                f"update chain uses non-reassociable opcode "
+                f"'{reduction.opcode}'",
+                hint="only + and * reductions may be reordered"))
+
+
+def _check_runtime_protocol(module: Module, report: LintReport) -> None:
+    """Surface __kmpc_* protocol violations as diagnostics (the verifier
+    raises; the linter reports)."""
+    from ..ir.verifier import VerificationError, verify_kmpc_protocol
+    try:
+        verify_kmpc_protocol(module)
+    except VerificationError as error:
+        report.add(Diagnostic("kmpc-protocol", "<module>", "runtime calls",
+                              str(error)))

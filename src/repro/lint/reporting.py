@@ -1,0 +1,29 @@
+"""Render a :class:`~repro.lint.diagnostics.LintReport` for humans or tools."""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Compiler-style text listing followed by a one-line summary."""
+    lines = [diagnostic.render() for diagnostic in report.diagnostics]
+    errors, warnings = len(report.errors), len(report.warnings)
+    if errors or warnings:
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("ok: all pragmas verified, no findings")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable machine-readable form (one object, sorted keys)."""
+    payload = {
+        "ok": report.ok,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,510 @@
+"""AST-side OpenMP legality linter over (decompiled or parsed) C.
+
+Checks every ``#pragma omp``-annotated construct of a mini-C
+translation unit — SPLENDID's own output re-enters the same parser, so
+one linter serves both hand-written OpenMP and the decompiler's
+self-check:
+
+* **race** — a worksharing loop whose array subscripts provably collide
+  across iterations (``a[i] = a[i-1]``);
+* **missing-private** — a scalar written inside the loop that is
+  neither declared in the region, named in a ``private``/``reduction``
+  clause, nor the loop's own induction variable;
+* **illegal-nowait** — a ``nowait`` loop whose written arrays are
+  touched again in the region before the next barrier;
+* **bad-reduction** — a ``reduction(op: x)`` clause whose updates of
+  ``x`` in the body are not an ``op``-reassociation chain.
+
+Disambiguation is *name-based*: distinct identifiers are assumed not to
+alias, mirroring the pipeline's contract that may-aliasing pointer
+bases are versioned with a runtime check before any pragma is emitted
+(the paper's Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..minic import c_ast as ast
+from .diagnostics import Diagnostic, LintReport
+
+# ---------------------------------------------------------------------------
+# Name-keyed affine expressions (the AST twin of dependence.AffineExpr)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Affine:
+    """``iv_coeff*iv + sum(inner) + sum(syms) + const`` over identifiers."""
+
+    iv_coeff: int = 0
+    const: int = 0
+    syms: Dict[str, int] = field(default_factory=dict)
+    inner: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def _merge(a: Dict[str, int], b: Dict[str, int],
+               sign: int) -> Dict[str, int]:
+        merged = dict(a)
+        for name, coeff in b.items():
+            merged[name] = merged.get(name, 0) + sign * coeff
+            if merged[name] == 0:
+                del merged[name]
+        return merged
+
+    def combined(self, other: "_Affine", sign: int) -> "_Affine":
+        return _Affine(self.iv_coeff + sign * other.iv_coeff,
+                       self.const + sign * other.const,
+                       self._merge(self.syms, other.syms, sign),
+                       self._merge(self.inner, other.inner, sign))
+
+    def scaled(self, factor: int) -> "_Affine":
+        return _Affine(self.iv_coeff * factor, self.const * factor,
+                       {n: c * factor for n, c in self.syms.items()},
+                       {n: c * factor for n, c in self.inner.items()})
+
+    def sym_key(self) -> Tuple:
+        return tuple(sorted(self.syms.items()))
+
+    def inner_key(self) -> Tuple:
+        return tuple(sorted(self.inner.items()))
+
+
+def _affine_of(expr: ast.Expr, iv: str, inner_ivs: Set[str],
+               varying: Set[str]) -> Optional[_Affine]:
+    """Express ``expr`` as affine in ``iv`` (+ inner IVs), or None."""
+    if isinstance(expr, ast.IntLit):
+        return _Affine(const=expr.value)
+    if isinstance(expr, ast.Ident):
+        if expr.name == iv:
+            return _Affine(iv_coeff=1)
+        if expr.name in inner_ivs:
+            return _Affine(inner={expr.name: 1})
+        if expr.name in varying:
+            return None  # reassigned in the body: not loop-invariant
+        return _Affine(syms={expr.name: 1})
+    if isinstance(expr, ast.CastExpr):
+        return _affine_of(expr.operand, iv, inner_ivs, varying)
+    if isinstance(expr, ast.Unary) and expr.op in ("-", "+"):
+        base = _affine_of(expr.operand, iv, inner_ivs, varying)
+        if base is None:
+            return None
+        return base.scaled(-1) if expr.op == "-" else base
+    if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+        lhs = _affine_of(expr.lhs, iv, inner_ivs, varying)
+        rhs = _affine_of(expr.rhs, iv, inner_ivs, varying)
+        if lhs is None or rhs is None:
+            return None
+        return lhs.combined(rhs, 1 if expr.op == "+" else -1)
+    if isinstance(expr, ast.Binary) and expr.op == "*":
+        for scale, side in ((expr.lhs, expr.rhs), (expr.rhs, expr.lhs)):
+            if isinstance(scale, ast.IntLit):
+                base = _affine_of(side, iv, inner_ivs, varying)
+                if base is not None:
+                    return base.scaled(scale.value)
+    return None
+
+
+def _dim_verdict(a: Optional[_Affine], b: Optional[_Affine]) -> str:
+    """Same lattice as :func:`repro.analysis.races.pair_verdict` dims."""
+    if a is None or b is None:
+        return "unknown"
+    if a.sym_key() != b.sym_key() or a.inner_key() != b.inner_key():
+        return "unknown"
+    if a.iv_coeff != b.iv_coeff:
+        return "unknown"
+    coeff = a.iv_coeff
+    delta = b.const - a.const
+    if a.inner:
+        return "definite" if coeff == 0 and delta == 0 else "unknown"
+    if coeff == 0:
+        return "never" if delta != 0 else "definite"
+    if delta == 0:
+        return "same-iter"
+    if delta % coeff != 0:
+        return "never"
+    return "definite"
+
+
+# ---------------------------------------------------------------------------
+# Access collection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ArrayAccess:
+    base: Optional[str]             # None when the base is not a name
+    dims: List[ast.Expr]
+    is_write: bool
+    is_read: bool
+
+
+def _resolve_index(expr: ast.Index) -> Tuple[Optional[str], List[ast.Expr]]:
+    """Base identifier and outer-to-inner subscript list of an access."""
+    dims: List[ast.Expr] = []
+    current: ast.Expr = expr
+    while isinstance(current, ast.Index):
+        dims.insert(0, current.index)
+        current = current.base
+    if isinstance(current, ast.Ident):
+        return current.name, dims
+    return None, dims
+
+
+def _collect_body_accesses(body: ast.Stmt) -> Tuple[List[_ArrayAccess],
+                                                    List[Tuple[str, bool]]]:
+    """(array accesses, scalar writes) of a loop body.
+
+    Scalar writes carry a flag for read-modify-write form (``s = s+x``,
+    ``s += x``, ``s++``), which the privatization check uses to hint at
+    a reduction clause instead of a plain ``private``.
+    """
+    write_targets: Dict[int, bool] = {}   # id(Index) -> compound?
+    scalar_writes: List[Tuple[str, bool]] = []
+    for expr in ast.walk_exprs(body):
+        target, compound = None, False
+        if isinstance(expr, ast.Assign):
+            target = expr.target
+            compound = expr.op != "="
+            if not compound and isinstance(target, ast.Ident):
+                # `s = ... s ...` counts as read-modify-write too.
+                compound = any(isinstance(e, ast.Ident)
+                               and e.name == target.name
+                               for e in ast.walk_exprs(expr.value))
+        elif isinstance(expr, ast.Unary) and expr.op in ("++", "--"):
+            target, compound = expr.operand, True
+        if target is None:
+            continue
+        if isinstance(target, ast.Index):
+            write_targets[id(target)] = compound
+        elif isinstance(target, ast.Ident):
+            scalar_writes.append((target.name, compound))
+
+    inner_bases = set()
+    for expr in ast.walk_exprs(body):
+        if isinstance(expr, ast.Index) and isinstance(expr.base, ast.Index):
+            inner_bases.add(id(expr.base))
+
+    accesses: List[_ArrayAccess] = []
+    for expr in ast.walk_exprs(body):
+        if not isinstance(expr, ast.Index) or id(expr) in inner_bases:
+            continue
+        base, dims = _resolve_index(expr)
+        is_write = id(expr) in write_targets
+        is_read = not is_write or write_targets[id(expr)]
+        accesses.append(_ArrayAccess(base, dims, is_write, is_read))
+    return accesses, scalar_writes
+
+
+def _stmt_base_names(stmt: ast.Stmt) -> Tuple[Set[str], Set[str]]:
+    """(read names, written names) of one statement, base granularity.
+
+    Names declared within the statement itself (e.g. a loop's own
+    ``for (int i = ...)`` variable) are scoped out — they cannot carry
+    state to or from other statements.
+    """
+    accesses, scalar_writes = _collect_body_accesses(stmt)
+    local = _names_declared_anywhere(stmt)
+    writes = ({a.base for a in accesses if a.is_write and a.base}
+              | {name for name, _ in scalar_writes}) - local
+    reads = {a.base for a in accesses if a.is_read and a.base}
+    for expr in ast.walk_exprs(stmt):
+        if isinstance(expr, ast.Ident):
+            reads.add(expr.name)
+    return reads - local, writes
+
+
+# ---------------------------------------------------------------------------
+# Loop / region structure
+# ---------------------------------------------------------------------------
+
+
+def _loop_iv(for_stmt: ast.For) -> Tuple[Optional[str], bool]:
+    """(induction variable name, declared-in-init?)."""
+    init = for_stmt.init
+    if isinstance(init, ast.Declaration):
+        return init.name, True
+    if isinstance(init, ast.ExprStmt) \
+            and isinstance(init.expr, ast.Assign) \
+            and isinstance(init.expr.target, ast.Ident):
+        return init.expr.target.name, False
+    return None, False
+
+
+def _worksharing_pragma(stmt: ast.For) -> Optional[ast.OmpPragma]:
+    for pragma in stmt.pragmas:
+        if "for" in pragma.directive:
+            return pragma
+    return None
+
+
+def _loop_location(for_stmt: ast.For, iv: Optional[str]) -> str:
+    return f"for loop over '{iv}'" if iv else "for loop"
+
+
+def _declared_names(stmts) -> Set[str]:
+    names = set()
+    for stmt in stmts:
+        if isinstance(stmt, ast.Declaration):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Compound) and stmt.transparent:
+            names |= _declared_names(stmt.body)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+
+
+def lint_translation_unit(unit: ast.TranslationUnit) -> LintReport:
+    """Lint every OpenMP construct of a translation unit."""
+    report = LintReport()
+    for fn in unit.functions:
+        if fn.body is None:
+            continue
+        for stmt in fn.body.body:
+            _visit(fn.name, stmt, report)
+    return report
+
+
+def _visit(fn_name: str, stmt: ast.Stmt, report: LintReport) -> None:
+    if isinstance(stmt, ast.Compound) \
+            and any(p.directive == "parallel" for p in stmt.pragmas):
+        _check_parallel_region(fn_name, stmt, report)
+        return
+    if isinstance(stmt, ast.For):
+        pragma = _worksharing_pragma(stmt)
+        if pragma is not None:
+            # `parallel for` (or an orphaned `for`): a one-loop region.
+            _check_worksharing_loop(fn_name, stmt, pragma, set(), report)
+            return
+        _visit(fn_name, stmt.body, report)
+        return
+    if isinstance(stmt, ast.Compound):
+        for child in stmt.body:
+            _visit(fn_name, child, report)
+    elif isinstance(stmt, ast.If):
+        _visit(fn_name, stmt.then_body, report)
+        if stmt.else_body is not None:
+            _visit(fn_name, stmt.else_body, report)
+    elif isinstance(stmt, (ast.While, ast.DoWhile)):
+        _visit(fn_name, stmt.body, report)
+
+
+def _check_parallel_region(fn_name: str, region: ast.Compound,
+                           report: LintReport) -> None:
+    region_private: Set[str] = set()
+    for pragma in region.pragmas:
+        region_private |= set(pragma.private)
+    region_private |= _declared_names(region.body)
+
+    # (loop, written bases) of nowait loops whose barrier is still owed.
+    pending_nowait: List[Tuple[ast.For, Set[str], Optional[str]]] = []
+
+    for stmt in region.body:
+        if isinstance(stmt, ast.Declaration) or (
+                isinstance(stmt, ast.Compound) and stmt.transparent):
+            continue
+        if isinstance(stmt, ast.PragmaStmt) \
+                and stmt.pragma.directive == "barrier":
+            pending_nowait.clear()
+            continue
+
+        reads, writes = _stmt_base_names(stmt)
+        for loop, written, iv in list(pending_nowait):
+            conflict = sorted(written & (reads | writes))
+            if conflict:
+                report.add(Diagnostic(
+                    "illegal-nowait", fn_name, _loop_location(loop, iv),
+                    f"nowait is illegal: {', '.join(conflict)} written by "
+                    f"the loop {'is' if len(conflict) == 1 else 'are'} "
+                    f"touched again in the region before a barrier",
+                    hint="drop the nowait clause or insert "
+                         "'#pragma omp barrier' first"))
+                pending_nowait.remove((loop, written, iv))
+
+        pragma = _worksharing_pragma(stmt) \
+            if isinstance(stmt, ast.For) else None
+        if pragma is not None:
+            iv, _ = _loop_iv(stmt)
+            _check_worksharing_loop(fn_name, stmt, pragma, region_private,
+                                    report)
+            _, loop_writes = _stmt_base_names(stmt)
+            if pragma.nowait:
+                pending_nowait.append((stmt, loop_writes, iv))
+            else:
+                pending_nowait.clear()  # implicit barrier at loop end
+            continue
+
+        # Sequential statement executed by every thread in the region.
+        shared_writes = sorted(w for w in writes if w not in region_private)
+        if shared_writes:
+            report.add(Diagnostic(
+                "region-shared-write", fn_name, "parallel region",
+                f"every thread writes {', '.join(shared_writes)} outside "
+                f"a worksharing construct"))
+
+
+def _check_worksharing_loop(fn_name: str, for_stmt: ast.For,
+                            pragma: ast.OmpPragma,
+                            region_private: Set[str],
+                            report: LintReport) -> None:
+    iv, iv_declared = _loop_iv(for_stmt)
+    location = _loop_location(for_stmt, iv)
+    if iv is None:
+        report.add(Diagnostic(
+            "not-canonical", fn_name, location,
+            "cannot identify the loop's induction variable; the loop "
+            "was not checked"))
+        return
+
+    private = set(region_private) | set(pragma.private)
+    reduction_op: Optional[str] = None
+    reduction_names: Set[str] = set()
+    if pragma.reduction is not None:
+        reduction_op, names = pragma.reduction
+        reduction_names = set(names)
+
+    body = for_stmt.body
+    declared = _names_declared_anywhere(body)
+    if iv_declared:
+        declared.add(iv)
+    inner_ivs = _inner_loop_ivs(body)
+
+    accesses, scalar_writes = _collect_body_accesses(body)
+    varying = {name for name, _ in scalar_writes} | inner_ivs
+
+    # --- private / firstprivate classification audit.
+    flagged: Set[str] = set()
+    for name, is_rmw in scalar_writes:
+        if name == iv or name in declared or name in private \
+                or name in reduction_names or name in flagged:
+            continue
+        flagged.add(name)
+        hint = f"add private({name}) to the pragma or declare '{name}' " \
+               f"inside the parallel region"
+        if is_rmw:
+            hint = f"add reduction(op: {name}) if the updates reassociate, " \
+                   f"or privatize '{name}'"
+        report.add(Diagnostic(
+            "missing-private", fn_name, location,
+            f"scalar '{name}' is written by every iteration but is shared",
+            hint=hint))
+
+    # --- reduction-clause validation.
+    if reduction_names:
+        _check_reduction_clause(fn_name, location, reduction_op,
+                                reduction_names, body, report)
+
+    # --- cross-iteration race detection on array accesses.
+    _check_array_races(fn_name, location, iv, inner_ivs, varying,
+                       declared | private, accesses, report)
+
+
+def _names_declared_anywhere(body: ast.Stmt) -> Set[str]:
+    names = set()
+    for stmt in ast.walk_stmts(body):
+        if isinstance(stmt, ast.Declaration):
+            names.add(stmt.name)
+    return names
+
+
+def _inner_loop_ivs(body: ast.Stmt) -> Set[str]:
+    ivs = set()
+    for stmt in ast.walk_stmts(body):
+        if isinstance(stmt, ast.For):
+            iv, _ = _loop_iv(stmt)
+            if iv is not None:
+                ivs.add(iv)
+    return ivs
+
+
+def _check_array_races(fn_name: str, location: str, iv: str,
+                       inner_ivs: Set[str], varying: Set[str],
+                       private: Set[str], accesses: List[_ArrayAccess],
+                       report: LintReport) -> None:
+    affine: Dict[int, List[Optional[_Affine]]] = {}
+    for access in accesses:
+        affine[id(access)] = [_affine_of(dim, iv, inner_ivs, varying)
+                              for dim in access.dims]
+
+    reported: Set[Tuple[str, str]] = set()
+    for i, a in enumerate(accesses):
+        for b in accesses[i:]:
+            if not (a.is_write or b.is_write):
+                continue
+            if a.base is None or b.base is None or a.base != b.base:
+                continue  # distinct names are assumed disjoint (see module doc)
+            if a.base in private:
+                continue
+            if len(a.dims) != len(b.dims):
+                verdict = "unknown"
+            else:
+                verdicts = [_dim_verdict(da, db) for da, db in
+                            zip(affine[id(a)], affine[id(b)])]
+                if "never" in verdicts:
+                    continue
+                if "same-iter" in verdicts:
+                    continue
+                verdict = "unknown" if "unknown" in verdicts else "definite"
+            rule = "race" if verdict == "definite" else "may-depend"
+            if (a.base, rule) in reported:
+                continue
+            reported.add((a.base, rule))
+            if rule == "race":
+                report.add(Diagnostic(
+                    "race", fn_name, location,
+                    f"iterations of the parallel loop conflict on "
+                    f"'{a.base}': subscripts collide across iterations",
+                    hint="the loop is not DOALL; remove the pragma or "
+                         "restructure the dependence"))
+            else:
+                report.add(Diagnostic(
+                    "may-depend", fn_name, location,
+                    f"accesses to '{a.base}' cannot be proven "
+                    f"iteration-disjoint"))
+
+
+def _reassociation_leaves(expr: ast.Expr, op: str) -> List[ast.Expr]:
+    if isinstance(expr, ast.Binary) and expr.op == op:
+        return (_reassociation_leaves(expr.lhs, op)
+                + _reassociation_leaves(expr.rhs, op))
+    return [expr]
+
+
+def _check_reduction_clause(fn_name: str, location: str, op: str,
+                            names: Set[str], body: ast.Stmt,
+                            report: LintReport) -> None:
+    for name in sorted(names):
+        for expr in ast.walk_exprs(body):
+            bad = None
+            if isinstance(expr, ast.Assign) \
+                    and isinstance(expr.target, ast.Ident) \
+                    and expr.target.name == name:
+                if expr.op == "=":
+                    leaves = _reassociation_leaves(expr.value, op)
+                    own = [leaf for leaf in leaves
+                           if isinstance(leaf, ast.Ident)
+                           and leaf.name == name]
+                    if len(leaves) < 2 or len(own) != 1:
+                        bad = f"'{name} = ...' is not a " \
+                              f"'{op}'-reassociation chain over '{name}'"
+                elif expr.op != op + "=":
+                    bad = f"'{name} {expr.op} ...' does not match the " \
+                          f"declared '{op}' reduction"
+            elif isinstance(expr, ast.Unary) and expr.op in ("++", "--") \
+                    and isinstance(expr.operand, ast.Ident) \
+                    and expr.operand.name == name:
+                if not (op == "+" and expr.op == "++"):
+                    bad = f"'{name}{expr.op}' does not match the declared " \
+                          f"'{op}' reduction"
+            if bad:
+                report.add(Diagnostic(
+                    "bad-reduction", fn_name, location,
+                    f"reduction({op}: {name}) is not backed by the loop "
+                    f"body: {bad}",
+                    hint="fix the clause operator or rewrite the update "
+                         "as a reassociable chain"))
+                break

@@ -1,0 +1,343 @@
+"""The OpenMP legality linter: seeded bugs trigger exactly their rule.
+
+Four hand-seeded kernels each carry one legality bug (a true race, a
+missed privatization, an illegal ``nowait``, a mismatched reduction
+clause); one more is a classic false-alarm candidate the affine tests
+must clear.  The linter has to report *exactly* the expected error rule
+per kernel — no more, no less — and must report nothing on SPLENDID's
+own output.
+"""
+
+import pytest
+
+from conftest import STENCIL_SOURCE, compile_parallel
+from repro.core import Splendid, decompile_checked
+from repro.lint import (RULES, Severity, lint_parallel_module,
+                        lint_translation_unit, render_json, render_text)
+from repro.minic import parse
+
+
+def _lint_source(source):
+    return lint_translation_unit(parse(source, {}))
+
+
+TRUE_RACE = """
+double a[100];
+int main() {
+  #pragma omp parallel for schedule(static)
+  for (int i = 1; i < 100; i++) {
+    a[i] = a[i-1] + 1.0;
+  }
+  return 0;
+}
+"""
+
+DISJOINT_WRITES = """
+double a[200];
+int main() {
+  #pragma omp parallel for schedule(static)
+  for (int i = 0; i < 100; i++) {
+    a[2*i] = 1.0;
+    a[2*i+1] = 2.0;
+  }
+  return 0;
+}
+"""
+
+MISSED_PRIVATE = """
+double a[100];
+double b[100];
+int main() {
+  double t;
+  #pragma omp parallel for schedule(static)
+  for (int i = 0; i < 100; i++) {
+    t = a[i];
+    b[i] = t * 2.0;
+  }
+  return 0;
+}
+"""
+
+ILLEGAL_NOWAIT = """
+double a[100];
+double b[100];
+double c[100];
+int main() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < 100; i++) {
+      b[i] = a[i] * 2.0;
+    }
+    #pragma omp for schedule(static)
+    for (int i = 0; i < 100; i++) {
+      c[i] = b[i] + 1.0;
+    }
+  }
+  return 0;
+}
+"""
+
+BAD_REDUCTION = """
+double a[100];
+int main() {
+  double s = 1.0;
+  #pragma omp parallel for schedule(static) reduction(+: s)
+  for (int i = 0; i < 100; i++) {
+    s = s * a[i];
+  }
+  return 0;
+}
+"""
+
+
+class TestSeededBugs:
+    def test_true_race(self):
+        report = _lint_source(TRUE_RACE)
+        assert report.error_rule_ids() == ["race"]
+        (diag,) = report.errors
+        assert diag.function == "main"
+        assert "'a'" in diag.message
+        assert diag.hint  # every error carries a fix-it
+
+    def test_disjoint_affine_writes_are_clean(self):
+        report = _lint_source(DISJOINT_WRITES)
+        assert report.diagnostics == []
+
+    def test_missed_private_scalar(self):
+        report = _lint_source(MISSED_PRIVATE)
+        assert report.error_rule_ids() == ["missing-private"]
+        (diag,) = report.errors
+        assert "'t'" in diag.message
+        assert "private(t)" in diag.hint
+
+    def test_illegal_nowait(self):
+        report = _lint_source(ILLEGAL_NOWAIT)
+        assert report.error_rule_ids() == ["illegal-nowait"]
+        (diag,) = report.errors
+        assert "b" in diag.message
+
+    def test_bad_reduction(self):
+        report = _lint_source(BAD_REDUCTION)
+        assert report.error_rule_ids() == ["bad-reduction"]
+
+    def test_legal_variants_of_each_bug_are_clean(self):
+        fixed = {
+            "race": TRUE_RACE.replace("a[i-1]", "a[i]"),
+            "missing-private": MISSED_PRIVATE.replace(
+                "schedule(static)", "schedule(static) private(t)"),
+            "illegal-nowait": ILLEGAL_NOWAIT.replace(
+                "c[i] = b[i] + 1.0", "c[i] = a[i] + 1.0"),
+            "bad-reduction": BAD_REDUCTION.replace("s * a[i]", "s + a[i]"),
+        }
+        for rule, source in fixed.items():
+            report = _lint_source(source)
+            assert report.ok, (rule, [d.render() for d in report.errors])
+
+    def test_reduction_clause_accepts_compound_assign(self):
+        source = BAD_REDUCTION.replace("s = s * a[i]", "s += a[i]")
+        assert _lint_source(source).ok
+
+
+class TestRaceAnalysisCore:
+    """find_loop_races on counted loops straight out of -O2."""
+
+    @staticmethod
+    def _counted(source, function="f"):
+        from conftest import compile_o2
+        from repro.analysis.induction import analyze_counted_loop
+        from repro.analysis.loops import LoopInfo
+        fn = compile_o2(source, {}).get_function(function)
+        counted = analyze_counted_loop(LoopInfo(fn).top_level[0])
+        assert counted is not None
+        return counted
+
+    def test_carried_array_dependence_is_race(self):
+        from repro.analysis.races import find_loop_races
+        counted = self._counted("""
+double A[64];
+void f() { int i; for (i = 1; i < 64; i++) A[i] = A[i-1] + 1.0; }""")
+        kinds = [f.kind for f in find_loop_races(counted)]
+        assert kinds == ["race"]
+
+    def test_invariant_overwrite_is_missing_private(self):
+        from repro.analysis.races import find_loop_races
+        counted = self._counted("""
+double A[64]; double s[1];
+void f() { int i; for (i = 0; i < 64; i++) s[0] = A[i]; }""")
+        kinds = [f.kind for f in find_loop_races(counted)]
+        assert kinds == ["missing-private"]
+
+    def test_rmw_chain_legal_only_with_reduction_clause(self):
+        from repro.analysis.races import find_loop_races
+        counted = self._counted("""
+double A[64]; double s[1];
+void f() { int i; for (i = 0; i < 64; i++) s[0] = s[0] + A[i]; }""")
+        # With the clause the decompiler emits, the chain is legal...
+        assert find_loop_races(counted, allow_reductions=True) == []
+        # ...without it, it is a read-modify-write race.
+        (finding,) = find_loop_races(counted, allow_reductions=False)
+        assert finding.kind == "race"
+        assert "read-modified-written" in finding.detail
+
+    def test_inner_dimension_conflict_is_race(self):
+        from repro.analysis.races import find_loop_races
+        counted = self._counted("""
+double A[8][8]; double y[8];
+void f() { int i, j;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      y[j] = y[j] + A[i][j]; }""")
+        kinds = [f.kind for f in find_loop_races(counted)]
+        assert kinds == ["race"]
+
+    def test_disjoint_stencil_reads_are_clean(self):
+        from repro.analysis.races import find_loop_races, private_audit
+        counted = self._counted("""
+double A[64]; double B[64];
+void f() { int i; for (i = 1; i < 63; i++) B[i] = A[i-1] + A[i+1]; }""")
+        assert find_loop_races(counted) == []
+        assert private_audit(counted) == []
+
+    def test_carried_scalar_phi_is_race(self):
+        from repro.analysis.races import find_loop_races
+        counted = self._counted("""
+double A[64]; double s;
+void f() { int i; double t = 0.0;
+  for (i = 0; i < 64; i++) t = t + A[i];
+  s = t; }""")
+        kinds = [f.kind for f in find_loop_races(counted)]
+        assert "race" in kinds
+        assert any("scalar dependence" in f.detail
+                   for f in find_loop_races(counted))
+
+
+class TestPipelineSelfConsistency:
+    def test_stencil_output_is_clean(self, stencil_parallel):
+        module, _ = stencil_parallel
+        result = decompile_checked(module, "full")
+        assert result.ok, [d.render() for d in result.diagnostics.errors]
+        assert "#pragma omp parallel" in result.text
+
+    def test_matmul_output_is_clean(self, matmul_parallel):
+        module, _ = matmul_parallel
+        result = decompile_checked(module, "full")
+        assert result.ok, [d.render() for d in result.diagnostics.errors]
+
+    def test_v1_variant_skips_source_lint(self, stencil_parallel):
+        # v1 leaves runtime calls exposed: only the IR side applies.
+        module, _ = stencil_parallel
+        result = Splendid(module, "v1").decompile_checked()
+        assert result.ok
+
+    def test_ir_lint_clean_on_parallelized_stencil(self, stencil_parallel):
+        # The parallelizer derives nowait for the worksharing loop; the
+        # join at the fork makes that legal, and the IR side must agree.
+        module, _ = stencil_parallel
+        report = lint_parallel_module(module)
+        assert report.ok, [d.render() for d in report.errors]
+
+
+class TestChunkFidelity:
+    def test_static_chunk_one_survives_round_trip(self):
+        from repro.frontend import compile_source
+        from repro.passes import optimize_o2
+        source = """
+double A[64];
+int main() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static, 1)
+    for (int i = 0; i < 64; i++) {
+      A[i] = (double)i;
+    }
+  }
+  return 0;
+}
+"""
+        module = compile_source(source, {})
+        optimize_o2(module)
+        result = decompile_checked(module, "portable")
+        assert "schedule(static, 1)" in result.text
+        assert result.ok, [d.render() for d in result.diagnostics.errors]
+
+    def test_worksharing_pragma_keeps_any_chunk(self):
+        from repro.core.pragma_gen import worksharing_pragma
+
+        class FakeInfo:
+            schedule = "static"
+            chunk = 1
+            nowait = False
+
+        pragma = worksharing_pragma(FakeInfo())
+        assert pragma.chunk == 1
+        assert "schedule(static, 1)" in pragma.render()
+
+
+class TestReporting:
+    def test_render_text_mentions_rule_and_fixit(self):
+        report = _lint_source(TRUE_RACE)
+        text = render_text(report)
+        assert "error[race]" in text
+        assert "fix-it:" in text
+        assert "1 error(s)" in text
+
+    def test_render_json_is_machine_readable(self):
+        import json
+        payload = json.loads(render_json(_lint_source(TRUE_RACE)))
+        assert payload["ok"] is False
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["rule"] == "race"
+        assert payload["diagnostics"][0]["severity"] == "error"
+
+    def test_rule_catalog_severities(self):
+        for rule_id in ("race", "missing-private", "illegal-nowait",
+                        "bad-reduction", "pragma-fidelity", "kmpc-protocol"):
+            assert RULES[rule_id].severity is Severity.ERROR
+        for rule_id in ("may-depend", "non-affine", "may-alias",
+                        "unknown-call", "region-shared-write",
+                        "not-canonical"):
+            assert RULES[rule_id].severity is Severity.WARNING
+
+
+class TestLintCli:
+    def test_lint_annotated_c_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+        bad = tmp_path / "bad.c"
+        bad.write_text(TRUE_RACE)
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "error[race]" in out
+
+    def test_lint_clean_pipeline_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+        src = tmp_path / "stencil.c"
+        src.write_text(STENCIL_SOURCE)
+        assert main(["lint", str(src)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_lint_json_flag(self, tmp_path, capsys):
+        import json
+        from repro.cli import main
+        bad = tmp_path / "bad.c"
+        bad.write_text(TRUE_RACE)
+        assert main(["lint", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+
+    def test_decompile_verify_pragmas_gate(self, tmp_path, capsys):
+        from repro.cli import main
+        src = tmp_path / "stencil.c"
+        src.write_text(STENCIL_SOURCE)
+        assert main(["decompile", "--verify-pragmas", str(src)]) == 0
+        captured = capsys.readouterr()
+        assert "#pragma omp parallel" in captured.out
+        assert "ok: all pragmas verified" in captured.err
+
+    def test_verify_pragmas_rejects_other_tools(self, tmp_path, capsys):
+        from repro.cli import main
+        src = tmp_path / "stencil.c"
+        src.write_text(STENCIL_SOURCE)
+        assert main(["decompile", "--verify-pragmas", "--tool", "rellic",
+                     str(src)]) == 2
+        assert "--tool splendid" in capsys.readouterr().err

@@ -1,0 +1,61 @@
+"""Self-check gate: SPLENDID's own output must lint with zero errors.
+
+Every C source shipped in ``examples/`` runs through ``repro lint``
+(full pipeline + both linter sides), and the decompiled output of the
+PolyBench kernels the examples showcase is linted as re-parsed source.
+Marked ``lint_selfcheck`` so CI can run the gate in isolation:
+``pytest -m lint_selfcheck``.
+"""
+
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SHOWCASED_BENCHMARKS = ("jacobi-1d-imper", "bicg", "gemver")
+
+pytestmark = pytest.mark.lint_selfcheck
+
+
+def _example_sources():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        cases = []
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            module = importlib.import_module(path.stem)
+            for attr, value in vars(module).items():
+                if attr.endswith("SOURCE") and isinstance(value, str):
+                    cases.append(pytest.param(value,
+                                              id=f"{path.stem}.{attr}"))
+        return cases
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+@pytest.mark.parametrize("source", _example_sources())
+def test_example_source_lints_clean(source, tmp_path, capsys):
+    from repro.cli import main
+    c_file = tmp_path / "example.c"
+    c_file.write_text(source)
+    exit_code = main(["lint", str(c_file)])
+    output = capsys.readouterr().out
+    assert exit_code == 0, output
+    assert "error[" not in output
+
+
+@pytest.mark.parametrize("name", SHOWCASED_BENCHMARKS)
+def test_showcased_benchmark_output_lints_clean(name):
+    from repro.eval import artifacts_for
+    from repro.lint import lint_parallel_module, lint_translation_unit
+    from repro.minic import parse
+    from repro.polybench import get
+
+    art = artifacts_for(get(name))
+    ir_report = lint_parallel_module(art.parallel)
+    assert ir_report.ok, [d.render() for d in ir_report.errors]
+
+    unit = parse(art.decompiled["splendid"], dict(art.benchmark.defines))
+    src_report = lint_translation_unit(unit)
+    assert src_report.ok, [d.render() for d in src_report.errors]

@@ -1,0 +1,143 @@
+"""Verifier hardening: phi/predecessor agreement and the __kmpc_* protocol."""
+
+import pytest
+
+from repro.ir import types as ty
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Branch, Phi, Ret
+from repro.ir.module import Function, Module
+from repro.ir.values import const_int
+from repro.ir.verifier import (VerificationError, verify_function,
+                               verify_kmpc_protocol, verify_module)
+from repro.polly.runtime_decls import FORK_CALL, STATIC_FINI, STATIC_INIT
+
+
+class TestPhiPredecessorAgreement:
+    @staticmethod
+    def _diamondless(phi_blocks):
+        """f with blocks a, b -> m; a phi in m with ``phi_blocks`` incoming."""
+        fn = Function("f", ty.function(ty.VOID, []))
+        a, b, merge = (fn.append_block(n) for n in ("a", "b", "m"))
+        a.append(Branch(merge))
+        b.append(Branch(merge))
+        phi = Phi(ty.I32, "p")
+        merge.insert(0, phi)
+        for i, block in enumerate(phi_blocks(a, b, merge)):
+            phi.add_incoming(const_int(i, ty.I32), block)
+        merge.append(Ret())
+        return fn
+
+    def test_exact_incoming_list_passes(self):
+        verify_function(self._diamondless(lambda a, b, m: [a, b]))
+
+    def test_stale_incoming_block_rejected(self):
+        # m is not a predecessor of itself: a stale entry left by an
+        # edge rewrite must be caught even though a and b also appear.
+        fn = self._diamondless(lambda a, b, m: [a, b, m])
+        with pytest.raises(VerificationError) as err:
+            verify_function(fn)
+        message = str(err.value)
+        assert "function 'f'" in message and "block 'm'" in message
+        assert "predecessors" in message
+
+    def test_missing_incoming_block_rejected(self):
+        fn = self._diamondless(lambda a, b, m: [a])
+        with pytest.raises(VerificationError, match="predecessors"):
+            verify_function(fn)
+
+    def test_duplicate_incoming_edges_rejected(self):
+        fn = self._diamondless(lambda a, b, m: [a, a])
+        with pytest.raises(VerificationError, match="duplicate incoming"):
+            verify_function(fn)
+
+
+def _microtask(module, param_types=None, name="main.omp_outlined.0"):
+    params = param_types if param_types is not None \
+        else [ty.I32, ty.I32, ty.I64, ty.I64]
+    micro = Function(name, ty.function(ty.VOID, params),
+                     ["tid", "ntid", "lb", "ub"])
+    micro.append_block("entry").append(Ret())
+    module.add_function(micro)
+    return micro
+
+
+def _caller_with_fork(module, fork_args):
+    fork = module.get_or_declare(FORK_CALL,
+                                 ty.function(ty.VOID, [], is_vararg=True))
+    main = Function("main", ty.function(ty.VOID, []))
+    module.add_function(main)
+    builder = IRBuilder(main.append_block("entry"))
+    builder.call(fork, fork_args)
+    builder.ret()
+    return main
+
+
+class TestKmpcProtocol:
+    def test_well_formed_fork_passes(self):
+        module = Module()
+        micro = _microtask(module)
+        _caller_with_fork(module, [micro, const_int(0, ty.I64),
+                                   const_int(63, ty.I64)])
+        verify_module(module)
+
+    def test_fork_arity_must_match_microtask(self):
+        module = Module()
+        micro = _microtask(module)
+        _caller_with_fork(module, [micro, const_int(0, ty.I64)])
+        with pytest.raises(VerificationError, match="argument"):
+            verify_kmpc_protocol(module)
+
+    def test_fork_requires_function_first_argument(self):
+        module = Module()
+        _microtask(module)
+        _caller_with_fork(module, [const_int(0, ty.I64),
+                                   const_int(0, ty.I64),
+                                   const_int(63, ty.I64)])
+        with pytest.raises(VerificationError, match="not a function"):
+            verify_kmpc_protocol(module)
+
+    def test_microtask_leading_params_typed(self):
+        module = Module()
+        micro = _microtask(module, [ty.I32, ty.I32, ty.I32, ty.I64])
+        _caller_with_fork(module, [micro, const_int(0, ty.I64),
+                                   const_int(63, ty.I64)])
+        with pytest.raises(VerificationError, match="leading parameters"):
+            verify_kmpc_protocol(module)
+
+    def test_bound_argument_types_checked(self):
+        module = Module()
+        micro = _microtask(module)
+        _caller_with_fork(module, [micro, const_int(0, ty.I32),
+                                   const_int(63, ty.I64)])
+        with pytest.raises(VerificationError, match="type"):
+            verify_kmpc_protocol(module)
+
+    def test_unpaired_static_init_rejected(self):
+        module = Module()
+        init = module.get_or_declare(
+            STATIC_INIT, ty.function(ty.VOID, [], is_vararg=True))
+        fn = Function("worker", ty.function(ty.VOID, []))
+        module.add_function(fn)
+        builder = IRBuilder(fn.append_block("entry"))
+        builder.call(init, [])
+        builder.ret()
+        with pytest.raises(VerificationError, match="pair"):
+            verify_kmpc_protocol(module)
+
+    def test_paired_init_fini_passes(self):
+        module = Module()
+        init = module.get_or_declare(
+            STATIC_INIT, ty.function(ty.VOID, [], is_vararg=True))
+        fini = module.get_or_declare(
+            STATIC_FINI, ty.function(ty.VOID, [], is_vararg=True))
+        fn = Function("worker", ty.function(ty.VOID, []))
+        module.add_function(fn)
+        builder = IRBuilder(fn.append_block("entry"))
+        builder.call(init, [])
+        builder.call(fini, [])
+        builder.ret()
+        verify_kmpc_protocol(module)
+
+    def test_pipeline_output_passes_protocol(self, stencil_parallel):
+        module, _ = stencil_parallel
+        verify_kmpc_protocol(module)

@@ -13,6 +13,11 @@ from .induction import (CountedLoop, analyze_counted_loop,
                         is_loop_invariant)
 from .liveness import Liveness
 from .loops import Loop, LoopInfo
+from .manager import (CFG_ANALYSES, DOMTREE, LIVENESS, LOOPS, POSTDOMTREE,
+                      AnalysisManager, CacheStats, PreservedAnalyses,
+                      function_analysis, get_domtree, get_liveness,
+                      get_loop_info, get_postdomtree,
+                      register_function_analysis, register_module_analysis)
 from .races import (RaceFinding, access_location_is_invariant,
                     find_loop_races, nowait_unsafe_loads, pair_verdict,
                     private_audit)
@@ -29,6 +34,11 @@ __all__ = [
     "CountedLoop", "analyze_counted_loop", "constant_trip_count",
     "find_induction_phi", "is_loop_invariant",
     "Liveness", "Loop", "LoopInfo",
+    "CFG_ANALYSES", "DOMTREE", "LIVENESS", "LOOPS", "POSTDOMTREE",
+    "AnalysisManager", "CacheStats", "PreservedAnalyses",
+    "function_analysis", "get_domtree", "get_liveness", "get_loop_info",
+    "get_postdomtree", "register_function_analysis",
+    "register_module_analysis",
     "RaceFinding", "access_location_is_invariant", "find_loop_races",
     "nowait_unsafe_loads", "pair_verdict", "private_audit",
 ]

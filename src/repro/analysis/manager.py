@@ -1,0 +1,319 @@
+"""LLVM-new-PM-style analysis manager: cached, invalidation-aware analyses.
+
+Every stage of the pipeline — the -O2 passes, the verifier that runs
+between them, the Polly-style parallelizer, the race linter, and the
+decompilation engine — consumes the same handful of function analyses
+(:class:`~repro.analysis.dominators.DominatorTree`,
+:class:`~repro.analysis.loops.LoopInfo`,
+:class:`~repro.analysis.liveness.Liveness`, ...).  Historically each
+consumer constructed them from scratch; the :class:`AnalysisManager`
+memoizes them per function (and per module) and invalidates them
+through a per-pass :class:`PreservedAnalyses` contract, mirroring
+LLVM's new pass manager as argued for in Kruse & Finkel's *Loop
+Optimization Framework*.
+
+Analyses are registered once (see the bottom of this module for the
+built-ins) and requested by name::
+
+    am = AnalysisManager()
+    loops = am.get(LOOPS, function)        # computed, cached
+    loops = am.get(LOOPS, function)        # cache hit, same object
+    am.invalidate(function)                # e.g. after a CFG edit
+    loops = am.get(LOOPS, function)        # recomputed
+
+Call sites without a manager in hand use the module-level accessors
+(:func:`get_domtree`, :func:`get_loop_info`, ...), which fall back to an
+ephemeral manager — exactly the old construct-on-demand behavior, but
+through one choke point.  Outside this package, analyses must never be
+constructed directly (grep-enforced by ``tests/test_analysis_manager``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..ir.module import Function, Module
+from .dominators import DominatorTree, PostDominatorTree
+from .liveness import Liveness
+from .loops import LoopInfo
+
+#: Canonical names of the built-in function analyses.
+DOMTREE = "domtree"
+POSTDOMTREE = "postdomtree"
+LOOPS = "loops"
+LIVENESS = "liveness"
+
+#: Analyses that depend only on the CFG shape (blocks and edges).
+#: Passes that rewrite instructions but leave every terminator alone
+#: preserve all of these; anything that edits branches or blocks
+#: preserves none of them.
+CFG_ANALYSES = frozenset({DOMTREE, POSTDOMTREE, LOOPS})
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for one :class:`AnalysisManager`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.invalidations)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(self.hits - earlier.hits,
+                          self.misses - earlier.misses,
+                          self.invalidations - earlier.invalidations)
+
+
+class PreservedAnalyses:
+    """The set of analyses a pass promises are still valid after it ran.
+
+    Immutable.  ``PreservedAnalyses.all()`` is the contract of a pass
+    that changed nothing; ``none()`` the conservative default;
+    ``cfg()`` the common "edited instructions, left every branch alone"
+    case.
+    """
+
+    __slots__ = ("_all", "_names")
+
+    def __init__(self, names: Iterable[str] = (), preserve_all: bool = False):
+        self._all = preserve_all
+        self._names = frozenset(names)
+
+    @classmethod
+    def all(cls) -> "PreservedAnalyses":
+        return _PRESERVE_ALL
+
+    @classmethod
+    def none(cls) -> "PreservedAnalyses":
+        return _PRESERVE_NONE
+
+    @classmethod
+    def cfg(cls) -> "PreservedAnalyses":
+        return _PRESERVE_CFG
+
+    @classmethod
+    def preserve(cls, *names: str) -> "PreservedAnalyses":
+        return cls(names)
+
+    @property
+    def is_all(self) -> bool:
+        return self._all
+
+    def preserves(self, name: str) -> bool:
+        return self._all or name in self._names
+
+    def union(self, other: "PreservedAnalyses") -> "PreservedAnalyses":
+        if self._all or other._all:
+            return _PRESERVE_ALL
+        return PreservedAnalyses(self._names | other._names)
+
+    def __repr__(self) -> str:
+        if self._all:
+            return "PreservedAnalyses.all()"
+        if not self._names:
+            return "PreservedAnalyses.none()"
+        return f"PreservedAnalyses.preserve({', '.join(sorted(self._names))})"
+
+
+_PRESERVE_ALL = PreservedAnalyses(preserve_all=True)
+_PRESERVE_NONE = PreservedAnalyses()
+_PRESERVE_CFG = PreservedAnalyses(CFG_ANALYSES)
+
+FunctionAnalysisCtor = Callable[[Function, "AnalysisManager"], object]
+ModuleAnalysisCtor = Callable[[Module, "AnalysisManager"], object]
+
+_FUNCTION_ANALYSES: Dict[str, FunctionAnalysisCtor] = {}
+_MODULE_ANALYSES: Dict[str, ModuleAnalysisCtor] = {}
+
+
+def register_function_analysis(name: str, ctor: FunctionAnalysisCtor) -> None:
+    """Register ``ctor`` as the producer of the function analysis ``name``.
+
+    The constructor receives the function and the requesting manager, so
+    it can itself request analyses it depends on (and share the cache).
+    """
+    _FUNCTION_ANALYSES[name] = ctor
+
+
+def register_module_analysis(name: str, ctor: ModuleAnalysisCtor) -> None:
+    """Register ``ctor`` as the producer of the module analysis ``name``."""
+    _MODULE_ANALYSES[name] = ctor
+
+
+def registered_function_analyses() -> Tuple[str, ...]:
+    return tuple(sorted(_FUNCTION_ANALYSES))
+
+
+class AnalysisManager:
+    """Memoizes analysis results per function / per module.
+
+    ``cache=False`` turns the manager into a pure pass-through that
+    recomputes on every request (every request counts as a miss) — the
+    pre-manager behavior, kept for A/B benchmarking
+    (``benchmarks/bench_analysis_cache.py``).
+    """
+
+    def __init__(self, cache: bool = True):
+        self._enabled = cache
+        # id(unit) -> (unit, {analysis name -> result}).  The strong
+        # reference to the unit pins its id for the manager's lifetime.
+        self._function_results: Dict[int, Tuple[Function, Dict[str, object]]] = {}
+        self._module_results: Dict[int, Tuple[Module, Dict[str, object]]] = {}
+        self.stats = CacheStats()
+
+    # Requests ---------------------------------------------------------------
+
+    def get(self, name: str, function: Function) -> object:
+        """The (cached) result of function analysis ``name``."""
+        ctor = _FUNCTION_ANALYSES.get(name)
+        if ctor is None:
+            raise KeyError(
+                f"unknown function analysis {name!r}; registered: "
+                f"{registered_function_analyses()}")
+        if not self._enabled:
+            self.stats.misses += 1
+            return ctor(function, self)
+        table = self._table(self._function_results, function)
+        if name in table:
+            self.stats.hits += 1
+            return table[name]
+        self.stats.misses += 1
+        result = ctor(function, self)
+        table[name] = result
+        return result
+
+    def get_module(self, name: str, module: Module) -> object:
+        """The (cached) result of module analysis ``name``."""
+        ctor = _MODULE_ANALYSES.get(name)
+        if ctor is None:
+            raise KeyError(
+                f"unknown module analysis {name!r}; registered: "
+                f"{tuple(sorted(_MODULE_ANALYSES))}")
+        if not self._enabled:
+            self.stats.misses += 1
+            return ctor(module, self)
+        table = self._table(self._module_results, module)
+        if name in table:
+            self.stats.hits += 1
+            return table[name]
+        self.stats.misses += 1
+        result = ctor(module, self)
+        table[name] = result
+        return result
+
+    def cached(self, name: str, function: Function) -> Optional[object]:
+        """Peek at a cached result without computing (and without
+        touching the counters)."""
+        entry = self._function_results.get(id(function))
+        return entry[1].get(name) if entry else None
+
+    # Invalidation -----------------------------------------------------------
+
+    def invalidate(self, function: Function,
+                   preserved: Optional[PreservedAnalyses] = None) -> int:
+        """Drop cached analyses of ``function`` not named in ``preserved``
+        (all of them by default).  Returns the number dropped."""
+        preserved = preserved or _PRESERVE_NONE
+        if preserved.is_all:
+            return 0
+        entry = self._function_results.get(id(function))
+        if entry is None:
+            return 0
+        table = entry[1]
+        dropped = 0
+        for name in list(table):
+            if not preserved.preserves(name):
+                del table[name]
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def invalidate_module(self, module: Module,
+                          preserved: Optional[PreservedAnalyses] = None) -> int:
+        """Apply ``preserved`` to the module's own analyses and to every
+        cached function entry (including functions a pass may have just
+        erased from the module)."""
+        preserved = preserved or _PRESERVE_NONE
+        if preserved.is_all:
+            return 0
+        dropped = 0
+        entry = self._module_results.get(id(module))
+        if entry is not None:
+            table = entry[1]
+            for name in list(table):
+                if not preserved.preserves(name):
+                    del table[name]
+                    dropped += 1
+            self.stats.invalidations += dropped
+        for _, (function, _table) in list(self._function_results.items()):
+            if function.parent is module or function.parent is None:
+                dropped += self.invalidate(function, preserved)
+        return dropped
+
+    def clear(self) -> None:
+        self._function_results.clear()
+        self._module_results.clear()
+
+    # Internals --------------------------------------------------------------
+
+    @staticmethod
+    def _table(results, unit) -> Dict[str, object]:
+        entry = results.get(id(unit))
+        if entry is None:
+            entry = (unit, {})
+            results[id(unit)] = entry
+        return entry[1]
+
+
+# Choke-point accessors -------------------------------------------------------
+#
+# Call sites that hold a manager pass it along; call sites that do not
+# get a fresh, uncached computation.  Either way the construction
+# happens here and nowhere else.
+
+def function_analysis(name: str, function: Function,
+                      manager: Optional[AnalysisManager] = None) -> object:
+    if manager is not None:
+        return manager.get(name, function)
+    return _FUNCTION_ANALYSES[name](function, AnalysisManager())
+
+
+def get_domtree(function: Function,
+                manager: Optional[AnalysisManager] = None) -> DominatorTree:
+    return function_analysis(DOMTREE, function, manager)
+
+
+def get_postdomtree(function: Function,
+                    manager: Optional[AnalysisManager] = None
+                    ) -> PostDominatorTree:
+    return function_analysis(POSTDOMTREE, function, manager)
+
+
+def get_loop_info(function: Function,
+                  manager: Optional[AnalysisManager] = None) -> LoopInfo:
+    return function_analysis(LOOPS, function, manager)
+
+
+def get_liveness(function: Function,
+                 manager: Optional[AnalysisManager] = None) -> Liveness:
+    return function_analysis(LIVENESS, function, manager)
+
+
+register_function_analysis(DOMTREE, lambda fn, am: DominatorTree(fn))
+register_function_analysis(POSTDOMTREE, lambda fn, am: PostDominatorTree(fn))
+register_function_analysis(
+    LOOPS, lambda fn, am: LoopInfo(fn, domtree=am.get(DOMTREE, fn)))
+register_function_analysis(LIVENESS, lambda fn, am: Liveness(fn))

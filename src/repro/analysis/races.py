@@ -34,6 +34,7 @@ from .dependence import AffineExpr, MemoryAccess, collect_accesses
 from .induction import CountedLoop
 from .liveness import Liveness
 from .loops import Loop
+from .manager import AnalysisManager, get_liveness
 
 #: Pair verdict lattice, benign-first: ``never`` (no iteration pair
 #: collides), ``same-iter`` (collisions are loop-independent),
@@ -288,7 +289,9 @@ def nowait_unsafe_loads(loop: Loop) -> List[Load]:
 
 
 def private_audit(counted: CountedLoop,
-                  liveness: Optional[Liveness] = None) -> List[RaceFinding]:
+                  liveness: Optional[Liveness] = None,
+                  analysis_manager: Optional[AnalysisManager] = None
+                  ) -> List[RaceFinding]:
     """Audit the clause-minimization invariant on a worksharing loop.
 
     SPLENDID privatizes by *placement*: a value is private exactly when
@@ -300,7 +303,7 @@ def private_audit(counted: CountedLoop,
     from .induction import is_loop_invariant
     loop = counted.loop
     function = loop.header.parent
-    liveness = liveness or Liveness(function)
+    liveness = liveness or get_liveness(function, analysis_manager)
     findings: List[RaceFinding] = []
     for value in sorted(liveness.live_in.get(loop.header, ()),
                         key=lambda v: getattr(v, "name", None) or ""):

@@ -24,7 +24,8 @@ from typing import List, Optional
 
 
 def _load_module(path: str, defines, optimize: bool, parallelize: bool,
-                 enable_reductions: bool = False):
+                 enable_reductions: bool = False, instrumentation=None):
+    from .analysis.manager import AnalysisManager
     from .frontend import compile_source
     from .ir import parse_ir, verify_module
     from .passes import optimize_o2
@@ -32,17 +33,32 @@ def _load_module(path: str, defines, optimize: bool, parallelize: bool,
 
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
+    am = AnalysisManager()
     if path.endswith(".ll"):
         module = parse_ir(text)
     else:
         module = compile_source(text, defines, module_name=path)
         if optimize:
-            optimize_o2(module)
+            optimize_o2(module, analysis_manager=am,
+                        instrumentation=instrumentation)
         if parallelize:
             parallelize_module(module,
-                               enable_reductions=enable_reductions)
-    verify_module(module)
+                               enable_reductions=enable_reductions,
+                               analysis_manager=am)
+    verify_module(module, analysis_manager=am)
     return module
+
+
+def _instrumentation_for(args):
+    if not getattr(args, "time_passes", False):
+        return None
+    from .passes import PassInstrumentation
+    return PassInstrumentation()
+
+
+def _print_timing(instrumentation) -> None:
+    if instrumentation is not None:
+        print(instrumentation.report.render_text(), file=sys.stderr)
 
 
 def _parse_defines(items: Optional[List[str]]):
@@ -55,18 +71,24 @@ def _parse_defines(items: Optional[List[str]]):
 
 def cmd_compile(args) -> int:
     from .ir import print_module
+    instrumentation = _instrumentation_for(args)
     module = _load_module(args.file, _parse_defines(args.define),
-                          optimize=not args.O0, parallelize=False)
+                          optimize=not args.O0, parallelize=False,
+                          instrumentation=instrumentation)
     print(print_module(module))
+    _print_timing(instrumentation)
     return 0
 
 
 def cmd_parallelize(args) -> int:
     from .ir import print_module
+    instrumentation = _instrumentation_for(args)
     module = _load_module(args.file, _parse_defines(args.define),
                           optimize=True, parallelize=True,
-                          enable_reductions=args.reductions)
+                          enable_reductions=args.reductions,
+                          instrumentation=instrumentation)
     print(print_module(module))
+    _print_timing(instrumentation)
     return 0
 
 
@@ -75,9 +97,11 @@ def cmd_decompile(args) -> int:
         print("error: --verify-pragmas only applies to --tool splendid",
               file=sys.stderr)
         return 2
+    instrumentation = _instrumentation_for(args)
     module = _load_module(args.file, _parse_defines(args.define),
                           optimize=True, parallelize=not args.sequential,
-                          enable_reductions=args.reductions)
+                          enable_reductions=args.reductions,
+                          instrumentation=instrumentation)
     if args.tool == "splendid":
         if args.verify_pragmas:
             from .core import decompile_checked
@@ -85,6 +109,7 @@ def cmd_decompile(args) -> int:
             result = decompile_checked(module, args.variant)
             print(result.text)
             print(render_text(result.diagnostics), file=sys.stderr)
+            _print_timing(instrumentation)
             return 0 if result.ok else 3
         from .core import decompile
         print(decompile(module, args.variant))
@@ -93,6 +118,7 @@ def cmd_decompile(args) -> int:
         tool = {"rellic": rellic, "ghidra": ghidra,
                 "cbackend": cbackend}[args.tool]
         print(tool.decompile(module))
+    _print_timing(instrumentation)
     return 0
 
 
@@ -194,16 +220,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-D", "--define", action="append", metavar="NAME=VAL",
                        help="macro definition (repeatable)")
 
+    def add_time_passes(p):
+        p.add_argument("--time-passes", action="store_true",
+                       help="report per-pass wall time, analysis-cache "
+                            "hit/miss counters, and IR deltas to stderr")
+
     p_compile = sub.add_parser("compile", help="compile to (optimized) IR")
     add_common(p_compile)
     p_compile.add_argument("--O0", action="store_true",
                            help="skip the -O2 pipeline")
+    add_time_passes(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
     p_par = sub.add_parser("parallelize", help="compile + auto-parallelize")
     add_common(p_par)
     p_par.add_argument("--reductions", action="store_true",
                        help="enable the reduction extension")
+    add_time_passes(p_par)
     p_par.set_defaults(func=cmd_parallelize)
 
     p_dec = sub.add_parser("decompile", help="decompile with a chosen tool")
@@ -219,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--verify-pragmas", action="store_true",
                        help="lint every emitted pragma; report to stderr "
                             "and exit 3 on errors")
+    add_time_passes(p_dec)
     p_dec.set_defaults(func=cmd_decompile)
 
     p_lint = sub.add_parser(

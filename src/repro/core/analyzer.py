@@ -13,7 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..analysis.induction import CountedLoop, analyze_counted_loop
-from ..analysis.loops import Loop, LoopInfo
+from ..analysis.loops import Loop
+from ..analysis.manager import (AnalysisManager, get_loop_info,
+                                register_module_analysis)
 from ..ir.instructions import (Alloca, Call, Instruction, Load, Store)
 from ..ir.module import Function, Module
 from ..ir.values import Argument, ConstantInt, Value
@@ -103,7 +105,9 @@ def _loads_after(slot: Alloca, after: Call) -> List[Load]:
     return loads
 
 
-def analyze_microtask(microtask: Function) -> MicrotaskInfo:
+def analyze_microtask(microtask: Function,
+                      analysis_manager: Optional[AnalysisManager] = None
+                      ) -> MicrotaskInfo:
     """Recover the parallel-region structure of one outlined function."""
     init_call: Optional[Call] = None
     fini_call: Optional[Call] = None
@@ -146,7 +150,7 @@ def analyze_microtask(microtask: Function) -> MicrotaskInfo:
         info_loads[load] = ub_source
 
     # The parallelized loop lies between the init and fini calls.
-    loop_info = LoopInfo(microtask)
+    loop_info = get_loop_info(microtask, analysis_manager)
     if len(loop_info.top_level) != 1:
         raise ParallelAnalysisError(
             f"@{microtask.name}: expected exactly one worksharing loop, "
@@ -173,3 +177,9 @@ def outlined_functions(module: Module) -> List[Function]:
             if site.microtask not in result:
                 result.append(site.microtask)
     return result
+
+
+# Module-level analysis: lets consumers holding an AnalysisManager share
+# the fork-site scan (`am.get_module("outlined-functions", module)`).
+register_module_analysis("outlined-functions",
+                         lambda module, am: outlined_functions(module))

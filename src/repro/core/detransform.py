@@ -42,7 +42,9 @@ def translate_fork_call(caller: FunctionEmitter, call: Call,
     microtask = call.args[0]
     info = info_cache.get(microtask.name)
     if info is None:
-        info = analyze_microtask(microtask)
+        info = analyze_microtask(
+            microtask,
+            analysis_manager=getattr(caller.module_ctx, "analysis", None))
         info_cache[microtask.name] = info
 
     # --- Loop Inliner: params <- fork-call arguments (in caller exprs).

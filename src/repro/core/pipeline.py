@@ -23,7 +23,7 @@ from ..decompilers.engine import (DecompilerOptions, FunctionEmitter,
 from ..ir.instructions import Call
 from ..ir.module import Module
 from ..minic import c_ast as ast
-from .analyzer import MicrotaskInfo, outlined_functions
+from .analyzer import MicrotaskInfo
 from .detransform import translate_fork_call
 from .variables import generate_module_groups, generate_module_names
 
@@ -66,10 +66,13 @@ def options_for(variant: str) -> DecompilerOptions:
 class Splendid:
     """SPLENDID: parallel LLVM-IR -> portable, natural C/OpenMP."""
 
-    def __init__(self, module: Module, variant: str = "full"):
+    def __init__(self, module: Module, variant: str = "full",
+                 analysis_manager=None):
+        from ..analysis.manager import AnalysisManager
         self.module = module
         self.variant = variant
         self.options = options_for(variant)
+        self.analysis = analysis_manager or AnalysisManager()
         self._info_cache: Dict[str, MicrotaskInfo] = {}
         source_names = (generate_module_names(module)
                         if self.options.rename_variables else {})
@@ -78,12 +81,13 @@ class Splendid:
         skip: Set[str] = set()
         translator = None
         if self.options.explicit_parallelism:
-            skip = {fn.name for fn in outlined_functions(module)}
+            skip = {fn.name for fn in self.analysis.get_module(
+                "outlined-functions", module)}
             translator = self._translate_call
         self.decompiler = ModuleDecompiler(
             module, self.options, call_translator=translator,
             source_names=source_names, source_groups=source_groups,
-            skip_functions=skip)
+            skip_functions=skip, analysis_manager=self.analysis)
 
     def _translate_call(self, emitter: FunctionEmitter,
                         call: Call) -> Optional[List[ast.Stmt]]:
@@ -108,7 +112,8 @@ class Splendid:
         """
         from ..lint import lint_parallel_module, lint_translation_unit
         from ..minic.printer import print_unit
-        report = lint_parallel_module(self.module)
+        report = lint_parallel_module(self.module,
+                                      analysis_manager=self.analysis)
         unit = self.decompile()
         if self.options.explicit_parallelism:
             report.extend(lint_translation_unit(unit))
@@ -120,6 +125,11 @@ class Splendid:
         Only meaningful for the 'full' variant after decompiling.
         """
         from .variables import RestorationStats
+        if not self.decompiler.decompiled:
+            raise ValueError(
+                "restoration_stats() called before decompile(): run "
+                "decompile(), decompile_text(), or decompile_checked() "
+                "first so the emitters (and their name origins) exist")
         stats = RestorationStats()
         for emitter in self.decompiler.emitters:
             for value, origin in emitter.names.origin.items():

@@ -15,9 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..analysis.dominators import PostDominatorTree
 from ..analysis.induction import CountedLoop, analyze_counted_loop
-from ..analysis.loops import Loop, LoopInfo
+from ..analysis.loops import Loop
+from ..analysis.manager import (AnalysisManager, get_loop_info,
+                                get_postdomtree)
 from ..ir import types as ir_ty
 from ..ir.block import BasicBlock
 from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast,
@@ -108,9 +109,12 @@ class ModuleDecompiler:
                  call_translator: Optional[CallTranslator] = None,
                  source_names: Optional[Dict[Value, str]] = None,
                  source_groups: Optional[Dict[Value, object]] = None,
-                 skip_functions: Optional[Set[str]] = None):
+                 skip_functions: Optional[Set[str]] = None,
+                 analysis_manager: Optional[AnalysisManager] = None):
         self.module = module
         self.options = options
+        self.analysis = analysis_manager or AnalysisManager()
+        self.decompiled = False
         self.call_translator = call_translator
         self.source_names = source_names or {}
         self.source_groups = source_groups or {}
@@ -148,6 +152,7 @@ class ModuleDecompiler:
                 definition = emitter.emit()
             self.emitters.append(emitter)
             unit.functions.append(definition)
+        self.decompiled = True
         return unit
 
     def decompile_text(self) -> str:
@@ -183,8 +188,8 @@ class FunctionEmitter:
         self.function = function
         self.options = options
         self.module_ctx = module_ctx
-        self.loop_info = LoopInfo(function)
-        self.postdom = PostDominatorTree(function)
+        self.loop_info = get_loop_info(function, module_ctx.analysis)
+        self.postdom = get_postdomtree(function, module_ctx.analysis)
         self.names = names or NameAllocator(
             options.naming_style, module_ctx.source_names,
             module_ctx.source_groups)

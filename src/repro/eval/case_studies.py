@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..analysis.alias import base_object
-from ..analysis.loops import LoopInfo
+from ..analysis.manager import get_loop_info
 from ..core import Splendid, decompile
 from ..core.variables import (MostRecentDefinitions, propose_variables,
                               remove_conflicts)
@@ -190,7 +190,7 @@ def figure3_loop_optimizations(unroll_factor: int = 4) -> Figure3:
 
     distributed = compile_and_opt(DISTRIBUTE_SOURCE)
     kernel = distributed.get_function("kernel")
-    inner = LoopInfo(kernel).innermost_loops()[0]
+    inner = get_loop_info(kernel).innermost_loops()[0]
     distribute_loop(inner, lambda store: getattr(
         base_object(store.pointer), "name", "") == "B")
 

@@ -34,12 +34,22 @@ class BuildError(Exception):
 
 
 def compile_c(source: str, defines: Optional[Dict[str, str]] = None,
-              optimize: bool = True, name: str = "module") -> Module:
-    """mini-C text -> (optionally -O2) IR module."""
+              optimize: bool = True, name: str = "module",
+              analysis_manager=None, instrumentation=None) -> Module:
+    """mini-C text -> (optionally -O2) IR module.
+
+    ``instrumentation`` (a :class:`repro.passes.PassInstrumentation`) is
+    the experiment harness's hook into the pass-timing machinery:
+    several builds can append to one report.  ``analysis_manager`` lets
+    the caller keep the analysis cache alive across pipeline stages.
+    """
+    from ..analysis.manager import AnalysisManager
     module = compile_source(source, defines, name)
+    am = analysis_manager or AnalysisManager()
     if optimize:
-        optimize_o2(module)
-    verify_module(module)
+        optimize_o2(module, analysis_manager=am,
+                    instrumentation=instrumentation)
+    verify_module(module, analysis_manager=am)
     return module
 
 
@@ -48,11 +58,16 @@ def build_sequential(bench: Benchmark) -> Module:
                      name=f"{bench.name}.seq")
 
 
-def build_parallel(bench: Benchmark) -> Tuple[Module, PollyResult]:
+def build_parallel(bench: Benchmark, analysis_manager=None,
+                   instrumentation=None) -> Tuple[Module, PollyResult]:
+    from ..analysis.manager import AnalysisManager
+    am = analysis_manager or AnalysisManager()
     module = compile_c(bench.sequential_source, bench.defines,
-                       name=f"{bench.name}.polly")
+                       name=f"{bench.name}.polly", analysis_manager=am,
+                       instrumentation=instrumentation)
     result = parallelize_module(module,
-                                only_functions=list(bench.kernel_functions))
+                                only_functions=list(bench.kernel_functions),
+                                analysis_manager=am)
     return module, result
 
 

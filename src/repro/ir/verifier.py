@@ -17,21 +17,28 @@ from .values import Argument, Constant, Value
 
 
 class VerificationError(Exception):
-    pass
+    """A structural/SSA violation.  ``function`` (when known) names the
+    offending function so diagnostics can dump its IR."""
+
+    function = None
 
 
-def verify_module(module: Module) -> None:
+def verify_module(module: Module, analysis_manager=None) -> None:
     for function in module.defined_functions():
-        verify_function(function)
+        verify_function(function, analysis_manager)
     verify_kmpc_protocol(module)
 
 
-def verify_function(function: Function) -> None:
+def verify_function(function: Function, analysis_manager=None) -> None:
     if not function.blocks:
         return
-    _check_structure(function)
-    _check_phis(function)
-    _check_dominance(function)
+    try:
+        _check_structure(function)
+        _check_phis(function)
+        _check_dominance(function, analysis_manager)
+    except VerificationError as exc:
+        exc.function = function
+        raise
 
 
 def _check_structure(function: Function) -> None:
@@ -88,9 +95,9 @@ def _check_phis(function: Function) -> None:
                 seen_non_phi = True
 
 
-def _check_dominance(function: Function) -> None:
-    from ..analysis.dominators import DominatorTree
-    domtree = DominatorTree(function)
+def _check_dominance(function: Function, analysis_manager=None) -> None:
+    from ..analysis.manager import get_domtree
+    domtree = get_domtree(function, analysis_manager)
     reachable = set(domtree.reachable)
     positions = {}
     for block in function.blocks:

@@ -40,8 +40,14 @@ _KIND_HINTS = {
 }
 
 
-def lint_parallel_module(module: Module) -> LintReport:
-    """Verify every outlined parallel region of ``module``."""
+def lint_parallel_module(module: Module,
+                         analysis_manager=None) -> LintReport:
+    """Verify every outlined parallel region of ``module``.
+
+    ``analysis_manager`` lets callers that already analyzed the module
+    (the SPLENDID pipeline, the eval harness) share their cached loop
+    forests and liveness results with the linter.
+    """
     from ..core.analyzer import (ParallelAnalysisError, analyze_microtask,
                                  find_fork_sites)
     report = LintReport()
@@ -60,15 +66,16 @@ def lint_parallel_module(module: Module) -> LintReport:
                 microtasks.append(site.microtask)
 
     for microtask in microtasks:
-        _lint_microtask(microtask, report)
+        _lint_microtask(microtask, report, analysis_manager)
     return report
 
 
-def _lint_microtask(microtask: Function, report: LintReport) -> None:
+def _lint_microtask(microtask: Function, report: LintReport,
+                    analysis_manager=None) -> None:
     from ..core.analyzer import ParallelAnalysisError, analyze_microtask
     from ..core.pragma_gen import worksharing_pragma
     try:
-        info = analyze_microtask(microtask)
+        info = analyze_microtask(microtask, analysis_manager)
     except ParallelAnalysisError as error:
         # Not the outliner's shape (e.g. front-end-lowered microtasks
         # before -O2): nothing to verify statically, but say so.
@@ -80,7 +87,8 @@ def _lint_microtask(microtask: Function, report: LintReport) -> None:
 
     for finding in find_loop_races(info.counted, allow_reductions=True):
         _report_finding(report, microtask.name, location, finding)
-    for finding in private_audit(info.counted):
+    for finding in private_audit(info.counted,
+                                 analysis_manager=analysis_manager):
         _report_finding(report, microtask.name, location, finding)
 
     # nowait legality: the pragma generator drops the implicit barrier

@@ -3,13 +3,16 @@
 from . import (const_fold, cse, dce, licm, loop_distribute,
                loop_rotate, loop_unroll, mem2reg, simplify_cfg)
 from .inline import InlineError, inline_all_calls_to, inline_call
-from .pass_manager import PassManager, PassRecord
+from .pass_manager import (FunctionPassAdaptor, PassInstrumentation,
+                           PassManager, PassPipelineError, PassRecord,
+                           PassTiming, PassTimingReport)
 from .pipeline import o1_pipeline, o2_pipeline, optimize_o1, optimize_o2
 
 __all__ = [
     "const_fold", "cse", "dce", "licm", "loop_distribute",
     "loop_rotate", "loop_unroll", "mem2reg", "simplify_cfg",
     "InlineError", "inline_all_calls_to", "inline_call",
-    "PassManager", "PassRecord",
+    "FunctionPassAdaptor", "PassInstrumentation", "PassManager",
+    "PassPipelineError", "PassRecord", "PassTiming", "PassTimingReport",
     "o1_pipeline", "o2_pipeline", "optimize_o1", "optimize_o2",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..analysis.dominators import DominatorTree
+from ..analysis.manager import AnalysisManager, get_domtree
 from ..ir.instructions import (BinaryOp, Cast, FCmp, GetElementPtr, ICmp,
                                Instruction, Select)
 from ..ir.module import Function, Module
@@ -43,10 +43,11 @@ def _eligible(inst: Instruction) -> bool:
     return False
 
 
-def run_function(function: Function) -> int:
+def run_function(function: Function,
+                 am: "AnalysisManager" = None) -> int:
     if function.is_declaration:
         return 0
-    domtree = DominatorTree(function)
+    domtree = get_domtree(function, am)
     removed = 0
     scopes: List[Dict[Tuple, Instruction]] = [{}]
     available: Dict[Tuple, Instruction] = {}
@@ -76,5 +77,5 @@ def run_function(function: Function) -> int:
     return removed
 
 
-def run(module: Module) -> int:
-    return sum(run_function(f) for f in module.defined_functions())
+def run(module: Module, am: "AnalysisManager" = None) -> int:
+    return sum(run_function(f, am) for f in module.defined_functions())

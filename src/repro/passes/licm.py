@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Set
 
-from ..analysis.loops import Loop, LoopInfo
+from ..analysis.loops import Loop
+from ..analysis.manager import AnalysisManager, get_loop_info
 from ..ir.instructions import (BinaryOp, Cast, DbgValue, GetElementPtr, ICmp,
                                FCmp, Instruction, Load, Phi, Select, Store)
 from ..ir.module import Function, Module
@@ -68,10 +69,11 @@ def hoist_loop(loop: Loop) -> int:
     return count
 
 
-def run_function(function: Function) -> int:
+def run_function(function: Function,
+                 am: "AnalysisManager" = None) -> int:
     if function.is_declaration:
         return 0
-    info = LoopInfo(function)
+    info = get_loop_info(function, am)
     count = 0
     # Innermost first so invariants bubble outward one level per pass.
     for loop in reversed(info.all_loops()):
@@ -79,5 +81,5 @@ def run_function(function: Function) -> int:
     return count
 
 
-def run(module: Module) -> int:
-    return sum(run_function(f) for f in module.defined_functions())
+def run(module: Module, am: "AnalysisManager" = None) -> int:
+    return sum(run_function(f, am) for f in module.defined_functions())

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..analysis.loops import Loop, LoopInfo
+from ..analysis.loops import Loop
+from ..analysis.manager import AnalysisManager, get_loop_info
 from ..ir.block import BasicBlock
 from ..ir.instructions import (Branch, CondBranch, DbgValue, Instruction, Phi)
 from ..ir.module import Function, Module
@@ -239,7 +240,8 @@ def rotate_loop(loop: Loop) -> bool:
     return True
 
 
-def rotate_function(function: Function) -> int:
+def rotate_function(function: Function,
+                    am: "AnalysisManager" = None) -> int:
     """Rotate every rotatable loop in the function; returns count."""
     if function.is_declaration:
         return 0
@@ -248,17 +250,21 @@ def rotate_function(function: Function) -> int:
     failed_headers = set()
     while progress:
         progress = False
-        info = LoopInfo(function)
+        info = get_loop_info(function, am)
         for loop in info.all_loops():
             if loop.header in failed_headers:
                 continue
             if rotate_loop(loop):
                 rotated += 1
                 progress = True
+                # The rotation rewrote the CFG: drop cached analyses
+                # before the loop forest is recomputed next round.
+                if am is not None:
+                    am.invalidate(function)
                 break
             failed_headers.add(loop.header)
     return rotated
 
 
-def run(module: Module) -> int:
-    return sum(rotate_function(f) for f in module.defined_functions())
+def run(module: Module, am: "AnalysisManager" = None) -> int:
+    return sum(rotate_function(f, am) for f in module.defined_functions())

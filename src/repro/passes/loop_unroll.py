@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..analysis.induction import analyze_counted_loop, constant_trip_count
-from ..analysis.loops import Loop, LoopInfo
+from ..analysis.loops import Loop
+from ..analysis.manager import AnalysisManager, get_loop_info
 from ..ir.builder import IRBuilder
 from ..ir.instructions import DbgValue, Instruction, Phi
 from ..ir.module import Function, Module
@@ -90,16 +91,20 @@ def _feeds_only_compare(inst: Instruction, counted) -> bool:
     return False
 
 
-def unroll_innermost(function: Function, factor: int = 4) -> int:
+def unroll_innermost(function: Function, factor: int = 4,
+                     am: "AnalysisManager" = None) -> int:
     """Unroll every eligible innermost loop; returns the count."""
     count = 0
-    info = LoopInfo(function)
+    info = get_loop_info(function, am)
     for loop in info.innermost_loops():
         if unroll_loop(loop, factor):
             count += 1
+    if count and am is not None:
+        am.invalidate(function)  # unrolling rewrites the CFG
     return count
 
 
-def run(module: Module, factor: int = 4) -> int:
-    return sum(unroll_innermost(f, factor)
+def run(module: Module, factor: int = 4,
+        am: "AnalysisManager" = None) -> int:
+    return sum(unroll_innermost(f, factor, am)
                for f in module.defined_functions())

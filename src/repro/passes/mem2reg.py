@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from ..analysis.dominators import DominatorTree
+from ..analysis.manager import AnalysisManager, get_domtree
 from ..ir.block import BasicBlock
 from ..ir.instructions import Alloca, DbgValue, Instruction, Load, Phi, Store
 from ..ir.module import Function, Module
@@ -48,7 +48,8 @@ class _AllocaPromotion:
         return UndefValue(self.alloca.allocated_type)
 
 
-def promote_function(function: Function) -> int:
+def promote_function(function: Function,
+                     am: "AnalysisManager" = None) -> int:
     """Promote all promotable allocas in ``function``; returns the count."""
     if function.is_declaration:
         return 0
@@ -57,7 +58,7 @@ def promote_function(function: Function) -> int:
     if not allocas:
         return 0
 
-    domtree = DominatorTree(function)
+    domtree = get_domtree(function, am)
     frontier = domtree.dominance_frontier()
     promotions: Dict[Alloca, _AllocaPromotion] = {}
     phi_owner: Dict[Phi, _AllocaPromotion] = {}
@@ -164,9 +165,9 @@ def _prune_trivial_phis(function: Function, candidates: Set[Phi]) -> None:
                     changed = True
 
 
-def run(module: Module) -> int:
+def run(module: Module, am: "AnalysisManager" = None) -> int:
     """Run mem2reg on every defined function; returns promoted slots."""
     total = 0
     for function in module.defined_functions():
-        total += promote_function(function)
+        total += promote_function(function, am)
     return total

@@ -1,14 +1,35 @@
-"""A tiny pass manager with verification between passes."""
+"""New-PM-style pass manager: preserved-analysis contracts, cached
+analyses, verification between passes, and pass instrumentation.
+
+Each pass is registered with the :class:`~repro.analysis.manager
+.PreservedAnalyses` contract it honors *when it changes the IR*; a pass
+that reports "no change" (a falsy result) implicitly preserves
+everything, so back-to-back cleanup passes stop recomputing dominator
+trees the IR never stopped being valid for.  The verifier that runs
+between passes draws its dominator trees from the same cache, which is
+where most of the duplicated-analysis hot path used to live.
+
+Instrumentation (:class:`PassInstrumentation`) records per-pass wall
+time, analysis cache hit/miss deltas, and IR size deltas; the report is
+what ``repro decompile --time-passes`` prints and what the lint and
+eval pipelines attach programmatically.
+"""
 
 from __future__ import annotations
 
+import inspect
+import json
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from ..ir.module import Module
-from ..ir.verifier import verify_module
+from ..analysis.manager import AnalysisManager, PreservedAnalyses
+from ..ir.module import Function, Module
 
-PassFn = Callable[[Module], object]
+LOG = logging.getLogger("repro.passes")
+
+PassFn = Callable[..., object]
 
 
 @dataclass
@@ -17,33 +38,292 @@ class PassRecord:
     result: object
 
 
-class PassManager:
-    """Runs a sequence of module passes, optionally verifying after each.
+@dataclass
+class PassTiming:
+    """Instrumentation record for one pass execution."""
 
-    >>> pm = PassManager(verify_each=True)
-    >>> pm.add("mem2reg", mem2reg.run)      # doctest: +SKIP
-    >>> pm.run(module)                      # doctest: +SKIP
+    name: str
+    seconds: float
+    verify_seconds: float
+    changed: bool
+    cache_hits: int
+    cache_misses: int
+    invalidations: int
+    blocks_before: int
+    blocks_after: int
+    instructions_before: int
+    instructions_after: int
+
+    @property
+    def delta_blocks(self) -> int:
+        return self.blocks_after - self.blocks_before
+
+    @property
+    def delta_instructions(self) -> int:
+        return self.instructions_after - self.instructions_before
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.name,
+            "seconds": self.seconds,
+            "verify_seconds": self.verify_seconds,
+            "changed": self.changed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "invalidations": self.invalidations,
+            "delta_blocks": self.delta_blocks,
+            "delta_instructions": self.delta_instructions,
+        }
+
+
+class PassTimingReport:
+    """Per-pass timing/cache/IR-delta table with text and JSON renderers."""
+
+    def __init__(self):
+        self.entries: List[PassTiming] = []
+
+    def add(self, entry: PassTiming) -> None:
+        self.entries.append(entry)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds + e.verify_seconds for e in self.entries)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(e.cache_hits for e in self.entries)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(e.cache_misses for e in self.entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def render_text(self) -> str:
+        """A ``-ftime-report``-style table, slowest pass first."""
+        header = (f"{'pass':<16} {'time(ms)':>9} {'verify(ms)':>10} "
+                  f"{'hit/miss':>9} {'Δblocks':>8} {'Δinsts':>7}  changed")
+        lines = ["=== pass timing report ===", header, "-" * len(header)]
+        for e in sorted(self.entries, key=lambda e: -e.seconds):
+            lines.append(
+                f"{e.name:<16} {e.seconds * 1e3:>9.3f} "
+                f"{e.verify_seconds * 1e3:>10.3f} "
+                f"{f'{e.cache_hits}/{e.cache_misses}':>9} "
+                f"{e.delta_blocks:>+8} {e.delta_instructions:>+7}  "
+                f"{'yes' if e.changed else 'no'}")
+        lines.append("-" * len(header))
+        lines.append(
+            f"total: {self.total_seconds * 1e3:.3f} ms over "
+            f"{len(self.entries)} passes; analysis cache "
+            f"{self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.hit_rate:.0%} hit rate)")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "passes": [e.to_dict() for e in self.entries],
+            "total_seconds": self.total_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2)
+
+
+class PassInstrumentation:
+    """Programmatic instrumentation hook shared across pipelines.
+
+    One instance may be threaded through several :class:`PassManager`
+    runs (the eval pipeline's compile step, the lint pipeline's re-run,
+    ...); all of them append to the same report.  ``on_pass`` is called
+    with each fresh :class:`PassTiming` as it is recorded.
     """
 
-    def __init__(self, verify_each: bool = True):
+    def __init__(self,
+                 on_pass: Optional[Callable[[PassTiming], None]] = None):
+        self.report = PassTimingReport()
+        self.on_pass = on_pass
+
+    def record(self, entry: PassTiming) -> None:
+        self.report.add(entry)
+        if self.on_pass is not None:
+            self.on_pass(entry)
+
+
+class PassPipelineError(RuntimeError):
+    """IR verification failed between passes.
+
+    Carries the failing pass, the pipeline history run so far, and (when
+    the verifier identified one) the offending function.
+    """
+
+    def __init__(self, message: str, pass_name: str,
+                 history: List[PassRecord],
+                 function: Optional[Function] = None):
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.history = list(history)
+        self.function = function
+
+
+@dataclass
+class _Pass:
+    name: str
+    fn: PassFn
+    preserves: PreservedAnalyses
+    wants_manager: bool
+    self_invalidating: bool = False
+
+
+def _accepts_manager(fn: Callable) -> bool:
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    return "am" in params or "analysis_manager" in params
+
+
+def _ir_size(module: Module) -> tuple:
+    blocks = instructions = 0
+    for function in module.defined_functions():
+        blocks += len(function.blocks)
+        for block in function.blocks:
+            instructions += len(block.instructions)
+    return blocks, instructions
+
+
+class FunctionPassAdaptor:
+    """Adapts a function-level pass to the module level.
+
+    Runs ``fn`` over every defined function and applies the pass's
+    preserved-analyses contract *per function*: analyses of functions
+    the pass did not touch stay cached.  Integer results are summed,
+    boolean results or-ed (matching the conventions of the passes in
+    this package).
+    """
+
+    def __init__(self, name: str, fn: PassFn, preserves: PreservedAnalyses):
+        self.name = name
+        self.fn = fn
+        self.preserves = preserves
+        self.wants_manager = _accepts_manager(fn)
+
+    def __call__(self, module: Module, am: AnalysisManager):
+        total = None
+        for function in list(module.defined_functions()):
+            result = (self.fn(function, am=am) if self.wants_manager
+                      else self.fn(function))
+            if result:
+                am.invalidate(function, self.preserves)
+            if isinstance(result, bool):
+                total = bool(total) | result
+            elif isinstance(result, int):
+                total = (total or 0) + result
+            elif result is not None:
+                total = result
+        return total
+
+
+class PassManager:
+    """Runs a sequence of module passes over a shared analysis cache.
+
+    >>> pm = PassManager(verify_each=True)
+    >>> pm.add("mem2reg", mem2reg.run)                  # doctest: +SKIP
+    >>> pm.add_function_pass("dce", dce.run_function,   # doctest: +SKIP
+    ...                      preserves=PreservedAnalyses.cfg())
+    >>> pm.run(module)                                  # doctest: +SKIP
+    """
+
+    def __init__(self, verify_each: bool = True,
+                 analysis_manager: Optional[AnalysisManager] = None,
+                 instrumentation: Optional[PassInstrumentation] = None):
         self.verify_each = verify_each
-        self._passes: List[tuple] = []
+        self.analysis_manager = analysis_manager or AnalysisManager()
+        self.instrumentation = instrumentation
+        self._passes: List[_Pass] = []
         self.history: List[PassRecord] = []
 
-    def add(self, name: str, fn: PassFn) -> "PassManager":
-        self._passes.append((name, fn))
+    def add(self, name: str, fn: PassFn,
+            preserves: Optional[PreservedAnalyses] = None) -> "PassManager":
+        """Register a module pass.  ``preserves`` is the contract applied
+        when the pass reports a change; passes reporting no change
+        implicitly preserve everything."""
+        self._passes.append(_Pass(
+            name, fn, preserves or PreservedAnalyses.none(),
+            _accepts_manager(fn)))
+        return self
+
+    def add_function_pass(self, name: str, fn: PassFn,
+                          preserves: Optional[PreservedAnalyses] = None
+                          ) -> "PassManager":
+        """Register a function-level pass through the adaptor (analyses
+        invalidated per changed function, not per module)."""
+        adaptor = FunctionPassAdaptor(
+            name, fn, preserves or PreservedAnalyses.none())
+        self._passes.append(_Pass(
+            name, adaptor, PreservedAnalyses.all(), wants_manager=True,
+            self_invalidating=True))
         return self
 
     def run(self, module: Module) -> List[PassRecord]:
+        am = self.analysis_manager
         self.history = []
-        for name, fn in self._passes:
-            result = fn(module)
+        for pass_ in self._passes:
+            instrument = self.instrumentation is not None
+            if instrument:
+                blocks_before, insts_before = _ir_size(module)
+                stats_before = am.stats.snapshot()
+            started = time.perf_counter()
+            result = (pass_.fn(module, am) if pass_.wants_manager
+                      else pass_.fn(module))
+            changed = bool(result)
+            if not pass_.self_invalidating:
+                am.invalidate_module(
+                    module,
+                    PreservedAnalyses.all() if not changed
+                    else pass_.preserves)
+            elapsed = time.perf_counter() - started
+            self.history.append(PassRecord(pass_.name, result))
+            verify_elapsed = 0.0
             if self.verify_each:
-                try:
-                    verify_module(module)
-                except Exception as exc:  # pragma: no cover - diagnostics
-                    raise RuntimeError(
-                        f"IR verification failed after pass '{name}': {exc}"
-                    ) from exc
-            self.history.append(PassRecord(name, result))
+                verify_started = time.perf_counter()
+                self._verify(module, pass_.name)
+                verify_elapsed = time.perf_counter() - verify_started
+            if instrument:
+                blocks_after, insts_after = _ir_size(module)
+                delta = am.stats.since(stats_before)
+                self.instrumentation.record(PassTiming(
+                    name=pass_.name, seconds=elapsed,
+                    verify_seconds=verify_elapsed, changed=changed,
+                    cache_hits=delta.hits, cache_misses=delta.misses,
+                    invalidations=delta.invalidations,
+                    blocks_before=blocks_before, blocks_after=blocks_after,
+                    instructions_before=insts_before,
+                    instructions_after=insts_after))
         return self.history
+
+    def _verify(self, module: Module, pass_name: str) -> None:
+        from ..ir.verifier import (VerificationError, verify_function,
+                                   verify_kmpc_protocol)
+        try:
+            for function in module.defined_functions():
+                verify_function(function,
+                                analysis_manager=self.analysis_manager)
+            verify_kmpc_protocol(module)
+        except VerificationError as exc:
+            failing = getattr(exc, "function", None)
+            if failing is not None and LOG.isEnabledFor(logging.DEBUG):
+                from ..ir.printer import print_function
+                LOG.debug("IR of failing function @%s after pass '%s':\n%s",
+                          failing.name, pass_name, print_function(failing))
+            pipeline = " -> ".join(rec.name for rec in self.history)
+            where = f" in function '@{failing.name}'" if failing else ""
+            raise PassPipelineError(
+                f"IR verification failed after pass '{pass_name}'{where} "
+                f"(pipeline run so far: {pipeline}): {exc}",
+                pass_name, self.history, failing) from exc

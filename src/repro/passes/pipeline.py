@@ -4,50 +4,89 @@ The -O2 pipeline is what the paper feeds Polly: mem2reg (SSA), CFG
 cleanup, constant folding, LICM, and crucially loop rotation — which is
 what turns every counted loop into the do-while + guard shape SPLENDID
 later de-transforms.
+
+Every pass is registered with its :class:`PreservedAnalyses` contract
+(see ``docs/ARCHITECTURE.md`` for the full table): instruction-only
+rewrites (mem2reg, const-fold, CSE, DCE, LICM) preserve the CFG
+analyses, so the dominator trees the verifier and the downstream
+passes request survive in the shared :class:`AnalysisManager` cache;
+branch/block surgery (simplify-cfg, loop-rotate) preserves nothing.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..analysis.manager import AnalysisManager, PreservedAnalyses
 from ..ir.module import Module
 from . import const_fold, cse, dce, licm, loop_rotate, mem2reg, simplify_cfg
-from .pass_manager import PassManager
+from .pass_manager import PassInstrumentation, PassManager
+
+_CFG = PreservedAnalyses.cfg()
+_NONE = PreservedAnalyses.none()
 
 
-def o1_pipeline(verify_each: bool = True) -> PassManager:
-    pm = PassManager(verify_each=verify_each)
-    pm.add("mem2reg", mem2reg.run)
-    pm.add("simplify-cfg", simplify_cfg.run)
-    pm.add("const-fold", const_fold.run)
-    pm.add("dce", dce.run)
+def _base_pipeline(verify_each: bool,
+                   analysis_manager: Optional[AnalysisManager],
+                   instrumentation: Optional[PassInstrumentation]
+                   ) -> PassManager:
+    pm = PassManager(verify_each=verify_each,
+                     analysis_manager=analysis_manager,
+                     instrumentation=instrumentation)
+    pm.add_function_pass("mem2reg", mem2reg.promote_function, preserves=_CFG)
+    pm.add_function_pass("simplify-cfg", simplify_cfg.simplify_function,
+                         preserves=_NONE)
+    pm.add_function_pass("const-fold", const_fold.run_function,
+                         preserves=_CFG)
     return pm
 
 
-def o2_pipeline(verify_each: bool = True) -> PassManager:
-    pm = PassManager(verify_each=verify_each)
-    pm.add("mem2reg", mem2reg.run)
-    pm.add("simplify-cfg", simplify_cfg.run)
-    pm.add("const-fold", const_fold.run)
-    pm.add("cse", cse.run)
-    pm.add("dce", dce.run)
-    pm.add("licm", licm.run)
-    pm.add("const-fold-2", const_fold.run)
-    pm.add("cse-2", cse.run)
-    pm.add("dce-2", dce.run)
-    pm.add("loop-rotate", loop_rotate.run)
-    pm.add("simplify-cfg-2", simplify_cfg.run)
-    pm.add("const-fold-3", const_fold.run)
-    pm.add("cse-3", cse.run)
-    pm.add("dce-3", dce.run)
-    pm.add("simplify-cfg-3", simplify_cfg.run)
-    pm.add("dce-4", dce.run)
+def o1_pipeline(verify_each: bool = True,
+                analysis_manager: Optional[AnalysisManager] = None,
+                instrumentation: Optional[PassInstrumentation] = None
+                ) -> PassManager:
+    pm = _base_pipeline(verify_each, analysis_manager, instrumentation)
+    pm.add_function_pass("dce", dce.run_function, preserves=_CFG)
     return pm
 
 
-def optimize_o1(module: Module, verify_each: bool = True) -> Module:
-    o1_pipeline(verify_each).run(module)
+def o2_pipeline(verify_each: bool = True,
+                analysis_manager: Optional[AnalysisManager] = None,
+                instrumentation: Optional[PassInstrumentation] = None
+                ) -> PassManager:
+    pm = _base_pipeline(verify_each, analysis_manager, instrumentation)
+    pm.add_function_pass("cse", cse.run_function, preserves=_CFG)
+    pm.add_function_pass("dce", dce.run_function, preserves=_CFG)
+    pm.add_function_pass("licm", licm.run_function, preserves=_CFG)
+    pm.add_function_pass("const-fold-2", const_fold.run_function,
+                         preserves=_CFG)
+    pm.add_function_pass("cse-2", cse.run_function, preserves=_CFG)
+    pm.add_function_pass("dce-2", dce.run_function, preserves=_CFG)
+    pm.add_function_pass("loop-rotate", loop_rotate.rotate_function,
+                         preserves=_NONE)
+    pm.add_function_pass("simplify-cfg-2", simplify_cfg.simplify_function,
+                         preserves=_NONE)
+    pm.add_function_pass("const-fold-3", const_fold.run_function,
+                         preserves=_CFG)
+    pm.add_function_pass("cse-3", cse.run_function, preserves=_CFG)
+    pm.add_function_pass("dce-3", dce.run_function, preserves=_CFG)
+    pm.add_function_pass("simplify-cfg-3", simplify_cfg.simplify_function,
+                         preserves=_NONE)
+    pm.add_function_pass("dce-4", dce.run_function, preserves=_CFG)
+    return pm
+
+
+def optimize_o1(module: Module, verify_each: bool = True,
+                analysis_manager: Optional[AnalysisManager] = None,
+                instrumentation: Optional[PassInstrumentation] = None
+                ) -> Module:
+    o1_pipeline(verify_each, analysis_manager, instrumentation).run(module)
     return module
 
 
-def optimize_o2(module: Module, verify_each: bool = True) -> Module:
-    o2_pipeline(verify_each).run(module)
+def optimize_o2(module: Module, verify_each: bool = True,
+                analysis_manager: Optional[AnalysisManager] = None,
+                instrumentation: Optional[PassInstrumentation] = None
+                ) -> Module:
+    o2_pipeline(verify_each, analysis_manager, instrumentation).run(module)
     return module

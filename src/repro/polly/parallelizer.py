@@ -16,7 +16,9 @@ from typing import List, Optional
 
 from ..analysis.dependence import ParallelismReport, analyze_loop_parallelism
 from ..analysis.induction import CountedLoop, analyze_counted_loop
-from ..analysis.loops import Loop, LoopInfo
+from ..analysis.loops import Loop
+from ..analysis.manager import (AnalysisManager, PreservedAnalyses,
+                                get_loop_info)
 from ..ir.block import BasicBlock
 from ..ir.builder import IRBuilder
 from ..ir.instructions import Branch, CondBranch, DbgValue, Instruction
@@ -238,11 +240,12 @@ def try_parallelize_loop(module: Module, loop: Loop,
 
 
 def analyze_function_loops(function: Function,
-                           min_profitable_cost: float = MIN_PROFITABLE_COST
+                           min_profitable_cost: float = MIN_PROFITABLE_COST,
+                           analysis_manager: Optional[AnalysisManager] = None
                            ) -> List[LoopOutcome]:
     """Analysis-only view: legality of every loop, without transforming."""
     outcomes = []
-    info = LoopInfo(function)
+    info = get_loop_info(function, analysis_manager)
     for loop in info.all_loops():
         outcome = LoopOutcome(function.name, loop.header.name, loop.depth,
                               parallelized=False)
@@ -282,10 +285,13 @@ def _demote_scalar_reduction(loop: Loop) -> None:
 def parallelize_function(module: Module, function: Function,
                          result: PollyResult,
                          min_profitable_cost: float = MIN_PROFITABLE_COST,
-                         enable_reductions: bool = False) -> None:
+                         enable_reductions: bool = False,
+                         analysis_manager: Optional[AnalysisManager] = None
+                         ) -> None:
     attempted = set()
+    am = analysis_manager
     while True:
-        info = LoopInfo(function)
+        info = get_loop_info(function, am)
         candidate = _next_candidate(info.top_level, attempted)
         if candidate is None:
             return
@@ -293,6 +299,10 @@ def parallelize_function(module: Module, function: Function,
         outcome = try_parallelize_loop(module, candidate,
                                        min_profitable_cost,
                                        enable_reductions)
+        # Outlining (and reduction demotion) rewrites the function's CFG
+        # mid-attempt, so conservatively recompute the forest next round.
+        if am is not None:
+            am.invalidate(function)
         result.outcomes.append(outcome)
 
 
@@ -311,7 +321,9 @@ def _next_candidate(loops: List[Loop], attempted) -> Optional[Loop]:
 def parallelize_module(module: Module, verify: bool = True,
                        only_functions: Optional[List[str]] = None,
                        min_profitable_cost: float = MIN_PROFITABLE_COST,
-                       enable_reductions: bool = False) -> PollyResult:
+                       enable_reductions: bool = False,
+                       analysis_manager: Optional[AnalysisManager] = None
+                       ) -> PollyResult:
     """Run the parallelizer on every (or selected) defined function.
 
     ``enable_reductions`` turns on the §7 extension: scalar accumulator
@@ -319,6 +331,7 @@ def parallelize_module(module: Module, verify: bool = True,
     are tolerated by the legality test (and later decompiled by SPLENDID
     as ``reduction(...)`` clauses).
     """
+    am = analysis_manager or AnalysisManager()
     result = PollyResult()
     for function in list(module.defined_functions()):
         if function.is_outlined_parallel_region:
@@ -326,10 +339,17 @@ def parallelize_module(module: Module, verify: bool = True,
         if only_functions is not None and function.name not in only_functions:
             continue
         parallelize_function(module, function, result, min_profitable_cost,
-                             enable_reductions)
-    const_fold.run(module)
-    simplify_cfg.run(module)
-    dce.run(module)
+                             enable_reductions, analysis_manager=am)
+    # Post-outlining cleanup only rewrites instructions inside functions
+    # it changes; invalidate those so the verifier below re-derives its
+    # dominator trees only where needed.
+    for function in list(module.defined_functions()):
+        if const_fold.run_function(function):
+            am.invalidate(function, PreservedAnalyses.cfg())
+        if simplify_cfg.simplify_function(function):
+            am.invalidate(function)
+        if dce.run_function(function):
+            am.invalidate(function, PreservedAnalyses.cfg())
     if verify:
-        verify_module(module)
+        verify_module(module, analysis_manager=am)
     return result

@@ -1,0 +1,28 @@
+"""Fast smoke run of benchmarks/bench_analysis_cache.py.
+
+The full benchmark (16 kernels, cached vs uncached) lives in the
+benchmark suite; tier-1 just proves the measurement harness works and
+the shared analysis cache actually gets hits on a real pipeline.
+"""
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+import bench_analysis_cache  # noqa: E402
+from repro.polybench import all_benchmarks  # noqa: E402
+
+
+def test_cache_smoke_two_kernels():
+    rows = bench_analysis_cache.measure(all_benchmarks()[:2])
+    assert [name for name, _, _, _ in rows] == ["gemm", "2mm"]
+    for name, cached_s, uncached_s, stats in rows:
+        assert cached_s > 0 and uncached_s > 0
+        assert stats.hits > 0, name
+        assert stats.hit_rate > 0.0, name
+    # Render path stays printable (the standalone main() uses it).
+    text = bench_analysis_cache.render(rows)
+    assert "TOTAL" in text and "hit rate" in text

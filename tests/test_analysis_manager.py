@@ -1,0 +1,353 @@
+"""The AnalysisManager: caching, invalidation contracts, instrumentation.
+
+Includes the stale-analysis regression suite (a CFG-mutating pass must
+invalidate cached DominatorTree/LoopInfo, a preserving pass must hit
+the cache — with hit/miss counters asserted exactly) and the
+grep-enforced rule that analyses are only ever constructed inside
+``repro.analysis``.
+"""
+
+import json
+import logging
+import re
+from pathlib import Path
+
+import pytest
+
+from conftest import compile_o0, compile_o2, compile_parallel
+import repro
+from repro.analysis.manager import (AnalysisManager, CFG_ANALYSES, DOMTREE,
+                                    LIVENESS, LOOPS, POSTDOMTREE,
+                                    PreservedAnalyses, get_domtree,
+                                    get_loop_info)
+from repro.passes import (PassInstrumentation, PassManager,
+                          PassPipelineError, const_fold, dce, loop_rotate,
+                          mem2reg, simplify_cfg)
+
+LOOP_SOURCE = """
+double A[32];
+void kernel() {
+  int i;
+  for (i = 0; i < 32; i++) A[i] = (double)i * 0.5;
+}
+"""
+
+
+def _kernel(module):
+    return module.get_function("kernel")
+
+
+class TestAnalysisManagerCaching:
+    def test_repeated_get_returns_same_object(self):
+        module = compile_o2(LOOP_SOURCE)
+        fn = _kernel(module)
+        am = AnalysisManager()
+        assert am.get(DOMTREE, fn) is am.get(DOMTREE, fn)
+        assert am.stats.hits == 1
+        assert am.stats.misses == 1
+
+    def test_loops_shares_the_cached_domtree(self):
+        module = compile_o2(LOOP_SOURCE)
+        fn = _kernel(module)
+        am = AnalysisManager()
+        domtree = am.get(DOMTREE, fn)          # miss
+        loops = am.get(LOOPS, fn)              # miss; dep domtree is a hit
+        assert loops.domtree is domtree
+        assert am.stats.misses == 2
+        assert am.stats.hits == 1
+
+    def test_disabled_cache_always_recomputes(self):
+        module = compile_o2(LOOP_SOURCE)
+        fn = _kernel(module)
+        am = AnalysisManager(cache=False)
+        first = am.get(DOMTREE, fn)
+        second = am.get(DOMTREE, fn)
+        assert first is not second
+        assert am.stats.hits == 0
+        assert am.stats.misses == 2
+
+    def test_unknown_analysis_raises(self):
+        module = compile_o2(LOOP_SOURCE)
+        with pytest.raises(KeyError, match="no-such-analysis"):
+            AnalysisManager().get("no-such-analysis", _kernel(module))
+
+    def test_ephemeral_accessor_without_manager(self):
+        module = compile_o2(LOOP_SOURCE)
+        fn = _kernel(module)
+        assert get_domtree(fn) is not get_domtree(fn)
+        assert get_loop_info(fn).function is fn
+
+    def test_module_analysis_outlined_functions(self):
+        module, _ = compile_parallel(LOOP_SOURCE, only=["kernel"])
+        am = AnalysisManager()
+        first = am.get_module("outlined-functions", module)
+        assert am.get_module("outlined-functions", module) is first
+        assert [fn.is_outlined_parallel_region for fn in first] == [True]
+        assert am.stats.hits == 1
+
+
+class TestPreservedAnalyses:
+    def test_all_none_cfg(self):
+        assert PreservedAnalyses.all().preserves(DOMTREE)
+        assert not PreservedAnalyses.none().preserves(DOMTREE)
+        cfg = PreservedAnalyses.cfg()
+        for name in CFG_ANALYSES:
+            assert cfg.preserves(name)
+        assert not cfg.preserves(LIVENESS)
+
+    def test_union(self):
+        merged = PreservedAnalyses.preserve(DOMTREE).union(
+            PreservedAnalyses.preserve(LOOPS))
+        assert merged.preserves(DOMTREE) and merged.preserves(LOOPS)
+        assert not merged.preserves(LIVENESS)
+        assert merged.union(PreservedAnalyses.all()).is_all
+
+    def test_invalidate_respects_preserved_set(self):
+        module = compile_o2(LOOP_SOURCE)
+        fn = _kernel(module)
+        am = AnalysisManager()
+        domtree = am.get(DOMTREE, fn)
+        am.get(LIVENESS, fn)
+        dropped = am.invalidate(fn, PreservedAnalyses.cfg())
+        assert dropped == 1                     # liveness only
+        assert am.cached(DOMTREE, fn) is domtree
+        assert am.cached(LIVENESS, fn) is None
+        assert am.stats.invalidations == 1
+
+
+class TestStaleAnalysisRegressions:
+    """A pass's PreservedAnalyses contract must keep the cache honest."""
+
+    def test_cfg_mutating_pass_invalidates_domtree_and_loops(self):
+        # O0 output is full of forwarding blocks: simplify-cfg WILL
+        # rewrite the CFG, so the cached trees must be dropped.
+        module = compile_o0(LOOP_SOURCE)
+        fn = _kernel(module)
+        am = AnalysisManager()
+        domtree1 = am.get(DOMTREE, fn)         # miss (1)
+        loops1 = am.get(LOOPS, fn)             # miss (2), domtree hit (1)
+        pm = PassManager(verify_each=False, analysis_manager=am)
+        pm.add_function_pass("simplify-cfg", simplify_cfg.simplify_function,
+                             preserves=PreservedAnalyses.none())
+        pm.run(module)
+        assert pm.history[0].result is True    # the pass did mutate
+        domtree2 = am.get(DOMTREE, fn)         # miss (3): invalidated
+        loops2 = am.get(LOOPS, fn)             # miss (4), domtree hit (2)
+        assert domtree2 is not domtree1
+        assert loops2 is not loops1
+        assert am.stats.misses == 4
+        assert am.stats.hits == 2
+
+    def test_loop_rotate_invalidates_and_recomputed_forest_is_rotated(self):
+        module = compile_o0(LOOP_SOURCE)
+        fn = _kernel(module)
+        mem2reg.promote_function(fn)
+        simplify_cfg.simplify_function(fn)
+        am = AnalysisManager()
+        loops_before = am.get(LOOPS, fn)
+        (top_test,) = loops_before.top_level
+        assert not top_test.is_rotated
+        pm = PassManager(verify_each=False, analysis_manager=am)
+        pm.add_function_pass("loop-rotate", loop_rotate.rotate_function,
+                             preserves=PreservedAnalyses.none())
+        pm.run(module)
+        assert pm.history[0].result == 1
+        loops_after = am.get(LOOPS, fn)
+        assert loops_after is not loops_before
+        (rotated,) = loops_after.top_level
+        assert rotated.is_rotated
+
+    def test_preserving_passes_hit_the_cache_exactly(self):
+        # After -O2 (plus one extra fixpoint DCE) const-fold and dce
+        # find nothing to do, so they implicitly preserve everything:
+        # the LoopInfo/DominatorTree cached before the pipeline must
+        # survive, hit on re-request, and never be recomputed.
+        module = compile_o2(LOOP_SOURCE)
+        fn = _kernel(module)
+        dce.run_function(fn)
+        const_fold.run_function(fn)
+        am = AnalysisManager()
+        loops1 = am.get(LOOPS, fn)             # miss (1) + domtree miss (2)
+        pm = PassManager(verify_each=False, analysis_manager=am)
+        pm.add_function_pass("const-fold", const_fold.run_function,
+                             preserves=PreservedAnalyses.cfg())
+        pm.add_function_pass("dce", dce.run_function,
+                             preserves=PreservedAnalyses.cfg())
+        pm.run(module)
+        assert [record.result for record in pm.history] == [0, 0]
+        loops2 = am.get(LOOPS, fn)             # hit (1)
+        domtree = am.get(DOMTREE, fn)          # hit (2)
+        assert loops2 is loops1
+        assert loops1.domtree is domtree
+        assert am.stats.hits == 2
+        assert am.stats.misses == 2
+        assert am.stats.invalidations == 0
+
+    def test_adaptor_invalidates_only_changed_functions(self):
+        # Two functions; only one has promotable slots left.  mem2reg
+        # must invalidate the changed one and keep the other's cache.
+        module = compile_o0(LOOP_SOURCE + """
+void empty_fn() { return; }
+""")
+        kernel = module.get_function("kernel")
+        untouched = module.get_function("empty_fn")
+        am = AnalysisManager()
+        dt_kernel = am.get(DOMTREE, kernel)
+        dt_untouched = am.get(DOMTREE, untouched)
+        pm = PassManager(verify_each=False, analysis_manager=am)
+        pm.add_function_pass("mem2reg", mem2reg.promote_function,
+                             preserves=PreservedAnalyses.cfg())
+        pm.run(module)
+        assert pm.history[0].result > 0        # kernel slots were promoted
+        assert am.cached(DOMTREE, kernel) is dt_kernel      # CFG preserved
+        assert am.cached(DOMTREE, untouched) is dt_untouched
+
+    def test_interpass_verifier_reuses_cached_domtrees(self):
+        module = compile_o2(LOOP_SOURCE)
+        fn = _kernel(module)
+        dce.run_function(fn)
+        am = AnalysisManager()
+        pm = PassManager(verify_each=True, analysis_manager=am)
+        pm.add_function_pass("dce-a", dce.run_function,
+                             preserves=PreservedAnalyses.cfg())
+        pm.add_function_pass("dce-b", dce.run_function,
+                             preserves=PreservedAnalyses.cfg())
+        pm.run(module)
+        # First verify computes each function's domtree, second hits.
+        defined = len(list(module.defined_functions()))
+        assert am.stats.misses == defined
+        assert am.stats.hits == defined
+
+
+class TestConstructionChokePoint:
+    def test_no_direct_analysis_construction_outside_analysis_package(self):
+        """Grep-enforced acceptance criterion: DominatorTree(...),
+        LoopInfo(...), Liveness(...) etc. are constructed only inside
+        repro.analysis (the AnalysisManager being the choke point)."""
+        src_root = Path(repro.__file__).parent
+        pattern = re.compile(
+            r"\b(?:DominatorTree|PostDominatorTree|LoopInfo|Liveness)\(")
+        offenders = []
+        for path in sorted(src_root.rglob("*.py")):
+            relative = path.relative_to(src_root)
+            if relative.parts[0] == "analysis":
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{relative}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "direct analysis construction outside repro.analysis — "
+            "request it through an AnalysisManager instead:\n"
+            + "\n".join(offenders))
+
+
+class TestPassPipelineDiagnostics:
+    def _broken_pipeline(self, module):
+        def break_ir(mod):
+            fn = _kernel(mod)
+            block = fn.blocks[0]
+            block.remove(block.terminator)
+            return 1
+
+        pm = PassManager(verify_each=True)
+        pm.add_function_pass("dce", dce.run_function,
+                             preserves=PreservedAnalyses.cfg())
+        pm.add("break-ir", break_ir)
+        return pm
+
+    def test_verifier_failure_names_pass_history_and_function(self):
+        module = compile_o2(LOOP_SOURCE)
+        pm = self._broken_pipeline(module)
+        with pytest.raises(PassPipelineError) as excinfo:
+            pm.run(module)
+        message = str(excinfo.value)
+        assert "after pass 'break-ir'" in message
+        assert "dce -> break-ir" in message          # full history so far
+        assert "@kernel" in message                  # offending function
+        assert "terminator" in message               # verifier detail
+        assert excinfo.value.function.name == "kernel"
+        assert [r.name for r in excinfo.value.history] == ["dce", "break-ir"]
+        # still a RuntimeError for callers catching the old type
+        assert isinstance(excinfo.value, RuntimeError)
+
+    def test_failing_function_ir_dumped_at_debug_level(self, caplog):
+        module = compile_o2(LOOP_SOURCE)
+        pm = self._broken_pipeline(module)
+        with caplog.at_level(logging.DEBUG, logger="repro.passes"):
+            with pytest.raises(PassPipelineError):
+                pm.run(module)
+        dump = "\n".join(record.getMessage() for record in caplog.records)
+        assert "failing function @kernel" in dump
+        assert "define" in dump                      # the printed IR
+
+
+class TestPassInstrumentation:
+    def test_report_covers_every_pass_with_timings_and_counters(self):
+        from repro.passes import o2_pipeline
+        module = compile_o0(LOOP_SOURCE)
+        instrumentation = PassInstrumentation()
+        pm = o2_pipeline(instrumentation=instrumentation)
+        pm.run(module)
+        report = instrumentation.report
+        assert len(report.entries) == len(pm.history)
+        assert [e.name for e in report.entries] == \
+            [r.name for r in pm.history]
+        assert all(e.seconds >= 0 for e in report.entries)
+        assert report.cache_hits > 0                 # the whole point
+        mem2reg_entry = report.entries[0]
+        assert mem2reg_entry.name == "mem2reg"
+        assert mem2reg_entry.changed
+        assert mem2reg_entry.delta_instructions < 0  # loads/stores gone
+
+    def test_text_and_json_renderers(self):
+        from repro.passes import o1_pipeline
+        module = compile_o0(LOOP_SOURCE)
+        instrumentation = PassInstrumentation()
+        o1_pipeline(instrumentation=instrumentation).run(module)
+        text = instrumentation.report.render_text()
+        assert "pass timing report" in text
+        assert "mem2reg" in text
+        assert "hit rate" in text
+        payload = json.loads(instrumentation.report.render_json())
+        assert {e["pass"] for e in payload["passes"]} == \
+            {"mem2reg", "simplify-cfg", "const-fold", "dce"}
+        assert payload["cache_hits"] + payload["cache_misses"] > 0
+        assert 0.0 <= payload["hit_rate"] <= 1.0
+
+    def test_on_pass_hook_fires_per_pass(self):
+        from repro.passes import o1_pipeline
+        module = compile_o0(LOOP_SOURCE)
+        seen = []
+        instrumentation = PassInstrumentation(
+            on_pass=lambda entry: seen.append(entry.name))
+        o1_pipeline(instrumentation=instrumentation).run(module)
+        assert seen == ["mem2reg", "simplify-cfg", "const-fold", "dce"]
+
+    def test_cli_time_passes_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        source = tmp_path / "kernel.c"
+        source.write_text(LOOP_SOURCE)
+        assert main(["decompile", str(source), "--time-passes"]) == 0
+        captured = capsys.readouterr()
+        assert "pass timing report" in captured.err
+        assert "mem2reg" in captured.err
+        assert "hit rate" in captured.err
+        assert "void kernel" in captured.out          # decompilation intact
+
+
+class TestRestorationStatsGuard:
+    def test_raises_clearly_before_decompile(self):
+        from repro.core import Splendid
+        module, _ = compile_parallel(LOOP_SOURCE, only=["kernel"])
+        splendid = Splendid(module, "full")
+        with pytest.raises(ValueError, match="before decompile"):
+            splendid.restoration_stats()
+
+    def test_works_after_decompile(self):
+        from repro.core import Splendid
+        module, _ = compile_parallel(LOOP_SOURCE, only=["kernel"])
+        splendid = Splendid(module, "full")
+        splendid.decompile_text()
+        stats = splendid.restoration_stats()
+        assert stats.total > 0

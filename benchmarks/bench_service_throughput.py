@@ -1,0 +1,120 @@
+"""Batch-service payoff: pooled fan-out and warm-cache sweeps.
+
+Runs the full PolyBench artifact sweep (compile -> -O2 -> parallelize
+-> all five decompilers, per kernel) three ways:
+
+* **serial** — the inline executor, one job after another in-process
+  (the pre-service behaviour of every entry point);
+* **pooled** — the multiprocessing pool, cold persistent cache;
+* **warm**   — the same sweep again from the artifact cache (a fresh
+  service and a fresh memory tier, so every hit is a disk hit).
+
+Reproduction criteria: the pooled sweep beats serial by >= 1.5x when
+the machine has >= 2 cores, and the warm rerun beats the cold pooled
+sweep by >= 5x everywhere.
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--quick]
+"""
+
+import argparse
+import multiprocessing
+import shutil
+import tempfile
+import time
+
+from repro.eval.pipeline import artifact_job
+from repro.polybench import all_benchmarks
+from repro.service import ArtifactCache, BatchService
+
+
+def _pool_size():
+    return max(2, min(4, multiprocessing.cpu_count()))
+
+
+def sweep(jobs, max_workers, cache_dir):
+    """One full sweep; returns (seconds, BatchResult)."""
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    with BatchService(max_workers=max_workers, cache=cache,
+                      timeout=120.0) as service:
+        start = time.perf_counter()
+        batch = service.run(jobs)
+        elapsed = time.perf_counter() - start
+    return elapsed, batch
+
+
+def measure(benches):
+    """(serial_s, pooled_s, warm_s, pooled_batch, warm_batch)."""
+    jobs = [artifact_job(bench) for bench in benches]
+    cache_dir = tempfile.mkdtemp(prefix="repro-service-bench-")
+    try:
+        serial_s, serial_batch = sweep(jobs, max_workers=0, cache_dir=None)
+        assert serial_batch.ok
+        pooled_s, pooled_batch = sweep(jobs, _pool_size(), cache_dir)
+        assert pooled_batch.ok
+        warm_s, warm_batch = sweep(jobs, _pool_size(), cache_dir)
+        assert warm_batch.ok
+        return serial_s, pooled_s, warm_s, pooled_batch, warm_batch
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def render(serial_s, pooled_s, warm_s, pooled_batch, warm_batch):
+    cores = multiprocessing.cpu_count()
+    lines = [
+        f"{'sweep':<14} {'time':>10} {'speedup':>9}   notes",
+        f"{'serial':<14} {serial_s * 1e3:>8.1f}ms {'1.00x':>9}   "
+        f"inline executor, no cache",
+        f"{'pooled':<14} {pooled_s * 1e3:>8.1f}ms "
+        f"{serial_s / pooled_s:>8.2f}x   "
+        f"{_pool_size()} workers on {cores} core(s), cold cache",
+        f"{'warm cache':<14} {warm_s * 1e3:>8.1f}ms "
+        f"{serial_s / warm_s:>8.2f}x   "
+        f"{warm_batch.report.cache_hits}/{warm_batch.report.total_jobs} "
+        f"hits ({warm_batch.report.hit_rate:.0%}), "
+        f"{pooled_s / warm_s:.1f}x vs cold pooled",
+    ]
+    return "\n".join(lines)
+
+
+def check(serial_s, pooled_s, warm_s, warm_batch, n_jobs):
+    assert warm_batch.report.cache_hits == n_jobs
+    assert warm_batch.report.hit_rate == 1.0
+    # Warm reruns skip the pipeline entirely.
+    assert pooled_s / warm_s >= 5.0, (
+        f"warm-cache sweep only {pooled_s / warm_s:.2f}x vs cold pooled")
+    # Fan-out only wins with real parallel hardware underneath.
+    if multiprocessing.cpu_count() >= 2:
+        assert serial_s / pooled_s >= 1.5, (
+            f"pooled sweep only {serial_s / pooled_s:.2f}x vs serial "
+            f"on {multiprocessing.cpu_count()} cores")
+
+
+def test_service_throughput(benchmark):
+    from conftest import run_once
+    benches = all_benchmarks()
+    serial_s, pooled_s, warm_s, pooled_batch, warm_batch = run_once(
+        benchmark, lambda: measure(benches))
+    print()
+    print(render(serial_s, pooled_s, warm_s, pooled_batch, warm_batch))
+    check(serial_s, pooled_s, warm_s, warm_batch, len(benches))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="measure serial vs pooled vs warm-cache sweeps")
+    parser.add_argument("--quick", action="store_true",
+                        help="only the first four kernels (smoke run)")
+    args = parser.parse_args(argv)
+    benches = all_benchmarks()
+    if args.quick:
+        benches = benches[:4]
+    serial_s, pooled_s, warm_s, pooled_batch, warm_batch = measure(benches)
+    print(render(serial_s, pooled_s, warm_s, pooled_batch, warm_batch))
+    check(serial_s, pooled_s, warm_s, warm_batch, len(benches))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,8 @@ def _load_module(path: str, defines, optimize: bool, parallelize: bool,
         if parallelize:
             parallelize_module(module,
                                enable_reductions=enable_reductions,
-                               analysis_manager=am)
+                               analysis_manager=am,
+                               instrumentation=instrumentation)
     verify_module(module, analysis_manager=am)
     return module
 
@@ -171,6 +172,65 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    import glob as globmod
+    import os
+    from .service import ArtifactCache, BatchService, Job, JobConfig
+
+    paths: List[str] = []
+    for pattern in args.files:
+        matches = sorted(globmod.glob(pattern, recursive=True))
+        paths.extend(matches if matches else [pattern])
+    seen = set()
+    paths = [p for p in paths if not (p in seen or seen.add(p))]
+    if not paths:
+        print("error: no input files", file=sys.stderr)
+        return 2
+
+    config = JobConfig(optimize=True, parallelize=not args.sequential,
+                       reductions=args.reductions, variant=args.variant,
+                       lint=args.lint)
+    defines = _parse_defines(args.define)
+    try:
+        jobs = [Job.from_file(path, defines, config) for path in paths]
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    # Same-stem files in different directories must not overwrite each
+    # other's outputs (or each other's rows in the report).
+    names = {}
+    for job in jobs:
+        count = names[job.name] = names.get(job.name, 0) + 1
+        if count > 1:
+            job.name = f"{job.name}.{count}"
+
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    service = BatchService(max_workers=args.jobs, cache=cache,
+                           timeout=args.timeout, max_retries=args.retries)
+    try:
+        batch = service.run(jobs)
+    finally:
+        service.close()
+
+    for result in batch.results:
+        if result.status.value == "failed":
+            print(f"error: {result.name}: {result.error}", file=sys.stderr)
+        elif args.out_dir:
+            os.makedirs(args.out_dir, exist_ok=True)
+            out_path = os.path.join(args.out_dir, f"{result.name}.dec.c")
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(result.text)
+        else:
+            print(f"// === {result.name} [{result.status.value}, "
+                  f"cache: {result.cache}] ===")
+            print(result.text)
+    print(batch.report.render_text(), file=sys.stderr)
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            handle.write(batch.report.render_json())
+    return 0 if batch.ok else 1
+
+
 REPORTS = {
     "table1": ("benchmarks table 1 (feature matrix)", None),
     "table3": ("loops parallelizable", "table3"),
@@ -189,6 +249,17 @@ def cmd_report(args) -> int:
                        render_table4, table3_loops, table4_loc)
     name = args.name
     benchmarks = args.benchmark or None
+    if args.jobs is not None or args.cache_dir:
+        # Fan artifact construction across cores (and the persistent
+        # cache) before the single-threaded rendering walks them.
+        from .eval import prewarm_artifacts
+        from .polybench import all_benchmarks, get
+        from .service import ArtifactCache, BatchService
+        benches = ([get(b) for b in benchmarks] if benchmarks
+                   else all_benchmarks())
+        cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+        with BatchService(max_workers=args.jobs, cache=cache) as service:
+            prewarm_artifacts(benches, service=service)
     if name == "fig6":
         print(render_figure6(figure6_speedups(benchmarks)))
     elif name == "fig7":
@@ -276,11 +347,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--parallelize", action="store_true")
     p_run.set_defaults(func=cmd_run)
 
+    p_batch = sub.add_parser(
+        "batch", help="decompile many files through the batch service")
+    p_batch.add_argument("files", nargs="+", metavar="FILE",
+                         help="mini-C / .ll files or glob patterns")
+    p_batch.add_argument("-D", "--define", action="append",
+                         metavar="NAME=VAL",
+                         help="macro definition applied to every job")
+    p_batch.add_argument("-j", "--jobs", type=int, default=None,
+                         help="worker processes (default: CPU count; "
+                              "0 runs jobs inline)")
+    p_batch.add_argument("--cache-dir", default=None,
+                         help="persistent artifact cache directory")
+    p_batch.add_argument("--timeout", type=float, default=60.0,
+                         help="per-job seconds before the worker is "
+                              "killed and the job retried")
+    p_batch.add_argument("--retries", type=int, default=2,
+                         help="full-config retries before degrading")
+    p_batch.add_argument("--variant", default="full",
+                         choices=("v1", "v2", "portable", "full"))
+    p_batch.add_argument("--sequential", action="store_true",
+                         help="skip the parallelizer")
+    p_batch.add_argument("--reductions", action="store_true")
+    p_batch.add_argument("--lint", action="store_true",
+                         help="verify every emitted pragma per job")
+    p_batch.add_argument("-o", "--out-dir", default=None,
+                         help="write <name>.dec.c files here instead of "
+                              "printing")
+    p_batch.add_argument("--report-json", default=None, metavar="FILE",
+                         help="write the service report as JSON")
+    p_batch.set_defaults(func=cmd_batch)
+
     p_report = sub.add_parser("report", help="regenerate a paper table/figure")
     p_report.add_argument("name", choices=sorted(
         k for k in REPORTS if k != "table1"))
     p_report.add_argument("-b", "--benchmark", action="append",
                           help="restrict to named benchmarks (repeatable)")
+    p_report.add_argument("-j", "--jobs", type=int, default=None,
+                          help="prewarm artifacts through the batch "
+                               "service with this many workers")
+    p_report.add_argument("--cache-dir", default=None,
+                          help="persistent artifact cache directory for "
+                               "the prewarm")
     p_report.set_defaults(func=cmd_report)
     return parser
 

@@ -41,19 +41,54 @@ class SessionResult:
 
 
 class CollaborationSession:
+    """One compile -> decompile -> edit -> recompile loop.
+
+    ``cache`` (a :class:`repro.service.ArtifactCache`) makes the two
+    compiler-facing steps — the initial build and every
+    :meth:`recompile` — reuse previously-built IR: a session reopened
+    on the same source (or an edit recompiled twice) skips the -O2 and
+    parallelizer pipelines entirely by re-parsing the cached printed
+    IR, which round-trips exactly.
+    """
+
     def __init__(self, source: str, defines: Optional[Dict[str, str]] = None,
                  kernel_functions: Optional[List[str]] = None,
-                 machine: Optional[MachineModel] = None):
+                 machine: Optional[MachineModel] = None,
+                 cache=None):
         self.source = source
         self.defines = dict(defines or {})
         self.machine = machine or MachineModel()
-        self.module = compile_source(source, self.defines)
-        optimize_o2(self.module)
-        self.polly = parallelize_module(self.module,
-                                        only_functions=kernel_functions)
+        self.cache = cache
+        self.module, self.polly = self._build_parallel(
+            source, kernel_functions)
         self.splendid = Splendid(self.module, "full")
         self.unit = self.splendid.decompile()
         self._edits: List[str] = []
+
+    def _build_parallel(self, source: str,
+                        kernel_functions: Optional[List[str]]):
+        from ..ir.printer import print_module
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(
+                source, self.defines,
+                {"kernel_functions": kernel_functions}, kind="collab-build")
+            payload = self.cache.get(key)
+            if payload is not None:
+                from ..ir.parser import parse_ir
+                from ..service.worker import polly_result_from_payload
+                return (parse_ir(payload["par_ir"]),
+                        polly_result_from_payload(payload.get("polly")))
+        module = compile_source(source, self.defines)
+        optimize_o2(module)
+        polly = parallelize_module(module, only_functions=kernel_functions)
+        if key is not None:
+            from ..service.worker import outcome_to_dict
+            self.cache.put(key, {
+                "par_ir": print_module(module),
+                "polly": [outcome_to_dict(o) for o in polly.outcomes],
+            })
+        return module, polly
 
     # Programmer-facing surface --------------------------------------------------
 
@@ -74,8 +109,19 @@ class CollaborationSession:
 
     def recompile(self) -> Module:
         text = print_unit(self.unit)
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(text, self.defines, {},
+                                     kind="collab-recompile")
+            payload = self.cache.get(key)
+            if payload is not None:
+                from ..ir.parser import parse_ir
+                return parse_ir(payload["ir"])
         module = compile_source(text, self.defines, "collab")
         optimize_o2(module)
+        if key is not None:
+            from ..ir.printer import print_module
+            self.cache.put(key, {"ir": print_module(module)})
         return module
 
     def evaluate(self, entry: str = "main", kernel: str = "kernel",

@@ -4,10 +4,11 @@ from .experiments import (Figure6, Figure7, Figure8, Figure9, Table3, Table4,
                           figure6_speedups, figure7_bleu,
                           figure8_restoration, figure9_collaboration, geomean,
                           table3_loops, table4_loc, TOOLS)
-from .pipeline import (BenchmarkArtifacts, SpeedupRow, artifacts_for,
-                       build_openmp, build_parallel, build_sequential,
-                       clear_cache, compile_c, kernel_time, program_output,
-                       speedups_for)
+from .pipeline import (BenchmarkArtifacts, SpeedupRow, artifact_job,
+                       artifacts_for, artifacts_from_payload, build_openmp,
+                       build_parallel, build_sequential, clear_cache,
+                       compile_c, kernel_time, prewarm_artifacts,
+                       program_output, speedups_for)
 from .reporting import (render_figure6, render_figure7, render_figure8,
                         render_figure9, render_table3, render_table4)
 
@@ -16,9 +17,10 @@ __all__ = [
     "figure6_speedups", "figure7_bleu", "figure8_restoration",
     "figure9_collaboration", "geomean", "table3_loops", "table4_loc",
     "TOOLS",
-    "BenchmarkArtifacts", "SpeedupRow", "artifacts_for", "build_openmp",
-    "build_parallel", "build_sequential", "clear_cache", "compile_c",
-    "kernel_time", "program_output", "speedups_for",
+    "BenchmarkArtifacts", "SpeedupRow", "artifact_job", "artifacts_for",
+    "artifacts_from_payload", "build_openmp", "build_parallel",
+    "build_sequential", "clear_cache", "compile_c", "kernel_time",
+    "prewarm_artifacts", "program_output", "speedups_for",
     "render_figure6", "render_figure7", "render_figure8", "render_figure9",
     "render_table3", "render_table4",
 ]

@@ -67,7 +67,8 @@ def build_parallel(bench: Benchmark, analysis_manager=None,
                        instrumentation=instrumentation)
     result = parallelize_module(module,
                                 only_functions=list(bench.kernel_functions),
-                                analysis_manager=am)
+                                analysis_manager=am,
+                                instrumentation=instrumentation)
     return module, result
 
 
@@ -109,11 +110,61 @@ class BenchmarkArtifacts:
 
 _CACHE: Dict[str, BenchmarkArtifacts] = {}
 
+#: Decompilers the artifact bundle carries besides the 'full' variant.
+_ARTIFACT_TOOLS = ("rellic", "ghidra", "splendid-v1", "splendid-portable")
 
-def artifacts_for(bench: Benchmark, refresh: bool = False) -> BenchmarkArtifacts:
-    """Build (or fetch cached) modules and decompilations for a benchmark."""
+
+def artifact_job(bench: Benchmark):
+    """The :class:`repro.service.Job` producing a benchmark's bundle."""
+    from ..service import Job, JobConfig
+    return Job(
+        name=bench.name,
+        source=bench.sequential_source,
+        defines=dict(bench.defines),
+        config=JobConfig(variant="full", tools=_ARTIFACT_TOOLS,
+                         emit_ir=True,
+                         only_functions=tuple(bench.kernel_functions)))
+
+
+def artifacts_from_payload(bench: Benchmark,
+                           payload: dict) -> BenchmarkArtifacts:
+    """Reconstruct :class:`BenchmarkArtifacts` from a service payload.
+
+    Modules are rebuilt by parsing the worker's printed IR (an exact
+    round-trip: same interpretation, same decompilation); the `full`
+    Splendid instance is re-instantiated over the parallel module and
+    decompiled once so restoration stats keep working.
+    """
+    from ..ir.parser import parse_ir
+    from ..service.worker import polly_result_from_payload
+    sequential = parse_ir(payload["seq_ir"])
+    parallel = parse_ir(payload["par_ir"])
+    polly = polly_result_from_payload(payload.get("polly"))
+    splendid_full = Splendid(parallel, "full")
+    splendid_full.decompile_text()
+    return BenchmarkArtifacts(bench, sequential, parallel, polly,
+                              dict(payload["decompiled"]), splendid_full)
+
+
+def artifacts_for(bench: Benchmark, refresh: bool = False,
+                  service=None) -> BenchmarkArtifacts:
+    """Build (or fetch cached) modules and decompilations for a benchmark.
+
+    With a :class:`repro.service.BatchService`, construction is routed
+    through the service (and its persistent artifact cache); without
+    one it runs in-process as before.
+    """
     if not refresh and bench.name in _CACHE:
         return _CACHE[bench.name]
+    if service is not None:
+        result = service.run_one(artifact_job(bench))
+        if result.status.value != "ok":
+            raise BuildError(
+                f"service failed to build artifacts for {bench.name}: "
+                f"{result.error}")
+        artifacts = artifacts_from_payload(bench, result.payload)
+        _CACHE[bench.name] = artifacts
+        return artifacts
     from ..decompilers import ghidra, rellic
     sequential = build_sequential(bench)
     parallel, polly = build_parallel(bench)
@@ -129,6 +180,33 @@ def artifacts_for(bench: Benchmark, refresh: bool = False) -> BenchmarkArtifacts
                                    decompiled, splendid_full)
     _CACHE[bench.name] = artifacts
     return artifacts
+
+
+def prewarm_artifacts(benchmarks=None, service=None):
+    """Fan a batch of artifact jobs across the service's pool.
+
+    Fills the in-process artifact memo for every benchmark whose job
+    succeeded (fully; a degraded bundle would misrepresent Polly), so
+    the report generators that follow run entirely off warm artifacts.
+    Returns the batch's :class:`repro.service.ServiceReport`.
+    """
+    from ..polybench import all_benchmarks
+    from ..service import BatchService
+    benches = list(benchmarks) if benchmarks is not None \
+        else all_benchmarks()
+    owned = service is None
+    service = service or BatchService()
+    try:
+        todo = [b for b in benches if b.name not in _CACHE]
+        batch = service.run([artifact_job(b) for b in todo])
+        for bench, result in zip(todo, batch.results):
+            if result.status.value == "ok":
+                _CACHE[bench.name] = artifacts_from_payload(bench,
+                                                            result.payload)
+        return batch.report
+    finally:
+        if owned:
+            service.close()
 
 
 def clear_cache() -> None:

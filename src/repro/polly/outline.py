@@ -31,7 +31,6 @@ these steps.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -48,7 +47,24 @@ from ..ir.values import (Argument, Constant, ConstantInt, GlobalVariable,
 from .runtime_decls import (declare_fork_call, declare_static_fini,
                             declare_static_init)
 
-_outline_ids = itertools.count()
+def _next_outline_id(module: Module) -> int:
+    """Deterministic per-module microtask id.
+
+    A process-global counter would make outlined names (and therefore
+    every decompiled artifact) depend on how many modules the process
+    parallelized before — unusable for the content-addressed artifact
+    cache and for reproducible batch output.  Counting the module's own
+    microtasks keeps names stable across processes and runs.
+    """
+    used = set()
+    for function in module.functions.values():
+        _, sep, suffix = function.name.rpartition(".omp_outlined.")
+        if sep and suffix.isdigit():
+            used.add(int(suffix))
+    next_id = len(used)
+    while next_id in used:       # paranoia against gaps from renames
+        next_id += 1
+    return next_id
 
 
 class OutlineError(Exception):
@@ -151,7 +167,7 @@ def outline_parallel_loop(module: Module, counted: CountedLoop,
     ub64 = _inclusive_bound(insert_builder, counted, bound64)
 
     # --- Microtask skeleton. ---
-    outline_id = next(_outline_ids)
+    outline_id = _next_outline_id(module)
     name = f"{caller.name}.omp_outlined.{outline_id}"
     param_types = [ir_ty.I32, ir_ty.I32, ir_ty.I64, ir_ty.I64]
     param_names = ["tid", "ntid", "lb", "ub"]

@@ -318,38 +318,93 @@ def _next_candidate(loops: List[Loop], attempted) -> Optional[Loop]:
     return None
 
 
+def _timed_phase(instrumentation, am: AnalysisManager, module: Module,
+                 name: str, fn, verify_fn=None):
+    """Run one parallelizer phase, recording a PassTiming when asked.
+
+    Mirrors what :class:`~repro.passes.pass_manager.PassManager` records
+    per pass (wall time, verify time, analysis-cache deltas, IR size
+    deltas), so ``--time-passes`` reports cover the parallelizer too.
+    """
+    import time
+    if instrumentation is None:
+        changed = fn()
+        if verify_fn is not None:
+            verify_fn()
+        return changed
+    from ..passes.pass_manager import PassTiming, _ir_size
+    blocks_before, insts_before = _ir_size(module)
+    stats_before = am.stats.snapshot()
+    started = time.perf_counter()
+    changed = fn()
+    elapsed = time.perf_counter() - started
+    verify_elapsed = 0.0
+    if verify_fn is not None:
+        verify_started = time.perf_counter()
+        verify_fn()
+        verify_elapsed = time.perf_counter() - verify_started
+    blocks_after, insts_after = _ir_size(module)
+    delta = am.stats.since(stats_before)
+    instrumentation.record(PassTiming(
+        name=name, seconds=elapsed, verify_seconds=verify_elapsed,
+        changed=bool(changed), cache_hits=delta.hits,
+        cache_misses=delta.misses, invalidations=delta.invalidations,
+        blocks_before=blocks_before, blocks_after=blocks_after,
+        instructions_before=insts_before, instructions_after=insts_after))
+    return changed
+
+
 def parallelize_module(module: Module, verify: bool = True,
                        only_functions: Optional[List[str]] = None,
                        min_profitable_cost: float = MIN_PROFITABLE_COST,
                        enable_reductions: bool = False,
-                       analysis_manager: Optional[AnalysisManager] = None
-                       ) -> PollyResult:
+                       analysis_manager: Optional[AnalysisManager] = None,
+                       instrumentation=None) -> PollyResult:
     """Run the parallelizer on every (or selected) defined function.
 
     ``enable_reductions`` turns on the §7 extension: scalar accumulator
     phis are demoted to shared slots and reassociable reduction chains
     are tolerated by the legality test (and later decompiled by SPLENDID
-    as ``reduction(...)`` clauses).
+    as ``reduction(...)`` clauses).  ``instrumentation`` (a
+    :class:`~repro.passes.PassInstrumentation`) appends the
+    parallelizer's phases to the same report the optimizer feeds.
     """
     am = analysis_manager or AnalysisManager()
     result = PollyResult()
-    for function in list(module.defined_functions()):
-        if function.is_outlined_parallel_region:
-            continue
-        if only_functions is not None and function.name not in only_functions:
-            continue
-        parallelize_function(module, function, result, min_profitable_cost,
-                             enable_reductions, analysis_manager=am)
-    # Post-outlining cleanup only rewrites instructions inside functions
-    # it changes; invalidate those so the verifier below re-derives its
-    # dominator trees only where needed.
-    for function in list(module.defined_functions()):
-        if const_fold.run_function(function):
-            am.invalidate(function, PreservedAnalyses.cfg())
-        if simplify_cfg.simplify_function(function):
-            am.invalidate(function)
-        if dce.run_function(function):
-            am.invalidate(function, PreservedAnalyses.cfg())
-    if verify:
-        verify_module(module, analysis_manager=am)
+
+    def run_parallelize():
+        for function in list(module.defined_functions()):
+            if function.is_outlined_parallel_region:
+                continue
+            if (only_functions is not None
+                    and function.name not in only_functions):
+                continue
+            parallelize_function(module, function, result,
+                                 min_profitable_cost, enable_reductions,
+                                 analysis_manager=am)
+        return bool(result.parallel_loops)
+
+    def run_cleanup():
+        # Post-outlining cleanup only rewrites instructions inside
+        # functions it changes; invalidate those so the verifier below
+        # re-derives its dominator trees only where needed.
+        changed = False
+        for function in list(module.defined_functions()):
+            if const_fold.run_function(function):
+                am.invalidate(function, PreservedAnalyses.cfg())
+                changed = True
+            if simplify_cfg.simplify_function(function):
+                am.invalidate(function)
+                changed = True
+            if dce.run_function(function):
+                am.invalidate(function, PreservedAnalyses.cfg())
+                changed = True
+        return changed
+
+    _timed_phase(instrumentation, am, module, "polly-parallelize",
+                 run_parallelize)
+    _timed_phase(instrumentation, am, module, "polly-cleanup", run_cleanup,
+                 verify_fn=((lambda: verify_module(module,
+                                                   analysis_manager=am))
+                            if verify else None))
     return result

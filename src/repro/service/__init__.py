@@ -1,0 +1,41 @@
+"""repro.service — a fault-isolated batch decompilation service.
+
+The interactive entry points (CLI, eval harness, collab sessions) all
+run one translation unit at a time, in-process.  This package puts a
+service layer in front of the same pipeline:
+
+* :mod:`repro.service.job`       — the job model: source text (mini-C
+  or textual IR) plus a pipeline config (optimize / parallelize /
+  reductions / variant / lint), and the structured result record;
+* :mod:`repro.service.cache`     — a persistent content-addressed
+  artifact cache (in-memory LRU tier over a disk tier) keyed on
+  (source hash, config, pipeline version), so repeat jobs skip the
+  compile -> parallelize -> decompile pipeline entirely;
+* :mod:`repro.service.worker`    — the per-process job executor (the
+  only code that runs inside pool workers);
+* :mod:`repro.service.scheduler` — :class:`BatchService`: a
+  multiprocessing worker pool with per-job timeouts, retry-with-backoff
+  and a degradation ladder (retry without parallelization, then a
+  structured failure record — a crashing job never takes the sweep
+  down with it);
+* :mod:`repro.service.reporting` — per-job telemetry aggregated into a
+  :class:`ServiceReport` with text/JSON renderers in the style of
+  :class:`repro.passes.PassTimingReport`.
+
+``repro batch`` is the CLI surface; ``repro.eval.pipeline`` and
+``repro.collab`` reuse the cache and the pool programmatically.
+"""
+
+from .cache import (ArtifactCache, ArtifactCacheStats, pipeline_fingerprint)
+from .job import Job, JobConfig, JobResult, JobStatus
+from .reporting import JobTelemetry, ServiceReport
+from .scheduler import BatchResult, BatchService
+from .worker import execute_job
+
+__all__ = [
+    "ArtifactCache", "ArtifactCacheStats", "pipeline_fingerprint",
+    "Job", "JobConfig", "JobResult", "JobStatus",
+    "JobTelemetry", "ServiceReport",
+    "BatchResult", "BatchService",
+    "execute_job",
+]

@@ -1,0 +1,228 @@
+"""Persistent content-addressed artifact cache.
+
+Keys are SHA-256 digests over (source text, defines, job config, job
+kind, pipeline version); payloads are the JSON job payloads the worker
+produces.  Two tiers:
+
+* an in-memory LRU (``memory_entries`` most recent payloads) serving
+  repeat lookups within one service lifetime;
+* a disk tier under ``cache_dir`` (``<key[:2]>/<key>.json``, written
+  atomically) surviving across processes and sessions.
+
+Every disk entry is stamped with the *pipeline fingerprint* — a hash
+of the -O2 pass pipeline, the parallelizer's profitability threshold,
+and every SPLENDID variant's decompiler options, plus a schema
+version.  A fingerprint mismatch (an entry written before a pipeline
+change) or a corrupt/truncated file is **evicted, never raised**: the
+lookup degrades to a miss and the pipeline recomputes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Bump when the cache entry layout itself changes shape.
+SCHEMA_VERSION = 1
+
+_FINGERPRINT: Optional[str] = None
+
+
+def pipeline_fingerprint() -> str:
+    """Version stamp for cache entries: hashes the pass pipeline.
+
+    Derived from the registered -O2 pass names, the parallelizer's
+    profitability threshold, and the decompiler options of every
+    SPLENDID variant — so adding a pass, retuning Polly, or changing
+    an emitter flag automatically invalidates every stale entry
+    without anyone remembering to bump a constant.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        from ..core.pipeline import VARIANTS, options_for
+        from ..passes.pipeline import o2_pipeline
+        from ..polly.parallelizer import MIN_PROFITABLE_COST
+        passes = [p.name for p in o2_pipeline(verify_each=False)._passes]
+        variants = {v: dataclasses.asdict(options_for(v)) for v in VARIANTS}
+        blob = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "passes": passes,
+            "polly_min_cost": MIN_PROFITABLE_COST,
+            "variants": variants,
+        }, sort_keys=True, default=str)
+        _FINGERPRINT = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    return _FINGERPRINT
+
+
+@dataclass
+class ArtifactCacheStats:
+    """Lifetime counters (evictions = version-mismatched or corrupt
+    disk entries removed during lookup; LRU drops count separately)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    lru_evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "lru_evictions": self.lru_evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ArtifactCache:
+    """Two-tier (LRU memory over disk) content-addressed payload cache.
+
+    ``cache_dir=None`` keeps the memory tier only — handy for tests
+    and for sessions that want reuse without touching the filesystem.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 memory_entries: int = 256,
+                 version: Optional[str] = None):
+        self.cache_dir = cache_dir
+        self.memory_entries = memory_entries
+        self.version = version or pipeline_fingerprint()
+        self.stats = ArtifactCacheStats()
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+
+    # Keys ---------------------------------------------------------------------
+
+    def key_for(self, source: str, defines: Optional[Dict[str, str]],
+                config, kind: str = "decompile",
+                extra: Optional[dict] = None) -> str:
+        """Content address of one request (includes the version stamp).
+
+        ``config`` may be a :class:`~repro.service.job.JobConfig` or a
+        plain dict; ``extra`` folds in anything else that changes the
+        answer (e.g. a seeded-fault spec under test).
+        """
+        config_dict = (config.to_dict() if hasattr(config, "to_dict")
+                       else dict(config or {}))
+        blob = json.dumps({
+            "kind": kind,
+            "source": source,
+            "defines": dict(defines or {}),
+            "config": config_dict,
+            "extra": extra,
+            "version": self.version,
+        }, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def key_for_job(self, job) -> str:
+        return self.key_for(job.source, job.defines, job.config,
+                            kind="ir" if job.is_ir else "decompile",
+                            extra=({"fault": job.fault} if job.fault
+                                   else None))
+
+    # Lookup / store -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """Payload for ``key``, or None.  Never raises on bad entries."""
+        tier, payload = self.get_with_tier(key)
+        return payload if tier else None
+
+    def get_with_tier(self, key: str):
+        """(tier, payload): tier is ``"memory"``, ``"disk"`` or None."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return "memory", self._memory[key]
+        payload = self._load_disk(key)
+        if payload is not None:
+            self.stats.disk_hits += 1
+            self._remember(key, payload)
+            return "disk", payload
+        self.stats.misses += 1
+        return None, None
+
+    def put(self, key: str, payload: dict) -> None:
+        self.stats.stores += 1
+        self._remember(key, payload)
+        if self.cache_dir is None:
+            return
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"version": self.version, "key": key, "payload": payload}
+        # Atomic write: a reader (or a crash) can never observe a
+        # half-written entry — it either sees the old file or the new.
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            # A payload that cannot be serialized (or a full disk) only
+            # costs persistence, never the batch.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear_memory(self) -> None:
+        """Drop the LRU tier (disk entries stay)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # Internals ----------------------------------------------------------------
+
+    def _remember(self, key: str, payload: dict) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.lru_evictions += 1
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    def _load_disk(self, key: str) -> Optional[dict]:
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if (not isinstance(entry, dict)
+                    or entry.get("version") != self.version
+                    or entry.get("key") != key
+                    or not isinstance(entry.get("payload"), dict)):
+                raise ValueError("stale or malformed cache entry")
+            return entry["payload"]
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError, UnicodeDecodeError):
+            # Corrupt, truncated, or written by a different pipeline
+            # version: evict so the slot is clean for the recompute.
+            self.stats.evictions += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None

@@ -1,0 +1,164 @@
+"""The batch-service job model.
+
+A :class:`Job` is one decompilation request: source text (mini-C or
+textual ``.ll`` IR) plus a :class:`JobConfig` describing the pipeline
+to run over it.  A :class:`JobResult` is what the service hands back:
+a structured record that is *always* produced — successful payload,
+degraded payload, or a failure record — never an exception escaping
+the batch.
+
+Everything here round-trips through plain dicts (``to_dict`` /
+``from_dict``) so jobs can cross process boundaries under any
+multiprocessing start method and payloads can live in the on-disk
+artifact cache as JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from .reporting import JobTelemetry
+
+
+class JobStatus(enum.Enum):
+    OK = "ok"                 # full pipeline succeeded (or cache hit)
+    DEGRADED = "degraded"     # succeeded only after dropping parallelization
+    FAILED = "failed"         # retry + degradation budget exhausted
+
+    def __str__(self) -> str:  # telemetry tables print the bare value
+        return self.value
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Pipeline configuration for one job (part of the cache key).
+
+    ``tools`` names extra decompilers to run besides the primary
+    SPLENDID ``variant``: any of ``rellic`` / ``ghidra`` / ``cbackend``
+    or another SPLENDID variant spelled ``splendid-v1`` /
+    ``splendid-portable`` / ``splendid``.  ``emit_ir`` additionally
+    returns the printed sequential and parallel IR (what the eval
+    harness reconstructs :class:`~repro.ir.module.Module` objects
+    from).
+    """
+
+    optimize: bool = True
+    parallelize: bool = True
+    reductions: bool = False
+    variant: str = "full"
+    lint: bool = False
+    tools: Tuple[str, ...] = ()
+    emit_ir: bool = False
+    only_functions: Optional[Tuple[str, ...]] = None
+
+    def degraded(self) -> "JobConfig":
+        """The config of the degradation ladder's last rung."""
+        return replace(self, parallelize=False, reductions=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "optimize": self.optimize,
+            "parallelize": self.parallelize,
+            "reductions": self.reductions,
+            "variant": self.variant,
+            "lint": self.lint,
+            "tools": list(self.tools),
+            "emit_ir": self.emit_ir,
+            "only_functions": (None if self.only_functions is None
+                               else list(self.only_functions)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobConfig":
+        return cls(
+            optimize=data.get("optimize", True),
+            parallelize=data.get("parallelize", True),
+            reductions=data.get("reductions", False),
+            variant=data.get("variant", "full"),
+            lint=data.get("lint", False),
+            tools=tuple(data.get("tools") or ()),
+            emit_ir=data.get("emit_ir", False),
+            only_functions=(None if data.get("only_functions") is None
+                            else tuple(data["only_functions"])),
+        )
+
+
+@dataclass
+class Job:
+    """One batch request: a translation unit plus its pipeline config.
+
+    ``fault`` is a test-only seeded-fault spec interpreted by the
+    worker (see :func:`repro.service.worker.apply_fault`); production
+    jobs leave it ``None``.  Faulted jobs are cache-keyed separately so
+    a seeded crash can never be satisfied from a clean entry.
+    """
+
+    name: str
+    source: str
+    defines: Dict[str, str] = field(default_factory=dict)
+    is_ir: bool = False
+    config: JobConfig = field(default_factory=JobConfig)
+    fault: Optional[dict] = None
+
+    @classmethod
+    def from_file(cls, path: str, defines: Optional[Dict[str, str]] = None,
+                  config: Optional[JobConfig] = None) -> "Job":
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        stem = os.path.splitext(os.path.basename(path))[0]
+        return cls(name=stem, source=text, defines=dict(defines or {}),
+                   is_ir=path.endswith(".ll"),
+                   config=config or JobConfig())
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "defines": dict(self.defines),
+            "is_ir": self.is_ir,
+            "config": self.config.to_dict(),
+            "fault": self.fault,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        return cls(
+            name=data["name"],
+            source=data["source"],
+            defines=dict(data.get("defines") or {}),
+            is_ir=data.get("is_ir", False),
+            config=JobConfig.from_dict(data.get("config") or {}),
+            fault=data.get("fault"),
+        )
+
+
+@dataclass
+class JobResult:
+    """The service's per-job answer: payload or structured failure.
+
+    ``cache`` records which tier served the job: ``memory``, ``disk``,
+    ``miss`` (executed, cache enabled) or ``off`` (cache disabled).
+    ``error`` carries the *last* failure message — still present on
+    degraded results, where it explains why the full config lost.
+    """
+
+    name: str
+    status: JobStatus
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    degraded: bool = False
+    cache: str = "off"
+    telemetry: Optional[JobTelemetry] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not JobStatus.FAILED
+
+    @property
+    def text(self) -> Optional[str]:
+        """The primary decompiled C text (None for failures)."""
+        return None if self.payload is None else self.payload.get("text")

@@ -1,0 +1,159 @@
+"""Service telemetry: per-job records and the aggregate report.
+
+Mirrors the shape of :class:`repro.passes.PassTimingReport`: a list of
+per-item records with a slowest-first text table and a stable JSON
+form, plus batch-level aggregates (cache hit rate, retries, worker
+restarts, throughput).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class JobTelemetry:
+    """What the scheduler observed about one job.
+
+    ``queue_seconds`` is submit -> first attempt start; ``run_seconds``
+    spans first attempt start -> final outcome (so it includes backoff
+    waits and degraded retries).  ``restarts`` counts pool workers this
+    job killed (timeouts and crashes); in-worker exceptions retry on a
+    live worker and cost no restart.
+    """
+
+    name: str
+    status: str
+    attempts: int = 0
+    restarts: int = 0
+    degraded: bool = False
+    cache: str = "off"
+    queue_seconds: float = 0.0
+    run_seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache in ("memory", "disk")
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "restarts": self.restarts,
+            "degraded": self.degraded,
+            "cache": self.cache,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+            "error": self.error,
+        }
+
+
+class ServiceReport:
+    """Batch-level telemetry with text and JSON renderers."""
+
+    def __init__(self, workers: int = 0):
+        self.entries: List[JobTelemetry] = []
+        self.workers = workers
+        self.wall_seconds = 0.0
+        self.worker_restarts = 0
+        self.cache_stats: Optional[dict] = None   # lifetime ArtifactCache stats
+
+    def add(self, entry: JobTelemetry) -> None:
+        self.entries.append(entry)
+
+    # Aggregates ---------------------------------------------------------------
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.entries)
+
+    def _count(self, status: str) -> int:
+        return sum(1 for e in self.entries if e.status == status)
+
+    @property
+    def ok_jobs(self) -> int:
+        return self._count("ok")
+
+    @property
+    def degraded_jobs(self) -> int:
+        return self._count("degraded")
+
+    @property
+    def failed_jobs(self) -> int:
+        return self._count("failed")
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.entries if e.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for e in self.entries if e.cache == "miss")
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def total_retries(self) -> int:
+        return sum(e.retries for e in self.entries)
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per second of batch wall time."""
+        return self.total_jobs / self.wall_seconds if self.wall_seconds else 0.0
+
+    # Renderers ----------------------------------------------------------------
+
+    def render_text(self) -> str:
+        """A pass-timing-style table, slowest job first."""
+        header = (f"{'job':<20} {'status':<9} {'tries':>5} {'restarts':>8} "
+                  f"{'cache':<7} {'queue(ms)':>10} {'run(ms)':>9}")
+        lines = ["=== service report ===", header, "-" * len(header)]
+        for e in sorted(self.entries, key=lambda e: -e.run_seconds):
+            lines.append(
+                f"{e.name:<20} {e.status:<9} {e.attempts:>5} {e.restarts:>8} "
+                f"{e.cache:<7} {e.queue_seconds * 1e3:>10.1f} "
+                f"{e.run_seconds * 1e3:>9.1f}")
+        lines.append("-" * len(header))
+        lines.append(
+            f"total: {self.total_jobs} jobs ({self.ok_jobs} ok, "
+            f"{self.degraded_jobs} degraded, {self.failed_jobs} failed) "
+            f"in {self.wall_seconds * 1e3:.1f} ms "
+            f"({self.throughput:.1f} jobs/s, pool={self.workers}); "
+            f"cache {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.hit_rate:.0%} hit rate); "
+            f"{self.total_retries} retries, "
+            f"{self.worker_restarts} worker restarts")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "jobs": [e.to_dict() for e in self.entries],
+            "total_jobs": self.total_jobs,
+            "ok": self.ok_jobs,
+            "degraded": self.degraded_jobs,
+            "failed": self.failed_jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "retries": self.total_retries,
+            "worker_restarts": self.worker_restarts,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "throughput": self.throughput,
+            "cache_stats": self.cache_stats,
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)

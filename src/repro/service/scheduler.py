@@ -1,0 +1,409 @@
+"""The batch scheduler: a fault-isolated multiprocessing worker pool.
+
+:class:`BatchService` accepts a list of :class:`~repro.service.job
+.Job` and returns a :class:`BatchResult` — one structured
+:class:`~repro.service.job.JobResult` per job, in submission order,
+plus an aggregate :class:`~repro.service.reporting.ServiceReport`.
+
+Fault model (the reason this exists):
+
+* every attempt runs under a **per-job timeout**; a worker that hangs
+  past it is killed (``terminate`` then ``kill``) and replaced — the
+  pool itself never wedges;
+* a worker that **crashes** (nonzero exit, ``os._exit``, OOM-kill)
+  surfaces as EOF on its pipe; the job is charged, the worker is
+  replaced, and later jobs are unaffected;
+* a job that **raises** inside a healthy worker just reports the
+  error — the worker stays up;
+* failures walk a ladder: retry with exponential backoff up to
+  ``max_retries``, then (for parallelizing jobs) one **degraded**
+  attempt with parallelization disabled, then a structured failure
+  record.  ``run()`` never raises because of a job.
+
+``max_workers=0`` executes jobs inline (no subprocesses): same
+ladder, same telemetry, but no timeout/crash isolation — the mode the
+serial baselines and quick scripts use.  Results of fully-successful
+runs are stored in the :class:`~repro.service.cache.ArtifactCache`
+(when configured); cache hits short-circuit scheduling entirely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Deque, List, Optional
+
+from .cache import ArtifactCache
+from .job import Job, JobResult, JobStatus
+from .reporting import JobTelemetry, ServiceReport
+from .worker import STOP, execute_job, worker_main
+
+#: Hard floor for terminate->kill escalation when reaping a worker.
+_REAP_GRACE = 2.0
+
+
+@dataclass
+class _PendingJob:
+    """Scheduler-side state for one not-yet-finished job."""
+
+    job: Job
+    index: int
+    key: Optional[str]
+    attempts: int = 0                 # attempts actually started
+    degraded: bool = False            # on the ladder's last rung
+    restarts: int = 0                 # workers this job took down
+    not_before: float = 0.0           # backoff gate (monotonic)
+    submitted_at: float = 0.0
+    first_started_at: Optional[float] = None
+    last_error: Optional[str] = None
+
+
+class _Worker:
+    """One pool slot: a process plus its duplex pipe."""
+
+    def __init__(self, ctx):
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=worker_main, args=(child_conn,),
+                                daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.current: Optional[_PendingJob] = None
+        self.deadline: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    def assign(self, pending: _PendingJob, timeout: float) -> None:
+        self.current = pending
+        self.deadline = time.monotonic() + timeout
+        self.conn.send((pending.job.to_dict(), pending.attempts,
+                        pending.degraded))
+
+    def reap(self) -> None:
+        """Forcibly stop the process and close the pipe."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(_REAP_GRACE)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(_REAP_GRACE)
+
+    def stop(self) -> None:
+        """Ask the process to exit cleanly, then make sure it did."""
+        try:
+            self.conn.send(STOP)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(0.5)
+        self.reap()
+
+
+@dataclass
+class BatchResult:
+    """Everything one ``run()`` produced, in submission order."""
+
+    results: List[JobResult] = field(default_factory=list)
+    report: ServiceReport = field(default_factory=ServiceReport)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self):
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def by_name(self, name: str) -> JobResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+
+class BatchService:
+    """Schedules jobs onto a pool with retries, degradation and cache.
+
+    ``max_workers=None`` sizes the pool to ``os.cpu_count()``;
+    ``max_workers=0`` runs inline.  ``max_retries`` is the number of
+    *extra* full-config attempts after the first; the degraded rung
+    (parallelization off) adds at most one more.  One service may run
+    several batches; workers and the cache's memory tier stay warm in
+    between.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache: Optional[ArtifactCache] = None,
+                 timeout: float = 60.0,
+                 max_retries: int = 2,
+                 backoff: float = 0.05,
+                 degrade: bool = True,
+                 start_method: Optional[str] = None):
+        if max_workers is None:
+            max_workers = mp.cpu_count()
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        self.max_workers = max_workers
+        self.cache = cache
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.degrade = degrade
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else None)
+        self._ctx = mp.get_context(start_method)
+        self._workers: List[_Worker] = []
+        self.worker_restarts = 0    # lifetime, across batches
+
+    # Lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+
+    def __enter__(self) -> "BatchService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # Submission ---------------------------------------------------------------
+
+    def run_one(self, job: Job) -> JobResult:
+        return self.run([job]).results[0]
+
+    def run(self, jobs: List[Job]) -> BatchResult:
+        report = ServiceReport(workers=self.max_workers)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: Deque[_PendingJob] = deque()
+        started = time.monotonic()
+        restarts_before = self.worker_restarts
+
+        for index, job in enumerate(jobs):
+            key = (self.cache.key_for_job(job)
+                   if self.cache is not None else None)
+            if key is not None:
+                lookup_started = time.monotonic()
+                tier, payload = self.cache.get_with_tier(key)
+                if tier:
+                    results[index] = JobResult(
+                        name=job.name, status=JobStatus.OK, payload=payload,
+                        cache=tier, telemetry=JobTelemetry(
+                            name=job.name, status="ok", cache=tier,
+                            run_seconds=time.monotonic() - lookup_started))
+                    continue
+            pending.append(_PendingJob(job=job, index=index, key=key,
+                                       submitted_at=time.monotonic()))
+
+        if pending:
+            if self.max_workers == 0:
+                self._run_inline(pending, results)
+            else:
+                self._run_pool(pending, results)
+
+        for result in results:
+            report.add(result.telemetry)
+        report.wall_seconds = time.monotonic() - started
+        report.worker_restarts = self.worker_restarts - restarts_before
+        if self.cache is not None:
+            report.cache_stats = self.cache.stats.to_dict()
+        return BatchResult(results=list(results), report=report)
+
+    # Shared ladder accounting -------------------------------------------------
+
+    def _next_step(self, pending: _PendingJob, error: str) -> Optional[str]:
+        """Decide the rung after a failed attempt.
+
+        Returns ``"retry"`` (same config, after backoff), ``"degrade"``
+        (parallelization off), or None (budget exhausted -> fail).
+        Mutates ``pending`` accordingly.
+        """
+        pending.last_error = error
+        if not pending.degraded and pending.attempts <= self.max_retries:
+            pending.not_before = (time.monotonic()
+                                  + self.backoff * (2 ** (pending.attempts - 1)))
+            return "retry"
+        if (not pending.degraded and self.degrade
+                and pending.job.config.parallelize
+                and not pending.job.is_ir):
+            pending.degraded = True
+            pending.not_before = time.monotonic()
+            return "degrade"
+        return None
+
+    def _finish(self, pending: _PendingJob,
+                results: List[Optional[JobResult]],
+                status: JobStatus, payload: Optional[dict]) -> None:
+        now = time.monotonic()
+        first = pending.first_started_at or now
+        telemetry = JobTelemetry(
+            name=pending.job.name, status=status.value,
+            attempts=pending.attempts, restarts=pending.restarts,
+            degraded=pending.degraded,
+            cache="miss" if pending.key is not None else "off",
+            queue_seconds=first - pending.submitted_at,
+            run_seconds=now - first,
+            error=pending.last_error if status is not JobStatus.OK else None)
+        results[pending.index] = JobResult(
+            name=pending.job.name, status=status, payload=payload,
+            error=telemetry.error, attempts=pending.attempts,
+            degraded=pending.degraded, cache=telemetry.cache,
+            telemetry=telemetry)
+        if (status is JobStatus.OK and pending.key is not None
+                and self.cache is not None):
+            self.cache.put(pending.key, payload)
+
+    def _on_success(self, pending: _PendingJob,
+                    results: List[Optional[JobResult]],
+                    payload: dict) -> None:
+        status = JobStatus.DEGRADED if pending.degraded else JobStatus.OK
+        self._finish(pending, results, status, payload)
+
+    def _on_failure(self, pending: _PendingJob,
+                    results: List[Optional[JobResult]],
+                    error: str, requeue) -> None:
+        step = self._next_step(pending, error)
+        if step is None:
+            self._finish(pending, results, JobStatus.FAILED, None)
+        else:
+            requeue(pending)
+
+    # Inline executor ----------------------------------------------------------
+
+    def _run_inline(self, pending: Deque[_PendingJob],
+                    results: List[Optional[JobResult]]) -> None:
+        """Run the ladder in-process (no timeout/crash isolation)."""
+        while pending:
+            item = pending.popleft()
+            delay = item.not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            item.attempts += 1
+            if item.first_started_at is None:
+                item.first_started_at = time.monotonic()
+            try:
+                payload = execute_job(item.job.to_dict(),
+                                      attempt=item.attempts,
+                                      degraded=item.degraded)
+            except Exception as exc:  # noqa: BLE001 — ladder owns errors
+                self._on_failure(item, results,
+                                 f"{type(exc).__name__}: {exc}",
+                                 pending.appendleft)
+            else:
+                self._on_success(item, results, payload)
+
+    # Pool executor ------------------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        worker = _Worker(self._ctx)
+        self._workers.append(worker)
+        return worker
+
+    def _replace_worker(self, worker: _Worker) -> None:
+        worker.reap()
+        self._workers.remove(worker)
+        self.worker_restarts += 1
+
+    def _run_pool(self, pending: Deque[_PendingJob],
+                  results: List[Optional[JobResult]]) -> None:
+        in_flight = 0
+        while pending or in_flight:
+            now = time.monotonic()
+
+            # Assign ready jobs to idle (spawning as needed) workers.
+            while pending and pending[0].not_before <= now:
+                worker = next((w for w in self._workers if not w.busy), None)
+                if worker is None:
+                    busy = sum(1 for w in self._workers if w.busy)
+                    if busy >= self.max_workers:
+                        break
+                    worker = self._spawn_worker()
+                item = pending.popleft()
+                item.attempts += 1
+                if item.first_started_at is None:
+                    item.first_started_at = time.monotonic()
+                try:
+                    worker.assign(item, self.timeout)
+                except (BrokenPipeError, OSError):
+                    # The idle worker died between jobs; charge the
+                    # pool, not the job, and put the job back.
+                    item.attempts -= 1
+                    self._replace_worker(worker)
+                    pending.appendleft(item)
+                else:
+                    in_flight += 1
+
+            busy_workers = [w for w in self._workers if w.busy]
+            if not busy_workers:
+                if pending:
+                    time.sleep(max(0.0,
+                                   min(p.not_before for p in pending) - now))
+                continue
+
+            wait_until = min(w.deadline for w in busy_workers)
+            if pending:
+                wait_until = min(wait_until,
+                                 min(p.not_before for p in pending))
+            wait = max(0.0, min(wait_until - time.monotonic(), 0.1))
+            ready = mp_connection.wait([w.conn for w in busy_workers],
+                                       timeout=wait)
+
+            for worker in list(busy_workers):
+                if worker.conn not in ready:
+                    continue
+                item = worker.current
+                try:
+                    kind, body = worker.conn.recv()
+                except (EOFError, OSError):
+                    # Hard crash (os._exit, signal, OOM-kill): replace
+                    # the worker; the ladder decides the job's fate.
+                    worker.proc.join(_REAP_GRACE)  # reap for the exit code
+                    code = worker.proc.exitcode
+                    worker.current = None
+                    self._replace_worker(worker)
+                    item.restarts += 1
+                    in_flight -= 1
+                    self._on_failure(
+                        item, results,
+                        f"worker crashed (exit code {code})",
+                        pending.append)
+                    continue
+                worker.current = None
+                in_flight -= 1
+                if kind == "ok":
+                    self._on_success(item, results, body)
+                else:
+                    self._on_failure(
+                        item, results,
+                        f"{body.get('type', 'Error')}: "
+                        f"{body.get('message', '')}",
+                        pending.append)
+
+            # Timeouts: anyone still busy past their deadline hangs.
+            now = time.monotonic()
+            for worker in list(self._workers):
+                if worker.busy and now > worker.deadline:
+                    item = worker.current
+                    worker.current = None
+                    self._replace_worker(worker)
+                    item.restarts += 1
+                    in_flight -= 1
+                    self._on_failure(
+                        item, results,
+                        f"timeout: job exceeded {self.timeout:.1f}s "
+                        f"and its worker was killed",
+                        pending.append)

@@ -1,0 +1,192 @@
+"""The job executor that runs inside pool worker processes.
+
+:func:`execute_job` is a pure function from a job dict to a payload
+dict (both plain JSON-able data), so it works under any
+multiprocessing start method and its output can go straight into the
+artifact cache.  :func:`worker_main` is the long-lived process loop:
+receive ``(job_dict, attempt, degraded)``, answer ``("ok", payload)``
+or ``("error", info)`` — an exception inside a job never kills the
+worker, only a timeout or a hard crash does (and the scheduler
+restarts it).
+
+Seeded faults (``job["fault"]``) are the test hooks for the fault
+paths: ``raise`` / ``hang`` / ``exit`` on the first N attempts,
+optionally only while parallelization is still enabled (so the
+degradation ladder can be exercised deterministically).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Optional, Tuple
+
+#: Sentinel telling a worker loop to exit cleanly.
+STOP = "__repro_service_stop__"
+
+
+def apply_fault(fault: Optional[dict], attempt: int, parallelize: bool) -> None:
+    """Misbehave per a seeded-fault spec (no-op for production jobs).
+
+    Spec keys: ``mode`` (``raise`` / ``hang`` / ``exit``), ``attempts``
+    (misbehave on attempts 1..N; default: always), ``only_parallel``
+    (only while the effective config still parallelizes — the degraded
+    rung then succeeds), ``seconds`` / ``code`` / ``message`` tuning.
+    """
+    if not fault:
+        return
+    if fault.get("only_parallel") and not parallelize:
+        return
+    if attempt > int(fault.get("attempts", 10 ** 9)):
+        return
+    mode = fault.get("mode")
+    if mode == "raise":
+        raise RuntimeError(fault.get("message", "seeded worker fault"))
+    if mode == "hang":
+        time.sleep(float(fault.get("seconds", 3600.0)))
+    elif mode == "exit":
+        os._exit(int(fault.get("code", 13)))
+
+
+def _splendid_text(module, variant: str, analysis_manager) -> str:
+    from ..core import Splendid
+    return Splendid(module, variant,
+                    analysis_manager=analysis_manager).decompile_text()
+
+
+def _tool_text(module, tool: str, analysis_manager) -> str:
+    if tool.startswith("splendid"):
+        variant = {"splendid": "full", "splendid-v1": "v1",
+                   "splendid-portable": "portable"}[tool]
+        return _splendid_text(module, variant, analysis_manager)
+    from ..decompilers import cbackend, ghidra, rellic
+    impl = {"rellic": rellic, "ghidra": ghidra, "cbackend": cbackend}[tool]
+    return impl.decompile(module)
+
+
+def execute_job(job_dict: dict, attempt: int = 1,
+                degraded: bool = False) -> dict:
+    """Run the full pipeline for one job and return its payload.
+
+    Raises on any pipeline error; the caller (worker loop or inline
+    executor) owns converting that into retry/degrade decisions.
+    """
+    from ..analysis.manager import AnalysisManager
+    from ..core import Splendid
+    from ..core.pipeline import options_for
+    from ..frontend import compile_source
+    from ..ir import parse_ir, print_module, verify_module
+    from ..passes import optimize_o2
+    from ..polly import parallelize_module
+    from .job import Job
+
+    job = Job.from_dict(job_dict)
+    config = job.config.degraded() if degraded else job.config
+    apply_fault(job.fault, attempt, config.parallelize and not job.is_ir)
+
+    am = AnalysisManager()
+    seq_ir = par_ir = None
+    polly = None
+    if job.is_ir:
+        module = parse_ir(job.source)
+    else:
+        module = compile_source(job.source, job.defines, module_name=job.name)
+        if config.optimize:
+            optimize_o2(module, analysis_manager=am)
+        if config.emit_ir:
+            seq_ir = print_module(module)
+        if config.parallelize:
+            only = (None if config.only_functions is None
+                    else list(config.only_functions))
+            polly = parallelize_module(
+                module, enable_reductions=config.reductions,
+                only_functions=only, analysis_manager=am)
+    verify_module(module, analysis_manager=am)
+    if config.emit_ir:
+        par_ir = print_module(module)
+
+    splendid = Splendid(module, config.variant, analysis_manager=am)
+    diagnostics = None
+    lint_ok = None
+    if config.lint:
+        checked = splendid.decompile_checked()
+        text = checked.text
+        lint_ok = checked.ok
+        diagnostics = {
+            "ok": checked.diagnostics.ok,
+            "errors": len(checked.diagnostics.errors),
+            "warnings": len(checked.diagnostics.warnings),
+            "diagnostics": [d.to_dict()
+                            for d in checked.diagnostics.diagnostics],
+        }
+    else:
+        text = splendid.decompile_text()
+
+    primary = options_for(config.variant).name
+    decompiled = {primary: text}
+    for tool in config.tools:
+        if tool not in decompiled:
+            decompiled[tool] = _tool_text(module, tool, am)
+
+    restoration = None
+    if config.variant == "full":
+        stats = splendid.restoration_stats()
+        restoration = {"total": stats.total, "restored": stats.restored}
+
+    return {
+        "name": job.name,
+        "text": text,
+        "primary": primary,
+        "decompiled": decompiled,
+        "lint_ok": lint_ok,
+        "diagnostics": diagnostics,
+        "seq_ir": seq_ir,
+        "par_ir": par_ir,
+        "polly": (None if polly is None else
+                  [outcome_to_dict(o) for o in polly.outcomes]),
+        "restoration": restoration,
+        "degraded": degraded,
+    }
+
+
+def outcome_to_dict(outcome) -> dict:
+    import dataclasses
+    return dataclasses.asdict(outcome)
+
+
+def polly_result_from_payload(outcomes):
+    """Rebuild a :class:`~repro.polly.PollyResult` from payload dicts."""
+    from ..polly.parallelizer import LoopOutcome, PollyResult
+    result = PollyResult()
+    for data in outcomes or []:
+        result.outcomes.append(LoopOutcome(**data))
+    return result
+
+
+def worker_main(conn) -> None:
+    """Long-lived worker loop over a duplex pipe to the scheduler."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message == STOP:
+            break
+        job_dict, attempt, degraded = message
+        try:
+            payload = execute_job(job_dict, attempt=attempt,
+                                  degraded=degraded)
+            reply: Tuple[str, dict] = ("ok", payload)
+        except KeyboardInterrupt:
+            break
+        except BaseException as exc:  # noqa: BLE001 — isolate *any* job error
+            reply = ("error", {
+                "type": type(exc).__name__,
+                "message": str(exc) or type(exc).__name__,
+                "traceback": traceback.format_exc(),
+            })
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break

@@ -118,3 +118,84 @@ class TestReport:
     def test_report_fig7_subset(self, capsys):
         assert main(["report", "fig7", "-b", "gemm"]) == 0
         assert "SPLENDID" in capsys.readouterr().out
+
+
+class TestTimePasses:
+    def test_parallelize_reports_polly_passes(self, source_file, capsys):
+        """`--time-passes` must cover the parallelizer, not just -O2
+        (it used to silently under-report on `parallelize`)."""
+        assert main(["parallelize", source_file, "--time-passes"]) == 0
+        err = capsys.readouterr().err
+        assert "=== pass timing report ===" in err
+        assert "polly-parallelize" in err
+        assert "polly-cleanup" in err
+        assert "mem2reg" in err          # the -O2 legs are still there
+
+    def test_decompile_reports_polly_passes(self, source_file, capsys):
+        assert main(["decompile", source_file, "--time-passes"]) == 0
+        err = capsys.readouterr().err
+        assert "polly-parallelize" in err
+
+    def test_sequential_decompile_reports_no_polly(self, source_file,
+                                                   capsys):
+        assert main(["decompile", source_file, "--sequential",
+                     "--time-passes"]) == 0
+        err = capsys.readouterr().err
+        assert "=== pass timing report ===" in err
+        assert "polly-parallelize" not in err
+
+
+class TestBatch:
+    @pytest.fixture
+    def batch_dir(self, tmp_path):
+        for i, n in enumerate((48, 56)):
+            (tmp_path / f"unit{i}.c").write_text(
+                SOURCE.replace("#define N 200", f"#define N {n}"))
+        return tmp_path
+
+    def test_batch_glob_and_report_json(self, batch_dir, capsys):
+        report_path = batch_dir / "report.json"
+        out_dir = batch_dir / "out"
+        assert main(["batch", str(batch_dir / "*.c"),
+                     "--jobs", "1",
+                     "--cache-dir", str(batch_dir / "cache"),
+                     "--out-dir", str(out_dir),
+                     "--report-json", str(report_path)]) == 0
+        err = capsys.readouterr().err
+        assert "=== service report ===" in err
+        assert (out_dir / "unit0.dec.c").exists()
+        assert "#pragma omp parallel" in (out_dir / "unit0.dec.c").read_text()
+
+        import json
+        data = json.loads(report_path.read_text())
+        assert data["total_jobs"] == 2
+        assert data["ok"] == 2
+        assert data["cache_misses"] == 2
+
+        # Warm rerun: everything from the persistent cache.
+        assert main(["batch", str(batch_dir / "*.c"),
+                     "--jobs", "1",
+                     "--cache-dir", str(batch_dir / "cache"),
+                     "--out-dir", str(out_dir),
+                     "--report-json", str(report_path)]) == 0
+        capsys.readouterr()
+        data = json.loads(report_path.read_text())
+        assert data["cache_hits"] == 2
+        assert data["hit_rate"] == 1.0
+
+    def test_batch_inline_prints_sources(self, batch_dir, capsys):
+        assert main(["batch", str(batch_dir / "unit0.c"),
+                     "--jobs", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "// === unit0 [ok, cache: off] ===" in out
+        assert "#pragma omp parallel" in out
+
+    def test_batch_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "absent.c")]) == 1
+
+    def test_batch_bad_job_exits_nonzero(self, batch_dir, capsys):
+        (batch_dir / "broken.c").write_text("int main( {")
+        assert main(["batch", str(batch_dir / "*.c"), "--jobs", "1",
+                     "--retries", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "broken" in err

@@ -1,0 +1,183 @@
+"""The artifact cache: keys, tiers, version stamping, eviction.
+
+Covers the satellite requirement that entries written under a
+different pipeline version (or corrupted on disk) are *evicted, never
+raised*, plus LRU behaviour of the memory tier and the cache-backed
+collaboration-session fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service import (ArtifactCache, BatchService, Job, JobConfig,
+                           pipeline_fingerprint)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(str(tmp_path / "cache"))
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, cache):
+        a = cache.key_for("int x;", {"N": "4"}, JobConfig())
+        b = cache.key_for("int x;", {"N": "4"}, JobConfig())
+        assert a == b
+        assert len(a) == 64 and all(c in "0123456789abcdef" for c in a)
+
+    def test_key_varies_with_inputs(self, cache):
+        base = cache.key_for("int x;", {}, JobConfig())
+        assert cache.key_for("int y;", {}, JobConfig()) != base
+        assert cache.key_for("int x;", {"N": "4"}, JobConfig()) != base
+        assert cache.key_for("int x;", {},
+                             JobConfig(variant="v1")) != base
+        assert cache.key_for("int x;", {}, JobConfig(),
+                             kind="ir") != base
+
+    def test_key_includes_version_stamp(self, tmp_path):
+        old = ArtifactCache(str(tmp_path), version="aaaa")
+        new = ArtifactCache(str(tmp_path), version="bbbb")
+        assert (old.key_for("s", {}, JobConfig())
+                != new.key_for("s", {}, JobConfig()))
+
+    def test_faulted_jobs_key_separately(self, cache):
+        clean = Job(name="j", source="int x;")
+        faulted = Job(name="j", source="int x;",
+                      fault={"mode": "raise"})
+        assert cache.key_for_job(clean) != cache.key_for_job(faulted)
+
+    def test_pipeline_fingerprint_is_stable(self):
+        assert pipeline_fingerprint() == pipeline_fingerprint()
+        assert len(pipeline_fingerprint()) == 16
+
+
+class TestTiers:
+    def test_put_get_roundtrip(self, cache):
+        key = cache.key_for("src", {}, JobConfig())
+        cache.put(key, {"text": "int x;"})
+        tier, payload = cache.get_with_tier(key)
+        assert tier == "memory"
+        assert payload == {"text": "int x;"}
+
+    def test_disk_tier_survives_memory_clear(self, cache):
+        key = cache.key_for("src", {}, JobConfig())
+        cache.put(key, {"text": "int x;"})
+        cache.clear_memory()
+        tier, payload = cache.get_with_tier(key)
+        assert tier == "disk"
+        assert payload == {"text": "int x;"}
+        # ... and the disk hit re-promotes into the memory tier.
+        tier, _ = cache.get_with_tier(key)
+        assert tier == "memory"
+
+    def test_memory_tier_is_lru(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), memory_entries=2)
+        keys = [cache.key_for(f"s{i}", {}, JobConfig()) for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"i": i})
+        assert len(cache) == 2
+        assert cache.stats.lru_evictions == 1
+        tier, payload = cache.get_with_tier(keys[0])   # evicted from memory
+        assert tier == "disk"
+        assert payload == {"i": 0}
+
+    def test_memory_only_cache_without_dir(self):
+        cache = ArtifactCache(cache_dir=None)
+        key = cache.key_for("src", {}, JobConfig())
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+
+
+class TestEviction:
+    def _seed(self, cache):
+        key = cache.key_for("src", {}, JobConfig())
+        cache.put(key, {"text": "cached"})
+        cache.clear_memory()
+        return key, cache._path(key)
+
+    def test_version_mismatch_is_evicted_not_served(self, tmp_path):
+        writer = ArtifactCache(str(tmp_path), version="old-pipeline")
+        key, path = self._seed(writer)
+        # Same key on disk, but the reader runs a newer pipeline.
+        reader = ArtifactCache(str(tmp_path), version="new-pipeline")
+        assert reader.get(key) is None
+        assert reader.stats.evictions == 1
+        assert not os.path.exists(path)
+
+    def test_corrupt_entry_is_evicted_not_raised(self, cache):
+        key, path = self._seed(cache)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ truncated garbage")
+        assert cache.get(key) is None
+        assert cache.stats.evictions == 1
+        assert not os.path.exists(path)
+
+    def test_wrong_key_payload_is_evicted(self, cache):
+        key, path = self._seed(cache)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": cache.version, "key": "somebody-else",
+                       "payload": {"text": "hijacked"}}, handle)
+        assert cache.get(key) is None
+        assert not os.path.exists(path)
+
+    def test_recompute_after_eviction_repopulates(self, tmp_path):
+        source = """
+int main() { print_int(41 + 1); return 0; }
+"""
+        job = Job(name="tiny", source=source,
+                  config=JobConfig(parallelize=False))
+        cache_dir = str(tmp_path / "svc-cache")
+        stale = ArtifactCache(cache_dir, version="stale-pipeline")
+        key_now = ArtifactCache(cache_dir).key_for_job(job)
+        # Plant a stale-version entry at an *old* key and a corrupt file
+        # at the current key: the service must recompute, not crash.
+        os.makedirs(os.path.dirname(stale._path(key_now)), exist_ok=True)
+        with open(stale._path(key_now), "w", encoding="utf-8") as handle:
+            handle.write("not json at all")
+        with BatchService(max_workers=0,
+                          cache=ArtifactCache(cache_dir)) as service:
+            result = service.run_one(job)
+        assert result.status.value == "ok"
+        assert result.cache == "miss"
+        with BatchService(max_workers=0,
+                          cache=ArtifactCache(cache_dir)) as service:
+            again = service.run_one(job)
+        assert again.cache in ("memory", "disk")
+
+
+class TestCollabSessionCache:
+    SOURCE = """
+#define N 40
+double A[N];
+double B[N];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = (double)(i % 3); B[i] = 0.0; }
+}
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+}
+int main() { init(); kernel(); print_double(B[2]); return 0; }
+"""
+
+    def test_session_reuses_cached_build_and_recompile(self, cache):
+        from repro.collab.session import CollaborationSession
+        first = CollaborationSession(self.SOURCE, cache=cache)
+        assert cache.stats.hits == 0
+        second = CollaborationSession(self.SOURCE, cache=cache)
+        assert cache.stats.hits == 1          # parallel build reused
+        assert (first.decompiled_text() == second.decompiled_text())
+        hits_before = cache.stats.hits
+        first.recompile()
+        second.recompile()                    # same text -> cache hit
+        assert cache.stats.hits == hits_before + 1
+        # Cached and fresh sessions agree end to end.
+        assert (first.evaluate().original_output
+                == second.evaluate().original_output)

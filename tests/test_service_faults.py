@@ -1,0 +1,159 @@
+"""Failure-path coverage for the batch service.
+
+Seeded worker faults (raise / hang past the timeout / hard exit) must
+walk the retry -> degrade -> structured-failure ladder with exact
+retry counts and telemetry, and a crashed or killed worker must never
+poison the jobs that follow it in the pool.
+"""
+
+from __future__ import annotations
+
+from repro.service import BatchService, Job, JobConfig, JobStatus
+
+SOURCE = """
+#define N 32
+double A[N];
+double B[N];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = (double)(i % 5); B[i] = 0.0; }
+}
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+}
+int main() { init(); kernel(); print_double(B[3]); return 0; }
+"""
+
+
+def _job(name, fault=None, parallelize=True):
+    return Job(name=name, source=SOURCE, fault=fault,
+               config=JobConfig(parallelize=parallelize))
+
+
+def _service(**kwargs):
+    kwargs.setdefault("max_workers", 1)
+    kwargs.setdefault("timeout", 60.0)
+    kwargs.setdefault("backoff", 0.0)
+    return BatchService(**kwargs)
+
+
+class TestRaiseFaults:
+    def test_transient_raise_recovers_with_exact_retry_count(self):
+        job = _job("flaky", fault={"mode": "raise", "attempts": 1})
+        with _service(max_retries=2) as service:
+            result = service.run_one(job)
+        assert result.status is JobStatus.OK
+        assert result.attempts == 2           # 1 failure + 1 success
+        assert result.telemetry.retries == 1
+        assert result.telemetry.restarts == 0  # raise never kills a worker
+        assert not result.degraded
+        assert result.error is None
+
+    def test_parallel_only_raise_degrades(self):
+        job = _job("degrader",
+                   fault={"mode": "raise", "only_parallel": True,
+                          "message": "parallel leg poisoned"})
+        with _service(max_retries=1) as service:
+            result = service.run_one(job)
+        assert result.status is JobStatus.DEGRADED
+        # 2 full-config attempts (1 + max_retries) + 1 degraded attempt.
+        assert result.attempts == 3
+        assert result.degraded
+        assert "parallel leg poisoned" in result.error
+        assert result.payload is not None
+        # The degraded rung ran without the parallelizer.
+        assert "#pragma omp" not in result.payload["text"]
+        assert result.telemetry.status == "degraded"
+        assert result.telemetry.restarts == 0
+
+    def test_persistent_raise_yields_structured_failure(self):
+        job = _job("doomed", fault={"mode": "raise"})
+        with _service(max_retries=1) as service:
+            result = service.run_one(job)
+        assert result.status is JobStatus.FAILED
+        assert result.attempts == 3           # 2 full + 1 degraded
+        assert result.payload is None
+        assert "seeded worker fault" in result.error
+        assert result.telemetry.status == "failed"
+
+    def test_no_degrade_rung_for_sequential_jobs(self):
+        job = _job("seqfail", fault={"mode": "raise"}, parallelize=False)
+        with _service(max_retries=2) as service:
+            result = service.run_one(job)
+        assert result.status is JobStatus.FAILED
+        assert result.attempts == 3           # 1 + max_retries, no degrade
+        assert not result.degraded
+
+
+class TestCrashFaults:
+    def test_exit_fault_restarts_worker_every_attempt(self):
+        job = _job("crasher", fault={"mode": "exit", "code": 17})
+        with _service(max_retries=1) as service:
+            batch = service.run([job, _job("survivor")])
+        crashed, survivor = batch.results
+        assert crashed.status is JobStatus.FAILED
+        assert crashed.attempts == 3
+        assert crashed.telemetry.restarts == 3
+        assert "exit code 17" in crashed.error
+        # The crashes did not poison the pool for the next job.
+        assert survivor.status is JobStatus.OK
+        assert survivor.text
+        assert batch.report.worker_restarts == 3
+        assert batch.report.failed_jobs == 1
+        assert batch.report.ok_jobs == 1
+
+    def test_crash_then_clean_recovery_on_retry(self):
+        job = _job("onecrash", fault={"mode": "exit", "attempts": 1})
+        with _service(max_retries=1) as service:
+            result = service.run_one(job)
+        assert result.status is JobStatus.OK
+        assert result.attempts == 2
+        assert result.telemetry.restarts == 1
+
+
+class TestHangFaults:
+    def test_hang_is_killed_on_timeout_then_degrades(self):
+        job = _job("hanger", fault={"mode": "hang", "seconds": 30.0,
+                                    "only_parallel": True})
+        with _service(max_retries=1, timeout=0.5) as service:
+            result = service.run_one(job)
+        assert result.status is JobStatus.DEGRADED
+        assert result.attempts == 3           # 2 timed-out + 1 degraded
+        assert result.telemetry.restarts == 2
+        assert "timeout" in result.error
+        assert result.payload is not None
+
+    def test_hung_worker_does_not_block_other_jobs(self):
+        jobs = [_job("stuck", fault={"mode": "hang", "seconds": 30.0}),
+                _job("quick")]
+        with _service(max_workers=2, max_retries=0, timeout=1.0,
+                      degrade=False) as service:
+            batch = service.run(jobs)
+        stuck = batch.by_name("stuck")
+        quick = batch.by_name("quick")
+        assert stuck.status is JobStatus.FAILED
+        assert quick.status is JobStatus.OK
+
+
+class TestInlineLadder:
+    def test_inline_executor_walks_the_same_ladder(self):
+        job = _job("inline-degrade",
+                   fault={"mode": "raise", "only_parallel": True})
+        with _service(max_workers=0, max_retries=1) as service:
+            result = service.run_one(job)
+        assert result.status is JobStatus.DEGRADED
+        assert result.attempts == 3
+
+    def test_batch_never_raises_for_job_errors(self):
+        # A syntactically broken source fails cleanly, in order.
+        jobs = [Job(name="broken", source="int main( {",
+                    config=JobConfig(parallelize=False)),
+                _job("fine")]
+        with _service(max_workers=0, max_retries=0) as service:
+            batch = service.run(jobs)
+        assert batch.results[0].status is JobStatus.FAILED
+        assert batch.results[0].error
+        assert batch.results[1].status is JobStatus.OK
+        assert not batch.ok

@@ -1,0 +1,101 @@
+"""Tier-1 smoke test for the batch decompilation service.
+
+A 3-job batch on a 2-worker pool against a tmp cache dir: the cold run
+populates the cache (all misses), the warm run is served entirely from
+it (100% hits, zero pipeline executions).  Kept small and fast so it
+stays in the default pytest run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (ArtifactCache, BatchService, Job, JobConfig,
+                           JobStatus)
+
+_TEMPLATE = """
+#define N 48
+double A[N];
+double B[N];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = (double)(i %% %d); B[i] = 0.0; }
+}
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+}
+int main() {
+  init(); kernel();
+  print_double(B[5]);
+  return 0;
+}
+"""
+
+
+def _jobs():
+    return [Job(name=f"smoke{i}", source=_TEMPLATE % (7 + i),
+                config=JobConfig(lint=True))
+            for i in range(3)]
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "artifact-cache")
+
+
+def test_cold_then_warm_batch(cache_dir):
+    with BatchService(max_workers=2, cache=ArtifactCache(cache_dir),
+                      timeout=60.0) as service:
+        cold = service.run(_jobs())
+    assert len(cold) == 3
+    for result in cold:
+        assert result.status is JobStatus.OK
+        assert result.cache == "miss"
+        assert result.attempts == 1
+        assert "#pragma omp parallel" in result.text
+        assert result.payload["lint_ok"] is True
+    assert cold.report.cache_misses == 3
+    assert cold.report.cache_hits == 0
+    assert cold.report.worker_restarts == 0
+
+    # A fresh service over the same directory: everything served from
+    # the disk tier, nothing executed.
+    with BatchService(max_workers=2, cache=ArtifactCache(cache_dir),
+                      timeout=60.0) as service:
+        warm = service.run(_jobs())
+    for result in warm:
+        assert result.status is JobStatus.OK
+        assert result.cache == "disk"
+        assert result.attempts == 0
+    assert warm.report.cache_hits == 3
+    assert warm.report.cache_misses == 0
+    assert warm.report.hit_rate == 1.0
+    # Payloads are byte-identical across the tiers.
+    for a, b in zip(cold, warm):
+        assert a.payload == b.payload
+
+
+def test_inline_executor_matches_pool(cache_dir):
+    job = Job(name="inline", source=_TEMPLATE % 5,
+              config=JobConfig(lint=True))
+    with BatchService(max_workers=0) as inline_service:
+        inline = inline_service.run_one(job)
+    with BatchService(max_workers=1, timeout=60.0) as pool_service:
+        pooled = pool_service.run_one(job)
+    assert inline.status is JobStatus.OK
+    assert pooled.status is JobStatus.OK
+    assert inline.payload == pooled.payload
+
+
+def test_report_renderers():
+    with BatchService(max_workers=0) as service:
+        batch = service.run([Job(name="render", source=_TEMPLATE % 3)])
+    text = batch.report.render_text()
+    assert "=== service report ===" in text
+    assert "render" in text
+    data = batch.report.to_json()
+    assert data["total_jobs"] == 1
+    assert data["ok"] == 1
+    assert data["jobs"][0]["job"] == "render"

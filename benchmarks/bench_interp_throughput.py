@@ -1,0 +1,117 @@
+"""Interpreter throughput: the closure-compiled engine vs the walker.
+
+Runs every PolyBench kernel's parallel module to completion under both
+execution engines and reports instructions/second, per-kernel speedup,
+the cold-compile overhead (first run, empty code cache) against the
+cached steady state, and the geometric-mean speedup across the suite.
+Reproduction criterion: byte-identical program output and identical
+cost accounting on every kernel, with a cached-engine geomean speedup
+of at least 3x over the tree walker.
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_interp_throughput.py [--quick]
+"""
+
+import argparse
+import math
+import time
+
+from repro.eval.pipeline import artifacts_for
+from repro.polybench import all_benchmarks
+from repro.runtime import Interpreter, clear_code_cache
+
+
+def _run(module, engine):
+    """One full main() execution; returns (seconds, result)."""
+    interp = Interpreter(module, engine=engine)
+    start = time.perf_counter()
+    result = interp.run("main")
+    return time.perf_counter() - start, result
+
+
+def measure(benches):
+    """Per-kernel rows: name, instruction count, walker seconds,
+    cold-compile seconds, cached-compiled seconds, parity flag."""
+    rows = []
+    for bench in benches:
+        module = artifacts_for(bench).parallel
+        walk_s, walk = _run(module, "walk")
+        clear_code_cache()
+        cold_s, cold = _run(module, "compiled")
+        # Steady state: a fresh interpreter served by the warm global
+        # code cache (no recompilation, only token validation).
+        cached_s, cached = _run(module, "compiled")
+        problems = []
+        if not walk.output == cold.output == cached.output:
+            problems.append("output")
+        if walk.cost != cold.cost:
+            problems.append(
+                f"cost walk_di={walk.cost.dynamic_instructions} "
+                f"cold_di={cold.cost.dynamic_instructions}")
+        if walk.wall_time != cold.wall_time:
+            problems.append(f"wall {walk.wall_time} != {cold.wall_time}")
+        parity = not problems
+        if problems:
+            print(f"{bench.name}: {'; '.join(problems)}")
+        rows.append((bench.name, walk.cost.dynamic_instructions,
+                     walk_s, cold_s, cached_s, parity))
+    return rows
+
+
+def geomean(ratios):
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def render(rows):
+    lines = [f"{'kernel':<18} {'insts':>10} {'walk':>9} {'cold':>9} "
+             f"{'cached':>9} {'speedup':>8} {'Minst/s':>8}"]
+    for name, insts, walk_s, cold_s, cached_s, _ in rows:
+        lines.append(
+            f"{name:<18} {insts:>10} {walk_s * 1e3:>7.1f}ms "
+            f"{cold_s * 1e3:>7.1f}ms {cached_s * 1e3:>7.1f}ms "
+            f"{walk_s / cached_s:>7.2f}x "
+            f"{insts / cached_s / 1e6:>8.2f}")
+    speedup = geomean([walk_s / cached_s
+                       for _, _, walk_s, _, cached_s, _ in rows])
+    cold_overhead = geomean([cold_s / cached_s
+                             for _, _, _, cold_s, cached_s, _ in rows])
+    lines.append(f"{'GEOMEAN':<18} {'':>10} {'':>9} {'':>9} {'':>9} "
+                 f"{speedup:>7.2f}x")
+    lines.append(f"cold-compile overhead (cold/cached geomean): "
+                 f"{cold_overhead:.2f}x")
+    return "\n".join(lines)
+
+
+def test_interp_throughput(benchmark):
+    from conftest import run_once
+    rows = run_once(benchmark, lambda: measure(all_benchmarks()))
+    print()
+    print(render(rows))
+
+    assert len(rows) == 16
+    # Differential parity on every kernel: identical output, identical
+    # cost accounting (opcode counts included), identical wall time.
+    for name, _, _, _, _, parity in rows:
+        assert parity, f"{name}: engines diverged"
+    # The reproduction target: >= 3x geomean over the tree walker.
+    speedup = geomean([walk_s / cached_s
+                       for _, _, walk_s, _, cached_s, _ in rows])
+    assert speedup >= 3.0, f"geomean speedup only {speedup:.2f}x"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="walker vs closure-compiled interpreter throughput")
+    parser.add_argument("--quick", action="store_true",
+                        help="only the first two kernels (smoke run)")
+    args = parser.parse_args(argv)
+    benches = all_benchmarks()
+    if args.quick:
+        benches = benches[:2]
+    print(render(measure(benches)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -163,7 +163,7 @@ def cmd_run(args) -> int:
                           optimize=not args.O0,
                           parallelize=args.parallelize)
     machine = MachineModel(num_threads=args.threads)
-    result = Interpreter(module, machine).run(args.entry)
+    result = Interpreter(module, machine, engine=args.engine).run(args.entry)
     for line in result.output:
         print(line)
     print(f"[exit value: {result.value}; "
@@ -189,7 +189,7 @@ def cmd_batch(args) -> int:
 
     config = JobConfig(optimize=True, parallelize=not args.sequential,
                        reductions=args.reductions, variant=args.variant,
-                       lint=args.lint)
+                       lint=args.lint, engine=args.engine)
     defines = _parse_defines(args.define)
     try:
         jobs = [Job.from_file(path, defines, config) for path in paths]
@@ -249,6 +249,9 @@ def cmd_report(args) -> int:
                        render_table4, table3_loops, table4_loc)
     name = args.name
     benchmarks = args.benchmark or None
+    if args.engine is not None:
+        from .runtime import set_default_engine
+        set_default_engine(args.engine)
     if args.jobs is not None or args.cache_dir:
         # Fan artifact construction across cores (and the persistent
         # cache) before the single-threaded rendering walks them.
@@ -295,6 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--time-passes", action="store_true",
                        help="report per-pass wall time, analysis-cache "
                             "hit/miss counters, and IR deltas to stderr")
+
+    def add_engine(p):
+        p.add_argument("--engine", default=None,
+                       choices=("compiled", "walk"),
+                       help="interpreter execution engine: 'compiled' "
+                            "lowers functions to slot-indexed closures "
+                            "(default), 'walk' is the tree-walking "
+                            "reference")
 
     p_compile = sub.add_parser("compile", help="compile to (optimized) IR")
     add_common(p_compile)
@@ -345,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--threads", type=int, default=28)
     p_run.add_argument("--O0", action="store_true")
     p_run.add_argument("--parallelize", action="store_true")
+    add_engine(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_batch = sub.add_parser(
@@ -376,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "printing")
     p_batch.add_argument("--report-json", default=None, metavar="FILE",
                          help="write the service report as JSON")
+    add_engine(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_report = sub.add_parser("report", help="regenerate a paper table/figure")
@@ -389,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--cache-dir", default=None,
                           help="persistent artifact cache directory for "
                                "the prewarm")
+    add_engine(p_report)
     p_report.set_defaults(func=cmd_report)
     return parser
 

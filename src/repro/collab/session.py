@@ -54,10 +54,12 @@ class CollaborationSession:
     def __init__(self, source: str, defines: Optional[Dict[str, str]] = None,
                  kernel_functions: Optional[List[str]] = None,
                  machine: Optional[MachineModel] = None,
-                 cache=None):
+                 cache=None, engine: Optional[str] = None):
         self.source = source
         self.defines = dict(defines or {})
         self.machine = machine or MachineModel()
+        # Execution engine for evaluate(); None = process default.
+        self.engine = engine
         self.cache = cache
         self.module, self.polly = self._build_parallel(
             source, kernel_functions)
@@ -126,12 +128,14 @@ class CollaborationSession:
 
     def evaluate(self, entry: str = "main", kernel: str = "kernel",
                  init: str = "init") -> SessionResult:
-        original_out = Interpreter(self.module, self.machine).run(entry).output
+        original_out = Interpreter(self.module, self.machine,
+                                   engine=self.engine).run(entry).output
         edited = self.recompile()
-        edited_out = Interpreter(edited, self.machine).run(entry).output
+        edited_out = Interpreter(edited, self.machine,
+                                 engine=self.engine).run(entry).output
 
         def time_kernel(module: Module) -> float:
-            interp = Interpreter(module, self.machine)
+            interp = Interpreter(module, self.machine, engine=self.engine)
             if init in module.functions \
                     and not module.functions[init].is_declaration:
                 interp.run(init)

@@ -106,10 +106,16 @@ class MostRecentDefinitions(ForwardAnalysis):
     def transfer(self, inst: Instruction, state):
         new_def: Optional[Tuple[str, Value]] = None
         if isinstance(inst, DbgValue):
+            # A dbg.value event only *defines* the variable for values
+            # with no emission point of their own (arguments).  For
+            # instruction values the assignment happens where the
+            # instruction is emitted, which after code motion (LICM)
+            # can be far from the dbg intrinsic's position.
             name = inst.variable.name
-            if not isinstance(inst.value, Constant):
-                new_def = (name, inst.value)
-        elif isinstance(inst, Phi):
+            value = inst.value
+            if not isinstance(value, (Constant, Instruction)):
+                new_def = (name, value)
+        else:
             name = self.proposal.mapping.get(inst)
             if name is not None:
                 new_def = (name, inst)
@@ -131,13 +137,26 @@ def remove_conflicts(function: Function,
         for inst in block.instructions:
             if isinstance(inst, DbgValue):
                 continue
+            if isinstance(inst, Phi):
+                # Phi uses happen at the end of their incoming edges, so
+                # each one is checked against the predecessor's OUT state
+                # (the merge itself is the phi's definition).
+                for value, pred in inst.incoming:
+                    var = mapping.get(value)
+                    if var is None or value is inst:
+                        continue
+                    edge_state = result.block_out.get(pred)
+                    if edge_state is None:
+                        continue
+                    recent = edge_state.get(var)
+                    if recent is _CONFLICT:
+                        mapping.pop(value, None)
+                    elif recent is not None and recent is not value:
+                        if mapping.get(recent) == var:
+                            mapping.pop(recent, None)
+                continue
             state = result.state_before(inst)
             operands = inst.operands
-            if isinstance(inst, Phi):
-                # Phi uses happen at the end of the incoming edges where
-                # per-edge states differ; the merge itself is the phi's
-                # definition, so skip (combination already applied).
-                continue
             for op in operands:
                 var = mapping.get(op)
                 if var is None:

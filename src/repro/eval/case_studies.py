@@ -10,7 +10,7 @@ appendix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.alias import base_object
 from ..analysis.manager import get_loop_info
@@ -123,13 +123,13 @@ class Figure2:
     outputs_match: bool
 
 
-def figure2_alias_study() -> Figure2:
+def figure2_alias_study(engine: Optional[str] = None) -> Figure2:
     module = compile_source(MAYALIAS_SOURCE)
     optimize_o2(module)
     sequential_out = Interpreter(
-        compile_and_opt(MAYALIAS_SOURCE)).run("main").output
+        compile_and_opt(MAYALIAS_SOURCE), engine=engine).run("main").output
     result = parallelize_module(module, only_functions=["MayAlias"])
-    parallel_out = Interpreter(module).run("main").output
+    parallel_out = Interpreter(module, engine=engine).run("main").output
     text = decompile(module, "full")
     conditional = sum(1 for o in result.parallel_loops if o.conditional)
     return Figure2(

@@ -79,9 +79,16 @@ def build_openmp(source: str, defines: Optional[Dict[str, str]] = None,
 
 
 def kernel_time(module: Module, machine: Optional[MachineModel] = None,
-                kernel: str = "kernel", init: str = "init") -> float:
-    """Modeled wall cycles of one kernel invocation (after init)."""
-    interp = Interpreter(module, machine)
+                kernel: str = "kernel", init: str = "init",
+                engine: Optional[str] = None) -> float:
+    """Modeled wall cycles of one kernel invocation (after init).
+
+    ``engine`` selects the execution engine (``compiled``/``walk``);
+    ``None`` uses the process default.  Both engines produce identical
+    modeled times — the knob exists for the differential parity suite
+    and the throughput benchmarks.
+    """
+    interp = Interpreter(module, machine, engine=engine)
     if init in module.functions and not module.functions[init].is_declaration:
         interp.run(init)
     before = interp.wall_time
@@ -90,8 +97,9 @@ def kernel_time(module: Module, machine: Optional[MachineModel] = None,
 
 
 def program_output(module: Module,
-                   machine: Optional[MachineModel] = None) -> List[str]:
-    return Interpreter(module, machine).run("main").output
+                   machine: Optional[MachineModel] = None,
+                   engine: Optional[str] = None) -> List[str]:
+    return Interpreter(module, machine, engine=engine).run("main").output
 
 
 @dataclass

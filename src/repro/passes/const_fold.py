@@ -70,9 +70,17 @@ _ICMP = {
 }
 
 _FCMP = {
-    "oeq": lambda a, b: a == b, "one": lambda a, b: a != b,
+    # Ordered predicates are false when either operand is NaN, unordered
+    # ones true; "one" is therefore a < b or a > b (NOT a != b, which is
+    # true on NaN), and the unordered forms are negations of the
+    # inverted ordered comparisons.
+    "oeq": lambda a, b: a == b, "one": lambda a, b: a < b or a > b,
     "olt": lambda a, b: a < b, "ole": lambda a, b: a <= b,
     "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
+    "ueq": lambda a, b: not (a < b or a > b),
+    "une": lambda a, b: a != b,
+    "ult": lambda a, b: not a >= b, "ule": lambda a, b: not a > b,
+    "ugt": lambda a, b: not a <= b, "uge": lambda a, b: not a < b,
 }
 
 

@@ -1,7 +1,12 @@
 """repro.runtime — IR interpreter, simulated OpenMP runtime, cost model."""
 
-from .interp import (ExecutionResult, Interpreter, InterpreterError,
-                     StepLimitExceeded, run_module)
+from .compile import (COMPILED_CODE, CodeCache, CodeCacheStats,
+                      CompiledFunction, clear_code_cache, code_for,
+                      compile_function, global_code_cache, invalidate_code,
+                      structure_token)
+from .interp import (ENGINES, ExecutionResult, Interpreter, InterpreterError,
+                     StepLimitExceeded, default_engine, run_module,
+                     set_default_engine)
 from .machine import (COMPUTE_COST, CostAccumulator, MachineModel,
                       compiler_factor)
 from .memory import NULL, Buffer, Pointer, TrapError
@@ -10,7 +15,11 @@ from .omp import (KMP_SCH_DYNAMIC_CHUNKED, KMP_SCH_STATIC,
 
 __all__ = [
     "ExecutionResult", "Interpreter", "InterpreterError", "StepLimitExceeded",
-    "run_module", "COMPUTE_COST", "CostAccumulator", "MachineModel",
+    "run_module", "ENGINES", "default_engine", "set_default_engine",
+    "COMPILED_CODE", "CodeCache", "CodeCacheStats", "CompiledFunction",
+    "clear_code_cache", "code_for", "compile_function", "global_code_cache",
+    "invalidate_code", "structure_token",
+    "COMPUTE_COST", "CostAccumulator", "MachineModel",
     "compiler_factor", "NULL", "Buffer", "Pointer", "TrapError",
     "KMP_SCH_DYNAMIC_CHUNKED", "KMP_SCH_STATIC", "KMP_SCH_STATIC_CHUNKED",
     "install_omp_runtime",

@@ -1,0 +1,833 @@
+"""Closure compilation: lower IR functions to slot-indexed code.
+
+The tree-walking engine in :mod:`repro.runtime.interp` re-does
+``isinstance`` dispatch, ``Dict[Value, object]`` frame lookups, and a
+per-instruction :meth:`Interpreter.charge` for every dynamic
+instruction.  This module removes that overhead with a one-time lowering
+of each :class:`~repro.ir.module.Function` into an executable
+:class:`CompiledFunction`:
+
+* **Slot-indexed frames** — arguments, non-void instructions, and the
+  globals a function touches each get an integer slot in a flat
+  ``list`` frame; operand reads become ``frame[i]`` (or a constant
+  baked at compile time), never a dict lookup.
+* **Opcode-specialized closures** — each instruction is lowered once to
+  a small closure with its operand slots, constants, wrap masks, GEP
+  scales, and callee bound in the closure environment, so executing a
+  block is a plain loop over prebuilt callables.
+* **Phi parallel copies** — each (predecessor → block) edge gets a
+  precomputed move list applied read-all-then-write, mirroring the
+  walker's atomic phi evaluation.
+* **Block-aggregated cost charging** — per block, the total
+  ``dynamic_instructions``, compute/memory cycles, wall time, and
+  per-opcode counts are precomputed; executing the block performs one
+  accumulator update instead of one per instruction.  Every cost-table
+  entry is a multiple of 0.5, so block sums are bit-identical to the
+  walker's per-instruction accumulation, and the step limit is checked
+  per block (a :class:`StepLimitExceeded` raise therefore lands within
+  one block of the walker's raise point — see the engine tests).
+  Instructions whose charge cannot be precomputed (indirect calls,
+  whose cost depends on the runtime callee) charge through
+  :meth:`Interpreter.charge` exactly like the walker.
+
+Compiled code is cached per function in a process-global
+:class:`CodeCache` validated by identity, a structural token, and the
+service layer's ``pipeline_fingerprint()``; it is also registered as
+the ``compiled-code`` function analysis so AnalysisManager-driven
+pipelines invalidate it through the usual
+:class:`~repro.analysis.manager.PreservedAnalyses` contracts (no pass
+preserves it short of ``PreservedAnalyses.all()``).
+
+The compiled engine assumes verified SSA input: where the walker raises
+``use of undefined value`` on IR that reads a value before its
+definition, compiled frames read an uninitialized slot instead.  All
+defined behavior — outputs, costs, traps, error messages — matches the
+walker; the differential parity suite enforces this.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.manager import register_function_analysis
+from ..ir import types as ir_ty
+from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast,
+                               CondBranch, DbgValue, FCmp, GetElementPtr,
+                               ICmp, Instruction, Load, Phi, Ret, Select,
+                               Store, Unreachable)
+from ..ir.module import Function
+from ..ir.values import (ConstantFloat, ConstantInt, ConstantPointerNull,
+                         GlobalVariable, UndefValue, Value)
+from .interp import (_FCMP_FN, _ICMP_FN, InterpreterError, StepLimitExceeded,
+                     pointer_compare)
+from .machine import (COMPUTE_COST, DEFAULT_COST, MATH_CALL_COST,
+                      MEMORY_CYCLES_PER_ACCESS)
+from .memory import NULL, Buffer, Pointer, TrapError
+
+#: AnalysisManager name of the compiled-code function analysis.
+COMPILED_CODE = "compiled-code"
+
+#: Operand spec index meaning "constant baked in the spec, not a slot".
+_CONST = -1
+
+
+def _instruction_charge(opcode: str, callee: str = "") -> Tuple[float, float]:
+    """(compute, memory) cycles one charge() of ``opcode`` adds."""
+    if opcode == "call" and callee in MATH_CALL_COST:
+        return float(MATH_CALL_COST[callee]), 0.0
+    compute = float(COMPUTE_COST.get(opcode, DEFAULT_COST))
+    memory = MEMORY_CYCLES_PER_ACCESS if opcode in ("load", "store") else 0.0
+    return compute, memory
+
+
+class _BlockCost:
+    """Accumulates one block's precomputed charge aggregate."""
+
+    __slots__ = ("n", "compute", "memory", "counts")
+
+    def __init__(self):
+        self.n = 0
+        self.compute = 0.0
+        self.memory = 0.0
+        self.counts: Dict[str, int] = {}
+
+    def add(self, opcode: str, callee: str = "") -> None:
+        self.n += 1
+        self.counts[opcode] = self.counts.get(opcode, 0) + 1
+        compute, memory = _instruction_charge(opcode, callee)
+        self.compute += compute
+        self.memory += memory
+
+
+class CompiledBlock:
+    """One basic block lowered to closures plus a charge aggregate."""
+
+    __slots__ = ("phi_moves", "n_insts", "compute", "memory", "wall",
+                 "counts", "ops", "term", "ret")
+
+    def __init__(self, phi_moves, cost: _BlockCost, ops, term, ret):
+        self.phi_moves = phi_moves
+        self.n_insts = cost.n
+        self.compute = cost.compute
+        self.memory = cost.memory
+        # charge() adds exactly compute + memory to wall time, so the
+        # block's wall delta is their sum (checked by the parity tests).
+        self.wall = cost.compute + cost.memory
+        self.counts = tuple(cost.counts.items())
+        self.ops = tuple(ops)
+        self.term = term
+        self.ret = ret
+
+
+class CompiledFunction:
+    """A function lowered to slot-indexed executable form."""
+
+    __slots__ = ("function", "blocks", "frame_size", "num_args",
+                 "global_bindings")
+
+    def __init__(self, function: Function, blocks: List[CompiledBlock],
+                 frame_size: int, num_args: int,
+                 global_bindings: Tuple[Tuple[int, GlobalVariable], ...]):
+        self.function = function
+        self.blocks = blocks
+        self.frame_size = frame_size
+        self.num_args = num_args
+        self.global_bindings = global_bindings
+
+    def execute(self, interp, args: List[object]) -> object:
+        frame: List[object] = [None] * self.frame_size
+        num_args = self.num_args
+        if num_args:
+            frame[:num_args] = args
+        if self.global_bindings:
+            interp_globals = interp.globals
+            for slot, gvar in self.global_bindings:
+                frame[slot] = interp_globals[gvar]
+
+        blocks = self.blocks
+        cost = interp.cost
+        max_steps = interp.max_steps
+        index = 0
+        prev = -1
+        while True:
+            block = blocks[index]
+
+            moves = block.phi_moves
+            if moves is not None:
+                edge = moves.get(prev)
+                if type(edge) is not tuple:
+                    raise InterpreterError(edge)
+                if len(edge) == 1:
+                    dst, src, const = edge[0]
+                    frame[dst] = frame[src] if src >= 0 else const
+                else:
+                    values = [frame[src] if src >= 0 else const
+                              for _, src, const in edge]
+                    for (dst, _, _), value in zip(edge, values):
+                        frame[dst] = value
+
+            cost.dynamic_instructions += block.n_insts
+            cost.compute += block.compute
+            cost.memory += block.memory
+            counts = cost.opcode_counts
+            for opcode, n in block.counts:
+                counts[opcode] = counts.get(opcode, 0) + n
+            if cost.dynamic_instructions > max_steps:
+                raise StepLimitExceeded(
+                    f"exceeded {max_steps} dynamic instructions")
+            if interp._fork_depth == 0:
+                interp.wall_time += block.wall
+
+            for op in block.ops:
+                op(interp, frame)
+
+            next_index = block.term(interp, frame)
+            if next_index < 0:
+                ret = block.ret
+                if ret is None:
+                    return None
+                slot, const = ret
+                return frame[slot] if slot >= 0 else const
+            prev, index = index, next_index
+
+
+class _FunctionLowering:
+    """Single-use compiler from one Function to a CompiledFunction."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.slots: Dict[int, int] = {}
+        self.global_slots: Dict[int, Tuple[int, GlobalVariable]] = {}
+        self.block_index = {id(b): i for i, b in enumerate(function.blocks)}
+        next_slot = 0
+        for arg in function.arguments:
+            self.slots[id(arg)] = next_slot
+            next_slot += 1
+        self.num_args = next_slot
+        for block in function.blocks:
+            for inst in block.instructions:
+                if not inst.type.is_void:
+                    self.slots[id(inst)] = next_slot
+                    next_slot += 1
+        self.next_slot = next_slot
+
+    # Operand resolution ----------------------------------------------------
+
+    def operand(self, value: Value) -> Tuple[int, object]:
+        """Lower an operand to a ``(slot, constant)`` spec."""
+        slot = self.slots.get(id(value))
+        if slot is not None:
+            return (slot, None)
+        if isinstance(value, ConstantInt):
+            return (_CONST, value.value)
+        if isinstance(value, ConstantFloat):
+            return (_CONST, value.value)
+        if isinstance(value, ConstantPointerNull):
+            return (_CONST, NULL)
+        if isinstance(value, UndefValue):
+            if value.type.is_float:
+                return (_CONST, 0.0)
+            if value.type.is_pointer:
+                return (_CONST, NULL)
+            return (_CONST, 0)
+        if isinstance(value, GlobalVariable):
+            entry = self.global_slots.get(id(value))
+            if entry is None:
+                entry = (self.next_slot, value)
+                self.global_slots[id(value)] = entry
+                self.next_slot += 1
+            return (entry[0], None)
+        if isinstance(value, Function):
+            return (_CONST, value)
+        raise _UndefinedOperand(value)
+
+    # Compilation -----------------------------------------------------------
+
+    def compile(self) -> CompiledFunction:
+        blocks = [self._compile_block(b) for b in self.function.blocks]
+        bindings = tuple(self.global_slots.values())
+        return CompiledFunction(self.function, blocks, self.next_slot,
+                                self.num_args, bindings)
+
+    def _compile_block(self, block) -> CompiledBlock:
+        instructions = block.instructions
+        cost = _BlockCost()
+        index = 0
+        phis: List[Phi] = []
+        while index < len(instructions) and isinstance(
+                instructions[index], Phi):
+            phis.append(instructions[index])
+            cost.add("phi")
+            index += 1
+        phi_moves = self._compile_phis(block, phis) if phis else None
+
+        ops = []
+        term = None
+        ret = None
+        for inst in instructions[index:]:
+            if inst.is_terminator:
+                term, ret = self._compile_terminator(inst, cost)
+                break
+            op = self._compile_instruction(inst, cost)
+            if op is not None:
+                ops.append(op)
+        if term is None:
+            message = (f"block {block.name} fell through "
+                       f"without a terminator")
+
+            def term(interp, frame, _message=message):
+                raise InterpreterError(_message)
+        return CompiledBlock(phi_moves, cost, ops, term, ret)
+
+    def _compile_phis(self, block, phis: List[Phi]):
+        # Every runtime edge comes from a compile-time predecessor (the
+        # terminator operands define both), plus the virtual entry edge.
+        edges: Dict[int, object] = {}
+        preds = [(None, -1)] if block is self.function.entry else []
+        for pred in block.predecessors:
+            preds.append((pred, self.block_index[id(pred)]))
+        for pred, pred_index in preds:
+            moves = []
+            error: Optional[str] = None
+            for phi in phis:
+                incoming = phi.incoming_for(pred)
+                if incoming is None:
+                    error = (f"phi {phi} has no incoming value from "
+                             f"{pred.name if pred else '<entry>'}")
+                    break
+                slot, const = self.operand(incoming)
+                dst = self.slots[id(phi)]
+                if slot == dst:
+                    continue  # self-copy: frame[d] = frame[d]
+                moves.append((dst, slot, const))
+            edges[pred_index] = error if error is not None else tuple(moves)
+        return edges
+
+    def _compile_terminator(self, inst: Instruction, cost: _BlockCost):
+        if isinstance(inst, CondBranch):
+            cost.add("br")
+            ci, cc = self.operand(inst.condition)
+            ti = self.block_index[id(inst.if_true)]
+            fi = self.block_index[id(inst.if_false)]
+
+            def term(interp, frame, ci=ci, cc=cc, ti=ti, fi=fi):
+                return ti if (frame[ci] if ci >= 0 else cc) else fi
+            return term, None
+        if isinstance(inst, Branch):
+            cost.add("br")
+            ti = self.block_index[id(inst.target)]
+
+            def term(interp, frame, ti=ti):
+                return ti
+            return term, None
+        if isinstance(inst, Ret):
+            cost.add("ret")
+            ret = None if inst.value is None else self.operand(inst.value)
+
+            def term(interp, frame):
+                return -1
+            return term, ret
+        if isinstance(inst, Unreachable):
+            # The walker raises before charging: excluded from the block
+            # aggregate.
+            def term(interp, frame):
+                raise TrapError("executed 'unreachable'")
+            return term, None
+        raise InterpreterError(
+            f"cannot compile terminator {inst.opcode!r}")
+
+    def _compile_instruction(self, inst: Instruction, cost: _BlockCost):
+        if isinstance(inst, DbgValue):
+            cost.add("dbg.value")
+            return None
+        if isinstance(inst, BinaryOp):
+            cost.add(inst.opcode)
+            return self._compile_binop(inst)
+        if isinstance(inst, ICmp):
+            cost.add("icmp")
+            return self._compile_icmp(inst)
+        if isinstance(inst, FCmp):
+            cost.add("fcmp")
+            ai, ac = self.operand(inst.lhs)
+            bi, bc = self.operand(inst.rhs)
+            dst = self.slots[id(inst)]
+            fn = _FCMP_FN[inst.predicate]
+
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst, fn=fn):
+                a = frame[ai] if ai >= 0 else ac
+                b = frame[bi] if bi >= 0 else bc
+                frame[dst] = 1 if fn(a, b) else 0
+            return op
+        if isinstance(inst, Alloca):
+            cost.add("alloca")
+            size = ir_ty.sizeof(inst.allocated_type)
+            label = inst.name or "alloca"
+            dst = self.slots[id(inst)]
+
+            def op(interp, frame, size=size, label=label, dst=dst):
+                frame[dst] = Pointer(Buffer(size, label), 0)
+            return op
+        if isinstance(inst, Load):
+            cost.add("load")
+            pi, pc = self.operand(inst.pointer)
+            dst = self.slots[id(inst)]
+            vtype = inst.type
+
+            def op(interp, frame, pi=pi, pc=pc, dst=dst, vtype=vtype):
+                pointer = frame[pi] if pi >= 0 else pc
+                if pointer.is_null:
+                    raise TrapError("load from null pointer")
+                frame[dst] = pointer.buffer.load(pointer.offset, vtype)
+            return op
+        if isinstance(inst, Store):
+            cost.add("store")
+            vi, vc = self.operand(inst.value)
+            pi, pc = self.operand(inst.pointer)
+            vtype = inst.value.type
+
+            def op(interp, frame, vi=vi, vc=vc, pi=pi, pc=pc, vtype=vtype):
+                pointer = frame[pi] if pi >= 0 else pc
+                if pointer.is_null:
+                    raise TrapError("store to null pointer")
+                pointer.buffer.store(pointer.offset,
+                                     frame[vi] if vi >= 0 else vc, vtype)
+            return op
+        if isinstance(inst, GetElementPtr):
+            cost.add("getelementptr")
+            return self._compile_gep(inst)
+        if isinstance(inst, Cast):
+            cost.add(inst.opcode)
+            return self._compile_cast(inst)
+        if isinstance(inst, Select):
+            cost.add("select")
+            ci, cc = self.operand(inst.condition)
+            ti, tc = self.operand(inst.if_true)
+            fi, fc = self.operand(inst.if_false)
+            dst = self.slots[id(inst)]
+
+            def op(interp, frame, ci=ci, cc=cc, ti=ti, tc=tc, fi=fi, fc=fc,
+                   dst=dst):
+                if frame[ci] if ci >= 0 else cc:
+                    frame[dst] = frame[ti] if ti >= 0 else tc
+                else:
+                    frame[dst] = frame[fi] if fi >= 0 else fc
+            return op
+        if isinstance(inst, Phi):
+            # A phi below a non-phi: the walker's dispatch rejects it
+            # without charging.
+            def op(interp, frame):
+                raise InterpreterError("phi reached instruction dispatch")
+            return op
+        if isinstance(inst, Call):
+            return self._compile_call(inst, cost)
+        raise InterpreterError(f"cannot interpret opcode {inst.opcode!r}")
+
+    def _compile_binop(self, inst: BinaryOp):
+        ai, ac = self.operand(inst.lhs)
+        bi, bc = self.operand(inst.rhs)
+        dst = self.slots[id(inst)]
+        opcode = inst.opcode
+        if opcode in ("fadd", "fsub", "fmul", "fdiv", "frem"):
+            if opcode == "fadd":
+                def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst):
+                    frame[dst] = ((frame[ai] if ai >= 0 else ac)
+                                  + (frame[bi] if bi >= 0 else bc))
+            elif opcode == "fsub":
+                def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst):
+                    frame[dst] = ((frame[ai] if ai >= 0 else ac)
+                                  - (frame[bi] if bi >= 0 else bc))
+            elif opcode == "fmul":
+                def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst):
+                    frame[dst] = ((frame[ai] if ai >= 0 else ac)
+                                  * (frame[bi] if bi >= 0 else bc))
+            elif opcode == "fdiv":
+                def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst):
+                    a = frame[ai] if ai >= 0 else ac
+                    b = frame[bi] if bi >= 0 else bc
+                    if b == 0.0:
+                        frame[dst] = math.inf if a > 0 else (
+                            -math.inf if a < 0 else math.nan)
+                    else:
+                        frame[dst] = a / b
+            else:
+                def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst):
+                    frame[dst] = math.fmod(frame[ai] if ai >= 0 else ac,
+                                           frame[bi] if bi >= 0 else bc)
+            return op
+
+        vtype: ir_ty.IntType = inst.type
+        bits = vtype.bits
+        mask = (1 << bits) - 1
+        top = 1 << bits
+        max_value = vtype.max_value
+        # The wrap arithmetic is inlined (mask, then re-sign) for the
+        # hot opcodes; it is exactly IntType.wrap.
+        if opcode == "add":
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   mask=mask, top=top, max_value=max_value):
+                r = ((frame[ai] if ai >= 0 else ac)
+                     + (frame[bi] if bi >= 0 else bc)) & mask
+                frame[dst] = r - top if r > max_value else r
+            return op
+        if opcode == "sub":
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   mask=mask, top=top, max_value=max_value):
+                r = ((frame[ai] if ai >= 0 else ac)
+                     - (frame[bi] if bi >= 0 else bc)) & mask
+                frame[dst] = r - top if r > max_value else r
+            return op
+        if opcode == "mul":
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   mask=mask, top=top, max_value=max_value):
+                r = ((frame[ai] if ai >= 0 else ac)
+                     * (frame[bi] if bi >= 0 else bc)) & mask
+                frame[dst] = r - top if r > max_value else r
+            return op
+        wrap = vtype.wrap
+        if opcode == "sdiv":
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   wrap=wrap):
+                a = frame[ai] if ai >= 0 else ac
+                b = frame[bi] if bi >= 0 else bc
+                if b == 0:
+                    raise TrapError("integer division by zero")
+                frame[dst] = wrap(int(a / b))
+            return op
+        if opcode == "srem":
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   wrap=wrap):
+                a = frame[ai] if ai >= 0 else ac
+                b = frame[bi] if bi >= 0 else bc
+                if b == 0:
+                    raise TrapError("integer remainder by zero")
+                frame[dst] = wrap(a - int(a / b) * b)
+            return op
+        if opcode in ("udiv", "urem"):
+            is_div = opcode == "udiv"
+
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   wrap=wrap, top=top, is_div=is_div):
+                a = frame[ai] if ai >= 0 else ac
+                b = frame[bi] if bi >= 0 else bc
+                if b == 0:
+                    raise TrapError("integer division by zero")
+                ua, ub = a % top, b % top
+                frame[dst] = wrap(ua // ub if is_div else ua % ub)
+            return op
+        if opcode in ("and", "or", "xor"):
+            if opcode == "and":
+                def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                       wrap=wrap):
+                    frame[dst] = wrap((frame[ai] if ai >= 0 else ac)
+                                      & (frame[bi] if bi >= 0 else bc))
+            elif opcode == "or":
+                def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                       wrap=wrap):
+                    frame[dst] = wrap((frame[ai] if ai >= 0 else ac)
+                                      | (frame[bi] if bi >= 0 else bc))
+            else:
+                def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                       wrap=wrap):
+                    frame[dst] = wrap((frame[ai] if ai >= 0 else ac)
+                                      ^ (frame[bi] if bi >= 0 else bc))
+            return op
+        if opcode == "shl":
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   wrap=wrap, bits=bits):
+                frame[dst] = wrap((frame[ai] if ai >= 0 else ac)
+                                  << ((frame[bi] if bi >= 0 else bc) % bits))
+            return op
+        if opcode == "ashr":
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   wrap=wrap, bits=bits):
+                frame[dst] = wrap((frame[ai] if ai >= 0 else ac)
+                                  >> ((frame[bi] if bi >= 0 else bc) % bits))
+            return op
+        if opcode == "lshr":
+            def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst,
+                   wrap=wrap, bits=bits, top=top):
+                frame[dst] = wrap(((frame[ai] if ai >= 0 else ac) % top)
+                                  >> ((frame[bi] if bi >= 0 else bc) % bits))
+            return op
+        raise InterpreterError(f"unknown binop {opcode}")
+
+    def _compile_icmp(self, inst: ICmp):
+        ai, ac = self.operand(inst.lhs)
+        bi, bc = self.operand(inst.rhs)
+        dst = self.slots[id(inst)]
+        predicate = inst.predicate
+        fn = _ICMP_FN[predicate]
+
+        def op(interp, frame, ai=ai, ac=ac, bi=bi, bc=bc, dst=dst, fn=fn,
+               predicate=predicate):
+            a = frame[ai] if ai >= 0 else ac
+            b = frame[bi] if bi >= 0 else bc
+            if isinstance(a, Pointer) or isinstance(b, Pointer):
+                frame[dst] = 1 if pointer_compare(predicate, a, b) else 0
+            else:
+                frame[dst] = 1 if fn(a, b) else 0
+        return op
+
+    def _compile_gep(self, inst: GetElementPtr):
+        pi, pc = self.operand(inst.pointer)
+        dst = self.slots[id(inst)]
+        current = inst.pointer.type.pointee
+        scales = [ir_ty.sizeof(current)]
+        for _ in inst.indices[1:]:
+            current = ir_ty.element_type(current)
+            scales.append(ir_ty.sizeof(current))
+        base = 0
+        dynamic: List[Tuple[int, object, int]] = []
+        for index_value, scale in zip(inst.indices, scales):
+            si, sc = self.operand(index_value)
+            if si < 0:
+                base += int(sc) * scale
+            else:
+                dynamic.append((si, sc, scale))
+        if not dynamic:
+            def op(interp, frame, pi=pi, pc=pc, dst=dst, base=base):
+                pointer = frame[pi] if pi >= 0 else pc
+                frame[dst] = Pointer(pointer.buffer, pointer.offset + base)
+            return op
+        if len(dynamic) == 1:
+            i0, _, s0 = dynamic[0]
+
+            def op(interp, frame, pi=pi, pc=pc, dst=dst, base=base, i0=i0,
+                   s0=s0):
+                pointer = frame[pi] if pi >= 0 else pc
+                frame[dst] = Pointer(
+                    pointer.buffer,
+                    pointer.offset + base + int(frame[i0]) * s0)
+            return op
+        if len(dynamic) == 2:
+            i0, _, s0 = dynamic[0]
+            i1, _, s1 = dynamic[1]
+
+            def op(interp, frame, pi=pi, pc=pc, dst=dst, base=base, i0=i0,
+                   s0=s0, i1=i1, s1=s1):
+                pointer = frame[pi] if pi >= 0 else pc
+                frame[dst] = Pointer(
+                    pointer.buffer,
+                    pointer.offset + base + int(frame[i0]) * s0
+                    + int(frame[i1]) * s1)
+            return op
+        spec = tuple(dynamic)
+
+        def op(interp, frame, pi=pi, pc=pc, dst=dst, base=base, spec=spec):
+            pointer = frame[pi] if pi >= 0 else pc
+            offset = pointer.offset + base
+            for si, _, scale in spec:
+                offset += int(frame[si]) * scale
+            frame[dst] = Pointer(pointer.buffer, offset)
+        return op
+
+    def _compile_cast(self, inst: Cast):
+        vi, vc = self.operand(inst.value)
+        dst = self.slots[id(inst)]
+        opcode = inst.opcode
+        if opcode in ("sext", "bitcast", "inttoptr", "ptrtoint"):
+            def op(interp, frame, vi=vi, vc=vc, dst=dst):
+                frame[dst] = frame[vi] if vi >= 0 else vc
+            return op
+        if opcode == "zext":
+            modulus = 1 << inst.value.type.bits
+
+            def op(interp, frame, vi=vi, vc=vc, dst=dst, modulus=modulus):
+                frame[dst] = (frame[vi] if vi >= 0 else vc) % modulus
+            return op
+        if opcode in ("trunc", "fptosi"):
+            wrap = inst.type.wrap
+
+            def op(interp, frame, vi=vi, vc=vc, dst=dst, wrap=wrap):
+                frame[dst] = wrap(int(frame[vi] if vi >= 0 else vc))
+            return op
+        if opcode == "sitofp":
+            def op(interp, frame, vi=vi, vc=vc, dst=dst):
+                frame[dst] = float(frame[vi] if vi >= 0 else vc)
+            return op
+        raise InterpreterError(f"unknown cast {opcode}")
+
+    def _compile_call(self, inst: Call, cost: _BlockCost):
+        arg_specs = tuple(self.operand(a) for a in inst.args)
+        dst = self.slots.get(id(inst))  # None for void calls
+        callee = inst.callee
+        if isinstance(callee, Function):
+            name = callee.name
+            cost.add("call", name)
+
+            def op(interp, frame, arg_specs=arg_specs, dst=dst,
+                   callee=callee, name=name, inst=inst):
+                args = [frame[i] if i >= 0 else c for i, c in arg_specs]
+                if callee.blocks:
+                    result = interp.call_function(callee, args)
+                else:
+                    handler = interp.externals.get(name)
+                    if handler is None:
+                        raise InterpreterError(
+                            f"call to unknown external '{name}'")
+                    result = handler(interp, inst, args)
+                if dst is not None:
+                    frame[dst] = result
+            return op
+
+        # Indirect call: the callee (and hence the charge) is only known
+        # at run time, so this instruction is excluded from the block
+        # aggregate and charges through the walker's charge() path.
+        ci, cc = self.operand(callee)
+
+        def op(interp, frame, arg_specs=arg_specs, dst=dst, ci=ci, cc=cc,
+               inst=inst):
+            target = frame[ci] if ci >= 0 else cc
+            args = [frame[i] if i >= 0 else c for i, c in arg_specs]
+            name = getattr(target, "name", "")
+            interp.charge("call", name)
+            if isinstance(target, Function) and not target.is_declaration:
+                result = interp.call_function(target, args)
+            elif name in interp.externals:
+                result = interp.externals[name](interp, inst, args)
+            else:
+                raise InterpreterError(f"call to unknown external '{name}'")
+            if dst is not None:
+                frame[dst] = result
+        return op
+
+
+class _UndefinedOperand(InterpreterError):
+    def __init__(self, value: Value):
+        super().__init__(f"use of undefined value {value}")
+        self.value = value
+
+
+def compile_function(function: Function) -> CompiledFunction:
+    """Lower ``function`` to slot-indexed executable form (uncached)."""
+    if function.is_declaration:
+        raise InterpreterError(
+            f"cannot compile declaration @{function.name}")
+    return _FunctionLowering(function).compile()
+
+
+# Cache ----------------------------------------------------------------------
+
+def structure_token(function: Function) -> Tuple:
+    """A cheap structural fingerprint of a function's current shape.
+
+    Captures block/instruction identities, opcodes, predicates, and
+    operand identities — anything a transforming pass can change that
+    the lowered closures bake in.  Token mismatch means the cached code
+    was compiled from a different shape and must be dropped.
+    """
+    parts: List[object] = [len(function.blocks)]
+    append = parts.append
+    for block in function.blocks:
+        append(id(block))
+        for inst in block.instructions:
+            append(id(inst))
+            append(inst.opcode)
+            predicate = getattr(inst, "predicate", None)
+            if predicate is not None:
+                append(predicate)
+            for operand in inst.operands:
+                append(id(operand))
+    return tuple(parts)
+
+
+def _current_fingerprint() -> str:
+    """The service layer's pipeline fingerprint (lazily imported)."""
+    from ..service.cache import pipeline_fingerprint
+    return pipeline_fingerprint()
+
+
+@dataclass
+class CodeCacheStats:
+    compiles: int = 0
+    hits: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+
+class CodeCache:
+    """Process-global LRU of compiled functions.
+
+    Entries are keyed by ``id(function)`` and pinned by a strong
+    reference (so an id can never be reused while its entry lives);
+    each hit is validated against the function's current
+    :func:`structure_token` and the pipeline fingerprint, so mutation
+    by any pass — AnalysisManager-driven or not — invalidates lazily
+    on the next fetch.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self.stats = CodeCacheStats()
+        self._entries: "OrderedDict[int, tuple]" = OrderedDict()
+
+    def code_for(self, function: Function) -> CompiledFunction:
+        key = id(function)
+        fingerprint = _current_fingerprint()
+        entry = self._entries.get(key)
+        if entry is not None:
+            cached_fn, token, cached_fp, code = entry
+            if (cached_fn is function and cached_fp == fingerprint
+                    and token == structure_token(function)):
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return code
+            self.stats.invalidations += 1
+            del self._entries[key]
+        code = compile_function(function)
+        self.stats.compiles += 1
+        self._entries[key] = (function, structure_token(function),
+                              fingerprint, code)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return code
+
+    def invalidate(self, function: Function) -> bool:
+        entry = self._entries.pop(id(function), None)
+        if entry is not None:
+            self.stats.invalidations += 1
+        return entry is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_CODE_CACHE = CodeCache()
+
+
+def global_code_cache() -> CodeCache:
+    return _CODE_CACHE
+
+
+def invalidate_code(function: Function) -> bool:
+    """Drop ``function``'s compiled code from the global cache."""
+    return _CODE_CACHE.invalidate(function)
+
+
+def clear_code_cache() -> None:
+    _CODE_CACHE.clear()
+
+
+def code_for(function: Function, analysis_manager=None) -> CompiledFunction:
+    """Compiled code for ``function``.
+
+    With an :class:`~repro.analysis.manager.AnalysisManager`, the code
+    is produced through the registered ``compiled-code`` function
+    analysis, so pass pipelines invalidate it via PreservedAnalyses
+    like any other analysis.  Otherwise it comes from the global
+    token-validated LRU.
+    """
+    if analysis_manager is not None:
+        return analysis_manager.get(COMPILED_CODE, function)
+    return _CODE_CACHE.code_for(function)
+
+
+register_function_analysis(COMPILED_CODE,
+                           lambda function, am: compile_function(function))

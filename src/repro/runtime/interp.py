@@ -29,7 +29,8 @@ from ..ir.module import Function, Module
 from ..ir.values import (Argument, ConstantFloat, ConstantInt,
                          ConstantPointerNull, GlobalVariable, UndefValue,
                          Value)
-from .machine import CostAccumulator, MachineModel
+from .machine import (COMPUTE_COST, DEFAULT_COST, MATH_CALL_COST,
+                      MEMORY_CYCLES_PER_ACCESS, CostAccumulator, MachineModel)
 from .memory import NULL, Buffer, Pointer, TrapError
 
 
@@ -39,6 +40,29 @@ class InterpreterError(Exception):
 
 class StepLimitExceeded(InterpreterError):
     pass
+
+
+#: The two execution engines.  ``compiled`` lowers each function once to
+#: slot-indexed closures (see :mod:`repro.runtime.compile`); ``walk`` is
+#: the original tree-walking dispatch, kept as the semantics reference.
+ENGINES = ("compiled", "walk")
+
+_DEFAULT_ENGINE = "compiled"
+
+
+def default_engine() -> str:
+    """The engine used when :class:`Interpreter` is given ``engine=None``."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default engine; returns the previous one."""
+    global _DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous
 
 
 @dataclass
@@ -63,13 +87,18 @@ _ICMP_FN = {
     "uge": lambda a, b: (a % (1 << 64)) >= (b % (1 << 64)),
 }
 
+# LLVM float comparison semantics: ordered predicates are false when
+# either operand is NaN, unordered predicates true.  Every NaN
+# comparison in Python is false, so ordered forms are direct and each
+# unordered form is the negation of its inverted ordered form.
 _FCMP_FN = {
-    "oeq": lambda a, b: a == b, "one": lambda a, b: a != b,
+    "oeq": lambda a, b: a == b, "one": lambda a, b: a < b or a > b,
     "olt": lambda a, b: a < b, "ole": lambda a, b: a <= b,
     "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
-    "ueq": lambda a, b: a == b, "une": lambda a, b: a != b,
-    "ult": lambda a, b: a < b, "ule": lambda a, b: a <= b,
-    "ugt": lambda a, b: a > b, "uge": lambda a, b: a >= b,
+    "ueq": lambda a, b: not (a < b or a > b),
+    "une": lambda a, b: a != b,
+    "ult": lambda a, b: not a >= b, "ule": lambda a, b: not a > b,
+    "ugt": lambda a, b: not a <= b, "uge": lambda a, b: not a < b,
 }
 
 _MATH_FN: Dict[str, Callable] = {
@@ -83,10 +112,22 @@ ExternalHandler = Callable[["Interpreter", Call, List[object]], object]
 
 class Interpreter:
     def __init__(self, module: Module, machine: Optional[MachineModel] = None,
-                 max_steps: int = 200_000_000):
+                 max_steps: int = 200_000_000,
+                 engine: Optional[str] = None,
+                 analysis_manager: Optional[object] = None):
         self.module = module
         self.machine = machine or MachineModel()
         self.max_steps = max_steps
+        if engine is None:
+            engine = _DEFAULT_ENGINE
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.engine = engine
+        self.analysis_manager = analysis_manager
+        # Per-interpreter compiled-code memo: one cache-validation round
+        # trip per function per interpreter, then a plain dict hit.
+        self._code: Dict[int, object] = {}
         self.cost = CostAccumulator()
         self.wall_time = 0.0
         self.output: List[str] = []
@@ -151,8 +192,6 @@ class Interpreter:
             raise StepLimitExceeded(
                 f"exceeded {self.max_steps} dynamic instructions")
         if self._fork_depth == 0:
-            from .machine import (COMPUTE_COST, DEFAULT_COST, MATH_CALL_COST,
-                                  MEMORY_CYCLES_PER_ACCESS)
             if opcode == "call" and callee in MATH_CALL_COST:
                 self.wall_time += MATH_CALL_COST[callee]
             else:
@@ -177,6 +216,17 @@ class Interpreter:
             raise InterpreterError(
                 f"@{function.name} expects {len(function.arguments)} args, "
                 f"got {len(args)}")
+        if self.engine == "compiled":
+            code = self._code.get(id(function))
+            if code is None:
+                from .compile import code_for
+                code = code_for(function, self.analysis_manager)
+                self._code[id(function)] = code
+            return code.execute(self, args)
+        return self._walk_function(function, args)
+
+    def _walk_function(self, function: Function, args: List[object]) -> object:
+        """The tree-walking engine (the reference semantics)."""
         frame: Dict[Value, object] = {}
         for formal, actual in zip(function.arguments, args):
             frame[formal] = actual
@@ -366,16 +416,7 @@ class Interpreter:
         raise InterpreterError(f"unknown binop {op}")
 
     def _pointer_compare(self, predicate: str, a, b) -> bool:
-        def key(p):
-            if isinstance(p, Pointer):
-                return ((p.buffer.id if p.buffer else 0), p.offset)
-            return (0, int(p))
-        ka, kb = key(a), key(b)
-        return {
-            "eq": ka == kb, "ne": ka != kb,
-            "slt": ka < kb, "sle": ka <= kb, "sgt": ka > kb, "sge": ka >= kb,
-            "ult": ka < kb, "ule": ka <= kb, "ugt": ka > kb, "uge": ka >= kb,
-        }[predicate]
+        return pointer_compare(predicate, a, b)
 
     def _gep(self, inst: GetElementPtr, frame) -> Pointer:
         pointer: Pointer = self.value_of(frame, inst.pointer)
@@ -417,9 +458,25 @@ class Interpreter:
         raise InterpreterError(f"call to unknown external '{name}'")
 
 
+def pointer_compare(predicate: str, a, b) -> bool:
+    """Compare pointers (or pointer/int mixes) by (buffer id, offset)."""
+    def key(p):
+        if isinstance(p, Pointer):
+            return ((p.buffer.id if p.buffer else 0), p.offset)
+        return (0, int(p))
+    ka, kb = key(a), key(b)
+    return {
+        "eq": ka == kb, "ne": ka != kb,
+        "slt": ka < kb, "sle": ka <= kb, "sgt": ka > kb, "sge": ka >= kb,
+        "ult": ka < kb, "ule": ka <= kb, "ugt": ka > kb, "uge": ka >= kb,
+    }[predicate]
+
+
 def run_module(module: Module, entry: str = "main",
                args: Sequence[object] = (),
                machine: Optional[MachineModel] = None,
-               max_steps: int = 200_000_000) -> ExecutionResult:
+               max_steps: int = 200_000_000,
+               engine: Optional[str] = None) -> ExecutionResult:
     """Convenience wrapper: interpret ``entry`` in a fresh interpreter."""
-    return Interpreter(module, machine, max_steps).run(entry, args)
+    return Interpreter(module, machine, max_steps, engine=engine).run(
+        entry, args)

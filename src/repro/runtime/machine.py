@@ -81,14 +81,23 @@ class MachineModel:
 
 @dataclass
 class CostAccumulator:
-    """Accumulates compute and memory cycles during interpretation."""
+    """Accumulates compute and memory cycles during interpretation.
+
+    ``opcode_counts`` breaks ``dynamic_instructions`` down per opcode;
+    both execution engines (the tree walker and the closure-compiled
+    engine) maintain it, which is what the differential parity tests
+    compare.
+    """
 
     compute: float = 0.0
     memory: float = 0.0
     dynamic_instructions: int = 0
+    opcode_counts: Dict[str, int] = field(default_factory=dict)
 
     def charge(self, opcode: str, callee: str = "") -> None:
         self.dynamic_instructions += 1
+        counts = self.opcode_counts
+        counts[opcode] = counts.get(opcode, 0) + 1
         if opcode == "call" and callee in MATH_CALL_COST:
             self.compute += MATH_CALL_COST[callee]
             return
@@ -102,13 +111,20 @@ class CostAccumulator:
 
     def snapshot(self) -> "CostAccumulator":
         return CostAccumulator(self.compute, self.memory,
-                               self.dynamic_instructions)
+                               self.dynamic_instructions,
+                               dict(self.opcode_counts))
 
     def delta_since(self, snap: "CostAccumulator") -> "CostAccumulator":
+        counts: Dict[str, int] = {}
+        for opcode, count in self.opcode_counts.items():
+            delta = count - snap.opcode_counts.get(opcode, 0)
+            if delta:
+                counts[opcode] = delta
         return CostAccumulator(self.compute - snap.compute,
                                self.memory - snap.memory,
                                self.dynamic_instructions
-                               - snap.dynamic_instructions)
+                               - snap.dynamic_instructions,
+                               counts)
 
 
 def compiler_factor(compiler: str, kernel: str) -> float:

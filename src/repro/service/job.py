@@ -53,6 +53,10 @@ class JobConfig:
     tools: Tuple[str, ...] = ()
     emit_ir: bool = False
     only_functions: Optional[Tuple[str, ...]] = None
+    # Interpreter execution engine for anything the worker runs
+    # (lint self-checks and the like): "compiled", "walk", or None for
+    # the process default.
+    engine: Optional[str] = None
 
     def degraded(self) -> "JobConfig":
         """The config of the degradation ladder's last rung."""
@@ -69,6 +73,7 @@ class JobConfig:
             "emit_ir": self.emit_ir,
             "only_functions": (None if self.only_functions is None
                                else list(self.only_functions)),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -83,6 +88,7 @@ class JobConfig:
             emit_ir=data.get("emit_ir", False),
             only_functions=(None if data.get("only_functions") is None
                             else tuple(data["only_functions"])),
+            engine=data.get("engine"),
         )
 
 

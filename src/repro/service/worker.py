@@ -85,6 +85,13 @@ def execute_job(job_dict: dict, attempt: int = 1,
     config = job.config.degraded() if degraded else job.config
     apply_fault(job.fault, attempt, config.parallelize and not job.is_ir)
 
+    if config.engine is not None:
+        # Pin the interpreter engine for everything this job executes
+        # (lint self-checks interpret the module).  Worker processes are
+        # single-job at a time, so a process-wide default is safe.
+        from ..runtime import set_default_engine
+        set_default_engine(config.engine)
+
     am = AnalysisManager()
     seq_ir = par_ir = None
     polly = None

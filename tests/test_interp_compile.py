@@ -1,0 +1,356 @@
+"""Differential tests for the closure-compiled execution engine.
+
+The ``compiled`` engine lowers each function once to slot-indexed
+closures (see ``repro.runtime.compile``); these tests pin its contract
+against the tree walker: identical outputs, identical per-opcode cost
+accounting, identical modeled wall time, step limits that trip within
+one basic block of the walker's exact point, LLVM NaN semantics for
+every fcmp predicate, phi parallel-copy (swap) resolution, and the
+token-validated code cache's invalidation behavior.
+"""
+
+import math
+
+import pytest
+
+from conftest import compile_o0, compile_o2, compile_parallel
+from repro.ir import types as ir_ty
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import FCMP_PREDICATES
+from repro.ir.module import Function, Module
+from repro.ir.values import const_float, const_int
+from repro.runtime import (Interpreter, StepLimitExceeded, code_for,
+                           compile_function, global_code_cache,
+                           invalidate_code, run_module, structure_token)
+
+NAN = float("nan")
+
+
+def _both(module, **kwargs):
+    """Run main under both engines, returning (walk, compiled) results."""
+    return (run_module(module, engine="walk", **kwargs),
+            run_module(module, engine="compiled", **kwargs))
+
+
+def _assert_parity(walk, compiled):
+    assert compiled.output == walk.output
+    assert compiled.value == walk.value
+    assert compiled.cost == walk.cost              # incl. opcode_counts
+    assert compiled.wall_time == walk.wall_time
+
+
+# ---------------------------------------------------------------------------
+# Step limits
+# ---------------------------------------------------------------------------
+
+LOOP_SOURCE = """
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 200; i++) s = s + i;
+  print_int(s);
+  return 0;
+}
+"""
+
+
+class TestStepLimit:
+    def _total_steps(self, module):
+        return run_module(module, engine="walk").cost.dynamic_instructions
+
+    def test_limit_at_exact_total_passes_both_engines(self):
+        module = compile_o2(LOOP_SOURCE)
+        total = self._total_steps(module)
+        for engine in ("walk", "compiled"):
+            result = run_module(module, engine=engine, max_steps=total)
+            assert result.output == ["19900"]
+
+    def test_limit_one_below_total_raises_both_engines(self):
+        module = compile_o2(LOOP_SOURCE)
+        total = self._total_steps(module)
+        for engine in ("walk", "compiled"):
+            with pytest.raises(StepLimitExceeded):
+                run_module(module, engine=engine, max_steps=total - 1)
+
+    def test_compiled_trips_within_one_block_of_walker(self):
+        """The walker raises at exactly max_steps + 1 charged
+        instructions; the compiled engine charges whole blocks, so it
+        may overshoot — but never by a full block or more."""
+        module = compile_o2(LOOP_SOURCE)
+        limit = self._total_steps(module) // 2
+        largest_block = max(
+            len(block.instructions)
+            for fn in module.defined_functions() for block in fn.blocks)
+
+        def steps_at_raise(engine):
+            interp = Interpreter(module, max_steps=limit, engine=engine)
+            with pytest.raises(StepLimitExceeded):
+                interp.run("main")
+            return interp.cost.dynamic_instructions
+
+        walk_steps = steps_at_raise("walk")
+        compiled_steps = steps_at_raise("compiled")
+        assert walk_steps == limit + 1
+        assert walk_steps <= compiled_steps < walk_steps + largest_block
+
+
+# ---------------------------------------------------------------------------
+# FCmp NaN semantics (LLVM: ordered false on NaN, unordered true)
+# ---------------------------------------------------------------------------
+
+def _fcmp_module(predicate):
+    module = Module(f"fcmp_{predicate}")
+    fn = Function("main", ir_ty.function(
+        ir_ty.I1, [ir_ty.DOUBLE, ir_ty.DOUBLE]))
+    module.add_function(fn)
+    builder = IRBuilder(fn.append_block("entry"))
+    a, b = fn.arguments
+    builder.ret(builder.fcmp(predicate, a, b, "cmp"))
+    return module
+
+
+def _llvm_fcmp(predicate, a, b):
+    unordered = math.isnan(a) or math.isnan(b)
+    base = {"eq": a == b, "ne": a != b, "lt": a < b,
+            "le": a <= b, "gt": a > b, "ge": a >= b}[predicate[1:]]
+    if unordered:
+        return predicate.startswith("u")
+    return base
+
+
+FCMP_OPERANDS = [(1.0, 2.0), (2.0, 1.0), (1.0, 1.0),
+                 (NAN, 1.0), (1.0, NAN), (NAN, NAN)]
+
+
+class TestFCmpNaN:
+    @pytest.mark.parametrize("predicate", FCMP_PREDICATES)
+    def test_all_predicates_match_llvm_on_both_engines(self, predicate):
+        module = _fcmp_module(predicate)
+        for a, b in FCMP_OPERANDS:
+            expected = 1 if _llvm_fcmp(predicate, a, b) else 0
+            for engine in ("walk", "compiled"):
+                got = Interpreter(module, engine=engine).run(
+                    "main", (a, b)).value
+                assert got == expected, (
+                    f"fcmp {predicate} {a}, {b}: engine {engine} gave "
+                    f"{got}, LLVM says {expected}")
+
+    def test_const_fold_agrees_with_interpreter(self):
+        """The constant folder's fcmp table must match runtime
+        semantics, NaN included — a folded comparison may not change
+        program behavior."""
+        from repro.passes.const_fold import _FCMP
+        from repro.runtime.interp import _FCMP_FN
+        assert set(_FCMP) == set(_FCMP_FN) == set(FCMP_PREDICATES)
+        for predicate in FCMP_PREDICATES:
+            for a, b in FCMP_OPERANDS:
+                assert (bool(_FCMP[predicate](a, b))
+                        == bool(_FCMP_FN[predicate](a, b))
+                        == _llvm_fcmp(predicate, a, b)), (predicate, a, b)
+
+    def test_nan_kernel_end_to_end(self):
+        """0.0/0.0 is NaN; the front end lowers float ``!=``/``==`` to
+        the ordered predicates, which are false on NaN."""
+        source = """
+int main() {
+  double z = 0.0;
+  double nan = z / z;
+  print_int(nan == nan ? 1 : 0);
+  print_int(nan != nan ? 1 : 0);
+  print_int(nan < 1.0 ? 1 : 0);
+  print_int(nan >= 1.0 ? 1 : 0);
+  return 0;
+}
+"""
+        for build in (compile_o0, compile_o2):
+            walk, compiled = _both(build(source))
+            _assert_parity(walk, compiled)
+            assert walk.output == ["0", "0", "0", "0"]
+
+
+# ---------------------------------------------------------------------------
+# Phi parallel copies
+# ---------------------------------------------------------------------------
+
+class TestPhiParallelCopy:
+    def _swap_loop_module(self, trips):
+        """x and y swap on every back edge — naive sequential phi
+        assignment would collapse them to one value."""
+        module = Module("swap")
+        fn = Function("main", ir_ty.function(ir_ty.I64, []))
+        module.add_function(fn)
+        entry = fn.append_block("entry")
+        loop = fn.append_block("loop")
+        exit_block = fn.append_block("exit")
+
+        builder = IRBuilder(entry)
+        builder.br(loop)
+
+        builder.position_at_end(loop)
+        i = builder.phi(ir_ty.I64, "i")
+        x = builder.phi(ir_ty.I64, "x")
+        y = builder.phi(ir_ty.I64, "y")
+        i_next = builder.add(i, const_int(1), "i.next")
+        cond = builder.icmp("slt", i_next, const_int(trips), "cond")
+        builder.cond_br(cond, loop, exit_block)
+        i.add_incoming(const_int(0), entry)
+        i.add_incoming(i_next, loop)
+        x.add_incoming(const_int(1), entry)
+        x.add_incoming(y, loop)            # parallel: x <- old y ...
+        y.add_incoming(const_int(2), entry)
+        y.add_incoming(x, loop)            # ... while y <- old x
+
+        builder.position_at_end(exit_block)
+        result = builder.mul(x, const_int(100), "scaled")
+        builder.ret(builder.add(result, y, "packed"))
+        return module
+
+    @pytest.mark.parametrize("trips", [1, 2, 5])
+    def test_swap_cycle_resolved_identically(self, trips):
+        module = self._swap_loop_module(trips)
+        expected_x, expected_y = 1, 2
+        for _ in range(trips - 1):
+            expected_x, expected_y = expected_y, expected_x
+        walk, compiled = _both(module)
+        _assert_parity(walk, compiled)
+        assert walk.value == expected_x * 100 + expected_y
+
+
+# ---------------------------------------------------------------------------
+# The code cache
+# ---------------------------------------------------------------------------
+
+class TestCodeCache:
+    def test_hit_then_structural_invalidation(self):
+        module = compile_o2(LOOP_SOURCE)
+        fn = module.get_function("main")
+        cache = global_code_cache()
+        invalidate_code(fn)                   # clean slate for this fn
+        before = (cache.stats.compiles, cache.stats.hits,
+                  cache.stats.invalidations)
+
+        first = code_for(fn)
+        assert code_for(fn) is first          # identity-stable hit
+        token = structure_token(fn)
+
+        builder = IRBuilder(fn.blocks[0])
+        builder.position_before(fn.blocks[0].terminator)
+        builder.add(const_int(7), const_int(35), "mutation")
+        assert structure_token(fn) != token
+        second = code_for(fn)
+        assert second is not first            # mutation forced recompile
+
+        compiles, hits, invalidations = (
+            cache.stats.compiles - before[0],
+            cache.stats.hits - before[1],
+            cache.stats.invalidations - before[2])
+        assert (compiles, hits, invalidations) == (2, 1, 1)
+
+    def test_explicit_invalidation(self):
+        module = compile_o2(LOOP_SOURCE)
+        fn = module.get_function("main")
+        code_for(fn)
+        assert invalidate_code(fn)
+        assert not invalidate_code(fn)        # already gone
+
+    def test_declarations_are_not_compilable(self):
+        from repro.runtime import InterpreterError
+        module = compile_o0("double exp(double x); int main() { return 0; }")
+        declared = module.get_function("exp")
+        with pytest.raises(InterpreterError, match="declaration"):
+            compile_function(declared)
+
+    def test_compiled_result_is_reused_across_interpreter_runs(self):
+        module = compile_o2(LOOP_SOURCE)
+        interp = Interpreter(module, engine="compiled")
+        interp.run("main")
+        cached = dict(interp._code)
+        interp.run("main")
+        assert dict(interp._code) == cached
+
+
+# ---------------------------------------------------------------------------
+# Full PolyBench differential parity
+# ---------------------------------------------------------------------------
+
+def _poly_names():
+    from repro.polybench import names
+    return sorted(names())
+
+
+@pytest.mark.parametrize("name", _poly_names())
+class TestPolyBenchParity:
+    def test_parallel_module_parity(self, name):
+        """The decompilation input everywhere in the paper: identical
+        output, per-opcode counts, and wall time (fork accounting
+        included) under both engines."""
+        from repro.eval import artifacts_for
+        from repro.polybench import get
+        art = artifacts_for(get(name))
+        walk, compiled = _both(art.parallel)
+        _assert_parity(walk, compiled)
+
+    def test_sequential_module_parity(self, name):
+        from repro.eval import artifacts_for
+        from repro.polybench import get
+        art = artifacts_for(get(name))
+        walk, compiled = _both(art.sequential)
+        _assert_parity(walk, compiled)
+
+
+# ---------------------------------------------------------------------------
+# Misc parity corners
+# ---------------------------------------------------------------------------
+
+class TestParityCorners:
+    def test_indirect_and_external_calls(self):
+        walk, compiled = _both(compile_o2("""
+double sqrt(double x);
+int main() {
+  print_double(sqrt(16.0));
+  double *p = (double*) malloc(8);
+  p[0] = 2.5;
+  print_double(p[0]);
+  free(p);
+  return 0;
+}
+"""))
+        _assert_parity(walk, compiled)
+        assert walk.output == ["4.000000", "2.500000"]
+
+    def test_parallel_fork_region_parity(self):
+        source = """
+#define N 80
+double A[N];
+double B[N];
+void init() { int i; for (i = 0; i < N; i++) A[i] = 0.125 * (double)i; }
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+}
+int main() {
+  init(); kernel();
+  double s = 0.0; int i;
+  for (i = 0; i < N; i++) s = s + B[i];
+  print_double(s);
+  return 0;
+}
+"""
+        module, result = compile_parallel(source, only=["kernel"])
+        assert result.parallel_loops          # the point is the fork path
+        walk, compiled = _both(module)
+        _assert_parity(walk, compiled)
+
+    def test_select_and_udiv_parity(self):
+        walk, compiled = _both(compile_o2("""
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 1; i < 40; i++)
+    acc = acc + (i % 3 == 0 ? i * 2 : i / 2);
+  print_int(acc);
+  return 0;
+}
+"""))
+        _assert_parity(walk, compiled)

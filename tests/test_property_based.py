@@ -138,6 +138,27 @@ class TestSemanticPreservation:
         assert run_module(module).output == reference
 
 
+class TestEngineParity:
+    """The closure-compiled engine is observationally identical to the
+    tree walker on random programs: same output, same per-opcode cost
+    accounting, same modeled wall time."""
+
+    @_SETTINGS
+    @given(program())
+    def test_compiled_matches_walker(self, source):
+        for optimize in (False, True):
+            module = compile_source(source)
+            if optimize:
+                optimize_o2(module)
+                verify_module(module)
+            walk = run_module(module, engine="walk")
+            compiled = run_module(module, engine="compiled")
+            assert compiled.output == walk.output
+            assert compiled.value == walk.value
+            assert compiled.cost == walk.cost
+            assert compiled.wall_time == walk.wall_time
+
+
 class TestIntWrap:
     @given(st.integers(-2**70, 2**70))
     def test_wrap_is_idempotent_and_in_range(self, value):

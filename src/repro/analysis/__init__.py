@@ -3,7 +3,8 @@
 from .alias import AliasResult, alias, base_object, definitely_no_alias
 from .cfg import (postorder, reachable_blocks, remove_unreachable_blocks,
                   reverse_postorder, rpo_index, split_edge)
-from .dataflow import DataflowResult, ForwardAnalysis
+from .dataflow import (DataflowResult, ForwardAnalysis,
+                       UnvisitedInstructionError)
 from .dependence import (AffineExpr, MemoryAccess, ParallelismReport,
                          analyze_loop_parallelism, collect_accesses,
                          match_affine, PURE_MATH_FUNCTIONS)
@@ -14,19 +15,26 @@ from .induction import (CountedLoop, analyze_counted_loop,
 from .liveness import Liveness
 from .loops import Loop, LoopInfo
 from .manager import (CFG_ANALYSES, DOMTREE, LIVENESS, LOOPS, POSTDOMTREE,
+                      STORAGE, TYPEINFER,
                       AnalysisManager, CacheStats, PreservedAnalyses,
                       function_analysis, get_domtree, get_liveness,
-                      get_loop_info, get_postdomtree,
+                      get_loop_info, get_postdomtree, get_storage,
+                      get_type_inference,
                       register_function_analysis, register_module_analysis)
 from .races import (RaceFinding, access_location_is_invariant,
                     find_loop_races, nowait_unsafe_loads, pair_verdict,
                     private_audit)
+from .storage import (AccessPattern, StorageInfo, StorageLocation,
+                      StorageRoot)
+from .typeinfer import (RArray, RConflict, RecType, RFloat, RInt, RPointer,
+                        RStruct, RUnknown, TypeDisagreement, TypeInference,
+                        is_resolved, rectype_of_ir)
 
 __all__ = [
     "AliasResult", "alias", "base_object", "definitely_no_alias",
     "postorder", "reachable_blocks", "remove_unreachable_blocks",
     "reverse_postorder", "rpo_index", "split_edge",
-    "DataflowResult", "ForwardAnalysis",
+    "DataflowResult", "ForwardAnalysis", "UnvisitedInstructionError",
     "AffineExpr", "MemoryAccess", "ParallelismReport",
     "analyze_loop_parallelism", "collect_accesses", "match_affine",
     "PURE_MATH_FUNCTIONS",
@@ -35,10 +43,15 @@ __all__ = [
     "find_induction_phi", "is_loop_invariant",
     "Liveness", "Loop", "LoopInfo",
     "CFG_ANALYSES", "DOMTREE", "LIVENESS", "LOOPS", "POSTDOMTREE",
+    "STORAGE", "TYPEINFER",
     "AnalysisManager", "CacheStats", "PreservedAnalyses",
     "function_analysis", "get_domtree", "get_liveness", "get_loop_info",
-    "get_postdomtree", "register_function_analysis",
-    "register_module_analysis",
+    "get_postdomtree", "get_storage", "get_type_inference",
+    "register_function_analysis", "register_module_analysis",
     "RaceFinding", "access_location_is_invariant", "find_loop_races",
     "nowait_unsafe_loads", "pair_verdict", "private_audit",
+    "AccessPattern", "StorageInfo", "StorageLocation", "StorageRoot",
+    "RArray", "RConflict", "RecType", "RFloat", "RInt", "RPointer",
+    "RStruct", "RUnknown", "TypeDisagreement", "TypeInference",
+    "is_resolved", "rectype_of_ir",
 ]

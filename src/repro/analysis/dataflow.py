@@ -17,6 +17,20 @@ from .cfg import reverse_postorder
 State = TypeVar("State")
 
 
+class UnvisitedInstructionError(KeyError):
+    """Raised when a dataflow result is queried for an instruction the
+    fixpoint never visited — its block is unreachable from the entry
+    (``reverse_postorder`` only walks reachable blocks).
+
+    Subclasses :class:`KeyError` so callers that guarded against the old
+    bare ``KeyError`` keep working, but carries a message naming the
+    instruction and function instead of the instruction's bare repr.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; report plainly.
+        return self.args[0] if self.args else ""
+
+
 class ForwardAnalysis(Generic[State]):
     """Forward dataflow at instruction granularity.
 
@@ -72,14 +86,30 @@ class ForwardAnalysis(Generic[State]):
                 if block not in block_out or not self.equal(block_out[block], state):
                     block_out[block] = state
                     changed = True
-        return DataflowResult(block_in, block_out, inst_in)
+        return DataflowResult(block_in, block_out, inst_in, function)
 
 
 class DataflowResult(Generic[State]):
-    def __init__(self, block_in, block_out, inst_in):
+    def __init__(self, block_in, block_out, inst_in, function=None):
         self.block_in: Dict[BasicBlock, State] = block_in
         self.block_out: Dict[BasicBlock, State] = block_out
         self.inst_in: Dict[Instruction, State] = inst_in
+        self.function: Function = function
+
+    def visited(self, block: BasicBlock) -> bool:
+        """True when the fixpoint reached ``block`` (i.e. it is
+        reachable from the function entry)."""
+        return block in self.block_in
 
     def state_before(self, inst: Instruction) -> State:
-        return self.inst_in[inst]
+        try:
+            return self.inst_in[inst]
+        except KeyError:
+            where = (f" of function '{self.function.name}'"
+                     if self.function is not None else "")
+            raise UnvisitedInstructionError(
+                f"no dataflow state for instruction {inst!r}{where}: its "
+                f"block was never visited because it is unreachable from "
+                f"the entry block; callers walking function.blocks should "
+                f"skip blocks where result.visited(block) is False"
+            ) from None

@@ -35,14 +35,22 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..ir.module import Function, Module
 from .dominators import DominatorTree, PostDominatorTree
+from .induction import analyze_counted_loop
 from .liveness import Liveness
 from .loops import LoopInfo
+from .storage import StorageInfo, recover_storage
+from .typeinfer import TypeInference, infer_module_types
 
 #: Canonical names of the built-in function analyses.
 DOMTREE = "domtree"
 POSTDOMTREE = "postdomtree"
 LOOPS = "loops"
 LIVENESS = "liveness"
+STORAGE = "storage"
+INDUCTION = "induction"
+
+#: Canonical names of the built-in module analyses.
+TYPEINFER = "typeinfer"
 
 #: Analyses that depend only on the CFG shape (blocks and edges).
 #: Passes that rewrite instructions but leave every terminator alone
@@ -312,8 +320,39 @@ def get_liveness(function: Function,
     return function_analysis(LIVENESS, function, manager)
 
 
+def get_storage(function: Function,
+                manager: Optional[AnalysisManager] = None) -> StorageInfo:
+    return function_analysis(STORAGE, function, manager)
+
+
+def get_type_inference(module: Module,
+                       manager: Optional[AnalysisManager] = None
+                       ) -> TypeInference:
+    if manager is None:
+        manager = AnalysisManager()
+    return manager.get_module(TYPEINFER, module)
+
+
 register_function_analysis(DOMTREE, lambda fn, am: DominatorTree(fn))
 register_function_analysis(POSTDOMTREE, lambda fn, am: PostDominatorTree(fn))
 register_function_analysis(
     LOOPS, lambda fn, am: LoopInfo(fn, domtree=am.get(DOMTREE, fn)))
 register_function_analysis(LIVENESS, lambda fn, am: Liveness(fn))
+# Storage recovery reads instructions (GEPs, allocas), not just the CFG,
+# so it is deliberately NOT in CFG_ANALYSES: any instruction rewrite
+# invalidates it unless the pass preserves it by name.
+# Counted-loop descriptions, memoized per function so the decompiler's
+# for-loop planner and storage recovery's extent harvester share one
+# computation.  Reads compare/step instructions, so not CFG-preserved.
+register_function_analysis(
+    INDUCTION,
+    lambda fn, am: {loop: analyze_counted_loop(loop)
+                    for loop in am.get(LOOPS, fn).all_loops()})
+register_function_analysis(
+    STORAGE, lambda fn, am: recover_storage(
+        fn, loop_info=am.get(LOOPS, fn),
+        counted_loops=am.get(INDUCTION, fn)))
+register_module_analysis(
+    TYPEINFER,
+    lambda m, am: infer_module_types(
+        m, {fn: am.get(STORAGE, fn) for fn in m.defined_functions()}))

@@ -1,0 +1,596 @@
+"""Storage-location recovery: from SSA values back to program variables.
+
+The first stage of the metadata-free variable/type recovery subsystem
+(the second is :mod:`repro.analysis.typeinfer`).  Debug metadata tells
+the decompiler which SSA values belong to which source variable; when it
+is stripped, that partition has to be *recovered* from what the IR still
+shows — allocation sites, address arithmetic, and the CFG.  This pass
+recovers three things:
+
+* **Storage roots** — the address-taken objects of the function:
+  globals, allocas, and pointer arguments.  Only their *sizes* are
+  trusted (a binary's symbol table and stack-frame layout carry sizes);
+  their element scalar types are deliberately ignored — recovering
+  those is the type-inference stage's job.
+
+* **Pointer provenance** — a forward dataflow on the existing
+  :class:`~repro.analysis.dataflow.ForwardAnalysis` framework mapping
+  every pointer-typed SSA value to the root it addresses.  Running it
+  as a dataflow (rather than a flat walk) is what resolves pointer
+  *phis*: a loop-carried ``p = phi [A, pre], [p.next, latch]`` gets
+  ``A``'s provenance from the fixpoint.
+
+* **Array geometry** — per-root stride evidence harvested from GEP
+  chains (including byte-level ``i8*`` arithmetic, where the stride
+  hides in a ``mul``/``shl`` of the index), cross-checked against
+  induction-variable extents from :mod:`repro.analysis.induction`, and
+  folded into recovered dimensions ``T[N][M]`` by dividing the root size
+  by the observed strides.
+
+Values that are *not* pointers are partitioned into variables by their
+phi webs: the values a phi merges were one mutable variable before SSA
+split them, so each web prints as one recovered C variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir import types as ir_ty
+from ..ir.block import BasicBlock
+from ..ir.instructions import (Alloca, BinaryOp, Cast, GetElementPtr,
+                               Instruction, Load, Phi, Select, Store)
+from ..ir.module import Function
+from ..ir.values import Argument, ConstantInt, GlobalVariable, Value
+from .dataflow import ForwardAnalysis
+from .induction import analyze_counted_loop
+from .loops import LoopInfo
+
+#: Provenance lattice bottom/top sentinels.
+_UNKNOWN = object()   # no information yet (lattice bottom)
+_MANY = object()      # conflicting roots reach here (lattice top)
+
+
+@dataclass(frozen=True)
+class StorageRoot:
+    """One address-taken object: a global, an alloca, or a pointer arg."""
+
+    kind: str                    # 'global' | 'alloca' | 'argument'
+    name: str
+    size_bytes: Optional[int]    # None when unknown (pointer arguments)
+
+    def __repr__(self) -> str:
+        size = "?" if self.size_bytes is None else self.size_bytes
+        return f"<StorageRoot {self.kind} {self.name} [{size}B]>"
+
+
+@dataclass(frozen=True)
+class StorageLocation:
+    """A storage home: a root plus what is known about the offset."""
+
+    root: StorageRoot
+    const_offset: int = 0        # byte offset contributed by constant indices
+    is_element: bool = False     # True when a variable index is involved
+
+    def __repr__(self) -> str:
+        suffix = "+var" if self.is_element else ""
+        return (f"<StorageLocation {self.root.name}"
+                f"+{self.const_offset}{suffix}>")
+
+
+@dataclass
+class AccessPattern:
+    """One observed indexed access into a root."""
+
+    strides: Tuple[int, ...]         # bytes stepped per variable index
+    extents: Tuple[Optional[int], ...]  # matching IV extents (when proven)
+    width: Optional[int]             # leaf access size in bytes (if seen)
+
+
+class _Provenance(ForwardAnalysis):
+    """Forward dataflow: pointer SSA value -> storage root (or _MANY)."""
+
+    def __init__(self, roots: Dict[Value, StorageRoot]):
+        self.roots = roots
+
+    def initial(self):
+        return {}
+
+    def boundary(self):
+        # Arguments and globals are their own roots from function entry.
+        return {value: root for value, root in self.roots.items()
+                if not isinstance(value, Alloca)}
+
+    def meet(self, states):
+        merged: Dict[Value, object] = {}
+        for state in states:
+            for value, root in state.items():
+                if value not in merged:
+                    merged[value] = root
+                elif merged[value] is not root:
+                    merged[value] = _MANY
+        return merged
+
+    def _lookup(self, state, value):
+        if value in self.roots:
+            return self.roots[value]
+        return state.get(value, _UNKNOWN)
+
+    def transfer(self, inst: Instruction, state):
+        source: Optional[Value] = None
+        if isinstance(inst, Alloca):
+            updated = dict(state)
+            updated[inst] = self.roots[inst]
+            return updated
+        if isinstance(inst, GetElementPtr):
+            source = inst.pointer
+        elif isinstance(inst, Cast) and inst.opcode in ("bitcast",
+                                                        "inttoptr",
+                                                        "ptrtoint"):
+            source = inst.value
+        elif isinstance(inst, Select):
+            a = self._lookup(state, inst.if_true)
+            b = self._lookup(state, inst.if_false)
+            resolved = a if a is b else (_MANY if _UNKNOWN not in (a, b)
+                                         else (a if b is _UNKNOWN else b))
+            if resolved is not _UNKNOWN:
+                updated = dict(state)
+                updated[inst] = resolved
+                return updated
+            return state
+        elif isinstance(inst, Phi):
+            resolved = _UNKNOWN
+            for value, _ in inst.incoming:
+                if value is inst:
+                    continue
+                prov = self._lookup(state, value)
+                if prov is _UNKNOWN:
+                    continue
+                if resolved is _UNKNOWN:
+                    resolved = prov
+                elif resolved is not prov:
+                    resolved = _MANY
+            if resolved is not _UNKNOWN:
+                updated = dict(state)
+                updated[inst] = resolved
+                return updated
+            return state
+        if source is None:
+            return state
+        prov = self._lookup(state, source)
+        if prov is _UNKNOWN:
+            return state
+        updated = dict(state)
+        updated[inst] = prov
+        return updated
+
+
+def _affine_terms(index: Value, depth: int = 0):
+    """Decompose an index expression into ``[(value, coeff)], const``.
+
+    Handles the shapes byte-level address arithmetic produces:
+    ``mul``/``shl`` scaling, ``add``/``sub`` of terms, and widening
+    casts wrapped around any of them.
+    """
+    while isinstance(index, Cast) and index.opcode in ("sext", "zext",
+                                                       "trunc"):
+        index = index.value
+    if isinstance(index, ConstantInt):
+        return [], index.value
+    if depth < 6 and isinstance(index, BinaryOp):
+        if index.opcode == "add":
+            lt, lc = _affine_terms(index.lhs, depth + 1)
+            rt, rc = _affine_terms(index.rhs, depth + 1)
+            return lt + rt, lc + rc
+        if index.opcode == "sub":
+            lt, lc = _affine_terms(index.lhs, depth + 1)
+            rt, rc = _affine_terms(index.rhs, depth + 1)
+            return lt + [(v, -c) for v, c in rt], lc - rc
+        if index.opcode == "mul":
+            if isinstance(index.rhs, ConstantInt):
+                terms, const = _affine_terms(index.lhs, depth + 1)
+                scale = index.rhs.value
+                return ([(v, c * scale) for v, c in terms] or
+                        [(index.lhs, scale)]), const * scale
+            if isinstance(index.lhs, ConstantInt):
+                terms, const = _affine_terms(index.rhs, depth + 1)
+                scale = index.lhs.value
+                return ([(v, c * scale) for v, c in terms] or
+                        [(index.rhs, scale)]), const * scale
+        if index.opcode == "shl" and isinstance(index.rhs, ConstantInt):
+            terms, const = _affine_terms(index.lhs, depth + 1)
+            scale = 1 << index.rhs.value
+            return ([(v, c * scale) for v, c in terms] or
+                    [(index.lhs, scale)]), const * scale
+    return [(index, 1)], 0
+
+
+def _strip_casts(value: Value) -> Value:
+    while isinstance(value, Cast) and value.opcode in ("sext", "zext",
+                                                       "trunc"):
+        value = value.value
+    return value
+
+
+def element_width_of(patterns) -> Optional[int]:
+    """Leaf access width evidence (bytes), smallest observed."""
+    widths = [p.width for p in patterns if p.width is not None]
+    return min(widths) if widths else None
+
+
+def shape_of_accesses(size_bytes: Optional[int],
+                      patterns) -> Tuple[Optional[int], ...]:
+    """Recover array dimensions (outermost first) from access patterns.
+
+    Strides observed across every pattern are sorted descending and
+    divided pairwise; the outermost extent divides ``size_bytes`` by the
+    largest stride.  Unknown extents (pointer arguments with no size)
+    come back as ``None``.  No strided access at all recovers ``()``.
+    """
+    width = element_width_of(patterns)
+    strides: Set[int] = set()
+    for pattern in patterns:
+        strides.update(s for s in pattern.strides if s > 0)
+    if not strides:
+        return ()
+    ordered = sorted(strides, reverse=True)
+    if width is not None and width not in ordered and width > 0:
+        ordered.append(width)
+    dims: List[Optional[int]] = []
+    outer = size_bytes
+    for stride in ordered:
+        if outer is None:
+            dims.append(_extent_evidence_of(patterns, stride))
+        elif outer % stride == 0:
+            dims.append(outer // stride)
+        else:
+            dims.append(None)
+        outer = stride
+    # The final stride level steps over single elements; the dims list
+    # already counts them, so nothing remains to append.
+    return tuple(dims)
+
+
+def _extent_evidence_of(patterns, stride: int) -> Optional[int]:
+    for pattern in patterns:
+        for s, extent in zip(pattern.strides, pattern.extents):
+            if s == stride and extent is not None:
+                return extent
+    return None
+
+
+class StorageInfo:
+    """The result of storage recovery for one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.roots: List[StorageRoot] = []
+        self.root_of_value: Dict[Value, StorageRoot] = {}
+        #: Pointer SSA value -> provenance root (may be None for _MANY).
+        self.provenance: Dict[Value, Optional[StorageRoot]] = {}
+        #: Pointer SSA value -> recovered storage home.
+        self.homes: Dict[Value, StorageLocation] = {}
+        #: Per-root observed indexed access patterns.
+        self.accesses: Dict[StorageRoot, List[AccessPattern]] = {}
+        #: Scalar SSA value -> variable id (phi-web partition).
+        self.variable_of: Dict[Value, int] = {}
+        self._web_members: Dict[int, List[Value]] = {}
+        self._shape_cache: Dict[StorageRoot, Tuple[Optional[int], ...]] = {}
+
+    # -- Queries -----------------------------------------------------------
+
+    def home(self, value: Value) -> Optional[StorageLocation]:
+        return self.homes.get(value)
+
+    def root_for(self, value: Value) -> Optional[StorageRoot]:
+        if value in self.root_of_value:
+            return self.root_of_value[value]
+        return self.provenance.get(value)
+
+    def web_of(self, value: Value) -> Optional[int]:
+        return self.variable_of.get(value)
+
+    def web_members(self, web: int) -> List[Value]:
+        return self._web_members.get(web, [])
+
+    def element_width(self, root: StorageRoot) -> Optional[int]:
+        """Leaf access width evidence (bytes), smallest observed."""
+        return element_width_of(self.accesses.get(root, ()))
+
+    def is_array_like(self, root: StorageRoot) -> bool:
+        """True when any access indexes the root with a variable stride."""
+        return any(p.strides for p in self.accesses.get(root, ()))
+
+    def shape(self, root: StorageRoot) -> Tuple[Optional[int], ...]:
+        """Recovered array dimensions, outermost first.
+
+        Strides observed across every access are sorted descending and
+        divided pairwise; the outermost extent divides the root size by
+        the largest stride.  Unknown extents (pointer arguments with no
+        size) come back as ``None``.  Scalars recover as ``()``.
+
+        Note this uses only the accesses *this function* performs;
+        :meth:`~repro.analysis.typeinfer.TypeInference.root_rectype`
+        merges evidence module-wide for globals.
+        """
+        if root not in self._shape_cache:
+            self._shape_cache[root] = shape_of_accesses(
+                root.size_bytes, self.accesses.get(root, ()))
+        return self._shape_cache[root]
+
+    def describe(self) -> str:
+        lines = [f"storage recovery for {self.function.name}:"]
+        for root in self.roots:
+            shape = self.shape(root)
+            dims = "".join(f"[{d if d is not None else '?'}]" for d in shape)
+            width = self.element_width(root)
+            lines.append(f"  {root.kind} {root.name}{dims} "
+                         f"(size={root.size_bytes}, elem={width})")
+        return "\n".join(lines)
+
+
+def recover_storage(function: Function,
+                    loop_info: Optional[LoopInfo] = None,
+                    counted_loops=None) -> StorageInfo:
+    """Run storage recovery on ``function``.
+
+    Prefer requesting the ``storage`` analysis through an
+    :class:`~repro.analysis.manager.AnalysisManager`; this entry point is
+    the construction choke point it calls.  ``counted_loops`` (the
+    INDUCTION analysis result, ``{loop: CountedLoop|None}``) avoids
+    re-deriving counted-loop descriptions the manager already holds.
+    """
+    info = StorageInfo(function)
+    module = function.parent
+
+    # 1. Enumerate roots: globals referenced, allocas, pointer arguments.
+    referenced: Set[GlobalVariable] = set()
+    for block in function.blocks:
+        for inst in block.instructions:
+            for op in inst.operands:
+                if isinstance(op, GlobalVariable):
+                    referenced.add(op)
+    if module is not None:
+        for var in module.globals.values():
+            if var in referenced:
+                _add_root(info, var, StorageRoot(
+                    "global", var.name, _sizeof_or_none(var.value_type)))
+    for arg in function.arguments:
+        if arg.type.is_pointer:
+            _add_root(info, arg, StorageRoot(
+                "argument", arg.name or f"arg{arg.index}", None))
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Alloca):
+                _add_root(info, inst, StorageRoot(
+                    "alloca", inst.name or "stack",
+                    _sizeof_or_none(inst.allocated_type)))
+
+    # 2. Pointer provenance.  Derived pointers with joins (phi/select)
+    # need a fixpoint over the CFG; without joins every chain is a
+    # def-before-use GEP/cast walk, so one pass in reverse postorder
+    # resolves everything (the common case, and much cheaper).
+    if function.blocks:
+        if _has_pointer_joins(function):
+            result = _Provenance(info.root_of_value).run(function)
+            final: Dict[Value, object] = {}
+            for state in result.block_out.values():
+                for value, root in state.items():
+                    if value not in final:
+                        final[value] = root
+                    elif final[value] is not root:
+                        final[value] = _MANY
+            for value, root in final.items():
+                info.provenance[value] = \
+                    root if isinstance(root, StorageRoot) else None
+        else:
+            _sparse_provenance(info, function)
+
+    # 3. Harvest GEP access geometry per root.
+    extents = _iv_extents(function, loop_info, counted_loops)
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, GetElementPtr):
+                _record_gep(info, inst, extents)
+
+    # 4. Partition scalar SSA values into phi webs.
+    _build_webs(info, function)
+    return info
+
+
+def _has_pointer_joins(function: Function) -> bool:
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, (Phi, Select)) and inst.type.is_pointer:
+                return True
+    return False
+
+
+def _sparse_provenance(info: StorageInfo, function: Function) -> None:
+    """Single-pass provenance: reverse postorder visits every pointer
+    definition after its operand's (defs dominate uses), so each
+    GEP/cast inherits an already-resolved root."""
+    from .cfg import reverse_postorder
+    for block in reverse_postorder(function):
+        for inst in block.instructions:
+            if isinstance(inst, GetElementPtr):
+                source = inst.pointer
+            elif isinstance(inst, Cast) and inst.opcode in (
+                    "bitcast", "inttoptr", "ptrtoint"):
+                source = inst.value
+            else:
+                continue
+            if source in info.provenance:
+                prov = info.provenance[source]
+                if prov is not None:
+                    info.provenance[inst] = prov
+
+
+def _add_root(info: StorageInfo, value: Value, root: StorageRoot) -> None:
+    info.roots.append(root)
+    info.root_of_value[value] = root
+    info.provenance[value] = root
+    info.homes[value] = StorageLocation(root)
+
+
+def _sizeof_or_none(vtype: ir_ty.Type) -> Optional[int]:
+    try:
+        return ir_ty.sizeof(vtype)
+    except TypeError:
+        return None
+
+
+def _iv_extents(function: Function,
+                loop_info: Optional[LoopInfo],
+                counted_loops=None) -> Dict[Value, int]:
+    """Map induction phis to a proven constant extent (0-based, step 1)."""
+    extents: Dict[Value, int] = {}
+    if loop_info is None:
+        return extents
+    for loop in loop_info.all_loops():
+        # Identity-keyed: a map built from another LoopInfo instance
+        # (cache-less manager) misses, so analyze directly then.
+        if counted_loops is not None and loop in counted_loops:
+            counted = counted_loops[loop]
+        else:
+            counted = analyze_counted_loop(loop)
+        if counted is None:
+            continue
+        if not isinstance(counted.start, ConstantInt) \
+                or counted.start.value != 0:
+            continue
+        if counted.step.value != 1:
+            continue
+        if isinstance(counted.bound, ConstantInt) \
+                and counted.predicate == "slt":
+            extents[counted.phi] = counted.bound.value
+    return extents
+
+
+def _gep_offsets(gep: GetElementPtr):
+    """Per-index ``(value, stride_bytes)`` terms and the constant offset.
+
+    Strides come from the GEP's address computation itself (the scaled
+    addressing a compiled binary exhibits); byte-level chains
+    (``i8*`` + ``mul`` scaled index) are normalized to the same form by
+    affine decomposition of the index expression.
+    """
+    terms: List[Tuple[Value, int]] = []
+    const_offset = 0
+    current = gep.pointer.type.pointee
+    for position, index in enumerate(gep.indices):
+        if position > 0:
+            current = ir_ty.element_type(current)
+        stride = _sizeof_or_none(current)
+        if stride is None:
+            continue
+        affine, const = _affine_terms(index)
+        const_offset += const * stride
+        for value, coeff in affine:
+            terms.append((value, coeff * stride))
+    return terms, const_offset
+
+
+def pointer_chain_terms(value: Value, max_depth: int = 16):
+    """Accumulate a pointer expression's address arithmetic.
+
+    Walks GEP chains and pointer-reinterpreting casts back toward the
+    base, returning ``(base, [(value, stride_bytes)], const_bytes)`` —
+    the affine form of the address relative to whatever ``base`` turns
+    out to be (usually a storage root).
+    """
+    terms: List[Tuple[Value, int]] = []
+    const_offset = 0
+    current = value
+    for _ in range(max_depth):
+        if isinstance(current, Cast) and current.opcode in ("bitcast",
+                                                            "inttoptr",
+                                                            "ptrtoint"):
+            current = current.value
+            continue
+        if isinstance(current, GetElementPtr):
+            link_terms, link_const = _gep_offsets(current)
+            terms.extend(link_terms)
+            const_offset += link_const
+            current = current.pointer
+            continue
+        break
+    return current, terms, const_offset
+
+
+def _record_gep(info: StorageInfo, gep: GetElementPtr,
+                extents: Dict[Value, int]) -> None:
+    root = info.provenance.get(gep)
+    if root is None:
+        return
+    # Accumulate the whole chain (gep-of-gep) into one pattern.
+    _, terms, const_offset = pointer_chain_terms(gep)
+    strides = []
+    matched_extents: List[Optional[int]] = []
+    for value, stride in terms:
+        if stride == 0:
+            continue
+        strides.append(abs(stride))
+        matched_extents.append(extents.get(_strip_casts(value)))
+    width = _leaf_width(gep)
+    pattern = AccessPattern(tuple(sorted(strides, reverse=True)),
+                            tuple(x for _, x in sorted(
+                                zip(strides, matched_extents),
+                                key=lambda sx: -sx[0])),
+                            width)
+    info.accesses.setdefault(root, []).append(pattern)
+    info.homes[gep] = StorageLocation(root, const_offset, bool(strides))
+
+
+def _leaf_width(gep: GetElementPtr) -> Optional[int]:
+    """Access width evidence from the loads/stores this address feeds."""
+    for user in gep.users:
+        if isinstance(user, Load):
+            return _sizeof_or_none(user.type)
+        if isinstance(user, Store) and user.value is not gep:
+            return _sizeof_or_none(user.value.type)
+    return None
+
+
+def _build_webs(info: StorageInfo, function: Function) -> None:
+    parent: Dict[Value, Value] = {}
+
+    def find(v: Value) -> Value:
+        while parent.get(v, v) is not v:
+            parent[v] = parent.get(parent[v], parent[v])
+            v = parent[v]
+        return v
+
+    def union(a: Value, b: Value) -> None:
+        ra, rb = find(a), find(b)
+        if ra is not rb:
+            parent[ra] = rb
+
+    candidates: List[Value] = []
+    for arg in function.arguments:
+        if not arg.type.is_pointer:
+            candidates.append(arg)
+            parent.setdefault(arg, arg)
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst.type.is_void or inst.type.is_pointer:
+                continue
+            candidates.append(inst)
+            parent.setdefault(inst, inst)
+            if isinstance(inst, Phi):
+                for value, _ in inst.incoming:
+                    if isinstance(value, (Instruction, Argument)) \
+                            and not value.type.is_pointer:
+                        parent.setdefault(value, value)
+                        union(inst, value)
+    web_ids: Dict[Value, int] = {}
+    next_id = 0
+    for value in candidates:
+        rep = find(value)
+        if rep not in web_ids:
+            web_ids[rep] = next_id
+            next_id += 1
+        web = web_ids[rep]
+        info.variable_of[value] = web
+        info._web_members.setdefault(web, []).append(value)

@@ -1,0 +1,684 @@
+"""Constraint-based type inference over a recovered-type lattice.
+
+The second stage of the metadata-free recovery subsystem (the first is
+:mod:`repro.analysis.storage`).  Instead of *reading* declared types off
+storage roots, the engine re-derives them typehoon-style from how values
+are *used*:
+
+* arithmetic opcodes type their operands (``fadd`` means double,
+  ``sdiv``/signed compares mean signed integers);
+* memory ops link a pointer's pointee to the value loaded or stored
+  through it (access widths are instruction facts, like ``movsd`` vs
+  ``movl`` in a binary);
+* GEPs link pointers into the storage geometry recovered by stage one;
+* cast opcodes pin the widths on both of their sides;
+* call sites unify arguments with callee parameters (module-wide), and
+  extern declarations contribute their header signatures.
+
+Constraints are solved with a union-find over type variables: equality
+constraints unify, primitive evidence joins on a lattice
+(``BOT < int(width)/double/pointer < TOP``), and pointee links
+propagate through a bounded fixpoint.  The result maps every SSA value
+and every storage root to a :class:`RecType` — ``int``, ``double``,
+``T*``, ``T[N][M]``, or a struct-ish field layout for roots with
+heterogeneous constant-offset accesses — which the decompiler prints
+when running with ``--types=recovered`` and the lint layer
+cross-checks against the declared (debug) types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir import types as ir_ty
+from ..ir.instructions import (Alloca, BinaryOp, Call, Cast, CondBranch,
+                               DbgValue, FCmp, GetElementPtr, ICmp,
+                               Instruction, Load, Phi, Ret, Select, Store)
+from ..ir.module import Function, Module
+from ..ir.values import (Argument, Constant, ConstantFloat, ConstantInt,
+                         ConstantPointerNull, GlobalVariable, UndefValue,
+                         Value)
+from .storage import StorageInfo, StorageRoot, shape_of_accesses
+
+_MAX_ROUNDS = 64
+
+FLOAT_OPS = frozenset({"fadd", "fsub", "fmul", "fdiv", "frem"})
+SIGNED_OPS = frozenset({"sdiv", "srem", "ashr"})
+SIGNED_PREDICATES = frozenset({"slt", "sle", "sgt", "sge"})
+
+
+# ---------------------------------------------------------------------------
+# Recovered types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecType:
+    """Base class for recovered types."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RUnknown(RecType):
+    """No usage evidence (lattice bottom) — surfaced as a lint warning."""
+
+    def render(self) -> str:
+        return "<unknown>"
+
+
+@dataclass(frozen=True)
+class RConflict(RecType):
+    """Contradictory usage evidence (lattice top)."""
+
+    reason: str = ""
+
+    def render(self) -> str:
+        return f"<conflict{': ' + self.reason if self.reason else ''}>"
+
+
+@dataclass(frozen=True)
+class RInt(RecType):
+    bits: Optional[int] = None      # None: width unproven (prints as int)
+    signed: bool = True
+
+    def render(self) -> str:
+        if self.bits is not None and self.bits > 32:
+            return "long"
+        return "int"
+
+
+@dataclass(frozen=True)
+class RFloat(RecType):
+    def render(self) -> str:
+        return "double"
+
+
+@dataclass(frozen=True)
+class RPointer(RecType):
+    pointee: RecType = field(default_factory=RUnknown)
+
+    def render(self) -> str:
+        return f"{self.pointee.render()}*"
+
+
+@dataclass(frozen=True)
+class RArray(RecType):
+    element: RecType
+    dims: Tuple[Optional[int], ...]
+
+    def render(self) -> str:
+        dims = "".join(f"[{d if d is not None else ''}]" for d in self.dims)
+        return f"{self.element.render()}{dims}"
+
+
+@dataclass(frozen=True)
+class RStruct(RecType):
+    """Field layout recovered from heterogeneous constant offsets."""
+
+    fields: Tuple[Tuple[int, RecType], ...]   # (byte offset, type)
+
+    def render(self) -> str:
+        body = "; ".join(f"+{off}: {ft.render()}" for off, ft in self.fields)
+        return f"struct {{ {body} }}"
+
+
+def is_resolved(rec: RecType) -> bool:
+    if isinstance(rec, (RUnknown, RConflict)):
+        return False
+    if isinstance(rec, RPointer):
+        return True                  # a pointer with unknown pointee is fine
+    if isinstance(rec, RArray):
+        return is_resolved(rec.element)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The primitive lattice and the union-find solver
+# ---------------------------------------------------------------------------
+
+_BOT = ("bot",)
+_FLOAT = ("float",)
+_PTR = ("ptr",)
+
+
+def _int(bits: Optional[int], signed: bool) -> tuple:
+    return ("int", bits, signed)
+
+
+def _join(a: tuple, b: tuple) -> tuple:
+    """Join two primitive lattice points (TOP is ('top', reason))."""
+    if a == b:
+        return a
+    if a == _BOT:
+        return b
+    if b == _BOT:
+        return a
+    if a[0] == "top":
+        return a
+    if b[0] == "top":
+        return b
+    if a[0] == "int" and b[0] == "int":
+        bits_a, bits_b = a[1], b[1]
+        if bits_a is None:
+            bits = bits_b
+        elif bits_b is None:
+            bits = bits_a
+        else:
+            bits = max(bits_a, bits_b)
+        return _int(bits, a[2] or b[2])
+    return ("top", f"{a[0]} vs {b[0]}")
+
+
+class _Solver:
+    """Union-find over type variables with evidence joining."""
+
+    def __init__(self):
+        self.parent: List[int] = []
+        self.prim: List[tuple] = []
+        self.pointee: Dict[int, int] = {}
+
+    def fresh(self) -> int:
+        tv = len(self.parent)
+        self.parent.append(tv)
+        self.prim.append(_BOT)
+        return tv
+
+    def find(self, tv: int) -> int:
+        root = tv
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[tv] != root:
+            self.parent[tv], tv = root, self.parent[tv]
+        return root
+
+    def add_prim(self, tv: int, prim: tuple) -> None:
+        root = self.find(tv)
+        self.prim[root] = _join(self.prim[root], prim)
+
+    def prim_of(self, tv: int) -> tuple:
+        return self.prim[self.find(tv)]
+
+    def pointee_of(self, tv: int, create: bool = False) -> Optional[int]:
+        root = self.find(tv)
+        existing = self.pointee.get(root)
+        if existing is not None:
+            return self.find(existing)
+        if create:
+            fresh = self.fresh()
+            self.pointee[root] = fresh
+            self.add_prim(root, _PTR)
+            return fresh
+        return None
+
+    def unify(self, a: int, b: int, depth: int = 0) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        pa, pb = self.pointee.get(ra), self.pointee.get(rb)
+        self.parent[ra] = rb
+        self.prim[rb] = _join(self.prim[ra], self.prim[rb])
+        if pa is not None and pb is not None:
+            if depth < 12:
+                self.unify(pa, pb, depth + 1)
+        elif pa is not None:
+            self.pointee[rb] = pa
+
+
+# ---------------------------------------------------------------------------
+# Constraint generation + result
+# ---------------------------------------------------------------------------
+
+class TypeInference:
+    """Module-wide recovered types.
+
+    Construct through the analysis manager (``get_module(TYPEINFER, m)``)
+    or :func:`infer_module_types`; the per-value results are exposed with
+    :meth:`rectype_of`, per-root declarations with :meth:`root_rectype`,
+    and cross-checks against declared types with :meth:`disagreements`.
+    """
+
+    def __init__(self, module: Module,
+                 storages: Dict[Function, StorageInfo]):
+        self.module = module
+        self.storages = storages
+        self._solver = _Solver()
+        self._value_tv: Dict[Value, int] = {}
+        #: (root, field key) -> tv; key is 'elem' or ('field', offset).
+        self._slot_tv: Dict[Tuple[StorageRoot, object], int] = {}
+        self._ret_tv: Dict[Function, int] = {}
+        self._struct_roots: Dict[StorageRoot, Set[int]] = {}
+        self.rounds = 0
+        self._generate()
+
+    # -- Type variables ----------------------------------------------------
+
+    def _tv(self, value: Value) -> int:
+        tv = self._value_tv.get(value)
+        if tv is None:
+            tv = self._solver.fresh()
+            self._value_tv[value] = tv
+            if isinstance(value, ConstantInt):
+                self._solver.add_prim(tv, _int(value.type.bits, True))
+            elif isinstance(value, ConstantFloat):
+                self._solver.add_prim(tv, _FLOAT)
+            elif isinstance(value, ConstantPointerNull):
+                self._solver.add_prim(tv, _PTR)
+        return tv
+
+    def _slot(self, root: StorageRoot, key: object) -> int:
+        tv = self._slot_tv.get((root, key))
+        if tv is None:
+            tv = self._solver.fresh()
+            self._slot_tv[(root, key)] = tv
+        return tv
+
+    def _elem_tv(self, storage: StorageInfo, value: Value,
+                 create: bool = True) -> Optional[int]:
+        """The element slot a pointer value addresses, if its provenance
+        and offset shape are recovered; falls back to the pointer tv's
+        own pointee variable."""
+        home = storage.home(value)
+        root = storage.root_for(value)
+        if root is not None:
+            if home is not None and not home.is_element \
+                    and home.const_offset and not storage.is_array_like(root):
+                key: object = ("field", home.const_offset)
+                self._struct_roots.setdefault(root, set()).add(
+                    home.const_offset)
+            else:
+                key = "elem"
+            return self._slot(root, key)
+        return self._solver.pointee_of(self._tv(value), create=create)
+
+    def _ret(self, function: Function) -> int:
+        tv = self._ret_tv.get(function)
+        if tv is None:
+            tv = self._solver.fresh()
+            self._ret_tv[function] = tv
+        return tv
+
+    # -- Generation --------------------------------------------------------
+
+    def _generate(self) -> None:
+        for function in self.module.defined_functions():
+            storage = self.storages[function]
+            for block in function.blocks:
+                for inst in block.instructions:
+                    self._constrain(function, storage, inst)
+        self.rounds = 1  # single generation pass; unification is eager
+
+    def _constrain(self, function: Function, storage: StorageInfo,
+                   inst: Instruction) -> None:
+        solver = self._solver
+        if isinstance(inst, DbgValue):
+            return
+        if isinstance(inst, BinaryOp):
+            prim = _FLOAT if inst.opcode in FLOAT_OPS else \
+                _int(None, inst.opcode in SIGNED_OPS)
+            for side in (inst.lhs, inst.rhs, inst):
+                solver.add_prim(self._tv(side), prim)
+            if inst.opcode not in ("shl", "ashr", "lshr"):
+                solver.unify(self._tv(inst.lhs), self._tv(inst.rhs))
+                solver.unify(self._tv(inst), self._tv(inst.lhs))
+            return
+        if isinstance(inst, ICmp):
+            solver.unify(self._tv(inst.lhs), self._tv(inst.rhs))
+            if inst.predicate in SIGNED_PREDICATES:
+                solver.add_prim(self._tv(inst.lhs), _int(None, True))
+            solver.add_prim(self._tv(inst), _int(1, False))
+            return
+        if isinstance(inst, FCmp):
+            for side in (inst.lhs, inst.rhs):
+                solver.add_prim(self._tv(side), _FLOAT)
+            solver.add_prim(self._tv(inst), _int(1, False))
+            return
+        if isinstance(inst, Load):
+            slot = self._elem_tv(storage, inst.pointer)
+            if slot is not None:
+                solver.unify(slot, self._tv(inst))
+            solver.add_prim(self._tv(inst.pointer), _PTR)
+            self._access_width(inst, inst.type)
+            return
+        if isinstance(inst, Store):
+            slot = self._elem_tv(storage, inst.pointer)
+            if slot is not None:
+                solver.unify(slot, self._tv(inst.value))
+            solver.add_prim(self._tv(inst.pointer), _PTR)
+            self._access_width(inst.value, inst.value.type)
+            return
+        if isinstance(inst, GetElementPtr):
+            solver.add_prim(self._tv(inst), _PTR)
+            solver.add_prim(self._tv(inst.pointer), _PTR)
+            for index in inst.indices:
+                if not isinstance(index, Constant):
+                    solver.add_prim(self._tv(index), _int(None, True))
+            return
+        if isinstance(inst, Cast):
+            self._constrain_cast(inst)
+            return
+        if isinstance(inst, Select):
+            solver.unify(self._tv(inst.if_true), self._tv(inst.if_false))
+            solver.unify(self._tv(inst), self._tv(inst.if_true))
+            solver.add_prim(self._tv(inst.condition), _int(1, False))
+            return
+        if isinstance(inst, Phi):
+            for value, _ in inst.incoming:
+                if value is inst or isinstance(value, UndefValue):
+                    continue
+                solver.unify(self._tv(inst), self._tv(value))
+            return
+        if isinstance(inst, Ret):
+            if inst.value is not None:
+                solver.unify(self._ret(function), self._tv(inst.value))
+            return
+        if isinstance(inst, Call):
+            self._constrain_call(inst)
+            return
+        if isinstance(inst, CondBranch):
+            solver.add_prim(self._tv(inst.condition), _int(1, False))
+            return
+
+    def _access_width(self, value: Value, vtype: ir_ty.Type) -> None:
+        """Access width is an instruction fact (load/store operand size)."""
+        if vtype.is_float:
+            self._solver.add_prim(self._tv(value), _FLOAT)
+        elif vtype.is_integer:
+            self._solver.add_prim(self._tv(value), _int(vtype.bits, False))
+
+    def _constrain_cast(self, inst: Cast) -> None:
+        solver = self._solver
+        opcode = inst.opcode
+        src, dst = self._tv(inst.value), self._tv(inst)
+        if opcode in ("sext", "zext", "trunc"):
+            src_bits = inst.value.type.bits \
+                if inst.value.type.is_integer else None
+            dst_bits = inst.type.bits if inst.type.is_integer else None
+            solver.add_prim(src, _int(src_bits, opcode == "sext"))
+            solver.add_prim(dst, _int(dst_bits, opcode == "sext"))
+        elif opcode == "sitofp":
+            solver.add_prim(src, _int(None, True))
+            solver.add_prim(dst, _FLOAT)
+        elif opcode == "fptosi":
+            solver.add_prim(src, _FLOAT)
+            solver.add_prim(dst, _int(None, True))
+        elif opcode == "bitcast":
+            # A reinterpretation: both sides are pointers but their
+            # pointees are deliberately NOT unified.
+            solver.add_prim(src, _PTR)
+            solver.add_prim(dst, _PTR)
+        elif opcode == "ptrtoint":
+            solver.add_prim(src, _PTR)
+            solver.add_prim(dst, _int(64, False))
+        elif opcode == "inttoptr":
+            solver.add_prim(src, _int(64, False))
+            solver.add_prim(dst, _PTR)
+
+    def _constrain_call(self, inst: Call) -> None:
+        solver = self._solver
+        callee = self.module.functions.get(inst.callee_name) \
+            if self.module is not None else None
+        if callee is None:
+            return
+        if callee.is_declaration:
+            # Extern signature = header knowledge.
+            for arg, param_type in zip(inst.args,
+                                       callee.function_type.params):
+                prim = _prim_of_type(param_type)
+                if prim is not None:
+                    solver.add_prim(self._tv(arg), prim)
+            if not inst.type.is_void:
+                prim = _prim_of_type(callee.return_type)
+                if prim is not None:
+                    solver.add_prim(self._tv(inst), prim)
+            return
+        for arg, param in zip(inst.args, callee.arguments):
+            solver.unify(self._tv(arg), self._tv(param))
+        if not inst.type.is_void:
+            solver.unify(self._tv(inst), self._ret(callee))
+
+    # -- Resolution --------------------------------------------------------
+
+    def rectype_of(self, value: Value, depth: int = 0) -> RecType:
+        tv = self._value_tv.get(value)
+        if tv is None:
+            return RUnknown()
+        return self._resolve(tv, depth)
+
+    def return_rectype(self, function: Function) -> RecType:
+        tv = self._ret_tv.get(function)
+        return self._resolve(tv) if tv is not None else RUnknown()
+
+    def _resolve(self, tv: int, depth: int = 0) -> RecType:
+        prim = self._solver.prim_of(tv)
+        if prim == _BOT:
+            pointee = self._solver.pointee_of(tv)
+            if pointee is not None:
+                return RPointer(self._resolve(pointee, depth + 1)
+                                if depth < 4 else RUnknown())
+            return RUnknown()
+        if prim[0] == "top":
+            return RConflict(prim[1])
+        if prim[0] == "int":
+            return RInt(prim[1], prim[2] or prim[1] is None)
+        if prim == _FLOAT:
+            return RFloat()
+        if prim == _PTR:
+            pointee = self._solver.pointee_of(tv)
+            if pointee is not None and depth < 4:
+                return RPointer(self._resolve(pointee, depth + 1))
+            return RPointer(RUnknown())
+        return RConflict(str(prim))
+
+    def element_rectype(self, function: Function,
+                        root: StorageRoot) -> RecType:
+        tv = self._slot_tv.get((root, "elem"))
+        if tv is None:
+            # Scalar root: its single field slot is at offset 0.
+            tv = self._slot_tv.get((root, ("field", 0)))
+        return self._resolve(tv) if tv is not None else RUnknown()
+
+    def _patterns_of(self, function: Function, root: StorageRoot):
+        """Access evidence for ``root`` — module-wide for globals.
+
+        A global's layout is a whole-module fact: a function touching
+        only ``a[0][j]`` observes just the unit stride, but another
+        function's ``a[i][j]`` accesses pin the outer stride too, so
+        globals pool every function's patterns before shaping.
+        """
+        if root.kind == "global":
+            merged: list = []
+            for storage in self.storages.values():
+                merged.extend(storage.accesses.get(root, ()))
+            return merged
+        storage = self.storages.get(function)
+        return storage.accesses.get(root, ()) if storage else ()
+
+    def root_rectype(self, function: Function, root: StorageRoot) -> RecType:
+        """The full recovered declaration type of a storage root."""
+        patterns = self._patterns_of(function, root)
+        array_like = any(p.strides for p in patterns)
+        offsets = self._struct_roots.get(root)
+        if offsets and not array_like:
+            fields = []
+            for off in sorted(offsets):
+                tv = self._slot_tv.get((root, ("field", off)))
+                fields.append((off, self._resolve(tv)
+                               if tv is not None else RUnknown()))
+            if len(fields) > 1 and len({f for _, f in fields}) > 1:
+                return RStruct(tuple(fields))
+        element = self.element_rectype(function, root)
+        if array_like:
+            return RArray(element,
+                          shape_of_accesses(root.size_bytes, patterns))
+        if root.kind == "argument":
+            return RPointer(element)
+        if root.size_bytes is not None and isinstance(element, (RInt, RFloat)):
+            width = 8 if isinstance(element, RFloat) \
+                else max(1, (element.bits or 32) // 8)
+            if root.size_bytes > width and root.size_bytes % width == 0:
+                # Sized storage never indexed with a variable stride —
+                # recover the flat extent from the allocation size.
+                return RArray(element, (root.size_bytes // width,))
+        return element
+
+    # -- Cross-checking ----------------------------------------------------
+
+    def disagreements(self) -> List["TypeDisagreement"]:
+        """Recovered-vs-declared comparisons (the lint layer's input)."""
+        findings: List[TypeDisagreement] = []
+        for function in self.module.defined_functions():
+            storage = self.storages[function]
+            for root in storage.roots:
+                declared = _declared_root_type(storage, root)
+                if declared is None:
+                    continue
+                recovered = self.root_rectype(function, root)
+                verdict = _compare(recovered, declared)
+                if verdict is not None:
+                    findings.append(TypeDisagreement(
+                        function.name, root.name, recovered,
+                        declared, verdict))
+        return findings
+
+
+@dataclass
+class TypeDisagreement:
+    function: str
+    location: str
+    recovered: RecType
+    declared: RecType
+    kind: str          # 'mismatch' | 'unresolved'
+
+    def render(self) -> str:
+        return (f"{self.function}/{self.location}: recovered "
+                f"{self.recovered.render()} vs declared "
+                f"{self.declared.render()}")
+
+
+def rectype_of_ir(vtype: ir_ty.Type) -> RecType:
+    """The declared IR type expressed in the recovered-type vocabulary."""
+    if vtype.is_float:
+        return RFloat()
+    if vtype.is_integer:
+        return RInt(vtype.bits, True)
+    if vtype.is_pointer:
+        return RPointer(rectype_of_ir(vtype.pointee))
+    if vtype.is_array:
+        dims: List[int] = []
+        current: ir_ty.Type = vtype
+        while current.is_array:
+            dims.append(current.count)
+            current = current.element
+        return RArray(rectype_of_ir(current), tuple(dims))
+    return RUnknown()
+
+
+def _declared_root_type(storage: StorageInfo,
+                        root: StorageRoot) -> Optional[RecType]:
+    for value, candidate in storage.root_of_value.items():
+        if candidate is not root:
+            continue
+        if isinstance(value, GlobalVariable):
+            return rectype_of_ir(value.value_type)
+        if isinstance(value, Alloca):
+            return rectype_of_ir(value.allocated_type)
+        if isinstance(value, Argument):
+            return rectype_of_ir(value.type)
+    return None
+
+
+def _compare(recovered: RecType, declared: RecType) -> Optional[str]:
+    """None when consistent; 'unresolved' or 'mismatch' otherwise."""
+    if isinstance(recovered, RUnknown):
+        return "unresolved"
+    if isinstance(recovered, RConflict):
+        return "mismatch"
+    if isinstance(declared, RArray):
+        if isinstance(recovered, RArray):
+            if not _scalar_agrees(recovered.element, declared.element):
+                return "mismatch"
+            if len(recovered.dims) != len(declared.dims):
+                # Unit-stride evidence alone cannot distinguish a flat
+                # layout from a nested one of equal extent, so a
+                # coarser recovery (double[576] vs double[24][24]) is
+                # consistent when the element counts match.
+                if (len(recovered.dims) < len(declared.dims)
+                        and None not in recovered.dims
+                        and None not in declared.dims
+                        and _dim_product(recovered.dims)
+                        == _dim_product(declared.dims)):
+                    return None
+                return "mismatch"
+            for rec_dim, decl_dim in zip(recovered.dims, declared.dims):
+                if rec_dim is not None and rec_dim != decl_dim:
+                    return "mismatch"
+            return None
+        if isinstance(recovered, (RInt, RFloat)):
+            # A root that is an array in the declaration but was only
+            # ever touched whole (never indexed): tolerated for 1-elem.
+            return "mismatch"
+        return "mismatch"
+    if isinstance(declared, RPointer):
+        if isinstance(recovered, RPointer):
+            if isinstance(recovered.pointee, RUnknown):
+                return None
+            if _scalar_agrees(recovered.pointee, _leaf(declared.pointee)):
+                return None
+            return "mismatch"
+        return "mismatch"
+    return None if _scalar_agrees(recovered, declared) else "mismatch"
+
+
+def _dim_product(dims: Sequence[int]) -> int:
+    total = 1
+    for dim in dims:
+        total *= dim
+    return total
+
+
+def _leaf(rec: RecType) -> RecType:
+    while isinstance(rec, RArray):
+        rec = rec.element
+    return rec
+
+
+def _scalar_agrees(recovered: RecType, declared: RecType) -> bool:
+    if isinstance(recovered, RUnknown):
+        return True
+    if isinstance(recovered, RFloat) and isinstance(declared, RFloat):
+        return True
+    if isinstance(recovered, RInt) and isinstance(declared, RInt):
+        if recovered.bits is None or declared.bits is None:
+            return True
+        return recovered.bits == declared.bits
+    if isinstance(recovered, RPointer) and isinstance(declared, RPointer):
+        return True
+    return False
+
+
+def _prim_of_type(vtype: ir_ty.Type) -> Optional[tuple]:
+    if vtype.is_float:
+        return _FLOAT
+    if vtype.is_integer:
+        return _int(vtype.bits, True)
+    if vtype.is_pointer:
+        return _PTR
+    return None
+
+
+def infer_module_types(module: Module,
+                       storages: Optional[Dict[Function, StorageInfo]] = None
+                       ) -> TypeInference:
+    """Run type inference over a whole module.
+
+    Prefer requesting the ``typeinfer`` analysis through an
+    :class:`~repro.analysis.manager.AnalysisManager`; this entry point
+    is the construction choke point it calls.
+    """
+    if storages is None:
+        from .storage import recover_storage
+        storages = {fn: recover_storage(fn)
+                    for fn in module.defined_functions()}
+    return TypeInference(module, storages)

@@ -107,13 +107,14 @@ def cmd_decompile(args) -> int:
         if args.verify_pragmas:
             from .core import decompile_checked
             from .lint import render_text
-            result = decompile_checked(module, args.variant)
+            result = decompile_checked(module, args.variant,
+                                       type_source=args.types)
             print(result.text)
             print(render_text(result.diagnostics), file=sys.stderr)
             _print_timing(instrumentation)
             return 0 if result.ok else 3
         from .core import decompile
-        print(decompile(module, args.variant))
+        print(decompile(module, args.variant, type_source=args.types))
     else:
         from .decompilers import cbackend, ghidra, rellic
         tool = {"rellic": rellic, "ghidra": ghidra,
@@ -150,7 +151,8 @@ def cmd_lint(args) -> int:
                                     module_name=args.file)
             optimize_o2(module)
             parallelize_module(module, enable_reductions=args.reductions)
-        report = Splendid(module, args.variant).decompile_checked() \
+        report = Splendid(module, args.variant,
+                          type_source=args.types).decompile_checked() \
             .diagnostics
 
     print(render_json(report) if args.json else render_text(report))
@@ -299,6 +301,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report per-pass wall time, analysis-cache "
                             "hit/miss counters, and IR deltas to stderr")
 
+    def add_types(p):
+        p.add_argument("--types", default="debug",
+                       choices=("debug", "recovered", "none"),
+                       help="where declaration types come from: 'debug' "
+                            "trusts IR/debug metadata (default); "
+                            "'recovered' re-derives every type from "
+                            "usage via the storage/typeinfer analyses "
+                            "and demotes debug info to a cross-check; "
+                            "'none' ignores all metadata (ablation)")
+
     def add_engine(p):
         p.add_argument("--engine", default=None,
                        choices=("compiled", "walk"),
@@ -334,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--verify-pragmas", action="store_true",
                        help="lint every emitted pragma; report to stderr "
                             "and exit 3 on errors")
+    add_types(p_dec)
     add_time_passes(p_dec)
     p_dec.set_defaults(func=cmd_decompile)
 
@@ -348,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "pipeline runs")
     p_lint.add_argument("--json", action="store_true",
                         help="machine-readable report")
+    add_types(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
     p_run = sub.add_parser("run", help="execute in the interpreter")

@@ -67,17 +67,26 @@ class Splendid:
     """SPLENDID: parallel LLVM-IR -> portable, natural C/OpenMP."""
 
     def __init__(self, module: Module, variant: str = "full",
-                 analysis_manager=None):
+                 analysis_manager=None, type_source: str = "debug"):
         from ..analysis.manager import AnalysisManager
+        if type_source not in ("debug", "recovered", "none"):
+            raise ValueError(
+                f"unknown type source {type_source!r}; "
+                f"choose from ('debug', 'recovered', 'none')")
         self.module = module
         self.variant = variant
-        self.options = options_for(variant)
+        self.type_source = type_source
+        self.options = replace(options_for(variant),
+                               type_source=type_source)
         self.analysis = analysis_manager or AnalysisManager()
         self._info_cache: Dict[str, MicrotaskInfo] = {}
-        source_names = (generate_module_names(module)
-                        if self.options.rename_variables else {})
-        source_groups = (generate_module_groups(module)
-                         if self.options.rename_variables else {})
+        # Debug metadata is an *input* only in 'debug' mode; under
+        # 'recovered' it is demoted to a cross-check (the type lint) and
+        # under 'none' it is ignored outright.
+        use_metadata = self.options.rename_variables \
+            and type_source == "debug"
+        source_names = generate_module_names(module) if use_metadata else {}
+        source_groups = generate_module_groups(module) if use_metadata else {}
         skip: Set[str] = set()
         translator = None
         if self.options.explicit_parallelism:
@@ -110,13 +119,17 @@ class Splendid:
         unit itself (for variants that translate parallelism).  Both
         reports are merged onto the result.
         """
-        from ..lint import lint_parallel_module, lint_translation_unit
+        from ..lint import (lint_parallel_module, lint_recovered_types,
+                            lint_translation_unit)
         from ..minic.printer import print_unit
         report = lint_parallel_module(self.module,
                                       analysis_manager=self.analysis)
         unit = self.decompile()
         if self.options.explicit_parallelism:
             report.extend(lint_translation_unit(unit))
+        if self.type_source == "recovered":
+            report.extend(lint_recovered_types(
+                self.module, analysis_manager=self.analysis, unit=unit))
         return DecompilationResult(print_unit(unit), unit, report)
 
     def restoration_stats(self):
@@ -152,16 +165,20 @@ class DecompilationResult:
         return self.diagnostics.ok
 
 
-def decompile(module: Module, variant: str = "full") -> str:
+def decompile(module: Module, variant: str = "full",
+              type_source: str = "debug") -> str:
     """Decompile a parallel IR module to C/OpenMP source text."""
-    return Splendid(module, variant).decompile_text()
+    return Splendid(module, variant,
+                    type_source=type_source).decompile_text()
 
 
-def decompile_unit(module: Module, variant: str = "full") -> ast.TranslationUnit:
-    return Splendid(module, variant).decompile()
+def decompile_unit(module: Module, variant: str = "full",
+                   type_source: str = "debug") -> ast.TranslationUnit:
+    return Splendid(module, variant, type_source=type_source).decompile()
 
 
-def decompile_checked(module: Module,
-                      variant: str = "full") -> DecompilationResult:
+def decompile_checked(module: Module, variant: str = "full",
+                      type_source: str = "debug") -> DecompilationResult:
     """Decompile with pragma verification (see `Splendid.decompile_checked`)."""
-    return Splendid(module, variant).decompile_checked()
+    return Splendid(module, variant,
+                    type_source=type_source).decompile_checked()

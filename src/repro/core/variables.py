@@ -134,6 +134,8 @@ def remove_conflicts(function: Function,
     mapping = dict(proposal.mapping)
 
     for block in function.blocks:
+        if not result.visited(block):
+            continue  # unreachable: no state constrains these uses
         for inst in block.instructions:
             if isinstance(inst, DbgValue):
                 continue

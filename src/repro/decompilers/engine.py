@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..analysis.induction import CountedLoop, analyze_counted_loop
+from ..analysis.induction import CountedLoop
 from ..analysis.loops import Loop
 from ..analysis.manager import (AnalysisManager, get_loop_info,
                                 get_postdomtree)
@@ -55,6 +55,13 @@ class DecompilerOptions:
     # and stores print as array subscripts (A[i][j]) instead of pointer
     # temporaries (*A_idx).
     rematerialize_addresses: bool = False
+    # Where declaration types come from:
+    #   'debug'     — declared IR types + debug metadata (the default);
+    #   'recovered' — the storage/typeinfer analyses drive declarations
+    #                 and array geometry, debug info is a cross-check;
+    #   'none'      — declared IR types only, all metadata ignored
+    #                 (ablation: what the printer knows about a binary).
+    type_source: str = "debug"
 
 
 # Map IR binops to C operators.
@@ -92,6 +99,120 @@ class DecompileError(Exception):
     pass
 
 
+@dataclass(frozen=True)
+class _Reshape:
+    """A storage root whose *recovered* layout differs from its declared
+    IR type (e.g. a ``char[512]`` byte blob recovered as
+    ``double[8][8]``).  The declaration prints the recovered type and
+    every access into the root is re-derived from the recovered
+    geometry instead of the IR's GEP structure."""
+
+    element: ast.CType
+    width: int                 # element size in bytes
+    dims: Tuple[int, ...]      # outermost first
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        """Byte stride of each subscript level, outermost first."""
+        strides: List[int] = []
+        acc = self.width
+        for dim in reversed(self.dims):
+            strides.append(acc)
+            acc *= dim
+        return tuple(reversed(strides))
+
+
+def _declared_layout(vtype: ir_ty.Type,
+                     i64_spelling: str) -> Tuple[ast.CType, Tuple[int, ...]]:
+    dims: List[int] = []
+    while vtype.is_array:
+        dims.append(vtype.count)
+        vtype = vtype.element
+    return ctype_of(vtype, i64_spelling), tuple(dims)
+
+
+def _plan_reshape(storage, typeinfo, function, root,
+                  i64_spelling: str) -> Optional[_Reshape]:
+    """The recovered layout of ``root``, when it is fully proven.
+
+    Returns ``None`` unless the recovered element and every dimension are
+    resolved, the layout tiles the root's (trusted) size exactly, and
+    every observed access decomposes into the recovered stride basis —
+    the conditions under which reprinting accesses as subscripts is
+    sound.  Whether the reshape *differs* from the declaration is the
+    caller's concern.
+    """
+    from ..analysis.typeinfer import RArray, RFloat, RInt
+    rec = typeinfo.root_rectype(function, root)
+    if not isinstance(rec, RArray) or not rec.dims:
+        return None
+    if any(d is None for d in rec.dims):
+        return None
+    element = rec.element
+    if isinstance(element, RFloat):
+        ctype, width = ast.DOUBLE, 8
+    elif isinstance(element, RInt):
+        width = storage.element_width(root) or ((element.bits or 32) // 8)
+        ctype = ast.CInt(i64_spelling) if width == 8 else ast.INT
+    else:
+        return None
+    total = width
+    for dim in rec.dims:
+        total *= dim
+    if root.size_bytes is None or total != root.size_bytes:
+        return None
+    reshape = _Reshape(ctype, width, tuple(rec.dims))
+    for pattern in storage.accesses.get(root, ()):
+        if any(s % width != 0 for s in pattern.strides):
+            return None
+    for value, home in storage.homes.items():
+        if home.root == root and home.const_offset % width != 0:
+            return None
+    return reshape
+
+
+def _plan_global_reshapes(module: Module, analysis: "AnalysisManager",
+                          typeinfo, i64_spelling: str
+                          ) -> Dict[str, _Reshape]:
+    """Reshapes for globals, agreed on by every function that uses them.
+
+    A function whose accesses do not decompose into the candidate
+    layout vetoes the reshape: the declaration is shared, so reprinting
+    is all-or-nothing per global.
+    """
+    from ..analysis.manager import STORAGE
+    candidates: Dict[str, Set[_Reshape]] = {}
+    vetoed: Set[str] = set()
+    for function in module.defined_functions():
+        storage = analysis.get(STORAGE, function)
+        for root in storage.roots:
+            if root.kind != "global":
+                continue
+            reshape = _plan_reshape(storage, typeinfo, function, root,
+                                    i64_spelling)
+            if reshape is None and storage.accesses.get(root):
+                vetoed.add(root.name)
+            elif reshape is not None:
+                candidates.setdefault(root.name, set()).add(reshape)
+    reshapes: Dict[str, _Reshape] = {}
+    for name, shapes in candidates.items():
+        if name in vetoed or len(shapes) != 1:
+            continue
+        var = module.globals.get(name)
+        if var is None:
+            continue
+        reshape = next(iter(shapes))
+        if _declared_layout(var.value_type, i64_spelling) == \
+                (reshape.element, reshape.dims):
+            continue  # recovery agrees with the declaration: nothing to do
+        reshapes[name] = reshape
+    return reshapes
+
+
+def _i64_spelling(options: DecompilerOptions) -> str:
+    return "uint64_t" if options.name.startswith("splendid") else "long"
+
+
 @dataclass
 class _LoopContext:
     loop: Loop
@@ -114,6 +235,13 @@ class ModuleDecompiler:
         self.module = module
         self.options = options
         self.analysis = analysis_manager or AnalysisManager()
+        self.typeinfo = None
+        self.global_reshapes: Dict[str, _Reshape] = {}
+        if options.type_source == "recovered":
+            from ..analysis.manager import TYPEINFER
+            self.typeinfo = self.analysis.get_module(TYPEINFER, module)
+            self.global_reshapes = _plan_global_reshapes(
+                module, self.analysis, self.typeinfo, _i64_spelling(options))
         self.decompiled = False
         self.call_translator = call_translator
         self.source_names = source_names or {}
@@ -128,7 +256,13 @@ class ModuleDecompiler:
         self.emitters = []
         unit = ast.TranslationUnit()
         for var in self.module.globals.values():
-            unit.globals.append(_global_decl(var))
+            reshape = self.global_reshapes.get(var.name)
+            if reshape is not None:
+                unit.globals.append(ast.Declaration(
+                    reshape.element, sanitize_identifier(var.name),
+                    array_dims=reshape.dims))
+            else:
+                unit.globals.append(_global_decl(var))
         for function in self.module.functions.values():
             if function.name in self.skip_functions:
                 continue
@@ -190,9 +324,17 @@ class FunctionEmitter:
         self.module_ctx = module_ctx
         self.loop_info = get_loop_info(function, module_ctx.analysis)
         self.postdom = get_postdomtree(function, module_ctx.analysis)
+        self.typeinfo = module_ctx.typeinfo
+        self.storage = None
+        self._reshapes: Dict[object, _Reshape] = {}   # StorageRoot -> reshape
+        self._root_values: Dict[object, Value] = {}   # StorageRoot -> IR value
+        if self.typeinfo is not None:
+            from ..analysis.manager import STORAGE
+            self.storage = module_ctx.analysis.get(STORAGE, function)
+            self._plan_reshapes()
         self.names = names or NameAllocator(
             options.naming_style, module_ctx.source_names,
-            module_ctx.source_groups)
+            module_ctx.source_groups, type_hints=self._type_hints())
         self.expr_overrides: Dict[Value, ast.Expr] = dict(expr_overrides or {})
         self.skip: Set[Instruction] = set()
         self.top_decls: Dict[str, ast.Declaration] = {}
@@ -209,10 +351,18 @@ class FunctionEmitter:
     def _plan_for_loops(self) -> None:
         if not self.options.construct_for_loops:
             return
+        from ..analysis.induction import analyze_counted_loop
+        from ..analysis.manager import INDUCTION
+        counted_loops = self.module_ctx.analysis.get(INDUCTION, self.function)
         for loop in self.loop_info.all_loops():
             if not loop.is_rotated:
                 continue
-            counted = analyze_counted_loop(loop)
+            # The INDUCTION map is keyed by Loop identity; a cache-less
+            # manager hands back a map over different Loop objects, and
+            # CountedLoop.loop identity matters downstream — analyze
+            # directly rather than adopting a foreign Loop.
+            counted = counted_loops[loop] if loop in counted_loops \
+                else analyze_counted_loop(loop)
             if counted is not None and self._for_constructible(counted):
                 self._counted_plan[loop.header] = counted
                 self._mark_for_consumed(counted)
@@ -348,12 +498,144 @@ class FunctionEmitter:
     # ----- Types / names ---------------------------------------------------------
 
     def ctype(self, vtype: ir_ty.Type) -> ast.CType:
-        spelling = "uint64_t" if self.options.name.startswith("splendid") \
-            else "long"
-        return ctype_of(vtype, spelling)
+        return ctype_of(vtype, _i64_spelling(self.options))
 
     def name_of(self, value: Value) -> str:
         return self.names.name_for(value)
+
+    # ----- Recovered types (--types=recovered) -----------------------------------
+
+    def _type_hints(self) -> Optional[Dict[Value, str]]:
+        """Per-value naming hints from recovered types (``i``/``d``/``p``
+        prefixes), the metadata-free substitute for source names."""
+        if self.typeinfo is None:
+            return None
+        from ..analysis.typeinfer import RFloat, RInt, RPointer
+        hints: Dict[Value, str] = {}
+        values: List[Value] = list(self.function.arguments)
+        for block in self.function.blocks:
+            values.extend(i for i in block.instructions
+                          if not i.type.is_void)
+        for value in values:
+            rec = self.typeinfo.rectype_of(value)
+            if isinstance(rec, RInt):
+                hints[value] = "i"
+            elif isinstance(rec, RFloat):
+                hints[value] = "d"
+            elif isinstance(rec, RPointer):
+                hints[value] = "p"
+        return hints
+
+    def _plan_reshapes(self) -> None:
+        for value, root in self.storage.root_of_value.items():
+            self._root_values[root] = value
+            if root.kind == "global":
+                reshape = self.module_ctx.global_reshapes.get(root.name)
+                if reshape is not None:
+                    self._reshapes[root] = reshape
+            elif isinstance(value, Alloca):
+                reshape = _plan_reshape(self.storage, self.typeinfo,
+                                        self.function, root,
+                                        _i64_spelling(self.options))
+                if reshape is not None and _declared_layout(
+                        value.allocated_type,
+                        _i64_spelling(self.options)) != \
+                        (reshape.element, reshape.dims):
+                    self._reshapes[root] = reshape
+
+    def _rec_scalar(self, rec, declared: ir_ty.Type) -> Optional[ast.CType]:
+        """Recovered scalar as a C type, when it refines the trusted IR
+        facts (widths come from the instruction stream, so the declared
+        width is kept); ``None`` sends the caller to the fallback."""
+        from ..analysis.typeinfer import RFloat, RInt, RPointer, RUnknown
+        if isinstance(rec, RFloat) and declared.is_float:
+            return ast.DOUBLE
+        if isinstance(rec, RInt) and declared.is_integer:
+            if declared.bits == 64:
+                return ast.CInt(_i64_spelling(self.options))
+            return ast.INT
+        if isinstance(rec, RPointer) and declared.is_pointer:
+            inner = None
+            if not isinstance(rec.pointee, RUnknown) \
+                    and not declared.pointee.is_array \
+                    and not declared.pointee.is_function:
+                inner = self._rec_scalar(rec.pointee, declared.pointee)
+            return ast.CPointer(inner or self.ctype(declared.pointee))
+        return None
+
+    def decl_ctype(self, value: Value) -> ast.CType:
+        """Declaration type for ``value``: usage-recovered under
+        ``--types=recovered`` (falling back to the declared IR type when
+        recovery is unresolved), declared IR type otherwise."""
+        if self.typeinfo is None:
+            return self.ctype(value.type)
+        rec = self._rec_scalar(self.typeinfo.rectype_of(value), value.type)
+        return rec or self.ctype(value.type)
+
+    def alloca_ctype(self, alloca: Alloca) -> ast.CType:
+        """Declaration type for a stack root, honoring a recovered
+        reshape (byte blob -> typed array)."""
+        if self.storage is not None:
+            root = self.storage.root_of_value.get(alloca)
+            reshape = self._reshapes.get(root) if root is not None else None
+            if reshape is not None:
+                ctype: ast.CType = reshape.element
+                for dim in reversed(reshape.dims):
+                    ctype = ast.CArray(ctype, dim)
+                return ctype
+        return self.ctype(alloca.allocated_type)
+
+    def _reshaped_lvalue(self, pointer: Value) -> Optional[ast.Expr]:
+        """Reprint an access to a reshaped root as natural subscripts
+        derived from the recovered geometry."""
+        if self.storage is None or not self._reshapes:
+            return None
+        from ..analysis.storage import pointer_chain_terms
+        base, terms, const = pointer_chain_terms(pointer)
+        root = self.storage.root_for(base)
+        if root is None or base is not self._root_values.get(root):
+            return None
+        reshape = self._reshapes.get(root)
+        if reshape is None:
+            return None
+        if const % reshape.width != 0 \
+                or any(s % reshape.width != 0 for _, s in terms):
+            return None
+        if root.kind == "global":
+            result: ast.Expr = ast.Ident(sanitize_identifier(root.name))
+        elif isinstance(base, Alloca):
+            result = ast.Ident(self.declare_top(
+                base, self.alloca_ctype(base)))
+        else:
+            result = self.expr(base)
+        remaining = list(terms)
+        const_left = const
+        for stride in reshape.strides:
+            parts: List[ast.Expr] = []
+            rest: List[Tuple[Value, int]] = []
+            for value, s in remaining:
+                if abs(s) % stride == 0:
+                    coeff = s // stride
+                    term = self.expr(value)
+                    if coeff != 1:
+                        term = ast.Binary("*", term, ast.IntLit(coeff))
+                    parts.append(term)
+                else:
+                    rest.append((value, s))
+            remaining = rest
+            const_part = const_left // stride
+            const_left -= const_part * stride
+            index: Optional[ast.Expr] = None
+            for part in parts:
+                index = part if index is None else ast.Binary("+", index,
+                                                              part)
+            if const_part != 0 or index is None:
+                lit = ast.IntLit(const_part)
+                index = lit if index is None else ast.Binary("+", index, lit)
+            result = ast.Index(result, index)
+        if remaining or const_left:
+            return None  # does not decompose; keep the IR-driven printing
+        return result
 
     # ----- Expressions -----------------------------------------------------------
 
@@ -487,12 +769,15 @@ class FunctionEmitter:
 
     def lvalue(self, pointer: Value) -> ast.Expr:
         """C lvalue for a load/store address."""
+        reshaped = self._reshaped_lvalue(pointer)
+        if reshaped is not None:
+            return reshaped
         if isinstance(pointer, GetElementPtr) \
                 and self._gep_prints_inline(pointer):
             return self.address_to_lvalue(pointer)
         if isinstance(pointer, Alloca):
             return ast.Ident(self.declare_top(
-                pointer, self.ctype(pointer.allocated_type)))
+                pointer, self.alloca_ctype(pointer)))
         if isinstance(pointer, GlobalVariable):
             if pointer.value_type.is_array:
                 raise DecompileError("direct load of array global")
@@ -503,6 +788,9 @@ class FunctionEmitter:
         return ast.Unary("*", inner)
 
     def address_to_lvalue(self, gep: GetElementPtr) -> ast.Expr:
+        reshaped = self._reshaped_lvalue(gep)
+        if reshaped is not None:
+            return reshaped
         if self.options.byte_level_addressing:
             return self._byte_lvalue(gep)
         base_expr, indices = self._collect_subscripts(gep)
@@ -566,7 +854,7 @@ class FunctionEmitter:
         name = self.name_of(value)
         if name not in self.top_decls:
             self.top_decls[name] = ast.Declaration(
-                ctype or self.ctype(value.type), name)
+                ctype or self.decl_ctype(value), name)
         return name
 
     # ----- Statements -----------------------------------------------------------
@@ -580,7 +868,7 @@ class FunctionEmitter:
                 param_name = self.names._unique(
                     sanitize_identifier(arg.name or "arg"))
                 self.names.assigned[arg] = param_name
-            params.append(ast.Param(self.ctype(arg.type), param_name))
+            params.append(ast.Param(self.decl_ctype(arg), param_name))
 
         if self.options.structure_cfg:
             body_stmts = self.emit_region(self.function.entry, None, None)
@@ -604,7 +892,7 @@ class FunctionEmitter:
             if isinstance(inst, Alloca):
                 # Stack slots surviving mem2reg hold arrays or are
                 # runtime-call out-params; give them a variable.
-                self.declare_top(inst, self.ctype(inst.allocated_type))
+                self.declare_top(inst, self.alloca_ctype(inst))
                 self.expr_overrides[inst] = ast.Unary(
                     "&", ast.Ident(self.name_of(inst)))
                 continue
@@ -641,7 +929,7 @@ class FunctionEmitter:
             self._emitted_assign.add(inst)
             return ast.ExprStmt(ast.Assign("=", ast.Ident(name), init))
         name = self.name_of(inst)
-        return ast.Declaration(self.ctype(inst.type), name, init)
+        return ast.Declaration(self.decl_ctype(inst), name, init)
 
     def _phi_edge_assigns(self, block: BasicBlock) -> List[ast.Stmt]:
         stmts: List[ast.Stmt] = []

@@ -45,9 +45,14 @@ def sanitize_identifier(name: str) -> str:
 class NameAllocator:
     def __init__(self, style: str,
                  source_names: Optional[Dict[Value, str]] = None,
-                 source_groups: Optional[Dict[Value, object]] = None):
+                 source_groups: Optional[Dict[Value, object]] = None,
+                 type_hints: Optional[Dict[Value, str]] = None):
         self.style = style
         self.source_names = source_names or {}
+        # Recovered-type prefixes ('i'/'d'/'p') used by the 'source'
+        # style when no metadata name is available — the decompiled text
+        # then still telegraphs each variable's role (--types=recovered).
+        self.type_hints = type_hints or {}
         # Values in the same group provably share one source variable
         # (Algorithm 2 removed every conflicting mapping), so they SHARE
         # one C name — this is the SSA de-transformation the paper
@@ -125,5 +130,8 @@ class NameAllocator:
             self.origin[value] = "register"
             if value.name:
                 return sanitize_identifier(value.name)
+            hint = self.type_hints.get(value)
+            if hint:
+                return f"{hint}{index}"
             return f"v{index}"
         raise ValueError(f"unknown naming style {self.style!r}")

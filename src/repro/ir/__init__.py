@@ -14,7 +14,7 @@ from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, CondBranch,
                            INT_BINOPS, FLOAT_BINOPS, ICMP_PREDICATES,
                            FCMP_PREDICATES, INVERTED_PREDICATE,
                            SWAPPED_PREDICATE, is_parallel_runtime_call)
-from .metadata import DILocalVariable
+from .metadata import DILocalVariable, strip_debug_info
 from .module import Function, Module
 from .parser import IRParseError, parse_ir
 from .printer import format_instruction, format_value, print_function, print_module
@@ -29,7 +29,8 @@ __all__ = [
     "ICmp", "Instruction", "Load", "Phi", "Ret", "Select", "Store",
     "Unreachable", "INT_BINOPS", "FLOAT_BINOPS", "ICMP_PREDICATES",
     "FCMP_PREDICATES", "INVERTED_PREDICATE", "SWAPPED_PREDICATE",
-    "is_parallel_runtime_call", "DILocalVariable", "Function", "Module",
+    "is_parallel_runtime_call", "DILocalVariable", "strip_debug_info",
+    "Function", "Module",
     "format_instruction", "format_value", "print_function", "print_module",
     "IRParseError", "parse_ir",
     "Argument", "Constant", "ConstantFloat", "ConstantInt",

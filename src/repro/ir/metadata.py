@@ -40,3 +40,32 @@ class DILocalVariable:
 
     def __repr__(self) -> str:
         return f"<DILocalVariable {self.name} {self}>"
+
+
+def strip_debug_info(module, strip_names: bool = False) -> int:
+    """Remove every trace of debug metadata from ``module`` in place.
+
+    Deletes all ``llvm.dbg.value`` intrinsics and clears the
+    ``debug_variable`` descriptors attached to instructions — the state
+    a module is in when it came from a release binary.  With
+    ``strip_names`` the virtual-register names go too (they leak source
+    identifiers in IR our own frontend produced), leaving positional
+    names only.  Returns the number of debug intrinsics removed.
+    """
+    from .instructions import DbgValue
+    removed = 0
+    for function in module.defined_functions():
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, DbgValue):
+                    inst.erase()
+                    removed += 1
+                    continue
+                if inst.debug_variable is not None:
+                    inst.debug_variable = None
+                if strip_names and inst.name:
+                    inst.name = ""
+        if strip_names:
+            for arg in function.arguments:
+                arg.name = ""
+    return removed

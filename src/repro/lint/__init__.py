@@ -14,9 +14,11 @@ from .diagnostics import RULES, Diagnostic, LintReport, Rule, Severity
 from .ir_check import lint_parallel_module
 from .reporting import render_json, render_text
 from .source_check import lint_translation_unit
+from .type_check import lint_recovered_types
 
 __all__ = [
     "RULES", "Diagnostic", "LintReport", "Rule", "Severity",
     "lint_parallel_module", "lint_translation_unit",
+    "lint_recovered_types",
     "render_json", "render_text",
 ]

@@ -55,6 +55,12 @@ RULES: Dict[str, Rule] = {rule.id: rule for rule in (
          "statement outside the worksharing loop writes a shared variable"),
     Rule("not-canonical", Severity.WARNING,
          "worksharing loop shape is not analyzable"),
+    Rule("type-mismatch", Severity.ERROR,
+         "usage-recovered type contradicts the declared/debug type"),
+    Rule("type-unresolved", Severity.WARNING,
+         "no usage evidence pins this variable's type"),
+    Rule("type-source-drift", Severity.ERROR,
+         "emitted declaration disagrees with the recovered type"),
 )}
 
 

@@ -1,0 +1,117 @@
+"""Type-consistency lint: recovered types vs. declared types vs. output.
+
+The recovery subsystem (:mod:`repro.analysis.storage` +
+:mod:`repro.analysis.typeinfer`) re-derives every variable's type from
+usage evidence.  This pass turns that redundancy into a
+miscompile-detection signal, checking two boundaries:
+
+1. **recovered vs. declared/debug** — on IR that still carries declared
+   types (or debug metadata), the usage-recovered types must agree.
+   A ``type-mismatch`` error means either the recovery engine or the
+   pipeline mis-tracked a value; ``type-unresolved`` warns where usage
+   evidence was too thin to conclude anything.
+
+2. **recovered vs. emitted source** — the decompiled translation unit's
+   global declarations are compared back against the recovered layouts
+   (element kind and total object size).  ``type-source-drift`` means
+   the printer emitted a declaration the analyses cannot justify.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.module import Module
+from ..minic import c_ast as ast
+from .diagnostics import Diagnostic, LintReport
+
+
+def _printed_width(ctype: ast.CType) -> Optional[int]:
+    if isinstance(ctype, ast.CDouble):
+        return 8
+    if isinstance(ctype, ast.CInt):
+        return ctype.bits // 8
+    return None
+
+
+def _scalar_consistent(rec, ctype: ast.CType) -> bool:
+    from ..analysis.typeinfer import RFloat, RInt, RPointer, RUnknown
+    if isinstance(rec, RUnknown):
+        return True
+    if isinstance(rec, RFloat):
+        return isinstance(ctype, ast.CDouble)
+    if isinstance(rec, RInt):
+        return isinstance(ctype, ast.CInt)
+    if isinstance(rec, RPointer):
+        return isinstance(ctype, (ast.CPointer, ast.CArray))
+    return False
+
+
+def lint_recovered_types(module: Module, analysis_manager=None,
+                         unit: Optional[ast.TranslationUnit] = None
+                         ) -> LintReport:
+    """Cross-check usage-recovered types for ``module``.
+
+    With ``unit`` (a decompiled translation unit), additionally verify
+    the emitted global declarations against the recovered layouts.
+    """
+    from ..analysis.manager import AnalysisManager, TYPEINFER
+    from ..analysis.typeinfer import RArray, RFloat, RInt
+    from ..decompilers.naming import sanitize_identifier
+
+    manager = analysis_manager or AnalysisManager()
+    typeinfo = manager.get_module(TYPEINFER, module)
+    report = LintReport()
+
+    # Boundary 1: recovered vs declared (debug-era) types.
+    for finding in typeinfo.disagreements():
+        rule = "type-mismatch" if finding.kind == "mismatch" \
+            else "type-unresolved"
+        report.add(Diagnostic(
+            rule=rule,
+            function=finding.function,
+            location=finding.location,
+            message=(f"recovered {finding.recovered.render()} vs "
+                     f"declared {finding.declared.render()}"),
+            hint=("re-run with --types=debug to fall back to declared "
+                  "types" if finding.kind == "mismatch" else None)))
+
+    # Boundary 2: recovered vs the emitted source declarations.
+    if unit is not None:
+        printed = {decl.name: decl for decl in unit.globals}
+        for function in module.defined_functions():
+            storage = manager.get("storage", function)
+            for root in storage.roots:
+                if root.kind != "global":
+                    continue
+                decl = printed.get(sanitize_identifier(root.name))
+                if decl is None:
+                    continue
+                rec = typeinfo.root_rectype(function, root)
+                element = rec.element if isinstance(rec, RArray) else rec
+                if not isinstance(element, (RInt, RFloat)):
+                    continue  # not resolved: boundary 1 already warned
+                if not _scalar_consistent(element, decl.ctype):
+                    report.add(Diagnostic(
+                        rule="type-source-drift",
+                        function=function.name,
+                        location=root.name,
+                        message=(f"emitted element type "
+                                 f"{decl.ctype!r} but recovery proves "
+                                 f"{element.render()}")))
+                    continue
+                width = _printed_width(decl.ctype)
+                if width is not None and root.size_bytes is not None \
+                        and decl.array_dims:
+                    total = width
+                    for dim in decl.array_dims:
+                        total *= dim
+                    if total != root.size_bytes:
+                        report.add(Diagnostic(
+                            rule="type-source-drift",
+                            function=function.name,
+                            location=root.name,
+                            message=(f"emitted object spans {total} bytes "
+                                     f"but the root occupies "
+                                     f"{root.size_bytes}")))
+    return report

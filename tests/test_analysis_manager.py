@@ -222,11 +222,15 @@ void empty_fn() { return; }
 class TestConstructionChokePoint:
     def test_no_direct_analysis_construction_outside_analysis_package(self):
         """Grep-enforced acceptance criterion: DominatorTree(...),
-        LoopInfo(...), Liveness(...) etc. are constructed only inside
-        repro.analysis (the AnalysisManager being the choke point)."""
+        LoopInfo(...), Liveness(...), TypeInference(...) etc. are
+        constructed only inside repro.analysis (the AnalysisManager
+        being the choke point).  The storage/type-recovery entry points
+        (recover_storage / infer_module_types) are covered too: outside
+        code must go through the STORAGE / TYPEINFER registrations."""
         src_root = Path(repro.__file__).parent
         pattern = re.compile(
-            r"\b(?:DominatorTree|PostDominatorTree|LoopInfo|Liveness)\(")
+            r"\b(?:DominatorTree|PostDominatorTree|LoopInfo|Liveness"
+            r"|TypeInference|recover_storage|infer_module_types)\(")
         offenders = []
         for path in sorted(src_root.rglob("*.py")):
             relative = path.relative_to(src_root)

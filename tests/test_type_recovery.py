@@ -1,0 +1,324 @@
+"""Tests for constraint-based type & storage recovery (``--types``).
+
+Covers the full recovery stack:
+
+* storage recovery (:mod:`repro.analysis.storage`) — roots, shapes,
+  access patterns;
+* type inference (:mod:`repro.analysis.typeinfer`) — usage-derived
+  scalar types, array layouts, recovered-vs-declared cross-checks;
+* the decompiler integration — byte-blob reshaping, ``--types``
+  threading, CLI flag;
+* the dataflow framework's unreachable-block contract; and
+* end-to-end: every PolyBench kernel stripped of debug metadata must
+  decompile to typed C that recompiles to a bit-exact program.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from conftest import compile_o2
+from repro.analysis import UnvisitedInstructionError
+from repro.analysis.manager import STORAGE, TYPEINFER, AnalysisManager
+from repro.ir import strip_debug_info
+from repro.ir import types as ir_ty
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, Module
+from repro.ir.values import ConstantFloat, GlobalVariable, const_int
+from repro.ir.verifier import verify_module
+
+MATVEC = """
+double A[8][8];
+double x[8];
+double y[8];
+
+void kernel() {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    y[i] = 0.0;
+    for (j = 0; j < 8; j++) {
+      y[i] = y[i] + A[i][j] * x[j];
+    }
+  }
+}
+"""
+
+
+def _kernel(module):
+    return module.get_function("kernel")
+
+
+def _root_named(storage, name):
+    for root in storage.roots:
+        if root.name == name:
+            return root
+    raise AssertionError(f"no root named {name}: {storage.roots}")
+
+
+class TestStorageRecovery:
+    def test_recovers_2d_array_shape(self):
+        module = compile_o2(MATVEC)
+        am = AnalysisManager()
+        storage = am.get(STORAGE, _kernel(module))
+        root = _root_named(storage, "A")
+        assert root.size_bytes == 8 * 8 * 8
+        assert storage.is_array_like(root)
+        assert storage.shape(root) == (8, 8)
+        assert storage.element_width(root) == 8
+
+    def test_recovers_1d_array_shape(self):
+        module = compile_o2(MATVEC)
+        am = AnalysisManager()
+        storage = am.get(STORAGE, _kernel(module))
+        assert storage.shape(_root_named(storage, "x")) == (8,)
+        assert storage.shape(_root_named(storage, "y")) == (8,)
+
+    def test_scalar_global_has_empty_shape(self):
+        module = compile_o2("""
+double total;
+void kernel() { total = total + 1.0; }
+""")
+        am = AnalysisManager()
+        storage = am.get(STORAGE, _kernel(module))
+        root = _root_named(storage, "total")
+        assert not storage.is_array_like(root)
+        assert storage.shape(root) == ()
+
+
+class TestTypeInference:
+    def test_recovers_double_array(self):
+        module = compile_o2(MATVEC)
+        am = AnalysisManager()
+        typeinfo = am.get_module(TYPEINFER, module)
+        fn = _kernel(module)
+        storage = am.get(STORAGE, fn)
+        rendered = typeinfo.root_rectype(fn, _root_named(storage, "A")).render()
+        assert rendered == "double[8][8]"
+
+    def test_zero_disagreements_on_typed_ir(self):
+        module = compile_o2(MATVEC)
+        typeinfo = AnalysisManager().get_module(TYPEINFER, module)
+        assert typeinfo.disagreements() == []
+
+    def test_global_evidence_is_merged_module_wide(self):
+        # `edge` only touches A[0][j]: its accesses expose just the unit
+        # stride.  `body` pins the outer stride; the recovered layout in
+        # *both* functions must be the full 2-D shape.
+        module = compile_o2("""
+double A[6][4];
+void edge() {
+  int j;
+  for (j = 0; j < 4; j++) A[0][j] = 1.0;
+}
+void body() {
+  int i; int j;
+  for (i = 0; i < 6; i++)
+    for (j = 0; j < 4; j++) A[i][j] = A[i][j] + 1.0;
+}
+""")
+        am = AnalysisManager()
+        typeinfo = am.get_module(TYPEINFER, module)
+        for name in ("edge", "body"):
+            fn = module.get_function(name)
+            storage = am.get(STORAGE, fn)
+            root = _root_named(storage, "A")
+            assert typeinfo.root_rectype(fn, root).render() == "double[6][4]"
+        assert typeinfo.disagreements() == []
+
+    def test_flat_recovery_consistent_with_nested_declaration(self):
+        from repro.analysis.typeinfer import RArray, RFloat, _compare
+        flat = RArray(RFloat(), (576,))
+        nested = RArray(RFloat(), (24, 24))
+        assert _compare(flat, nested) is None            # same extent
+        assert _compare(RArray(RFloat(), (100,)), nested) == "mismatch"
+
+
+def build_byte_blob_module():
+    """A ``char[512]`` global accessed as an 8x8 matrix of doubles via
+    byte arithmetic — the type-erased shape debug metadata would have
+    papered over."""
+    module = Module("blob")
+    blob = module.add_global(
+        GlobalVariable(ir_ty.array(ir_ty.I8, 512), "blob"))
+    fn = Function("kernel", ir_ty.function(ir_ty.VOID,
+                                           [ir_ty.I64, ir_ty.I64]))
+    module.add_function(fn)
+    i, j = fn.arguments
+    i.name = "i"
+    j.name = "j"
+    b = IRBuilder(fn.append_block("entry"))
+    off = b.add(b.mul(i, const_int(64)), b.mul(j, const_int(8)), "off")
+    addr = b.gep(blob, [const_int(0), off], "addr")
+    dptr = b.cast("bitcast", addr, ir_ty.pointer(ir_ty.DOUBLE), "dptr")
+    b.store(ConstantFloat(1.5), dptr)
+    b.ret()
+    verify_module(module)
+    return module, fn
+
+
+class TestByteBlobReshape:
+    def test_storage_sees_through_byte_arithmetic(self):
+        module, fn = build_byte_blob_module()
+        storage = AnalysisManager().get(STORAGE, fn)
+        root = _root_named(storage, "blob")
+        assert storage.shape(root) == (8, 8)
+
+    def test_typeinfer_recovers_double_matrix(self):
+        module, fn = build_byte_blob_module()
+        am = AnalysisManager()
+        typeinfo = am.get_module(TYPEINFER, module)
+        storage = am.get(STORAGE, fn)
+        root = _root_named(storage, "blob")
+        assert typeinfo.root_rectype(fn, root).render() == "double[8][8]"
+
+    def test_decompiles_to_natural_subscripts(self):
+        from repro.core import Splendid
+        module, _ = build_byte_blob_module()
+        text = Splendid(module, "full",
+                        type_source="recovered").decompile_text()
+        assert "double blob[8][8];" in text
+        assert "blob[i][j] = 1.5;" in text
+        # The debug path has no metadata to improve on the declaration,
+        # so the blob stays a byte array there.
+        declared = Splendid(build_byte_blob_module()[0],
+                            "full").decompile_text()
+        assert "blob[8][8]" not in declared
+
+    def test_lint_reports_the_declared_type_contradiction(self):
+        from repro.lint import lint_recovered_types
+        module, _ = build_byte_blob_module()
+        report = lint_recovered_types(module)
+        assert "type-mismatch" in report.error_rule_ids()
+
+
+class TestUnreachableBlocks:
+    def _function_with_dead_block(self):
+        module = Module("dead")
+        fn = Function("f", ir_ty.function(ir_ty.I32, []))
+        module.add_function(fn)
+        entry = IRBuilder(fn.append_block("entry"))
+        entry.ret(const_int(0, ir_ty.I32))
+        dead = IRBuilder(fn.append_block("dead"))
+        dead_ret = dead.ret(const_int(1, ir_ty.I32))
+        return module, fn, dead_ret
+
+    def test_state_before_names_instruction_and_function(self):
+        from repro.analysis.dataflow import ForwardAnalysis
+
+        class Reach(ForwardAnalysis):
+            def initial(self):
+                return frozenset()
+
+            def meet(self, states):
+                return frozenset().union(*states)
+
+            def transfer(self, inst, state):
+                return state
+
+        _, fn, dead_ret = self._function_with_dead_block()
+        result = Reach().run(fn)
+        assert not result.visited(dead_ret.parent)
+        with pytest.raises(UnvisitedInstructionError) as excinfo:
+            result.state_before(dead_ret)
+        message = str(excinfo.value)
+        assert "'f'" in message
+        assert "unreachable" in message
+        # Still a KeyError, so pre-existing guards keep working.
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_variable_naming_skips_unreachable_blocks(self):
+        from repro.core.variables import generate_variable_names
+        _, fn, _ = self._function_with_dead_block()
+        generate_variable_names(fn)   # must not raise
+
+    def test_recovery_pipeline_survives_unreachable_code(self):
+        from repro.core import Splendid
+        module, _, _ = self._function_with_dead_block()
+        text = Splendid(module, "full",
+                        type_source="recovered").decompile_text()
+        assert "return 0;" in text
+
+
+class TestCLI:
+    @pytest.fixture
+    def source_file(self, tmp_path):
+        path = tmp_path / "matvec.c"
+        path.write_text(MATVEC)
+        return str(path)
+
+    def test_decompile_types_recovered(self, source_file, capsys):
+        from repro.cli import main
+        assert main(["decompile", source_file, "--types=recovered"]) == 0
+        out = capsys.readouterr().out
+        assert "double A[8][8];" in out
+
+    def test_decompile_types_none(self, source_file, capsys):
+        from repro.cli import main
+        assert main(["decompile", source_file, "--types=none"]) == 0
+        assert "double A[8][8];" in capsys.readouterr().out
+
+    def test_lint_types_recovered_is_clean(self, source_file, capsys):
+        from repro.cli import main
+        assert main(["lint", source_file, "--types=recovered"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: decompile natural C without debug metadata
+# ---------------------------------------------------------------------------
+
+from repro.polybench import all_benchmarks  # noqa: E402
+
+ALL = [b.name for b in all_benchmarks()]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestPolybenchWithoutMetadata:
+    def test_stripped_recovered_round_trip_is_bit_exact(self, name):
+        from repro.core import Splendid
+        from repro.eval.pipeline import (build_openmp, build_parallel,
+                                         program_output)
+        from repro.polybench import get
+        bench = get(name)
+
+        mod_dbg, _ = build_parallel(bench)
+        src_dbg = Splendid(mod_dbg, "full").decompile_text()
+
+        mod_rec, _ = build_parallel(bench)
+        stripped = strip_debug_info(mod_rec)
+        assert stripped > 0                     # the metadata was there
+        splendid = Splendid(mod_rec, "full", type_source="recovered")
+        checked = splendid.decompile_checked()
+        assert checked.ok, [d.render() for d in checked.diagnostics.errors]
+
+        out_dbg = program_output(build_openmp(src_dbg, bench.defines,
+                                              name=f"{name}.ty-dbg"))
+        out_rec = program_output(build_openmp(checked.text, bench.defines,
+                                              name=f"{name}.ty-rec"))
+        assert out_rec == out_dbg
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random programs survive metadata stripping
+# ---------------------------------------------------------------------------
+
+from test_property_based import program  # noqa: E402
+
+_SETTINGS = settings(max_examples=15, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestStripRoundTripProperty:
+    @_SETTINGS
+    @given(program())
+    def test_recovered_round_trip_preserves_output(self, source):
+        from repro.core import decompile
+        from repro.frontend import compile_source
+        from repro.passes import optimize_o2
+        from repro.runtime import run_module
+        module = compile_source(source)
+        optimize_o2(module)
+        reference = run_module(module).output
+        strip_debug_info(module)
+        text = decompile(module, "full", type_source="recovered")
+        recompiled = compile_source(text)
+        assert run_module(recompiled).output == reference

@@ -1,12 +1,19 @@
-"""Interpreter throughput: the closure-compiled engine vs the walker.
+"""Interpreter throughput: the engine x memory-model matrix.
 
-Runs every PolyBench kernel's parallel module to completion under both
-execution engines and reports instructions/second, per-kernel speedup,
-the cold-compile overhead (first run, empty code cache) against the
-cached steady state, and the geometric-mean speedup across the suite.
-Reproduction criterion: byte-identical program output and identical
-cost accounting on every kernel, with a cached-engine geomean speedup
-of at least 3x over the tree walker.
+Runs every PolyBench kernel's parallel module to completion under all
+six engine x memory combinations (``trace``/``compiled``/``walk`` x
+``flat``/``dict``) and reports instructions/second, per-kernel and
+geomean speedups, and the cold-compile overhead of the generated-source
+engines.  Reproduction criteria:
+
+* byte-identical program output, identical cost accounting (opcode
+  counts included), and identical modeled wall time for every
+  combination on every kernel;
+* the cached closure engine stays >= 3x the tree walker (the previous
+  tentpole's floor);
+* the trace engine on flat memory reaches >= 2x geomean over the
+  closure engine on dict memory — superblock fusion plus struct-packed
+  storage, the two layers this refactor added.
 
 Also runnable standalone::
 
@@ -21,41 +28,66 @@ from repro.eval.pipeline import artifacts_for
 from repro.polybench import all_benchmarks
 from repro.runtime import Interpreter, clear_code_cache
 
+#: Every engine x memory combination, parity-checked against the first
+#: entry (the tree walker on the dict reference model).
+MATRIX = (
+    ("walk", "dict"), ("walk", "flat"),
+    ("compiled", "dict"), ("compiled", "flat"),
+    ("trace", "dict"), ("trace", "flat"),
+)
 
-def _run(module, engine):
+#: The headline ratio: both new layers on vs the previous steady state.
+FAST = ("trace", "flat")
+BASE = ("compiled", "dict")
+
+
+def _run(module, engine, memory):
     """One full main() execution; returns (seconds, result)."""
-    interp = Interpreter(module, engine=engine)
+    interp = Interpreter(module, engine=engine, memory=memory)
     start = time.perf_counter()
     result = interp.run("main")
     return time.perf_counter() - start, result
 
 
 def measure(benches):
-    """Per-kernel rows: name, instruction count, walker seconds,
-    cold-compile seconds, cached-compiled seconds, parity flag."""
+    """Per-kernel dict rows: times/results per combo plus parity."""
     rows = []
     for bench in benches:
         module = artifacts_for(bench).parallel
-        walk_s, walk = _run(module, "walk")
-        clear_code_cache()
-        cold_s, cold = _run(module, "compiled")
-        # Steady state: a fresh interpreter served by the warm global
-        # code cache (no recompilation, only token validation).
-        cached_s, cached = _run(module, "compiled")
+        times = {}
+        cold = {}
+        reference = None
         problems = []
-        if not walk.output == cold.output == cached.output:
-            problems.append("output")
-        if walk.cost != cold.cost:
-            problems.append(
-                f"cost walk_di={walk.cost.dynamic_instructions} "
-                f"cold_di={cold.cost.dynamic_instructions}")
-        if walk.wall_time != cold.wall_time:
-            problems.append(f"wall {walk.wall_time} != {cold.wall_time}")
-        parity = not problems
+        for engine, memory in MATRIX:
+            if engine != "walk":
+                clear_code_cache()
+                cold[engine, memory], _ = _run(module, engine, memory)
+                # Steady state: a fresh interpreter served by the warm
+                # global code cache (token validation only).
+            seconds, result = _run(module, engine, memory)
+            times[engine, memory] = seconds
+            if reference is None:
+                reference = result
+                continue
+            combo = f"{engine}/{memory}"
+            if result.output != reference.output:
+                problems.append(f"{combo}: output")
+            if result.cost != reference.cost:
+                problems.append(
+                    f"{combo}: cost di={result.cost.dynamic_instructions} "
+                    f"!= {reference.cost.dynamic_instructions}")
+            if result.wall_time != reference.wall_time:
+                problems.append(f"{combo}: wall {result.wall_time} "
+                                f"!= {reference.wall_time}")
         if problems:
             print(f"{bench.name}: {'; '.join(problems)}")
-        rows.append((bench.name, walk.cost.dynamic_instructions,
-                     walk_s, cold_s, cached_s, parity))
+        rows.append({
+            "name": bench.name,
+            "insts": reference.cost.dynamic_instructions,
+            "times": times,
+            "cold": cold,
+            "parity": not problems,
+        })
     return rows
 
 
@@ -64,21 +96,29 @@ def geomean(ratios):
 
 
 def render(rows):
-    lines = [f"{'kernel':<18} {'insts':>10} {'walk':>9} {'cold':>9} "
-             f"{'cached':>9} {'speedup':>8} {'Minst/s':>8}"]
-    for name, insts, walk_s, cold_s, cached_s, _ in rows:
+    lines = [f"{'kernel':<16} {'insts':>10} {'walk':>9} {'cmp/dict':>9} "
+             f"{'cmp/flat':>9} {'trc/dict':>9} {'trc/flat':>9} "
+             f"{'speedup':>8} {'Minst/s':>8}"]
+    for row in rows:
+        t = row["times"]
+        fast = t[FAST]
         lines.append(
-            f"{name:<18} {insts:>10} {walk_s * 1e3:>7.1f}ms "
-            f"{cold_s * 1e3:>7.1f}ms {cached_s * 1e3:>7.1f}ms "
-            f"{walk_s / cached_s:>7.2f}x "
-            f"{insts / cached_s / 1e6:>8.2f}")
-    speedup = geomean([walk_s / cached_s
-                       for _, _, walk_s, _, cached_s, _ in rows])
-    cold_overhead = geomean([cold_s / cached_s
-                             for _, _, _, cold_s, cached_s, _ in rows])
-    lines.append(f"{'GEOMEAN':<18} {'':>10} {'':>9} {'':>9} {'':>9} "
-                 f"{speedup:>7.2f}x")
-    lines.append(f"cold-compile overhead (cold/cached geomean): "
+            f"{row['name']:<16} {row['insts']:>10} "
+            f"{t['walk', 'dict'] * 1e3:>7.1f}ms "
+            f"{t[BASE] * 1e3:>7.1f}ms "
+            f"{t['compiled', 'flat'] * 1e3:>7.1f}ms "
+            f"{t['trace', 'dict'] * 1e3:>7.1f}ms "
+            f"{fast * 1e3:>7.1f}ms "
+            f"{t[BASE] / fast:>7.2f}x "
+            f"{row['insts'] / fast / 1e6:>8.2f}")
+    walker = geomean([r["times"]["walk", "dict"] / r["times"][BASE]
+                      for r in rows])
+    headline = geomean([r["times"][BASE] / r["times"][FAST] for r in rows])
+    cold_overhead = geomean([r["cold"][FAST] / r["times"][FAST]
+                             for r in rows])
+    lines.append(f"{'GEOMEAN':<16} closure/dict vs walker: {walker:.2f}x; "
+                 f"trace/flat vs closure/dict: {headline:.2f}x")
+    lines.append(f"trace cold-compile overhead (cold/cached geomean): "
                  f"{cold_overhead:.2f}x")
     return "\n".join(lines)
 
@@ -90,19 +130,24 @@ def test_interp_throughput(benchmark):
     print(render(rows))
 
     assert len(rows) == 16
-    # Differential parity on every kernel: identical output, identical
-    # cost accounting (opcode counts included), identical wall time.
-    for name, _, _, _, _, parity in rows:
-        assert parity, f"{name}: engines diverged"
-    # The reproduction target: >= 3x geomean over the tree walker.
-    speedup = geomean([walk_s / cached_s
-                       for _, _, walk_s, _, cached_s, _ in rows])
-    assert speedup >= 3.0, f"geomean speedup only {speedup:.2f}x"
+    # Differential parity on every kernel across the full matrix:
+    # identical output, identical cost accounting (opcode counts
+    # included), identical modeled wall time.
+    for row in rows:
+        assert row["parity"], f"{row['name']}: combinations diverged"
+    # Previous floor: the cached closure engine vs the tree walker.
+    walker = geomean([r["times"]["walk", "dict"] / r["times"][BASE]
+                      for r in rows])
+    assert walker >= 3.0, f"closure-vs-walker geomean only {walker:.2f}x"
+    # The reproduction target of this refactor: trace engine + flat
+    # memory >= 2x over the closure engine on the dict model.
+    headline = geomean([r["times"][BASE] / r["times"][FAST] for r in rows])
+    assert headline >= 2.0, f"trace/flat geomean only {headline:.2f}x"
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="walker vs closure-compiled interpreter throughput")
+        description="engine x memory-model interpreter throughput")
     parser.add_argument("--quick", action="store_true",
                         help="only the first two kernels (smoke run)")
     args = parser.parse_args(argv)

@@ -165,12 +165,20 @@ def cmd_run(args) -> int:
                           optimize=not args.O0,
                           parallelize=args.parallelize)
     machine = MachineModel(num_threads=args.threads)
-    result = Interpreter(module, machine, engine=args.engine).run(args.entry)
+    with Interpreter(module, machine, engine=args.engine,
+                     memory=args.memory, measure=args.measure,
+                     measure_workers=args.measure_workers) as interp:
+        result = interp.run(args.entry)
     for line in result.output:
         print(line)
     print(f"[exit value: {result.value}; "
           f"{result.cost.dynamic_instructions} instructions; "
           f"{result.wall_time:.0f} modeled cycles]", file=sys.stderr)
+    if args.measure:
+        m = result.measured
+        print(f"[measured: {m.regions} parallel regions in "
+              f"{m.seconds:.3f}s real on {m.processes} processes; "
+              f"{m.fallbacks} fallbacks]", file=sys.stderr)
     return 0
 
 
@@ -191,7 +199,8 @@ def cmd_batch(args) -> int:
 
     config = JobConfig(optimize=True, parallelize=not args.sequential,
                        reductions=args.reductions, variant=args.variant,
-                       lint=args.lint, engine=args.engine)
+                       lint=args.lint, engine=args.engine,
+                       memory=args.memory)
     defines = _parse_defines(args.define)
     try:
         jobs = [Job.from_file(path, defines, config) for path in paths]
@@ -254,6 +263,9 @@ def cmd_report(args) -> int:
     if args.engine is not None:
         from .runtime import set_default_engine
         set_default_engine(args.engine)
+    if args.memory is not None:
+        from .runtime import set_default_memory
+        set_default_memory(args.memory)
     if args.jobs is not None or args.cache_dir:
         # Fan artifact construction across cores (and the persistent
         # cache) before the single-threaded rendering walks them.
@@ -313,11 +325,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_engine(p):
         p.add_argument("--engine", default=None,
-                       choices=("compiled", "walk"),
-                       help="interpreter execution engine: 'compiled' "
-                            "lowers functions to slot-indexed closures "
-                            "(default), 'walk' is the tree-walking "
+                       choices=("trace", "compiled", "walk"),
+                       help="interpreter execution engine: 'trace' fuses "
+                            "single-predecessor block chains into "
+                            "generated-source superblocks (default), "
+                            "'compiled' lowers functions to slot-indexed "
+                            "closures, 'walk' is the tree-walking "
                             "reference")
+        p.add_argument("--memory", default=None,
+                       choices=("flat", "dict"),
+                       help="memory model: 'flat' packs cells into typed "
+                            "byte arrays (default), 'dict' is the "
+                            "cell-dictionary reference")
 
     p_compile = sub.add_parser("compile", help="compile to (optimized) IR")
     add_common(p_compile)
@@ -370,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--threads", type=int, default=28)
     p_run.add_argument("--O0", action="store_true")
     p_run.add_argument("--parallelize", action="store_true")
+    p_run.add_argument("--measure", action="store_true",
+                       help="additionally execute parallel regions on a "
+                            "real process pool (requires the flat memory "
+                            "model) and report measured wall time next "
+                            "to the modeled cycles")
+    p_run.add_argument("--measure-workers", type=int, default=None,
+                       metavar="N",
+                       help="process-pool size for --measure "
+                            "(default: CPU count, min 2)")
     add_engine(p_run)
     p_run.set_defaults(func=cmd_run)
 

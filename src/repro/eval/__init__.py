@@ -7,8 +7,8 @@ from .experiments import (Figure6, Figure7, Figure8, Figure9, Table3, Table4,
 from .pipeline import (BenchmarkArtifacts, SpeedupRow, artifact_job,
                        artifacts_for, artifacts_from_payload, build_openmp,
                        build_parallel, build_sequential, clear_cache,
-                       compile_c, kernel_time, prewarm_artifacts,
-                       program_output, speedups_for)
+                       compile_c, kernel_time, measured_kernel_time,
+                       prewarm_artifacts, program_output, speedups_for)
 from .reporting import (render_figure6, render_figure7, render_figure8,
                         render_figure9, render_table3, render_table4)
 
@@ -20,7 +20,8 @@ __all__ = [
     "BenchmarkArtifacts", "SpeedupRow", "artifact_job", "artifacts_for",
     "artifacts_from_payload", "build_openmp", "build_parallel",
     "build_sequential", "clear_cache", "compile_c", "kernel_time",
-    "prewarm_artifacts", "program_output", "speedups_for",
+    "measured_kernel_time", "prewarm_artifacts", "program_output",
+    "speedups_for",
     "render_figure6", "render_figure7", "render_figure8", "render_figure9",
     "render_table3", "render_table4",
 ]

@@ -53,8 +53,15 @@ class Figure6:
 
 
 def figure6_speedups(benchmarks: Optional[List[str]] = None,
-                     machine: Optional[MachineModel] = None) -> Figure6:
-    rows = [speedups_for(b, machine) for b in _suite(benchmarks)]
+                     machine: Optional[MachineModel] = None,
+                     measure: bool = False,
+                     measure_workers: Optional[int] = None) -> Figure6:
+    """``measure=True`` additionally runs each parallel region on a real
+    process pool and fills the ``measured_*`` row fields (the modeled
+    columns are unchanged — measured runs are cost/output-identical)."""
+    rows = [speedups_for(b, machine, measure=measure,
+                         measure_workers=measure_workers)
+            for b in _suite(benchmarks)]
     return Figure6(rows)
 
 

@@ -80,15 +80,17 @@ def build_openmp(source: str, defines: Optional[Dict[str, str]] = None,
 
 def kernel_time(module: Module, machine: Optional[MachineModel] = None,
                 kernel: str = "kernel", init: str = "init",
-                engine: Optional[str] = None) -> float:
+                engine: Optional[str] = None,
+                memory: Optional[str] = None) -> float:
     """Modeled wall cycles of one kernel invocation (after init).
 
-    ``engine`` selects the execution engine (``compiled``/``walk``);
-    ``None`` uses the process default.  Both engines produce identical
-    modeled times — the knob exists for the differential parity suite
-    and the throughput benchmarks.
+    ``engine`` selects the execution engine (``trace``/``compiled``/
+    ``walk``) and ``memory`` the memory model (``flat``/``dict``);
+    ``None`` uses the process defaults.  Every engine x memory
+    combination produces identical modeled times — the knobs exist for
+    the differential parity suite and the throughput benchmarks.
     """
-    interp = Interpreter(module, machine, engine=engine)
+    interp = Interpreter(module, machine, engine=engine, memory=memory)
     if init in module.functions and not module.functions[init].is_declaration:
         interp.run(init)
     before = interp.wall_time
@@ -96,10 +98,42 @@ def kernel_time(module: Module, machine: Optional[MachineModel] = None,
     return interp.wall_time - before
 
 
+def measured_kernel_time(module: Module,
+                         machine: Optional[MachineModel] = None,
+                         kernel: str = "kernel", init: str = "init",
+                         workers: Optional[int] = None):
+    """Modeled cycles *and* real measured stats for one kernel run.
+
+    Runs the kernel with ``measure=True``, so top-level parallel
+    regions execute on a real process pool: the returned modeled
+    cycles are identical to :func:`kernel_time` (the measured path
+    charges the same per-thread cost deltas) and the returned
+    :class:`~repro.runtime.MeasuredStats` carries what actually
+    happened (regions, wall seconds, processes, fallbacks).
+    """
+    with Interpreter(module, machine, measure=True,
+                     measure_workers=workers) as interp:
+        if init in module.functions \
+                and not module.functions[init].is_declaration:
+            interp.run(init)
+        before_wall = interp.wall_time
+        before_measured = interp.measured.snapshot()
+        interp.run(kernel)
+        measured = interp.measured
+        delta = type(measured)(
+            regions=measured.regions - before_measured.regions,
+            seconds=measured.seconds - before_measured.seconds,
+            processes=measured.processes,
+            fallbacks=measured.fallbacks - before_measured.fallbacks)
+        return interp.wall_time - before_wall, delta
+
+
 def program_output(module: Module,
                    machine: Optional[MachineModel] = None,
-                   engine: Optional[str] = None) -> List[str]:
-    return Interpreter(module, machine, engine=engine).run("main").output
+                   engine: Optional[str] = None,
+                   memory: Optional[str] = None) -> List[str]:
+    return Interpreter(module, machine, engine=engine,
+                       memory=memory).run("main").output
 
 
 @dataclass
@@ -223,21 +257,37 @@ def clear_cache() -> None:
 
 @dataclass
 class SpeedupRow:
-    """One benchmark's row of Figure 6."""
+    """One benchmark's row of Figure 6.
+
+    The ``measured_*`` fields are populated only by
+    ``speedups_for(..., measure=True)``: real process-pool statistics
+    reported *next to* the modeled speedups, never mixed into them.
+    """
 
     name: str
     polly: float
     splendid_clang: float
     splendid_gcc: float
     sequential_time: float
+    measured_regions: int = 0
+    measured_seconds: float = 0.0
+    measured_processes: int = 0
+    measured_fallbacks: int = 0
 
 
 def speedups_for(bench: Benchmark,
-                 machine: Optional[MachineModel] = None) -> SpeedupRow:
+                 machine: Optional[MachineModel] = None,
+                 measure: bool = False,
+                 measure_workers: Optional[int] = None) -> SpeedupRow:
     machine = machine or MachineModel()
     art = artifacts_for(bench)
     t_seq = kernel_time(build_sequential(bench), machine)
-    t_polly = kernel_time(art.parallel, machine)
+    if measure:
+        t_polly, measured = measured_kernel_time(art.parallel, machine,
+                                                 workers=measure_workers)
+    else:
+        t_polly = kernel_time(art.parallel, machine)
+        measured = None
 
     recompiled = build_openmp(art.decompiled["splendid"], bench.defines,
                               name=f"{bench.name}.recompiled")
@@ -245,9 +295,15 @@ def speedups_for(bench: Benchmark,
     t_clang = t_recompiled * compiler_factor("clang", bench.name)
     t_gcc = t_recompiled * compiler_factor("gcc", bench.name)
 
-    return SpeedupRow(
+    row = SpeedupRow(
         name=bench.name,
         polly=t_seq / t_polly,
         splendid_clang=t_seq / t_clang,
         splendid_gcc=t_seq / t_gcc,
         sequential_time=t_seq)
+    if measured is not None:
+        row.measured_regions = measured.regions
+        row.measured_seconds = measured.seconds
+        row.measured_processes = measured.processes
+        row.measured_fallbacks = measured.fallbacks
+    return row

@@ -8,10 +8,14 @@ from .interp import (ENGINES, ExecutionResult, Interpreter, InterpreterError,
                      StepLimitExceeded, default_engine, run_module,
                      set_default_engine)
 from .machine import (COMPUTE_COST, CostAccumulator, MachineModel,
-                      compiler_factor)
-from .memory import NULL, Buffer, Pointer, TrapError
+                      MeasuredStats, compiler_factor)
+from .memory import (MEMORY_MODELS, NULL, Buffer, FlatBuffer, MemorySpace,
+                     Pointer, TrapError, default_memory, set_default_memory)
 from .omp import (KMP_SCH_DYNAMIC_CHUNKED, KMP_SCH_STATIC,
                   KMP_SCH_STATIC_CHUNKED, install_omp_runtime)
+from .parallel import MeasuredPool, RegionFailed, RegionUnsupported
+from .trace import TRACE_CODE, CompiledTrace, TraceCompiledFunction, \
+    compile_traces
 
 __all__ = [
     "ExecutionResult", "Interpreter", "InterpreterError", "StepLimitExceeded",
@@ -19,8 +23,12 @@ __all__ = [
     "COMPILED_CODE", "CodeCache", "CodeCacheStats", "CompiledFunction",
     "clear_code_cache", "code_for", "compile_function", "global_code_cache",
     "invalidate_code", "structure_token",
-    "COMPUTE_COST", "CostAccumulator", "MachineModel",
-    "compiler_factor", "NULL", "Buffer", "Pointer", "TrapError",
+    "TRACE_CODE", "CompiledTrace", "TraceCompiledFunction", "compile_traces",
+    "COMPUTE_COST", "CostAccumulator", "MachineModel", "MeasuredStats",
+    "compiler_factor",
+    "MEMORY_MODELS", "NULL", "Buffer", "FlatBuffer", "MemorySpace", "Pointer",
+    "TrapError", "default_memory", "set_default_memory",
     "KMP_SCH_DYNAMIC_CHUNKED", "KMP_SCH_STATIC", "KMP_SCH_STATIC_CHUNKED",
     "install_omp_runtime",
+    "MeasuredPool", "RegionFailed", "RegionUnsupported",
 ]

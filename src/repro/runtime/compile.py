@@ -65,7 +65,7 @@ from .interp import (_FCMP_FN, _ICMP_FN, InterpreterError, StepLimitExceeded,
                      pointer_compare)
 from .machine import (COMPUTE_COST, DEFAULT_COST, MATH_CALL_COST,
                       MEMORY_CYCLES_PER_ACCESS)
-from .memory import NULL, Buffer, Pointer, TrapError
+from .memory import NULL, Pointer, TrapError
 
 #: AnalysisManager name of the compiled-code function analysis.
 COMPILED_CODE = "compiled-code"
@@ -368,7 +368,7 @@ class _FunctionLowering:
             dst = self.slots[id(inst)]
 
             def op(interp, frame, size=size, label=label, dst=dst):
-                frame[dst] = Pointer(Buffer(size, label), 0)
+                frame[dst] = Pointer(interp.memory.alloc(size, label), 0)
             return op
         if isinstance(inst, Load):
             cost.add("load")
@@ -748,12 +748,18 @@ class CodeCacheStats:
     evictions: int = 0
 
 
+#: Engine name → function compiler.  ``compile.py`` registers the
+#: closure engine here; :mod:`repro.runtime.trace` registers ``trace``
+#: when imported (``code_for`` imports it lazily to avoid a cycle).
+_COMPILERS: Dict[str, object] = {}
+
+
 class CodeCache:
     """Process-global LRU of compiled functions.
 
-    Entries are keyed by ``id(function)`` and pinned by a strong
-    reference (so an id can never be reused while its entry lives);
-    each hit is validated against the function's current
+    Entries are keyed by ``(id(function), engine)`` and pinned by a
+    strong reference (so an id can never be reused while its entry
+    lives); each hit is validated against the function's current
     :func:`structure_token` and the pipeline fingerprint, so mutation
     by any pass — AnalysisManager-driven or not — invalidates lazily
     on the next fetch.
@@ -762,10 +768,11 @@ class CodeCache:
     def __init__(self, capacity: int = 1024):
         self.capacity = capacity
         self.stats = CodeCacheStats()
-        self._entries: "OrderedDict[int, tuple]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
 
-    def code_for(self, function: Function) -> CompiledFunction:
-        key = id(function)
+    def code_for(self, function: Function,
+                 engine: str = "compiled") -> CompiledFunction:
+        key = (id(function), engine)
         fingerprint = _current_fingerprint()
         entry = self._entries.get(key)
         if entry is not None:
@@ -777,7 +784,7 @@ class CodeCache:
                 return code
             self.stats.invalidations += 1
             del self._entries[key]
-        code = compile_function(function)
+        code = _COMPILERS[engine](function)
         self.stats.compiles += 1
         self._entries[key] = (function, structure_token(function),
                               fingerprint, code)
@@ -787,10 +794,13 @@ class CodeCache:
         return code
 
     def invalidate(self, function: Function) -> bool:
-        entry = self._entries.pop(id(function), None)
-        if entry is not None:
-            self.stats.invalidations += 1
-        return entry is not None
+        dropped = False
+        for engine in tuple(_COMPILERS):
+            entry = self._entries.pop((id(function), engine), None)
+            if entry is not None:
+                self.stats.invalidations += 1
+                dropped = True
+        return dropped
 
     def clear(self) -> None:
         self._entries.clear()
@@ -815,19 +825,26 @@ def clear_code_cache() -> None:
     _CODE_CACHE.clear()
 
 
-def code_for(function: Function, analysis_manager=None) -> CompiledFunction:
-    """Compiled code for ``function``.
+def code_for(function: Function, analysis_manager=None,
+             engine: str = "compiled"):
+    """Executable code for ``function`` under ``engine``.
 
     With an :class:`~repro.analysis.manager.AnalysisManager`, the code
-    is produced through the registered ``compiled-code`` function
-    analysis, so pass pipelines invalidate it via PreservedAnalyses
-    like any other analysis.  Otherwise it comes from the global
-    token-validated LRU.
+    is produced through the registered ``compiled-code`` (or
+    ``trace-code``) function analysis, so pass pipelines invalidate it
+    via PreservedAnalyses like any other analysis.  Otherwise it comes
+    from the global token-validated LRU.
     """
+    if engine == "trace":
+        from .trace import TRACE_CODE
+        if analysis_manager is not None:
+            return analysis_manager.get(TRACE_CODE, function)
+        return _CODE_CACHE.code_for(function, "trace")
     if analysis_manager is not None:
         return analysis_manager.get(COMPILED_CODE, function)
-    return _CODE_CACHE.code_for(function)
+    return _CODE_CACHE.code_for(function, "compiled")
 
 
+_COMPILERS["compiled"] = compile_function
 register_function_analysis(COMPILED_CODE,
                            lambda function, am: compile_function(function))

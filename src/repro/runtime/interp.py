@@ -30,8 +30,9 @@ from ..ir.values import (Argument, ConstantFloat, ConstantInt,
                          ConstantPointerNull, GlobalVariable, UndefValue,
                          Value)
 from .machine import (COMPUTE_COST, DEFAULT_COST, MATH_CALL_COST,
-                      MEMORY_CYCLES_PER_ACCESS, CostAccumulator, MachineModel)
-from .memory import NULL, Buffer, Pointer, TrapError
+                      MEMORY_CYCLES_PER_ACCESS, CostAccumulator, MachineModel,
+                      MeasuredStats)
+from .memory import NULL, MemorySpace, Pointer, TrapError
 
 
 class InterpreterError(Exception):
@@ -42,12 +43,15 @@ class StepLimitExceeded(InterpreterError):
     pass
 
 
-#: The two execution engines.  ``compiled`` lowers each function once to
-#: slot-indexed closures (see :mod:`repro.runtime.compile`); ``walk`` is
-#: the original tree-walking dispatch, kept as the semantics reference.
-ENGINES = ("compiled", "walk")
+#: The three execution engines.  ``trace`` fuses single-predecessor
+#: block chains into generated-source superblock functions (see
+#: :mod:`repro.runtime.trace`); ``compiled`` lowers each function once
+#: to slot-indexed closures (see :mod:`repro.runtime.compile`);
+#: ``walk`` is the original tree-walking dispatch, kept as the
+#: semantics reference.
+ENGINES = ("trace", "compiled", "walk")
 
-_DEFAULT_ENGINE = "compiled"
+_DEFAULT_ENGINE = "trace"
 
 
 def default_engine() -> str:
@@ -71,6 +75,9 @@ class ExecutionResult:
     output: List[str]
     cost: CostAccumulator
     wall_time: float
+    #: Real (process-pool) parallel-region timing; all-zero unless the
+    #: interpreter ran with ``measure=True``.
+    measured: MeasuredStats = field(default_factory=MeasuredStats)
 
     @property
     def output_text(self) -> str:
@@ -114,7 +121,10 @@ class Interpreter:
     def __init__(self, module: Module, machine: Optional[MachineModel] = None,
                  max_steps: int = 200_000_000,
                  engine: Optional[str] = None,
-                 analysis_manager: Optional[object] = None):
+                 memory: Optional[str] = None,
+                 analysis_manager: Optional[object] = None,
+                 measure: bool = False,
+                 measure_workers: Optional[int] = None):
         self.module = module
         self.machine = machine or MachineModel()
         self.max_steps = max_steps
@@ -124,6 +134,15 @@ class Interpreter:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.engine = engine
+        self.memory = MemorySpace(memory)
+        if measure and self.memory.model != "flat":
+            raise ValueError(
+                "measured parallel execution requires memory='flat' "
+                "(per-process views are merged as byte ranges)")
+        self.measure = measure
+        self.measure_workers = measure_workers
+        self.measured = MeasuredStats()
+        self._pool = None            # lazy measured-parallel process pool
         self.analysis_manager = analysis_manager
         # Per-interpreter compiled-code memo: one cache-validation round
         # trip per function per interpreter, then a plain dict hit.
@@ -138,10 +157,22 @@ class Interpreter:
         self._current_nthreads = 1
         self._install_default_externals()
         for var in module.globals.values():
-            buffer = Buffer(ir_ty.sizeof(var.value_type), var.name)
+            buffer = self.memory.alloc(ir_ty.sizeof(var.value_type), var.name)
             self.globals[var] = Pointer(buffer, 0)
         from .omp import install_omp_runtime
         install_omp_runtime(self)
+
+    def close(self) -> None:
+        """Release the measured-parallel process pool (if one started)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Interpreter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # External function registry ------------------------------------------------
 
@@ -161,10 +192,11 @@ class Interpreter:
         self.register_external("printf", self._printf)
 
     def _malloc(self, interp, call, args):
-        return Pointer(Buffer(int(args[0]), "malloc"), 0)
+        return Pointer(self.memory.alloc(int(args[0]), "malloc"), 0)
 
     def _calloc(self, interp, call, args):
-        return Pointer(Buffer(int(args[0]) * int(args[1]), "calloc"), 0)
+        return Pointer(self.memory.alloc(int(args[0]) * int(args[1]),
+                                         "calloc"), 0)
 
     def _free(self, interp, call, args):
         pointer: Pointer = args[0]
@@ -206,7 +238,8 @@ class Interpreter:
         function = self.module.get_function(entry)
         value = self.call_function(function, list(args))
         return ExecutionResult(value, list(self.output),
-                               self.cost.snapshot(), self.wall_time)
+                               self.cost.snapshot(), self.wall_time,
+                               self.measured.snapshot())
 
     def call_function(self, function: Function, args: List[object]) -> object:
         if function.is_declaration:
@@ -216,11 +249,12 @@ class Interpreter:
             raise InterpreterError(
                 f"@{function.name} expects {len(function.arguments)} args, "
                 f"got {len(args)}")
-        if self.engine == "compiled":
+        if self.engine != "walk":
             code = self._code.get(id(function))
             if code is None:
                 from .compile import code_for
-                code = code_for(function, self.analysis_manager)
+                code = code_for(function, self.analysis_manager,
+                                engine=self.engine)
                 self._code[id(function)] = code
             return code.execute(self, args)
         return self._walk_function(function, args)
@@ -314,8 +348,8 @@ class Interpreter:
             return 1 if _FCMP_FN[inst.predicate](a, b) else 0
         if isinstance(inst, Alloca):
             self.charge("alloca")
-            buffer = Buffer(ir_ty.sizeof(inst.allocated_type),
-                            inst.name or "alloca")
+            buffer = self.memory.alloc(ir_ty.sizeof(inst.allocated_type),
+                                       inst.name or "alloca")
             return Pointer(buffer, 0)
         if isinstance(inst, Load):
             self.charge("load")
@@ -476,7 +510,8 @@ def run_module(module: Module, entry: str = "main",
                args: Sequence[object] = (),
                machine: Optional[MachineModel] = None,
                max_steps: int = 200_000_000,
-               engine: Optional[str] = None) -> ExecutionResult:
+               engine: Optional[str] = None,
+               memory: Optional[str] = None) -> ExecutionResult:
     """Convenience wrapper: interpret ``entry`` in a fresh interpreter."""
-    return Interpreter(module, machine, max_steps, engine=engine).run(
-        entry, args)
+    return Interpreter(module, machine, max_steps, engine=engine,
+                       memory=memory).run(entry, args)

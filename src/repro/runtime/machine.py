@@ -127,6 +127,30 @@ class CostAccumulator:
                                counts)
 
 
+@dataclass
+class MeasuredStats:
+    """Real (wall-clock) statistics for measured parallel execution.
+
+    The analytic :class:`MachineModel` stays the source of truth for the
+    *modeled* numbers; when the interpreter runs with ``measure=True``
+    the ``__kmpc_fork_call`` microtasks additionally execute on a real
+    process pool and this record accumulates what actually happened, so
+    measured wall time can be reported next to modeled wall time.
+    ``fallbacks`` counts regions that could not be dispatched to the
+    pool (nested forks, unsupported argument kinds) and ran in the
+    simulated path only.
+    """
+
+    regions: int = 0         # parallel regions dispatched to the pool
+    seconds: float = 0.0     # summed real wall time of those regions
+    processes: int = 0       # max worker processes used by any region
+    fallbacks: int = 0       # regions that fell back to simulation
+
+    def snapshot(self) -> "MeasuredStats":
+        return MeasuredStats(self.regions, self.seconds,
+                             self.processes, self.fallbacks)
+
+
 def compiler_factor(compiler: str, kernel: str) -> float:
     """Deterministic per-(compiler, kernel) scalar-efficiency factor.
 

@@ -1,20 +1,81 @@
-"""Runtime memory model: byte-addressed buffers and fat pointers.
+"""Runtime memory models: byte-addressed buffers and fat pointers.
 
-Each allocation (alloca, global, malloc) owns one :class:`Buffer`; a
-pointer is a (buffer, byte-offset) pair.  Scalar cells live in a dict
-keyed by byte offset — reads of uninitialized memory default to zero,
-matching the zero-initialized arrays PolyBench setup code relies on.
+Each allocation (alloca, global, malloc) owns one buffer; a pointer is
+a (buffer, byte-offset) pair.  Two interchangeable models implement the
+same ``load``/``store``/``check`` contract (plus the width-specialized
+accessors the trace engine emits calls to):
+
+* ``flat`` (the default) — :class:`FlatBuffer` stores a real
+  ``bytearray`` and ``struct``-packs every access, so a GEP chain is
+  integer arithmetic into flat storage, narrow-store/wide-load aliasing
+  has genuine little-endian byte semantics, and zero-initialized reads
+  fall out of the zeroed backing store.  Non-scalar values (pointers,
+  functions — e.g. through ``ptrtoint`` round trips) live in a small
+  per-buffer side table keyed by offset, evicted by any overlapping
+  byte store.
+* ``dict`` — :class:`Buffer` keeps scalar cells in a ``Dict[int,
+  object]`` keyed by byte offset.  This is the original model, kept as
+  the semantics reference behind ``memory="dict"`` exactly the way the
+  tree walker backs ``engine="walk"``.
+
+Both models trap identically: out-of-bounds, use-after-free and null
+dereferences raise :class:`TrapError` with byte-identical messages (the
+differential trap-contract tests enforce this).
+
+Buffers are only ever constructed here (grep-enforced, like the
+AnalysisManager and walker choke points): the runtime allocates through
+a per-interpreter :class:`MemorySpace`, which also owns buffer-id
+numbering — ids are deterministic per interpreter instead of drifting
+with a process-global counter (the same determinism fix PR 3 applied to
+outlined-function ids).  Direct construction (unit tests) draws
+negative ids from a fallback counter so it can never collide with a
+space's positive ids in pointer comparisons.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import struct
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..ir import types as ir_ty
 
-_buffer_ids = itertools.count(1)
+#: The two memory models.  ``flat`` is typed flat storage (the default);
+#: ``dict`` is the original cell-dict model, kept as the reference.
+MEMORY_MODELS = ("flat", "dict")
+
+_DEFAULT_MEMORY = "flat"
+
+#: Test-only ids for directly-constructed buffers (see module docstring).
+_fallback_ids = itertools.count(-1, -1)
+
+_pack_f64 = struct.Struct("<d").pack_into
+_unpack_f64 = struct.Struct("<d").unpack_from
+_pack_i64 = struct.Struct("<q").pack_into
+_unpack_i64 = struct.Struct("<q").unpack_from
+_pack_i32 = struct.Struct("<i").pack_into
+_unpack_i32 = struct.Struct("<i").unpack_from
+_pack_i8 = struct.Struct("<b").pack_into
+_unpack_i8 = struct.Struct("<b").unpack_from
+
+_ZEROS8 = bytes(8)
+
+
+def default_memory() -> str:
+    """The model used when :class:`MemorySpace` is given ``model=None``."""
+    return _DEFAULT_MEMORY
+
+
+def set_default_memory(model: str) -> str:
+    """Set the process-wide default memory model; returns the previous."""
+    global _DEFAULT_MEMORY
+    if model not in MEMORY_MODELS:
+        raise ValueError(
+            f"unknown memory model {model!r}; expected one of {MEMORY_MODELS}")
+    previous = _DEFAULT_MEMORY
+    _DEFAULT_MEMORY = model
+    return previous
 
 
 class TrapError(Exception):
@@ -22,12 +83,22 @@ class TrapError(Exception):
 
 
 class Buffer:
-    def __init__(self, size: int, label: str = ""):
-        self.id = next(_buffer_ids)
+    """The ``dict`` memory model: scalar cells keyed by byte offset.
+
+    Reads of uninitialized memory default to zero, matching the
+    zero-initialized arrays PolyBench setup code relies on.
+    """
+
+    def __init__(self, size: int, label: str = "",
+                 buffer_id: Optional[int] = None):
+        self.id = next(_fallback_ids) if buffer_id is None else buffer_id
         self.size = size
         self.label = label
         self.cells: Dict[int, object] = {}
         self.freed = False
+        self.track = False
+        self.dirty_lo = size
+        self.dirty_hi = 0
 
     def check(self, offset: int, size: int) -> None:
         if self.freed:
@@ -53,14 +124,364 @@ class Buffer:
         size = ir_ty.sizeof(vtype)
         self.check(offset, size)
         self.cells[offset] = value
+        if self.track:
+            if offset < self.dirty_lo:
+                self.dirty_lo = offset
+            if offset + size > self.dirty_hi:
+                self.dirty_hi = offset + size
+
+    # Width-specialized accessors (the trace engine emits these) --------------
+
+    def load_f64(self, offset: int):
+        return self.load(offset, ir_ty.DOUBLE)
+
+    def load_i64(self, offset: int):
+        return self.load(offset, ir_ty.I64)
+
+    def load_i32(self, offset: int):
+        return self.load(offset, ir_ty.I32)
+
+    def load_i8(self, offset: int):
+        return self.load(offset, ir_ty.I8)
+
+    def load_i1(self, offset: int):
+        return self.load(offset, ir_ty.I1)
+
+    def load_ptr(self, offset: int):
+        return self.load(offset, _PTR_TYPE)
+
+    def store_f64(self, offset: int, value) -> None:
+        self.store(offset, value, ir_ty.DOUBLE)
+
+    def store_i64(self, offset: int, value) -> None:
+        self.store(offset, value, ir_ty.I64)
+
+    def store_i32(self, offset: int, value) -> None:
+        self.store(offset, value, ir_ty.I32)
+
+    def store_i8(self, offset: int, value) -> None:
+        self.store(offset, value, ir_ty.I8)
+
+    def store_i1(self, offset: int, value) -> None:
+        self.store(offset, value, ir_ty.I1)
+
+    def store_ptr(self, offset: int, value) -> None:
+        self.store(offset, value, _PTR_TYPE)
+
+    # Measured-parallel support ----------------------------------------------
+
+    def reset_dirty(self) -> None:
+        self.dirty_lo, self.dirty_hi = self.size, 0
 
     def __repr__(self) -> str:
         return f"<Buffer #{self.id} '{self.label}' {self.size}B>"
 
 
+class FlatBuffer:
+    """The ``flat`` memory model: typed accesses over a ``bytearray``.
+
+    Integers are stored two's-complement little-endian at their natural
+    width (an ``i1`` occupies one byte holding 0 or 1); doubles are
+    IEEE-754 packed; pointers (and any other non-scalar object, e.g. a
+    ``ptrtoint``-laundered :class:`Pointer`) live in the ``ptrs`` side
+    table, evicted by overlapping byte stores.  Uninitialized reads are
+    zero because the backing store starts zeroed.
+
+    ``track``/``dirty_lo``/``dirty_hi`` implement the write watermark
+    the measured parallel executor uses to merge per-process views of a
+    buffer back into the parent on region join.
+    """
+
+    __slots__ = ("id", "size", "label", "data", "ptrs", "freed",
+                 "track", "dirty_lo", "dirty_hi")
+
+    def __init__(self, size: int, label: str = "",
+                 buffer_id: Optional[int] = None):
+        self.id = next(_fallback_ids) if buffer_id is None else buffer_id
+        self.size = size
+        self.label = label
+        self.data = bytearray(size)
+        self.ptrs: Dict[int, object] = {}
+        self.freed = False
+        self.track = False
+        self.dirty_lo = size
+        self.dirty_hi = 0
+
+    def check(self, offset: int, size: int) -> None:
+        if self.freed:
+            raise TrapError(f"use after free of buffer '{self.label}'")
+        if offset < 0 or offset + size > self.size:
+            raise TrapError(
+                f"out-of-bounds access at offset {offset} (+{size}) in "
+                f"buffer '{self.label}' of size {self.size}")
+
+    # Generic API (walker, closures, OpenMP runtime) --------------------------
+
+    def load(self, offset: int, vtype: ir_ty.Type):
+        if vtype.is_float:
+            return self.load_f64(offset)
+        if vtype.is_integer:
+            bits = vtype.bits
+            if bits == 64:
+                return self.load_i64(offset)
+            if bits == 32:
+                return self.load_i32(offset)
+            if bits == 8:
+                return self.load_i8(offset)
+            if bits == 1:
+                return self.load_i1(offset)
+            return self._load_int(offset, max(1, bits // 8))
+        if vtype.is_pointer:
+            return self.load_ptr(offset)
+        raise TrapError(f"cannot load value of type {vtype}")
+
+    def store(self, offset: int, value, vtype: ir_ty.Type) -> None:
+        if vtype.is_float:
+            self.store_f64(offset, value)
+        elif vtype.is_integer:
+            bits = vtype.bits
+            if bits == 64:
+                self.store_i64(offset, value)
+            elif bits == 32:
+                self.store_i32(offset, value)
+            elif bits == 8:
+                self.store_i8(offset, value)
+            elif bits == 1:
+                self.store_i1(offset, value)
+            else:
+                self._store_int(offset, value, max(1, bits // 8))
+        elif vtype.is_pointer:
+            self.store_ptr(offset, value)
+        else:
+            raise TrapError(f"cannot store value of type {vtype}")
+
+    # Side-table helpers ------------------------------------------------------
+
+    def _evict_ptrs(self, offset: int, size: int) -> None:
+        dead = [k for k in self.ptrs
+                if k < offset + size and k + 8 > offset]
+        for k in dead:
+            del self.ptrs[k]
+
+    def _store_obj(self, offset: int, value) -> None:
+        if self.ptrs:
+            self._evict_ptrs(offset, 8)
+        self.ptrs[offset] = value
+        self.data[offset:offset + 8] = _ZEROS8
+
+    def _mark(self, offset: int, size: int) -> None:
+        if offset < self.dirty_lo:
+            self.dirty_lo = offset
+        if offset + size > self.dirty_hi:
+            self.dirty_hi = offset + size
+
+    # Width-specialized accessors --------------------------------------------
+
+    def load_f64(self, offset: int):
+        if self.freed or offset < 0 or offset + 8 > self.size:
+            self.check(offset, 8)
+        if self.ptrs:
+            obj = self.ptrs.get(offset)
+            if obj is not None:
+                return obj
+        return _unpack_f64(self.data, offset)[0]
+
+    def load_i64(self, offset: int):
+        if self.freed or offset < 0 or offset + 8 > self.size:
+            self.check(offset, 8)
+        if self.ptrs:
+            obj = self.ptrs.get(offset)
+            if obj is not None:
+                return obj
+        return _unpack_i64(self.data, offset)[0]
+
+    def load_i32(self, offset: int):
+        if self.freed or offset < 0 or offset + 4 > self.size:
+            self.check(offset, 4)
+        if self.ptrs:
+            obj = self.ptrs.get(offset)
+            if obj is not None:
+                return obj
+        return _unpack_i32(self.data, offset)[0]
+
+    def load_i8(self, offset: int):
+        if self.freed or offset < 0 or offset + 1 > self.size:
+            self.check(offset, 1)
+        if self.ptrs:
+            obj = self.ptrs.get(offset)
+            if obj is not None:
+                return obj
+        return _unpack_i8(self.data, offset)[0]
+
+    def load_i1(self, offset: int):
+        if self.freed or offset < 0 or offset + 1 > self.size:
+            self.check(offset, 1)
+        if self.ptrs:
+            obj = self.ptrs.get(offset)
+            if obj is not None:
+                return obj
+        return self.data[offset] & 1
+
+    def load_ptr(self, offset: int):
+        if self.freed or offset < 0 or offset + 8 > self.size:
+            self.check(offset, 8)
+        if self.ptrs:
+            obj = self.ptrs.get(offset)
+            if obj is not None:
+                return obj
+        raw = _unpack_i64(self.data, offset)[0]
+        return NULL if raw == 0 else raw
+
+    def _load_int(self, offset: int, size: int):
+        self.check(offset, size)
+        if self.ptrs:
+            obj = self.ptrs.get(offset)
+            if obj is not None:
+                return obj
+        return int.from_bytes(self.data[offset:offset + size], "little",
+                              signed=True)
+
+    def store_f64(self, offset: int, value) -> None:
+        if self.freed or offset < 0 or offset + 8 > self.size:
+            self.check(offset, 8)
+        if self.ptrs:
+            self._evict_ptrs(offset, 8)
+        if isinstance(value, float):
+            _pack_f64(self.data, offset, value)
+        elif isinstance(value, int):
+            _pack_f64(self.data, offset, float(value))
+        else:
+            self._store_obj(offset, value)
+        if self.track:
+            self._mark(offset, 8)
+
+    def store_i64(self, offset: int, value) -> None:
+        if self.freed or offset < 0 or offset + 8 > self.size:
+            self.check(offset, 8)
+        if self.ptrs:
+            self._evict_ptrs(offset, 8)
+        if isinstance(value, int):
+            _pack_i64(self.data, offset, value)
+        else:
+            self._store_obj(offset, value)
+        if self.track:
+            self._mark(offset, 8)
+
+    def store_i32(self, offset: int, value) -> None:
+        if self.freed or offset < 0 or offset + 4 > self.size:
+            self.check(offset, 4)
+        if self.ptrs:
+            self._evict_ptrs(offset, 4)
+        if isinstance(value, int):
+            _pack_i32(self.data, offset, value)
+        else:
+            self._store_obj(offset, value)
+        if self.track:
+            self._mark(offset, 4)
+
+    def store_i8(self, offset: int, value) -> None:
+        if self.freed or offset < 0 or offset + 1 > self.size:
+            self.check(offset, 1)
+        if self.ptrs:
+            self._evict_ptrs(offset, 1)
+        if isinstance(value, int):
+            _pack_i8(self.data, offset, value)
+        else:
+            self._store_obj(offset, value)
+        if self.track:
+            self._mark(offset, 1)
+
+    def store_i1(self, offset: int, value) -> None:
+        if self.freed or offset < 0 or offset + 1 > self.size:
+            self.check(offset, 1)
+        if self.ptrs:
+            self._evict_ptrs(offset, 1)
+        if isinstance(value, int):
+            self.data[offset] = value & 1
+        else:
+            self._store_obj(offset, value)
+        if self.track:
+            self._mark(offset, 1)
+
+    def store_ptr(self, offset: int, value) -> None:
+        if self.freed or offset < 0 or offset + 8 > self.size:
+            self.check(offset, 8)
+        if isinstance(value, Pointer):
+            if value.buffer is None:
+                if self.ptrs:
+                    self._evict_ptrs(offset, 8)
+                self.data[offset:offset + 8] = _ZEROS8
+            else:
+                self._store_obj(offset, value)
+        elif isinstance(value, int):
+            if self.ptrs:
+                self._evict_ptrs(offset, 8)
+            _pack_i64(self.data, offset, value)
+        else:
+            self._store_obj(offset, value)
+        if self.track:
+            self._mark(offset, 8)
+
+    def _store_int(self, offset: int, value, size: int) -> None:
+        self.check(offset, size)
+        if self.ptrs:
+            self._evict_ptrs(offset, size)
+        if isinstance(value, int):
+            self.data[offset:offset + size] = \
+                (value % (1 << (8 * size))).to_bytes(size, "little")
+        else:
+            self._store_obj(offset, value)
+        if self.track:
+            self._mark(offset, size)
+
+    # Measured-parallel support ----------------------------------------------
+
+    def reset_dirty(self) -> None:
+        self.dirty_lo, self.dirty_hi = self.size, 0
+
+    def dirty_slice(self):
+        """``(lo, bytes)`` of everything stored since ``reset_dirty``."""
+        if self.dirty_hi <= self.dirty_lo:
+            return None
+        return self.dirty_lo, bytes(self.data[self.dirty_lo:self.dirty_hi])
+
+    def __repr__(self) -> str:
+        return f"<Buffer #{self.id} '{self.label}' {self.size}B>"
+
+
+_PTR_TYPE = ir_ty.pointer(ir_ty.I8)
+
+
+class MemorySpace:
+    """Per-interpreter buffer allocator and memory-model selector.
+
+    Owns buffer-id numbering: every interpreter counts its own buffers
+    from 1, so ids (and the ``repr`` strings that reach traps and
+    telemetry) are identical run to run regardless of what else the
+    process executed before — the process-global counter the dict model
+    originally used drifted across runs.
+    """
+
+    def __init__(self, model: Optional[str] = None):
+        if model is None:
+            model = _DEFAULT_MEMORY
+        if model not in MEMORY_MODELS:
+            raise ValueError(
+                f"unknown memory model {model!r}; "
+                f"expected one of {MEMORY_MODELS}")
+        self.model = model
+        self._buffer_cls = FlatBuffer if model == "flat" else Buffer
+        self._next_id = 1
+
+    def alloc(self, size: int, label: str = ""):
+        buffer = self._buffer_cls(size, label, self._next_id)
+        self._next_id += 1
+        return buffer
+
+
 @dataclass(frozen=True)
 class Pointer:
-    buffer: Optional[Buffer]
+    buffer: Optional[object]
     offset: int = 0
 
     def add(self, delta: int) -> "Pointer":

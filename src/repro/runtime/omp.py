@@ -53,6 +53,23 @@ def _fork_call(interp, call, args):
     shared = list(args[1:])
     nthreads = interp.machine.num_threads
 
+    if interp.measure:
+        # Measured path: run the region on a real process pool.  The
+        # workers return the same per-thread cost deltas the simulated
+        # loop below would have produced, so the modeled charge is
+        # identical; what's new is MeasuredStats (real wall seconds,
+        # process count).  Undispatchable regions fall back to the
+        # simulated loop and are counted.
+        from .parallel import try_measured_region
+        region = try_measured_region(interp, microtask, shared, nthreads)
+        if region is not None:
+            thread_compute, memory_total = region
+            if interp._fork_depth == 0:
+                interp.wall_time += interp.machine.parallel_region_time(
+                    thread_compute, memory_total)
+            return None
+        interp.measured.fallbacks += 1
+
     interp._fork_depth += 1
     interp._current_nthreads = nthreads
     thread_compute: List[float] = []

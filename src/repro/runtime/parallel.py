@@ -1,0 +1,406 @@
+"""Measured parallel regions: a real process pool for fork/join.
+
+The analytic :class:`~repro.runtime.machine.MachineModel` remains the
+source of truth for *modeled* wall time; this module adds the paper's
+missing empirical leg.  When an interpreter runs with ``measure=True``,
+``__kmpc_fork_call`` hands each top-level parallel region to a
+persistent pool of worker processes (:class:`MeasuredPool`):
+
+* each worker holds its own interpreter over the same module (the IR
+  is shipped as text once and parsed on first use);
+* the parent ships the bytes of every global flat buffer plus any
+  buffer a shared argument points into, and a spec for the shared
+  argument list (scalars by value, pointers as buffer-key/offset);
+* the simulated thread ids are partitioned contiguously across the
+  workers; each worker interprets its tids sequentially at fork depth
+  one, exactly like the simulated path, and returns per-tid cost
+  deltas, appended output, and the exact byte runs its execution
+  changed (write-watermark narrowed, then byte-diffed against the
+  entry snapshot);
+* the parent merges byte runs in tid order — for the race-free
+  regions the parallelizer emits the runs are disjoint, so the merged
+  state matches sequential simulation bit for bit — then merges cost
+  and output, and charges the *modeled* region time from the merged
+  per-thread costs so measured runs stay cost-identical to simulated
+  runs.
+
+Anything that cannot round-trip this protocol (nested forks, function
+or laundered-pointer arguments, buffers holding pointer objects, a
+worker crash) raises :class:`RegionUnsupported` / :class:`RegionFailed`
+and the caller falls back to the simulated path, counting the region
+in ``MeasuredStats.fallbacks``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .memory import NULL, FlatBuffer, Pointer
+
+#: Hard floor for terminate->kill escalation when reaping a worker
+#: (mirrors the batch scheduler's pool).
+_REAP_GRACE = 2.0
+
+#: Exact-diff scan granularity: chunks whose bytes are unchanged are
+#: skipped wholesale; differing chunks are refined to exact byte runs.
+_DIFF_CHUNK = 512
+
+
+class RegionUnsupported(Exception):
+    """The region's arguments or memory cannot be shipped to the pool."""
+
+
+class RegionFailed(Exception):
+    """The pool accepted the region but could not complete it."""
+
+
+def _diff_runs(old: bytes, new, lo: int, hi: int) -> List[Tuple[int, bytes]]:
+    """Exact changed-byte runs of ``new`` vs ``old`` within [lo, hi).
+
+    Byte-exact so that runs from different workers writing disjoint
+    ranges never overlap, keeping the merge order-independent.
+    """
+    runs: List[Tuple[int, bytes]] = []
+    for base in range(lo, hi, _DIFF_CHUNK):
+        end = min(base + _DIFF_CHUNK, hi)
+        if old[base:end] == new[base:end]:
+            continue
+        index = base
+        while index < end:
+            if old[index] == new[index]:
+                index += 1
+                continue
+            start = index
+            while index < end and old[index] != new[index]:
+                index += 1
+            runs.append((start, bytes(new[start:index])))
+    return runs
+
+
+# Worker side -----------------------------------------------------------------
+
+
+def _run_region(interp, spec: dict) -> dict:
+    """Execute this worker's share of one parallel region."""
+    function = interp.module.get_function(spec["microtask"])
+    global_buffers = {var.name: pointer.buffer
+                      for var, pointer in interp.globals.items()}
+
+    local: Dict[str, FlatBuffer] = {}
+    snapshots: Dict[str, bytes] = {}
+    for key, data in spec["buffers"].items():
+        if key.startswith("g:"):
+            buffer = global_buffers[key[2:]]
+        else:
+            buffer = interp.memory.alloc(len(data), key)
+        buffer.data[:] = data
+        buffer.ptrs.clear()
+        buffer.freed = False
+        buffer.track = True
+        buffer.reset_dirty()
+        local[key] = buffer
+        snapshots[key] = bytes(data)
+
+    shared = []
+    for kind, a, b in spec["shared"]:
+        if kind == "v":
+            shared.append(a)
+        elif kind == "n":
+            shared.append(NULL)
+        else:
+            shared.append(Pointer(local[a], b))
+
+    # The budget is shipped as *remaining* steps: this worker's own
+    # accumulator has consumed steps on previous regions.
+    interp.max_steps = interp.cost.dynamic_instructions + spec["step_budget"]
+    nthreads = spec["nthreads"]
+    output_mark = len(interp.output)
+    region_snapshot = interp.cost.snapshot()
+    thread_compute: List[float] = []
+    thread_memory: List[float] = []
+    interp._fork_depth += 1
+    interp._current_nthreads = nthreads
+    try:
+        for tid in spec["tids"]:
+            interp._current_tid = tid
+            snapshot = interp.cost.snapshot()
+            interp.call_function(function, [tid, nthreads, *shared])
+            delta = interp.cost.delta_since(snapshot)
+            thread_compute.append(delta.compute)
+            thread_memory.append(delta.memory)
+    finally:
+        interp._fork_depth -= 1
+        interp._current_tid = 0
+
+    dirty: Dict[str, List[Tuple[int, bytes]]] = {}
+    for key, buffer in local.items():
+        buffer.track = False
+        if buffer.ptrs:
+            raise RegionUnsupported(
+                "microtask stored a pointer into a shared buffer")
+        if buffer.dirty_hi > buffer.dirty_lo:
+            runs = _diff_runs(snapshots[key], buffer.data,
+                              buffer.dirty_lo, buffer.dirty_hi)
+            if runs:
+                dirty[key] = runs
+
+    total = interp.cost.delta_since(region_snapshot)
+    return {
+        "thread_compute": thread_compute,
+        "thread_memory": thread_memory,
+        "cost": (total.compute, total.memory, total.dynamic_instructions,
+                 total.opcode_counts),
+        "output": interp.output[output_mark:],
+        "dirty": dirty,
+    }
+
+
+def _worker_main(conn) -> None:
+    """Pool worker loop: parse the module once, then serve regions."""
+    interp = None
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "module":
+                from ..ir.parser import parse_ir
+                from .interp import Interpreter
+                module = parse_ir(message[1])
+                interp = Interpreter(module, memory="flat")
+                conn.send(("ok", None))
+            elif kind == "region":
+                try:
+                    conn.send(("ok", _run_region(interp, message[1])))
+                except Exception as exc:  # noqa: BLE001 — shipped to parent
+                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+
+
+# Parent side -----------------------------------------------------------------
+
+
+class _PoolWorker:
+    """One pool slot: a process, its duplex pipe, its loaded module."""
+
+    def __init__(self, ctx):
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                                daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.module_key: Optional[int] = None
+
+    def reap(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(_REAP_GRACE)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(_REAP_GRACE)
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(0.5)
+        self.reap()
+
+
+class MeasuredPool:
+    """Persistent worker-process pool for measured parallel regions.
+
+    ``processes=None`` sizes the pool to ``cpu_count`` but never below
+    two, so the mechanism (real fork, real merge) is exercised even on
+    a single-core host — measured *speedup* is only meaningful with
+    two or more cores, which is why the benchmarks gate on that.
+    """
+
+    def __init__(self, processes: Optional[int] = None):
+        if processes is None:
+            processes = max(2, mp.cpu_count())
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes
+        start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                        else None)
+        self._ctx = mp.get_context(start_method)
+        self._workers: List[_PoolWorker] = []
+
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+
+    def __enter__(self) -> "MeasuredPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # Dispatch -----------------------------------------------------------------
+
+    def run_region(self, interp, microtask, shared, nthreads: int):
+        """Run one fork region on the pool; merge effects into ``interp``.
+
+        Returns ``(thread_compute, memory_total)`` for the machine
+        model.  Raises :class:`RegionUnsupported` before any side
+        effect when the region cannot be shipped, :class:`RegionFailed`
+        (also side-effect free: nothing merges unless every worker
+        succeeded) when the pool breaks mid-flight.
+        """
+        buffers: Dict[str, bytes] = {}
+        key_of: Dict[int, str] = {}
+        parent_of: Dict[str, FlatBuffer] = {}
+        global_names = {pointer.buffer.id: var.name
+                        for var, pointer in interp.globals.items()}
+
+        def ship(buffer) -> str:
+            key = key_of.get(buffer.id)
+            if key is not None:
+                return key
+            if not isinstance(buffer, FlatBuffer):
+                raise RegionUnsupported("measured regions require the "
+                                        "flat memory model")
+            if buffer.freed:
+                raise RegionUnsupported("shared buffer was freed")
+            if buffer.ptrs:
+                raise RegionUnsupported("shared buffer holds pointer "
+                                        "objects")
+            key = (f"g:{global_names[buffer.id]}"
+                   if buffer.id in global_names else f"b:{buffer.id}")
+            key_of[buffer.id] = key
+            buffers[key] = bytes(buffer.data)
+            parent_of[key] = buffer
+            return key
+
+        for pointer in interp.globals.values():
+            ship(pointer.buffer)
+        shared_spec = []
+        for value in shared:
+            if isinstance(value, Pointer):
+                if value.buffer is None:
+                    shared_spec.append(("n", 0, 0))
+                else:
+                    shared_spec.append(("p", ship(value.buffer),
+                                        value.offset))
+            elif isinstance(value, (bool, int, float)):
+                shared_spec.append(("v", value, 0))
+            else:
+                raise RegionUnsupported(
+                    f"cannot ship shared argument {value!r}")
+
+        count = min(self.processes, max(1, nthreads))
+        per = (nthreads + count - 1) // count
+        assignments = [list(range(low, min(low + per, nthreads)))
+                       for low in range(0, nthreads, per)]
+
+        workers = self._lease(interp, len(assignments))
+        spec = {
+            "microtask": microtask.name,
+            "nthreads": nthreads,
+            "buffers": buffers,
+            "shared": shared_spec,
+            "step_budget": max(0, interp.max_steps
+                               - interp.cost.dynamic_instructions),
+        }
+        started = time.perf_counter()
+        replies = []
+        try:
+            for worker, tids in zip(workers, assignments):
+                worker.conn.send(("region", {**spec, "tids": tids}))
+            for worker in workers:
+                kind, body = worker.conn.recv()
+                if kind != "ok":
+                    raise RegionFailed(body)
+                replies.append(body)
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            self.close()     # a broken pipe poisons the whole pool
+            raise RegionFailed(f"measured-pool worker died: {exc}") from exc
+        elapsed = time.perf_counter() - started
+
+        # All workers succeeded: merge memory (disjoint byte runs, tid
+        # order), output, and cost into the parent.
+        thread_compute: List[float] = []
+        memory_total = 0.0
+        cost = interp.cost
+        for body in replies:
+            thread_compute.extend(body["thread_compute"])
+            memory_total += sum(body["thread_memory"])
+            compute, memory, steps, counts = body["cost"]
+            cost.compute += compute
+            cost.memory += memory
+            cost.dynamic_instructions += steps
+            for opcode, n in counts.items():
+                cost.opcode_counts[opcode] = \
+                    cost.opcode_counts.get(opcode, 0) + n
+            interp.output.extend(body["output"])
+            for key, runs in body["dirty"].items():
+                data = parent_of[key].data
+                for offset, payload in runs:
+                    data[offset:offset + len(payload)] = payload
+
+        interp.measured.regions += 1
+        interp.measured.seconds += elapsed
+        interp.measured.processes = max(interp.measured.processes,
+                                        len(workers))
+        if cost.dynamic_instructions > interp.max_steps:
+            from .interp import StepLimitExceeded
+            raise StepLimitExceeded(
+                f"exceeded {interp.max_steps} dynamic instructions")
+        return thread_compute, memory_total
+
+    def _lease(self, interp, count: int) -> List[_PoolWorker]:
+        """Spawn/prime ``count`` workers holding ``interp``'s module."""
+        while len(self._workers) < count:
+            self._workers.append(_PoolWorker(self._ctx))
+        workers = self._workers[:count]
+        module_key = id(interp.module)
+        stale = [w for w in workers if w.module_key != module_key]
+        if stale:
+            from ..ir.printer import print_module
+            text = print_module(interp.module)
+            try:
+                for worker in stale:
+                    worker.conn.send(("module", text))
+                for worker in stale:
+                    kind, body = worker.conn.recv()
+                    if kind != "ok":
+                        raise RegionFailed(body)
+                    worker.module_key = module_key
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self.close()
+                raise RegionFailed(
+                    f"measured-pool worker died while loading module: "
+                    f"{exc}") from exc
+        return workers
+
+
+def try_measured_region(interp, microtask, shared,
+                        nthreads: int) -> Optional[Tuple[List[float], float]]:
+    """Dispatch one fork region to ``interp``'s pool if possible.
+
+    Returns ``(thread_compute, memory_total)`` on success — the caller
+    charges the modeled region time from these, exactly as the
+    simulated path would — or None when the region must fall back to
+    simulation (nested fork, unshippable state, pool failure).  On
+    None, no side effect has been applied to ``interp``.
+    """
+    if interp._fork_depth != 0:
+        return None
+    pool = interp._pool
+    if pool is None:
+        pool = interp._pool = MeasuredPool(interp.measure_workers)
+    try:
+        return pool.run_region(interp, microtask, shared, nthreads)
+    except (RegionUnsupported, RegionFailed):
+        return None

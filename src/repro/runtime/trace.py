@@ -1,0 +1,835 @@
+"""Superblock/trace compilation: straight-line regions to Python source.
+
+The closure engine (:mod:`repro.runtime.compile`) already removes the
+walker's per-instruction dispatch, but it still pays one Python call
+per instruction closure plus a ``frame[i] if i >= 0 else const`` fetch
+per operand.  This module removes that layer too: it fuses each
+maximal straight-line region of a function — a *trace* — into one
+generated-source Python function compiled with :func:`compile`, so a
+hot block executes as plain bytecode over the flat ``frame`` list with
+operand slots and constants spliced directly into the text.
+
+Trace discovery walks the block structure: a trace starts at any block
+not claimed by another trace and extends through its terminator while
+the followed successor has exactly one predecessor (and is not the
+entry).  Unconditional branches fuse unconditionally; a conditional
+branch turns into a *side exit* (``if not cond: return ...``) and the
+trace continues into its single-predecessor successor, preferring — via
+the ``loops``/``induction`` analyses (through the AnalysisManager when
+one drives execution, a locally built :class:`LoopInfo` otherwise) —
+the successor that stays inside the current loop, so loop bodies fuse
+along the back-edge path instead of escaping through an exit edge.
+
+Cost accounting is *per block segment*: entering a segment performs one
+pre-aggregated accumulator update — identical floats to the closure
+engine's per-block aggregate, which in turn is bit-exact against the
+walker's per-instruction charging because every cost-table entry is a
+multiple of 0.5 (exact in float addition far below 2**52).  The step
+limit is checked per segment, so a :class:`StepLimitExceeded` raise
+lands within one block of both other engines.  Phi edges interior to a
+trace have a unique predecessor and become tuple parallel-copy
+assignments in the source; the trace head's phis stay data-driven
+(keyed by the dynamic predecessor index, exactly like the closure
+engine).  Anything without an inline template — calls, odd-width
+memory, rare binops — executes through the closure engine's compiled
+closure for that instruction, so semantics never fork.
+
+Memory accesses emit the width-specialized accessors
+(``load_f64``/``store_i32``/…) that both memory models implement, which
+is where the flat model's ``struct``-packed storage pays off: a load in
+a trace is one method call on a :class:`FlatBuffer`, not a generic
+``sizeof``/dispatch path.
+
+Traces are cached in the same token-validated :class:`CodeCache` as
+closure code (keyed by engine) and registered as the ``trace-code``
+function analysis, mirroring ``compiled-code``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.manager import (INDUCTION, LOOPS, get_loop_info,
+                                register_function_analysis)
+from ..ir import types as ir_ty
+from ..ir.instructions import (Alloca, BinaryOp, Branch, Cast, CondBranch,
+                               DbgValue, FCmp, GetElementPtr, ICmp, Load,
+                               Phi, Ret, Select, Store, Unreachable)
+from ..ir.module import Function
+from .compile import _COMPILERS, _CODE_CACHE, _BlockCost, _FunctionLowering
+from .interp import InterpreterError, StepLimitExceeded, pointer_compare
+from .memory import NULL, Pointer, TrapError
+
+#: AnalysisManager name of the trace-code function analysis.
+TRACE_CODE = "trace-code"
+
+_U64 = 1 << 64
+
+_BINOP_SYM = {"fadd": "+", "fsub": "-", "fmul": "*",
+              "add": "+", "sub": "-", "mul": "*"}
+_ICMP_SYM = {"eq": "==", "ne": "!=",
+             "slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}
+_UCMP_SYM = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}
+# LLVM fcmp → (python operator template); mirrors interp._FCMP_FN.
+_FCMP_TMPL = {
+    "oeq": "1 if {a} == {b} else 0",
+    "une": "1 if {a} != {b} else 0",
+    "olt": "1 if {a} < {b} else 0",
+    "ole": "1 if {a} <= {b} else 0",
+    "ogt": "1 if {a} > {b} else 0",
+    "oge": "1 if {a} >= {b} else 0",
+    "one": "1 if {a} < {b} or {a} > {b} else 0",
+    "ueq": "0 if {a} < {b} or {a} > {b} else 1",
+    "ult": "0 if {a} >= {b} else 1",
+    "ule": "0 if {a} > {b} else 1",
+    "ugt": "0 if {a} <= {b} else 1",
+    "uge": "0 if {a} < {b} else 1",
+}
+
+
+def _module_launders_pointers(function: Function) -> bool:
+    """True if any function in the module can put a Pointer in an
+    int-typed value (``ptrtoint``/``inttoptr``).  When false, integer
+    compares in generated source skip the runtime Pointer class check
+    the walker performs."""
+    module = function.parent
+    if module is None:
+        return True  # detached function: stay conservative
+    for fn in module.defined_functions():
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Cast) and inst.opcode in ("ptrtoint",
+                                                              "inttoptr"):
+                    return True
+    return False
+
+
+def _accessor(vtype, kind: str) -> Optional[str]:
+    """Width-specialized buffer method name for ``vtype``, or None."""
+    if vtype.is_float:
+        return f"{kind}_f64"
+    if vtype.is_pointer:
+        return f"{kind}_ptr"
+    if vtype.is_integer:
+        return {64: f"{kind}_i64", 32: f"{kind}_i32",
+                8: f"{kind}_i8", 1: f"{kind}_i1"}.get(vtype.bits)
+    return None
+
+
+class _TraceEmitter:
+    """Builds one trace's Python source and exec namespace."""
+
+    def __init__(self, lowering: _FunctionLowering, laundered: bool,
+                 chain_ids: Optional[set] = None):
+        self.lowering = lowering
+        self.laundered = laundered
+        self.chain_ids = chain_ids or set()
+        self.lines: List[str] = []
+        self.env: Dict[str, object] = {}
+        # GEPs consumed only by loads/stores inside this chain skip the
+        # Pointer allocation: id(gep) -> (base pointer expr, offset temp).
+        self.inline_geps: Dict[int, Tuple[str, str]] = {}
+        self.uses_closures = False
+        self._n = 0
+
+    # Text helpers ----------------------------------------------------------
+
+    def bind(self, obj, prefix: str = "_k") -> str:
+        name = f"{prefix}{self._n}"
+        self._n += 1
+        self.env[name] = obj
+        return name
+
+    def const_expr(self, const) -> str:
+        if isinstance(const, float):
+            # repr round-trips finite floats; inf/nan are not literals.
+            if const == const and const not in (float("inf"), float("-inf")):
+                return repr(const)
+            return self.bind(const)
+        if isinstance(const, int):
+            return repr(const)
+        if isinstance(const, Pointer) and const.buffer is None:
+            return "NULL"
+        return self.bind(const)
+
+    def ref(self, value) -> str:
+        slot, const = self.lowering.operand(value)
+        if slot >= 0:
+            return f"frame[{slot}]"
+        return self.const_expr(const)
+
+    def out(self, inst) -> str:
+        return f"frame[{self.lowering.slots[id(inst)]}]"
+
+    # Instruction emission --------------------------------------------------
+
+    def emit(self, inst, cost: _BlockCost, sink: List[str]) -> None:
+        """Append source lines executing ``inst`` (or a closure call)."""
+        if isinstance(inst, DbgValue):
+            cost.add("dbg.value")
+            return
+        if isinstance(inst, BinaryOp) and self._emit_binop(inst, cost, sink):
+            return
+        if isinstance(inst, ICmp):
+            self._emit_icmp(inst, cost, sink)
+            return
+        if isinstance(inst, FCmp):
+            cost.add("fcmp")
+            a, b = self.ref(inst.lhs), self.ref(inst.rhs)
+            sink.append(f"    {self.out(inst)} = "
+                        + _FCMP_TMPL[inst.predicate].format(a=a, b=b))
+            return
+        if isinstance(inst, Load):
+            self._emit_load(inst, cost, sink)
+            return
+        if isinstance(inst, Store):
+            self._emit_store(inst, cost, sink)
+            return
+        if isinstance(inst, GetElementPtr):
+            self._emit_gep(inst, cost, sink)
+            return
+        if isinstance(inst, Cast) and self._emit_cast(inst, cost, sink):
+            return
+        if isinstance(inst, Select):
+            cost.add("select")
+            c = self.ref(inst.condition)
+            t = self.ref(inst.if_true)
+            f = self.ref(inst.if_false)
+            sink.append(f"    {self.out(inst)} = ({t}) if ({c}) else ({f})")
+            return
+        if isinstance(inst, Alloca):
+            cost.add("alloca")
+            size = ir_ty.sizeof(inst.allocated_type)
+            label = inst.name or "alloca"
+            sink.append(f"    {self.out(inst)} = Pointer("
+                        f"interp.memory.alloc({size}, {label!r}), 0)")
+            return
+        # Calls, odd binops, anything else: the closure engine's
+        # per-instruction closure (it also does its own cost.add).
+        self.uses_closures = True
+        op = self.lowering._compile_instruction(inst, cost)
+        if op is not None:
+            sink.append(f"    {self.bind(op, '_op')}(interp, frame)")
+
+    def _emit_binop(self, inst: BinaryOp, cost, sink) -> bool:
+        opcode = inst.opcode
+        if opcode in ("fadd", "fsub", "fmul"):
+            cost.add(opcode)
+            sink.append(f"    {self.out(inst)} = {self.ref(inst.lhs)} "
+                        f"{_BINOP_SYM[opcode]} {self.ref(inst.rhs)}")
+            return True
+        if opcode == "fdiv":
+            slot, const = self.lowering.operand(inst.rhs)
+            if slot < 0 and isinstance(const, float) and const != 0.0:
+                cost.add(opcode)
+                sink.append(f"    {self.out(inst)} = {self.ref(inst.lhs)} "
+                            f"/ {self.const_expr(const)}")
+                return True
+            return False
+        if opcode in ("add", "sub", "mul"):
+            cost.add(opcode)
+            vtype = inst.type
+            mask, top = (1 << vtype.bits) - 1, 1 << vtype.bits
+            sink.append(f"    _r = ({self.ref(inst.lhs)} "
+                        f"{_BINOP_SYM[opcode]} {self.ref(inst.rhs)}) & {mask}")
+            sink.append(f"    {self.out(inst)} = "
+                        f"_r - {top} if _r > {vtype.max_value} else _r")
+            return True
+        if opcode in ("sdiv", "srem"):
+            slot, const = self.lowering.operand(inst.rhs)
+            if slot >= 0 or not isinstance(const, int) or const == 0:
+                return False
+            cost.add(opcode)
+            vtype = inst.type
+            mask, top = (1 << vtype.bits) - 1, 1 << vtype.bits
+            a, b = self.ref(inst.lhs), self.const_expr(const)
+            sink.append(f"    _a = {a}")
+            if opcode == "sdiv":
+                sink.append(f"    _r = int(_a / {b}) & {mask}")
+            else:
+                sink.append(f"    _r = (_a - int(_a / {b}) * {b}) & {mask}")
+            sink.append(f"    {self.out(inst)} = "
+                        f"_r - {top} if _r > {vtype.max_value} else _r")
+            return True
+        return False
+
+    def _emit_icmp(self, inst: ICmp, cost, sink) -> None:
+        cost.add("icmp")
+        out = self.out(inst)
+        a, b = self.ref(inst.lhs), self.ref(inst.rhs)
+        predicate = inst.predicate
+        if inst.lhs.type.is_pointer or inst.rhs.type.is_pointer:
+            sink.append(f"    {out} = 1 if pointer_compare("
+                        f"{predicate!r}, {a}, {b}) else 0")
+            return
+        if self.laundered:
+            # ptrtoint exists somewhere: an int-typed value may hold a
+            # Pointer at run time, exactly as the walker's isinstance
+            # check anticipates.
+            if predicate in _ICMP_SYM:
+                direct = f"1 if _a {_ICMP_SYM[predicate]} _b else 0"
+            else:
+                direct = (f"1 if _a % {_U64} "
+                          f"{_UCMP_SYM[predicate]} _b % {_U64} else 0")
+            sink.append(f"    _a = {a}")
+            sink.append(f"    _b = {b}")
+            sink.append("    if _a.__class__ is Pointer "
+                        "or _b.__class__ is Pointer:")
+            sink.append(f"        {out} = 1 if pointer_compare("
+                        f"{predicate!r}, _a, _b) else 0")
+            sink.append("    else:")
+            sink.append(f"        {out} = {direct}")
+        elif predicate in _ICMP_SYM:
+            sink.append(f"    {out} = "
+                        f"1 if {a} {_ICMP_SYM[predicate]} {b} else 0")
+        else:
+            sink.append(f"    {out} = 1 if {a} % {_U64} "
+                        f"{_UCMP_SYM[predicate]} {b} % {_U64} else 0")
+
+    def _pointer_of(self, pointer, sink) -> Tuple[str, str]:
+        """(buffer expr bound to _b with null check, offset expr)."""
+        entry = self.inline_geps.get(id(pointer))
+        if entry is not None:
+            base_ref, offset_temp = entry
+            sink.append(f"    _b = {base_ref}.buffer")
+            return "_b", offset_temp
+        sink.append(f"    _p = {self.ref(pointer)}")
+        sink.append("    _b = _p.buffer")
+        return "_b", "_p.offset"
+
+    def _emit_load(self, inst: Load, cost, sink) -> None:
+        cost.add("load")
+        method = _accessor(inst.type, "load")
+        _, offset = self._pointer_of(inst.pointer, sink)
+        sink.append("    if _b is None:")
+        sink.append("        raise TrapError('load from null pointer')")
+        if method is None:
+            vt = self.bind(inst.type, "_t")
+            sink.append(f"    {self.out(inst)} = _b.load({offset}, {vt})")
+        else:
+            sink.append(f"    {self.out(inst)} = _b.{method}({offset})")
+
+    def _emit_store(self, inst: Store, cost, sink) -> None:
+        cost.add("store")
+        method = _accessor(inst.value.type, "store")
+        value = self.ref(inst.value)
+        _, offset = self._pointer_of(inst.pointer, sink)
+        sink.append("    if _b is None:")
+        sink.append("        raise TrapError('store to null pointer')")
+        if method is None:
+            vt = self.bind(inst.value.type, "_t")
+            sink.append(f"    _b.store({offset}, {value}, {vt})")
+        else:
+            sink.append(f"    _b.{method}({offset}, {value})")
+
+    def _gep_feeds_only_chain_memory(self, inst: GetElementPtr) -> bool:
+        """True when every use is a load/store address in this chain —
+        the Pointer object is then unobservable and never built."""
+        for user in inst.users:
+            parent = user.parent
+            if parent is None or id(parent) not in self.chain_ids:
+                return False
+            if isinstance(user, Load):
+                continue
+            if isinstance(user, Store) and user.pointer is inst \
+                    and user.value is not inst:
+                continue
+            return False
+        return True
+
+    def _emit_gep(self, inst: GetElementPtr, cost, sink) -> None:
+        cost.add("getelementptr")
+        current = inst.pointer.type.pointee
+        scales = [ir_ty.sizeof(current)]
+        for _ in inst.indices[1:]:
+            current = ir_ty.element_type(current)
+            scales.append(ir_ty.sizeof(current))
+        base = 0
+        terms: List[str] = []
+        for index_value, scale in zip(inst.indices, scales):
+            slot, const = self.lowering.operand(index_value)
+            if slot < 0:
+                base += int(const) * scale
+            elif scale == 1:
+                terms.append(f"int(frame[{slot}])")
+            else:
+                terms.append(f"int(frame[{slot}]) * {scale}")
+        offset_terms = ([str(base)] if base else []) + terms
+        if self._gep_feeds_only_chain_memory(inst):
+            base_ref = self.ref(inst.pointer)
+            temp = f"_g{self.lowering.slots[id(inst)]}"
+            offset = " + ".join([f"{base_ref}.offset"] + offset_terms)
+            sink.append(f"    {temp} = {offset}")
+            self.inline_geps[id(inst)] = (base_ref, temp)
+            return
+        offset = " + ".join(["_p.offset"] + offset_terms)
+        sink.append(f"    _p = {self.ref(inst.pointer)}")
+        sink.append(f"    {self.out(inst)} = Pointer(_p.buffer, {offset})")
+
+    def _emit_cast(self, inst: Cast, cost, sink) -> bool:
+        opcode = inst.opcode
+        value = self.ref(inst.value)
+        if opcode in ("sext", "bitcast", "inttoptr", "ptrtoint"):
+            cost.add(opcode)
+            sink.append(f"    {self.out(inst)} = {value}")
+            return True
+        if opcode == "zext":
+            cost.add(opcode)
+            sink.append(f"    {self.out(inst)} = "
+                        f"{value} % {1 << inst.value.type.bits}")
+            return True
+        if opcode in ("trunc", "fptosi"):
+            cost.add(opcode)
+            vtype = inst.type
+            mask, top = (1 << vtype.bits) - 1, 1 << vtype.bits
+            sink.append(f"    _r = int({value}) & {mask}")
+            sink.append(f"    {self.out(inst)} = "
+                        f"_r - {top} if _r > {vtype.max_value} else _r")
+            return True
+        if opcode == "sitofp":
+            cost.add(opcode)
+            sink.append(f"    {self.out(inst)} = float({value})")
+            return True
+        return False
+
+    # Segment bookkeeping ---------------------------------------------------
+
+    def charge_lines(self, cost: _BlockCost, wall: float) -> List[str]:
+        """One pre-aggregated accumulator update for a block segment.
+
+        Emitted *before* the segment's ops, exactly where the closure
+        engine charges its block aggregate, so the step-limit raise
+        point and wall-time attribution are identical.
+        """
+        if cost.n == 0:
+            return []
+        lines = [f"    cost.dynamic_instructions += {cost.n}"]
+        if cost.compute:
+            lines.append(f"    cost.compute += {cost.compute!r}")
+        if cost.memory:
+            lines.append(f"    cost.memory += {cost.memory!r}")
+        for opcode, n in cost.counts.items():
+            lines.append(f"    _cn[{opcode!r}] = _cn.get({opcode!r}, 0) + {n}")
+        lines.append("    if cost.dynamic_instructions > _ms:")
+        lines.append("        raise StepLimitExceeded("
+                     "'exceeded %d dynamic instructions' % _ms)")
+        if wall:
+            lines.append("    if interp._fork_depth == 0:")
+            lines.append(f"        interp.wall_time += {wall!r}")
+        return lines
+
+    def exit_expr(self, prev_index: int, next_index: int) -> str:
+        """A prebuilt ``(predecessor, successor)`` pair to return."""
+        return self.bind((prev_index, next_index), "_x")
+
+    def compile(self, name: str):
+        source = "def run(interp, frame):\n" + "\n".join(
+            ["    cost = interp.cost",
+             "    _cn = cost.opcode_counts",
+             "    _ms = interp.max_steps"] + self.lines) + "\n"
+        namespace = {
+            "Pointer": Pointer, "NULL": NULL, "TrapError": TrapError,
+            "InterpreterError": InterpreterError,
+            "StepLimitExceeded": StepLimitExceeded,
+            "pointer_compare": pointer_compare,
+        }
+        namespace.update(self.env)
+        exec(compile(source, f"<trace:{name}>", "exec"), namespace)
+        return namespace["run"], source
+
+
+class CompiledTrace:
+    """One fused straight-line region, executable as generated source."""
+
+    __slots__ = ("phi_moves", "run", "ret", "n_blocks", "source")
+
+    def __init__(self, phi_moves, run, ret, n_blocks: int, source: str):
+        self.phi_moves = phi_moves
+        self.run = run
+        self.ret = ret
+        self.n_blocks = n_blocks
+        self.source = source
+
+
+class TraceCompiledFunction:
+    """A function lowered to trace-granular generated source."""
+
+    __slots__ = ("function", "traces", "frame_size", "num_args",
+                 "global_bindings", "n_traces", "n_fused_blocks",
+                 "hot_traces")
+
+    def __init__(self, function, traces, frame_size, num_args,
+                 global_bindings, n_traces, n_fused_blocks, hot_traces):
+        self.function = function
+        self.traces = traces
+        self.frame_size = frame_size
+        self.num_args = num_args
+        self.global_bindings = global_bindings
+        self.n_traces = n_traces
+        self.n_fused_blocks = n_fused_blocks
+        self.hot_traces = hot_traces
+
+    def execute(self, interp, args: List[object]) -> object:
+        frame: List[object] = [None] * self.frame_size
+        num_args = self.num_args
+        if num_args:
+            frame[:num_args] = args
+        if self.global_bindings:
+            interp_globals = interp.globals
+            for slot, gvar in self.global_bindings:
+                frame[slot] = interp_globals[gvar]
+
+        traces = self.traces
+        index = 0
+        prev = -1
+        while True:
+            trace = traces[index]
+            moves = trace.phi_moves
+            if moves is not None:
+                edge = moves.get(prev)
+                if type(edge) is not tuple:
+                    raise InterpreterError(edge)
+                if len(edge) == 1:
+                    dst, src, const = edge[0]
+                    frame[dst] = frame[src] if src >= 0 else const
+                else:
+                    values = [frame[src] if src >= 0 else const
+                              for _, src, const in edge]
+                    for (dst, _, _), value in zip(edge, values):
+                        frame[dst] = value
+            prev, index = trace.run(interp, frame)
+            if index < 0:
+                ret = trace.ret
+                if ret is None:
+                    return None
+                slot, const = ret
+                return frame[slot] if slot >= 0 else const
+
+
+# Trace discovery -------------------------------------------------------------
+
+def _discover_chains(function: Function, loop_info) -> List[list]:
+    """Partition blocks into maximal straight-line chains.
+
+    Every block belongs to exactly one chain (possibly of length one:
+    its own trace head).  A chain extends into a successor only if that
+    successor has exactly one predecessor — so at run time the interior
+    of a chain can only ever be entered from its head."""
+    claimed = set()
+    chains: List[list] = []
+    for block in function.blocks:
+        if id(block) in claimed:
+            continue
+        chain = [block]
+        chain_ids = {id(block)}
+        # Heads are claimed too: a later chain must not fuse through an
+        # earlier head, or its exits could target that head's interior.
+        claimed.add(id(block))
+        cursor = block
+        while True:
+            term = cursor.terminator
+            if isinstance(term, Branch):
+                succs = [term.target]
+            elif isinstance(term, CondBranch):
+                succs = [term.if_true, term.if_false]
+                if loop_info is not None:
+                    loop = loop_info.loop_for(cursor)
+                    if loop is not None:
+                        # Stay inside the loop: fuse along the
+                        # body/back-edge path, not the exit edge.
+                        succs.sort(key=lambda s: not loop.contains(s))
+            else:
+                break
+            follow = None
+            for succ in succs:
+                if succ is function.entry or id(succ) in claimed \
+                        or id(succ) in chain_ids:
+                    continue
+                if len(succ.predecessors) != 1:
+                    continue
+                follow = succ
+                break
+            if follow is None:
+                break
+            chain.append(follow)
+            chain_ids.add(id(follow))
+            claimed.add(id(follow))
+            cursor = follow
+        chains.append(chain)
+    return chains
+
+
+# Compilation -----------------------------------------------------------------
+
+def _phi_copy_lines(emitter: _TraceEmitter, phis: List[Phi], pred) -> \
+        List[str]:
+    """Parallel-copy source for a phi edge with a known predecessor."""
+    lowering = emitter.lowering
+    lines: List[str] = []
+    moves = []
+    for phi in phis:
+        incoming = phi.incoming_for(pred)
+        if incoming is None:
+            message = f"phi {phi} has no incoming value from {pred.name}"
+            lines.append(
+                f"    raise InterpreterError({emitter.bind(message)})")
+            return lines
+        slot, const = lowering.operand(incoming)
+        dst = lowering.slots[id(phi)]
+        if slot != dst:
+            moves.append((dst, slot, const))
+    if moves:
+        dsts = ", ".join(f"frame[{dst}]" for dst, _, _ in moves)
+        srcs = ", ".join(
+            f"frame[{src}]" if src >= 0 else emitter.const_expr(const)
+            for _, src, const in moves)
+        lines.append(f"    {dsts} = {srcs}")
+    return lines
+
+
+def _batched_loop_lines(emitter: _TraceEmitter, segments) -> List[str]:
+    """Fused-loop assembly with deferred accumulator flushing.
+
+    Inside a source-level loop the per-iteration accumulator updates (a
+    dict operation per distinct opcode) dominate everything else, so
+    each segment instead bumps a local execution counter and the exact
+    totals are flushed once in a ``finally``.  The final cost state is
+    identical to inline charging on every exit path — return, trap,
+    phi-edge error, step limit — because a segment still advances its
+    counter and the step budget (and checks the limit) *before* its ops
+    run, exactly where the inline version charges, and all charge
+    amounts are multiples of 0.5 so the multiply-on-exit total is the
+    same float the add-per-iteration total would be.  Requires a body
+    with no closure fallbacks: closures charge ``interp.cost`` directly
+    and would race the deferred locals.
+    """
+    lines = ["    _di = cost.dynamic_instructions",
+             "    _w = interp._fork_depth == 0"]
+    counters = [index for index, (_, cost, _, _) in enumerate(segments)
+                if cost.n]
+    for index in counters:
+        lines.append(f"    _n{index} = 0")
+    lines.append("    try:")
+    lines.append("        while True:")
+    for index, (pre, cost, seg, term) in enumerate(segments):
+        body = list(pre)
+        if cost.n:
+            body.append(f"    _n{index} += 1")
+            body.append(f"    _di += {cost.n}")
+            body.append("    if _di > _ms:")
+            body.append("        raise StepLimitExceeded("
+                        "'exceeded %d dynamic instructions' % _ms)")
+        body.extend(seg)
+        body.extend(term)
+        lines.extend("        " + line for line in body)
+    lines.append("    finally:")
+    lines.append("        cost.dynamic_instructions = _di")
+    for attribute in ("compute", "memory"):
+        terms = [f"{getattr(segments[i][1], attribute)!r} * _n{i}"
+                 for i in counters if getattr(segments[i][1], attribute)]
+        if terms:
+            lines.append(f"        cost.{attribute} += " + " + ".join(terms))
+    per_opcode: Dict[str, List[str]] = {}
+    for index in counters:
+        for opcode, n in segments[index][1].counts.items():
+            per_opcode.setdefault(opcode, []).append(
+                f"_n{index}" if n == 1 else f"{n} * _n{index}")
+    for opcode, terms in per_opcode.items():
+        lines.append(f"        _cn[{opcode!r}] = _cn.get({opcode!r}, 0) + "
+                     + " + ".join(terms))
+    wall_terms = [f"{segments[i][1].compute + segments[i][1].memory!r} "
+                  f"* _n{i}" for i in counters
+                  if segments[i][1].compute + segments[i][1].memory]
+    if wall_terms:
+        lines.append("        if _w:")
+        lines.append("            interp.wall_time += "
+                     + " + ".join(wall_terms))
+    return lines
+
+
+def _build_trace(chain, lowering: _FunctionLowering, laundered: bool):
+    emitter = _TraceEmitter(lowering, laundered,
+                            chain_ids={id(b) for b in chain})
+    block_index = lowering.block_index
+    head = chain[0]
+    head_moves = None
+    head_phis: List[Phi] = []
+    ret_spec = None
+    segments = []
+    loops_back = False
+
+    for position, block in enumerate(chain):
+        instructions = block.instructions
+        this_index = block_index[id(block)]
+        seg_cost = _BlockCost()
+        seg_lines: List[str] = []
+        pre_lines: List[str] = []
+
+        # Phis: head edges stay dynamic (resolved by the execute loop,
+        # or inline on a fused back edge); interior edges have a unique
+        # predecessor and become a tuple parallel copy.  A missing
+        # incoming value raises before the segment charge, matching the
+        # closure engine.
+        index = 0
+        phis: List[Phi] = []
+        while index < len(instructions) and isinstance(
+                instructions[index], Phi):
+            phis.append(instructions[index])
+            seg_cost.add("phi")
+            index += 1
+        if position == 0:
+            head_phis = phis
+            if phis:
+                head_moves = lowering._compile_phis(block, phis)
+        elif phis:
+            pre_lines = _phi_copy_lines(emitter, phis, chain[position - 1])
+
+        # Straight-line body, then the terminator.
+        terminator = None
+        for inst in instructions[index:]:
+            if inst.is_terminator:
+                terminator = inst
+                break
+            emitter.emit(inst, seg_cost, seg_lines)
+
+        is_final = position == len(chain) - 1
+        term_lines: List[str] = []
+        if terminator is None:
+            term_lines.append(
+                "    raise InterpreterError("
+                + emitter.bind(f"block {block.name} fell through "
+                               f"without a terminator") + ")")
+        elif isinstance(terminator, Ret):
+            seg_cost.add("ret")
+            if terminator.value is not None:
+                ret_spec = lowering.operand(terminator.value)
+            term_lines.append(
+                f"    return {emitter.exit_expr(this_index, -1)}")
+        elif isinstance(terminator, Unreachable):
+            # Not charged: the walker raises before charging.
+            term_lines.append("    raise TrapError(\"executed "
+                              "'unreachable'\")")
+        elif isinstance(terminator, Branch):
+            seg_cost.add("br")
+            if not is_final:
+                pass  # fused fall-through into chain[position + 1]
+            elif terminator.target is head:
+                # Back edge to our own head: loop inside the source.
+                loops_back = True
+                term_lines.extend(_phi_copy_lines(emitter, head_phis, block))
+                term_lines.append("    continue")
+            else:
+                target = block_index[id(terminator.target)]
+                term_lines.append(
+                    f"    return {emitter.exit_expr(this_index, target)}")
+        elif isinstance(terminator, CondBranch):
+            seg_cost.add("br")
+            condition = emitter.ref(terminator.condition)
+            true_index = block_index[id(terminator.if_true)]
+            false_index = block_index[id(terminator.if_false)]
+            if is_final and terminator.if_true is head \
+                    and terminator.if_false is head:
+                loops_back = True
+                term_lines.extend(_phi_copy_lines(emitter, head_phis, block))
+                term_lines.append("    continue")
+            elif is_final and terminator.if_true is head:
+                loops_back = True
+                side = emitter.exit_expr(this_index, false_index)
+                term_lines.append(f"    if not {condition}: return {side}")
+                term_lines.extend(_phi_copy_lines(emitter, head_phis, block))
+                term_lines.append("    continue")
+            elif is_final and terminator.if_false is head:
+                loops_back = True
+                side = emitter.exit_expr(this_index, true_index)
+                term_lines.append(f"    if {condition}: return {side}")
+                term_lines.extend(_phi_copy_lines(emitter, head_phis, block))
+                term_lines.append("    continue")
+            elif is_final:
+                true_exit = emitter.exit_expr(this_index, true_index)
+                false_exit = emitter.exit_expr(this_index, false_index)
+                term_lines.append(f"    return {true_exit} "
+                                  f"if {condition} else {false_exit}")
+            elif terminator.if_true is terminator.if_false:
+                pass  # both arms fall through into the fused successor
+            elif terminator.if_true is chain[position + 1]:
+                side = emitter.exit_expr(this_index, false_index)
+                term_lines.append(f"    if not {condition}: return {side}")
+            else:
+                side = emitter.exit_expr(this_index, true_index)
+                term_lines.append(f"    if {condition}: return {side}")
+        else:
+            raise InterpreterError(
+                f"cannot compile terminator {terminator.opcode!r}")
+
+        segments.append((pre_lines, seg_cost, seg_lines, term_lines))
+
+    if loops_back and not emitter.uses_closures:
+        emitter.lines.extend(_batched_loop_lines(emitter, segments))
+    else:
+        body: List[str] = []
+        for pre_lines, seg_cost, seg_lines, term_lines in segments:
+            body.extend(pre_lines)
+            body.extend(emitter.charge_lines(
+                seg_cost, seg_cost.compute + seg_cost.memory))
+            body.extend(seg_lines)
+            body.extend(term_lines)
+        if loops_back:
+            emitter.lines.append("    while True:")
+            emitter.lines.extend("    " + line for line in body)
+        else:
+            emitter.lines.extend(body)
+
+    run, source = emitter.compile(
+        f"{lowering.function.name}:{chain[0].name}")
+    return CompiledTrace(head_moves, run, ret_spec, len(chain), source)
+
+
+def compile_traces(function: Function,
+                   analysis_manager=None) -> TraceCompiledFunction:
+    """Lower ``function`` to trace-granular generated source (uncached)."""
+    if function.is_declaration:
+        raise InterpreterError(
+            f"cannot compile declaration @{function.name}")
+    loop_info = None
+    counted = None
+    if analysis_manager is not None:
+        loop_info = analysis_manager.get(LOOPS, function)
+        counted = analysis_manager.get(INDUCTION, function)
+    else:
+        loop_info = get_loop_info(function)
+    laundered = _module_launders_pointers(function)
+    lowering = _FunctionLowering(function)
+    chains = _discover_chains(function, loop_info)
+
+    traces: List[Optional[CompiledTrace]] = [None] * len(function.blocks)
+    fused = 0
+    hot = 0
+    for chain in chains:
+        trace = _build_trace(chain, lowering, laundered)
+        traces[lowering.block_index[id(chain[0])]] = trace
+        fused += len(chain) - 1
+        if counted is not None and any(
+                loop.header is chain[0] for loop in counted):
+            hot += 1
+        elif counted is None and loop_info is not None:
+            loop = loop_info.loop_with_header(chain[0])
+            if loop is not None:
+                hot += 1
+
+    return TraceCompiledFunction(
+        function, traces, lowering.next_slot, lowering.num_args,
+        tuple(lowering.global_slots.values()),
+        n_traces=len(chains), n_fused_blocks=fused, hot_traces=hot)
+
+
+def trace_code_for(function: Function,
+                   analysis_manager=None) -> TraceCompiledFunction:
+    """Trace code for ``function`` (cached; see compile.code_for)."""
+    if analysis_manager is not None:
+        return analysis_manager.get(TRACE_CODE, function)
+    return _CODE_CACHE.code_for(function, "trace")
+
+
+_COMPILERS["trace"] = compile_traces
+register_function_analysis(
+    TRACE_CODE, lambda function, am: compile_traces(function, am))

@@ -54,9 +54,12 @@ class JobConfig:
     emit_ir: bool = False
     only_functions: Optional[Tuple[str, ...]] = None
     # Interpreter execution engine for anything the worker runs
-    # (lint self-checks and the like): "compiled", "walk", or None for
-    # the process default.
+    # (lint self-checks and the like): "trace", "compiled", "walk", or
+    # None for the process default.
     engine: Optional[str] = None
+    # Interpreter memory model: "flat", "dict", or None for the
+    # process default.
+    memory: Optional[str] = None
 
     def degraded(self) -> "JobConfig":
         """The config of the degradation ladder's last rung."""
@@ -74,6 +77,7 @@ class JobConfig:
             "only_functions": (None if self.only_functions is None
                                else list(self.only_functions)),
             "engine": self.engine,
+            "memory": self.memory,
         }
 
     @classmethod
@@ -89,6 +93,7 @@ class JobConfig:
             only_functions=(None if data.get("only_functions") is None
                             else tuple(data["only_functions"])),
             engine=data.get("engine"),
+            memory=data.get("memory"),
         )
 
 

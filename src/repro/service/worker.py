@@ -91,6 +91,9 @@ def execute_job(job_dict: dict, attempt: int = 1,
         # single-job at a time, so a process-wide default is safe.
         from ..runtime import set_default_engine
         set_default_engine(config.engine)
+    if config.memory is not None:
+        from ..runtime import set_default_memory
+        set_default_memory(config.memory)
 
     am = AnalysisManager()
     seq_ir = par_ir = None

@@ -43,18 +43,19 @@ int main() {
 
 
 class TestEngineParity:
-    def test_compiled_is_the_default_engine(self):
-        assert default_engine() == "compiled"
-        assert set(ENGINES) == {"compiled", "walk"}
+    def test_trace_is_the_default_engine(self):
+        assert default_engine() == "trace"
+        assert set(ENGINES) == {"trace", "compiled", "walk"}
 
     def test_output_cost_and_wall_time_match(self):
         module = compile_o2(SMOKE_SOURCE)
         walk = run_module(module, engine="walk")
-        compiled = run_module(module, engine="compiled")
-        assert compiled.output == walk.output
-        assert compiled.value == walk.value
-        assert compiled.cost == walk.cost          # incl. opcode_counts
-        assert compiled.wall_time == walk.wall_time
+        for engine in ("compiled", "trace"):
+            result = run_module(module, engine=engine)
+            assert result.output == walk.output, engine
+            assert result.value == walk.value, engine
+            assert result.cost == walk.cost, engine    # incl. opcode_counts
+            assert result.wall_time == walk.wall_time, engine
 
     def test_unknown_engine_rejected(self):
         module = compile_o2(SMOKE_SOURCE)

@@ -1,0 +1,189 @@
+"""Differential parity: the memory model must be unobservable.
+
+``dict`` vs ``flat`` storage under both generated-source engines on the
+full PolyBench suite (sequential *and* parallelized modules): identical
+program output, identical cost accounting including per-opcode counts,
+identical modeled wall time.  The trap contract rides along — the exact
+same ``TrapError`` text for out-of-bounds, use-after-free, and
+null-pointer faults on every engine x memory combination — plus a
+hypothesis property pinning the flat model's byte semantics under
+narrow stores followed by wide loads.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import compile_o2
+from repro.eval.pipeline import build_parallel, build_sequential
+from repro.polybench import all_benchmarks, get
+from repro.runtime import (MEMORY_MODELS, Interpreter, default_memory,
+                           run_module)
+from repro.runtime.memory import FlatBuffer, TrapError
+
+#: Every combination the parity contract covers.  The tree walker is
+#: the reference elsewhere (test_interp_engine_smoke); here the two
+#: generated-source engines each run on both storage models.
+COMBOS = tuple((engine, memory)
+               for engine in ("compiled", "trace")
+               for memory in ("dict", "flat"))
+
+BENCH_NAMES = sorted(b.name for b in all_benchmarks())
+
+_MODULES = {}
+
+
+def _module(name, flavor):
+    key = (name, flavor)
+    if key not in _MODULES:
+        bench = get(name)
+        if flavor == "seq":
+            _MODULES[key] = build_sequential(bench)
+        else:
+            _MODULES[key] = build_parallel(bench)[0]
+    return _MODULES[key]
+
+
+def _assert_parity(module):
+    reference = None
+    for engine, memory in COMBOS:
+        result = run_module(module, engine=engine, memory=memory)
+        if reference is None:
+            reference = result
+            continue
+        combo = f"{engine}/{memory}"
+        assert result.output == reference.output, combo
+        assert result.value == reference.value, combo
+        assert result.cost == reference.cost, combo  # incl. opcode_counts
+        assert result.wall_time == reference.wall_time, combo
+
+
+class TestMemoryKnob:
+    def test_flat_is_the_default_model(self):
+        assert default_memory() == "flat"
+        assert set(MEMORY_MODELS) == {"flat", "dict"}
+
+    def test_unknown_memory_model_rejected(self):
+        module = compile_o2("int main() { return 0; }")
+        with pytest.raises(ValueError, match="paged"):
+            Interpreter(module, memory="paged")
+
+
+class TestPolybenchParity:
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    def test_sequential_module(self, name):
+        _assert_parity(_module(name, "seq"))
+
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    def test_parallel_module(self, name):
+        _assert_parity(_module(name, "par"))
+
+
+# ---------------------------------------------------------------------------
+# Trap contract: the same fault, the same words, on every combination.
+# ---------------------------------------------------------------------------
+
+OOB_SOURCE = """
+double A[8];
+int main() {
+  int i;
+  for (i = 0; i <= 8; i++) A[i] = 1.0;
+  return 0;
+}
+"""
+
+USE_AFTER_FREE_SOURCE = """
+int main() {
+  double *p = (double *) malloc(4 * sizeof(double));
+  p[0] = 1.0;
+  free(p);
+  p[1] = 2.0;
+  return 0;
+}
+"""
+
+# The mini-C frontend has no null-pointer literal; go through IR text.
+NULL_DEREF_IR = """
+define i32 @main() {
+entry:
+  store double 3.0, double* null
+  ret i32 0
+}
+"""
+
+
+def _trap_text(module, engine, memory):
+    with pytest.raises(TrapError) as info:
+        run_module(module, engine=engine, memory=memory)
+    return str(info.value)
+
+
+class TestTrapContract:
+    """One canonical message per fault class, across all combinations
+    (and the walker, which is the message's original author)."""
+
+    def _messages(self, source=None, module=None):
+        if module is None:
+            module = compile_o2(source)
+        reference = _trap_text(module, "walk", "dict")
+        for engine, memory in COMBOS:
+            assert _trap_text(module, engine, memory) == reference, (
+                f"{engine}/{memory} trap text diverged")
+        return reference
+
+    def test_out_of_bounds(self):
+        message = self._messages(OOB_SOURCE)
+        assert "out-of-bounds access" in message
+        assert "offset 64" in message
+
+    def test_use_after_free(self):
+        message = self._messages(USE_AFTER_FREE_SOURCE)
+        assert "use after free" in message
+
+    def test_null_deref(self):
+        from repro.ir import parse_ir
+        message = self._messages(module=parse_ir(NULL_DEREF_IR))
+        assert message == "store to null pointer"
+
+
+# ---------------------------------------------------------------------------
+# Flat-model byte semantics: narrow stores then a wide load behave like
+# real two's-complement little-endian memory.
+# ---------------------------------------------------------------------------
+
+class TestFlatByteSemantics:
+    @given(values=st.lists(st.integers(-128, 127), min_size=8, max_size=8),
+           offset=st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_eight_i8_stores_read_back_as_one_i64(self, values, offset):
+        buffer = FlatBuffer(16, "prop")
+        for i, value in enumerate(values):
+            buffer.store_i8(offset + i, value)
+        packed = struct.pack("<8b", *values)
+        expected = struct.unpack("<q", packed)[0]
+        assert buffer.load_i64(offset) == expected
+        # And each lane reads back individually unchanged.
+        for i, value in enumerate(values):
+            assert buffer.load_i8(offset + i) == value
+
+    @given(value=st.integers(-2 ** 63, 2 ** 63 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_i64_store_decomposes_into_bytes(self, value):
+        buffer = FlatBuffer(8, "prop")
+        buffer.store_i64(0, value)
+        raw = struct.pack("<q", value)
+        for i in range(8):
+            assert buffer.load_i8(i) == struct.unpack_from("<b", raw, i)[0]
+        lo, hi = struct.unpack("<2i", raw)
+        assert buffer.load_i32(0) == lo
+        assert buffer.load_i32(4) == hi
+
+    @given(value=st.floats(allow_nan=False, width=64))
+    @settings(max_examples=60, deadline=None)
+    def test_f64_round_trips_through_bytes(self, value):
+        buffer = FlatBuffer(8, "prop")
+        buffer.store_f64(0, value)
+        assert buffer.load_f64(0) == value
+        assert bytes(buffer.data) == struct.pack("<d", value)

@@ -1,0 +1,84 @@
+"""Tier-1 smoke for the typed flat memory model.
+
+Asserts the basics end to end — flat is the default model, a small
+kernel produces identical output/cost/wall on ``flat`` and ``dict``,
+buffer ids are deterministic per interpreter — and the grep-enforced
+rule that storage objects are only ever constructed inside
+``repro.runtime.memory``: everything else allocates through a
+:class:`MemorySpace` (``interp.memory.alloc``), so the ``memory=`` knob
+stays the single choke point for swapping the storage model.
+"""
+
+import re
+from pathlib import Path
+
+import repro
+from conftest import compile_o2
+from repro.runtime import (MEMORY_MODELS, Interpreter, MemorySpace,
+                           default_memory, run_module)
+
+SMOKE_SOURCE = """
+#define N 32
+double A[N];
+int main() {
+  int i;
+  for (i = 0; i < N; i++) A[i] = 0.5 * (double)i;
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + A[i];
+  print_double(s);
+  return 0;
+}
+"""
+
+
+class TestFlatMemorySmoke:
+    def test_flat_is_the_default_model(self):
+        assert default_memory() == "flat"
+        assert set(MEMORY_MODELS) == {"flat", "dict"}
+
+    def test_models_agree_on_a_small_kernel(self):
+        module = compile_o2(SMOKE_SOURCE)
+        flat = run_module(module, memory="flat")
+        dict_result = run_module(module, memory="dict")
+        assert flat.output == dict_result.output
+        assert flat.cost == dict_result.cost       # incl. opcode_counts
+        assert flat.wall_time == dict_result.wall_time
+
+    def test_buffer_ids_are_per_interpreter(self):
+        """Two runs of the same module see identical buffer numbering —
+        ids count from 1 per MemorySpace, never from process-global
+        state (trap text and telemetry stay reproducible)."""
+        for model in MEMORY_MODELS:
+            first = MemorySpace(model)
+            second = MemorySpace(model)
+            assert [first.alloc(8).id for _ in range(3)] == [1, 2, 3]
+            assert [second.alloc(8).id for _ in range(3)] == [1, 2, 3]
+
+    def test_interpreter_owns_its_memory_space(self):
+        module = compile_o2(SMOKE_SOURCE)
+        interp = Interpreter(module, memory="flat")
+        assert isinstance(interp.memory, MemorySpace)
+        assert interp.memory.model == "flat"
+
+
+class TestStorageChokePoint:
+    def test_buffers_only_constructed_in_memory_module(self):
+        """Grep-enforced: ``Buffer``/``FlatBuffer`` constructors are an
+        implementation detail of repro.runtime.memory.  Everything else
+        — the interpreter, the trace/compiled engines, the measured
+        parallel executor — allocates via ``MemorySpace.alloc``, so the
+        ``memory=`` knob is the one place the model is chosen."""
+        src_root = Path(repro.__file__).parent
+        pattern = re.compile(r"(?<![A-Za-z_.])(?:Flat)?Buffer\(")
+        offenders = []
+        for path in sorted(src_root.rglob("*.py")):
+            relative = path.relative_to(src_root)
+            if relative.as_posix() == "runtime/memory.py":
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{relative}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "storage constructed outside repro.runtime.memory — allocate "
+            "through MemorySpace.alloc instead:\n" + "\n".join(offenders))

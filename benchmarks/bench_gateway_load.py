@@ -1,0 +1,186 @@
+"""Gateway load: coalescing under duplicates, then a 1000-session hold.
+
+Two phases against one in-process gateway (real sockets, real HTTP):
+
+* **duplicate storm** — ``DUPLICATION``x more decompile requests than
+  unique sources, all in flight at once.  The coalescer must fold the
+  duplicates onto their leaders: the pipeline runs *exactly once per
+  unique content hash* and the coalesce ratio stays >= 50%.
+* **session hold** — create ``SESSIONS`` collaboration sessions over
+  the now-warm cache and keep every one alive in the table at once.
+  Creation never re-runs the pipeline, so client-observed p99 stays
+  under ``WARM_P99_BOUND_S`` even at four-digit session counts.
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_gateway_load.py [--quick]
+"""
+
+import argparse
+import asyncio
+import time
+
+from repro.gateway import Gateway, GatewayClient, GatewayConfig
+
+SESSIONS = 1000
+DUPLICATION = 8          # decompile requests per unique source
+UNIQUE_SOURCES = 8
+CONCURRENCY = 64         # client-side in-flight request cap
+WARM_P99_BOUND_S = 0.75  # warm-cache path, client-observed
+
+_TEMPLATE = """
+#define N 40
+double A[N];
+double B[N];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = (double)(i %% %d); B[i] = 0.0; }
+}
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+}
+int main() { init(); kernel(); print_double(B[3]); return 0; }
+"""
+
+
+def _sources(unique):
+    return [_TEMPLATE % (3 + i) for i in range(unique)]
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))]
+
+
+async def _run(sessions, unique):
+    config = GatewayConfig(
+        port=0, workers=0,
+        max_sessions=sessions + 64, session_ttl=600.0,
+        quota_rate=1e9, quota_burst=1e9,
+        max_queue_depth=unique * DUPLICATION + 16)
+    gateway = Gateway(config)
+    await gateway.start()
+    semaphore = asyncio.Semaphore(CONCURRENCY)
+    client = GatewayClient(gateway.host, gateway.port)
+
+    async def timed_post(path, body):
+        async with semaphore:
+            start = time.perf_counter()
+            reply = await client.post(path, body)
+            return time.perf_counter() - start, reply
+
+    try:
+        # Phase 1: duplicate storm. Fire every request before any
+        # leader can finish, so duplicates must coalesce or warm-hit.
+        storm = [{"source": src} for src in _sources(unique)
+                 for _ in range(DUPLICATION)]
+        storm_start = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(timed_post("/v1/decompile", body) for body in storm))
+        storm_s = time.perf_counter() - storm_start
+        for _, reply in outcomes:
+            assert reply.status == 200, reply.body
+            assert reply.body["status"] == "ok", reply.body
+        mid_stats = (await client.get("/v1/stats")).body
+
+        # Phase 2: session hold over the warm cache.
+        hold = [{"source": _sources(unique)[i % unique]}
+                for i in range(sessions)]
+        hold_start = time.perf_counter()
+        created = await asyncio.gather(
+            *(timed_post("/v1/sessions", body) for body in hold))
+        hold_s = time.perf_counter() - hold_start
+        latencies = []
+        for elapsed, reply in created:
+            assert reply.status == 201, reply.body
+            latencies.append(elapsed)
+        stats = (await client.get("/v1/stats")).body
+        return {
+            "storm_requests": len(storm),
+            "storm_s": storm_s,
+            "storm_latencies": [elapsed for elapsed, _ in outcomes],
+            "hold_s": hold_s,
+            "hold_latencies": latencies,
+            "mid_stats": mid_stats,
+            "stats": stats,
+        }
+    finally:
+        await gateway.stop()
+
+
+def measure(sessions=SESSIONS, unique=UNIQUE_SOURCES):
+    return asyncio.run(_run(sessions, unique))
+
+
+def render(result, sessions, unique):
+    counters = result["stats"]["counters"]
+    mid = result["mid_stats"]
+    hold = result["hold_latencies"]
+    storm = result["storm_latencies"]
+    return "\n".join([
+        f"{'phase':<16} {'reqs':>6} {'wall':>9} {'p50':>8} {'p99':>8}   "
+        f"notes",
+        f"{'dup storm':<16} {result['storm_requests']:>6} "
+        f"{result['storm_s'] * 1e3:>7.0f}ms "
+        f"{_percentile(storm, 0.50) * 1e3:>6.0f}ms "
+        f"{_percentile(storm, 0.99) * 1e3:>6.0f}ms   "
+        f"{unique} unique x {DUPLICATION}, "
+        f"coalesce ratio {mid['coalesce_ratio']:.0%}, "
+        f"{counters['pipeline_executions']} pipeline runs",
+        f"{'session hold':<16} {sessions:>6} "
+        f"{result['hold_s'] * 1e3:>7.0f}ms "
+        f"{_percentile(hold, 0.50) * 1e3:>6.0f}ms "
+        f"{_percentile(hold, 0.99) * 1e3:>6.0f}ms   "
+        f"{result['stats']['sessions']['active']} concurrent sessions, "
+        f"{sessions / result['hold_s']:.0f} creates/s (warm cache)",
+    ])
+
+
+def check(result, sessions, unique):
+    counters = result["stats"]["counters"]
+    # Exactly one pipeline execution per unique content hash — the
+    # storm's duplicates all coalesced or warm-hit, and session
+    # creation reused those artifacts wholesale.
+    assert counters["pipeline_executions"] == unique, counters
+    # Duplicate-heavy workload folds: >= 50% of storm requests rode an
+    # already-in-flight leader.
+    mid = result["mid_stats"]
+    assert mid["coalesce_ratio"] >= 0.50, (
+        f"coalesce ratio {mid['coalesce_ratio']:.0%} < 50%")
+    # Every session is alive in the table at once.
+    assert result["stats"]["sessions"]["active"] == sessions
+    assert result["stats"]["sessions"]["peak"] == sessions
+    # Warm-cache client-observed p99.
+    p99 = _percentile(result["hold_latencies"], 0.99)
+    assert p99 <= WARM_P99_BOUND_S, (
+        f"session-create p99 {p99 * 1e3:.0f}ms over "
+        f"{WARM_P99_BOUND_S * 1e3:.0f}ms bound")
+
+
+def test_gateway_load(benchmark):
+    from conftest import run_once
+    result = run_once(benchmark,
+                      lambda: measure(SESSIONS, UNIQUE_SOURCES))
+    print()
+    print(render(result, SESSIONS, UNIQUE_SOURCES))
+    check(result, SESSIONS, UNIQUE_SOURCES)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="gateway load: duplicate storm + concurrent sessions")
+    parser.add_argument("--quick", action="store_true",
+                        help="200 sessions / 4 unique sources (smoke run)")
+    args = parser.parse_args(argv)
+    sessions = 200 if args.quick else SESSIONS
+    unique = 4 if args.quick else UNIQUE_SOURCES
+    result = measure(sessions, unique)
+    print(render(result, sessions, unique))
+    check(result, sessions, unique)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,8 @@ Commands mirror the paper's workflow:
   ``#pragma omp`` is parsed and linted as-is;
 * ``run FILE.c``          — execute ``main`` in the interpreter and
   print the program output plus modeled cycles;
+* ``serve``               — run the asyncio HTTP/JSON gateway
+  (interactive sessions, request coalescing, quotas, ``/v1/stats``);
 * ``report``              — regenerate one of the paper's tables/figures.
 """
 
@@ -242,6 +244,45 @@ def cmd_batch(args) -> int:
     return 0 if batch.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    from .gateway import Gateway, GatewayConfig
+
+    config = GatewayConfig(
+        host=args.host, port=args.port,
+        workers=args.jobs, cache_dir=args.cache_dir,
+        job_timeout=args.timeout,
+        max_sessions=args.max_sessions, session_ttl=args.session_ttl,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        max_queue_depth=args.max_queue_depth)
+    gateway = Gateway(config)
+
+    async def _serve() -> None:
+        await gateway.start()
+        print(f"repro gateway listening on {gateway.base_url} "
+              f"(pool={gateway.service.max_workers}, "
+              f"cache={'disk+memory' if config.cache_dir else 'memory'}, "
+              f"sessions<={config.max_sessions})", file=sys.stderr)
+        try:
+            await gateway._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print(gateway.render_stats_text(), file=sys.stderr)
+    if args.report_json:
+        import json as jsonmod
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            jsonmod.dump(gateway.stats_payload(), handle, indent=2,
+                         sort_keys=True)
+    return 0
+
+
 REPORTS = {
     "table1": ("benchmarks table 1 (feature matrix)", None),
     "table3": ("loops parallelizable", "table3"),
@@ -432,6 +473,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the service report as JSON")
     add_engine(p_batch)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async decompilation gateway (HTTP/JSON)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8753,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("-j", "--jobs", type=int, default=0,
+                         help="BatchService worker processes behind the "
+                              "dispatcher (default: 0 = inline)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persistent artifact cache directory "
+                              "(default: memory tier only)")
+    p_serve.add_argument("--timeout", type=float, default=60.0,
+                         help="per-job pipeline timeout in seconds")
+    p_serve.add_argument("--max-sessions", type=int, default=2048,
+                         help="bound on concurrently-live sessions")
+    p_serve.add_argument("--session-ttl", type=float, default=300.0,
+                         help="idle seconds before a session is expired")
+    p_serve.add_argument("--quota-rate", type=float, default=500.0,
+                         help="per-tenant requests/second (token refill)")
+    p_serve.add_argument("--quota-burst", type=float, default=1000.0,
+                         help="per-tenant burst capacity")
+    p_serve.add_argument("--max-queue-depth", type=int, default=256,
+                         help="pipeline jobs queued before shedding 503s")
+    p_serve.add_argument("--report-json", default=None, metavar="FILE",
+                         help="write the final /v1/stats payload as JSON "
+                              "on shutdown")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_report = sub.add_parser("report", help="regenerate a paper table/figure")
     p_report.add_argument("name", choices=sorted(

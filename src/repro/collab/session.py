@@ -61,11 +61,42 @@ class CollaborationSession:
         # Execution engine for evaluate(); None = process default.
         self.engine = engine
         self.cache = cache
+        self._closed = False
         self.module, self.polly = self._build_parallel(
             source, kernel_functions)
         self.splendid = Splendid(self.module, "full")
         self.unit = self.splendid.decompile()
         self._edits: List[str] = []
+
+    # Lifecycle ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the heavy state (module, AST, decompiler engine).
+
+        Sessions hold kilobytes-to-megabytes of IR and AST per source;
+        a serving layer keeping thousands of them alive needs a
+        deterministic release point rather than waiting on the garbage
+        collector.  Idempotent; every later use raises ``RuntimeError``.
+        """
+        self._closed = True
+        self.module = None
+        self.polly = None
+        self.splendid = None
+        self.unit = None
+
+    def __enter__(self) -> "CollaborationSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("CollaborationSession is closed")
 
     def _build_parallel(self, source: str,
                         kernel_functions: Optional[List[str]]):
@@ -95,10 +126,12 @@ class CollaborationSession:
     # Programmer-facing surface --------------------------------------------------
 
     def decompiled_text(self) -> str:
+        self._ensure_open()
         return print_unit(self.unit)
 
     def apply(self, edit: Callable[[ast.TranslationUnit], ast.TranslationUnit],
               description: str = "") -> "CollaborationSession":
+        self._ensure_open()
         self.unit = edit(self.unit)
         self._edits.append(description or getattr(edit, "__name__", "edit"))
         return self
@@ -110,6 +143,7 @@ class CollaborationSession:
     # Evaluation ---------------------------------------------------------------------
 
     def recompile(self) -> Module:
+        self._ensure_open()
         text = print_unit(self.unit)
         key = None
         if self.cache is not None:
@@ -128,6 +162,7 @@ class CollaborationSession:
 
     def evaluate(self, entry: str = "main", kernel: str = "kernel",
                  init: str = "init") -> SessionResult:
+        self._ensure_open()
         original_out = Interpreter(self.module, self.machine,
                                    engine=self.engine).run(entry).output
         edited = self.recompile()

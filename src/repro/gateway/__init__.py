@@ -1,0 +1,46 @@
+"""repro.gateway — the async decompilation gateway.
+
+The interactive serving layer over the batch machinery: an asyncio
+HTTP/JSON server (stdlib only) that turns the one-shot pipeline into
+long-lived sessions at service scale.
+
+* :mod:`repro.gateway.server`    — the HTTP/1.1 server, job records,
+  the micro-batching dispatcher over
+  :class:`~repro.service.scheduler.BatchService`, and the NDJSON
+  progress/diagnostic event streams;
+* :mod:`repro.gateway.sessions`  — bounded table of lazy
+  :class:`~repro.collab.session.CollaborationSession`-backed sessions
+  with cache-backed incremental recompile and idle expiry;
+* :mod:`repro.gateway.coalesce`  — single-flight dedup keyed by
+  :meth:`ArtifactCache.key_for <repro.service.cache.ArtifactCache
+  .key_for>` content hashes (N identical concurrent requests, one
+  pipeline run);
+* :mod:`repro.gateway.limits`    — per-tenant token-bucket quotas
+  (429 + ``Retry-After``) and the global admission controller that
+  sheds with 503 once queue depth or in-flight bytes cross bounds;
+* :mod:`repro.gateway.telemetry` — per-endpoint latency histograms
+  (p50/p95/p99), queue-wait/compute decomposition, and the counters
+  ``GET /v1/stats`` serves;
+* :mod:`repro.gateway.client`    — a minimal asyncio client used by
+  the tests and the load benchmark.
+
+``repro serve`` is the CLI surface; ``benchmarks/bench_gateway_load.py``
+is the load harness with asserted p99 and coalesce-ratio bounds.
+"""
+
+from .client import GatewayClient, GatewayResponse
+from .coalesce import Coalescer
+from .limits import AdmissionController, QuotaRegistry, TokenBucket
+from .server import (Gateway, GatewayConfig, HTTPError, JobRecord, Request)
+from .sessions import (GatewaySession, SessionClosed, SessionTable,
+                       SessionTableFull)
+from .telemetry import GatewayStats, LatencyHistogram
+
+__all__ = [
+    "Gateway", "GatewayConfig", "HTTPError", "JobRecord", "Request",
+    "GatewayClient", "GatewayResponse",
+    "Coalescer",
+    "AdmissionController", "QuotaRegistry", "TokenBucket",
+    "GatewaySession", "SessionClosed", "SessionTable", "SessionTableFull",
+    "GatewayStats", "LatencyHistogram",
+]

@@ -1,0 +1,142 @@
+"""A minimal asyncio client for the gateway (stdlib only).
+
+One connection per request (``Connection: close``): the simplest
+correct thing for a load generator that holds hundreds of sockets in
+flight, and exactly what the tests need to exercise the server's real
+wire framing rather than an in-process shortcut.  Not a general HTTP
+client — it speaks precisely the dialect :mod:`repro.gateway.server`
+serves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+
+
+class GatewayResponse:
+    """Status + parsed JSON body + the headers that matter."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: Dict[str, str], body: dict):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> Optional[int]:
+        value = self.headers.get("retry-after")
+        return int(value) if value is not None else None
+
+
+class GatewayClient:
+    """Talks JSON to one gateway instance."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    async def _connect(self):
+        return await asyncio.open_connection(self.host, self.port)
+
+    def _head(self, method: str, path: str, body: bytes,
+              headers: Optional[Dict[str, str]]) -> bytes:
+        lines = [f"{method} {path} HTTP/1.1",
+                 f"Host: {self.host}:{self.port}",
+                 "Connection: close",
+                 f"Content-Length: {len(body)}",
+                 "Content-Type: application/json"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    @staticmethod
+    async def _read_head(reader) -> Tuple[int, Dict[str, str]]:
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def request(self, method: str, path: str,
+                      body: Optional[dict] = None,
+                      headers: Optional[Dict[str, str]] = None
+                      ) -> GatewayResponse:
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        reader, writer = await self._connect()
+        try:
+            writer.write(self._head(method, path, payload, headers) + payload)
+            await writer.drain()
+            status, response_headers = await asyncio.wait_for(
+                self._read_head(reader), self.timeout)
+            length = response_headers.get("content-length")
+            if length is not None:
+                raw = await reader.readexactly(int(length))
+            else:
+                raw = await reader.read()
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            return GatewayResponse(status, response_headers, parsed)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def get(self, path: str,
+                  headers: Optional[Dict[str, str]] = None) -> GatewayResponse:
+        return await self.request("GET", path, None, headers)
+
+    async def post(self, path: str, body: Optional[dict] = None,
+                   headers: Optional[Dict[str, str]] = None
+                   ) -> GatewayResponse:
+        return await self.request("POST", path, body, headers)
+
+    async def delete(self, path: str,
+                     headers: Optional[Dict[str, str]] = None
+                     ) -> GatewayResponse:
+        return await self.request("DELETE", path, None, headers)
+
+    async def stream_events(self, job_id: str,
+                            limit: Optional[int] = None) -> List[dict]:
+        """Read the NDJSON event stream for ``job_id`` to completion
+        (or ``limit`` events) and return the parsed events in order."""
+        reader, writer = await self._connect()
+        try:
+            writer.write(self._head("GET", f"/v1/jobs/{job_id}/events",
+                                    b"", None))
+            await writer.drain()
+            status, _headers = await asyncio.wait_for(
+                self._read_head(reader), self.timeout)
+            if status != 200:
+                raw = await reader.read()
+                raise RuntimeError(f"event stream HTTP {status}: "
+                                   f"{raw.decode('utf-8', 'replace')}")
+            events: List[dict] = []
+            while True:
+                line = await asyncio.wait_for(reader.readline(), self.timeout)
+                if not line:
+                    break
+                events.append(json.loads(line.decode("utf-8")))
+                if limit is not None and len(events) >= limit:
+                    break
+            return events
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass

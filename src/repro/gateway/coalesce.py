@@ -1,0 +1,85 @@
+"""In-flight request coalescing keyed by content hash.
+
+The gateway's cache closes the *temporal* dedup window (a repeat of
+something already finished) but not the *concurrent* one: N identical
+requests arriving while the first is still compiling would each run
+the full pipeline.  :class:`Coalescer` closes it — the first request
+for a key becomes the **leader** and executes; every later request for
+the same key while it is in flight becomes a **follower** holding a
+future the leader's completion resolves.  N identical concurrent
+requests therefore cost exactly one pipeline execution and N futures.
+
+Keys are :meth:`ArtifactCache.key_for <repro.service.cache
+.ArtifactCache.key_for>` content hashes — source + defines + config +
+pipeline fingerprint — so "identical" means *provably the same
+answer*, not "same URL".
+
+Loop-thread-only by design: ``lease`` must be called with no ``await``
+between the caller's cache probe and the lease, which makes the
+probe-then-lease sequence atomic without locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+
+class Coalescer:
+    """Single-flight map: key -> futures awaiting the leader."""
+
+    def __init__(self):
+        self._inflight: Dict[str, List[asyncio.Future]] = {}
+        self.leaders = 0        # lifetime leases that executed
+        self.hits = 0           # lifetime followers served for free
+        self.peak_inflight = 0
+
+    def lease(self, key: str) -> Optional[asyncio.Future]:
+        """None -> caller is the leader and *must* eventually call
+        :meth:`resolve` (or :meth:`abandon`); otherwise a future that
+        yields the leader's completion dict."""
+        waiters = self._inflight.get(key)
+        if waiters is None:
+            self._inflight[key] = []
+            self.leaders += 1
+            if len(self._inflight) > self.peak_inflight:
+                self.peak_inflight = len(self._inflight)
+            return None
+        future = asyncio.get_running_loop().create_future()
+        waiters.append(future)
+        self.hits += 1
+        return future
+
+    def resolve(self, key: str, completion: dict) -> int:
+        """Fan the leader's completion out to every follower.
+
+        Returns how many followers were resolved.  The key leaves the
+        in-flight map first, so a request arriving during fan-out
+        starts a fresh flight (and will hit the cache the leader just
+        populated)."""
+        futures = self._inflight.pop(key, [])
+        for future in futures:
+            if not future.done():
+                future.set_result(completion)
+        return len(futures)
+
+    def abandon(self, key: str, error: str) -> int:
+        """Release a lease without a result (leader shed or gateway
+        shutdown): followers get a structured failure completion."""
+        return self.resolve(key, {"status": "failed", "payload": None,
+                                  "error": error, "cache": "coalesced"})
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def keys(self) -> List[str]:
+        return list(self._inflight)
+
+    def snapshot(self) -> dict:
+        return {
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_inflight,
+            "leaders": self.leaders,
+            "hits": self.hits,
+        }

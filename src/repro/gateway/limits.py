@@ -1,0 +1,141 @@
+"""Admission control: per-tenant quotas and global load shedding.
+
+Two independent gates, both answering *before* any pipeline work is
+spent:
+
+* :class:`QuotaRegistry` — a token bucket per tenant (the ``X-Tenant``
+  header; absent means ``"anonymous"``).  Over-rate tenants get a
+  structured 429 with a ``Retry-After`` computed from the bucket's
+  actual refill rate, so a well-behaved client can pace itself
+  precisely instead of guessing.
+
+* :class:`AdmissionController` — a global breaker over the dispatch
+  queue: once queued-leader depth or in-flight source bytes cross the
+  configured bounds, new *pipeline-executing* work is shed with a 503.
+  Cache hits and coalesced followers never consume admission — they
+  cost microseconds and shedding them would only amplify load
+  elsewhere.
+
+Both run on the event loop thread only; no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity refilled at ``rate``/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = time.monotonic()
+
+    def take(self, cost: float = 1.0,
+             now: Optional[float] = None) -> float:
+        """0.0 if admitted (tokens consumed); else seconds to wait.
+
+        A zero/negative refill rate makes a drained bucket permanent;
+        the retry hint is then a flat 60s rather than infinity.
+        """
+        if now is None:
+            now = time.monotonic()
+        if self.rate > 0:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        if self.rate <= 0:
+            return 60.0
+        return (cost - self.tokens) / self.rate
+
+
+class QuotaRegistry:
+    """Per-tenant token buckets, LRU-bounded so hostile tenant churn
+    cannot grow memory without bound (evicted tenants simply restart
+    with a full bucket — quota is rate-shaping, not accounting)."""
+
+    def __init__(self, rate: float, burst: float, max_tenants: int = 4096):
+        self.rate = rate
+        self.burst = burst
+        self.max_tenants = max_tenants
+        self.rejections = 0
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    def admit(self, tenant: str, cost: float = 1.0) -> float:
+        """0.0 if within quota, else the tenant's Retry-After seconds."""
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(self.rate, self.burst)
+            while len(self._buckets) > self.max_tenants:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(tenant)
+        retry_after = bucket.take(cost)
+        if retry_after > 0:
+            self.rejections += 1
+        return retry_after
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class AdmissionController:
+    """Global queue-depth / in-flight-bytes breaker for leader jobs.
+
+    ``acquire`` is charged when a cache-missing, non-coalesced request
+    is accepted for pipeline execution and ``release``\\ d when its job
+    completes (success *or* failure — the ladder's structured failures
+    still free their slot).  Shedding returns a retry hint scaled by
+    how deep the queue already is: a client arriving at 2x capacity
+    waits longer than one arriving at the brim.
+    """
+
+    def __init__(self, max_queue_depth: int = 256,
+                 max_inflight_bytes: int = 8 * 1024 * 1024,
+                 base_retry_after: float = 0.5):
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_bytes = max_inflight_bytes
+        self.base_retry_after = base_retry_after
+        self.queue_depth = 0
+        self.inflight_bytes = 0
+        self.shed = 0
+        self.peak_depth = 0
+
+    def try_acquire(self, nbytes: int) -> Tuple[bool, float]:
+        """(admitted, retry_after).  Admits while *current* usage is
+        under both bounds, so a single oversized request on an idle
+        gateway still runs — bounds shed load, they don't censor
+        inputs."""
+        if (self.queue_depth >= self.max_queue_depth
+                or self.inflight_bytes >= self.max_inflight_bytes):
+            self.shed += 1
+            overload = max(1.0, self.queue_depth / max(1, self.max_queue_depth))
+            return False, self.base_retry_after * overload
+        self.queue_depth += 1
+        self.inflight_bytes += nbytes
+        if self.queue_depth > self.peak_depth:
+            self.peak_depth = self.queue_depth
+        return True, 0.0
+
+    def release(self, nbytes: int) -> None:
+        self.queue_depth = max(0, self.queue_depth - 1)
+        self.inflight_bytes = max(0, self.inflight_bytes - nbytes)
+
+    def snapshot(self) -> dict:
+        return {
+            "queue_depth": self.queue_depth,
+            "peak_depth": self.peak_depth,
+            "inflight_bytes": self.inflight_bytes,
+            "max_queue_depth": self.max_queue_depth,
+            "max_inflight_bytes": self.max_inflight_bytes,
+            "shed": self.shed,
+        }

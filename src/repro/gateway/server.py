@@ -1,0 +1,794 @@
+"""The asyncio HTTP/JSON gateway: interactive decompilation as a service.
+
+One process, one event loop, stdlib only.  The loop owns all gateway
+state (job records, sessions, coalescer, quotas); pipeline work runs
+off-loop — decompile jobs on a dedicated dispatcher thread driving the
+:class:`~repro.service.scheduler.BatchService` (whose pool then fans
+out across processes), session recompiles on a small worker thread
+pool.  The shared :class:`~repro.service.cache.ArtifactCache` is the
+one component touched from many threads, which is why it locks
+internally.
+
+Request lifecycle (``POST /v1/decompile``)::
+
+    quota (429) -> submitted -> cache probe (memory/disk hit: done)
+          -> coalesce (identical in-flight request: follow its future)
+          -> admission (503 shed) -> queued -> micro-batched onto the
+             BatchService -> done/failed (lint diagnostics inline)
+
+Every step appends to the job's event log, streamable as
+newline-delimited JSON from ``GET /v1/jobs/{id}/events``.  Endpoints:
+
+* ``POST /v1/decompile``                 — one-shot (``wait: false`` for 202 + events)
+* ``POST /v1/sessions``                  — create an interactive session
+* ``GET  /v1/sessions/{id}``             — session status
+* ``POST /v1/sessions/{id}/recompile``   — recompile (optionally with an edit)
+* ``DELETE /v1/sessions/{id}``           — close a session early
+* ``GET  /v1/jobs/{id}`` / ``.../events``— job snapshot / NDJSON stream
+* ``GET  /v1/stats``                     — telemetry; ``GET /v1/healthz``
+
+This module is the gateway's registered construction choke point: the
+only place in ``repro.gateway`` allowed to build an ``ArtifactCache``
+or ``BatchService`` (grep-enforced by the tier-1 smoke test).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..service import ArtifactCache, BatchService, Job, JobConfig
+from .coalesce import Coalescer
+from .limits import AdmissionController, QuotaRegistry
+from .sessions import SessionClosed, SessionTable, SessionTableFull
+from .telemetry import GatewayStats
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class GatewayConfig:
+    """Knobs for one gateway instance (all bounded by default)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                        # 0 -> ephemeral, read Gateway.port
+    workers: Optional[int] = 0           # BatchService pool (0 = inline)
+    cache_dir: Optional[str] = None      # None -> memory tier only
+    memory_entries: int = 4096
+    job_timeout: float = 60.0            # per-job BatchService timeout
+    max_retries: int = 1
+    request_timeout: float = 120.0       # HTTP wait / stream stall bound
+    max_batch: int = 32                  # dispatcher micro-batch size
+    session_workers: int = 4             # recompile thread pool
+    max_sessions: int = 2048
+    session_ttl: float = 300.0
+    sweep_interval: float = 1.0
+    quota_rate: float = 500.0            # requests/s per tenant
+    quota_burst: float = 1000.0
+    max_queue_depth: int = 256
+    max_inflight_bytes: int = 8 * 1024 * 1024
+    max_body_bytes: int = 1024 * 1024
+    job_history: int = 4096
+
+
+class HTTPError(Exception):
+    """A structured, client-visible failure."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    def payload(self) -> dict:
+        body = {"error": self.code, "message": self.message}
+        if self.retry_after is not None:
+            body["retry_after"] = round(self.retry_after, 3)
+        return body
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: str,
+                 headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    @property
+    def tenant(self) -> str:
+        return self.headers.get("x-tenant", "anonymous")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HTTPError(400, "bad-json", f"request body: {exc}")
+        if not isinstance(data, dict):
+            raise HTTPError(400, "bad-json", "request body must be an object")
+        return data
+
+
+class JobRecord:
+    """Loop-side state of one submitted decompile request.
+
+    ``events`` is append-only; ``changed`` wakes streamers after every
+    append, ``finished`` latches once a terminal event lands.  All
+    mutation happens on the event loop thread.
+    """
+
+    def __init__(self, job_id: str, key: str, job: Job, source_bytes: int):
+        self.id = job_id
+        self.key = key
+        self.job = job
+        self.source_bytes = source_bytes
+        self.submitted = time.monotonic()
+        self.status = "pending"
+        self.coalesced = False
+        self.cache = "miss"
+        self.queue_seconds = 0.0
+        self.result: Optional[dict] = None
+        self.events: List[dict] = []
+        self.changed = asyncio.Event()
+        self.finished = asyncio.Event()
+
+    def event(self, name: str, **extra) -> None:
+        entry = {"seq": len(self.events), "event": name,
+                 "t_ms": round((time.monotonic() - self.submitted) * 1e3, 3)}
+        entry.update(extra)
+        self.events.append(entry)
+        self.changed.set()
+
+    def snapshot(self) -> dict:
+        body = {"job": self.id, "status": self.status,
+                "coalesced": self.coalesced, "cache": self.cache,
+                "events": len(self.events)}
+        if self.result is not None:
+            body["result"] = self.result
+        return body
+
+
+class Gateway:
+    """The serving layer: owns the cache, the batch service, and all
+    per-request state.  ``await start()`` inside a running loop (or use
+    :meth:`serve_forever` from the CLI), ``await stop()`` to tear down.
+    """
+
+    def __init__(self, config: Optional[GatewayConfig] = None,
+                 cache: Optional[ArtifactCache] = None,
+                 service: Optional[BatchService] = None):
+        self.config = config or GatewayConfig()
+        # The gateway's registered construction choke point: analyses,
+        # caches and pools exist only behind these two objects.
+        self._owns_cache = cache is None
+        self.cache = cache if cache is not None else ArtifactCache(
+            self.config.cache_dir, memory_entries=self.config.memory_entries)
+        self._owns_service = service is None
+        self.service = service if service is not None else BatchService(
+            max_workers=self.config.workers, cache=self.cache,
+            timeout=self.config.job_timeout,
+            max_retries=self.config.max_retries)
+
+        self.stats = GatewayStats()
+        self.coalescer = Coalescer()
+        self.quotas = QuotaRegistry(self.config.quota_rate,
+                                    self.config.quota_burst)
+        self.admission = AdmissionController(self.config.max_queue_depth,
+                                             self.config.max_inflight_bytes)
+        self.sessions = SessionTable(self.config.max_sessions,
+                                     self.config.session_ttl)
+        self._jobs: "Dict[str, JobRecord]" = {}
+        self._job_order: List[str] = []
+        self._next_job = 0
+        self.host = self.config.host
+        self.port = self.config.port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._tasks: List[asyncio.Task] = []
+        self._routes = [
+            ("GET", re.compile(r"^/v1/healthz$"),
+             "GET /v1/healthz", self._h_health, False),
+            ("GET", re.compile(r"^/v1/stats$"),
+             "GET /v1/stats", self._h_stats, False),
+            ("POST", re.compile(r"^/v1/decompile$"),
+             "POST /v1/decompile", self._h_decompile, False),
+            ("POST", re.compile(r"^/v1/sessions$"),
+             "POST /v1/sessions", self._h_session_create, False),
+            ("GET", re.compile(r"^/v1/sessions/(?P<id>[\w.-]+)$"),
+             "GET /v1/sessions/{id}", self._h_session_get, False),
+            ("POST",
+             re.compile(r"^/v1/sessions/(?P<id>[\w.-]+)/recompile$"),
+             "POST /v1/sessions/{id}/recompile",
+             self._h_session_recompile, False),
+            ("DELETE", re.compile(r"^/v1/sessions/(?P<id>[\w.-]+)$"),
+             "DELETE /v1/sessions/{id}", self._h_session_delete, False),
+            ("GET", re.compile(r"^/v1/jobs/(?P<id>[\w.-]+)$"),
+             "GET /v1/jobs/{id}", self._h_job_get, False),
+            ("GET", re.compile(r"^/v1/jobs/(?P<id>[\w.-]+)/events$"),
+             "GET /v1/jobs/{id}/events", self._h_job_events, True),
+        ]
+
+    # Lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._dispatch_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gw-dispatch")
+        self._work_pool = ThreadPoolExecutor(
+            max_workers=self.config.session_workers,
+            thread_name_prefix="gw-session")
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+        self._tasks = [
+            self._loop.create_task(self._dispatch_loop()),
+            self._loop.create_task(self._sweep_loop()),
+        ]
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for record in list(self._jobs.values()):
+            if not record.finished.is_set():
+                self.coalescer.abandon(record.key, "gateway shutting down")
+                self._complete_record(record, "failed", None,
+                                      "gateway shutting down", record.cache)
+        self.sessions.close_all()
+        self._dispatch_executor.shutdown(wait=True)
+        self._work_pool.shutdown(wait=True)
+        if self._owns_service:
+            self.service.close()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # Submission core ----------------------------------------------------------
+
+    def _submit(self, source: str, defines: Dict[str, str],
+                config_dict: dict, name: Optional[str] = None,
+                is_ir: bool = False,
+                fault: Optional[dict] = None) -> JobRecord:
+        """Run one request through cache -> coalesce -> admission and
+        either finish it, attach it, or queue it.  Raises
+        :class:`HTTPError` (503) when the admission controller sheds.
+        """
+        try:
+            config = JobConfig.from_dict(config_dict)
+        except Exception as exc:
+            raise HTTPError(400, "bad-config", f"config: {exc}")
+        self._next_job += 1
+        job_id = f"j{self._next_job:06d}"
+        job = Job(name=name or job_id, source=source, defines=defines,
+                  is_ir=is_ir, config=config, fault=fault)
+        key = self.cache.key_for_job(job)
+        record = JobRecord(job_id, key, job, len(source))
+        self._remember_record(record)
+        self.stats.bump("decompile_requests")
+        record.event("submitted", job_name=job.name, key=key[:12])
+
+        tier, payload = self.cache.get_with_tier(key)
+        record.event("cache-probe", tier=tier or "miss")
+        if tier:
+            self.stats.bump(f"cache_hits_{tier}")
+            self._complete_record(record, "ok", payload, None, tier)
+            return record
+
+        follower = self.coalescer.lease(key)
+        if follower is not None:
+            record.coalesced = True
+            record.status = "queued"
+            self.stats.bump("coalesce_hits")
+            record.event("coalesced", in_flight=self.coalescer.in_flight)
+
+            def _fan_out(done: asyncio.Future, record=record) -> None:
+                completion = done.result()
+                self._complete_record(
+                    record, completion["status"], completion.get("payload"),
+                    completion.get("error"), "coalesced")
+
+            follower.add_done_callback(_fan_out)
+            return record
+
+        admitted, retry_after = self.admission.try_acquire(len(source))
+        if not admitted:
+            # No followers can have attached yet (no await since the
+            # lease), so abandoning only releases the key.
+            self.coalescer.abandon(key, "shed")
+            self.stats.bump("shed_rejections")
+            self._complete_record(record, "failed", None,
+                                  "shed: gateway over capacity", "shed")
+            raise HTTPError(503, "overloaded",
+                            "gateway over capacity; retry later",
+                            retry_after=retry_after)
+        record.status = "queued"
+        record.event("queued", depth=self.admission.queue_depth)
+        self._queue.put_nowait(record)
+        return record
+
+    def _remember_record(self, record: JobRecord) -> None:
+        self._jobs[record.id] = record
+        self._job_order.append(record.id)
+        while len(self._job_order) > self.config.job_history:
+            victim = None
+            for index, job_id in enumerate(self._job_order):
+                if self._jobs[job_id].finished.is_set():
+                    victim = index
+                    break
+            if victim is None:
+                break
+            del self._jobs[self._job_order.pop(victim)]
+
+    def _complete_record(self, record: JobRecord, status: str,
+                         payload: Optional[dict], error: Optional[str],
+                         cache: str) -> None:
+        if record.finished.is_set():
+            return
+        record.status = "done" if status in ("ok", "degraded") else "failed"
+        record.cache = cache
+        total_seconds = time.monotonic() - record.submitted
+        record.result = {
+            "job": record.id,
+            "status": status,
+            "cache": cache,
+            "coalesced": record.coalesced,
+            "error": error,
+            "queue_ms": round(record.queue_seconds * 1e3, 3),
+            "total_ms": round(total_seconds * 1e3, 3),
+            "payload": payload,
+        }
+        if status == "degraded":
+            self.stats.bump("degraded_results")
+        elif status == "failed":
+            self.stats.bump("failed_results")
+        terminal = {"status": status, "cache": cache}
+        if error:
+            terminal["error"] = error
+        if payload and payload.get("diagnostics"):
+            diagnostics = payload["diagnostics"]
+            terminal["lint_ok"] = payload.get("lint_ok")
+            terminal["lint_errors"] = diagnostics.get("errors", 0)
+            terminal["lint_warnings"] = diagnostics.get("warnings", 0)
+        record.event("done" if record.status == "done" else "failed",
+                     **terminal)
+        record.finished.set()
+        record.changed.set()
+
+    # Dispatcher ---------------------------------------------------------------
+
+    def _run_batch(self, jobs: List[Job]):
+        """Executed on the dispatcher thread: one micro-batch through
+        the (process-pooled or inline) BatchService."""
+        return self.service.run(jobs).results
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            record = await self._queue.get()
+            batch = [record]
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            now = time.monotonic()
+            for item in batch:
+                item.queue_seconds = now - item.submitted
+                item.status = "running"
+                self.stats.queue_wait.observe(item.queue_seconds)
+                item.event("running",
+                           queue_ms=round(item.queue_seconds * 1e3, 3),
+                           batch=len(batch))
+            try:
+                results = await self._loop.run_in_executor(
+                    self._dispatch_executor, self._run_batch,
+                    [item.job for item in batch])
+            except Exception as exc:  # noqa: BLE001 — service blew up wholesale
+                for item in batch:
+                    self._finish_executed(
+                        item, None, f"{type(exc).__name__}: {exc}")
+                continue
+            for item, result in zip(batch, results):
+                self._finish_executed(item, result)
+
+    def _finish_executed(self, record: JobRecord, result,
+                         error: Optional[str] = None) -> None:
+        self.admission.release(record.source_bytes)
+        if result is None:
+            completion = {"status": "failed", "payload": None,
+                          "error": error or "internal service error",
+                          "cache": "miss"}
+        else:
+            telemetry = result.telemetry
+            if telemetry is not None:
+                self.stats.compute.observe(telemetry.run_seconds)
+            if result.cache == "miss":
+                self.stats.bump("pipeline_executions")
+            elif result.cache in ("memory", "disk"):
+                # A sibling process shared the disk tier underneath us.
+                self.stats.bump(f"cache_hits_{result.cache}")
+            completion = {"status": result.status.value,
+                          "payload": result.payload,
+                          "error": result.error,
+                          "cache": result.cache}
+        fanned = self.coalescer.resolve(record.key, completion)
+        if fanned:
+            self.stats.bump("coalesce_fanouts", fanned)
+        self._complete_record(record, completion["status"],
+                              completion["payload"], completion["error"],
+                              completion["cache"])
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.sweep_interval)
+            reaped = self.sessions.sweep()
+            if reaped:
+                self.stats.bump("sessions_swept", len(reaped))
+
+    # HTTP plumbing ------------------------------------------------------------
+
+    async def _read_request(self, reader) -> Optional[Request]:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise HTTPError(400, "bad-request", "request line too long")
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise HTTPError(400, "bad-request", "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                header = await reader.readline()
+            except ValueError:
+                raise HTTPError(400, "bad-request", "header too long")
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise HTTPError(400, "bad-request", "bad Content-Length")
+        if length > self.config.max_body_bytes:
+            raise HTTPError(413, "too-large",
+                            f"body exceeds {self.config.max_body_bytes} bytes")
+        body = await reader.readexactly(length) if length > 0 else b""
+        path, _, query = target.partition("?")
+        return Request(method, path, query, headers, body)
+
+    def _write_json(self, writer, status: int, payload: dict,
+                    keep_alive: bool = True,
+                    retry_after: Optional[float] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if retry_after is not None:
+            headers.append(f"Retry-After: {max(1, int(retry_after + 0.999))}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1")
+                     + body)
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except HTTPError as error:
+                    self._write_json(writer, error.status, error.payload(),
+                                     keep_alive=False)
+                    await writer.drain()
+                    break
+                except asyncio.IncompleteReadError:
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._route(request, writer)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(self, request: Request, writer) -> bool:
+        started = time.perf_counter()
+        label = f"{request.method} (unrouted)"
+        keep_alive = request.keep_alive
+        self.stats.bump("requests_total")
+        try:
+            match = None
+            path_matched = False
+            for method, pattern, template, handler, streams in self._routes:
+                found = pattern.match(request.path)
+                if found is None:
+                    continue
+                path_matched = True
+                if method != request.method:
+                    continue
+                match, label = found, template
+                break
+            if match is None:
+                if path_matched:
+                    raise HTTPError(405, "method-not-allowed",
+                                    f"{request.method} not allowed here")
+                raise HTTPError(404, "not-found",
+                                f"no route for {request.path}")
+            if streams:
+                await handler(request, match.groupdict(), writer)
+                return False
+            status, payload = await handler(request, match.groupdict())
+            self._write_json(writer, status, payload, keep_alive=keep_alive)
+            return keep_alive
+        except HTTPError as error:
+            self.stats.bump(f"http_{error.status}")
+            self._write_json(writer, error.status, error.payload(),
+                             keep_alive=keep_alive,
+                             retry_after=error.retry_after)
+            return keep_alive
+        except (ConnectionResetError, BrokenPipeError):
+            return False
+        except Exception as exc:  # noqa: BLE001 — never drop the connection raw
+            self.stats.bump("http_500")
+            self._write_json(writer, 500,
+                             {"error": "internal",
+                              "message": f"{type(exc).__name__}: {exc}"},
+                             keep_alive=False)
+            return False
+        finally:
+            self.stats.observe(label, time.perf_counter() - started)
+
+    # Handlers -----------------------------------------------------------------
+
+    def _check_quota(self, tenant: str) -> None:
+        retry_after = self.quotas.admit(tenant)
+        if retry_after > 0:
+            self.stats.bump("quota_rejections")
+            raise HTTPError(429, "quota",
+                            f"tenant {tenant!r} over rate limit",
+                            retry_after=retry_after)
+
+    @staticmethod
+    def _parse_defines(body: dict) -> Dict[str, str]:
+        defines = body.get("defines") or {}
+        if not isinstance(defines, dict):
+            raise HTTPError(400, "bad-request", "'defines' must be an object")
+        return {str(name): str(value) for name, value in defines.items()}
+
+    @staticmethod
+    def _parse_source(body: dict) -> str:
+        source = body.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise HTTPError(400, "bad-request",
+                            "'source' must be a non-empty string")
+        return source
+
+    async def _await_record(self, record: JobRecord) -> None:
+        try:
+            await asyncio.wait_for(record.finished.wait(),
+                                   self.config.request_timeout)
+        except asyncio.TimeoutError:
+            raise HTTPError(504, "timeout",
+                            f"job {record.id} still running; poll "
+                            f"/v1/jobs/{record.id}")
+
+    async def _h_health(self, request: Request,
+                        params: dict) -> Tuple[int, dict]:
+        return 200, {"ok": True, "uptime_seconds": self.stats.uptime_seconds}
+
+    async def _h_stats(self, request: Request,
+                       params: dict) -> Tuple[int, dict]:
+        return 200, self.stats_payload()
+
+    async def _h_decompile(self, request: Request,
+                           params: dict) -> Tuple[int, dict]:
+        body = request.json()
+        self._check_quota(request.tenant)
+        config = body.get("config") or {}
+        if not isinstance(config, dict):
+            raise HTTPError(400, "bad-request", "'config' must be an object")
+        record = self._submit(
+            self._parse_source(body), self._parse_defines(body), config,
+            name=body.get("name"), is_ir=bool(body.get("is_ir")),
+            fault=body.get("fault"))
+        if body.get("wait", True) is False:
+            return 202, {"job": record.id, "status": record.status,
+                         "events": f"/v1/jobs/{record.id}/events"}
+        await self._await_record(record)
+        return 200, record.result
+
+    async def _h_session_create(self, request: Request,
+                                params: dict) -> Tuple[int, dict]:
+        body = request.json()
+        self._check_quota(request.tenant)
+        source = self._parse_source(body)
+        defines = self._parse_defines(body)
+        config = body.get("config") or {}
+        if not isinstance(config, dict):
+            raise HTTPError(400, "bad-request", "'config' must be an object")
+        ttl = body.get("ttl")
+        if ttl is not None and (not isinstance(ttl, (int, float))
+                                or ttl <= 0):
+            raise HTTPError(400, "bad-request", "'ttl' must be > 0 seconds")
+        if len(self.sessions) >= self.sessions.max_sessions:
+            self.sessions.rejected += 1
+            raise HTTPError(503, "sessions-full",
+                            "session table at capacity; retry later",
+                            retry_after=self.config.sweep_interval)
+        record = self._submit(source, defines, config)
+        await self._await_record(record)
+        result = record.result
+        if result["status"] == "failed":
+            raise HTTPError(422, "decompile-failed",
+                            result.get("error") or "decompilation failed")
+        try:
+            session = self.sessions.create(
+                source, defines, result["payload"]["text"],
+                cache=self.cache, ttl=ttl)
+        except SessionTableFull as exc:
+            raise HTTPError(503, "sessions-full", str(exc),
+                            retry_after=self.config.sweep_interval)
+        return 201, {"session": session.id, "job": record.id,
+                     "status": result["status"], "cache": result["cache"],
+                     "coalesced": result["coalesced"],
+                     "text": session.text}
+
+    def _session_or_404(self, params: dict):
+        session = self.sessions.get(params["id"])
+        if session is None:
+            raise HTTPError(404, "no-session",
+                            f"no session {params['id']!r} (expired?)")
+        return session
+
+    async def _h_session_get(self, request: Request,
+                             params: dict) -> Tuple[int, dict]:
+        return 200, self._session_or_404(params).describe()
+
+    async def _h_session_recompile(self, request: Request,
+                                   params: dict) -> Tuple[int, dict]:
+        body = request.json()
+        self._check_quota(request.tenant)
+        session = self._session_or_404(params)
+        edited = body.get("source")
+        if edited is not None and not isinstance(edited, str):
+            raise HTTPError(400, "bad-request", "'source' must be a string")
+        lint = bool(body.get("lint"))
+        self.stats.bump("recompile_requests")
+        try:
+            result = await asyncio.wait_for(
+                self._loop.run_in_executor(
+                    self._work_pool, session.recompile, edited, lint),
+                self.config.request_timeout)
+        except asyncio.TimeoutError:
+            raise HTTPError(504, "timeout", "recompile still running")
+        except SessionClosed:
+            raise HTTPError(404, "no-session",
+                            f"session {session.id} closed underneath us")
+        except ValueError as exc:
+            self.stats.bump("recompile_rejected")
+            raise HTTPError(422, "bad-edit", str(exc))
+        return 200, result
+
+    async def _h_session_delete(self, request: Request,
+                                params: dict) -> Tuple[int, dict]:
+        if not self.sessions.remove(params["id"]):
+            raise HTTPError(404, "no-session", f"no session {params['id']!r}")
+        return 200, {"deleted": params["id"]}
+
+    def _record_or_404(self, params: dict) -> JobRecord:
+        record = self._jobs.get(params["id"])
+        if record is None:
+            raise HTTPError(404, "no-job", f"no job {params['id']!r}")
+        return record
+
+    async def _h_job_get(self, request: Request,
+                         params: dict) -> Tuple[int, dict]:
+        return 200, self._record_or_404(params).snapshot()
+
+    async def _h_job_events(self, request: Request, params: dict,
+                            writer) -> None:
+        """Stream the job's event log as NDJSON: replay everything
+        buffered, then follow live until the terminal event."""
+        record = self._record_or_404(params)
+        self.stats.bump("event_streams")
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Cache-Control: no-store\r\n"
+                     b"Connection: close\r\n\r\n")
+        index = 0
+        while True:
+            record.changed.clear()
+            while index < len(record.events):
+                writer.write(json.dumps(record.events[index]).encode("utf-8")
+                             + b"\n")
+                index += 1
+            await writer.drain()
+            if record.finished.is_set() and index >= len(record.events):
+                break
+            try:
+                await asyncio.wait_for(record.changed.wait(),
+                                       self.config.request_timeout)
+            except asyncio.TimeoutError:
+                writer.write(json.dumps(
+                    {"seq": index, "event": "stall",
+                     "error": "event stream timed out"}).encode("utf-8")
+                    + b"\n")
+                break
+
+    # Introspection ------------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        payload = self.stats.to_dict()
+        payload["cache"] = self.cache.stats.to_dict()
+        payload["coalescer"] = self.coalescer.snapshot()
+        payload["admission"] = self.admission.snapshot()
+        payload["sessions"] = self.sessions.snapshot()
+        payload["jobs"] = {
+            "tracked": len(self._jobs),
+            "queued": self._queue.qsize() if self._queue else 0,
+        }
+        payload["service"] = {
+            "workers": self.service.max_workers,
+            "worker_restarts": self.service.worker_restarts,
+        }
+        return payload
+
+    def render_stats_text(self) -> str:
+        extra = {
+            "cache": json.dumps(self.cache.stats.to_dict()),
+            "sessions": json.dumps(self.sessions.snapshot()),
+            "admission": json.dumps(self.admission.snapshot()),
+            "coalescer": json.dumps(self.coalescer.snapshot()),
+        }
+        return self.stats.render_text(extra)

@@ -1,0 +1,242 @@
+"""Long-lived interactive sessions behind the gateway.
+
+A :class:`GatewaySession` is the serving-layer face of the paper's
+collaborative loop (decompile -> inspect -> edit -> recompile): it is
+created from a finished decompile payload and holds the *cheap* state
+(source, defines, decompiled text) eagerly, while the heavy
+:class:`~repro.collab.session.CollaborationSession` — module, AST,
+Splendid engine — is built lazily on the first recompile.  Creating a
+session on the warm-cache path therefore costs dictionary operations,
+not a pipeline run, which is what lets one box hold thousands of
+concurrent sessions.
+
+Recompiles route through the shared
+:class:`~repro.service.cache.ArtifactCache` (the ``collab-build`` /
+``collab-recompile`` kinds), so re-submitting an unchanged edit — or
+the same edit from a twin session — skips -O2 and the parallelizer
+entirely.
+
+:class:`SessionTable` is the bounded registry: creation past
+``max_sessions`` is refused (the gateway turns that into a 503), and
+the gateway's sweeper calls :meth:`SessionTable.sweep` to expire and
+deterministically :meth:`close <GatewaySession.close>` sessions idle
+past their TTL.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+
+class SessionTableFull(Exception):
+    """Raised by :meth:`SessionTable.create` when the table is at
+    capacity; the gateway maps it to a structured 503."""
+
+
+class SessionClosed(Exception):
+    """Raised when a request races session expiry/deletion."""
+
+
+class GatewaySession:
+    """One interactive decompilation session.
+
+    Mutating entry points (:meth:`recompile`) run on gateway worker
+    threads; bookkeeping (touch/expiry) runs on the event loop — the
+    internal lock only guards the lazy collaboration build and the
+    recompile itself, so a session serves at most one recompile at a
+    time (later ones queue on the lock, preserving edit order).
+    """
+
+    def __init__(self, session_id: str, source: str,
+                 defines: Optional[Dict[str, str]], text: str,
+                 cache=None, ttl: float = 300.0):
+        self.id = session_id
+        self.source = source
+        self.defines = dict(defines or {})
+        self.text = text                 # decompiled C as first shown
+        self.cache = cache
+        self.ttl = ttl
+        now = time.monotonic()
+        self.created = now
+        self.last_used = now
+        self.recompiles = 0
+        self.closed = False
+        self._collab = None
+        self._lock = threading.Lock()
+
+    # Lifecycle ----------------------------------------------------------------
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def idle_seconds(self, now: Optional[float] = None) -> float:
+        return (now if now is not None else time.monotonic()) - self.last_used
+
+    @property
+    def expired(self) -> bool:
+        return self.idle_seconds() > self.ttl
+
+    def close(self) -> None:
+        """Release the heavy collaboration state deterministically."""
+        with self._lock:
+            self.closed = True
+            if self._collab is not None:
+                self._collab.close()
+                self._collab = None
+
+    # Work ---------------------------------------------------------------------
+
+    def _collaboration(self):
+        """Build the CollaborationSession on first use (cache-backed:
+        a twin session on the same source re-parses cached IR instead
+        of re-running -O2 + Polly)."""
+        if self._collab is None:
+            from ..collab import CollaborationSession
+            self._collab = CollaborationSession(
+                self.source, self.defines, cache=self.cache)
+        return self._collab
+
+    def recompile(self, edited_source: Optional[str] = None,
+                  lint: bool = False) -> dict:
+        """Recompile the session's unit (optionally replacing it with
+        ``edited_source`` first) and report what came back.
+
+        Blocking — the gateway calls this on a worker thread.  Parse
+        or semantic errors in the edit raise ``ValueError`` with the
+        front end's message; the gateway maps that to a 422 so the
+        interactive client can show the diagnostic and retry.
+        """
+        with self._lock:
+            if self.closed:
+                raise SessionClosed(self.id)
+            collab = self._collaboration()
+            if edited_source is not None:
+                from ..minic import parse
+                try:
+                    unit = parse(edited_source, self.defines)
+                except Exception as exc:
+                    raise ValueError(f"edit does not parse: {exc}") from exc
+                collab.apply(lambda _old: unit, "gateway edit")
+            module = collab.recompile()
+            self.recompiles += 1
+            result = {
+                "session": self.id,
+                "recompiles": self.recompiles,
+                "edits": len(collab.edits),
+                "functions": sorted(
+                    name for name, function in module.functions.items()
+                    if not function.is_declaration),
+            }
+            if lint:
+                from ..lint import lint_translation_unit
+                report = lint_translation_unit(collab.unit)
+                result["lint"] = {
+                    "ok": report.ok,
+                    "errors": len(report.errors),
+                    "warnings": len(report.warnings),
+                    "diagnostics": [d.to_dict() for d in report.diagnostics],
+                }
+            return result
+
+    def describe(self) -> dict:
+        return {
+            "session": self.id,
+            "age_seconds": time.monotonic() - self.created,
+            "idle_seconds": self.idle_seconds(),
+            "ttl_seconds": self.ttl,
+            "recompiles": self.recompiles,
+            "source_bytes": len(self.source),
+            "closed": self.closed,
+        }
+
+
+class SessionTable:
+    """Bounded id -> session registry with idle expiry."""
+
+    def __init__(self, max_sessions: int = 2048,
+                 session_ttl: float = 300.0):
+        self.max_sessions = max_sessions
+        self.session_ttl = session_ttl
+        self.created = 0
+        self.expired = 0
+        self.deleted = 0
+        self.rejected = 0
+        self.peak = 0
+        self._sessions: "OrderedDict[str, GatewaySession]" = OrderedDict()
+        self._next_id = 0
+
+    def create(self, source: str, defines: Optional[Dict[str, str]],
+               text: str, cache=None,
+               ttl: Optional[float] = None) -> GatewaySession:
+        if len(self._sessions) >= self.max_sessions:
+            self.rejected += 1
+            raise SessionTableFull(
+                f"session table at capacity ({self.max_sessions})")
+        self._next_id += 1
+        session = GatewaySession(
+            f"s{self._next_id:06d}", source, defines, text,
+            cache=cache, ttl=ttl if ttl is not None else self.session_ttl)
+        self._sessions[session.id] = session
+        self.created += 1
+        if len(self._sessions) > self.peak:
+            self.peak = len(self._sessions)
+        return session
+
+    def get(self, session_id: str,
+            touch: bool = True) -> Optional[GatewaySession]:
+        session = self._sessions.get(session_id)
+        if session is not None and touch:
+            session.touch()
+            self._sessions.move_to_end(session_id)
+        return session
+
+    def remove(self, session_id: str) -> bool:
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            return False
+        session.close()
+        self.deleted += 1
+        return True
+
+    def sweep(self, now: Optional[float] = None) -> List[str]:
+        """Close and drop every session idle past its TTL.  Full scan
+        rather than an LRU-prefix walk because TTLs are per-session (a
+        client may ask for a short-lived scratch session); the table
+        is bounded, so the scan is bounded too."""
+        if now is None:
+            now = time.monotonic()
+        reaped = []
+        for session_id in list(self._sessions):
+            session = self._sessions[session_id]
+            if session.idle_seconds(now) > session.ttl:
+                del self._sessions[session_id]
+                session.close()
+                self.expired += 1
+                reaped.append(session_id)
+        return reaped
+
+    def close_all(self) -> None:
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def snapshot(self) -> dict:
+        return {
+            "active": len(self._sessions),
+            "peak": self.peak,
+            "max_sessions": self.max_sessions,
+            "created": self.created,
+            "expired": self.expired,
+            "deleted": self.deleted,
+            "rejected": self.rejected,
+            "ttl_seconds": self.session_ttl,
+        }

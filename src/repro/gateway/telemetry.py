@@ -1,0 +1,174 @@
+"""Gateway telemetry: latency histograms and lifetime counters.
+
+The serving layer needs percentile latency, not averages: one slow
+cold-pipeline build must not hide behind a thousand warm cache hits.
+:class:`LatencyHistogram` is a fixed-size log-bucketed histogram
+(O(1) record, O(buckets) percentile) whose percentile estimates are
+*upper bounds* — a p99 assertion against it is conservative, never
+flattering.  :class:`GatewayStats` aggregates one histogram per HTTP
+endpoint plus the queue-wait/compute decomposition and the event
+counters ``/v1/stats`` renders.
+
+Everything here is loop-thread-only inside the gateway; nothing takes
+locks.  (The :class:`~repro.service.cache.ArtifactCache` has its own
+lock because pool workers and executor threads share it.)
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Dict, Optional
+
+#: Geometric bucket upper bounds: 100 us doubling up to ~1.7 h, which
+#: comfortably brackets everything from a memory-tier cache hit to a
+#: pathological cold pipeline build.
+BUCKET_BOUNDS = tuple(0.0001 * (2 ** i) for i in range(26))
+
+
+class LatencyHistogram:
+    """Log-bucketed latency sketch with conservative percentiles."""
+
+    __slots__ = ("counts", "overflow", "count", "total", "max")
+
+    def __init__(self):
+        self.counts = [0] * len(BUCKET_BOUNDS)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        index = bisect.bisect_left(BUCKET_BOUNDS, seconds)
+        if index >= len(BUCKET_BOUNDS):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Upper-bound estimate of the ``fraction`` quantile.
+
+        Returns the bucket boundary the quantile falls under, clamped
+        to the exact observed maximum — so ``percentile(0.99) < bound``
+        asserts something strictly stronger than the true p99.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(fraction * self.count + 0.9999999))
+        cumulative = 0
+        for index, bucket in enumerate(self.counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                return min(BUCKET_BOUNDS[index], self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.p50 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+
+class GatewayStats:
+    """Everything the gateway counts, rendered by ``/v1/stats``.
+
+    ``endpoints`` keys are route templates (``POST /v1/decompile``),
+    never raw paths, so cardinality is bounded.  ``queue_wait`` and
+    ``compute`` decompose executed-job latency into time spent waiting
+    for the dispatcher (submit -> batch start) versus time inside the
+    :class:`~repro.service.scheduler.BatchService` — the split the
+    per-job ``queue_seconds`` telemetry feeds.
+    """
+
+    def __init__(self):
+        self.started = time.monotonic()
+        self.counters: Dict[str, int] = {}
+        self.endpoints: Dict[str, LatencyHistogram] = {}
+        self.queue_wait = LatencyHistogram()
+        self.compute = LatencyHistogram()
+
+    # Recording ----------------------------------------------------------------
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def observe(self, endpoint: str, seconds: float) -> None:
+        histogram = self.endpoints.get(endpoint)
+        if histogram is None:
+            histogram = self.endpoints[endpoint] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    # Derived ------------------------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of decompile submissions served by piggybacking on
+        an identical in-flight request."""
+        submitted = self.get("decompile_requests")
+        return self.get("coalesce_hits") / submitted if submitted else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "counters": dict(sorted(self.counters.items())),
+            "coalesce_ratio": self.coalesce_ratio,
+            "queue_wait": self.queue_wait.to_dict(),
+            "compute": self.compute.to_dict(),
+            "endpoints": {label: hist.to_dict()
+                          for label, hist in sorted(self.endpoints.items())},
+        }
+
+    def render_text(self, extra: Optional[dict] = None) -> str:
+        header = (f"{'endpoint':<36} {'count':>7} {'mean':>8} {'p50':>8} "
+                  f"{'p95':>8} {'p99':>8} {'max':>8}")
+        lines = ["=== gateway stats ===", header, "-" * len(header)]
+        rows = list(self.endpoints.items())
+        rows.append(("(queue wait)", self.queue_wait))
+        rows.append(("(compute)", self.compute))
+        for label, hist in rows:
+            if hist.count == 0:
+                continue
+            lines.append(
+                f"{label:<36} {hist.count:>7} {hist.mean * 1e3:>6.1f}ms "
+                f"{hist.p50 * 1e3:>6.1f}ms {hist.p95 * 1e3:>6.1f}ms "
+                f"{hist.p99 * 1e3:>6.1f}ms {hist.max * 1e3:>6.1f}ms")
+        lines.append("-" * len(header))
+        counters = ", ".join(f"{name}={value}"
+                             for name, value in sorted(self.counters.items()))
+        lines.append(f"uptime {self.uptime_seconds:.1f}s; {counters}")
+        if extra:
+            for name, value in sorted(extra.items()):
+                lines.append(f"{name}: {value}")
+        return "\n".join(lines)

@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -98,6 +99,13 @@ class ArtifactCache:
 
     ``cache_dir=None`` keeps the memory tier only — handy for tests
     and for sessions that want reuse without touching the filesystem.
+
+    Safe under concurrent access from many threads (the gateway hits
+    one cache from its event loop, its dispatcher thread, and its
+    session worker pool at once): the memory tier's LRU mutation and
+    every stats counter are guarded by an internal lock.  Disk I/O
+    happens outside the lock — the atomic write protocol already makes
+    the disk tier safe across processes, so threads get it for free.
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
@@ -108,6 +116,7 @@ class ArtifactCache:
         self.version = version or pipeline_fingerprint()
         self.stats = ArtifactCacheStats()
         self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.RLock()
 
     # Keys ---------------------------------------------------------------------
 
@@ -147,21 +156,24 @@ class ArtifactCache:
 
     def get_with_tier(self, key: str):
         """(tier, payload): tier is ``"memory"``, ``"disk"`` or None."""
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return "memory", self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return "memory", self._memory[key]
         payload = self._load_disk(key)
-        if payload is not None:
-            self.stats.disk_hits += 1
-            self._remember(key, payload)
-            return "disk", payload
-        self.stats.misses += 1
-        return None, None
+        with self._lock:
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, payload)
+                return "disk", payload
+            self.stats.misses += 1
+            return None, None
 
     def put(self, key: str, payload: dict) -> None:
-        self.stats.stores += 1
-        self._remember(key, payload)
+        with self._lock:
+            self.stats.stores += 1
+            self._remember(key, payload)
         if self.cache_dir is None:
             return
         path = self._path(key)
@@ -185,10 +197,12 @@ class ArtifactCache:
 
     def clear_memory(self) -> None:
         """Drop the LRU tier (disk entries stay)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     # Internals ----------------------------------------------------------------
 
@@ -220,7 +234,8 @@ class ArtifactCache:
         except (ValueError, OSError, UnicodeDecodeError):
             # Corrupt, truncated, or written by a different pipeline
             # version: evict so the slot is clean for the recompute.
-            self.stats.evictions += 1
+            with self._lock:
+                self.stats.evictions += 1
             try:
                 os.unlink(path)
             except OSError:

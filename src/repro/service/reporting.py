@@ -109,6 +109,22 @@ class ServiceReport:
         return sum(e.retries for e in self.entries)
 
     @property
+    def queue_seconds(self) -> float:
+        """Total submit -> worker-start wait across the batch — the
+        piece of wall time a bigger pool (or a gateway shedding more
+        load) would claw back, as opposed to compute."""
+        return sum(e.queue_seconds for e in self.entries)
+
+    @property
+    def mean_queue_seconds(self) -> float:
+        return self.queue_seconds / len(self.entries) if self.entries else 0.0
+
+    @property
+    def run_seconds(self) -> float:
+        """Total first-attempt-start -> outcome time across the batch."""
+        return sum(e.run_seconds for e in self.entries)
+
+    @property
     def throughput(self) -> float:
         """Completed jobs per second of batch wall time."""
         return self.total_jobs / self.wall_seconds if self.wall_seconds else 0.0
@@ -134,7 +150,10 @@ class ServiceReport:
             f"cache {self.cache_hits} hits / {self.cache_misses} misses "
             f"({self.hit_rate:.0%} hit rate); "
             f"{self.total_retries} retries, "
-            f"{self.worker_restarts} worker restarts")
+            f"{self.worker_restarts} worker restarts; "
+            f"queue {self.queue_seconds * 1e3:.1f} ms total "
+            f"({self.mean_queue_seconds * 1e3:.1f} ms/job), "
+            f"run {self.run_seconds * 1e3:.1f} ms total")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -151,6 +170,9 @@ class ServiceReport:
             "worker_restarts": self.worker_restarts,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
+            "queue_seconds": self.queue_seconds,
+            "mean_queue_seconds": self.mean_queue_seconds,
+            "run_seconds": self.run_seconds,
             "throughput": self.throughput,
             "cache_stats": self.cache_stats,
         }

@@ -1,0 +1,395 @@
+"""Gateway integration suite: every test runs against a real server
+on an ephemeral port, through the wire (stdlib asyncio client), so
+HTTP framing, NDJSON event streaming, and error envelopes are all
+exercised as a client would see them.
+
+Determinism notes: the coalescing and admission tests pin timing with
+the service's seeded-fault hook (``fault: {"mode": "hang"}`` delays a
+job inside the worker without failing it), so "N requests in flight at
+once" is guaranteed rather than raced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.gateway import Gateway, GatewayClient, GatewayConfig
+
+KERNEL_SOURCE = """
+#define N 48
+double A[N];
+double B[N];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = (double)(i %% %d); B[i] = 0.0; }
+}
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+}
+int main() {
+  init(); kernel();
+  print_double(B[5]);
+  return 0;
+}
+"""
+
+
+def source(seed: int = 7) -> str:
+    return KERNEL_SOURCE % seed
+
+
+@contextlib.asynccontextmanager
+async def gateway(**overrides):
+    """A started gateway (inline service, ephemeral port) + client."""
+    settings = dict(port=0, workers=0, max_batch=8)
+    settings.update(overrides)
+    instance = Gateway(GatewayConfig(**settings))
+    await instance.start()
+    try:
+        yield instance, GatewayClient(instance.host, instance.port)
+    finally:
+        await instance.stop()
+
+
+# Round trips -------------------------------------------------------------------
+
+
+def test_decompile_roundtrip_and_cache_tiers():
+    async def scenario():
+        async with gateway() as (gw, client):
+            cold = await client.post("/v1/decompile",
+                                     {"source": source(),
+                                      "config": {"lint": True}})
+            assert cold.status == 200
+            assert cold.body["status"] == "ok"
+            assert cold.body["cache"] == "miss"
+            assert not cold.body["coalesced"]
+            assert "#pragma omp parallel" in cold.body["payload"]["text"]
+            assert cold.body["payload"]["lint_ok"] is True
+
+            warm = await client.post("/v1/decompile",
+                                     {"source": source(),
+                                      "config": {"lint": True}})
+            assert warm.status == 200
+            assert warm.body["cache"] == "memory"
+            assert warm.body["payload"] == cold.body["payload"]
+            assert warm.body["total_ms"] < cold.body["total_ms"]
+
+            stats = (await client.get("/v1/stats")).body
+            assert stats["counters"]["pipeline_executions"] == 1
+            assert stats["counters"]["cache_hits_memory"] == 1
+            assert "POST /v1/decompile" in stats["endpoints"]
+            assert stats["endpoints"]["POST /v1/decompile"]["count"] == 2
+            assert stats["queue_wait"]["count"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_failed_pipeline_reports_structured_failure():
+    async def scenario():
+        async with gateway() as (gw, client):
+            reply = await client.post(
+                "/v1/decompile",
+                {"source": source(), "config": {"parallelize": False},
+                 "fault": {"mode": "raise", "message": "seeded gateway"}})
+            assert reply.status == 200
+            assert reply.body["status"] == "failed"
+            assert "seeded gateway" in reply.body["error"]
+            assert reply.body["payload"] is None
+            record = (await client.get(f"/v1/jobs/{reply.body['job']}")).body
+            assert record["status"] == "failed"
+
+    asyncio.run(scenario())
+
+
+# Event streaming ---------------------------------------------------------------
+
+
+def test_event_stream_ndjson_ordering():
+    async def scenario():
+        async with gateway() as (gw, client):
+            accepted = await client.post(
+                "/v1/decompile",
+                {"source": source(11), "wait": False, "config": {"lint": True},
+                 "fault": {"mode": "hang", "seconds": 0.25}})
+            assert accepted.status == 202
+            job = accepted.body["job"]
+            # Two concurrent streamers must see the identical ordered log.
+            first, second = await asyncio.gather(
+                client.stream_events(job), client.stream_events(job))
+            assert first == second
+            names = [event["event"] for event in first]
+            assert names == ["submitted", "cache-probe", "queued",
+                             "running", "done"]
+            assert [event["seq"] for event in first] == [0, 1, 2, 3, 4]
+            t_ms = [event["t_ms"] for event in first]
+            assert t_ms == sorted(t_ms)
+            assert first[1]["tier"] == "miss"
+            done = first[-1]
+            assert done["status"] == "ok"
+            assert done["lint_ok"] is True
+            # The hang fault delayed the run, and the event timing saw it.
+            assert done["t_ms"] >= 250.0
+
+    asyncio.run(scenario())
+
+
+def test_event_stream_for_unknown_job_is_404():
+    async def scenario():
+        async with gateway() as (gw, client):
+            with pytest.raises(RuntimeError, match="404"):
+                await client.stream_events("j999999")
+
+    asyncio.run(scenario())
+
+
+# Coalescing --------------------------------------------------------------------
+
+
+def test_identical_concurrent_requests_coalesce_to_one_execution():
+    async def scenario():
+        async with gateway() as (gw, client):
+            body = {"source": source(13),
+                    "fault": {"mode": "hang", "seconds": 0.4}}
+            replies = await asyncio.gather(
+                *(client.post("/v1/decompile", body) for _ in range(6)))
+            assert all(reply.status == 200 for reply in replies)
+            assert all(reply.body["status"] == "ok" for reply in replies)
+            texts = {reply.body["payload"]["text"] for reply in replies}
+            assert len(texts) == 1
+            coalesced = sum(1 for reply in replies if reply.body["coalesced"])
+            assert coalesced == 5
+
+            stats = (await client.get("/v1/stats")).body
+            assert stats["counters"]["pipeline_executions"] == 1
+            assert stats["counters"]["coalesce_hits"] == 5
+            assert stats["counters"]["coalesce_fanouts"] == 5
+            assert stats["coalescer"]["in_flight"] == 0
+            assert stats["coalesce_ratio"] == pytest.approx(5 / 6)
+
+    asyncio.run(scenario())
+
+
+def test_different_content_does_not_coalesce():
+    async def scenario():
+        async with gateway() as (gw, client):
+            replies = await asyncio.gather(
+                client.post("/v1/decompile", {"source": source(3)}),
+                client.post("/v1/decompile", {"source": source(4)}))
+            assert all(reply.body["status"] == "ok" for reply in replies)
+            stats = (await client.get("/v1/stats")).body
+            assert stats["counters"]["pipeline_executions"] == 2
+            assert stats["counters"].get("coalesce_hits", 0) == 0
+
+    asyncio.run(scenario())
+
+
+# Quotas and admission control --------------------------------------------------
+
+
+def test_per_tenant_quota_429_with_retry_after():
+    async def scenario():
+        async with gateway(quota_rate=1.0, quota_burst=2.0) as (gw, client):
+            first = await client.post("/v1/decompile", {"source": source()})
+            second = await client.post("/v1/decompile", {"source": source()})
+            assert first.status == 200 and second.status == 200
+            third = await client.post("/v1/decompile", {"source": source()})
+            assert third.status == 429
+            assert third.body["error"] == "quota"
+            assert third.retry_after is not None and third.retry_after >= 1
+            # A different tenant has its own bucket.
+            other = await client.post("/v1/decompile", {"source": source()},
+                                      headers={"X-Tenant": "team-b"})
+            assert other.status == 200
+            stats = (await client.get("/v1/stats")).body
+            assert stats["counters"]["quota_rejections"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_admission_controller_sheds_with_503():
+    async def scenario():
+        async with gateway(max_queue_depth=1) as (gw, client):
+            slow = await client.post(
+                "/v1/decompile",
+                {"source": source(21), "wait": False,
+                 "fault": {"mode": "hang", "seconds": 0.6}})
+            assert slow.status == 202
+            shed = await client.post("/v1/decompile", {"source": source(22)})
+            assert shed.status == 503
+            assert shed.body["error"] == "overloaded"
+            assert shed.retry_after is not None and shed.retry_after >= 1
+            stats = (await client.get("/v1/stats")).body
+            assert stats["counters"]["shed_rejections"] == 1
+            assert stats["admission"]["shed"] == 1
+            # Drain the slow job; capacity frees up again afterwards.
+            events = await client.stream_events(slow.body["job"])
+            assert events[-1]["event"] == "done"
+            retry = await client.post("/v1/decompile", {"source": source(22)})
+            assert retry.status == 200
+
+    asyncio.run(scenario())
+
+
+# Sessions ----------------------------------------------------------------------
+
+
+def test_session_lifecycle_create_recompile_delete():
+    async def scenario():
+        async with gateway() as (gw, client):
+            created = await client.post("/v1/sessions", {"source": source()})
+            assert created.status == 201
+            session = created.body["session"]
+            assert "#pragma omp parallel" in created.body["text"]
+
+            status = await client.get(f"/v1/sessions/{session}")
+            assert status.status == 200
+            assert status.body["recompiles"] == 0
+
+            plain = await client.post(f"/v1/sessions/{session}/recompile",
+                                      {"lint": True})
+            assert plain.status == 200
+            assert "kernel" in plain.body["functions"]
+            assert plain.body["lint"]["ok"] is True
+
+            # Round-trip the decompiled text back in as an edit.
+            edited = await client.post(
+                f"/v1/sessions/{session}/recompile",
+                {"source": created.body["text"]})
+            assert edited.status == 200
+            assert edited.body["recompiles"] == 2
+            assert edited.body["edits"] == 1
+
+            broken = await client.post(f"/v1/sessions/{session}/recompile",
+                                       {"source": "int main( {"})
+            assert broken.status == 422
+            assert broken.body["error"] == "bad-edit"
+
+            deleted = await client.delete(f"/v1/sessions/{session}")
+            assert deleted.status == 200
+            assert (await client.get(f"/v1/sessions/{session}")).status == 404
+
+    asyncio.run(scenario())
+
+
+def test_twin_session_creation_is_served_from_cache():
+    async def scenario():
+        async with gateway() as (gw, client):
+            first = await client.post("/v1/sessions", {"source": source()})
+            twin = await client.post("/v1/sessions", {"source": source()})
+            assert first.status == twin.status == 201
+            assert first.body["session"] != twin.body["session"]
+            assert twin.body["cache"] == "memory"
+            assert twin.body["text"] == first.body["text"]
+            stats = (await client.get("/v1/stats")).body
+            assert stats["counters"]["pipeline_executions"] == 1
+            assert stats["sessions"]["active"] == 2
+
+    asyncio.run(scenario())
+
+
+def test_session_table_bound_is_a_503():
+    async def scenario():
+        async with gateway(max_sessions=2) as (gw, client):
+            for _ in range(2):
+                created = await client.post("/v1/sessions",
+                                            {"source": source()})
+                assert created.status == 201
+            rejected = await client.post("/v1/sessions", {"source": source()})
+            assert rejected.status == 503
+            assert rejected.body["error"] == "sessions-full"
+            stats = (await client.get("/v1/stats")).body
+            assert stats["sessions"]["rejected"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_idle_sessions_expire_and_release():
+    async def scenario():
+        async with gateway(session_ttl=0.3,
+                           sweep_interval=0.05) as (gw, client):
+            created = await client.post("/v1/sessions", {"source": source()})
+            session = created.body["session"]
+            assert (await client.get(f"/v1/sessions/{session}")).status == 200
+            await asyncio.sleep(0.8)
+            assert (await client.get(f"/v1/sessions/{session}")).status == 404
+            stats = (await client.get("/v1/stats")).body
+            assert stats["sessions"]["expired"] == 1
+            assert stats["sessions"]["active"] == 0
+            recompile = await client.post(
+                f"/v1/sessions/{session}/recompile", {})
+            assert recompile.status == 404
+
+    asyncio.run(scenario())
+
+
+# HTTP envelope -----------------------------------------------------------------
+
+
+def test_http_error_envelopes():
+    async def scenario():
+        async with gateway() as (gw, client):
+            missing = await client.get("/v1/does-not-exist")
+            assert missing.status == 404
+            wrong_method = await client.get("/v1/decompile")
+            assert wrong_method.status == 405
+            no_source = await client.post("/v1/decompile", {})
+            assert no_source.status == 400
+            bad_defines = await client.post(
+                "/v1/decompile", {"source": source(), "defines": [1, 2]})
+            assert bad_defines.status == 400
+
+            # Raw invalid JSON body straight through the socket.
+            reader, writer = await asyncio.open_connection(
+                client.host, client.port)
+            payload = b"{not json"
+            writer.write(
+                b"POST /v1/decompile HTTP/1.1\r\n"
+                b"Host: x\r\nConnection: close\r\n"
+                b"Content-Length: " + str(len(payload)).encode() + b"\r\n\r\n"
+                + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            assert b"400" in status_line
+            writer.close()
+            await writer.wait_closed()
+
+            stats = (await client.get("/v1/stats")).body
+            assert stats["counters"]["http_404"] == 1
+            assert stats["counters"]["http_400"] == 3
+
+    asyncio.run(scenario())
+
+
+def test_keep_alive_serves_sequential_requests_on_one_connection():
+    async def scenario():
+        async with gateway() as (gw, client):
+            reader, writer = await asyncio.open_connection(
+                client.host, client.port)
+            request = (b"GET /v1/healthz HTTP/1.1\r\n"
+                       b"Host: x\r\nContent-Length: 0\r\n\r\n")
+            for _ in range(3):
+                writer.write(request)
+                await writer.drain()
+                status_line = await reader.readline()
+                assert b"200" in status_line
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n"):
+                        break
+                    name, _, value = line.decode().partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                body = await reader.readexactly(
+                    int(headers["content-length"]))
+                assert json.loads(body)["ok"] is True
+            writer.close()
+            await writer.wait_closed()
+
+    asyncio.run(scenario())

@@ -1,0 +1,93 @@
+"""Tier-1 gateway smoke: boot the real server once, prove the core
+decompile path and the stats surface work, and grep-enforce the
+subsystem's construction discipline.
+
+Marked ``gateway`` so CI lanes can select it with ``-m gateway``; it
+stays fast enough (single inline-pool server, one tiny source) to run
+in the default tier-1 sweep too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.gateway import Gateway, GatewayClient, GatewayConfig
+
+pytestmark = pytest.mark.gateway
+
+SOURCE = """
+#define N 32
+double A[N];
+void kernel() {
+  int i;
+  for (i = 0; i < N; i++) A[i] = 2.0 * (double)i;
+}
+int main() { kernel(); print_double(A[7]); return 0; }
+"""
+
+
+def test_gateway_smoke_decompile_and_stats():
+    deadline = time.monotonic() + 10.0
+
+    async def scenario():
+        instance = Gateway(GatewayConfig(port=0, workers=0))
+        await instance.start()
+        try:
+            client = GatewayClient(instance.host, instance.port)
+            reply = await client.post("/v1/decompile", {"source": SOURCE})
+            assert reply.status == 200
+            assert reply.body["status"] == "ok"
+            assert "kernel" in reply.body["payload"]["text"]
+            stats = await client.get("/v1/stats")
+            assert stats.status == 200
+            assert stats.body["counters"]["decompile_requests"] == 1
+            assert stats.body["counters"]["pipeline_executions"] == 1
+            assert stats.body["uptime_seconds"] > 0
+        finally:
+            await instance.stop()
+
+    asyncio.run(scenario())
+    assert time.monotonic() < deadline, "gateway smoke exceeded 10s budget"
+
+
+def test_gateway_constructs_pipelines_only_at_choke_points():
+    """The gateway must go through its registered choke points.
+
+    ``Gateway.__init__`` (server.py) is the only place allowed to build
+    an ArtifactCache or BatchService, and no gateway module may reach
+    around the service layer by instantiating the decompiler pipeline
+    (Splendid / AnalysisManager / compile_source) directly.  Everything
+    else — sessions, coalescing, limits, telemetry — must borrow those
+    objects, or every cache/quota/telemetry invariant the subsystem
+    advertises silently stops being global.
+    """
+    gateway_dir = Path(__file__).resolve().parent.parent \
+        / "src" / "repro" / "gateway"
+    assert gateway_dir.is_dir()
+
+    owner_only = re.compile(r"(?<![A-Za-z_.])(?:ArtifactCache|BatchService)\(")
+    forbidden = re.compile(
+        r"(?<![A-Za-z_.])(?:Splendid|AnalysisManager|compile_source)\(")
+
+    offenders = []
+    for path in sorted(gateway_dir.rglob("*.py")):
+        text = path.read_text()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if owner_only.search(line) and path.name != "server.py":
+                offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+            if forbidden.search(line):
+                offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "gateway modules must not construct caches/services outside "
+        "Gateway.__init__ or bypass the service layer:\n"
+        + "\n".join(offenders))
+
+    # And server.py itself constructs each exactly once.
+    server_text = (gateway_dir / "server.py").read_text()
+    assert len(re.findall(r"ArtifactCache\(", server_text)) == 1
+    assert len(re.findall(r"BatchService\(", server_text)) == 1

@@ -150,6 +150,59 @@ int main() { print_int(41 + 1); return 0; }
         assert again.cache in ("memory", "disk")
 
 
+class TestConcurrency:
+    """The memory tier is shared by the gateway's event loop and the
+    service's dispatch thread; hammer it from many threads at once and
+    require coherent results plus exact aggregate stats."""
+
+    def test_threaded_get_put_stress(self, tmp_path):
+        import threading
+
+        cache = ArtifactCache(str(tmp_path / "cache"), memory_entries=16)
+        keys = [cache.key_for(f"s{i}", {}, JobConfig()) for i in range(48)]
+        rounds, errors = 40, []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id):
+            try:
+                barrier.wait()
+                for round_no in range(rounds):
+                    for i, key in enumerate(keys):
+                        if (i + round_no + worker_id) % 3 == 0:
+                            cache.put(key, {"i": i})
+                        else:
+                            hit = cache.get(key)
+                            if hit is not None and hit != {"i": i}:
+                                errors.append((key, hit))
+                    if worker_id == 0 and round_no % 10 == 9:
+                        cache.clear_memory()
+            except Exception as exc:   # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        # Memory tier respected its bound throughout.
+        assert len(cache) <= 16
+        # Stats stayed internally consistent: every get was accounted
+        # as exactly one of hit/miss.
+        gets = 0
+        for worker_id in range(8):
+            for round_no in range(rounds):
+                gets += sum(1 for i in range(len(keys))
+                            if (i + round_no + worker_id) % 3 != 0)
+        stats = cache.stats
+        assert stats.memory_hits + stats.disk_hits + stats.misses == gets
+        # Everything written is still readable afterwards.
+        for i, key in enumerate(keys):
+            assert cache.get(key) == {"i": i}
+
+
 class TestCollabSessionCache:
     SOURCE = """
 #define N 40

@@ -59,6 +59,13 @@ def test_cold_then_warm_batch(cache_dir):
     assert cold.report.cache_misses == 3
     assert cold.report.cache_hits == 0
     assert cold.report.worker_restarts == 0
+    # Queue wait is tracked per job and aggregated: on a 2-worker pool
+    # running 3 jobs, at least one job waited for a worker slot.
+    assert all(e.queue_seconds >= 0.0 for e in cold.report.entries)
+    assert cold.report.queue_seconds >= 0.0
+    assert cold.report.run_seconds > 0.0
+    assert cold.report.mean_queue_seconds == pytest.approx(
+        cold.report.queue_seconds / 3)
 
     # A fresh service over the same directory: everything served from
     # the disk tier, nothing executed.
@@ -95,7 +102,11 @@ def test_report_renderers():
     text = batch.report.render_text()
     assert "=== service report ===" in text
     assert "render" in text
+    assert "queue" in text and "ms total" in text
     data = batch.report.to_json()
     assert data["total_jobs"] == 1
     assert data["ok"] == 1
     assert data["jobs"][0]["job"] == "render"
+    assert "queue_seconds" in data and "mean_queue_seconds" in data
+    assert data["run_seconds"] >= data["jobs"][0]["run_seconds"]
+    assert data["jobs"][0]["queue_seconds"] >= 0.0

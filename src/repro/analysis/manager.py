@@ -48,6 +48,7 @@ LOOPS = "loops"
 LIVENESS = "liveness"
 STORAGE = "storage"
 INDUCTION = "induction"
+STRUCTURE = "structure"
 
 #: Canonical names of the built-in module analyses.
 TYPEINFER = "typeinfer"
@@ -325,6 +326,13 @@ def get_storage(function: Function,
     return function_analysis(STORAGE, function, manager)
 
 
+def get_structure(function: Function,
+                  manager: Optional[AnalysisManager] = None) -> object:
+    """The structured region tree (a
+    :class:`repro.structure.structurer.StructuredFunction`)."""
+    return function_analysis(STRUCTURE, function, manager)
+
+
 def get_type_inference(module: Module,
                        manager: Optional[AnalysisManager] = None
                        ) -> TypeInference:
@@ -356,3 +364,16 @@ register_module_analysis(
     TYPEINFER,
     lambda m, am: infer_module_types(
         m, {fn: am.get(STORAGE, fn) for fn in m.defined_functions()}))
+
+
+def _run_structure(fn: Function, am: AnalysisManager) -> object:
+    # Deferred import: repro.structure sits above the analysis layer.
+    # Structuring reads branch conditions and instructions, so it is
+    # deliberately NOT in CFG_ANALYSES.
+    from ..structure.structurer import structure_function
+    return structure_function(fn, loop_info=am.get(LOOPS, fn),
+                              domtree=am.get(DOMTREE, fn),
+                              postdom=am.get(POSTDOMTREE, fn))
+
+
+register_function_analysis(STRUCTURE, _run_structure)

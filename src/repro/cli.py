@@ -64,6 +64,24 @@ def _print_timing(instrumentation) -> None:
         print(instrumentation.report.render_text(), file=sys.stderr)
 
 
+def _print_structuring(splendid, args) -> None:
+    if not getattr(args, "time_passes", False):
+        return
+    stats = splendid.structuring_stats()
+    if stats is None:
+        return
+    matched = ", ".join(f"{key}={count}"
+                        for key, count in sorted(stats.schemas.items())
+                        if count)
+    print(f"[structuring: {stats.functions} functions "
+          f"({stats.fallback_functions} goto fallbacks), "
+          f"{stats.schemas_matched} schemas matched "
+          f"[{matched or 'none'}], {stats.gotos} gotos, "
+          f"{stats.refinements} condition refinements, "
+          f"{stats.irreducible} irreducible components, "
+          f"{stats.seconds * 1000:.2f} ms]", file=sys.stderr)
+
+
 def _parse_defines(items: Optional[List[str]]):
     defines = {}
     for item in items or []:
@@ -106,17 +124,19 @@ def cmd_decompile(args) -> int:
                           enable_reductions=args.reductions,
                           instrumentation=instrumentation)
     if args.tool == "splendid":
+        from .core import Splendid
+        splendid = Splendid(module, args.variant, type_source=args.types,
+                            structurer=args.structurer)
         if args.verify_pragmas:
-            from .core import decompile_checked
             from .lint import render_text
-            result = decompile_checked(module, args.variant,
-                                       type_source=args.types)
+            result = splendid.decompile_checked()
             print(result.text)
             print(render_text(result.diagnostics), file=sys.stderr)
             _print_timing(instrumentation)
+            _print_structuring(splendid, args)
             return 0 if result.ok else 3
-        from .core import decompile
-        print(decompile(module, args.variant, type_source=args.types))
+        print(splendid.decompile_text())
+        _print_structuring(splendid, args)
     else:
         from .decompilers import cbackend, ghidra, rellic
         tool = {"rellic": rellic, "ghidra": ghidra,
@@ -202,7 +222,7 @@ def cmd_batch(args) -> int:
     config = JobConfig(optimize=True, parallelize=not args.sequential,
                        reductions=args.reductions, variant=args.variant,
                        lint=args.lint, engine=args.engine,
-                       memory=args.memory)
+                       memory=args.memory, structurer=args.structurer)
     defines = _parse_defines(args.define)
     try:
         jobs = [Job.from_file(path, defines, config) for path in paths]
@@ -291,14 +311,17 @@ REPORTS = {
     "fig7": ("BLEU naturalness", "fig7"),
     "fig8": ("variable restoration", "fig8"),
     "fig9": ("collaborative parallelization", "fig9"),
+    "structure": ("structure quality: legacy vs region structurer",
+                  "structure"),
 }
 
 
 def cmd_report(args) -> int:
     from .eval import (figure6_speedups, figure7_bleu, figure8_restoration,
                        figure9_collaboration, render_figure6, render_figure7,
-                       render_figure8, render_figure9, render_table3,
-                       render_table4, table3_loops, table4_loc)
+                       render_figure8, render_figure9, render_structure,
+                       render_table3, render_table4, structure_quality,
+                       table3_loops, table4_loc)
     name = args.name
     benchmarks = args.benchmark or None
     if args.engine is not None:
@@ -330,6 +353,8 @@ def cmd_report(args) -> int:
         print(render_table3(table3_loops(benchmarks)))
     elif name == "table4":
         print(render_table4(table4_loc(benchmarks)))
+    elif name == "structure":
+        print(render_structure(structure_quality(benchmarks)))
     else:
         print(f"unknown report {name!r}; choose from "
               f"{sorted(k for k in REPORTS if k != 'table1')}",
@@ -406,6 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--verify-pragmas", action="store_true",
                        help="lint every emitted pragma; report to stderr "
                             "and exit 3 on errors")
+    p_dec.add_argument("--structurer", default="legacy",
+                       choices=("legacy", "region"),
+                       help="control-flow structuring engine: the legacy "
+                            "pattern matcher or the region/schema engine "
+                            "(handles arbitrary, even irreducible, CFGs)")
     add_types(p_dec)
     add_time_passes(p_dec)
     p_dec.set_defaults(func=cmd_decompile)
@@ -464,6 +494,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--sequential", action="store_true",
                          help="skip the parallelizer")
     p_batch.add_argument("--reductions", action="store_true")
+    p_batch.add_argument("--structurer", default="legacy",
+                         choices=("legacy", "region"),
+                         help="control-flow structuring engine")
     p_batch.add_argument("--lint", action="store_true",
                          help="verify every emitted pragma per job")
     p_batch.add_argument("-o", "--out-dir", default=None,

@@ -67,17 +67,24 @@ class Splendid:
     """SPLENDID: parallel LLVM-IR -> portable, natural C/OpenMP."""
 
     def __init__(self, module: Module, variant: str = "full",
-                 analysis_manager=None, type_source: str = "debug"):
+                 analysis_manager=None, type_source: str = "debug",
+                 structurer: str = "legacy"):
         from ..analysis.manager import AnalysisManager
         if type_source not in ("debug", "recovered", "none"):
             raise ValueError(
                 f"unknown type source {type_source!r}; "
                 f"choose from ('debug', 'recovered', 'none')")
+        if structurer not in ("legacy", "region"):
+            raise ValueError(
+                f"unknown structurer {structurer!r}; "
+                f"choose from ('legacy', 'region')")
         self.module = module
         self.variant = variant
         self.type_source = type_source
+        self.structurer = structurer
         self.options = replace(options_for(variant),
-                               type_source=type_source)
+                               type_source=type_source,
+                               structurer=structurer)
         self.analysis = analysis_manager or AnalysisManager()
         self._info_cache: Dict[str, MicrotaskInfo] = {}
         # Debug metadata is an *input* only in 'debug' mode; under
@@ -151,6 +158,16 @@ class Splendid:
                     stats.restored += 1
         return stats
 
+    def structuring_stats(self):
+        """Module-wide control-flow structuring counters (see
+        :class:`repro.structure.StructuringStats`) from the last run."""
+        if not self.decompiler.decompiled:
+            raise ValueError(
+                "structuring_stats() called before decompile(): run "
+                "decompile(), decompile_text(), or decompile_checked() "
+                "first so the structuring counters exist")
+        return self.decompiler.structuring_stats()
+
 
 @dataclass
 class DecompilationResult:
@@ -166,19 +183,23 @@ class DecompilationResult:
 
 
 def decompile(module: Module, variant: str = "full",
-              type_source: str = "debug") -> str:
+              type_source: str = "debug",
+              structurer: str = "legacy") -> str:
     """Decompile a parallel IR module to C/OpenMP source text."""
-    return Splendid(module, variant,
-                    type_source=type_source).decompile_text()
+    return Splendid(module, variant, type_source=type_source,
+                    structurer=structurer).decompile_text()
 
 
 def decompile_unit(module: Module, variant: str = "full",
-                   type_source: str = "debug") -> ast.TranslationUnit:
-    return Splendid(module, variant, type_source=type_source).decompile()
+                   type_source: str = "debug",
+                   structurer: str = "legacy") -> ast.TranslationUnit:
+    return Splendid(module, variant, type_source=type_source,
+                    structurer=structurer).decompile()
 
 
 def decompile_checked(module: Module, variant: str = "full",
-                      type_source: str = "debug") -> DecompilationResult:
+                      type_source: str = "debug",
+                      structurer: str = "legacy") -> DecompilationResult:
     """Decompile with pragma verification (see `Splendid.decompile_checked`)."""
-    return Splendid(module, variant,
-                    type_source=type_source).decompile_checked()
+    return Splendid(module, variant, type_source=type_source,
+                    structurer=structurer).decompile_checked()

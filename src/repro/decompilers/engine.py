@@ -39,6 +39,13 @@ class DecompilerOptions:
 
     name: str = "generic"
     structure_cfg: bool = True
+    # Which structuring engine renders the CFG:
+    #   'legacy' — the original pattern-matcher for the shapes our own
+    #              -O2 pipeline emits (kept verbatim as the reference);
+    #   'region' — the repro.structure region/schema engine, which
+    #              structures arbitrary (even irreducible) IR with
+    #              goto strictly as a counted last resort.
+    structurer: str = "legacy"
     construct_for_loops: bool = False
     detransform_rotation: bool = False   # guard-check elimination
     explicit_parallelism: bool = False   # handled by an installed hook
@@ -251,9 +258,13 @@ class ModuleDecompiler:
             self.group_sizes[group] = self.group_sizes.get(group, 0) + 1
         self.skip_functions = skip_functions or set()
         self.emitters: List["FunctionEmitter"] = []
+        self.structuring = None  # StructuringStats after decompile()
+        self._fallback_functions: List[str] = []
 
     def decompile(self) -> ast.TranslationUnit:
         self.emitters = []
+        self.structuring = None
+        self._fallback_functions = []
         unit = ast.TranslationUnit()
         for var in self.module.globals.values():
             reshape = self.global_reshapes.get(var.name)
@@ -274,20 +285,56 @@ class ModuleDecompiler:
                     continue  # consumed into pragmas
                 unit.functions.append(_declaration_ast(function))
                 continue
-            emitter = FunctionEmitter(function, self.options, self)
             try:
+                emitter = FunctionEmitter(function, self.options, self)
                 definition = emitter.emit()
-            except DecompileError:
+            except (DecompileError, RecursionError):
                 # Structuring failed (multi-exit or irreducible loop):
                 # fall back to goto-based emission for this function,
-                # like real decompilers do.
-                fallback = replace(self.options, structure_cfg=False)
+                # like real decompilers do.  The fallback must also drop
+                # the structure-dependent passes: a planned for-loop
+                # consumes the IV machinery, but goto emission never
+                # emits the `for` that would reconstitute it.
+                fallback = replace(self.options, structure_cfg=False,
+                                   construct_for_loops=False,
+                                   detransform_rotation=False,
+                                   structurer="legacy")
                 emitter = FunctionEmitter(function, fallback, self)
                 definition = emitter.emit()
+                self._fallback_functions.append(function.name)
             self.emitters.append(emitter)
             unit.functions.append(definition)
+            self._collect_structuring(emitter, definition)
         self.decompiled = True
         return unit
+
+    def _collect_structuring(self, emitter: "FunctionEmitter",
+                             definition: ast.FunctionDef) -> None:
+        """Aggregate structuring counters across the module's emitters
+        (region engine and goto fallbacks alike)."""
+        if self.structuring is None:
+            from ..structure.structurer import StructuringStats
+            self.structuring = StructuringStats()
+        if emitter.structured is not None:
+            self.structuring.merge(emitter.structured.stats)
+            self.structuring.schemas["guard_elision"] = \
+                self.structuring.schemas.get("guard_elision", 0) \
+                + emitter.guard_elisions
+            return
+        if not emitter.options.structure_cfg and definition.body is not None:
+            # A goto-fallback function: count what the emission produced.
+            self.structuring.functions += 1
+            self.structuring.fallback_functions += 1
+            for stmt in ast.walk_stmts(definition.body):
+                if isinstance(stmt, ast.Goto):
+                    self.structuring.gotos += 1
+                elif isinstance(stmt, ast.Label):
+                    self.structuring.labels += 1
+
+    def structuring_stats(self):
+        """Module-wide :class:`repro.structure.StructuringStats` from the
+        last :meth:`decompile` run (None before it)."""
+        return self.structuring
 
     def decompile_text(self) -> str:
         from ..minic.printer import print_unit
@@ -324,6 +371,14 @@ class FunctionEmitter:
         self.module_ctx = module_ctx
         self.loop_info = get_loop_info(function, module_ctx.analysis)
         self.postdom = get_postdomtree(function, module_ctx.analysis)
+        if options.structurer not in ("legacy", "region"):
+            raise ValueError(
+                f"unknown structurer {options.structurer!r} "
+                "(expected 'legacy' or 'region')")
+        self.structured = None
+        if options.structure_cfg and options.structurer == "region":
+            from ..analysis.manager import STRUCTURE
+            self.structured = module_ctx.analysis.get(STRUCTURE, function)
         self.typeinfo = module_ctx.typeinfo
         self.storage = None
         self._reshapes: Dict[object, _Reshape] = {}   # StorageRoot -> reshape
@@ -343,6 +398,7 @@ class FunctionEmitter:
         self._cross_block: Set[Instruction] = set()
         self._emitted_assign: Set[Instruction] = set()
         self._counted_plan: Dict[BasicBlock, CountedLoop] = {}
+        self.guard_elisions = 0
         self._reserve_names()
         self._index_positions()
         self._plan_placement()
@@ -364,9 +420,61 @@ class FunctionEmitter:
             counted = counted_loops[loop] if loop in counted_loops \
                 else analyze_counted_loop(loop)
             if counted is not None and self._for_constructible(counted):
+                if self.structured is not None \
+                        and not self._for_upgrade_ok(counted):
+                    continue
+                if self._step_escapes_loop(counted):
+                    continue
                 self._counted_plan[loop.header] = counted
                 self._mark_for_consumed(counted)
                 self._fold_iv_merge_phis(counted)
+
+    def _step_escapes_loop(self, counted: CountedLoop) -> bool:
+        """True when the increment's value is read after the loop.
+
+        The for-upgrade rewrites the exit test from `next COND bound` to
+        `iv COND bound` with the step folded into the for-header, so any
+        in-body spelling of the increment (`iv + step`) is off by one
+        step once the loop is over — the IV has already absorbed the
+        final bump.  Keep such loops as while/do-while, where the step
+        stays an explicit assignment with the right lifetime."""
+        loop = counted.loop
+        for user in self._real_users(counted.step_inst):
+            if user is counted.phi or user is counted.compare:
+                continue
+            if user.parent is not None and user.parent not in loop.blocks:
+                return True
+        return False
+
+    def _for_upgrade_ok(self, counted: CountedLoop) -> bool:
+        """Region mode admits a do-while -> for upgrade only when it is
+        provably sound: the region tree rendered the loop as a rotated
+        do-while whose header/latch are not goto targets (a label before
+        `for` would re-run the init), and the first iteration's test is
+        proven — either constant-folded or guaranteed by guards on every
+        loop entry (a `for` tests before the first iteration; the
+        do-while body runs once regardless)."""
+        loop = counted.loop
+        header, latch = loop.header, loop.latch
+        node = self.structured.loop_nodes.get(header)
+        if node is None or node.shape != "dowhile":
+            return False
+        if header in self.structured.goto_targets \
+                or latch in self.structured.goto_targets:
+            return False
+        if _entry_test_const_true(counted):
+            return True
+        entries = [p for p in header.predecessors if p not in loop.blocks]
+        if not entries:
+            return False
+        for pred in entries:
+            term = pred.terminator
+            if not isinstance(term, CondBranch) \
+                    or not isinstance(term.condition, ICmp):
+                return False
+            if not self._guard_equivalent(term, header, counted):
+                return False
+        return True
 
     def _fold_iv_merge_phis(self, counted: CountedLoop) -> None:
         """Rotation leaves merge phis over header computations of the IV
@@ -870,10 +978,15 @@ class FunctionEmitter:
                 self.names.assigned[arg] = param_name
             params.append(ast.Param(self.decl_ctype(arg), param_name))
 
-        if self.options.structure_cfg:
-            body_stmts = self.emit_region(self.function.entry, None, None)
-        else:
+        if not self.options.structure_cfg:
             body_stmts = self.emit_goto_body()
+        elif self.structured is not None:
+            from ..structure.lower import StructuredLowering
+            lowering = StructuredLowering(self, self.structured)
+            body_stmts = lowering.lower()
+            self.guard_elisions = lowering.guard_elisions
+        else:
+            body_stmts = self.emit_region(self.function.entry, None, None)
         decls = [self.top_decls[name] for name in self.top_decls]
         body = ast.Compound(decls + body_stmts)
         return ast.FunctionDef(self.ctype(self.function.return_type),
@@ -934,6 +1047,7 @@ class FunctionEmitter:
     def _phi_edge_assigns(self, block: BasicBlock) -> List[ast.Stmt]:
         stmts: List[ast.Stmt] = []
         for succ in block.successors:
+            pending: List[tuple] = []
             for phi in succ.phis():
                 if phi in self.skip:
                     continue
@@ -945,8 +1059,45 @@ class FunctionEmitter:
                 if isinstance(value_expr, ast.Ident) \
                         and value_expr.name == name:
                     continue  # x = x after name sharing: drop
+                pending.append((name, value_expr))
+            stmts.extend(self._sequence_parallel_copies(pending))
+        return stmts
+
+    def _sequence_parallel_copies(self, pending: List[tuple]) -> List[ast.Stmt]:
+        """Serialize one edge's phi copies.
+
+        The phis of a block read their operands simultaneously, so a
+        naive statement-per-phi emission loses a value whenever one
+        phi's incoming names another phi of the same block (e.g. the
+        rotated gcd loop: ``b' = a %% b; a' = b``).  Emit copies whose
+        destination nobody else still reads first, and break pure swap
+        cycles by parking one old value in a temporary."""
+        stmts: List[ast.Stmt] = []
+        while pending:
+            ready = None
+            for index, (name, _) in enumerate(pending):
+                if not any(name in _expr_idents(other_expr)
+                           for other_index, (_, other_expr)
+                           in enumerate(pending) if other_index != index):
+                    ready = index
+                    break
+            if ready is None:
+                # Every destination is still read by a peer: a swap
+                # cycle.  Save one old value, redirect its readers.
+                name, _ = pending[0]
+                temp = self.names._unique(f"{name}_old")
+                self.top_decls[temp] = ast.Declaration(
+                    self.top_decls[name].ctype, temp)
                 stmts.append(ast.ExprStmt(ast.Assign(
-                    "=", ast.Ident(name), value_expr)))
+                    "=", ast.Ident(temp), ast.Ident(name))))
+                pending = [(other_name, _replace_ident(other_expr, name, temp)
+                            if other_index else other_expr)
+                           for other_index, (other_name, other_expr)
+                           in enumerate(pending)]
+                ready = 0
+            name, value_expr = pending.pop(ready)
+            stmts.append(ast.ExprStmt(ast.Assign(
+                "=", ast.Ident(name), value_expr)))
         return stmts
 
     # --- Structured emission.
@@ -1139,7 +1290,8 @@ class FunctionEmitter:
         return iv_name
 
     def emit_for_loop(self, counted: CountedLoop,
-                      ctx: _LoopContext) -> ast.Stmt:
+                      ctx: Optional[_LoopContext],
+                      body_stmts: Optional[List[ast.Stmt]] = None) -> ast.Stmt:
         loop = counted.loop
         iv_name = self._mark_for_consumed(counted)
 
@@ -1160,7 +1312,8 @@ class FunctionEmitter:
             step = ast.Assign("=", ast.Ident(iv_name),
                               ast.Binary("-", ast.Ident(iv_name),
                                          ast.IntLit(-step_value)))
-        body = self._loop_body_stmts(loop, ctx)
+        body = body_stmts if body_stmts is not None \
+            else self._loop_body_stmts(loop, ctx)
         return ast.For(init, condition, step, ast.Compound(body))
 
     def emit_do_while(self, loop: Loop, ctx: _LoopContext) -> ast.Stmt:
@@ -1288,6 +1441,58 @@ class FunctionEmitter:
 
 def _label(block: BasicBlock) -> str:
     return sanitize_identifier(f"bb_{block.name}")
+
+
+def _expr_idents(expr: ast.Expr) -> Set[str]:
+    return {node.name for node in ast.walk_exprs(expr)
+            if isinstance(node, ast.Ident)}
+
+
+def _replace_ident(expr: ast.Expr, old: str, new: str) -> ast.Expr:
+    """Copy `expr` with every ``Ident(old)`` read renamed to `new`.
+
+    Copy-on-write: expression nodes can be shared with other statement
+    trees, so the original is never mutated."""
+    if isinstance(expr, ast.Ident):
+        return ast.Ident(new) if expr.name == old else expr
+    if isinstance(expr, ast.Unary):
+        return replace(expr, operand=_replace_ident(expr.operand, old, new))
+    if isinstance(expr, ast.Binary):
+        return replace(expr, lhs=_replace_ident(expr.lhs, old, new),
+                       rhs=_replace_ident(expr.rhs, old, new))
+    if isinstance(expr, ast.Conditional):
+        return replace(expr,
+                       condition=_replace_ident(expr.condition, old, new),
+                       if_true=_replace_ident(expr.if_true, old, new),
+                       if_false=_replace_ident(expr.if_false, old, new))
+    if isinstance(expr, ast.CallExpr):
+        return replace(expr, args=[_replace_ident(arg, old, new)
+                                   for arg in expr.args])
+    if isinstance(expr, ast.Index):
+        return replace(expr, base=_replace_ident(expr.base, old, new),
+                       index=_replace_ident(expr.index, old, new))
+    if isinstance(expr, ast.CastExpr):
+        return replace(expr, operand=_replace_ident(expr.operand, old, new))
+    if isinstance(expr, ast.Comma):
+        return replace(expr, parts=[_replace_ident(part, old, new)
+                                    for part in expr.parts])
+    return expr
+
+
+def _entry_test_const_true(counted: CountedLoop) -> bool:
+    """Constant-fold the for-loop's first test ``start PRED bound``."""
+    start, bound = counted.start, counted.bound
+    if not isinstance(start, ConstantInt) \
+            or not isinstance(bound, ConstantInt):
+        return False
+    a, b = start.value, bound.value
+    pred = counted.predicate
+    if pred.startswith("u") and (a < 0 or b < 0):
+        return False  # unsigned wraparound: don't reason about it
+    table = {"eq": a == b, "ne": a != b,
+             "slt": a < b, "sle": a <= b, "sgt": a > b, "sge": a >= b,
+             "ult": a < b, "ule": a <= b, "ugt": a > b, "uge": a >= b}
+    return table.get(pred, False)
 
 
 def _is_zero(value: Value) -> bool:

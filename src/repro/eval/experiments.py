@@ -281,3 +281,52 @@ def figure9_collaboration(machine: Optional[MachineModel] = None) -> Figure9:
             collaborative=t_seq / t_collab,
             edit_loc=bench.collab_edit_loc))
     return Figure9(rows)
+
+
+# ---------------------------------------------------------------------------
+# Structure quality: gotos, nesting, condition complexity per structurer
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StructureRow:
+    name: str
+    # structurer name -> StructurednessReport
+    reports: Dict[str, "StructurednessReport"]
+
+    def gotos(self, structurer: str) -> int:
+        return self.reports[structurer].gotos
+
+
+@dataclass
+class StructureTable:
+    rows: List["StructureRow"]
+    structurers: tuple = ("legacy", "region")
+
+    def total_gotos(self, structurer: str) -> int:
+        return sum(r.gotos(structurer) for r in self.rows)
+
+    def goto_free(self, structurer: str) -> bool:
+        return self.total_gotos(structurer) == 0
+
+
+def structure_quality(benchmarks: Optional[List[str]] = None,
+                      variant: str = "full") -> StructureTable:
+    """Structuredness of SPLENDID output under each structuring engine.
+
+    Decompiles every benchmark's parallel module twice (legacy
+    pattern-matching structurer vs. the region/schema engine) and
+    measures gotos, nesting depth, and condition complexity of each.
+    """
+    from ..core import Splendid
+    from ..metrics import measure_structuredness
+    from .pipeline import build_parallel
+    rows = []
+    for bench in _suite(benchmarks):
+        parallel, _ = build_parallel(bench)
+        reports = {}
+        for structurer in ("legacy", "region"):
+            unit = Splendid(parallel, variant,
+                            structurer=structurer).decompile()
+            reports[structurer] = measure_structuredness(unit)
+        rows.append(StructureRow(bench.name, reports))
+    return StructureTable(rows)

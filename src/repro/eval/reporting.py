@@ -110,3 +110,19 @@ def render_figure9(result: Figure9) -> str:
     return _table(
         ("benchmark", "manual", "compiler", "collab", "edit LoC"), rows,
         "Figure 9: collaborative parallelization speedups")
+
+
+def render_structure(result: "StructureTable") -> str:
+    rows = []
+    for r in result.rows:
+        legacy, region = r.reports["legacy"], r.reports["region"]
+        rows.append((r.name, legacy.gotos, region.gotos,
+                     legacy.max_nesting_depth, region.max_nesting_depth,
+                     f"{legacy.avg_condition_ops:.2f}",
+                     f"{region.avg_condition_ops:.2f}"))
+    rows.append(("Total", result.total_gotos("legacy"),
+                 result.total_gotos("region"), "", "", "", ""))
+    return _table(
+        ("benchmark", "gotos(L)", "gotos(R)", "nest(L)", "nest(R)",
+         "cond(L)", "cond(R)"),
+        rows, "Structure quality: legacy vs region structurer")

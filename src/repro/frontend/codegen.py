@@ -52,7 +52,12 @@ def _decl_ctype(decl: ast.Declaration) -> ast.CType:
 
 
 class _LoopContext:
-    def __init__(self, break_block: BasicBlock, continue_block: BasicBlock):
+    """A `break` target plus (for loops, not switches) a `continue`
+    target.  A switch pushes a context with ``continue_block=None`` so
+    `break` binds to it while `continue` keeps reaching the loop."""
+
+    def __init__(self, break_block: BasicBlock,
+                 continue_block: Optional[BasicBlock]):
         self.break_block = break_block
         self.continue_block = continue_block
 
@@ -71,6 +76,8 @@ class FunctionLowering:
         self.scopes: List[List[str]] = []
         self.loop_stack: List[_LoopContext] = []
         self.block_counter = 0
+        self.label_blocks: Dict[str, BasicBlock] = {}
+        self.defined_labels: set = set()
 
     # Block helpers ----------------------------------------------------------
 
@@ -113,13 +120,39 @@ class FunctionLowering:
 
         self.lower_stmt(self.fn_ast.body)
 
+        for name in self.label_blocks:
+            if name not in self.defined_labels:
+                raise CodegenError(f"goto to undefined label '{name}'")
         if not self._terminated():
             if self.function.return_type.is_void:
                 self.builder.ret()
             else:
                 self.builder.ret(_zero_of(self.function.return_type))
+        self._prune_unreachable_blocks()
         self.function.assign_names()
         return self.function
+
+    def _prune_unreachable_blocks(self) -> None:
+        """Drop blocks unreachable from the entry.
+
+        break/goto/return lowering parks the builder in fresh "dead"
+        blocks; any branch later emitted from one would add a CFG edge
+        that pruned-SSA construction never fills in, so the whole dead
+        region goes away before the function is handed out.
+        """
+        reachable = set()
+        work = [self.function.entry]
+        while work:
+            block = work.pop()
+            if block in reachable:
+                continue
+            reachable.add(block)
+            work.extend(block.successors)
+        for block in list(self.function.blocks):
+            if block not in reachable:
+                for inst in list(block.instructions):
+                    inst.erase()
+                self.function.remove_block(block)
 
     # Scopes ------------------------------------------------------------------------
 
@@ -140,9 +173,11 @@ class FunctionLowering:
     # Statements ----------------------------------------------------------------------
 
     def lower_stmt(self, stmt: ast.Stmt) -> None:
-        if self._terminated() and not isinstance(stmt, ast.Compound):
+        if self._terminated() \
+                and not isinstance(stmt, (ast.Compound, ast.Label)):
             # Unreachable code after return/break: drop it, like clang -O0
-            # does after trivial CFG cleanup.
+            # does after trivial CFG cleanup.  Labels stay: a goto can
+            # reach them from anywhere.
             return
         if isinstance(stmt, ast.Compound):
             if any(p.directive == "parallel" for p in stmt.pragmas):
@@ -190,10 +225,28 @@ class FunctionLowering:
             self.builder.br(self.loop_stack[-1].break_block)
             self.builder.position_at_end(self.new_block("dead"))
         elif isinstance(stmt, ast.Continue):
-            if not self.loop_stack:
+            target = None
+            for ctx in reversed(self.loop_stack):
+                if ctx.continue_block is not None:
+                    target = ctx.continue_block
+                    break
+            if target is None:
                 raise CodegenError("'continue' outside of a loop")
-            self.builder.br(self.loop_stack[-1].continue_block)
+            self.builder.br(target)
             self.builder.position_at_end(self.new_block("dead"))
+        elif isinstance(stmt, ast.Switch):
+            self._lower_switch(stmt)
+        elif isinstance(stmt, ast.Goto):
+            self.builder.br(self._label_block(stmt.label))
+            self.builder.position_at_end(self.new_block("dead"))
+        elif isinstance(stmt, ast.Label):
+            if stmt.name in self.defined_labels:
+                raise CodegenError(f"duplicate label '{stmt.name}'")
+            self.defined_labels.add(stmt.name)
+            block = self._label_block(stmt.name)
+            if not self._terminated():
+                self.builder.br(block)
+            self.builder.position_at_end(block)
         elif isinstance(stmt, ast.PragmaStmt):
             # Source-level pragmas (e.g. omp barrier in reference code) are
             # lowered by the OpenMP lowering driver, not here.
@@ -302,6 +355,59 @@ class FunctionLowering:
         condition = self._lower_condition(stmt.condition)
         self.builder.cond_br(condition, body_block, end_block)
 
+        self.builder.position_at_end(end_block)
+
+    def _label_block(self, name: str) -> BasicBlock:
+        block = self.label_blocks.get(name)
+        if block is None:
+            self.block_counter += 1
+            block = self.function.append_block(
+                f"label.{name}{self.block_counter}")
+            self.label_blocks[name] = block
+        return block
+
+    def _lower_switch(self, stmt: ast.Switch) -> None:
+        control = self.lower_expr(stmt.control)
+        end_block = self.new_block("switch.end")
+        body_blocks = [self.new_block("switch.case") for _ in stmt.cases]
+        default_target = end_block
+        for case, body in zip(stmt.cases, body_blocks):
+            if case.value is None:
+                default_target = body
+
+        # Dispatch: an eq-compare chain, one test per value label.
+        for index, case in enumerate(stmt.cases):
+            if case.value is None:
+                continue
+            compare = self.builder.icmp(
+                "eq", control, const_int(case.value, control.type), "swcmp")
+            next_test = self.new_block("switch.next")
+            self.builder.cond_br(compare, body_blocks[index], next_test)
+            self.builder.position_at_end(next_test)
+        self.builder.br(default_target)
+
+        saved = dict(self.locals)
+        self.scopes.append([])
+        self.loop_stack.append(_LoopContext(end_block, None))
+        for index, case in enumerate(stmt.cases):
+            self.builder.position_at_end(body_blocks[index])
+            for child in case.body:
+                self.lower_stmt(child)
+            if not self._terminated():
+                if self.builder.block is not body_blocks[index] \
+                        and not self.builder.block.predecessors:
+                    # Dead continuation after a break/return inside the
+                    # case; a branch from it would add a bogus edge that
+                    # pruned-SSA phi construction never fills in.
+                    self.builder.unreachable()
+                else:
+                    # C fallthrough into the next case body (or out).
+                    following = (body_blocks[index + 1]
+                                 if index + 1 < len(body_blocks) else end_block)
+                    self.builder.br(following)
+        self.loop_stack.pop()
+        self.scopes.pop()
+        self.locals = saved
         self.builder.position_at_end(end_block)
 
     # Expressions ----------------------------------------------------------------------

@@ -383,6 +383,15 @@ class Gateway:
             self.stats.bump("degraded_results")
         elif status == "failed":
             self.stats.bump("failed_results")
+        structuring = payload.get("structuring") if payload else None
+        if structuring:
+            self.stats.bump("structure_functions",
+                            structuring.get("functions", 0))
+            self.stats.bump("structure_gotos", structuring.get("gotos", 0))
+            self.stats.bump("structure_schemas",
+                            structuring.get("schemas_matched", 0))
+            self.stats.bump("structure_fallbacks",
+                            structuring.get("fallback_functions", 0))
         terminal = {"status": status, "cache": cache}
         if error:
             terminal["error"] = error

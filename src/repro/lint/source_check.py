@@ -291,6 +291,10 @@ def _visit(fn_name: str, stmt: ast.Stmt, report: LintReport) -> None:
             _visit(fn_name, stmt.else_body, report)
     elif isinstance(stmt, (ast.While, ast.DoWhile)):
         _visit(fn_name, stmt.body, report)
+    elif isinstance(stmt, ast.Switch):
+        for case in stmt.cases:
+            for child in case.body:
+                _visit(fn_name, child, report)
 
 
 def _check_parallel_region(fn_name: str, region: ast.Compound,

@@ -1,12 +1,15 @@
-"""repro.metrics — naturalness metrics: BLEU-4, LoC, variable restoration."""
+"""repro.metrics — naturalness metrics: BLEU-4, LoC, structuredness,
+variable restoration."""
 
 from .bleu import BleuReport, bleu, bleu_score, bleu_tokens, modified_precision, ngrams
 from .loc import count_loc, parallel_representation_loc
+from .structuredness import StructurednessReport, measure_structuredness
 from .tokenize_c import tokenize_c
 
 __all__ = [
     "BleuReport", "bleu", "bleu_score", "bleu_tokens",
     "modified_precision", "ngrams",
     "count_loc", "parallel_representation_loc",
+    "StructurednessReport", "measure_structuredness",
     "tokenize_c",
 ]

@@ -1,0 +1,133 @@
+"""Structuredness metrics for decompiled output.
+
+A decompiler can always fall back to gotos, so "it recompiles" says
+nothing about readability.  This module quantifies how *structured* the
+emitted C is: how many gotos/labels survived structuring, how deeply
+control flow nests, and how complex the recovered branch conditions
+are (boolean connectives per condition — the price of condition
+refinement folding short-circuit chains back into one expression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from ..minic import c_ast as ast
+
+
+@dataclass
+class StructurednessReport:
+    """Per-unit structure quality counters."""
+
+    functions: int = 0
+    statements: int = 0
+    gotos: int = 0
+    labels: int = 0
+    max_nesting_depth: int = 0
+    conditions: int = 0
+    max_condition_ops: int = 0
+    total_condition_ops: int = 0
+    loops: int = 0
+    branches: int = 0
+    switches: int = 0
+    per_function: Dict[str, int] = field(default_factory=dict)  # gotos
+
+    @property
+    def goto_free(self) -> bool:
+        return self.gotos == 0
+
+    @property
+    def avg_condition_ops(self) -> float:
+        return self.total_condition_ops / self.conditions \
+            if self.conditions else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "functions": self.functions,
+            "statements": self.statements,
+            "gotos": self.gotos,
+            "labels": self.labels,
+            "goto_free": self.goto_free,
+            "max_nesting_depth": self.max_nesting_depth,
+            "conditions": self.conditions,
+            "max_condition_ops": self.max_condition_ops,
+            "avg_condition_ops": round(self.avg_condition_ops, 3),
+            "loops": self.loops,
+            "branches": self.branches,
+            "switches": self.switches,
+        }
+
+
+def _condition_ops(expr: ast.Expr) -> int:
+    """Boolean connectives (&&, ||, !) in one condition expression."""
+    if isinstance(expr, ast.Unary):
+        return (1 if expr.op == "!" else 0) + _condition_ops(expr.operand)
+    if isinstance(expr, ast.Binary):
+        own = 1 if expr.op in ("&&", "||") else 0
+        return own + _condition_ops(expr.lhs) + _condition_ops(expr.rhs)
+    if isinstance(expr, ast.Conditional):
+        return (_condition_ops(expr.condition) + _condition_ops(expr.if_true)
+                + _condition_ops(expr.if_false))
+    return 0
+
+
+def measure_structuredness(
+        unit_or_text: Union[str, ast.TranslationUnit]) -> StructurednessReport:
+    """Measure structure quality of decompiled C (text or parsed unit)."""
+    if isinstance(unit_or_text, str):
+        from ..minic.parser import parse
+        unit = parse(unit_or_text)
+    else:
+        unit = unit_or_text
+    report = StructurednessReport()
+    for function in unit.functions:
+        if function.is_declaration or function.body is None:
+            continue
+        report.functions += 1
+        before = report.gotos
+        _measure_stmt(function.body, 0, report)
+        report.per_function[function.name] = report.gotos - before
+    return report
+
+
+def _note_condition(expr: ast.Expr, report: StructurednessReport) -> None:
+    ops = _condition_ops(expr)
+    report.conditions += 1
+    report.total_condition_ops += ops
+    report.max_condition_ops = max(report.max_condition_ops, ops)
+
+
+def _measure_stmt(stmt: ast.Stmt, depth: int,
+                  report: StructurednessReport) -> None:
+    report.statements += 1
+    report.max_nesting_depth = max(report.max_nesting_depth, depth)
+    if isinstance(stmt, ast.Compound):
+        # A compound introduces no nesting of its own: its parent
+        # construct already counted the level.
+        for child in stmt.body:
+            _measure_stmt(child, depth, report)
+    elif isinstance(stmt, ast.If):
+        report.branches += 1
+        _note_condition(stmt.condition, report)
+        _measure_stmt(stmt.then_body, depth + 1, report)
+        if stmt.else_body is not None:
+            _measure_stmt(stmt.else_body, depth + 1, report)
+    elif isinstance(stmt, ast.For):
+        report.loops += 1
+        if stmt.condition is not None:
+            _note_condition(stmt.condition, report)
+        _measure_stmt(stmt.body, depth + 1, report)
+    elif isinstance(stmt, (ast.While, ast.DoWhile)):
+        report.loops += 1
+        _note_condition(stmt.condition, report)
+        _measure_stmt(stmt.body, depth + 1, report)
+    elif isinstance(stmt, ast.Switch):
+        report.switches += 1
+        for case in stmt.cases:
+            for child in case.body:
+                _measure_stmt(child, depth + 1, report)
+    elif isinstance(stmt, ast.Goto):
+        report.gotos += 1
+    elif isinstance(stmt, ast.Label):
+        report.labels += 1

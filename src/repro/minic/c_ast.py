@@ -289,6 +289,21 @@ class Label(Stmt):
 
 
 @dataclass
+class Case:
+    """One ``case`` (or ``default`` when ``value`` is None) of a switch.
+    The body is the statement list up to the next label; fallthrough is
+    represented by a body that does not end in a jump."""
+    value: Optional[int]
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    control: Expr
+    cases: List[Case] = field(default_factory=list)
+
+
+@dataclass
 class PragmaStmt(Stmt):
     """A standalone pragma (e.g. `#pragma omp barrier`)."""
     pragma: OmpPragma
@@ -353,6 +368,10 @@ def walk_stmts(stmt: Stmt):
         yield from walk_stmts(stmt.body)
     elif isinstance(stmt, (While, DoWhile)):
         yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, Switch):
+        for case in stmt.cases:
+            for child in case.body:
+                yield from walk_stmts(child)
 
 
 def walk_exprs(node):
@@ -393,5 +412,7 @@ def walk_exprs(node):
                 exprs = [stmt.condition]
             elif isinstance(stmt, Return) and stmt.value is not None:
                 exprs = [stmt.value]
+            elif isinstance(stmt, Switch):
+                exprs = [stmt.control]
             for expr in exprs:
                 yield from walk_exprs(expr)

@@ -253,6 +253,8 @@ class Parser:
             return self._parse_while()
         if token.is_keyword("do"):
             return self._parse_do_while()
+        if token.is_keyword("switch"):
+            return self._parse_switch()
         if token.is_keyword("return"):
             self.advance()
             value = None
@@ -333,6 +335,33 @@ class Parser:
         self.expect_op(")")
         body = self._parse_statement()
         return ast.For(init, condition, step, body)
+
+    def _parse_switch(self) -> ast.Switch:
+        self.advance()
+        self.expect_op("(")
+        control = self._parse_expression()
+        self.expect_op(")")
+        self.expect_op("{")
+        cases: List[ast.Case] = []
+        while not self.current.is_op("}"):
+            if self.current.kind == "eof":
+                raise ParseError("unterminated switch", self.current)
+            if self.current.is_keyword("case"):
+                self.advance()
+                value = self._parse_constant_expression()
+                self.expect_op(":")
+                cases.append(ast.Case(value))
+            elif self.current.is_keyword("default"):
+                self.advance()
+                self.expect_op(":")
+                cases.append(ast.Case(None))
+            elif not cases:
+                raise ParseError("statement before first case label",
+                                 self.current)
+            else:
+                cases[-1].body.append(self._parse_statement())
+        self.expect_op("}")
+        return ast.Switch(control, cases)
 
     def _parse_while(self) -> ast.While:
         self.advance()

@@ -234,6 +234,18 @@ def _emit_stmt(writer: _Writer, stmt: ast.Stmt) -> None:
         writer.line("break;")
     elif isinstance(stmt, ast.Continue):
         writer.line("continue;")
+    elif isinstance(stmt, ast.Switch):
+        writer.line(f"switch ({format_expr(stmt.control)}) {{")
+        for case in stmt.cases:
+            if case.value is None:
+                writer.line("default:")
+            else:
+                writer.line(f"case {case.value}:")
+            writer.indent += 1
+            for child in case.body:
+                _emit_stmt(writer, child)
+            writer.indent -= 1
+        writer.line("}")
     elif isinstance(stmt, ast.Goto):
         writer.line(f"goto {stmt.label};")
     elif isinstance(stmt, ast.Label):

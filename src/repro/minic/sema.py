@@ -134,6 +134,25 @@ class Sema:
             elif not isinstance(function.return_type, ast.CVoid):
                 raise SemaError(
                     f"'{function.name}': return without a value")
+        elif isinstance(stmt, ast.Switch):
+            control = self.expr_type(stmt.control, scope)
+            if not isinstance(control, ast.CInt):
+                raise SemaError(
+                    f"switch control must have integer type, got {control!r}")
+            seen_values = set()
+            defaults = 0
+            inner = Scope(scope)
+            for case in stmt.cases:
+                if case.value is None:
+                    defaults += 1
+                    if defaults > 1:
+                        raise SemaError("multiple default labels in switch")
+                elif case.value in seen_values:
+                    raise SemaError(f"duplicate case value {case.value}")
+                else:
+                    seen_values.add(case.value)
+                for child in case.body:
+                    self._check_stmt(child, inner, function)
         elif isinstance(stmt, (ast.Break, ast.Continue, ast.Goto, ast.Label,
                                ast.PragmaStmt)):
             pass

@@ -9,6 +9,7 @@ KEYWORDS = frozenset({
     "void", "int", "long", "double", "float", "char", "unsigned", "signed",
     "uint64_t", "int64_t", "uint32_t", "int32_t", "size_t",
     "for", "while", "do", "if", "else", "return", "break", "continue",
+    "switch", "case", "default",
     "static", "const", "restrict", "sizeof", "struct", "extern", "inline",
 })
 

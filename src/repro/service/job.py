@@ -60,6 +60,9 @@ class JobConfig:
     # Interpreter memory model: "flat", "dict", or None for the
     # process default.
     memory: Optional[str] = None
+    # Control-flow structuring engine: "legacy" (pattern matcher) or
+    # "region" (region/schema engine for arbitrary CFGs).
+    structurer: str = "legacy"
 
     def degraded(self) -> "JobConfig":
         """The config of the degradation ladder's last rung."""
@@ -78,10 +81,15 @@ class JobConfig:
                                else list(self.only_functions)),
             "engine": self.engine,
             "memory": self.memory,
+            "structurer": self.structurer,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobConfig":
+        structurer = data.get("structurer", "legacy")
+        if structurer not in ("legacy", "region"):
+            raise ValueError(f"unknown structurer {structurer!r}; "
+                             f"choose from ('legacy', 'region')")
         return cls(
             optimize=data.get("optimize", True),
             parallelize=data.get("parallelize", True),
@@ -94,6 +102,7 @@ class JobConfig:
                             else tuple(data["only_functions"])),
             engine=data.get("engine"),
             memory=data.get("memory"),
+            structurer=structurer,
         )
 
 

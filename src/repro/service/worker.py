@@ -116,7 +116,8 @@ def execute_job(job_dict: dict, attempt: int = 1,
     if config.emit_ir:
         par_ir = print_module(module)
 
-    splendid = Splendid(module, config.variant, analysis_manager=am)
+    splendid = Splendid(module, config.variant, analysis_manager=am,
+                        structurer=config.structurer)
     diagnostics = None
     lint_ok = None
     if config.lint:
@@ -144,6 +145,9 @@ def execute_job(job_dict: dict, attempt: int = 1,
         stats = splendid.restoration_stats()
         restoration = {"total": stats.total, "restored": stats.restored}
 
+    structuring = splendid.structuring_stats()
+    structuring = structuring.to_dict() if structuring is not None else None
+
     return {
         "name": job.name,
         "text": text,
@@ -156,6 +160,7 @@ def execute_job(job_dict: dict, attempt: int = 1,
         "polly": (None if polly is None else
                   [outcome_to_dict(o) for o in polly.outcomes]),
         "restoration": restoration,
+        "structuring": structuring,
         "degraded": degraded,
     }
 

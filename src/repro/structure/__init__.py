@@ -1,0 +1,31 @@
+"""Region/schema-based control-flow structuring (the Phoenix/angr
+tradition): turn an arbitrary — possibly irreducible — CFG into a tree
+of structured regions that lowers to natural C with ``goto`` strictly
+as a counted last resort.
+
+Use the ``STRUCTURE`` analysis
+(:func:`repro.analysis.manager.get_structure`) or
+:func:`structure_function`; both are grep-enforced construction choke
+points (see ``tests/test_structure_smoke.py``).
+"""
+
+from .regions import (RegionNode, build_region_tree, count_regions,
+                      irreducible_components, strongly_connected_components)
+from .schemas import (BlockRegion, BreakRegion, CondAnd, CondAtom, CondExpr,
+                      CondOr, ContinueRegion, GotoRegion, IfRegion,
+                      LoopRegion, Region, ReturnRegion, SeqRegion, SwitchArm,
+                      SwitchRegion, cond_and, cond_atoms, cond_negate,
+                      cond_or, contains_loose_break, walk_regions)
+from .structurer import (StructuredFunction, StructuringStats,
+                         structure_function)
+
+__all__ = [
+    "RegionNode", "build_region_tree", "count_regions",
+    "irreducible_components", "strongly_connected_components",
+    "BlockRegion", "BreakRegion", "CondAnd", "CondAtom", "CondExpr",
+    "CondOr", "ContinueRegion", "GotoRegion", "IfRegion", "LoopRegion",
+    "Region", "ReturnRegion", "SeqRegion", "SwitchArm", "SwitchRegion",
+    "cond_and", "cond_atoms", "cond_negate", "cond_or",
+    "contains_loose_break", "walk_regions",
+    "StructuredFunction", "StructuringStats", "structure_function",
+]

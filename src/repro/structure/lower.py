@@ -1,0 +1,234 @@
+"""Lower a structured region tree to mini-C statements.
+
+:class:`StructuredLowering` walks the :mod:`~repro.structure.schemas`
+tree produced by the structurer and emits :mod:`repro.minic.c_ast`
+statements through the owning
+:class:`~repro.decompilers.engine.FunctionEmitter` — every naming,
+typing, expression-inlining and phi de-SSA decision stays in the engine
+(``emit_block_stmts`` already appends the edge phi assignments each
+block owes its successors, which is what makes ``break``/``continue``/
+``goto`` leaves safe to emit right after a block's statements).
+
+Lowering also owns the two C-specific judgement calls the region tree
+defers:
+
+- a recovered switch demotes to an ``if``/``else if`` chain when any
+  case body contains a loose ``break`` (C's ``switch`` would capture
+  it away from the enclosing loop);
+- a ``do-while`` whose loop has a counted-for plan upgrades to a
+  ``for`` statement, and the §4.2 guard elision drops a redundant
+  entry guard around such a loop entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.instructions import CondBranch, ICmp
+from ..minic import c_ast as ast
+from .schemas import (BlockRegion, CondAtom, CondExpr, IfRegion, LoopRegion,
+                      Region, SwitchRegion, cond_negate, contains_loose_break)
+from .structurer import StructuredFunction
+
+
+class StructuredLowering:
+    def __init__(self, emitter, structured: StructuredFunction):
+        self.emitter = emitter
+        self.structured = structured
+        self.guard_elisions = 0
+
+    def lower(self) -> List[ast.Stmt]:
+        stmts = self._stmts(self.structured.root)
+        # Implicit return at the end of a void function.
+        if self.emitter.function.return_type.is_void and stmts \
+                and isinstance(stmts[-1], ast.Return) \
+                and stmts[-1].value is None:
+            stmts.pop()
+        return stmts
+
+    # -- dispatch ------------------------------------------------------
+
+    def _stmts(self, region: Optional[Region]) -> List[ast.Stmt]:
+        if region is None:
+            return []
+        kind = region.kind
+        if kind == "seq":
+            out: List[ast.Stmt] = []
+            for item in region.items:          # type: ignore[attr-defined]
+                out.extend(self._stmts(item))
+            return out
+        if kind == "block":
+            return self._block(region)         # type: ignore[arg-type]
+        if kind == "if":
+            return self._if(region)            # type: ignore[arg-type]
+        if kind == "switch":
+            return self._switch(region)        # type: ignore[arg-type]
+        if kind == "loop":
+            return self._loop(region)          # type: ignore[arg-type]
+        if kind == "return":
+            ret = region.ret                   # type: ignore[attr-defined]
+            if ret.value is not None:
+                return [ast.Return(self.emitter.expr(ret.value))]
+            return [ast.Return()]
+        if kind == "break":
+            return [ast.Break()]
+        if kind == "continue":
+            return [ast.Continue()]
+        if kind == "goto":
+            return [ast.Goto(self._label(region.target))]  # type: ignore[attr-defined]
+        from ..decompilers.engine import DecompileError
+        raise DecompileError(f"cannot lower region kind {kind!r}")
+
+    def _label(self, block) -> str:
+        from ..decompilers.engine import _label
+        return _label(block)
+
+    def _block(self, region: BlockRegion) -> List[ast.Stmt]:
+        stmts = self.emitter.emit_block_stmts(region.block)
+        if region.label:
+            return [ast.Label(self._label(region.block))] + stmts
+        return stmts
+
+    # -- conditions ----------------------------------------------------
+
+    def _cond(self, cond: CondExpr) -> ast.Expr:
+        from ..decompilers.engine import _negate
+        from .schemas import CondAnd
+        if isinstance(cond, CondAtom):
+            expr = self.emitter.condition_expr(cond.value)
+            return _negate(expr) if cond.negated else expr
+        op = "&&" if isinstance(cond, CondAnd) else "||"
+        parts = cond.parts                             # type: ignore[attr-defined]
+        expr = self._cond(parts[0])
+        for part in parts[1:]:
+            expr = ast.Binary(op, expr, self._cond(part))
+        return expr
+
+    # -- conditionals --------------------------------------------------
+
+    def _if(self, region: IfRegion) -> List[ast.Stmt]:
+        guard = self._guard_elision(region)
+        if guard is not None:
+            return guard
+        then_stmts = self._stmts(region.then_region)
+        else_stmts = self._stmts(region.else_region)
+        if not then_stmts and not else_stmts:
+            return []
+        cond = region.cond
+        if not then_stmts:
+            cond = cond_negate(cond)
+            then_stmts, else_stmts = else_stmts, []
+        return [ast.If(self._cond(cond), ast.Compound(then_stmts),
+                       ast.Compound(else_stmts) if else_stmts else None)]
+
+    def _guard_elision(self, region: IfRegion) -> Optional[List[ast.Stmt]]:
+        """§4.2 guard-check elimination, region flavor: an `if` whose
+        sole content is a counted do-while and whose condition restates
+        the loop's first test collapses to the bare `for`."""
+        emitter = self.emitter
+        if not emitter.options.detransform_rotation:
+            return None
+        term = region.head.terminator
+        if not isinstance(term, CondBranch) \
+                or not isinstance(term.condition, ICmp):
+            return None
+        cond = region.cond
+        if not isinstance(cond, CondAtom) or cond.value is not term.condition:
+            return None  # refined conditions are no longer a pure guard
+        for loop_arm, other_arm, loop_target in (
+                (region.then_region, region.else_region, term.if_true),
+                (region.else_region, region.then_region, term.if_false)):
+            if other_arm is not None or not isinstance(loop_arm, LoopRegion):
+                continue
+            if loop_arm.shape != "dowhile" or loop_arm.label:
+                continue
+            loop = loop_arm.loop
+            if loop.header is not loop_target:
+                continue
+            counted = emitter._counted_plan.get(loop.header)
+            if counted is None:
+                continue
+            if not emitter._guard_equivalent(term, loop_target, counted):
+                continue
+            emitter.skip.add(term.condition)
+            body = self._stmts(loop_arm.body)
+            self.guard_elisions += 1
+            return [emitter.emit_for_loop(counted, None, body)]
+        return None
+
+    # -- switches ------------------------------------------------------
+
+    def _switch(self, region: SwitchRegion) -> List[ast.Stmt]:
+        bodies = [arm.body for arm in region.arms] + [region.default]
+        if any(contains_loose_break(b) for b in bodies):
+            # A loose `break` belongs to the enclosing loop; C's switch
+            # would capture it, so demote to the equivalent if-chain.
+            return self._switch_as_ifs(region)
+        cases: List[ast.Case] = []
+        for arm in region.arms:
+            stmts = self._stmts(arm.body)
+            if not stmts or not self._terminal(stmts[-1]):
+                stmts.append(ast.Break())
+            cases.append(ast.Case(arm.value, stmts))
+        if region.default is not None:
+            cases.append(ast.Case(None, self._stmts(region.default)))
+        return [ast.Switch(self.emitter.expr(region.control), cases)]
+
+    @staticmethod
+    def _terminal(stmt: ast.Stmt) -> bool:
+        return isinstance(stmt, (ast.Return, ast.Goto, ast.Continue,
+                                 ast.Break))
+
+    def _switch_as_ifs(self, region: SwitchRegion) -> List[ast.Stmt]:
+        tail = self._stmts(region.default)
+        for arm in reversed(region.arms):
+            cond = self._cond(CondAtom(arm.compare, arm.negated))
+            body = self._stmts(arm.body)
+            tail = [ast.If(cond, ast.Compound(body),
+                           ast.Compound(tail) if tail else None)]
+        return tail
+
+    # -- loops ---------------------------------------------------------
+
+    def _loop(self, region: LoopRegion) -> List[ast.Stmt]:
+        emitter = self.emitter
+        prefix: List[ast.Stmt] = []
+        if region.label:
+            prefix.append(ast.Label(self._label(region.loop.header)))
+        if region.shape == "dowhile":
+            counted = emitter._counted_plan.get(region.loop.header)
+            body = self._stmts(region.body)
+            if counted is not None:
+                # Plan admission (region mode) already proved the first
+                # iteration's test, so the `for` upgrade is sound.
+                return prefix + [emitter.emit_for_loop(counted, None, body)]
+            return prefix + [ast.DoWhile(ast.Compound(body),
+                                         self._cond(region.cond))]
+        if region.shape == "while":
+            body = self._stmts(region.body)
+            stmts = prefix + [ast.While(self._cond(region.cond),
+                                        ast.Compound(body))]
+            stmts.extend(self._while_exit_phis(region))
+            return stmts
+        body = self._stmts(region.body)
+        return prefix + [ast.While(ast.IntLit(1), ast.Compound(body))]
+
+    def _while_exit_phis(self, region: LoopRegion) -> List[ast.Stmt]:
+        """The while header's statements are never emitted as a block;
+        its exit-edge (LCSSA) phi values land right after the loop,
+        where the loop variables hold their final values."""
+        emitter = self.emitter
+        exit_block = region.exit
+        if exit_block is None:
+            return []
+        out: List[ast.Stmt] = []
+        for phi in exit_block.phis():
+            if phi in emitter.skip:
+                continue
+            incoming = phi.incoming_for(region.loop.header)
+            if incoming is None or incoming is phi:
+                continue
+            name = emitter.declare_top(phi)
+            out.append(ast.ExprStmt(ast.Assign(
+                "=", ast.Ident(name), emitter.expr(incoming))))
+        return out

@@ -1,0 +1,184 @@
+"""Single-entry/single-exit region tree and irreducibility detection.
+
+Two CFG-shape analyses that feed the structurer:
+
+- :func:`build_region_tree` computes the program structure tree of
+  canonical SESE regions ``(entry, exit)`` where ``exit`` is the entry's
+  immediate post-dominator and every edge crossing the region boundary
+  goes through ``entry`` (in) or ``exit`` (out).  The tree is the
+  divide-and-conquer skeleton the schema matcher works inside, and the
+  ``region`` count it yields is reported in structuring stats.
+
+- :func:`irreducible_components` finds strongly connected components
+  with more than one entry block — cycles that are *not* natural loops
+  and can only be rendered with ``goto``.  The structurer counts them
+  and routes their back edges through the goto fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..analysis.dominators import DominatorTree, PostDominatorTree
+from ..ir.block import BasicBlock
+from ..ir.module import Function
+
+
+@dataclass
+class RegionNode:
+    """One SESE region: control enters only at ``entry`` and leaves only
+    to ``exit`` (``None`` for the top-level function region)."""
+
+    entry: BasicBlock
+    exit: Optional[BasicBlock]
+    blocks: Set[BasicBlock] = field(default_factory=set)
+    children: List["RegionNode"] = field(default_factory=list)
+    parent: Optional["RegionNode"] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:
+        exit_name = self.exit.name if self.exit is not None else "<exit>"
+        return (f"<Region {self.entry.name}..{exit_name} "
+                f"blocks={self.size} children={len(self.children)}>")
+
+
+def _candidate_blocks(entry: BasicBlock, exit_block: Optional[BasicBlock],
+                      domtree: DominatorTree,
+                      postdom: PostDominatorTree) -> Set[BasicBlock]:
+    return {b for b in domtree.reachable
+            if b is not exit_block
+            and domtree.dominates(entry, b)
+            and (exit_block is None or postdom.post_dominates(exit_block, b))}
+
+
+def _is_sese(blocks: Set[BasicBlock], entry: BasicBlock,
+             exit_block: Optional[BasicBlock]) -> bool:
+    for block in blocks:
+        if block is not entry:
+            if any(p not in blocks for p in block.predecessors):
+                return False
+        for succ in block.successors:
+            if succ not in blocks and succ is not exit_block:
+                return False
+    return True
+
+
+def build_region_tree(function: Function, domtree: DominatorTree,
+                      postdom: PostDominatorTree) -> RegionNode:
+    """The program structure tree of ``function``'s canonical SESE
+    regions, rooted at the whole-function region."""
+    reachable = domtree.reachable
+    if not reachable:
+        return RegionNode(entry=None, exit=None)  # type: ignore[arg-type]
+    root = RegionNode(reachable[0], None, set(reachable))
+    nodes: List[RegionNode] = []
+    for entry in reachable:
+        exit_block = postdom.immediate(entry)
+        if exit_block is None or exit_block is entry:
+            continue
+        blocks = _candidate_blocks(entry, exit_block, domtree, postdom)
+        if len(blocks) < 2 or entry not in blocks:
+            continue  # a single block is not an interesting region
+        if blocks == root.blocks:
+            continue
+        if _is_sese(blocks, entry, exit_block):
+            nodes.append(RegionNode(entry, exit_block, blocks))
+    # Nest by containment: parent = the smallest strictly-larger region.
+    nodes.sort(key=lambda n: n.size)
+    for i, inner in enumerate(nodes):
+        for outer in nodes[i + 1:]:
+            if inner.blocks < outer.blocks:
+                inner.parent = outer
+                outer.children.append(inner)
+                break
+        else:
+            inner.parent = root
+            root.children.append(inner)
+    return root
+
+
+def count_regions(root: RegionNode) -> int:
+    total = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(node.children)
+    return total
+
+
+def strongly_connected_components(
+        blocks: List[BasicBlock]) -> List[List[BasicBlock]]:
+    """Tarjan's SCCs over the CFG restricted to ``blocks`` (iterative)."""
+    universe = set(blocks)
+    index: Dict[BasicBlock, int] = {}
+    lowlink: Dict[BasicBlock, int] = {}
+    on_stack: Set[BasicBlock] = set()
+    stack: List[BasicBlock] = []
+    sccs: List[List[BasicBlock]] = []
+    counter = [0]
+
+    for root in blocks:
+        if root in index:
+            continue
+        work = [(root, iter([s for s in root.successors if s in universe]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            block, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ, iter([s for s in succ.successors
+                                     if s in universe])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[block] = min(lowlink[block], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[block])
+            if lowlink[block] == index[block]:
+                component: List[BasicBlock] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is block:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def irreducible_components(function: Function,
+                           domtree: DominatorTree) -> List[List[BasicBlock]]:
+    """Cyclic SCCs with more than one entry block — the textbook
+    definition of irreducible control flow.  Natural loops always have
+    exactly one entry (their dominating header)."""
+    blocks = list(domtree.reachable)
+    result: List[List[BasicBlock]] = []
+    for scc in strongly_connected_components(blocks):
+        members = set(scc)
+        if len(scc) == 1:
+            block = scc[0]
+            if block not in block.successors:
+                continue  # not even a self-loop
+        entries = {b for b in scc
+                   if any(p not in members for p in b.predecessors)}
+        if len(entries) > 1:
+            result.append(scc)
+    return result

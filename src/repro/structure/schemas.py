@@ -1,0 +1,234 @@
+"""Region and condition schemas for the structuring engine.
+
+The structurer (:mod:`repro.structure.structurer`) reduces a CFG to a
+tree of the region nodes defined here — the schema catalog of the
+Phoenix/angr structuring tradition: sequences, two-way conditionals,
+switches recovered from ``ICmp eq`` chains, the three cyclic shapes
+(``while``, ``do-while``, and the always-sound ``while (1)`` natural
+loop), and explicit ``break``/``continue``/``goto``/``return`` leaves.
+Conditions are trees too (:class:`CondAtom` / :class:`CondAnd` /
+:class:`CondOr`) so condition refinement can fold single-use pure
+comparison blocks into short-circuit ``&&``/``||`` chains before
+lowering ever sees them.
+
+The nodes are deliberately *IR-facing*: they reference
+:class:`~repro.ir.block.BasicBlock` and :class:`~repro.ir.values.Value`
+objects, never C constructs.  Lowering to mini-C happens in
+:mod:`repro.structure.lower`, which owns every naming/typing decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import Ret
+from ..ir.values import Value
+
+# ---------------------------------------------------------------------------
+# Condition trees
+# ---------------------------------------------------------------------------
+
+
+class CondExpr:
+    """Base class of structured branch conditions."""
+
+
+@dataclass
+class CondAtom(CondExpr):
+    """A single IR condition value, possibly logically negated."""
+
+    value: Value
+    negated: bool = False
+
+
+@dataclass
+class CondAnd(CondExpr):
+    """Short-circuit conjunction (``a && b && ...``)."""
+
+    parts: List[CondExpr]
+
+
+@dataclass
+class CondOr(CondExpr):
+    """Short-circuit disjunction (``a || b || ...``)."""
+
+    parts: List[CondExpr]
+
+
+def cond_negate(cond: CondExpr) -> CondExpr:
+    """Logical negation with De Morgan push-down (keeps atoms printable)."""
+    if isinstance(cond, CondAtom):
+        return CondAtom(cond.value, not cond.negated)
+    if isinstance(cond, CondAnd):
+        return CondOr([cond_negate(p) for p in cond.parts])
+    if isinstance(cond, CondOr):
+        return CondAnd([cond_negate(p) for p in cond.parts])
+    raise TypeError(f"unknown condition {cond!r}")
+
+
+def cond_and(lhs: CondExpr, rhs: CondExpr) -> CondExpr:
+    parts = lhs.parts if isinstance(lhs, CondAnd) else [lhs]
+    return CondAnd(parts + [rhs])
+
+
+def cond_or(lhs: CondExpr, rhs: CondExpr) -> CondExpr:
+    parts = lhs.parts if isinstance(lhs, CondOr) else [lhs]
+    return CondOr(parts + [rhs])
+
+
+def cond_atoms(cond: CondExpr) -> List[CondAtom]:
+    if isinstance(cond, CondAtom):
+        return [cond]
+    atoms: List[CondAtom] = []
+    for part in cond.parts:  # type: ignore[union-attr]
+        atoms.extend(cond_atoms(part))
+    return atoms
+
+
+# ---------------------------------------------------------------------------
+# Region nodes
+# ---------------------------------------------------------------------------
+
+
+class Region:
+    """Base class of structured regions."""
+
+    kind: str = "region"
+
+
+@dataclass
+class BlockRegion(Region):
+    """The straight-line statements of one basic block (terminator
+    excluded).  ``label`` marks it as a ``goto`` target."""
+
+    block: BasicBlock
+    label: bool = False
+    kind = "block"
+
+
+@dataclass
+class SeqRegion(Region):
+    """A sequence of regions executed in order."""
+
+    items: List[Region] = field(default_factory=list)
+    kind = "seq"
+
+
+@dataclass
+class IfRegion(Region):
+    """Two-way conditional.  ``head`` is the branching block (its
+    straight-line statements are a separate preceding
+    :class:`BlockRegion`); an arm of ``None`` is empty."""
+
+    head: BasicBlock
+    cond: CondExpr
+    then_region: Optional[Region]
+    else_region: Optional[Region]
+    join: Optional[BasicBlock]
+    kind = "if"
+
+
+@dataclass
+class SwitchArm(Region):
+    """One recovered case of a switch chain: the chain block's compare
+    (``control == value``), its orientation, and the case body."""
+
+    value: int
+    compare: Value
+    negated: bool
+    body: Optional[Region]
+    kind = "switch-arm"
+
+
+@dataclass
+class SwitchRegion(Region):
+    """A switch recovered from a dense ``ICmp eq`` chain over one
+    control value."""
+
+    control: Value
+    arms: List[SwitchArm]
+    default: Optional[Region]
+    join: Optional[BasicBlock]
+    kind = "switch"
+
+
+@dataclass
+class LoopRegion(Region):
+    """A cyclic region.  ``shape`` is one of:
+
+    - ``"while"``     — top-test loop, condition in the header;
+    - ``"dowhile"``   — rotated loop, condition in the (unique) latch;
+    - ``"endless"``   — natural loop of any other shape, lowered as
+      ``while (1)`` with exit edges as ``break`` (always sound).
+    """
+
+    loop: object                   # analysis.loops.Loop
+    shape: str
+    cond: Optional[CondExpr]
+    body: Region
+    exit: Optional[BasicBlock]     # the primary (break-target) exit
+    label: bool = False            # goto target at the loop statement
+    kind = "loop"
+
+
+@dataclass
+class BreakRegion(Region):
+    kind = "break"
+
+
+@dataclass
+class ContinueRegion(Region):
+    kind = "continue"
+
+
+@dataclass
+class GotoRegion(Region):
+    """Last-resort transfer to a labeled block (irreducible or residual
+    control flow, or a break/continue out of a non-innermost loop)."""
+
+    target: BasicBlock
+    kind = "goto"
+
+
+@dataclass
+class ReturnRegion(Region):
+    ret: Ret
+    kind = "return"
+
+
+def walk_regions(region: Optional[Region]):
+    """Yield every region in a subtree, pre-order."""
+    if region is None:
+        return
+    yield region
+    if isinstance(region, SeqRegion):
+        for item in region.items:
+            yield from walk_regions(item)
+    elif isinstance(region, IfRegion):
+        yield from walk_regions(region.then_region)
+        yield from walk_regions(region.else_region)
+    elif isinstance(region, SwitchRegion):
+        for arm in region.arms:
+            yield from walk_regions(arm.body)
+        yield from walk_regions(region.default)
+    elif isinstance(region, LoopRegion):
+        yield from walk_regions(region.body)
+
+
+def contains_loose_break(region: Optional[Region]) -> bool:
+    """True when the region contains a ``break`` that would be captured
+    by an enclosing C ``switch`` (i.e. not nested inside an inner loop
+    or switch of its own).  Decides switch-vs-if-chain lowering."""
+    if region is None:
+        return False
+    if isinstance(region, BreakRegion):
+        return True
+    if isinstance(region, SeqRegion):
+        return any(contains_loose_break(i) for i in region.items)
+    if isinstance(region, IfRegion):
+        return (contains_loose_break(region.then_region)
+                or contains_loose_break(region.else_region))
+    # LoopRegion / SwitchRegion re-bind `break`; nothing below them leaks.
+    return False

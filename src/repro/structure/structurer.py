@@ -1,0 +1,708 @@
+"""Region/schema control-flow structuring in the Phoenix/angr tradition.
+
+:func:`structure_function` reduces an arbitrary (possibly irreducible)
+CFG to a tree of :mod:`~repro.structure.schemas` region nodes:
+
+1. walk the CFG between dominator/post-dominator landmarks, claiming
+   each block exactly once (the *claimed set* guarantees single emission
+   and termination);
+2. match acyclic schemas — sequence, ``if``/``else`` (join = immediate
+   post-dominator), ``switch`` recovered from dense ``ICmp eq`` chains —
+   and cyclic schemas — ``while``, ``do-while``, ``while (1)`` — with
+   ``break``/``continue`` from exit-edge classification;
+3. refine conditions by folding single-use pure comparison blocks into
+   short-circuit ``&&``/``||`` chains;
+4. emit ``goto`` as a last resort (irreducible cycles, abnormal loop
+   entries, multi-level breaks, already-claimed reconvergence), then
+   drain residual unclaimed goto targets and mark their labels.
+
+Every function is structurable: the fallback degrades locally to a
+counted ``goto``, never aborts.  The only sanctioned constructors are
+this module and the ``STRUCTURE`` analysis registration in
+:mod:`repro.analysis.manager` (grep-enforced by the smoke test).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.dominators import DominatorTree, PostDominatorTree
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.block import BasicBlock
+from ..ir.instructions import (Branch, CondBranch, DbgValue, FCmp, ICmp, Phi,
+                               Ret, Unreachable)
+from ..ir.module import Function
+from ..ir.values import ConstantInt, Value
+from .regions import (build_region_tree, count_regions, irreducible_components)
+from .schemas import (BlockRegion, BreakRegion, CondAtom, CondExpr,
+                      ContinueRegion, GotoRegion, IfRegion, LoopRegion,
+                      Region, ReturnRegion, SeqRegion, SwitchArm,
+                      SwitchRegion, cond_and, cond_or)
+
+_SCHEMA_KEYS = ("block", "seq", "if", "if_else", "while", "dowhile",
+                "endless", "switch", "return", "break", "continue")
+
+
+@dataclass
+class StructuringStats:
+    """Counters surfaced through ``--time-passes`` and ``/v1/stats``."""
+
+    schemas: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in _SCHEMA_KEYS})
+    gotos: int = 0
+    labels: int = 0
+    refinements: int = 0
+    irreducible: int = 0
+    abnormal_loops: int = 0
+    residual: int = 0
+    regions: int = 0
+    functions: int = 0
+    fallback_functions: int = 0
+    seconds: float = 0.0
+
+    def bump(self, key: str) -> None:
+        self.schemas[key] = self.schemas.get(key, 0) + 1
+
+    @property
+    def schemas_matched(self) -> int:
+        return sum(self.schemas.values())
+
+    def merge(self, other: "StructuringStats") -> None:
+        for key, count in other.schemas.items():
+            self.schemas[key] = self.schemas.get(key, 0) + count
+        self.gotos += other.gotos
+        self.labels += other.labels
+        self.refinements += other.refinements
+        self.irreducible += other.irreducible
+        self.abnormal_loops += other.abnormal_loops
+        self.residual += other.residual
+        self.regions += other.regions
+        self.functions += other.functions
+        self.fallback_functions += other.fallback_functions
+        self.seconds += other.seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schemas": dict(self.schemas),
+            "schemas_matched": self.schemas_matched,
+            "gotos": self.gotos,
+            "labels": self.labels,
+            "refinements": self.refinements,
+            "irreducible": self.irreducible,
+            "abnormal_loops": self.abnormal_loops,
+            "residual": self.residual,
+            "regions": self.regions,
+            "functions": self.functions,
+            "fallback_functions": self.fallback_functions,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class StructuredFunction:
+    """The structuring result for one function."""
+
+    function: Function
+    root: SeqRegion
+    goto_targets: Set[BasicBlock]
+    loop_nodes: Dict[BasicBlock, LoopRegion]  # header -> node
+    stats: StructuringStats
+
+    @property
+    def is_goto_free(self) -> bool:
+        return not self.goto_targets and self.stats.gotos == 0
+
+
+class _LoopCtx:
+    """Active loop nesting during the walk: where ``break``/``continue``
+    transfer, and the loop they belong to.  ``continue_target`` is None
+    for do-while loops — C's ``continue`` jumps to the condition and
+    would skip the latch's statements and phi updates."""
+
+    def __init__(self, loop: Loop, break_target: Optional[BasicBlock],
+                 continue_target: Optional[BasicBlock],
+                 parent: Optional["_LoopCtx"]):
+        self.loop = loop
+        self.break_target = break_target
+        self.continue_target = continue_target
+        self.parent = parent
+
+
+def structure_function(function: Function,
+                       loop_info: Optional[LoopInfo] = None,
+                       domtree: Optional[DominatorTree] = None,
+                       postdom: Optional[PostDominatorTree] = None
+                       ) -> StructuredFunction:
+    """Structure ``function`` into a region tree.  Analyses are computed
+    on demand when not supplied (the ``STRUCTURE`` registration passes
+    the AnalysisManager-cached ones)."""
+    start = time.perf_counter()
+    if domtree is None or postdom is None or loop_info is None:
+        from ..analysis.manager import (DOMTREE, LOOPS, POSTDOMTREE,
+                                        AnalysisManager)
+        manager = AnalysisManager()
+        if domtree is None:
+            domtree = manager.get(DOMTREE, function)
+        if postdom is None:
+            postdom = manager.get(POSTDOMTREE, function)
+        if loop_info is None:
+            loop_info = manager.get(LOOPS, function)
+    structurer = _Structurer(function, loop_info, domtree, postdom)
+    result = structurer.run()
+    result.stats.seconds = time.perf_counter() - start
+    return result
+
+
+class _Structurer:
+    def __init__(self, function: Function, loop_info: LoopInfo,
+                 domtree: DominatorTree, postdom: PostDominatorTree):
+        self.function = function
+        self.loop_info = loop_info
+        self.domtree = domtree
+        self.postdom = postdom
+        self.stats = StructuringStats(functions=1)
+        self.claimed: Set[BasicBlock] = set()
+        self.goto_targets: Set[BasicBlock] = set()
+        # Claim-point node for each block, so the label pass can flip
+        # ``label=True`` exactly where the block's statements land.
+        self.node_of: Dict[BasicBlock, Region] = {}
+        self.loop_nodes: Dict[BasicBlock, LoopRegion] = {}
+        self._active_stops: List[BasicBlock] = []
+        self._irreducible_blocks: Set[BasicBlock] = set()
+        for scc in irreducible_components(function, domtree):
+            self.stats.irreducible += 1
+            self._irreducible_blocks.update(scc)
+
+    # -- entry ---------------------------------------------------------
+
+    def run(self) -> StructuredFunction:
+        root = SeqRegion(self._sequence(self._entry(), None, None))
+        self.stats.bump("seq")
+        # Residual drain: any goto target never claimed (irreducible
+        # side entries) gets structured as a labeled tail region.
+        progress = True
+        while progress:
+            progress = False
+            for block in self.domtree.reachable:
+                if block in self.goto_targets and block not in self.claimed:
+                    self.stats.residual += 1
+                    root.items.extend(self._sequence(block, None, None))
+                    progress = True
+                    break
+        for target in self.goto_targets:
+            node = self.node_of.get(target)
+            if node is not None:
+                node.label = True  # type: ignore[union-attr]
+        self.stats.labels = len(self.goto_targets)
+        self.stats.regions = count_regions(
+            build_region_tree(self.function, self.domtree, self.postdom))
+        return StructuredFunction(self.function, root, self.goto_targets,
+                                  self.loop_nodes, self.stats)
+
+    def _entry(self) -> Optional[BasicBlock]:
+        return self.domtree.reachable[0] if self.domtree.reachable else None
+
+    # -- sequences -----------------------------------------------------
+
+    def _sequence(self, start: Optional[BasicBlock],
+                  stop: Optional[BasicBlock],
+                  ctx: Optional[_LoopCtx]) -> List[Region]:
+        items: List[Region] = []
+        current = start
+        first = True
+        if stop is not None:
+            self._active_stops.append(stop)
+        try:
+            while current is not None and current is not stop:
+                if not first:
+                    jump = self._jump_region(current, ctx)
+                    if jump is not None:
+                        items.append(jump)
+                        break
+                elif current in self.claimed:
+                    items.append(self._goto(current))
+                    break
+                first = False
+                inner = self.loop_info.loop_with_header(current)
+                if inner is not None and (ctx is None
+                                          or inner is not ctx.loop):
+                    node = self._loop_region(inner, ctx, stop)
+                    if node is not None:
+                        items.append(node)
+                        current = node.exit
+                        continue
+                current = self._acyclic(current, stop, ctx, items)
+        finally:
+            if stop is not None:
+                self._active_stops.pop()
+        return items
+
+    def _goto(self, target: BasicBlock) -> GotoRegion:
+        self.goto_targets.add(target)
+        self.stats.gotos += 1
+        return GotoRegion(target)
+
+    def _jump_region(self, target: BasicBlock,
+                     ctx: Optional[_LoopCtx]) -> Optional[Region]:
+        walk = ctx
+        innermost = True
+        while walk is not None:
+            if target is walk.break_target:
+                if innermost:
+                    self.stats.bump("break")
+                    return BreakRegion()
+                return self._goto(target)  # multi-level break needs goto
+            if target is walk.continue_target:
+                if innermost:
+                    self.stats.bump("continue")
+                    return ContinueRegion()
+                return self._goto(target)
+            walk = walk.parent
+            innermost = False
+        if target in self.claimed:
+            return self._goto(target)
+        return None
+
+    # -- acyclic schemas -----------------------------------------------
+
+    def _acyclic(self, block: BasicBlock, stop: Optional[BasicBlock],
+                 ctx: Optional[_LoopCtx],
+                 items: List[Region]) -> Optional[BasicBlock]:
+        """Claim ``block``, append its region(s), return the block the
+        sequence continues at (or None)."""
+        self.claimed.add(block)
+        node = BlockRegion(block)
+        self.node_of[block] = node
+        items.append(node)
+        self.stats.bump("block")
+        term = block.terminator
+        if isinstance(term, Ret):
+            items.append(ReturnRegion(term))
+            self.stats.bump("return")
+            return None
+        if term is None or isinstance(term, Unreachable):
+            return None
+        if isinstance(term, Branch):
+            target = term.target
+            if target is stop:
+                return None
+            jump = self._jump_region(target, ctx)
+            if jump is not None:
+                items.append(jump)
+                return None
+            return target
+        assert isinstance(term, CondBranch)
+        switch = self._match_switch(block, term, ctx)
+        if switch is not None:
+            items.append(switch)
+            return switch.join
+        cond, if_true, if_false = self._refine_condition(
+            CondAtom(term.condition), term.if_true, term.if_false, block)
+        join = self.postdom.immediate(block)
+        if join is not None and join not in self.domtree.reachable:
+            join = None
+        if join is None or not self._join_usable(join, if_true, if_false,
+                                                 stop, ctx):
+            # The post-dominator join is outside the structurable region
+            # (typically a break target).  A multi-predecessor arm
+            # target is the next-best continuation: the other arm keeps
+            # walking until it reaches it (or leaves via a jump).
+            join = None
+            for candidate in (if_true, if_false):
+                if len(candidate.predecessors) > 1 \
+                        and self._join_usable(candidate, if_true, if_false,
+                                              stop, ctx):
+                    join = candidate
+                    break
+            if join is None and self._join_usable(stop, if_true, if_false,
+                                                  stop, ctx):
+                join = stop
+        then_region = self._arm(if_true, join, ctx)
+        else_region = self._arm(if_false, join, ctx)
+        self.stats.bump("if_else" if then_region is not None
+                        and else_region is not None else "if")
+        items.append(IfRegion(block, cond, then_region, else_region, join))
+        return join
+
+    def _join_usable(self, join: Optional[BasicBlock],
+                     if_true: BasicBlock, if_false: BasicBlock,
+                     stop: Optional[BasicBlock],
+                     ctx: Optional[_LoopCtx]) -> bool:
+        """A join block is usable as the if's continuation when the
+        sequence may legally run into it: it must not be an outer stop
+        (other than ours), a loop boundary jump, or already claimed."""
+        if join is None:
+            return False
+        if join is stop:
+            return True
+        if join in self.claimed:
+            return False
+        if self._jump_region_peek(join, ctx):
+            return False
+        if join in self._active_stops:
+            return False
+        loop = self.loop_info.loop_for(join)
+        here = ctx.loop if ctx is not None else None
+        return loop is here or (loop is not None and here is not None
+                                and here in _ancestors(loop))
+
+    def _jump_region_peek(self, target: BasicBlock,
+                          ctx: Optional[_LoopCtx]) -> bool:
+        walk = ctx
+        while walk is not None:
+            if target is walk.break_target or target is walk.continue_target:
+                return True
+            walk = walk.parent
+        return False
+
+    def _arm(self, target: BasicBlock, join: Optional[BasicBlock],
+             ctx: Optional[_LoopCtx]) -> Optional[Region]:
+        if target is join:
+            return None
+        jump = self._jump_region(target, ctx)
+        if jump is not None:
+            return jump
+        body = self._sequence(target, join, ctx)
+        if not body:
+            return None
+        if len(body) == 1:
+            return body[0]
+        self.stats.bump("seq")
+        return SeqRegion(body)
+
+    # -- condition refinement ------------------------------------------
+
+    def _refine_condition(self, cond: CondExpr, if_true: BasicBlock,
+                          if_false: BasicBlock, head: BasicBlock
+                          ) -> Tuple[CondExpr, BasicBlock, BasicBlock]:
+        """Fold consumable pure-compare blocks into ``&&``/``||`` chains.
+
+        ``head && C`` when the true arm re-tests and shares the false
+        target; ``head || C`` when the false arm re-tests and shares the
+        true target.  Consumed blocks are claimed and never emitted."""
+        changed = True
+        while changed and if_true is not if_false:
+            changed = False
+            for candidate, on_true in ((if_true, True), (if_false, False)):
+                other = if_false if on_true else if_true
+                if not self._consumable(candidate, head):
+                    continue
+                cterm = candidate.terminator
+                assert isinstance(cterm, CondBranch)
+                atom = CondAtom(cterm.condition)
+                if on_true and cterm.if_false is other:
+                    cond, if_true = cond_and(cond, atom), cterm.if_true
+                elif on_true and cterm.if_true is other:
+                    cond = cond_and(cond, CondAtom(cterm.condition, True))
+                    if_true = cterm.if_false
+                elif not on_true and cterm.if_true is other:
+                    cond, if_false = cond_or(cond, atom), cterm.if_false
+                elif not on_true and cterm.if_false is other:
+                    cond = cond_or(cond, CondAtom(cterm.condition, True))
+                    if_false = cterm.if_true
+                else:
+                    continue
+                self.claimed.add(candidate)
+                self.stats.refinements += 1
+                changed = True
+                break
+        return cond, if_true, if_false
+
+    def _consumable(self, block: BasicBlock, head: BasicBlock) -> bool:
+        """A block that can vanish into a short-circuit condition: only
+        reachable from the chain, side-effect free, no phi obligations."""
+        if block in self.claimed or block is head:
+            return False
+        if len(block.predecessors) != 1:
+            return False
+        if not isinstance(block.terminator, CondBranch):
+            return False
+        if self.loop_info.loop_with_header(block) is not None:
+            return False
+        if self.loop_info.loop_for(block) is not self.loop_info.loop_for(head):
+            return False
+        if block in self._active_stops or block in self._irreducible_blocks:
+            return False
+        if not _pure_compare_block(block):
+            return False
+        # Consuming the block erases its phi-edge assignments, so every
+        # successor phi must receive the same value along the head's own
+        # edge (which IS emitted): then the head's assignment covers the
+        # folded edge too.
+        for succ in block.successors:
+            for phi in succ.phis():
+                head_value = phi.incoming_for(head)
+                if head_value is None:
+                    return False
+                if not (head_value is phi.incoming_for(block)
+                        or head_value == phi.incoming_for(block)):
+                    return False
+        return True
+
+    # -- switch recovery -----------------------------------------------
+
+    def _match_switch(self, head: BasicBlock, term: CondBranch,
+                      ctx: Optional[_LoopCtx]) -> Optional[SwitchRegion]:
+        chain = self._collect_switch_chain(head, term)
+        if chain is None:
+            return None
+        control, cases, default = chain
+        join = self.postdom.immediate(head)
+        if join is None or join not in self.domtree.reachable:
+            return None
+        if not self._join_usable(join, default, default, None, ctx):
+            return None
+        for _, _, _, target in cases:
+            if target is join:
+                return None
+        if default in (t for _, _, _, t in cases):
+            return None
+        # Commit: claim the interior chain blocks.
+        for block, _, _, _ in cases[1:]:
+            self.claimed.add(block)
+        arms = []
+        for _, compare, negated, target in cases:
+            arms.append(SwitchArm(
+                value=_case_value(compare), compare=compare,
+                negated=negated, body=self._arm(target, join, ctx)))
+        default_region = (None if default is join
+                          else self._arm(default, join, ctx))
+        self.stats.bump("switch")
+        return SwitchRegion(control=control, arms=arms,
+                            default=default_region, join=join)
+
+    def _collect_switch_chain(self, head: BasicBlock, term: CondBranch):
+        """Walk ``if (c==K0) ... else if (c==K1) ...`` chains.  Returns
+        ``(control, [(block, compare, negated, case_target)], default)``
+        or None.  Requires >= 3 distinct cases, chain blocks that are
+        pure single-use compares, and phi-free case/default targets."""
+        cases: List[Tuple[BasicBlock, Value, bool, BasicBlock]] = []
+        block, current = head, term
+        control: Optional[Value] = None
+        seen_values: Set[int] = set()
+        while True:
+            match = _eq_case(current)
+            if match is None:
+                break
+            compare, negated, case_target, next_block = match
+            value = _case_value(compare)
+            ctrl = compare.lhs if isinstance(compare.rhs, ConstantInt) \
+                else compare.rhs
+            if control is None:
+                control = ctrl
+            elif ctrl is not control:
+                break
+            if value is None or value in seen_values:
+                break
+            if case_target.phis() or len(case_target.predecessors) != 1:
+                break
+            seen_values.add(value)
+            cases.append((block, compare, negated, case_target))
+            if (len(next_block.predecessors) != 1
+                    or not isinstance(next_block.terminator, CondBranch)
+                    or next_block in self.claimed
+                    or next_block in self._active_stops
+                    or next_block in self._irreducible_blocks
+                    or next_block.phis()
+                    or self.loop_info.loop_with_header(next_block) is not None
+                    or self.loop_info.loop_for(next_block)
+                    is not self.loop_info.loop_for(head)
+                    or not _pure_compare_block(next_block)):
+                # next_block is the default, not another chain link.
+                if len(cases) >= 3 and not next_block.phis():
+                    return control, cases, next_block
+                return None
+            block = next_block
+            current = next_block.terminator  # type: ignore[assignment]
+        # Chain ended because `block`'s terminator is not an eq-case;
+        # the block itself (entered only through the chain) is the
+        # default.  It was vetted by the link checks above.
+        if len(cases) >= 3 and block is not head and not block.phis():
+            return control, cases, block
+        return None
+
+    # -- cyclic schemas ------------------------------------------------
+
+    def _loop_region(self, loop: Loop, parent_ctx: Optional[_LoopCtx],
+                     stop: Optional[BasicBlock]) -> Optional[LoopRegion]:
+        header = loop.header
+        # Abnormal (side) entries make the loop unstructurable as a C
+        # loop statement; fall back to straight-line + goto treatment.
+        for block in loop.blocks:
+            if block is header:
+                continue
+            if any(p not in loop.blocks for p in block.predecessors):
+                self.stats.abnormal_loops += 1
+                return None
+        exit_block = self._primary_exit(loop, stop)
+        latch = loop.latch
+        if (loop.is_rotated and latch is not None
+                and isinstance(latch.terminator, CondBranch)):
+            return self._dowhile(loop, latch, exit_block, parent_ctx)
+        if self._while_shape(loop, exit_block):
+            return self._while(loop, exit_block, parent_ctx)
+        return self._endless(loop, exit_block, parent_ctx)
+
+    def _primary_exit(self, loop: Loop,
+                      stop: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        exits = loop.exit_blocks
+        if not exits:
+            return None
+        if stop is not None and stop in exits:
+            return stop
+        if loop.unique_exit is not None:
+            return loop.unique_exit
+        # Most-targeted exit wins; layout order breaks ties.
+        counts: Dict[BasicBlock, int] = {}
+        for exiting in loop.exiting_blocks:
+            for succ in exiting.successors:
+                if succ not in loop.blocks:
+                    counts[succ] = counts.get(succ, 0) + 1
+        best = max(counts.values())
+        for candidate in exits:
+            if counts.get(candidate, 0) == best:
+                return candidate
+        return exits[0]
+
+    def _dowhile(self, loop: Loop, latch: BasicBlock,
+                 exit_block: Optional[BasicBlock],
+                 parent_ctx: Optional[_LoopCtx]) -> LoopRegion:
+        header = loop.header
+        term = latch.terminator
+        assert isinstance(term, CondBranch)
+        ctx = _LoopCtx(loop, exit_block, None, parent_ctx)
+        # Claim the latch up front: a mid-body jump to it must become a
+        # labeled goto (C `continue` would skip its statements).
+        self.claimed.add(latch)
+        if header is latch:
+            body_items: List[Region] = []
+        else:
+            body_items = self._sequence(header, latch, ctx)
+        tail = BlockRegion(latch)
+        self.node_of[latch] = tail
+        body_items.append(tail)
+        cond = CondAtom(term.condition,
+                        negated=term.if_true not in loop.blocks)
+        body: Region = (body_items[0] if len(body_items) == 1
+                        else SeqRegion(body_items))
+        node = LoopRegion(loop, "dowhile", cond, body, exit_block)
+        self.stats.bump("dowhile")
+        self.loop_nodes[header] = node
+        return node
+
+    def _while_shape(self, loop: Loop,
+                     exit_block: Optional[BasicBlock]) -> bool:
+        header = loop.header
+        term = header.terminator
+        if not loop.is_top_test or not isinstance(term, CondBranch):
+            return False
+        if exit_block is None:
+            return False
+        if term.if_true is not exit_block and term.if_false is not exit_block:
+            return False
+        # The header may only hold phis and the condition computation —
+        # its block statements are never emitted (the condition is
+        # inlined into the `while`), so anything else would be lost.
+        for inst in header:
+            if isinstance(inst, (Phi, DbgValue, ICmp, FCmp)) \
+                    or inst is term:
+                continue
+            return False
+        # The header's edge phi-assignments are never emitted either:
+        # the body entry must not owe phi updates to that edge.
+        body_entry = (term.if_true if term.if_true in loop.blocks
+                      else term.if_false)
+        for phi in body_entry.phis():
+            incoming = phi.incoming_for(header)
+            if incoming is not None and incoming is not phi:
+                return False
+        return True
+
+    def _while(self, loop: Loop, exit_block: Optional[BasicBlock],
+               parent_ctx: Optional[_LoopCtx]) -> LoopRegion:
+        header = loop.header
+        term = header.terminator
+        assert isinstance(term, CondBranch)
+        body_entry = (term.if_true if term.if_true in loop.blocks
+                      else term.if_false)
+        cond = CondAtom(term.condition,
+                        negated=term.if_true not in loop.blocks)
+        ctx = _LoopCtx(loop, exit_block, header, parent_ctx)
+        # The header never appears as a block: its condition is inlined
+        # into the `while`, and its exit-edge (LCSSA) phi assignments
+        # are placed right after the loop by the lowering.
+        self.claimed.add(header)
+        body_items = self._sequence(body_entry, header, ctx)
+        if body_items and isinstance(body_items[-1], ContinueRegion):
+            body_items.pop()
+        body: Region = (body_items[0] if len(body_items) == 1
+                        else SeqRegion(body_items))
+        node = LoopRegion(loop, "while", cond, body, exit_block)
+        self.node_of[header] = node
+        self.stats.bump("while")
+        self.loop_nodes[header] = node
+        return node
+
+    def _endless(self, loop: Loop, exit_block: Optional[BasicBlock],
+                 parent_ctx: Optional[_LoopCtx]) -> LoopRegion:
+        header = loop.header
+        ctx = _LoopCtx(loop, exit_block, header, parent_ctx)
+        body_items = self._sequence(header, None, ctx)
+        if body_items and isinstance(body_items[-1], ContinueRegion):
+            body_items.pop()
+        body: Region = (body_items[0] if len(body_items) == 1
+                        else SeqRegion(body_items))
+        node = LoopRegion(loop, "endless", None, body, exit_block)
+        self.stats.bump("endless")
+        self.loop_nodes[header] = node
+        return node
+
+
+def _ancestors(loop: Optional[Loop]) -> Set[Loop]:
+    out: Set[Loop] = set()
+    while loop is not None:
+        out.add(loop)
+        loop = loop.parent
+    return out
+
+
+def _pure_compare_block(block: BasicBlock) -> bool:
+    """Only compares/dbg feeding the terminator — safe to consume."""
+    term = block.terminator
+    for inst in block:
+        if inst is term or isinstance(inst, DbgValue):
+            continue
+        if isinstance(inst, Phi):
+            return False
+        if not isinstance(inst, (ICmp, FCmp)):
+            return False
+        if not all(isinstance(u, (ICmp, FCmp, CondBranch))
+                   for u in inst.users):
+            return False
+    return True
+
+
+def _eq_case(term: CondBranch):
+    """Match one ``if (control == K)`` chain link.  Returns
+    ``(compare, negated, case_target, next_block)`` or None."""
+    cond = term.condition
+    if not isinstance(cond, ICmp):
+        return None
+    if isinstance(cond.rhs, ConstantInt) is isinstance(cond.lhs, ConstantInt):
+        return None  # exactly one side must be the constant
+    if cond.predicate == "eq":
+        return cond, False, term.if_true, term.if_false
+    if cond.predicate == "ne":
+        return cond, True, term.if_false, term.if_true
+    return None
+
+
+def _case_value(compare: Value) -> Optional[int]:
+    if isinstance(compare, ICmp):
+        if isinstance(compare.rhs, ConstantInt):
+            return compare.rhs.value
+        if isinstance(compare.lhs, ConstantInt):
+            return compare.lhs.value
+    return None

@@ -1,0 +1,93 @@
+"""Tier-1 smoke tests for the region/schema structuring engine.
+
+Deep schema/round-trip coverage lives in test_structure.py; this file
+pins the architectural invariants: the STRUCTURE analysis is the one
+entry point into structuring, both structurer settings decompile a
+representative kernel, and the region engine's output is goto-free
+where the legacy engine's is.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from conftest import compile_o2, run_main
+from repro.core import Splendid
+from repro.frontend import compile_source
+from repro.metrics import measure_structuredness
+from repro.passes import optimize_o2
+
+SOURCE = """
+#define N 24
+double A[N];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < N; i++) A[i] = (double)(i % 7) / 7.0;
+  for (i = 0; i < N; i++) {
+    if (A[i] > 0.5) s = s + A[i];
+    else s = s - 1.0;
+  }
+  print_double(s);
+  return 0;
+}
+"""
+
+
+class TestStructureChokePoint:
+    def test_structure_function_called_through_registration_only(self):
+        """structure_function(...) runs only inside repro.structure and
+        via its STRUCTURE registration in the analysis manager; all
+        other code must request the cached analysis."""
+        src_root = Path(repro.__file__).parent
+        pattern = re.compile(r"\bstructure_function\(")
+        offenders = []
+        for path in sorted(src_root.rglob("*.py")):
+            relative = path.relative_to(src_root)
+            if relative.parts[0] == "structure" \
+                    or str(relative) == "analysis/manager.py":
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{relative}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "direct structure_function() call outside repro.structure — "
+            "request the STRUCTURE analysis instead:\n"
+            + "\n".join(offenders))
+
+
+class TestStructurerVariants:
+    @pytest.mark.parametrize("structurer", ["legacy", "region"])
+    def test_kernel_roundtrips(self, structurer):
+        module = compile_o2(SOURCE)
+        reference = run_main(module)
+        text = Splendid(module, "v1",
+                        structurer=structurer).decompile_text()
+        recompiled = compile_source(text)
+        optimize_o2(recompiled)
+        assert run_main(recompiled) == reference
+
+    def test_region_output_is_goto_free(self):
+        module = compile_o2(SOURCE)
+        unit = Splendid(module, "v1", structurer="region").decompile()
+        report = measure_structuredness(unit)
+        assert report.goto_free
+        assert report.loops >= 2
+
+    def test_stats_counters_populated(self):
+        module = compile_o2(SOURCE)
+        splendid = Splendid(module, "v1", structurer="region")
+        splendid.decompile_text()
+        stats = splendid.structuring_stats()
+        assert stats.functions >= 1
+        assert stats.fallback_functions == 0
+        assert stats.schemas_matched > 0
+        assert stats.seconds >= 0.0
+
+    def test_unknown_structurer_rejected(self):
+        module = compile_o2(SOURCE)
+        with pytest.raises(ValueError):
+            Splendid(module, "v1", structurer="bogus")

@@ -24,8 +24,12 @@ def _build(name: str, enable_reductions: bool):
     bench = get(name)
     module = compile_c(bench.sequential_source, bench.defines,
                        name=f"{name}.red{int(enable_reductions)}")
+    # Fission off on both sides: it gives bicg a parallel sub-loop of
+    # its own (bench_fission_speedup.py covers that), and this ablation
+    # isolates what the *reduction* extension buys.
     result = parallelize_module(module, only_functions=["kernel"],
-                                enable_reductions=enable_reductions)
+                                enable_reductions=enable_reductions,
+                                enable_fission=False)
     return bench, module, result
 
 

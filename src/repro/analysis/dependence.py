@@ -246,6 +246,450 @@ def _pair_has_carried_dependence(a: MemoryAccess, b: MemoryAccess) -> bool:
     return True
 
 
+# ---------------------------------------------------------------------------
+# Statement-dependence partition (the fission planner's legality core)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StatementGroup:
+    """One fission candidate: a set of store-rooted statements (plus any
+    scalar recurrences pinned to them) that must execute in a single
+    sub-loop."""
+
+    stores: List[Store]
+    instructions: List[Instruction]     # slice, in program order
+    carried: bool                       # has an internal carried dependence
+    expansions: List[Value] = field(default_factory=list)
+    # ``expansions`` lists recurrence-chain SSA values this (clean)
+    # group reads; fission must first spill them to a temp array
+    # (scalar expansion) so the group can leave the recurrence's loop.
+
+    @property
+    def has_recurrence(self) -> bool:
+        """True when the group pins a scalar recurrence (a header phi):
+        its statements can never be moved out of the first sub-loop."""
+        return any(isinstance(inst, Phi) for inst in self.instructions)
+
+
+@dataclass
+class LoopPartition:
+    """Topologically ordered, maximally merged statement groups of a
+    single-block counted loop.  ``reasons`` explains a degenerate
+    (empty) partition."""
+
+    counted: Optional[CountedLoop]
+    groups: List[StatementGroup] = field(default_factory=list)
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def is_mixed(self) -> bool:
+        """At least one parallel-candidate group can be split away from
+        at least one other group."""
+        return len(self.groups) >= 2 \
+            and any(not g.carried for g in self.groups)
+
+    @property
+    def clean_groups(self) -> List[StatementGroup]:
+        return [g for g in self.groups if not g.carried]
+
+
+def _loop_machinery(counted: CountedLoop) -> Set[Instruction]:
+    block = counted.loop.header
+    machinery = {counted.phi, counted.step_inst, counted.compare,
+                 block.terminator}
+    for inst in block.instructions:
+        if isinstance(inst, Cast) and inst.value is counted.step_inst:
+            machinery.add(inst)
+    return machinery
+
+
+def _definite_distance(a: MemoryAccess, b: MemoryAccess) -> Optional[int]:
+    """For a pair already classified ``definite``: the unique iteration
+    distance ``iv_a - iv_b`` at which the accesses collide, or None when
+    the dimensions do not pin a single distance."""
+    distance: Optional[int] = None
+    for sa, sb in zip(a.subscripts, b.subscripts):
+        if sa.symbolic_key() != sb.symbolic_key() \
+                or sa.inner_key() != sb.inner_key() \
+                or sa.has_inner or sa.iv_coeff != sb.iv_coeff:
+            return None
+        coeff = sa.iv_coeff
+        delta = sb.const - sa.const
+        if coeff == 0:
+            continue                    # ZIV-equal: unconstrained
+        if delta % coeff != 0:
+            return None
+        d = delta // coeff
+        if distance is not None and d != distance:
+            return None                 # dimensions disagree: no collision
+        distance = d
+    return distance
+
+
+def _node_accesses(instructions: List[Instruction], counted: CountedLoop,
+                   inner_ivs: Set[Phi]) -> List[MemoryAccess]:
+    loop = counted.loop
+    accesses = []
+    for inst in instructions:
+        if isinstance(inst, (Load, Store)):
+            pointer = inst.pointer
+            accesses.append(MemoryAccess(
+                inst, base_object(pointer),
+                _subscripts_of(pointer, counted.phi, loop, inner_ivs),
+                isinstance(inst, Store)))
+    return accesses
+
+
+class _FissionNode:
+    def __init__(self, index: int, stores, instructions, position: int):
+        self.index = index
+        self.stores = list(stores)
+        self.instructions = list(instructions)
+        self.position = position        # earliest root position (tie-break)
+        self.accesses: List[MemoryAccess] = []
+        self.self_carried = False
+        self.is_recurrence = False
+        self.scalar_reads: List[Value] = []   # recurrence values consumed
+
+
+def partition_loop_statements(counted: CountedLoop,
+                              allow_expansion: bool = False
+                              ) -> LoopPartition:
+    """Partition a single-block counted loop's statements into maximal
+    dependence-isolated groups, ordered so that running each group's
+    sub-loop to completion before the next preserves every dependence.
+
+    Statements are rooted at stores; scalar recurrences (non-IV header
+    phis) form their own always-carried pseudo-statements.  Pairwise
+    dependences are classified with the same per-dimension verdict
+    lattice the race checker uses; an ``unknown`` or bidirectional pair
+    fuses the statements into one group (SCC).  With
+    ``allow_expansion``, a clean statement that reads a recurrence's
+    per-iteration value is kept separable and the read value is recorded
+    in the group's ``expansions`` (the fission driver must spill it to a
+    temp array before distributing).
+    """
+    from .races import pair_verdict
+    loop = counted.loop
+    partition = LoopPartition(counted)
+    if loop.header is not loop.latch:
+        partition.reasons.append("multi-block loop body")
+        return partition
+    block = loop.header
+    machinery = _loop_machinery(counted)
+    inner_ivs = nested_induction_phis(loop)
+    position = {inst: i for i, inst in enumerate(block.instructions)}
+
+    for inst in block.instructions:
+        if isinstance(inst, Call) \
+                and inst.callee_name not in PURE_MATH_FUNCTIONS:
+            partition.reasons.append(
+                f"call to non-pure function '{inst.callee_name}'")
+            return partition
+
+    # Recurrence pseudo-nodes: one per non-IV header phi, holding the
+    # phi plus the backward slice of its carried (latch) value.
+    nodes: List[_FissionNode] = []
+    recurrence_members: Dict[Instruction, _FissionNode] = {}
+    for phi in loop.header_phis():
+        if phi is counted.phi:
+            continue
+        slice_values: Set[Instruction] = {phi}
+        worklist = [value for value, pred in phi.incoming
+                    if pred in loop.blocks]
+        while worklist:
+            value = worklist.pop()
+            if not isinstance(value, Instruction) or value.parent is not block:
+                continue
+            if value in slice_values or value in machinery \
+                    or isinstance(value, Phi):
+                continue
+            slice_values.add(value)
+            worklist.extend(value.operands)
+        # Only instructions that transitively *depend on* the phi are
+        # pinned to the recurrence; phi-independent slice values (e.g. a
+        # load both the recurrence and a clean statement read) are pure
+        # and clonable, so they must not force scalar expansion.
+        members: Set[Instruction] = {phi}
+        changed = True
+        while changed:
+            changed = False
+            for value in slice_values:
+                if value in members:
+                    continue
+                if any(op in members for op in value.operands):
+                    members.add(value)
+                    changed = True
+        # The node owns the whole slice (its loads must take part in the
+        # dependence tests), but only the phi-dependent ``members`` are
+        # unmovable and trigger scalar reads in store slices.
+        node = _FissionNode(len(nodes), [], sorted(slice_values,
+                                                   key=lambda i: position[i]),
+                            position[phi])
+        node.is_recurrence = True
+        node.self_carried = True
+        nodes.append(node)
+        for inst in members:
+            recurrence_members[inst] = node
+
+    # Store-rooted statement nodes: each store plus its backward slice,
+    # stopping at loop machinery and at recurrence members (those stay
+    # with their recurrence; the crossing value is a scalar read).
+    orphan_ok: Set[Instruction] = set(machinery)
+    for node in nodes:
+        orphan_ok.update(node.instructions)
+    for store in block.instructions:
+        if not isinstance(store, Store):
+            continue
+        slice_insts: List[Instruction] = []
+        scalar_reads: List[Value] = []
+        worklist2: List[Instruction] = [store]
+        seen2: Set[Instruction] = set()
+        while worklist2:
+            inst = worklist2.pop()
+            if inst in seen2 or inst in machinery:
+                continue
+            if inst in recurrence_members:
+                scalar_reads.append(inst)
+                continue
+            seen2.add(inst)
+            slice_insts.append(inst)
+            for op in inst.operands:
+                if isinstance(op, Instruction) and op.parent is block:
+                    worklist2.append(op)
+        node = _FissionNode(len(nodes), [store], slice_insts,
+                            position[store])
+        node.scalar_reads = sorted(set(scalar_reads),
+                                   key=lambda v: position[v])
+        nodes.append(node)
+        orphan_ok.update(slice_insts)
+
+    store_nodes = [n for n in nodes if not n.is_recurrence]
+    if not store_nodes:
+        partition.reasons.append("loop has no store statements")
+        return partition
+
+    # Any loop instruction outside every slice must not read memory:
+    # a live-out load could otherwise observe a moved group's stores in
+    # the wrong order.  (Pure arithmetic orphans stay in the first
+    # sub-loop and are harmless.)
+    for inst in block.instructions:
+        if isinstance(inst, (DbgValue,)) or inst in orphan_ok:
+            continue
+        if isinstance(inst, Load):
+            partition.reasons.append(
+                "loop contains a load outside every statement slice")
+            return partition
+
+    for node in nodes:
+        node.instructions.sort(key=lambda i: position[i])
+        node.accesses = _node_accesses(node.instructions, counted, inner_ivs)
+
+    edges: Set[Tuple[int, int, bool]] = set()
+
+    def add_edge(src: _FissionNode, dst: _FissionNode, carried: bool) -> None:
+        if src is dst:
+            if carried:
+                src.self_carried = True
+            return
+        edges.add((src.index, dst.index, carried))
+
+    all_nodes = nodes
+    for i, x in enumerate(all_nodes):
+        for y in all_nodes[i:]:
+            for a in x.accesses:
+                for b in y.accesses:
+                    if x is y and a.inst is b.inst:
+                        continue
+                    if not (a.is_write or b.is_write):
+                        continue
+                    relation = alias(a.base, b.base)
+                    if relation is AliasResult.NO_ALIAS:
+                        continue
+                    if a.base is not b.base:
+                        add_edge(x, y, True)
+                        add_edge(y, x, True)
+                        continue
+                    verdict = pair_verdict(a, b)
+                    if verdict == "never":
+                        continue
+                    if verdict == "same-iter":
+                        if position[a.inst] <= position[b.inst]:
+                            add_edge(x, y, False)
+                        else:
+                            add_edge(y, x, False)
+                        continue
+                    if verdict == "definite":
+                        d = _definite_distance(a, b)
+                        if d is not None and d > 0:
+                            add_edge(y, x, True)   # b at earlier iteration
+                            continue
+                        if d is not None and d < 0:
+                            add_edge(x, y, True)
+                            continue
+                        if d == 0:
+                            if position[a.inst] <= position[b.inst]:
+                                add_edge(x, y, False)
+                            else:
+                                add_edge(y, x, False)
+                            continue
+                    add_edge(x, y, True)
+                    add_edge(y, x, True)
+
+    # Scalar reads of recurrences: without expansion the reader is
+    # welded to the recurrence; with expansion it only needs to run
+    # after it (the spilled temp carries the per-iteration values).
+    for node in store_nodes:
+        for value in node.scalar_reads:
+            rec = recurrence_members[value]
+            add_edge(rec, node, False)
+            if not allow_expansion:
+                add_edge(node, rec, True)
+
+    groups = _condense_and_merge(nodes, edges, allow_expansion)
+    partition.groups = groups
+    return partition
+
+
+def _condense_and_merge(nodes: List["_FissionNode"],
+                        edges: Set[Tuple[int, int, bool]],
+                        allow_expansion: bool) -> List[StatementGroup]:
+    """SCC-condense the statement graph, topologically order the SCCs
+    (preferring to keep same-class components adjacent), then merge
+    adjacent compatible components into maximal groups."""
+    n = len(nodes)
+    succ: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for src, dst, _carried in edges:
+        succ[src].add(dst)
+
+    # Iterative Tarjan SCC.
+    index_counter = [0]
+    indices: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    comp_of: Dict[int, int] = {}
+    comp_count = [0]
+
+    def strongconnect(root: int) -> None:
+        work = [(root, iter(sorted(succ[root])))]
+        indices[root] = low[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in indices:
+                    indices[w] = low[w] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(succ[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], indices[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == indices[v]:
+                comp = comp_count[0]
+                comp_count[0] += 1
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp_of[w] = comp
+                    if w == v:
+                        break
+
+    for i in range(n):
+        if i not in indices:
+            strongconnect(i)
+
+    comps: Dict[int, List[_FissionNode]] = {}
+    for i, node in enumerate(nodes):
+        comps.setdefault(comp_of[i], []).append(node)
+    carried_between: Set[Tuple[int, int]] = set()
+    comp_succ: Dict[int, Set[int]] = {c: set() for c in comps}
+    comp_pred_count: Dict[int, int] = {c: 0 for c in comps}
+    for src, dst, carried in edges:
+        cs, cd = comp_of[src], comp_of[dst]
+        if cs == cd:
+            continue
+        if cd not in comp_succ[cs]:
+            comp_succ[cs].add(cd)
+            comp_pred_count[cd] += 1
+        if carried:
+            carried_between.add((cs, cd))
+
+    def comp_carried(c: int) -> bool:
+        members = comps[c]
+        if len(members) > 1:
+            return True
+        return members[0].self_carried
+
+    def comp_position(c: int) -> int:
+        return min(node.position for node in comps[c])
+
+    # Kahn topological order; prefer continuing the previous component's
+    # class so mergeable components end up adjacent, then program order.
+    ready = [c for c in comps if comp_pred_count[c] == 0]
+    order: List[int] = []
+    last_class: Optional[bool] = None
+    while ready:
+        ready.sort(key=lambda c: (comp_carried(c) != last_class,
+                                  comp_position(c)))
+        current = ready.pop(0)
+        order.append(current)
+        last_class = comp_carried(current)
+        for nxt in sorted(comp_succ[current]):
+            comp_pred_count[nxt] -= 1
+            if comp_pred_count[nxt] == 0:
+                ready.append(nxt)
+
+    def build_group(comp_ids: List[int]) -> StatementGroup:
+        members: List[_FissionNode] = []
+        for c in comp_ids:
+            members.extend(comps[c])
+        members.sort(key=lambda node: node.position)
+        stores: List[Store] = []
+        instructions: List[Instruction] = []
+        expansions: List[Value] = []
+        carried = any(comp_carried(c) for c in comp_ids)
+        for node in members:
+            stores.extend(node.stores)
+            instructions.extend(node.instructions)
+            if not node.is_recurrence:
+                expansions.extend(node.scalar_reads)
+        group = StatementGroup(stores, instructions, carried)
+        if not carried and allow_expansion:
+            group.expansions = sorted(set(expansions),
+                                      key=lambda v: getattr(v, "name", ""))
+        return group
+
+    merged: List[List[int]] = []
+    for c in order:
+        if merged:
+            prev = merged[-1]
+            prev_carried = any(comp_carried(p) for p in prev)
+            if prev_carried and comp_carried(c):
+                prev.append(c)
+                continue
+            if not prev_carried and not comp_carried(c):
+                clash = any((p, c) in carried_between
+                            or (c, p) in carried_between for p in prev)
+                if not clash:
+                    prev.append(c)
+                    continue
+        merged.append([c])
+    return [build_group(chunk) for chunk in merged]
+
+
 def analyze_loop_parallelism(counted: CountedLoop,
                              allow_reductions: bool = False
                              ) -> ParallelismReport:

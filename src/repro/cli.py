@@ -36,6 +36,7 @@ def _load_module(path: str, defines, optimize: bool, parallelize: bool,
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     am = AnalysisManager()
+    polly = None
     if path.endswith(".ll"):
         module = parse_ir(text)
     else:
@@ -44,12 +45,12 @@ def _load_module(path: str, defines, optimize: bool, parallelize: bool,
             optimize_o2(module, analysis_manager=am,
                         instrumentation=instrumentation)
         if parallelize:
-            parallelize_module(module,
-                               enable_reductions=enable_reductions,
-                               analysis_manager=am,
-                               instrumentation=instrumentation)
+            polly = parallelize_module(module,
+                                       enable_reductions=enable_reductions,
+                                       analysis_manager=am,
+                                       instrumentation=instrumentation)
     verify_module(module, analysis_manager=am)
-    return module
+    return module, polly
 
 
 def _instrumentation_for(args):
@@ -62,6 +63,22 @@ def _instrumentation_for(args):
 def _print_timing(instrumentation) -> None:
     if instrumentation is not None:
         print(instrumentation.report.render_text(), file=sys.stderr)
+
+
+def _print_fission(polly, args, refused: int = 0) -> None:
+    if not getattr(args, "time_passes", False) or polly is None:
+        return
+    stats = polly.fission
+    if refused:
+        stats.refused += refused
+    print(f"[fission: {stats.considered} mixed loops considered, "
+          f"{stats.split} split into {stats.subloops} sub-loops "
+          f"({stats.parallelized} parallelized), "
+          f"{stats.vetoed_cost} cost vetoes, "
+          f"{stats.vetoed_legality} legality vetoes, "
+          f"{stats.expanded} scalars expanded, "
+          f"{stats.refused} seams re-fused, "
+          f"{stats.seconds * 1000:.2f} ms]", file=sys.stderr)
 
 
 def _print_structuring(splendid, args) -> None:
@@ -93,9 +110,9 @@ def _parse_defines(items: Optional[List[str]]):
 def cmd_compile(args) -> int:
     from .ir import print_module
     instrumentation = _instrumentation_for(args)
-    module = _load_module(args.file, _parse_defines(args.define),
-                          optimize=not args.O0, parallelize=False,
-                          instrumentation=instrumentation)
+    module, _ = _load_module(args.file, _parse_defines(args.define),
+                             optimize=not args.O0, parallelize=False,
+                             instrumentation=instrumentation)
     print(print_module(module))
     _print_timing(instrumentation)
     return 0
@@ -104,12 +121,13 @@ def cmd_compile(args) -> int:
 def cmd_parallelize(args) -> int:
     from .ir import print_module
     instrumentation = _instrumentation_for(args)
-    module = _load_module(args.file, _parse_defines(args.define),
-                          optimize=True, parallelize=True,
-                          enable_reductions=args.reductions,
-                          instrumentation=instrumentation)
+    module, polly = _load_module(args.file, _parse_defines(args.define),
+                                 optimize=True, parallelize=True,
+                                 enable_reductions=args.reductions,
+                                 instrumentation=instrumentation)
     print(print_module(module))
     _print_timing(instrumentation)
+    _print_fission(polly, args)
     return 0
 
 
@@ -119,10 +137,11 @@ def cmd_decompile(args) -> int:
               file=sys.stderr)
         return 2
     instrumentation = _instrumentation_for(args)
-    module = _load_module(args.file, _parse_defines(args.define),
-                          optimize=True, parallelize=not args.sequential,
-                          enable_reductions=args.reductions,
-                          instrumentation=instrumentation)
+    module, polly = _load_module(args.file, _parse_defines(args.define),
+                                 optimize=True,
+                                 parallelize=not args.sequential,
+                                 enable_reductions=args.reductions,
+                                 instrumentation=instrumentation)
     if args.tool == "splendid":
         from .core import Splendid
         splendid = Splendid(module, args.variant, type_source=args.types,
@@ -134,9 +153,11 @@ def cmd_decompile(args) -> int:
             print(render_text(result.diagnostics), file=sys.stderr)
             _print_timing(instrumentation)
             _print_structuring(splendid, args)
+            _print_fission(polly, args, refused=splendid.refused_loops())
             return 0 if result.ok else 3
         print(splendid.decompile_text())
         _print_structuring(splendid, args)
+        _print_fission(polly, args, refused=splendid.refused_loops())
     else:
         from .decompilers import cbackend, ghidra, rellic
         tool = {"rellic": rellic, "ghidra": ghidra,
@@ -183,9 +204,9 @@ def cmd_lint(args) -> int:
 
 def cmd_run(args) -> int:
     from .runtime import Interpreter, MachineModel
-    module = _load_module(args.file, _parse_defines(args.define),
-                          optimize=not args.O0,
-                          parallelize=args.parallelize)
+    module, _ = _load_module(args.file, _parse_defines(args.define),
+                             optimize=not args.O0,
+                             parallelize=args.parallelize)
     machine = MachineModel(num_threads=args.threads)
     with Interpreter(module, machine, engine=args.engine,
                      memory=args.memory, measure=args.measure,
@@ -313,15 +334,17 @@ REPORTS = {
     "fig9": ("collaborative parallelization", "fig9"),
     "structure": ("structure quality: legacy vs region structurer",
                   "structure"),
+    "fission": ("partial parallelization of mixed loops", "fission"),
 }
 
 
 def cmd_report(args) -> int:
     from .eval import (figure6_speedups, figure7_bleu, figure8_restoration,
-                       figure9_collaboration, render_figure6, render_figure7,
-                       render_figure8, render_figure9, render_structure,
-                       render_table3, render_table4, structure_quality,
-                       table3_loops, table4_loc)
+                       figure9_collaboration, fission_report, render_figure6,
+                       render_figure7, render_figure8, render_figure9,
+                       render_fission, render_structure, render_table3,
+                       render_table4, structure_quality, table3_loops,
+                       table4_loc)
     name = args.name
     benchmarks = args.benchmark or None
     if args.engine is not None:
@@ -355,6 +378,9 @@ def cmd_report(args) -> int:
         print(render_table4(table4_loc(benchmarks)))
     elif name == "structure":
         print(render_structure(structure_quality(benchmarks)))
+    elif name == "fission":
+        print(render_fission(fission_report(benchmarks,
+                                            measure=args.measure)))
     else:
         print(f"unknown report {name!r}; choose from "
               f"{sorted(k for k in REPORTS if k != 'table1')}",
@@ -546,6 +572,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--cache-dir", default=None,
                           help="persistent artifact cache directory for "
                                "the prewarm")
+    p_report.add_argument("--measure", action="store_true",
+                          help="fission report only: also run parallel "
+                               "regions on a real process pool and report "
+                               "measured speedup")
     add_engine(p_report)
     p_report.set_defaults(func=cmd_report)
     return parser

@@ -111,7 +111,8 @@ class CollaborationSession:
                 from ..ir.parser import parse_ir
                 from ..service.worker import polly_result_from_payload
                 return (parse_ir(payload["par_ir"]),
-                        polly_result_from_payload(payload.get("polly")))
+                        polly_result_from_payload(payload.get("polly"),
+                                                  payload.get("fission")))
         module = compile_source(source, self.defines)
         optimize_o2(module)
         polly = parallelize_module(module, only_functions=kernel_functions)
@@ -120,6 +121,11 @@ class CollaborationSession:
             self.cache.put(key, {
                 "par_ir": print_module(module),
                 "polly": [outcome_to_dict(o) for o in polly.outcomes],
+                "fission": {
+                    "stats": polly.fission.to_dict(),
+                    "outcomes": [outcome_to_dict(o)
+                                 for o in polly.fission_outcomes],
+                },
             })
         return module, polly
 

@@ -1,0 +1,434 @@
+"""AST-level loop re-fusion — the decompile-side half of loop fission.
+
+The fission driver (:mod:`repro.polly.fission`) distributes a mixed loop
+so its clean statement groups can be parallelized.  When a sub-loop ends
+up parallel, the distributed shape *is* the natural source form (it is
+exactly what a programmer writes to expose the parallelism: a pragma'd
+loop next to the sequential remainder).  But when a sub-loop stays
+sequential — the parallelizer rejected it after the split, or the module
+is decompiled without parallelization — the fission seam is compiler
+noise, and SPLENDID's de-transformation contract says emitted C should
+read like the source the programmer would have written.  This pass
+re-fuses those seams on the way out.
+
+The contract, precisely:
+
+* Only loop pairs the fission pass itself produced are candidates: the
+  emitter tags every counted ``for`` with the IR header name it came
+  from, and a pair fuses only when the second tag is the first tag plus
+  a ``.dist`` suffix chain (the name :func:`distribute_loop` gives the
+  split-off loop).  Programmer-written adjacent loops are never touched.
+* Both loops must be pragma-free (a parallelized sub-loop keeps its
+  distributed shape), share identical bounds/step up to induction-
+  variable renaming, and have flat bodies of pure array assignments.
+* Fusion is refused when any colliding access pair would have the
+  first loop's access land at a *later* iteration than the second
+  loop's (distance ``d = i1 - i2 > 0``): those are exactly the orders
+  that running loop 1 to completion first made legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.dependence import PURE_MATH_FUNCTIONS
+from ..minic import c_ast as ast
+
+_DIST_SUFFIX = ".dist"
+
+#: Compound-assignment operators that read *and* write their target.
+_COMPOUND_ASSIGN = frozenset({"+=", "-=", "*=", "/="})
+
+
+def _is_fission_successor(first: ast.For, second: ast.For) -> bool:
+    """True when ``second`` is a ``.dist``-chain descendant of ``first``
+    (i.e. both came out of the same fissioned source loop)."""
+    a = getattr(first, "ir_header", None)
+    b = getattr(second, "ir_header", None)
+    if not a or not b or not b.startswith(a):
+        return False
+    rest = b[len(a):]
+    if not rest or len(rest) % len(_DIST_SUFFIX) != 0:
+        return False
+    return rest == _DIST_SUFFIX * (len(rest) // len(_DIST_SUFFIX))
+
+
+# ---------------------------------------------------------------------------
+# Loop shape
+
+
+@dataclass
+class _Shape:
+    iv: str
+    start: ast.Expr
+    cmp_op: str
+    bound: ast.Expr
+    step_delta: int
+
+
+def _loop_shape(loop: ast.For) -> Optional[_Shape]:
+    init, cond, step = loop.init, loop.condition, loop.step
+    if not (isinstance(init, ast.ExprStmt)
+            and isinstance(init.expr, ast.Assign) and init.expr.op == "="
+            and isinstance(init.expr.target, ast.Ident)):
+        return None
+    iv = init.expr.target.name
+    if not (isinstance(cond, ast.Binary) and cond.op in ("<", "<=", ">", ">=")
+            and isinstance(cond.lhs, ast.Ident) and cond.lhs.name == iv):
+        return None
+    delta = _step_delta(step, iv)
+    if delta is None:
+        return None
+    return _Shape(iv, init.expr.value, cond.op, cond.rhs, delta)
+
+
+def _step_delta(step: Optional[ast.Expr], iv: str) -> Optional[int]:
+    if isinstance(step, ast.Unary) and step.op in ("++", "--") \
+            and isinstance(step.operand, ast.Ident) \
+            and step.operand.name == iv:
+        return 1 if step.op == "++" else -1
+    if isinstance(step, ast.Assign) and step.op == "=" \
+            and isinstance(step.target, ast.Ident) \
+            and step.target.name == iv \
+            and isinstance(step.value, ast.Binary) \
+            and step.value.op in ("+", "-") \
+            and isinstance(step.value.lhs, ast.Ident) \
+            and step.value.lhs.name == iv \
+            and isinstance(step.value.rhs, ast.IntLit):
+        return step.value.rhs.value if step.value.op == "+" \
+            else -step.value.rhs.value
+    return None
+
+
+def _expr_equal(a: ast.Expr, b: ast.Expr,
+                rename: Optional[Dict[str, str]] = None) -> bool:
+    """Structural expression equality (``rename`` maps b-side identifier
+    names onto a-side names before comparing)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.Ident):
+        return a.name == (rename or {}).get(b.name, b.name)
+    if isinstance(a, ast.IntLit):
+        return a.value == b.value and a.suffix == b.suffix
+    if isinstance(a, ast.FloatLit):
+        return a.value == b.value
+    if isinstance(a, ast.Unary):
+        return a.op == b.op and a.postfix == b.postfix \
+            and _expr_equal(a.operand, b.operand, rename)
+    if isinstance(a, ast.Binary):
+        return a.op == b.op and _expr_equal(a.lhs, b.lhs, rename) \
+            and _expr_equal(a.rhs, b.rhs, rename)
+    if isinstance(a, ast.Index):
+        return _expr_equal(a.base, b.base, rename) \
+            and _expr_equal(a.index, b.index, rename)
+    if isinstance(a, ast.CastExpr):
+        return a.ctype == b.ctype and _expr_equal(a.operand, b.operand, rename)
+    if isinstance(a, ast.CallExpr):
+        return a.callee == b.callee and len(a.args) == len(b.args) \
+            and all(_expr_equal(x, y, rename)
+                    for x, y in zip(a.args, b.args))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Body legality and memory accesses
+
+
+@dataclass
+class _Access:
+    base: str
+    indices: List[ast.Expr]
+    is_write: bool
+
+
+def _flatten_index(expr: ast.Index) -> Optional[Tuple[str, List[ast.Expr]]]:
+    indices: List[ast.Expr] = []
+    node: ast.Expr = expr
+    while isinstance(node, ast.Index):
+        indices.append(node.index)
+        node = node.base
+    if not isinstance(node, ast.Ident):
+        return None
+    indices.reverse()
+    return node.name, indices
+
+
+def _collect_reads(expr: ast.Expr, iv: str,
+                   accesses: List[_Access],
+                   scalars: List[str]) -> bool:
+    """Record array reads / scalar reads under ``expr``; False when the
+    expression is not provably pure."""
+    if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+        return True
+    if isinstance(expr, ast.Ident):
+        if expr.name != iv:
+            scalars.append(expr.name)
+        return True
+    if isinstance(expr, ast.Index):
+        flat = _flatten_index(expr)
+        if flat is None:
+            return False
+        base, indices = flat
+        accesses.append(_Access(base, indices, is_write=False))
+        return all(_collect_reads(ix, iv, accesses, scalars)
+                   for ix in indices)
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("-", "+", "!", "~"):
+            return _collect_reads(expr.operand, iv, accesses, scalars)
+        return False
+    if isinstance(expr, ast.Binary):
+        return _collect_reads(expr.lhs, iv, accesses, scalars) \
+            and _collect_reads(expr.rhs, iv, accesses, scalars)
+    if isinstance(expr, ast.CastExpr):
+        return _collect_reads(expr.operand, iv, accesses, scalars)
+    if isinstance(expr, ast.CallExpr):
+        if expr.callee not in PURE_MATH_FUNCTIONS:
+            return False
+        return all(_collect_reads(arg, iv, accesses, scalars)
+                   for arg in expr.args)
+    return False
+
+
+def _body_stmts(body: ast.Stmt) -> Optional[List[ast.Stmt]]:
+    if isinstance(body, ast.Compound):
+        if body.pragmas:
+            return None
+        return list(body.body)
+    return [body]
+
+
+def _body_accesses(stmts: List[ast.Stmt], iv: str
+                   ) -> Optional[Tuple[List[_Access], List[str]]]:
+    """Validate a flat loop body (pure array assignments only) and return
+    its memory accesses plus the scalar names it reads."""
+    accesses: List[_Access] = []
+    scalars: List[str] = []
+    for stmt in stmts:
+        if not isinstance(stmt, ast.ExprStmt):
+            return None
+        assign = stmt.expr
+        if not isinstance(assign, ast.Assign):
+            return None
+        if assign.op != "=" and assign.op not in _COMPOUND_ASSIGN:
+            return None
+        if not isinstance(assign.target, ast.Index):
+            return None  # scalar writes would need their own dependence story
+        flat = _flatten_index(assign.target)
+        if flat is None:
+            return None
+        base, indices = flat
+        accesses.append(_Access(base, indices, is_write=True))
+        if assign.op in _COMPOUND_ASSIGN:
+            accesses.append(_Access(base, indices, is_write=False))
+        for ix in indices:
+            if not _collect_reads(ix, iv, accesses, scalars):
+                return None
+        if not _collect_reads(assign.value, iv, accesses, scalars):
+            return None
+    return accesses, scalars
+
+
+# ---------------------------------------------------------------------------
+# Affine forms and the fusion dependence test
+
+
+def _affine(expr: ast.Expr, iv: str
+            ) -> Optional[Tuple[int, int, Tuple[Tuple[str, int], ...]]]:
+    """``expr`` as ``iv_coeff * iv + const + sum(sym_coeff * sym)``."""
+    if isinstance(expr, ast.IntLit):
+        return 0, expr.value, ()
+    if isinstance(expr, ast.Ident):
+        if expr.name == iv:
+            return 1, 0, ()
+        return 0, 0, ((expr.name, 1),)
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _affine(expr.operand, iv)
+        if inner is None:
+            return None
+        c, k, syms = inner
+        return -c, -k, tuple((n, -s) for n, s in syms)
+    if isinstance(expr, ast.CastExpr):
+        return _affine(expr.operand, iv)
+    if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+        lhs = _affine(expr.lhs, iv)
+        rhs = _affine(expr.rhs, iv)
+        if lhs is None or rhs is None:
+            return None
+        sign = 1 if expr.op == "+" else -1
+        merged: Dict[str, int] = dict(lhs[2])
+        for name, coeff in rhs[2]:
+            merged[name] = merged.get(name, 0) + sign * coeff
+        syms = tuple(sorted((n, c) for n, c in merged.items() if c))
+        return lhs[0] + sign * rhs[0], lhs[1] + sign * rhs[1], syms
+    if isinstance(expr, ast.Binary) and expr.op == "*":
+        for factor, other in ((expr.lhs, expr.rhs), (expr.rhs, expr.lhs)):
+            if isinstance(factor, ast.IntLit):
+                inner = _affine(other, iv)
+                if inner is None:
+                    return None
+                c, k, syms = inner
+                m = factor.value
+                return c * m, k * m, tuple((n, s * m) for n, s in syms)
+        return None
+    return None
+
+
+def _pair_blocks_fusion(a: _Access, iv1: str,
+                        b: _Access, iv2: str) -> bool:
+    """True when the (loop-1 access, loop-2 access) pair forbids fusion.
+
+    Collisions are solved per dimension for the iteration distance
+    ``d = i1 - i2``.  Fusion preserves the original order for ``d <= 0``
+    (the loop-1 access still executes first); any realizable ``d > 0``
+    — or a pair we cannot analyze — blocks the fusion.
+    """
+    if len(a.indices) != len(b.indices):
+        return True  # shapes we cannot compare: be conservative
+    distance: Optional[int] = None
+    constrained = False
+    for ia, ib in zip(a.indices, b.indices):
+        fa = _affine(ia, iv1)
+        fb = _affine(ib, iv2)
+        if fa is None or fb is None:
+            return True
+        c1, k1, s1 = fa
+        c2, k2, s2 = fb
+        if s1 != s2 or c1 != c2:
+            return True  # incomparable symbolic parts: conservative
+        if c1 == 0:
+            if k1 != k2:
+                return False  # this dimension never collides
+            continue
+        delta = k2 - k1
+        if delta % c1 != 0:
+            return False  # no integer iteration distance: no collision
+        d = delta // c1
+        if constrained and d != distance:
+            return False  # dimensions demand different distances
+        distance, constrained = d, True
+    if not constrained:
+        return True  # same element every iteration: d > 0 collisions exist
+    return distance > 0
+
+
+def _fusion_legal(body1: List[ast.Stmt], iv1: str,
+                  body2: List[ast.Stmt], iv2: str) -> bool:
+    acc1 = _body_accesses(body1, iv1)
+    acc2 = _body_accesses(body2, iv2)
+    if acc1 is None or acc2 is None:
+        return False
+    accesses1, scalars1 = acc1
+    accesses2, scalars2 = acc2
+    # Bodies only ever write array elements, so scalar reads are loop
+    # invariant — but the second body must not read the first loop's IV
+    # as a stray scalar (it would alias the renamed IV), and vice versa.
+    if iv1 in scalars2 or iv2 in scalars1:
+        return False
+    for a in accesses1:
+        for b in accesses2:
+            if a.base != b.base:
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            if _pair_blocks_fusion(a, iv1, b, iv2):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The rewrite
+
+
+def _rename_ident(expr: ast.Expr, old: str, new: str) -> None:
+    for node in ast.walk_exprs(expr):
+        if isinstance(node, ast.Ident) and node.name == old:
+            node.name = new
+
+
+def _ident_count(root, name: str) -> int:
+    """Occurrences of ``name`` as an identifier anywhere under ``root``
+    (a statement or expression)."""
+    return sum(1 for node in ast.walk_exprs(root)
+               if isinstance(node, ast.Ident) and node.name == name)
+
+
+def _try_fuse(first: ast.For, second: ast.For,
+              function_body: ast.Stmt,
+              dead_ivs: List[str]) -> bool:
+    if first.pragmas or second.pragmas:
+        return False
+    if not _is_fission_successor(first, second):
+        return False
+    shape1 = _loop_shape(first)
+    shape2 = _loop_shape(second)
+    if shape1 is None or shape2 is None:
+        return False
+    rename = {shape2.iv: shape1.iv} if shape2.iv != shape1.iv else None
+    if shape1.cmp_op != shape2.cmp_op \
+            or shape1.step_delta != shape2.step_delta \
+            or not _expr_equal(shape1.start, shape2.start, rename) \
+            or not _expr_equal(shape1.bound, shape2.bound, rename):
+        return False
+    body1 = _body_stmts(first.body)
+    body2 = _body_stmts(second.body)
+    if body1 is None or body2 is None:
+        return False
+    if any(isinstance(s, ast.For) and s.pragmas
+           for s in body1 + body2):
+        return False
+    if not _fusion_legal(body1, shape1.iv, body2, shape2.iv):
+        return False
+    if rename:
+        # The second IV must die with its loop: any other use in the
+        # function would observe a value the fused loop never computes.
+        if _ident_count(function_body, shape2.iv) \
+                != _ident_count(second, shape2.iv):
+            return False
+        for stmt in body2:
+            if isinstance(stmt, ast.ExprStmt):
+                _rename_ident(stmt.expr, shape2.iv, shape1.iv)
+        dead_ivs.append(shape2.iv)
+    first.body = ast.Compound(body1 + body2)
+    return True
+
+
+def refuse_adjacent_loops(definition: ast.FunctionDef) -> int:
+    """Re-fuse fission seams in one decompiled function.
+
+    Walks every compound statement and fuses adjacent ``for`` pairs the
+    fission pass produced whenever the merge is provably order
+    preserving.  Returns the number of pairs fused.
+    """
+    if definition.body is None:
+        return 0
+    fused = 0
+    dead_ivs: List[str] = []
+    for stmt in ast.walk_stmts(definition.body):
+        if not isinstance(stmt, ast.Compound):
+            continue
+        i = 0
+        while i + 1 < len(stmt.body):
+            a, b = stmt.body[i], stmt.body[i + 1]
+            if isinstance(a, ast.For) and isinstance(b, ast.For) \
+                    and _try_fuse(a, b, definition.body, dead_ivs):
+                stmt.body.pop(i + 1)
+                fused += 1
+                continue  # a may now chain with the next .dist sibling
+            i += 1
+    _prune_dead_declarations(definition.body, dead_ivs)
+    return fused
+
+
+def _prune_dead_declarations(body: ast.Stmt, dead_ivs: List[str]) -> None:
+    """Drop the (now unused) declarations of renamed second-loop IVs."""
+    for name in dead_ivs:
+        if _ident_count(body, name):
+            continue
+        for stmt in ast.walk_stmts(body):
+            if isinstance(stmt, ast.Compound):
+                stmt.body[:] = [
+                    s for s in stmt.body
+                    if not (isinstance(s, ast.Declaration)
+                            and s.name == name and s.init is None
+                            and not s.array_dims)]

@@ -41,6 +41,7 @@ _BASE = DecompilerOptions(
     byte_level_addressing=False,
     strip_debug_names=False,
     increment_style="compact",
+    refuse_adjacent_loops=True,
 )
 
 
@@ -68,7 +69,8 @@ class Splendid:
 
     def __init__(self, module: Module, variant: str = "full",
                  analysis_manager=None, type_source: str = "debug",
-                 structurer: str = "legacy"):
+                 structurer: str = "legacy",
+                 refuse_adjacent_loops: Optional[bool] = None):
         from ..analysis.manager import AnalysisManager
         if type_source not in ("debug", "recovered", "none"):
             raise ValueError(
@@ -85,6 +87,11 @@ class Splendid:
         self.options = replace(options_for(variant),
                                type_source=type_source,
                                structurer=structurer)
+        if refuse_adjacent_loops is not None:
+            # Case studies that *showcase* a distribution (Figure 3)
+            # turn the re-fusion de-transformation off explicitly.
+            self.options = replace(self.options,
+                                   refuse_adjacent_loops=refuse_adjacent_loops)
         self.analysis = analysis_manager or AnalysisManager()
         self._info_cache: Dict[str, MicrotaskInfo] = {}
         # Debug metadata is an *input* only in 'debug' mode; under
@@ -168,6 +175,16 @@ class Splendid:
                 "first so the structuring counters exist")
         return self.decompiler.structuring_stats()
 
+    def refused_loops(self) -> int:
+        """Fission seams re-fused on emission by the last run (the
+        decompile-side counter merged into ``FissionStats.refused``)."""
+        if not self.decompiler.decompiled:
+            raise ValueError(
+                "refused_loops() called before decompile(): run "
+                "decompile(), decompile_text(), or decompile_checked() "
+                "first so the re-fusion counter exists")
+        return self.decompiler.refused_loops
+
 
 @dataclass
 class DecompilationResult:
@@ -184,10 +201,13 @@ class DecompilationResult:
 
 def decompile(module: Module, variant: str = "full",
               type_source: str = "debug",
-              structurer: str = "legacy") -> str:
+              structurer: str = "legacy",
+              refuse_adjacent_loops: Optional[bool] = None) -> str:
     """Decompile a parallel IR module to C/OpenMP source text."""
     return Splendid(module, variant, type_source=type_source,
-                    structurer=structurer).decompile_text()
+                    structurer=structurer,
+                    refuse_adjacent_loops=refuse_adjacent_loops
+                    ).decompile_text()
 
 
 def decompile_unit(module: Module, variant: str = "full",

@@ -62,6 +62,10 @@ class DecompilerOptions:
     # and stores print as array subscripts (A[i][j]) instead of pointer
     # temporaries (*A_idx).
     rematerialize_addresses: bool = False
+    # Re-fuse adjacent sub-loops the fission pass split when the merge
+    # is provably order-preserving (core.fusion), so sequential fission
+    # seams do not leak into the emitted source.
+    refuse_adjacent_loops: bool = False
     # Where declaration types come from:
     #   'debug'     — declared IR types + debug metadata (the default);
     #   'recovered' — the storage/typeinfer analyses drive declarations
@@ -259,11 +263,13 @@ class ModuleDecompiler:
         self.skip_functions = skip_functions or set()
         self.emitters: List["FunctionEmitter"] = []
         self.structuring = None  # StructuringStats after decompile()
+        self.refused_loops = 0   # fission seams re-fused on emission
         self._fallback_functions: List[str] = []
 
     def decompile(self) -> ast.TranslationUnit:
         self.emitters = []
         self.structuring = None
+        self.refused_loops = 0
         self._fallback_functions = []
         unit = ast.TranslationUnit()
         for var in self.module.globals.values():
@@ -305,6 +311,10 @@ class ModuleDecompiler:
             self.emitters.append(emitter)
             unit.functions.append(definition)
             self._collect_structuring(emitter, definition)
+            if self.options.refuse_adjacent_loops \
+                    and emitter.options.construct_for_loops:
+                from ..core.fusion import refuse_adjacent_loops
+                self.refused_loops += refuse_adjacent_loops(definition)
         self.decompiled = True
         return unit
 
@@ -1314,7 +1324,11 @@ class FunctionEmitter:
                                          ast.IntLit(-step_value)))
         body = body_stmts if body_stmts is not None \
             else self._loop_body_stmts(loop, ctx)
-        return ast.For(init, condition, step, ast.Compound(body))
+        stmt = ast.For(init, condition, step, ast.Compound(body))
+        # The re-fusion pass (core.fusion) only merges loop pairs the
+        # fission driver produced; the IR header name is its evidence.
+        stmt.ir_header = loop.header.name
+        return stmt
 
     def emit_do_while(self, loop: Loop, ctx: _LoopContext) -> ast.Stmt:
         latch = loop.latch

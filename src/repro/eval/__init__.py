@@ -9,10 +9,12 @@ from .pipeline import (BenchmarkArtifacts, SpeedupRow, artifact_job,
                        build_parallel, build_sequential, clear_cache,
                        compile_c, kernel_time, measured_kernel_time,
                        prewarm_artifacts, program_output, speedups_for)
-from .experiments import StructureRow, StructureTable, structure_quality
+from .experiments import (FissionReport, FissionRow, StructureRow,
+                          StructureTable, fission_report,
+                          structure_quality)
 from .reporting import (render_figure6, render_figure7, render_figure8,
-                        render_figure9, render_structure, render_table3,
-                        render_table4)
+                        render_figure9, render_fission, render_structure,
+                        render_table3, render_table4)
 
 __all__ = [
     "Figure6", "Figure7", "Figure8", "Figure9", "Table3", "Table4",
@@ -20,6 +22,7 @@ __all__ = [
     "figure9_collaboration", "geomean", "table3_loops", "table4_loc",
     "StructureRow", "StructureTable", "structure_quality",
     "render_structure",
+    "FissionReport", "FissionRow", "fission_report", "render_fission",
     "TOOLS",
     "BenchmarkArtifacts", "SpeedupRow", "artifact_job", "artifacts_for",
     "artifacts_from_payload", "build_openmp", "build_parallel",

@@ -194,9 +194,12 @@ def figure3_loop_optimizations(unroll_factor: int = 4) -> Figure3:
     distribute_loop(inner, lambda store: getattr(
         base_object(store.pointer), "name", "") == "B")
 
+    # Re-fusion stays off: this figure's point is that the distribution
+    # remains visible in the decompiled source.
     return Figure3(
         unrolled_output=decompile(unrolled, "full"),
-        distributed_output=decompile(distributed, "full"),
+        distributed_output=decompile(distributed, "full",
+                                     refuse_adjacent_loops=False),
         unroll_factor=unroll_factor)
 
 

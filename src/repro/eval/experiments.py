@@ -330,3 +330,82 @@ def structure_quality(benchmarks: Optional[List[str]] = None,
             reports[structurer] = measure_structuredness(unit)
         rows.append(StructureRow(bench.name, reports))
     return StructureTable(rows)
+
+
+# ---------------------------------------------------------------------------
+# Fission report: partial parallelization of mixed loops
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FissionRow:
+    name: str
+    considered: int                 # mixed loops examined
+    split: int                      # loops fissioned
+    subloops: int                   # sub-loops produced
+    parallelized: int               # sub-loops outlined as parallel
+    vetoed: int                     # cost + legality vetoes
+    expanded: int                   # scalars spilled to temp arrays
+    refused: int                    # seams re-fused on decompile
+    modeled_speedup: float          # t_seq / t_fissioned (modeled cycles)
+    measured_speedup: Optional[float] = None  # 1-proc vs pool, real seconds
+
+
+@dataclass
+class FissionReport:
+    rows: List[FissionRow]
+
+    @property
+    def kernels_gaining_parallelism(self) -> List[str]:
+        return [r.name for r in self.rows if r.split and r.parallelized]
+
+
+def fission_report(benchmarks: Optional[List[str]] = None,
+                   machine=None, measure: bool = False,
+                   measure_workers: Optional[int] = None) -> FissionReport:
+    """Per-kernel fission outcomes: loops split, sub-loops parallelized,
+    and the modeled (optionally measured) speedup of the partially
+    parallelized module over the sequential build.
+
+    Covers the fission demonstration registry plus every main-suite
+    benchmark where the fission pass found a mixed-loop candidate
+    (kernels it never considered are omitted — their row would be all
+    zeros).  ``measure=True`` additionally runs the fissioned module's
+    parallel regions on a real process pool and reports the real-seconds
+    speedup of the pool over a single worker.
+    """
+    from ..core import Splendid
+    from ..polybench import fission_benchmarks
+    from .pipeline import (build_parallel, build_sequential, kernel_time,
+                           measured_kernel_time)
+    demo = fission_benchmarks()
+    demo_names = {b.name for b in demo}
+    pool = demo + _suite()
+    if benchmarks is not None:
+        pool = [b for b in pool if b.name in benchmarks]
+    rows = []
+    for bench in pool:
+        t_seq = kernel_time(build_sequential(bench), machine)
+        module, polly = build_parallel(bench)
+        stats = polly.fission
+        if bench.name not in demo_names and not stats.considered:
+            continue
+        splendid = Splendid(module, "full")
+        splendid.decompile_text()
+        row = FissionRow(
+            name=bench.name,
+            considered=stats.considered,
+            split=stats.split,
+            subloops=stats.subloops,
+            parallelized=stats.parallelized,
+            vetoed=stats.vetoed_cost + stats.vetoed_legality,
+            expanded=stats.expanded,
+            refused=stats.refused + splendid.refused_loops(),
+            modeled_speedup=t_seq / kernel_time(module, machine))
+        if measure:
+            _, multi = measured_kernel_time(module, machine,
+                                            workers=measure_workers)
+            _, one = measured_kernel_time(module, machine, workers=1)
+            if multi.seconds > 0:
+                row.measured_speedup = one.seconds / multi.seconds
+        rows.append(row)
+    return FissionReport(rows)

@@ -181,7 +181,8 @@ def artifacts_from_payload(bench: Benchmark,
     from ..service.worker import polly_result_from_payload
     sequential = parse_ir(payload["seq_ir"])
     parallel = parse_ir(payload["par_ir"])
-    polly = polly_result_from_payload(payload.get("polly"))
+    polly = polly_result_from_payload(payload.get("polly"),
+                                      payload.get("fission"))
     splendid_full = Splendid(parallel, "full")
     splendid_full.decompile_text()
     return BenchmarkArtifacts(bench, sequential, parallel, polly,

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from .experiments import Figure6, Figure7, Figure8, Figure9, Table3, Table4
+from .experiments import (Figure6, Figure7, Figure8, Figure9,
+                          FissionReport, Table3, Table4)
 
 
 def _table(header: Sequence[str], rows: List[Sequence[object]],
@@ -126,3 +127,17 @@ def render_structure(result: "StructureTable") -> str:
         ("benchmark", "gotos(L)", "gotos(R)", "nest(L)", "nest(R)",
          "cond(L)", "cond(R)"),
         rows, "Structure quality: legacy vs region structurer")
+
+
+def render_fission(result: "FissionReport") -> str:
+    rows = []
+    for r in result.rows:
+        measured = (f"{r.measured_speedup:.2f}x"
+                    if r.measured_speedup is not None else "-")
+        rows.append((r.name, r.considered, r.split, r.subloops,
+                     r.parallelized, r.vetoed, r.expanded, r.refused,
+                     f"{r.modeled_speedup:.2f}x", measured))
+    return _table(
+        ("kernel", "mixed", "split", "subloops", "parallel", "vetoed",
+         "expanded", "re-fused", "modeled", "measured"),
+        rows, "Fission: partial parallelization of mixed loops")

@@ -392,6 +392,18 @@ class Gateway:
                             structuring.get("schemas_matched", 0))
             self.stats.bump("structure_fallbacks",
                             structuring.get("fallback_functions", 0))
+        fission = (payload.get("fission") or {}).get("stats") \
+            if payload else None
+        if fission:
+            self.stats.bump("fission_considered",
+                            fission.get("considered", 0))
+            self.stats.bump("fission_split", fission.get("split", 0))
+            self.stats.bump("fission_parallelized",
+                            fission.get("parallelized", 0))
+            self.stats.bump("fission_vetoed",
+                            fission.get("vetoed_cost", 0)
+                            + fission.get("vetoed_legality", 0))
+            self.stats.bump("fission_refused", fission.get("refused", 0))
         terminal = {"status": status, "cache": cache}
         if error:
             terminal["error"] = error

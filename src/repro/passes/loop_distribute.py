@@ -11,6 +11,7 @@ only on independent statement groups).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Set
 
 from ..analysis.induction import analyze_counted_loop
@@ -26,19 +27,29 @@ class DistributeError(Exception):
     pass
 
 
+@dataclass
+class DistributeResult:
+    """Outcome of one fission: the (unchanged) first loop, the second
+    loop's header block, and the original→clone mapping for every moved
+    instruction (the fission driver re-identifies group stores through
+    it across repeated splits)."""
+
+    first: Loop
+    second_header: BasicBlock
+    clones: Dict[Instruction, Instruction] = field(default_factory=dict)
+
+
 def distribute_loop(loop: Loop,
-                    move_to_second: Callable[[Instruction], bool]) -> Loop:
+                    move_to_second: Callable[[Instruction], bool]
+                    ) -> DistributeResult:
     """Fission ``loop``; ``move_to_second`` selects the store statements
-    (and their backward slices) that move to the new loop.  Returns the
-    second loop's header block wrapped in a fresh Loop-like structure is
-    not needed; callers re-run LoopInfo."""
+    (and their backward slices) that move to the new loop.  Callers
+    re-run LoopInfo to obtain the second loop as a Loop object."""
     if loop.header is not loop.latch:
         raise DistributeError("only single-block loops can be distributed")
     counted = analyze_counted_loop(loop)
     if counted is None or not counted.compares_next:
         raise DistributeError("loop is not counted")
-    if any(phi is not counted.phi for phi in loop.header_phis()):
-        raise DistributeError("loop carries scalar state across iterations")
 
     block = loop.header
     function = block.parent
@@ -77,11 +88,24 @@ def distribute_loop(loop: Loop,
                     and op not in machinery:
                 worklist.append(op)
     moved = slice_set
+    # Carried scalar state (header phis besides the IV) may stay in the
+    # first loop, but the moved statements must not read it: the second
+    # loop has no copy of the recurrence.  Callers break such reads with
+    # scalar expansion first (polly.versioning.expand_scalar).
+    if any(isinstance(inst, Phi) for inst in moved):
+        raise DistributeError(
+            "moved statements read loop-carried scalar state")
 
-    # Build the second loop: preheader2 sits between the loop exit edge
-    # and the old exit block.
+    # Build the second loop behind a dedicated preheader: the first
+    # loop's exit edge jumps to the preheader, which falls through to
+    # the new header.  Downstream transforms (e.g. OpenMP outlining)
+    # rewrite "the preheader terminator" of a loop they replace, so the
+    # second loop must NOT treat the first loop's body as its preheader.
     second = BasicBlock(f"{block.name}.dist", function)
-    function.add_block(second, after=block)
+    preheader2 = BasicBlock(f"{block.name}.dist.ph", function)
+    function.add_block(preheader2, after=block)
+    function.add_block(second, after=preheader2)
+    preheader2.append(Branch(second))
 
     # Redirect the first loop's exit edge to the second loop... which
     # starts immediately (guard is inherited: both halves share the trip
@@ -89,7 +113,7 @@ def distribute_loop(loop: Loop,
     term: CondBranch = block.terminator
     for i, op in enumerate(term.operands):
         if op is exit_block:
-            term.set_operand(i, second)
+            term.set_operand(i, preheader2)
 
     # Second loop IV.
     iv2 = Phi(counted.phi.type, counted.phi.name)
@@ -143,6 +167,8 @@ def distribute_loop(loop: Loop,
     else:
         second.append(CondBranch(compare2, exit_block, second))
 
-    iv2.add_incoming(counted.start, block)
+    iv2.add_incoming(counted.start, preheader2)
     iv2.add_incoming(step2, second)
-    return loop
+    return DistributeResult(loop, second,
+                            {orig: clone for orig, clone in mapping.items()
+                             if isinstance(orig, Instruction)})

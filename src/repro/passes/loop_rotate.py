@@ -141,6 +141,34 @@ def rotate_loop(loop: Loop) -> bool:
         value = latch_value[phi]
         return new_phis[phi] if value is phi else value
 
+    # In-loop uses of a header-computed value observe the *previous*
+    # execution of H once H runs at the bottom: merge the guard copy
+    # (first iteration) with H's own value (later ones) in B, once per
+    # instruction.
+    rot_merges: Dict[Instruction, Phi] = {}
+
+    def rot_merge(inst: Instruction) -> Phi:
+        if inst not in rot_merges:
+            merge = Phi(inst.type, f"{inst.name}.rot" if inst.name else "")
+            body_entry.insert(0, merge)
+            merge.add_incoming(guard_map[inst], preheader)
+            merge.add_incoming(inst, header)
+            rot_merges[inst] = merge
+        return rot_merges[inst]
+
+    def header_local_latch(phi: Phi) -> Value:
+        """Backedge value as seen *inside* H after rotation.
+
+        When the latch merely forwards a value H computes itself,
+        substituting that instruction into H's own uses would be a
+        self-reference (H recomputes it each run); the previous
+        iteration's copy lives in the ``.rot`` merge instead.
+        """
+        value = latch_value[phi]
+        if isinstance(value, Instruction) and value.parent is header:
+            return rot_merge(value)
+        return resolved_latch(phi)
+
     # Out-of-loop scalar uses observe the loop's final value: merge the
     # guard-skip (initial) and loop-exit (latch) values in E, once per phi.
     exit_merge: Dict[Phi, Phi] = {}
@@ -178,7 +206,7 @@ def rotate_loop(loop: Loop) -> bool:
             if user in exit_merge.values():
                 continue
             if user.parent is header:
-                user.replace_uses_of_with(phi, resolved_latch(phi))
+                user.replace_uses_of_with(phi, header_local_latch(phi))
             elif user.parent in loop.blocks:
                 user.replace_uses_of_with(phi, new_phis[phi])
             elif user.parent is preheader:
@@ -201,17 +229,15 @@ def rotate_loop(loop: Loop) -> bool:
             continue
         inside_users = [u for u in inst.users
                         if u.parent in loop.blocks and u.parent is not header
-                        and u not in new_phis.values()]
+                        and u not in new_phis.values()
+                        and u not in rot_merges.values()]
         outside_users = [u for u in inst.users
                          if u.parent not in loop.blocks
                          and u.parent is not preheader
                          and u is not guard_map.get(inst)
                          and u not in guard_map.values()]
         if inside_users:
-            merge = Phi(inst.type, f"{inst.name}.rot" if inst.name else "")
-            body_entry.insert(0, merge)
-            merge.add_incoming(guard_map[inst], preheader)
-            merge.add_incoming(inst, header)
+            merge = rot_merge(inst)
             for user in inside_users:
                 user.replace_uses_of_with(inst, merge)
         for user in outside_users:

@@ -1,5 +1,6 @@
 """repro.polly — Polly-style automatic parallelizer (DOALL + OpenMP lowering)."""
 
+from .fission import FissionOutcome, FissionStats, try_fission_loop
 from .outline import OutlineError, OutlinedLoop, collect_live_ins, outline_parallel_loop
 from .parallelizer import (LoopOutcome, PollyResult, analyze_function_loops,
                            parallelize_function, parallelize_module,
@@ -11,6 +12,7 @@ from .runtime_decls import (BARRIER, FORK_CALL, RUNTIME_FUNCTIONS,
 from .versioning import build_noalias_check
 
 __all__ = [
+    "FissionOutcome", "FissionStats", "try_fission_loop",
     "OutlineError", "OutlinedLoop", "collect_live_ins", "outline_parallel_loop",
     "LoopOutcome", "PollyResult", "analyze_function_loops",
     "parallelize_function", "parallelize_module", "try_parallelize_loop",

@@ -1,0 +1,292 @@
+"""Profitability-driven loop fission (partial parallelization).
+
+A loop that carries one cross-iteration dependence stays sequential
+wholesale under the plain DOALL test — even when most of its statements
+are independent.  This driver recovers those loops: it partitions the
+statement-dependence graph of a mixed loop into maximal
+dependence-isolated groups (SCC condensation over the same affine
+verdict lattice the race checker uses), spills scalar recurrences that
+feed clean statements to temp arrays (scalar expansion), distributes
+the loop at every group boundary, and lets the regular parallelizer
+outline the clean sub-loops while the carried ones stay sequential.
+
+Every split is gated on the machine cost model: fission only happens
+when the modeled parallel benefit of the clean groups exceeds the
+fission overhead (extra loop control, temp-array traffic, fork/join).
+Unprofitable mixed loops are left whole — the veto counts surface in
+:class:`FissionStats` (``--time-passes``, batch payloads, gateway
+``/v1/stats``, and ``repro report fission``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.dependence import (LoopPartition, StatementGroup,
+                                   partition_loop_statements)
+from ..analysis.induction import (CountedLoop, analyze_counted_loop,
+                                  constant_trip_count)
+from ..analysis.loops import Loop
+from ..ir.instructions import Store
+from ..ir.module import Module
+from ..passes.loop_distribute import DistributeError, distribute_loop
+from .versioning import ExpansionError, expand_scalar
+
+#: Assumed trip count for loops whose bounds are not compile-time
+#: constants (PolyBench-style kernels at this repo's miniaturized sizes).
+DEFAULT_TRIP_ESTIMATE = 32
+
+#: Per-iteration loop-control cost of one extra sub-loop (IV increment,
+#: compare, branch) — what each fission boundary adds to the total work.
+LOOP_CONTROL_COST = 3.0
+
+#: Per-iteration cost of one scalar-expansion temp (a store in the
+#: producer loop plus a load in the consumer loop).
+EXPANSION_COST = 8.0
+
+
+@dataclass
+class FissionStats:
+    """Counters for the fission phase, mirrored into ``--time-passes``
+    output, batch payloads, the gateway's ``/v1/stats``, and the
+    ``repro report fission`` table."""
+
+    considered: int = 0         # mixed loops examined as candidates
+    split: int = 0              # loops actually distributed
+    subloops: int = 0           # sub-loops those splits produced
+    parallelized: int = 0       # sub-loops the parallelizer then outlined
+    vetoed_cost: int = 0        # candidates kept whole by the cost model
+    vetoed_legality: int = 0    # candidates no legal split could realize
+    expanded: int = 0           # scalars spilled to temp arrays
+    refused: int = 0            # sub-loop pairs re-fused on decompile
+    seconds: float = 0.0
+
+    def merge(self, other: "FissionStats") -> None:
+        self.considered += other.considered
+        self.split += other.split
+        self.subloops += other.subloops
+        self.parallelized += other.parallelized
+        self.vetoed_cost += other.vetoed_cost
+        self.vetoed_legality += other.vetoed_legality
+        self.expanded += other.expanded
+        self.refused += other.refused
+        self.seconds += other.seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "considered": self.considered, "split": self.split,
+            "subloops": self.subloops, "parallelized": self.parallelized,
+            "vetoed_cost": self.vetoed_cost,
+            "vetoed_legality": self.vetoed_legality,
+            "expanded": self.expanded, "refused": self.refused,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "FissionStats":
+        stats = cls()
+        for key, value in (data or {}).items():
+            if hasattr(stats, key):
+                setattr(stats, key, value)
+        return stats
+
+
+@dataclass
+class FissionOutcome:
+    """Per-loop record of one fission attempt (serializable)."""
+
+    function: str
+    header: str
+    split: bool
+    considered: bool = False    # was a mixed (fissionable-shape) candidate
+    subloop_headers: List[str] = field(default_factory=list)
+    first_group_clean: bool = False
+    expanded: int = 0
+    modeled_benefit: float = 0.0
+    reasons: List[str] = field(default_factory=list)
+
+
+class _VetoFission(Exception):
+    def __init__(self, reason: str, cost: bool = False):
+        super().__init__(reason)
+        self.reason = reason
+        self.cost = cost
+
+
+def _group_iteration_cost(group: StatementGroup) -> float:
+    """Modeled compute cycles one iteration of the group costs (same
+    table :func:`~repro.polly.parallelizer.estimated_iteration_cost`
+    charges whole loops with)."""
+    from ..ir.instructions import Call, DbgValue
+    from ..runtime.machine import COMPUTE_COST, DEFAULT_COST, MATH_CALL_COST
+    total = 0.0
+    for inst in group.instructions:
+        if isinstance(inst, DbgValue):
+            continue
+        if isinstance(inst, Call) and inst.callee_name in MATH_CALL_COST:
+            total += MATH_CALL_COST[inst.callee_name]
+            continue
+        total += COMPUTE_COST.get(inst.opcode, DEFAULT_COST)
+        if inst.opcode in ("load", "store"):
+            total += 2.0
+    return total
+
+
+def _modeled_benefit(partition: LoopPartition, trips: int,
+                     min_profitable_cost: float, machine) -> float:
+    """Net modeled cycles saved by fissioning: parallel gain on the
+    clean groups minus the fission overheads.  Raises when the split
+    cannot pay for itself."""
+    if machine is None:
+        from ..runtime.machine import MachineModel
+        machine = MachineModel()
+    gain = 0.0
+    profitable_clean = 0
+    expansions = 0
+    for group in partition.groups:
+        expansions += len(group.expansions)
+        if group.carried:
+            continue
+        cost = _group_iteration_cost(group)
+        if cost < min_profitable_cost:
+            continue  # the parallelizer would reject this sub-loop anyway
+        profitable_clean += 1
+        sequential = trips * cost
+        threads = max(1.0, min(float(machine.num_threads), float(trips)))
+        parallel = (machine.fork_overhead + machine.barrier_overhead
+                    + sequential / threads)
+        gain += sequential - parallel
+    if not profitable_clean:
+        raise _VetoFission(
+            "no clean statement group clears the profitability bar",
+            cost=True)
+    overhead = (len(partition.groups) - 1) * trips * LOOP_CONTROL_COST
+    overhead += expansions * trips * EXPANSION_COST
+    benefit = gain - overhead
+    if benefit <= 0.0:
+        raise _VetoFission(
+            f"modeled parallel gain {gain:.0f} cycles does not cover the "
+            f"fission overhead {overhead:.0f}", cost=True)
+    return benefit
+
+
+def _structural_gate(loop: Loop) -> CountedLoop:
+    if loop.subloops or loop.header is not loop.latch:
+        raise _VetoFission("not a single-block innermost loop")
+    counted = analyze_counted_loop(loop)
+    if counted is None or not counted.compares_next:
+        raise _VetoFission("loop is not counted")
+    if not loop.is_rotated:
+        raise _VetoFission("loop is not in rotated form")
+    if loop.unique_exit is None:
+        raise _VetoFission("loop has multiple exit blocks")
+    preheaders = [p for p in loop.header.predecessors
+                  if p not in loop.blocks]
+    if len(preheaders) != 1:
+        raise _VetoFission("no unique preheader")
+    return counted
+
+
+def _apply_expansions(module: Module, counted: CountedLoop,
+                      partition: LoopPartition) -> int:
+    expanded = 0
+    for group in partition.clean_groups:
+        for value in group.expansions:
+            readers = [inst for inst in group.instructions
+                       if value in inst.operands]
+            if not readers:
+                continue
+            try:
+                expand_scalar(module, counted, value, readers)
+            except ExpansionError as error:
+                raise _VetoFission(f"scalar expansion failed: {error}")
+            expanded += 1
+    return expanded
+
+
+def _apply_splits(loop: Loop, partition: LoopPartition) -> List[str]:
+    """Distribute at every group boundary; returns all sub-loop header
+    names, first-to-last."""
+    function = loop.header.parent
+    group_stores: List[List[Store]] = [list(g.stores)
+                                       for g in partition.groups]
+    headers = [loop.header.name]
+    current = loop
+    for boundary in range(1, len(partition.groups)):
+        moving = set()
+        for stores in group_stores[boundary:]:
+            moving.update(stores)
+        result = distribute_loop(current, lambda st: st in moving)
+        headers.append(result.second_header.name)
+        # Moved stores are now clones; re-identify the later groups.
+        for stores in group_stores[boundary:]:
+            stores[:] = [result.clones.get(st, st) for st in stores]
+        from ..analysis.manager import get_loop_info
+        info = get_loop_info(function, None)
+        current = next(lp for lp in info.all_loops()
+                       if lp.header is result.second_header)
+    return headers
+
+
+def try_fission_loop(module: Module, loop: Loop,
+                     min_profitable_cost: Optional[float] = None,
+                     machine=None,
+                     stats: Optional[FissionStats] = None) -> FissionOutcome:
+    """Attempt to fission one (non-parallelizable) loop.
+
+    Returns a :class:`FissionOutcome`; when ``outcome.split`` is true
+    the loop has been distributed in place and ``subloop_headers`` names
+    every resulting sub-loop for the parallelizer to (re)attempt.
+    """
+    from .parallelizer import MIN_PROFITABLE_COST
+    if min_profitable_cost is None:
+        min_profitable_cost = MIN_PROFITABLE_COST
+    function = loop.header.parent
+    outcome = FissionOutcome(function.name, loop.header.name, split=False)
+    stats = stats if stats is not None else FissionStats()
+    started = time.perf_counter()
+    try:
+        # Structural gates and non-mixed partitions are not fission
+        # candidates at all — they don't count as considered or vetoed.
+        try:
+            counted = _structural_gate(loop)
+        except _VetoFission as veto:
+            outcome.reasons.append(veto.reason)
+            return outcome
+        partition = partition_loop_statements(counted, allow_expansion=True)
+        if not partition.is_mixed:
+            outcome.reasons.extend(partition.reasons or [
+                "statements form a single dependence class"])
+            return outcome
+        stats.considered += 1
+        outcome.considered = True
+        try:
+            if any(group.has_recurrence
+                   for group in partition.groups[1:]):
+                raise _VetoFission(
+                    "a scalar recurrence is pinned behind another group")
+            trips = constant_trip_count(counted) or DEFAULT_TRIP_ESTIMATE
+            outcome.modeled_benefit = _modeled_benefit(
+                partition, trips, min_profitable_cost, machine)
+            outcome.expanded = _apply_expansions(module, counted, partition)
+            outcome.subloop_headers = _apply_splits(loop, partition)
+        except DistributeError as error:
+            raise _VetoFission(str(error))
+    except _VetoFission as veto:
+        outcome.reasons.append(veto.reason)
+        if veto.cost:
+            stats.vetoed_cost += 1
+        else:
+            stats.vetoed_legality += 1
+        return outcome
+    finally:
+        stats.seconds += time.perf_counter() - started
+
+    outcome.split = True
+    outcome.first_group_clean = not partition.groups[0].carried
+    stats.split += 1
+    stats.subloops += len(outcome.subloop_headers)
+    stats.expanded += outcome.expanded
+    return outcome

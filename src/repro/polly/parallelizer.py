@@ -25,6 +25,7 @@ from ..ir.instructions import Branch, CondBranch, DbgValue, Instruction
 from ..ir.module import Function, Module
 from ..ir.verifier import verify_module
 from ..passes import const_fold, dce, simplify_cfg
+from .fission import FissionOutcome, FissionStats, try_fission_loop
 from .outline import OutlineError, outline_parallel_loop
 from .versioning import build_noalias_check
 
@@ -39,11 +40,14 @@ class LoopOutcome:
     microtask: Optional[str] = None
     reasons: List[str] = field(default_factory=list)
     reductions: int = 0                 # reassociable chains tolerated
+    fissioned: bool = False             # this loop was split by fission
 
 
 @dataclass
 class PollyResult:
     outcomes: List[LoopOutcome] = field(default_factory=list)
+    fission: FissionStats = field(default_factory=FissionStats)
+    fission_outcomes: List[FissionOutcome] = field(default_factory=list)
 
     @property
     def parallel_loops(self) -> List[LoopOutcome]:
@@ -54,6 +58,23 @@ class PollyResult:
             if outcome.header == header:
                 return outcome
         return None
+
+    def fission_subloop_outcomes(self, function: Optional[str] = None
+                                 ) -> List[LoopOutcome]:
+        """Final outcome of every sub-loop produced by a split."""
+        headers = {}
+        for f_outcome in self.fission_outcomes:
+            if not f_outcome.split:
+                continue
+            if function is not None and f_outcome.function != function:
+                continue
+            for header in f_outcome.subloop_headers:
+                headers[(f_outcome.function, header)] = None
+        for outcome in self.outcomes:
+            key = (outcome.function, outcome.header)
+            if key in headers:
+                headers[key] = outcome
+        return [o for o in headers.values() if o is not None]
 
 
 class _RejectLoop(Exception):
@@ -286,9 +307,10 @@ def parallelize_function(module: Module, function: Function,
                          result: PollyResult,
                          min_profitable_cost: float = MIN_PROFITABLE_COST,
                          enable_reductions: bool = False,
-                         analysis_manager: Optional[AnalysisManager] = None
-                         ) -> None:
+                         analysis_manager: Optional[AnalysisManager] = None,
+                         enable_fission: bool = True) -> None:
     attempted = set()
+    fissioned = set()
     am = analysis_manager
     while True:
         info = get_loop_info(function, am)
@@ -304,6 +326,37 @@ def parallelize_function(module: Module, function: Function,
         if am is not None:
             am.invalidate(function)
         result.outcomes.append(outcome)
+        if (enable_fission and not outcome.parallelized
+                and candidate.header not in fissioned):
+            fissioned.add(candidate.header)
+            _attempt_fission(module, function, candidate.header, outcome,
+                             result, min_profitable_cost, attempted, am)
+
+
+def _attempt_fission(module: Module, function: Function, header,
+                     outcome: LoopOutcome, result: PollyResult,
+                     min_profitable_cost: float, attempted, am) -> None:
+    """Try to split a loop the DOALL test just rejected; on success the
+    new sub-loops re-enter the candidate queue."""
+    info = get_loop_info(function, am)
+    loop = next((lp for lp in info.all_loops() if lp.header is header), None)
+    if loop is None:
+        return
+    f_outcome = try_fission_loop(module, loop, min_profitable_cost,
+                                 stats=result.fission)
+    if not f_outcome.considered:
+        return  # structurally unfissionable: not worth recording
+    result.fission_outcomes.append(f_outcome)
+    if not f_outcome.split:
+        return
+    outcome.fissioned = True
+    # The first sub-loop keeps the original header; re-attempt it only
+    # when its statement group is a parallel candidate (otherwise we'd
+    # loop on a carried group that can never be parallelized or split).
+    if f_outcome.first_group_clean:
+        attempted.discard(header)
+    if am is not None:
+        am.invalidate(function)
 
 
 def _next_candidate(loops: List[Loop], attempted) -> Optional[Loop]:
@@ -359,7 +412,8 @@ def parallelize_module(module: Module, verify: bool = True,
                        min_profitable_cost: float = MIN_PROFITABLE_COST,
                        enable_reductions: bool = False,
                        analysis_manager: Optional[AnalysisManager] = None,
-                       instrumentation=None) -> PollyResult:
+                       instrumentation=None,
+                       enable_fission: bool = True) -> PollyResult:
     """Run the parallelizer on every (or selected) defined function.
 
     ``enable_reductions`` turns on the §7 extension: scalar accumulator
@@ -381,7 +435,10 @@ def parallelize_module(module: Module, verify: bool = True,
                 continue
             parallelize_function(module, function, result,
                                  min_profitable_cost, enable_reductions,
-                                 analysis_manager=am)
+                                 analysis_manager=am,
+                                 enable_fission=enable_fission)
+        result.fission.parallelized = len(
+            [o for o in result.fission_subloop_outcomes() if o.parallelized])
         return bool(result.parallel_loops)
 
     def run_cleanup():
@@ -403,6 +460,18 @@ def parallelize_module(module: Module, verify: bool = True,
 
     _timed_phase(instrumentation, am, module, "polly-parallelize",
                  run_parallelize)
+    if instrumentation is not None and enable_fission:
+        # Fission runs interleaved inside the parallelize phase; report
+        # its accumulated time as its own entry so --time-passes can
+        # break the phase down.
+        from ..passes.pass_manager import PassTiming, _ir_size
+        blocks, insts = _ir_size(module)
+        instrumentation.record(PassTiming(
+            name="polly-fission", seconds=result.fission.seconds,
+            verify_seconds=0.0, changed=result.fission.split > 0,
+            cache_hits=0, cache_misses=0, invalidations=0,
+            blocks_before=blocks, blocks_after=blocks,
+            instructions_before=insts, instructions_after=insts))
     _timed_phase(instrumentation, am, module, "polly-cleanup", run_cleanup,
                  verify_fn=((lambda: verify_module(module,
                                                    analysis_manager=am))

@@ -60,6 +60,78 @@ def build_noalias_check(builder: IRBuilder, report: ParallelismReport,
     return result
 
 
+class ExpansionError(Exception):
+    pass
+
+
+def expand_scalar(module, counted: CountedLoop, value: Value,
+                  readers: List["Instruction"]) -> Value:
+    """Scalar expansion: spill the per-iteration scalar ``value`` to a
+    fresh module-level temp array (``tmp[iv - start] = value``) and
+    rewrite each instruction in ``readers`` to load the element instead.
+
+    This is the cheap-temp-array mechanism that breaks a false (scalar
+    recurrence) dependence before loop fission: after expansion the
+    readers no longer reference the recurrence chain, so their statement
+    group can be distributed into its own — parallelizable — loop, which
+    re-reads the values the sequential recurrence loop produced.
+    """
+    from ..analysis.induction import constant_trip_count
+    from ..ir.instructions import Instruction, Phi
+    from ..ir.values import GlobalVariable
+
+    trips = constant_trip_count(counted)
+    if trips is None:
+        raise ExpansionError("trip count is not a compile-time constant")
+    if counted.step.value != 1:
+        raise ExpansionError("only unit-step loops are expanded")
+    if not isinstance(counted.start, ConstantInt):
+        raise ExpansionError("loop start is not constant")
+    if not isinstance(value, Instruction) \
+            or value.parent is not counted.loop.header:
+        raise ExpansionError("expanded value is not defined in the loop body")
+
+    function = counted.loop.header.parent
+    stem = f"{function.name}.fission.{getattr(value, 'name', '') or 'tmp'}"
+    name, counter = stem, 0
+    while name in module.globals:
+        counter += 1
+        name = f"{stem}.{counter}"
+    temp = GlobalVariable(ir_ty.array(value.type, trips), name)
+    module.add_global(temp)
+
+    block = counted.loop.header
+    builder = IRBuilder()
+    if isinstance(value, Phi):
+        first_non_phi = next(i for i in block.instructions
+                             if not isinstance(i, Phi))
+        builder.position_before(first_non_phi)
+    else:
+        following = block.instructions[block.instructions.index(value) + 1]
+        builder.position_before(following)
+
+    def element_address() -> Value:
+        idx: Value = counted.phi
+        if counted.start.value != 0:
+            idx = builder.sub(idx, const_int(counted.start.value, idx.type),
+                              f"{name}.off")
+        if idx.type is not ir_ty.I64:
+            idx = builder.sext(idx, ir_ty.I64)
+        return builder.gep(temp, [const_int(0), idx], f"{name}.idx")
+
+    builder.store(value, element_address())
+
+    order = {inst: i for i, inst in enumerate(block.instructions)}
+    readers = sorted(readers, key=lambda r: order[r])
+    builder.position_before(readers[0])
+    spilled = builder.load(element_address(), f"{name}.val")
+    for reader in readers:
+        for i, op in enumerate(reader.operands):
+            if op is value:
+                reader.set_operand(i, spilled)
+    return temp
+
+
 def _name(value: Value) -> str:
     return getattr(value, "name", "") or "ptr"
 

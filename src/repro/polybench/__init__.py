@@ -1,7 +1,9 @@
 """repro.polybench — the 16-benchmark PolyBench subset of the paper."""
 
-from .suite import (Benchmark, all_benchmarks, collab_benchmarks, get,
-                    names, register)
+from .suite import (Benchmark, all_benchmarks, collab_benchmarks,
+                    fission_benchmarks, get, get_fission, names, register,
+                    register_fission)
 
-__all__ = ["Benchmark", "all_benchmarks", "collab_benchmarks", "get",
-           "names", "register"]
+__all__ = ["Benchmark", "all_benchmarks", "collab_benchmarks",
+           "fission_benchmarks", "get", "get_fission", "names", "register",
+           "register_fission"]

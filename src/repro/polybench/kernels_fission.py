@@ -1,0 +1,220 @@
+"""Fission demonstration kernels (solver shapes).
+
+Each kernel's single loop mixes a loop-carried statement with
+independent work, so the plain DOALL test leaves the whole program
+sequential.  The fission pipeline (``repro.polly.fission``) distributes
+the loop and parallelizes the clean half:
+
+* ``trisolv-norm``   — forward-substitution recurrence next to an
+  independent row normalization (carried + clean, no expansion);
+* ``smooth-sqrt``    — an exponential-smoothing scalar recurrence whose
+  value feeds an independent residual statement: scalar expansion
+  spills the recurrence to a temp array before the split;
+* ``shift-update``   — two independent statement groups separated by a
+  cross-iteration anti dependence (``u[i+1]`` read before the ``u[i]``
+  write): fission orders them as two loops, both parallel.
+
+Reference sources carry pragmas exactly where the fissioned pipeline
+places them (the §5.1.2 convention, extended to fission).
+"""
+
+from .suite import Benchmark, register_fission
+
+# ---------------------------------------------------------------------------
+# trisolv-norm: unit-bidiagonal forward substitution + row normalization
+# ---------------------------------------------------------------------------
+
+_TRISOLV_DECLS = """
+double x[N];
+double w[N];
+double b[N];
+double c[N];
+double L[N];
+double D[N];
+
+void init() {
+  int i;
+  x[0] = 1.0;
+  for (i = 0; i < N; i++) {
+    b[i] = (double)(i % 17) / 17.0 + 0.5;
+    c[i] = (double)(i % 11) / 11.0 + 1.5;
+    L[i] = (double)(i % 7) / 14.0;
+    D[i] = (double)(i % 5) / 5.0 + 1.0;
+  }
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < N; i++)
+    acc = acc + x[i] + w[i];
+  print_double(acc);
+  return 0;
+}
+"""
+
+_TRISOLV_KERNEL_SEQ = """
+void kernel() {
+  int i;
+  for (i = 1; i < N; i++) {
+    x[i] = (b[i] - L[i] * x[i - 1]) / D[i];
+    w[i] = b[i] * c[i] + b[i] / c[i] + c[i] * c[i];
+  }
+}
+"""
+
+_TRISOLV_KERNEL_REF = """
+void kernel() {
+  int i;
+  for (i = 1; i < N; i++)
+    x[i] = (b[i] - L[i] * x[i - 1]) / D[i];
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 1; i < N; i++)
+      w[i] = b[i] * c[i] + b[i] / c[i] + c[i] * c[i];
+  }
+}
+"""
+
+register_fission(Benchmark(
+    name="trisolv-norm",
+    sequential_source=_TRISOLV_KERNEL_SEQ + _TRISOLV_DECLS,
+    reference_source=_TRISOLV_KERNEL_REF + _TRISOLV_DECLS,
+    defines={"N": "256"},
+    programmer_parallelized=1,
+))
+
+# ---------------------------------------------------------------------------
+# smooth-sqrt: exponential smoothing + residual norm (scalar expansion)
+# ---------------------------------------------------------------------------
+
+_SMOOTH_DECLS = """
+double r[N];
+double y[N];
+
+void init() {
+  int i;
+  for (i = 0; i < N; i++)
+    r[i] = (double)(i % 13) / 13.0 + 0.25;
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < N; i++)
+    acc = acc + y[i];
+  print_double(acc);
+  return 0;
+}
+"""
+
+_SMOOTH_KERNEL_SEQ = """
+void kernel() {
+  int i;
+  double t = 1.0;
+  for (i = 0; i < N; i++) {
+    t = t * 0.99 + r[i];
+    y[i] = sqrt(t * t + r[i] * r[i]) + t * r[i];
+  }
+}
+"""
+
+_SMOOTH_KERNEL_REF = """
+double t_tmp[N];
+
+void kernel() {
+  int i;
+  double t = 1.0;
+  for (i = 0; i < N; i++) {
+    t = t * 0.99 + r[i];
+    t_tmp[i] = t;
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      y[i] = sqrt(t_tmp[i] * t_tmp[i] + r[i] * r[i]) + t_tmp[i] * r[i];
+  }
+}
+"""
+
+register_fission(Benchmark(
+    name="smooth-sqrt",
+    sequential_source=_SMOOTH_KERNEL_SEQ + _SMOOTH_DECLS,
+    reference_source=_SMOOTH_KERNEL_REF + _SMOOTH_DECLS,
+    defines={"N": "256"},
+    programmer_parallelized=1,
+))
+
+# ---------------------------------------------------------------------------
+# shift-update: shifted read before in-place update (anti dependence)
+# ---------------------------------------------------------------------------
+
+_SHIFT_DECLS = """
+double d[N];
+double u[N + 1];
+double v[N];
+double w[N];
+
+void init() {
+  int i;
+  for (i = 0; i < N; i++) {
+    v[i] = (double)(i % 9) / 9.0 + 0.5;
+    w[i] = (double)(i % 6) / 6.0 + 1.0;
+    u[i] = (double)(i % 15) / 15.0;
+  }
+  u[N] = 0.75;
+}
+
+int main() {
+  init();
+  kernel();
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < N; i++)
+    acc = acc + d[i] + u[i];
+  print_double(acc);
+  return 0;
+}
+"""
+
+_SHIFT_KERNEL_SEQ = """
+void kernel() {
+  int i;
+  for (i = 0; i < N; i++) {
+    d[i] = u[i + 1] * 0.3 + u[i] * 0.7;
+    u[i] = v[i] * v[i] + v[i] / (w[i] + 1.5);
+  }
+}
+"""
+
+_SHIFT_KERNEL_REF = """
+void kernel() {
+  int i;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      d[i] = u[i + 1] * 0.3 + u[i] * 0.7;
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 0; i < N; i++)
+      u[i] = v[i] * v[i] + v[i] / (w[i] + 1.5);
+  }
+}
+"""
+
+register_fission(Benchmark(
+    name="shift-update",
+    sequential_source=_SHIFT_KERNEL_SEQ + _SHIFT_DECLS,
+    reference_source=_SHIFT_KERNEL_REF + _SHIFT_DECLS,
+    defines={"N": "256"},
+    programmer_parallelized=2,
+))

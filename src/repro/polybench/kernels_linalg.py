@@ -459,9 +459,27 @@ void kernel() {
 }
 """
 
-# Polly finds no parallel loop in the fused nest (outer: s scatter;
-# inner: q reduction); the reference therefore carries no pragmas.
-_BICG_KERNEL_REF = _BICG_KERNEL_SEQ
+# The plain DOALL test finds no parallel loop in the fused nest (outer:
+# s scatter; inner: q reduction), but the fission pass distributes the
+# inner loop and parallelizes the s-scatter half — automatically finding
+# the split the manual version applies by hand.  The reference carries
+# the pragma exactly where the fissioned pipeline places it.
+_BICG_KERNEL_REF = """
+void kernel() {
+  int i, j;
+  for (i = 0; i < NX; i++) {
+    q[i] = 0.0;
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (int j = 0; j < NY; j++)
+        s[j] = s[j] + r[i] * A[i][j];
+    }
+    for (j = 0; j < NY; j++)
+      q[i] = q[i] + A[i][j] * p[j];
+  }
+}
+"""
 
 # Manual version (Cavazos style): distribute, parallelize the q part.
 _BICG_KERNEL_MANUAL = """

@@ -62,11 +62,42 @@ def collab_benchmarks() -> List[Benchmark]:
     return [b for b in all_benchmarks() if b.is_collab_case]
 
 
+# ---------------------------------------------------------------------------
+# Fission demonstration kernels
+#
+# Solver-style kernels whose single mixed loop the plain DOALL test
+# rejects wholesale, but the fission pipeline partially parallelizes.
+# They live in their own registry so the paper's 16-benchmark tables
+# (Figures 6-9, Tables 3-4) are unaffected; the fission report and the
+# fission speedup benchmark iterate this set.
+# ---------------------------------------------------------------------------
+
+_FISSION_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register_fission(benchmark: Benchmark) -> Benchmark:
+    if benchmark.name in _FISSION_REGISTRY:
+        raise ValueError(f"duplicate fission benchmark {benchmark.name!r}")
+    _FISSION_REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def get_fission(name: str) -> Benchmark:
+    _ensure_loaded()
+    return _FISSION_REGISTRY[name]
+
+
+def fission_benchmarks() -> List[Benchmark]:
+    _ensure_loaded()
+    return list(_FISSION_REGISTRY.values())
+
+
 _loaded = False
 
 
 def _ensure_loaded() -> None:
     global _loaded
     if not _loaded:
-        from . import kernels_linalg, kernels_solver, kernels_stencil  # noqa: F401
+        from . import (kernels_fission, kernels_linalg,  # noqa: F401
+                       kernels_solver, kernels_stencil)
         _loaded = True

@@ -148,6 +148,16 @@ def execute_job(job_dict: dict, attempt: int = 1,
     structuring = splendid.structuring_stats()
     structuring = structuring.to_dict() if structuring is not None else None
 
+    fission = None
+    if polly is not None:
+        # The decompile-side re-fusion counter belongs to the same
+        # fission story; merge it before serializing.
+        polly.fission.refused += splendid.refused_loops()
+        fission = {
+            "stats": polly.fission.to_dict(),
+            "outcomes": [outcome_to_dict(o) for o in polly.fission_outcomes],
+        }
+
     return {
         "name": job.name,
         "text": text,
@@ -159,6 +169,7 @@ def execute_job(job_dict: dict, attempt: int = 1,
         "par_ir": par_ir,
         "polly": (None if polly is None else
                   [outcome_to_dict(o) for o in polly.outcomes]),
+        "fission": fission,
         "restoration": restoration,
         "structuring": structuring,
         "degraded": degraded,
@@ -170,12 +181,17 @@ def outcome_to_dict(outcome) -> dict:
     return dataclasses.asdict(outcome)
 
 
-def polly_result_from_payload(outcomes):
+def polly_result_from_payload(outcomes, fission=None):
     """Rebuild a :class:`~repro.polly.PollyResult` from payload dicts."""
+    from ..polly.fission import FissionOutcome, FissionStats
     from ..polly.parallelizer import LoopOutcome, PollyResult
     result = PollyResult()
     for data in outcomes or []:
         result.outcomes.append(LoopOutcome(**data))
+    if fission:
+        result.fission = FissionStats.from_dict(fission.get("stats"))
+        result.fission_outcomes = [
+            FissionOutcome(**data) for data in fission.get("outcomes") or []]
     return result
 
 

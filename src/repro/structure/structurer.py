@@ -345,6 +345,12 @@ class _Structurer:
             return False
         loop = self.loop_info.loop_for(join)
         here = ctx.loop if ctx is not None else None
+        if loop is not None and loop.header is join \
+                and loop.parent is here:
+            # Both arms converge on the header of a loop nested
+            # directly below us: the sequence continues by *entering*
+            # that loop, which _sequence structures as a loop region.
+            return True
         return loop is here or (loop is not None and here is not None
                                 and here in _ancestors(loop))
 

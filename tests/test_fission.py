@@ -1,0 +1,132 @@
+"""Property tests for fission-driven partial parallelization.
+
+For randomly generated *mixed* loops (one loop-carried recurrence next
+to independent statements), the pipeline must be semantics-preserving
+end to end:
+
+* fission + parallelization is bit-exact against the unfissioned
+  sequential build, under both execution engines (``trace``/``walk``)
+  and both memory models (``dict``/``flat``);
+* the full round trip — fission, parallelize, decompile (re-fusing
+  sequential seams), recompile — reproduces the same output;
+* decompiling an *unparallelized* fission seam re-fuses it, so the
+  emitted C contains exactly as many loops as the programmer wrote.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.loops import LoopInfo
+from repro.core import Splendid, decompile
+from repro.frontend import compile_source
+from repro.passes import optimize_o2
+from repro.polly import parallelize_module, try_fission_loop
+from repro.runtime import run_module
+
+ENGINES = ("trace", "walk")
+MEMORIES = ("dict", "flat")
+
+_CLEAN_STMTS = [
+    "y[i] = a[i] * b[i] + a[i] / b[i] + a[i] * a[i];",
+    "z[i] = b[i] * b[i] + a[i] * 0.5 + b[i] / (a[i] + 2.0);",
+    "y[i] = a[i] * a[i] * b[i] + b[i] * 0.25 + a[i] / 3.0;",
+]
+
+
+@st.composite
+def mixed_program(draw):
+    """One kernel whose single loop mixes carried and clean work."""
+    n = draw(st.sampled_from([64, 100, 128]))
+    start = draw(st.integers(1, 3))
+    coef = draw(st.sampled_from(["0.5", "0.25", "0.9"]))
+    carried = draw(st.sampled_from([
+        "x[i] = x[i - 1] * {c} + a[i];",
+        "x[i] = (a[i] - x[i - 1]) * {c};",
+    ])).format(c=coef)
+    clean = draw(st.lists(st.sampled_from(_CLEAN_STMTS),
+                          min_size=1, max_size=2, unique=True))
+    stmts = [carried] + clean
+    if draw(st.booleans()):
+        stmts = [stmts[-1]] + stmts[:-1]
+    body = "\n    ".join(stmts)
+    return f"""
+#define N {n}
+double x[N]; double y[N]; double z[N]; double a[N]; double b[N];
+void kernel() {{
+  int i;
+  for (i = {start}; i < N; i++) {{
+    {body}
+  }}
+}}
+int main() {{
+  int i;
+  for (i = 0; i < N; i++) {{
+    a[i] = (double)(i % 13) + 1.0;
+    b[i] = (double)(i % 7) + 2.0;
+    x[i] = (double)(i % 5) + 1.0;
+  }}
+  kernel();
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + x[i] + y[i] + z[i];
+  print_double(s);
+  return 0;
+}}
+"""
+
+
+def _build(source: str):
+    module = compile_source(source)
+    optimize_o2(module)
+    return module
+
+
+_SETTINGS = settings(max_examples=15, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestFissionRoundTrip:
+    @_SETTINGS
+    @given(mixed_program())
+    def test_partial_parallelization_bit_exact_all_engines(self, source):
+        reference = run_module(_build(source)).output
+        parallel = _build(source)
+        parallelize_module(parallel, only_functions=["kernel"])
+        for engine, memory in itertools.product(ENGINES, MEMORIES):
+            out = run_module(parallel, engine=engine, memory=memory).output
+            assert out == reference, f"mismatch under {engine}/{memory}"
+
+    @_SETTINGS
+    @given(mixed_program())
+    def test_decompile_recompile_round_trip(self, source):
+        reference = run_module(_build(source)).output
+        parallel = _build(source)
+        parallelize_module(parallel, only_functions=["kernel"])
+        text = decompile(parallel, "full")
+        recompiled = _build(text)
+        for engine, memory in itertools.product(ENGINES, MEMORIES):
+            out = run_module(recompiled, engine=engine,
+                             memory=memory).output
+            assert out == reference, f"mismatch under {engine}/{memory}"
+
+    @_SETTINGS
+    @given(mixed_program())
+    def test_unparallelized_seams_refuse(self, source):
+        """Fission without parallelization must disappear on decompile:
+        the emitted kernel has exactly one loop again, and the re-fused
+        text recompiles to the same output."""
+        reference = run_module(_build(source)).output
+        module = _build(source)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).innermost_loops()[0]
+        outcome = try_fission_loop(module, loop)
+        splendid = Splendid(module, "full")
+        text = splendid.decompile_text()
+        if outcome.split:
+            assert splendid.refused_loops() >= 1
+            kernel_text = text.split("void kernel")[1].split("int main")[0]
+            assert kernel_text.count("for (") == 1
+        recompiled = _build(text)
+        assert run_module(recompiled).output == reference

@@ -1,0 +1,141 @@
+"""Legality linting around loop fission: seeded illegal splits.
+
+Fission must never parallelize the *carried* half of a mixed loop.
+These tests seed exactly that bug on both linter sides — outlining the
+recurrence sub-loop on the IR side, annotating the recurrence prefix
+loop on the source side — and require the ``race`` rule to fire.  The
+pipeline's own fission output must stay clean on both sides.
+"""
+
+import pytest
+
+from conftest import compile_o2
+from repro.analysis.induction import analyze_counted_loop
+from repro.analysis.loops import LoopInfo
+from repro.analysis.races import find_loop_races
+from repro.core import decompile_checked
+from repro.eval import build_parallel
+from repro.lint import lint_parallel_module, lint_translation_unit
+from repro.minic import parse
+from repro.polly import try_fission_loop
+from repro.polly.parallelizer import _parallelize_unconditional
+from repro.polybench import fission_benchmarks
+
+MIXED = """
+#define N 100
+double x[N]; double y[N]; double a[N]; double b[N];
+void kernel() {
+  int i;
+  for (i = 1; i < N; i++) {
+    x[i] = x[i - 1] * 0.5 + a[i];
+    y[i] = a[i] * b[i] + a[i] / b[i] + a[i] * a[i];
+  }
+}
+int main() { return 0; }
+"""
+
+#: The trisolv-norm shape with the pragma seeded onto the *recurrence*
+#: loop — the split a buggy fission driver would produce.
+ILLEGAL_SPLIT_SOURCE = """
+double x[100];
+double w[100];
+double b[100];
+double c[100];
+double L[100];
+double D[100];
+int main() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 1; i < 100; i++)
+      x[i] = (b[i] - L[i] * x[i - 1]) / D[i];
+  }
+  for (int i = 1; i < 100; i++)
+    w[i] = b[i] * c[i] + b[i] / c[i] + c[i] * c[i];
+  return 0;
+}
+"""
+
+
+def _fission_subloops(module):
+    """(carried, clean) sub-loop pairs after manually splitting MIXED."""
+    kernel = module.get_function("kernel")
+    loop = LoopInfo(kernel).innermost_loops()[0]
+    outcome = try_fission_loop(module, loop)
+    assert outcome.split
+    carried = clean = None
+    for subloop in LoopInfo(kernel).innermost_loops():
+        counted = analyze_counted_loop(subloop)
+        assert counted is not None
+        if find_loop_races(counted):
+            carried = (subloop, counted)
+        else:
+            clean = (subloop, counted)
+    assert carried is not None and clean is not None
+    return carried, clean
+
+
+class TestSeededIllegalSplit:
+    def test_parallelized_carried_subloop_flagged_on_ir(self):
+        """Outline the recurrence half of the split: the IR linter must
+        report the cross-iteration conflict on the microtask."""
+        module = compile_o2(MIXED)
+        (loop, counted), _ = _fission_subloops(module)
+        _parallelize_unconditional(module, loop, counted)
+        report = lint_parallel_module(module)
+        assert report.error_rule_ids() == ["race"]
+        (diag,) = report.errors
+        assert "'x'" in diag.message
+        assert diag.hint  # fix-it points at the restructure
+
+    def test_parallelized_clean_subloop_is_legal_on_ir(self):
+        """Outlining the independent half — the split fission actually
+        performs — lints clean."""
+        module = compile_o2(MIXED)
+        _, (loop, counted) = _fission_subloops(module)
+        _parallelize_unconditional(module, loop, counted)
+        report = lint_parallel_module(module)
+        assert report.ok, [d.render() for d in report.errors]
+
+    def test_pragma_on_carried_prefix_flagged_on_source(self):
+        report = lint_translation_unit(parse(ILLEGAL_SPLIT_SOURCE, {}))
+        assert report.error_rule_ids() == ["race"]
+        (diag,) = report.errors
+        assert "'x'" in diag.message
+
+    def test_pragma_on_clean_suffix_is_legal_on_source(self):
+        """Swapping the annotation onto the independent loop — the
+        correct split — lints clean."""
+        fixed = ILLEGAL_SPLIT_SOURCE \
+            .replace("""  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 1; i < 100; i++)
+      x[i] = (b[i] - L[i] * x[i - 1]) / D[i];
+  }
+  for (int i = 1; i < 100; i++)
+    w[i] = b[i] * c[i] + b[i] / c[i] + c[i] * c[i];""",
+                     """  for (int i = 1; i < 100; i++)
+    x[i] = (b[i] - L[i] * x[i - 1]) / D[i];
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (int i = 1; i < 100; i++)
+      w[i] = b[i] * c[i] + b[i] / c[i] + c[i] * c[i];
+  }""")
+        assert fixed != ILLEGAL_SPLIT_SOURCE
+        report = lint_translation_unit(parse(fixed, {}))
+        assert report.ok, [d.render() for d in report.errors]
+
+
+class TestFissionPipelineClean:
+    @pytest.mark.parametrize(
+        "bench", fission_benchmarks(), ids=lambda b: b.name)
+    def test_fissioned_output_lints_clean_both_sides(self, bench):
+        module, polly = build_parallel(bench)
+        assert polly.fission.parallelized >= 1
+        ir_report = lint_parallel_module(module)
+        assert ir_report.ok, [d.render() for d in ir_report.errors]
+        result = decompile_checked(module, "full")
+        assert result.ok, [d.render() for d in result.diagnostics.errors]
+        assert "#pragma omp parallel" in result.text

@@ -1,0 +1,154 @@
+"""Tier-1 smoke tests for the fission-driven partial parallelizer.
+
+Deep coverage (round-trip properties, lint legality, speedups) lives in
+test_fission.py and benchmarks/bench_fission_speedup.py; this file pins
+the architectural invariants fast:
+
+* construction choke point — loop fission enters the pipeline only
+  through :func:`repro.polly.fission.try_fission_loop`, invoked by the
+  parallelizer; nothing else calls ``distribute_loop`` on the
+  optimizer's behalf or re-implements the split;
+* a mixed loop (carried + clean statements) is fissioned, partially
+  parallelized, and stays bit-exact;
+* the cost model vetoes an unprofitable mixed loop (it stays whole);
+* a sequential fission seam is re-fused on decompile.
+"""
+
+import re
+from pathlib import Path
+
+import repro
+from conftest import compile_o2, run_main
+from repro.analysis.loops import LoopInfo
+from repro.core import Splendid
+from repro.polly import parallelize_module, try_fission_loop
+
+MIXED = """
+#define N 100
+double x[N]; double y[N]; double a[N]; double b[N];
+void kernel() {
+  int i;
+  for (i = 1; i < N; i++) {
+    x[i] = x[i - 1] * 0.5 + a[i];
+    y[i] = a[i] * b[i] + a[i] / b[i] + a[i] * a[i];
+  }
+}
+int main() {
+  int i;
+  for (i = 0; i < N; i++) { a[i] = (double)(i % 13) + 1.0;
+                            b[i] = (double)(i % 7) + 2.0; }
+  x[0] = 3.0;
+  kernel();
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + x[i] + y[i];
+  print_double(s);
+  return 0;
+}
+"""
+
+#: Same mixed shape, but the clean statement is too cheap for the
+#: fork/join plus extra loop control to ever pay off.
+THIN = """
+#define N 8
+double x[N]; double y[N]; double a[N];
+void kernel() {
+  int i;
+  for (i = 1; i < N; i++) {
+    x[i] = x[i - 1] * 0.5 + a[i];
+    y[i] = a[i];
+  }
+}
+int main() {
+  int i;
+  for (i = 0; i < N; i++) a[i] = (double)(i % 5) + 1.0;
+  x[0] = 1.0;
+  kernel();
+  double s = 0.0;
+  for (i = 0; i < N; i++) s = s + x[i] + y[i];
+  print_double(s);
+  return 0;
+}
+"""
+
+
+class TestFissionChokePoint:
+    def test_fission_constructed_in_driver_only(self):
+        """try_fission_loop(...) is invoked only by the parallelizer
+        (and defined in polly/fission.py); every other layer consumes
+        FissionStats/FissionOutcome records instead of re-splitting."""
+        src_root = Path(repro.__file__).parent
+        pattern = re.compile(r"\btry_fission_loop\(")
+        allowed = {"polly/fission.py", "polly/parallelizer.py"}
+        offenders = []
+        for path in sorted(src_root.rglob("*.py")):
+            relative = path.relative_to(src_root)
+            if str(relative) in allowed:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{relative}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "direct try_fission_loop() call outside the fission driver — "
+            "run the parallelizer (enable_fission) instead:\n"
+            + "\n".join(offenders))
+
+    def test_distribute_loop_not_imported_elsewhere(self):
+        """Within the optimizer, only the fission driver imports the IR
+        distribution mechanism (case studies demo the raw pass; the
+        same-named helper in collab/edits.py is a source-level AST edit
+        and is exempt)."""
+        src_root = Path(repro.__file__).parent
+        pattern = re.compile(r"\bloop_distribute\b")
+        allowed = {"polly/fission.py", "passes/loop_distribute.py",
+                   "passes/__init__.py", "eval/case_studies.py",
+                   "core/fusion.py"}
+        offenders = []
+        for path in sorted(src_root.rglob("*.py")):
+            relative = path.relative_to(src_root)
+            if str(relative) in allowed:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{relative}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "reference to passes.loop_distribute outside the fission "
+            "driver — go through it so the cost gate and stats apply:\n"
+            + "\n".join(offenders))
+
+
+class TestFissionSmoke:
+    def test_mixed_loop_partially_parallelized_bit_exact(self):
+        reference = run_main(compile_o2(MIXED))
+        module = compile_o2(MIXED)
+        result = parallelize_module(module, only_functions=["kernel"])
+        assert result.fission.split == 1
+        assert result.fission.subloops == 2
+        assert result.fission.parallelized == 1
+        assert len(result.parallel_loops) >= 1
+        assert run_main(module) == reference
+
+    def test_cost_model_vetoes_thin_loop(self):
+        reference = run_main(compile_o2(THIN))
+        module = compile_o2(THIN)
+        result = parallelize_module(module, only_functions=["kernel"])
+        assert result.fission.split == 0
+        assert result.fission.vetoed_cost == 1
+        assert result.parallel_loops == []
+        assert run_main(module) == reference
+
+    def test_sequential_seam_refused_on_decompile(self):
+        reference = run_main(compile_o2(MIXED))
+        module = compile_o2(MIXED)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).innermost_loops()[0]
+        outcome = try_fission_loop(module, loop)
+        assert outcome.split
+        assert run_main(module) == reference
+        splendid = Splendid(module, "full")
+        text = splendid.decompile_text()
+        assert splendid.refused_loops() == 1
+        # One natural loop again: both statements back in a single body.
+        kernel_text = text.split("void kernel")[1].split("int main")[0]
+        assert kernel_text.count("for (") == 1
